@@ -1,0 +1,32 @@
+//! Microbenchmarks for the FFT substrate: complex vs real plans across
+//! sizes (the real plan's ≈2× saving is the paper's Fig.-10 optimization).
+
+use circnn_fft::{Complex, FftPlan, RealFftPlan};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    group.sample_size(20);
+    for &n in &[64usize, 256, 1024, 4096] {
+        let cplan = FftPlan::<f32>::new(n).unwrap();
+        let signal: Vec<Complex<f32>> =
+            (0..n).map(|i| Complex::new((i as f32 * 0.37).sin(), 0.0)).collect();
+        group.bench_with_input(BenchmarkId::new("complex", n), &n, |b, _| {
+            b.iter(|| {
+                let mut buf = signal.clone();
+                cplan.forward(black_box(&mut buf)).unwrap();
+                buf
+            })
+        });
+        let rplan = RealFftPlan::<f32>::new(n).unwrap();
+        let real: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("real", n), &n, |b, _| {
+            b.iter(|| rplan.forward(black_box(&real)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Benchmarks for the fixed-point datapath model and the 2-D FFT paths
+//! (LeCun-[52] spatial convolution vs direct evaluation).
+
+use circnn_fft::fft2d::{direct_conv2d_valid, fft_conv2d_valid};
+use circnn_fft::fixed::{FixedFftPlan, QFormat};
+use circnn_fft::RealFftPlan;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_fixed_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fixed-fft");
+    group.sample_size(20);
+    for &n in &[256usize, 1024] {
+        let signal: Vec<f64> = (0..n).map(|i| (i as f64 * 0.1).sin() * 0.7).collect();
+        let plan16 = FixedFftPlan::new(n, QFormat::q16()).unwrap();
+        group.bench_with_input(BenchmarkId::new("q16", n), &n, |b, _| {
+            b.iter(|| plan16.forward_real(black_box(&signal)).unwrap())
+        });
+        let fplan = RealFftPlan::<f64>::new(n).unwrap();
+        let fsig: Vec<f64> = signal.clone();
+        group.bench_with_input(BenchmarkId::new("float64", n), &n, |b, _| {
+            b.iter(|| fplan.forward(black_box(&fsig)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_2d_convolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv2d-lecun");
+    group.sample_size(15);
+    // The large-kernel regime where [52] shines.
+    for &(h, r) in &[(32usize, 11usize), (64, 11), (32, 3)] {
+        let input: Vec<f32> = (0..h * h).map(|i| (i as f32 * 0.01).sin()).collect();
+        let filter: Vec<f32> = (0..r * r).map(|i| (i as f32 * 0.3).cos()).collect();
+        group.bench_with_input(BenchmarkId::new("fft", format!("{h}x{h}-r{r}")), &h, |b, _| {
+            b.iter(|| fft_conv2d_valid(black_box(&input), h, h, &filter, r).unwrap())
+        });
+        group.bench_with_input(
+            BenchmarkId::new("direct", format!("{h}x{h}-r{r}")),
+            &h,
+            |b, _| b.iter(|| direct_conv2d_valid(black_box(&input), h, h, &filter, r)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fixed_fft, bench_2d_convolution);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! End-to-end inference benchmarks: the benchmark models, dense vs
+//! block-circulant, plus an RBM CD-1 training step at DBN scale (§3.4).
+
+use circnn_core::BlockCirculantMatrix;
+use circnn_models::{lenet5_circulant, lenet5_dense, svhn_net_circulant, svhn_net_dense};
+use circnn_nn::rbm::Rbm;
+use circnn_nn::{DenseOp, Layer};
+use circnn_tensor::{init::seeded_rng, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inference");
+    group.sample_size(15);
+    let mut rng = seeded_rng(1);
+    let mnist = Tensor::ones(&[1, 28, 28]);
+    let mut ld = lenet5_dense(&mut rng);
+    let mut lc = lenet5_circulant(&mut rng);
+    group.bench_function("lenet5-dense", |b| b.iter(|| ld.forward(black_box(&mnist))));
+    group.bench_function("lenet5-circulant", |b| b.iter(|| lc.forward(black_box(&mnist))));
+    let svhn = Tensor::ones(&[3, 32, 32]);
+    let mut sd = svhn_net_dense(&mut rng);
+    let mut sc = svhn_net_circulant(&mut rng);
+    group.bench_function("svhn-dense", |b| b.iter(|| sd.forward(black_box(&svhn))));
+    group.bench_function("svhn-circulant", |b| b.iter(|| sc.forward(black_box(&svhn))));
+    group.finish();
+}
+
+fn bench_rbm_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rbm-cd1");
+    group.sample_size(10);
+    let n = 2048;
+    let v0: Vec<f32> = (0..n).map(|i| f32::from(i % 3 == 0)).collect();
+    let mut dense = Rbm::new(DenseOp::zeros(n, n));
+    let mut rng = seeded_rng(2);
+    group.bench_function("dense-2048", |b| {
+        b.iter(|| dense.cd1_step(black_box(&v0), 0.01, &mut rng))
+    });
+    let mut op_rng = seeded_rng(3);
+    let circ = BlockCirculantMatrix::random(&mut op_rng, n, n, 256).unwrap();
+    let mut circ_rbm = Rbm::new(circ);
+    group.bench_function("circulant-2048-k256", |b| {
+        b.iter(|| circ_rbm.cd1_step(black_box(&v0), 0.01, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_rbm_training);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Layer-level benchmarks: FC and CONV forward/backward, dense vs
+//! block-circulant — the software side of the paper's training-complexity
+//! claim (Algorithms 1–2 are cheaper than dense GEMM in both directions).
+
+use circnn_core::{CirculantConv2d, CirculantLinear};
+use circnn_nn::{Conv2d, Layer, Linear};
+use circnn_tensor::{init::seeded_rng, Tensor};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fc_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fc-layer");
+    group.sample_size(12);
+    let mut rng = seeded_rng(1);
+    let (n, m, k) = (2048usize, 2048usize, 256usize);
+    let x = Tensor::from_vec((0..n).map(|i| (i as f32 * 0.01).sin()).collect(), &[n]);
+    let g = Tensor::ones(&[m]);
+    let mut dense = Linear::new(&mut rng, n, m);
+    group.bench_function("dense-forward", |b| b.iter(|| dense.forward(black_box(&x))));
+    group.bench_function("dense-fwd+bwd", |b| {
+        b.iter(|| {
+            dense.forward(black_box(&x));
+            dense.backward(black_box(&g))
+        })
+    });
+    let mut circ = CirculantLinear::new(&mut rng, n, m, k).unwrap();
+    group.bench_function("circulant-forward", |b| b.iter(|| circ.forward(black_box(&x))));
+    group.bench_function("circulant-fwd+bwd", |b| {
+        b.iter(|| {
+            circ.forward(black_box(&x));
+            circ.backward(black_box(&g))
+        })
+    });
+    group.finish();
+}
+
+fn bench_conv_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv-layer");
+    group.sample_size(10);
+    let mut rng = seeded_rng(2);
+    let x = Tensor::from_vec(
+        (0..32 * 16 * 16).map(|i| (i as f32 * 0.003).sin()).collect(),
+        &[32, 16, 16],
+    );
+    let mut dense = Conv2d::new(&mut rng, 32, 64, 3, 1, 1);
+    group.bench_function("dense-forward", |b| b.iter(|| dense.forward(black_box(&x))));
+    let mut circ = CirculantConv2d::new(&mut rng, 32, 64, 3, 1, 1, 16).unwrap();
+    group.bench_function("circulant-forward", |b| b.iter(|| circ.forward(black_box(&x))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_fc_layers, bench_conv_layers);
+criterion_main!(benches);

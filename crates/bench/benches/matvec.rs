@@ -1,0 +1,51 @@
+//! The headline crossover: dense `O(n²)` matvec vs block-circulant
+//! `O(n log n)` matvec across layer sizes and block sizes.
+
+use circnn_core::BlockCirculantMatrix;
+use circnn_tensor::{init, init::seeded_rng};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matvec");
+    group.sample_size(15);
+    let mut rng = seeded_rng(1);
+    for &n in &[256usize, 1024, 4096] {
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01).sin()).collect();
+        let dense = init::uniform(&mut rng, &[n, n], -0.1, 0.1);
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, _| {
+            b.iter(|| dense.matvec(black_box(&x)))
+        });
+        let k = n.min(128);
+        let circ = BlockCirculantMatrix::random(&mut rng, n, n, k).unwrap();
+        group.bench_with_input(BenchmarkId::new("circulant-k128", n), &n, |b, _| {
+            b.iter(|| circ.matvec(black_box(&x)).unwrap())
+        });
+        if n >= 1024 {
+            let circ_big = BlockCirculantMatrix::random(&mut rng, n, n, 1024.min(n)).unwrap();
+            group.bench_with_input(BenchmarkId::new("circulant-k1024", n), &n, |b, _| {
+                b.iter(|| circ_big.matvec(black_box(&x)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_accumulation_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matvec-ablation");
+    group.sample_size(15);
+    let mut rng = seeded_rng(2);
+    let n = 2048;
+    let w = BlockCirculantMatrix::random(&mut rng, n, n, 128).unwrap();
+    let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01).cos()).collect();
+    group.bench_function("freq-domain-accumulation", |b| {
+        b.iter(|| w.matvec(black_box(&x)).unwrap())
+    });
+    group.bench_function("per-block-ifft-naive", |b| {
+        b.iter(|| w.matvec_naive(black_box(&x)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matvec, bench_accumulation_ablation);
+criterion_main!(benches);

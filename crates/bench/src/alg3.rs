@@ -1,0 +1,96 @@
+//! Algorithm 3 — design-space optimization of the basic computing block,
+//! reproducing the §4.3 worked example (block size 128 on the Cyclone V).
+
+use circnn_hw::dse::{evaluate, optimize, DseConfig, DseResult};
+
+use crate::table::{pct, Table};
+
+/// The §4.3 example numbers, measured from the calibrated model.
+#[derive(Debug, Clone, Copy)]
+pub struct Alg3Example {
+    /// Performance gain for p: 16→32 at d = 1 (paper: +53.8 %).
+    pub p_perf_gain: f64,
+    /// Power increase for the same step (paper: < 10 %).
+    pub p_power_increase: f64,
+    /// Performance gain for d: 1→2 at p = 32 (paper: +62.2 %).
+    pub d_perf_gain: f64,
+    /// Power increase for the same step (paper: +7.8 %).
+    pub d_power_increase: f64,
+}
+
+/// Runs the worked example.
+pub fn example() -> Alg3Example {
+    let cfg = DseConfig::cyclone_v();
+    let p16 = evaluate(&cfg, 16, 1);
+    let p32 = evaluate(&cfg, 32, 1);
+    let d2 = evaluate(&cfg, 32, 2);
+    Alg3Example {
+        p_perf_gain: p32.throughput / p16.throughput - 1.0,
+        p_power_increase: p32.power_w / p16.power_w - 1.0,
+        d_perf_gain: d2.throughput / p32.throughput - 1.0,
+        d_power_increase: d2.power_w / p32.power_w - 1.0,
+    }
+}
+
+/// Runs the full optimizer.
+pub fn run() -> DseResult {
+    optimize(&DseConfig::cyclone_v())
+}
+
+/// Prints the example and the optimizer outcome.
+pub fn print(example: &Alg3Example, result: &DseResult) {
+    let mut t = Table::new(
+        "Algorithm 3 example (block 128, Cyclone V): step effects",
+        &["step", "perf gain (paper)", "perf gain (ours)", "power (paper)", "power (ours)"],
+    );
+    t.row(&[
+        "p: 16 → 32 (d = 1)".into(),
+        "+53.8%".into(),
+        format!("+{}", pct(example.p_perf_gain)),
+        "<10%".into(),
+        format!("+{}", pct(example.p_power_increase)),
+    ]);
+    t.row(&[
+        "d: 1 → 2 (p = 32)".into(),
+        "+62.2%".into(),
+        format!("+{}", pct(example.d_perf_gain)),
+        "+7.8%".into(),
+        format!("+{}", pct(example.d_power_increase)),
+    ]);
+    t.print();
+
+    let mut o = Table::new("Algorithm 3 optimizer outcome", &["quantity", "value"]);
+    o.row(&["bandwidth-derived p bound".into(), format!("{}", result.p_bound)]);
+    o.row(&["selected p".into(), format!("{}", result.best.p)]);
+    o.row(&["selected d".into(), format!("{}", result.best.d)]);
+    o.row(&["throughput (butterflies/cycle)".into(), format!("{:.1}", result.best.throughput)]);
+    o.row(&["modeled power".into(), format!("{:.2} W", result.best.power_w)]);
+    o.row(&["points evaluated".into(), format!("{}", result.evaluated.len())]);
+    o.print();
+    println!(
+        "paper: p is the optimization priority; d capped at 3 (control complexity).\n\
+         selected design ({}, {}) honors both.\n",
+        result.best.p, result.best.d
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_matches_paper_numbers() {
+        let e = example();
+        assert!((e.p_perf_gain - 0.538).abs() < 0.02, "{}", e.p_perf_gain);
+        assert!(e.p_power_increase < 0.10 && e.p_power_increase > 0.0);
+        assert!((e.d_perf_gain - 0.622).abs() < 0.03, "{}", e.d_perf_gain);
+        assert!((e.d_power_increase - 0.078).abs() < 0.012, "{}", e.d_power_increase);
+    }
+
+    #[test]
+    fn optimizer_selects_depth_bounded_design() {
+        let r = run();
+        assert!(r.best.d <= 3);
+        assert!(r.best.p <= r.p_bound);
+    }
+}

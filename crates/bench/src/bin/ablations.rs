@@ -1,0 +1,6 @@
+//! Runs the design-choice ablations listed in DESIGN.md.
+fn main() {
+    let quick = circnn_bench::quick_mode();
+    println!("CirCNN reproduction — ablations (quick = {quick})\n");
+    circnn_bench::ablations::print_all(quick);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the Algorithm 3 design-space example (Section 4.3).
+fn main() {
+    println!("CirCNN reproduction — Algorithm 3\n");
+    let example = circnn_bench::alg3::example();
+    let result = circnn_bench::alg3::run();
+    circnn_bench::alg3::print(&example, &result);
+}

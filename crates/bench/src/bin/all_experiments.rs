@@ -1,0 +1,15 @@
+//! Runs every experiment in sequence (the EXPERIMENTS.md generator).
+fn main() {
+    let quick = circnn_bench::quick_mode();
+    println!("CirCNN reproduction — full experiment suite (quick = {quick})\n");
+    let rows = circnn_bench::fig7::run(quick);
+    circnn_bench::fig7::print(&rows);
+    circnn_bench::fig13::print(&circnn_bench::fig13::run());
+    circnn_bench::fig14::print(&circnn_bench::fig14::run());
+    circnn_bench::fig15::print(&circnn_bench::fig15::run());
+    let s = circnn_bench::sec53::run(quick);
+    circnn_bench::sec53::print(&s);
+    circnn_bench::alg3::print(&circnn_bench::alg3::example(), &circnn_bench::alg3::run());
+    circnn_bench::train_speedup::print(&circnn_bench::train_speedup::run(quick));
+    circnn_bench::ablations::print_all(quick);
+}

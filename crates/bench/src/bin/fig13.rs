@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 13 (FPGA comparison).
+fn main() {
+    println!("CirCNN reproduction — Fig. 13\n");
+    let fig = circnn_bench::fig13::run();
+    circnn_bench::fig13::print(&fig);
+}

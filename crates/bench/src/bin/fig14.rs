@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 14 (TrueNorth comparison).
+fn main() {
+    println!("CirCNN reproduction — Fig. 14\n");
+    let rows = circnn_bench::fig14::run();
+    circnn_bench::fig14::print(&rows);
+}

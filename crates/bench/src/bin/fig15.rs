@@ -1,0 +1,6 @@
+//! Regenerates the paper's Fig. 15 (ASIC comparison).
+fn main() {
+    println!("CirCNN reproduction — Fig. 15\n");
+    let fig = circnn_bench::fig15::run();
+    circnn_bench::fig15::print(&fig);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's Fig. 7 (compression & accuracy tables).
+fn main() {
+    let quick = circnn_bench::quick_mode();
+    println!("CirCNN reproduction — Fig. 7 (quick = {quick})\n");
+    let rows = circnn_bench::fig7::run(quick);
+    circnn_bench::fig7::print(&rows);
+}

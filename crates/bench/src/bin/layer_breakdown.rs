@@ -1,0 +1,41 @@
+//! Per-layer cycle/energy breakdown of a network on a platform — the view
+//! an accelerator architect actually debugs with (which stage bottlenecks
+//! each layer, where the energy goes).
+//!
+//! ```text
+//! cargo run -p circnn-bench --bin layer_breakdown --release [alexnet|vgg16|lenet]
+//! ```
+
+use circnn_bench::table::Table;
+use circnn_hw::netdesc::NetworkDescriptor;
+use circnn_hw::platform;
+use circnn_hw::simulator::simulate;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "alexnet".into());
+    let net = match which.as_str() {
+        "vgg16" => NetworkDescriptor::vgg16_circulant(),
+        "lenet" => NetworkDescriptor::lenet5_circulant(),
+        _ => NetworkDescriptor::alexnet_circulant(),
+    };
+    for plat in [platform::cyclone_v(), platform::asic_45nm()] {
+        let report = simulate(&net, &plat);
+        let mut t = Table::new(
+            &format!("{} on {}: per-layer breakdown", report.network, report.platform),
+            &["#", "kind", "cycles", "share", "bottleneck", "dyn energy", "equiv Mops"],
+        );
+        for (i, l) in report.layers.iter().enumerate() {
+            t.row(&[
+                format!("{i}"),
+                l.kind.to_string(),
+                format!("{:.0}", l.cycles),
+                format!("{:.1}%", 100.0 * l.cycles / report.cycles),
+                l.bottleneck.to_string(),
+                format!("{:.1} uJ", l.dynamic_j * 1e6),
+                format!("{:.1}", l.workload.dense_equiv_ops as f64 / 1e6),
+            ]);
+        }
+        t.print();
+        println!("{}\n", report.summary_row());
+    }
+}

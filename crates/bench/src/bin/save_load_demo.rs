@@ -1,0 +1,40 @@
+//! Round-trips a trained block-circulant layer through the deployment
+//! codec (`circnn_core::serialize`) and verifies the reloaded operator
+//! computes identically — the ship-a-model workflow end to end.
+//!
+//! ```text
+//! cargo run -p circnn-bench --bin save_load_demo --release
+//! ```
+
+use circnn_core::{serialize, BlockCirculantMatrix};
+use circnn_tensor::init::seeded_rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = seeded_rng(1);
+    // AlexNet FC6 shape at the paper's block size.
+    let w = BlockCirculantMatrix::random(&mut rng, 4096, 9216, 128)?;
+    let x: Vec<f32> = (0..9216).map(|i| (i as f32 * 0.001).sin()).collect();
+    let y = w.matvec(&x)?;
+
+    let mut full = Vec::new();
+    serialize::save(&w, &mut full)?;
+    let mut deployed = Vec::new();
+    serialize::save_quantized(&w, &mut deployed)?;
+    println!("dense fp32 equivalent : {:>12} bytes", 4096 * 9216 * 4);
+    println!("circulant fp32 file   : {:>12} bytes", full.len());
+    println!("circulant 16-bit file : {:>12} bytes", deployed.len());
+    println!(
+        "total reduction       : {:>11.0}x",
+        (4096.0 * 9216.0 * 4.0) / deployed.len() as f64
+    );
+
+    let back = serialize::load(&deployed[..])?;
+    let y2 = back.matvec(&x)?;
+    let max_err = y
+        .iter()
+        .zip(&y2)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("max output deviation after 16-bit round trip: {max_err:.2e}");
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Regenerates the Section 5.3 embedded-processor measurements.
+fn main() {
+    let quick = circnn_bench::quick_mode();
+    println!("CirCNN reproduction — Section 5.3 (quick = {quick})\n");
+    let r = circnn_bench::sec53::run(quick);
+    circnn_bench::sec53::print(&r);
+}

@@ -1,0 +1,7 @@
+//! Regenerates the Section 3.4 DBN training-speedup measurement.
+fn main() {
+    let quick = circnn_bench::quick_mode();
+    println!("CirCNN reproduction — training speedup (quick = {quick})\n");
+    let points = circnn_bench::train_speedup::run(quick);
+    circnn_bench::train_speedup::print(&points);
+}

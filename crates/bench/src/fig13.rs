@@ -1,0 +1,116 @@
+//! Fig. 13 — FPGA performance and energy efficiency vs the state of the
+//! art. Our point: AlexNet (block-circulant) simulated on the Cyclone V
+//! preset; reference points are the published numbers the paper plots.
+
+use circnn_hw::baselines::{fpga_references, RefPoint};
+use circnn_hw::netdesc::NetworkDescriptor;
+use circnn_hw::platform;
+use circnn_hw::simulator::{simulate, SimReport};
+
+use crate::table::{times, Table};
+
+/// Result of the Fig.-13 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig13 {
+    /// Our simulated FPGA point (AlexNet, the paper's workload).
+    pub ours: SimReport,
+    /// VGG-16 on the same FPGA — the workload class of the [FPGA16] and
+    /// [ICCAD16] reference designs, for a like-for-like column.
+    pub ours_vgg: SimReport,
+    /// Published reference points.
+    pub references: Vec<RefPoint>,
+}
+
+impl Fig13 {
+    /// Energy-efficiency improvement over a reference point.
+    pub fn improvement_over(&self, name: &str) -> Option<f64> {
+        self.references
+            .iter()
+            .find(|r| r.name == name)
+            .map(|r| self.ours.equiv_gops_per_w / r.gops_per_w)
+    }
+}
+
+/// Runs the Fig.-13 experiment.
+pub fn run() -> Fig13 {
+    let fpga = platform::cyclone_v();
+    let ours = simulate(&NetworkDescriptor::alexnet_circulant(), &fpga);
+    let ours_vgg = simulate(&NetworkDescriptor::vgg16_circulant(), &fpga);
+    Fig13 { ours, ours_vgg, references: fpga_references() }
+}
+
+/// Prints the comparison table.
+pub fn print(fig: &Fig13) {
+    let mut t = Table::new(
+        "Fig. 13: FPGA comparison (equivalent GOPS / GOPS-per-W, AlexNet-class workloads)",
+        &["design", "GOPS", "GOPS/W", "our improvement"],
+    );
+    t.row(&[
+        "CirCNN AlexNet (ours, sim)".into(),
+        format!("{:.0}", fig.ours.equiv_gops),
+        format!("{:.0}", fig.ours.equiv_gops_per_w),
+        "—".into(),
+    ]);
+    t.row(&[
+        "CirCNN VGG-16 (ours, sim)".into(),
+        format!("{:.0}", fig.ours_vgg.equiv_gops),
+        format!("{:.0}", fig.ours_vgg.equiv_gops_per_w),
+        "—".into(),
+    ]);
+    for r in &fig.references {
+        t.row(&[
+            r.name.into(),
+            format!("{:.0}", r.gops),
+            format!("{:.1}", r.gops_per_w),
+            times(fig.ours.equiv_gops_per_w / r.gops_per_w),
+        ]);
+    }
+    t.print();
+    println!(
+        "paper claim: 11-16x vs compressed designs [FPGA17], 60-70x vs uncompressed [FPGA16/ICCAD16]\n\
+         measured   : {:.1}x vs [FPGA17,Han], {:.1}x vs [FPGA17,Zhao], {:.1}x vs [FPGA16], {:.1}x vs [ICCAD16]\n",
+        fig.improvement_over("[FPGA17,Han]").unwrap_or(f64::NAN),
+        fig.improvement_over("[FPGA17,Zhao]").unwrap_or(f64::NAN),
+        fig.improvement_over("[FPGA16]").unwrap_or(f64::NAN),
+        fig.improvement_over("[ICCAD16]").unwrap_or(f64::NAN),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn our_point_beats_every_reference_on_efficiency() {
+        let fig = run();
+        for r in &fig.references {
+            assert!(
+                fig.ours.equiv_gops_per_w > r.gops_per_w,
+                "{} ({}) not beaten ({})",
+                r.name,
+                r.gops_per_w,
+                fig.ours.equiv_gops_per_w
+            );
+        }
+    }
+
+    #[test]
+    fn vgg_point_is_the_same_story() {
+        // The like-for-like VGG column must also beat the VGG-based
+        // references by an order of magnitude.
+        let fig = run();
+        assert!(fig.ours_vgg.equiv_gops_per_w > 10.0 * 14.6);
+    }
+
+    #[test]
+    fn improvements_have_the_paper_shape() {
+        // Compressed baselines (ESE, Zhao): order 10×; uncompressed
+        // (Qiu, Caffeine): order 50–100×.
+        let fig = run();
+        let ese = fig.improvement_over("[FPGA17,Han]").unwrap();
+        let qiu = fig.improvement_over("[FPGA16]").unwrap();
+        assert!(ese > 5.0 && ese < 30.0, "vs ESE: {ese}");
+        assert!(qiu > 40.0 && qiu < 120.0, "vs Qiu: {qiu}");
+        assert!(qiu > 3.0 * ese, "uncompressed gap must dwarf compressed gap");
+    }
+}

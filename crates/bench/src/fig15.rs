@@ -1,0 +1,136 @@
+//! Fig. 15 — ASIC synthesis comparison: our 45 nm design (16-bit, 200 MHz)
+//! and the 4-bit near-threshold variant against published ASIC results and
+//! an embedded GPU.
+
+use circnn_hw::baselines::{asic_references, best_asic_gops_per_w, RefPoint};
+use circnn_hw::netdesc::NetworkDescriptor;
+use circnn_hw::platform;
+use circnn_hw::simulator::{simulate, SimReport};
+
+use crate::table::{times, Table};
+
+/// Result of the Fig.-15 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig15 {
+    /// Our FPGA point (also plotted in the paper's Fig. 15).
+    pub fpga: SimReport,
+    /// Our 45 nm ASIC synthesis point.
+    pub asic: SimReport,
+    /// Our 4-bit near-threshold point.
+    pub near_threshold: SimReport,
+    /// Published references.
+    pub references: Vec<RefPoint>,
+}
+
+impl Fig15 {
+    /// Improvement of the 16-bit ASIC over the best published point.
+    pub fn asic_improvement(&self) -> f64 {
+        self.asic.equiv_gops_per_w / best_asic_gops_per_w()
+    }
+
+    /// Extra factor from near-threshold + 4-bit (the paper's "another 17×").
+    pub fn near_threshold_factor(&self) -> f64 {
+        self.near_threshold.equiv_gops_per_w / self.asic.equiv_gops_per_w
+    }
+
+    /// Total improvement of the near-threshold point over the best
+    /// published ASIC (the paper's "102×" composite).
+    pub fn total_improvement(&self) -> f64 {
+        self.near_threshold.equiv_gops_per_w / best_asic_gops_per_w()
+    }
+
+    /// Improvement over the Jetson TX1 GPU (the paper's "570×").
+    pub fn gpu_improvement(&self) -> f64 {
+        let tx1 = self
+            .references
+            .iter()
+            .find(|r| r.name.contains("TX1"))
+            .map(|r| r.gops_per_w)
+            .unwrap_or(100.0);
+        self.asic.equiv_gops_per_w / tx1
+    }
+}
+
+/// Runs the Fig.-15 experiment.
+pub fn run() -> Fig15 {
+    let net = NetworkDescriptor::alexnet_circulant();
+    Fig15 {
+        fpga: simulate(&net, &platform::cyclone_v()),
+        asic: simulate(&net, &platform::asic_45nm()),
+        near_threshold: simulate(&net, &platform::asic_near_threshold()),
+        references: asic_references(),
+    }
+}
+
+/// Prints the comparison table.
+pub fn print(fig: &Fig15) {
+    let mut t = Table::new(
+        "Fig. 15: ASIC comparison (equivalent GOPS / GOPS-per-W)",
+        &["design", "GOPS", "GOPS/W"],
+    );
+    t.row(&[
+        "CirCNN synthesis (ours, 16-bit)".into(),
+        format!("{:.0}", fig.asic.equiv_gops),
+        format!("{:.0}", fig.asic.equiv_gops_per_w),
+    ]);
+    t.row(&[
+        "CirCNN near-threshold 4-bit (ours)".into(),
+        format!("{:.0}", fig.near_threshold.equiv_gops),
+        format!("{:.0}", fig.near_threshold.equiv_gops_per_w),
+    ]);
+    t.row(&[
+        "CirCNN FPGA (ours)".into(),
+        format!("{:.0}", fig.fpga.equiv_gops),
+        format!("{:.0}", fig.fpga.equiv_gops_per_w),
+    ]);
+    for r in &fig.references {
+        t.row(&[r.name.into(), format!("{:.0}", r.gops), format!("{:.0}", r.gops_per_w)]);
+    }
+    t.print();
+    println!(
+        "paper claims: >6x over best ASIC; +17x from 4-bit near-threshold (102x total); 570x vs TX1\n\
+         measured    : {} over best ASIC; +{} near-threshold ({} total); {} vs TX1\n",
+        times(fig.asic_improvement()),
+        times(fig.near_threshold_factor()),
+        times(fig.total_improvement()),
+        times(fig.gpu_improvement()),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn our_asic_has_the_highest_throughput_and_efficiency() {
+        let fig = run();
+        for r in &fig.references {
+            assert!(fig.asic.equiv_gops > r.gops, "{}", r.name);
+            assert!(fig.asic.equiv_gops_per_w > r.gops_per_w, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn fpga_reaches_the_same_order_as_asic_baselines() {
+        // "even our FPGA implementation could achieve the same order of
+        // energy efficiency and higher throughput compared with the best
+        // state-of-the-art ASICs" — within one order of the 10-TOPS/W best.
+        let fig = run();
+        assert!(fig.fpga.equiv_gops_per_w > best_asic_gops_per_w() / 15.0);
+    }
+
+    #[test]
+    fn near_threshold_factor_is_near_17() {
+        let fig = run();
+        let f = fig.near_threshold_factor();
+        assert!(f > 8.0 && f < 30.0, "near-threshold factor {f}");
+    }
+
+    #[test]
+    fn composite_improvements_preserve_paper_ordering() {
+        let fig = run();
+        assert!(fig.asic_improvement() > 1.0);
+        assert!(fig.total_improvement() > 10.0 * fig.asic_improvement() / 17.0);
+        assert!(fig.gpu_improvement() > 50.0, "vs TX1: {}", fig.gpu_improvement());
+    }
+}

@@ -1,0 +1,253 @@
+//! A single circulant block — the atom of CirCNN's weight representation.
+
+use circnn_fft::convolve::{circulant_from_first_row, CircularConvolver};
+use circnn_fft::Complex;
+use circnn_tensor::Tensor;
+
+use crate::error::CircError;
+
+/// A `k×k` circulant matrix defined by its first row `w`
+/// (`W[i][j] = w[(j − i) mod k]`, paper Fig. 1), with the weight spectrum
+/// `FFT(w)` cached so every matvec costs one forward FFT, one element-wise
+/// multiply and one inverse FFT.
+///
+/// # Examples
+///
+/// ```
+/// use circnn_core::CirculantMatrix;
+///
+/// # fn main() -> Result<(), circnn_core::CircError> {
+/// let w = CirculantMatrix::from_first_row(vec![1.0, 2.0, 0.0, 0.0])?;
+/// // First row [1, 2, 0, 0]; second row is its rotation [0, 1, 2, 0]; …
+/// let y = w.matvec(&[1.0, 0.0, 0.0, 0.0])?;
+/// let expect = [1.0, 0.0, 0.0, 2.0];
+/// for (a, b) in y.iter().zip(&expect) {
+///     assert!((a - b).abs() < 1e-6);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CirculantMatrix {
+    weights: Vec<f32>,
+    spectrum: Vec<Complex<f32>>,
+    engine: CircularConvolver<f32>,
+}
+
+impl CirculantMatrix {
+    /// Builds the circulant matrix whose first row is `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::BadBlockSize`] unless `w.len()` is a nonzero
+    /// power of two.
+    pub fn from_first_row(w: Vec<f32>) -> Result<Self, CircError> {
+        let k = w.len();
+        if k == 0 || !k.is_power_of_two() {
+            return Err(CircError::BadBlockSize(k));
+        }
+        let engine = CircularConvolver::new(k)?;
+        let spectrum = engine.plan().forward(&w)?;
+        Ok(Self { weights: w, spectrum, engine })
+    }
+
+    /// Block size `k`.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The defining vector (first row).
+    #[inline]
+    pub fn first_row(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// The cached weight spectrum `FFT(w)` (`k/2 + 1` bins).
+    #[inline]
+    pub fn spectrum(&self) -> &[Complex<f32>] {
+        &self.spectrum
+    }
+
+    /// `W·x` via `IFFT(conj(FFT(w)) ∘ FFT(x))` — `O(k log k)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] if `x.len() != k`.
+    pub fn matvec(&self, x: &[f32]) -> Result<Vec<f32>, CircError> {
+        if x.len() != self.size() {
+            return Err(CircError::DimensionMismatch { expected: self.size(), got: x.len() });
+        }
+        let xs = self.engine.plan().forward(x)?;
+        let prod: Vec<Complex<f32>> =
+            self.spectrum.iter().zip(&xs).map(|(&w, &x)| w.conj() * x).collect();
+        Ok(self.engine.plan().inverse(&prod)?)
+    }
+
+    /// `Wᵀ·y` via `IFFT(FFT(w) ∘ FFT(y))` (the transpose of a first-row
+    /// circulant is plain circular convolution).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] if `y.len() != k`.
+    pub fn matvec_t(&self, y: &[f32]) -> Result<Vec<f32>, CircError> {
+        if y.len() != self.size() {
+            return Err(CircError::DimensionMismatch { expected: self.size(), got: y.len() });
+        }
+        let ys = self.engine.plan().forward(y)?;
+        let prod: Vec<Complex<f32>> =
+            self.spectrum.iter().zip(&ys).map(|(&w, &y)| w * y).collect();
+        Ok(self.engine.plan().inverse(&prod)?)
+    }
+
+    /// Materializes the dense `k×k` matrix (tests, baselines, inspection).
+    pub fn to_dense(&self) -> Tensor {
+        let k = self.size();
+        Tensor::from_vec(circulant_from_first_row(&self.weights), &[k, k])
+    }
+
+    /// Least-squares projection of an arbitrary dense `k×k` matrix onto the
+    /// circulant subspace: `w[d] = (1/k)·Σ_s M[s][(s+d) mod k]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError`] if `dense` is not square power-of-two sized.
+    pub fn project_from_dense(dense: &Tensor) -> Result<Self, CircError> {
+        let dims = dense.dims();
+        if dims.len() != 2 || dims[0] != dims[1] {
+            return Err(CircError::DimensionMismatch {
+                expected: dims[0],
+                got: *dims.get(1).unwrap_or(&0),
+            });
+        }
+        let k = dims[0];
+        if !k.is_power_of_two() {
+            return Err(CircError::BadBlockSize(k));
+        }
+        let mut w = vec![0.0f32; k];
+        for (d, slot) in w.iter_mut().enumerate() {
+            let mut acc = 0.0f32;
+            for s in 0..k {
+                acc += dense.at(&[s, (s + d) % k]);
+            }
+            *slot = acc / k as f32;
+        }
+        Self::from_first_row(w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0) * 0.8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matvec_matches_dense_reference() {
+        for k in [1usize, 2, 4, 8, 32, 128] {
+            let w = CirculantMatrix::from_first_row(seeded(k, k as u64)).unwrap();
+            let x = seeded(k, 100 + k as u64);
+            let fast = w.matvec(&x).unwrap();
+            let dense = w.to_dense().matvec(&x);
+            for (a, b) in fast.iter().zip(&dense) {
+                assert!((a - b).abs() < 1e-4, "k = {k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        let k = 16;
+        let w = CirculantMatrix::from_first_row(seeded(k, 1)).unwrap();
+        let y = seeded(k, 2);
+        let fast = w.matvec_t(&y).unwrap();
+        let dense = w.to_dense().transpose().matvec(&y);
+        for (a, b) in fast.iter().zip(&dense) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn adjoint_identity() {
+        // ⟨Wx, y⟩ = ⟨x, Wᵀy⟩
+        let k = 8;
+        let w = CirculantMatrix::from_first_row(seeded(k, 3)).unwrap();
+        let x = seeded(k, 4);
+        let y = seeded(k, 5);
+        let lhs: f32 = w.matvec(&x).unwrap().iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(&w.matvec_t(&y).unwrap()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-4);
+    }
+
+    #[test]
+    fn identity_circulant() {
+        let mut e = vec![0.0f32; 8];
+        e[0] = 1.0;
+        let w = CirculantMatrix::from_first_row(e).unwrap();
+        let x = seeded(8, 6);
+        let y = w.matvec(&x).unwrap();
+        for (a, b) in y.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn projection_of_circulant_is_identity() {
+        let w = CirculantMatrix::from_first_row(seeded(8, 7)).unwrap();
+        let back = CirculantMatrix::project_from_dense(&w.to_dense()).unwrap();
+        for (a, b) in w.first_row().iter().zip(back.first_row()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn projection_minimizes_frobenius_error() {
+        // For any dense M, the projection P satisfies ⟨M − P, C⟩ = 0 for all
+        // circulant C; spot-check that perturbing the projection only
+        // increases the error.
+        let dense = Tensor::from_vec(seeded(16, 8), &[4, 4]);
+        let proj = CirculantMatrix::project_from_dense(&dense).unwrap();
+        let err = |c: &CirculantMatrix| -> f32 {
+            c.to_dense()
+                .data()
+                .iter()
+                .zip(dense.data())
+                .map(|(a, b)| (a - b).powi(2))
+                .sum()
+        };
+        let base = err(&proj);
+        for d in 0..4 {
+            for delta in [0.05f32, -0.05] {
+                let mut w = proj.first_row().to_vec();
+                w[d] += delta;
+                let perturbed = CirculantMatrix::from_first_row(w).unwrap();
+                assert!(err(&perturbed) > base, "projection not optimal at {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(matches!(
+            CirculantMatrix::from_first_row(vec![1.0; 3]),
+            Err(CircError::BadBlockSize(3))
+        ));
+        assert!(CirculantMatrix::from_first_row(Vec::new()).is_err());
+        let w = CirculantMatrix::from_first_row(vec![1.0; 4]).unwrap();
+        assert!(w.matvec(&[0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn spectrum_has_half_plus_one_bins() {
+        let w = CirculantMatrix::from_first_row(vec![1.0; 16]).unwrap();
+        assert_eq!(w.spectrum().len(), 9);
+    }
+}

@@ -1,0 +1,255 @@
+//! Storage accounting — the numbers behind Fig. 7.
+//!
+//! The paper's Fig. 7(a) baseline is "original DCNN models with
+//! unstructured weight matrices using 32-bit floating point
+//! representations"; the compressed models use block-circulant vectors with
+//! 16-bit quantization, so the storage ratio is
+//! `(m·n·32) / (p·q·k·16)` per FC layer, and analogously for CONV layers
+//! whose filter tensors are circulant across channels.
+
+/// Bit width of the dense fp32 baseline.
+pub const DENSE_BITS: u32 = 32;
+/// The paper's default quantized weight width (§4.2).
+pub const QUANT_BITS: u32 = 16;
+
+/// Storage accounting for one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerStorage {
+    /// Human-readable layer name (e.g. `"fc6"`).
+    pub name: String,
+    /// Kind tag used by model-level roll-ups.
+    pub kind: LayerKind,
+    /// Parameter count of the uncompressed layer.
+    pub dense_params: u64,
+    /// Parameter count after block-circulant compression.
+    pub compressed_params: u64,
+    /// Bits per weight in the baseline (32 in the paper).
+    pub dense_bits: u32,
+    /// Bits per weight after quantization (16 in the paper).
+    pub compressed_bits: u32,
+}
+
+/// Which network component a [`LayerStorage`] entry describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayerKind {
+    /// Fully-connected layer.
+    Fc,
+    /// Convolutional layer.
+    Conv,
+    /// Anything else with parameters (bias vectors are ignored as the paper
+    /// does — they are `O(n)` either way).
+    Other,
+}
+
+impl LayerStorage {
+    /// Bytes of the dense fp32 layer.
+    pub fn dense_bytes(&self) -> u64 {
+        self.dense_params * u64::from(self.dense_bits) / 8
+    }
+
+    /// Bytes after compression + quantization.
+    pub fn compressed_bytes(&self) -> u64 {
+        self.compressed_params * u64::from(self.compressed_bits) / 8
+    }
+
+    /// Parameter-count reduction factor.
+    pub fn param_ratio(&self) -> f64 {
+        self.dense_params as f64 / self.compressed_params.max(1) as f64
+    }
+
+    /// Storage reduction factor (parameters × bit-width).
+    pub fn storage_ratio(&self) -> f64 {
+        self.dense_bytes() as f64 / self.compressed_bytes().max(1) as f64
+    }
+}
+
+/// Accounting for a block-circulant FC layer `m×n` with block `k`.
+pub fn fc_storage(name: &str, m: usize, n: usize, k: usize) -> LayerStorage {
+    let p = m.div_ceil(k) as u64;
+    let q = n.div_ceil(k) as u64;
+    LayerStorage {
+        name: name.to_owned(),
+        kind: LayerKind::Fc,
+        dense_params: (m * n) as u64,
+        compressed_params: p * q * k as u64,
+        dense_bits: DENSE_BITS,
+        compressed_bits: QUANT_BITS,
+    }
+}
+
+/// Accounting for a dense (uncompressed) FC layer — `k = 1`, fp32.
+pub fn fc_storage_dense(name: &str, m: usize, n: usize) -> LayerStorage {
+    LayerStorage {
+        name: name.to_owned(),
+        kind: LayerKind::Fc,
+        dense_params: (m * n) as u64,
+        compressed_params: (m * n) as u64,
+        dense_bits: DENSE_BITS,
+        compressed_bits: DENSE_BITS,
+    }
+}
+
+/// Accounting for a CONV layer with `c` input channels, `p_out` filters,
+/// `r×r` kernels and channel-circulant blocks of size `k`.
+pub fn conv_storage(name: &str, c: usize, p_out: usize, r: usize, k: usize) -> LayerStorage {
+    let pb = p_out.div_ceil(k) as u64;
+    let qb = c.div_ceil(k) as u64;
+    LayerStorage {
+        name: name.to_owned(),
+        kind: LayerKind::Conv,
+        dense_params: (c * p_out * r * r) as u64,
+        compressed_params: (r * r) as u64 * pb * qb * k as u64,
+        dense_bits: DENSE_BITS,
+        compressed_bits: QUANT_BITS,
+    }
+}
+
+/// Accounting for a dense FC layer that is only 16-bit quantized (the
+/// paper's "quantization to the overall network" in the FC-only setting).
+pub fn fc_storage_quantized(name: &str, m: usize, n: usize) -> LayerStorage {
+    LayerStorage {
+        name: name.to_owned(),
+        kind: LayerKind::Fc,
+        dense_params: (m * n) as u64,
+        compressed_params: (m * n) as u64,
+        dense_bits: DENSE_BITS,
+        compressed_bits: QUANT_BITS,
+    }
+}
+
+/// Accounting for a dense CONV layer that is only 16-bit quantized.
+pub fn conv_storage_quantized(name: &str, c: usize, p_out: usize, r: usize) -> LayerStorage {
+    LayerStorage {
+        name: name.to_owned(),
+        kind: LayerKind::Conv,
+        dense_params: (c * p_out * r * r) as u64,
+        compressed_params: (c * p_out * r * r) as u64,
+        dense_bits: DENSE_BITS,
+        compressed_bits: QUANT_BITS,
+    }
+}
+
+/// Accounting for a dense CONV layer (no compression, fp32).
+pub fn conv_storage_dense(name: &str, c: usize, p_out: usize, r: usize) -> LayerStorage {
+    LayerStorage {
+        name: name.to_owned(),
+        kind: LayerKind::Conv,
+        dense_params: (c * p_out * r * r) as u64,
+        compressed_params: (c * p_out * r * r) as u64,
+        dense_bits: DENSE_BITS,
+        compressed_bits: DENSE_BITS,
+    }
+}
+
+/// Whole-model storage roll-up.
+#[derive(Debug, Clone, Default)]
+pub struct ModelStorage {
+    /// Per-layer entries in network order.
+    pub layers: Vec<LayerStorage>,
+}
+
+impl ModelStorage {
+    /// Creates an empty roll-up.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a layer entry (builder style).
+    #[must_use]
+    pub fn with(mut self, layer: LayerStorage) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Total dense bytes.
+    pub fn dense_bytes(&self) -> u64 {
+        self.layers.iter().map(LayerStorage::dense_bytes).sum()
+    }
+
+    /// Total compressed bytes.
+    pub fn compressed_bytes(&self) -> u64 {
+        self.layers.iter().map(LayerStorage::compressed_bytes).sum()
+    }
+
+    /// Whole-model storage reduction.
+    pub fn storage_ratio(&self) -> f64 {
+        self.dense_bytes() as f64 / self.compressed_bytes().max(1) as f64
+    }
+
+    /// Whole-model parameter reduction.
+    pub fn param_ratio(&self) -> f64 {
+        let dense: u64 = self.layers.iter().map(|l| l.dense_params).sum();
+        let comp: u64 = self.layers.iter().map(|l| l.compressed_params).sum();
+        dense as f64 / comp.max(1) as f64
+    }
+
+    /// Storage reduction over FC layers only (the Fig.-7a quantity).
+    pub fn fc_storage_ratio(&self) -> f64 {
+        let dense: u64 =
+            self.layers.iter().filter(|l| l.kind == LayerKind::Fc).map(LayerStorage::dense_bytes).sum();
+        let comp: u64 = self
+            .layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::Fc)
+            .map(LayerStorage::compressed_bytes)
+            .sum();
+        dense as f64 / comp.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fc_ratio_is_block_times_quantization() {
+        // Exact tiling: parameter ratio k, storage ratio 2k.
+        let s = fc_storage("fc", 1024, 2048, 256);
+        assert!((s.param_ratio() - 256.0).abs() < 1e-9);
+        assert!((s.storage_ratio() - 512.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alexnet_fc6_reaches_paper_scale_reduction() {
+        // AlexNet FC6 (9216→4096) at k = 512: parameter ratio 512,
+        // storage ratio 1024 — inside the paper's "400×–4000+×" band.
+        let s = fc_storage("fc6", 4096, 9216, 512);
+        assert!((s.param_ratio() - 512.0).abs() < 1e-9);
+        assert!(s.storage_ratio() > 400.0 && s.storage_ratio() < 4096.0);
+    }
+
+    #[test]
+    fn ragged_tiling_reduces_ratio_slightly() {
+        let s = fc_storage("fc8", 1000, 4096, 256);
+        // p = 4 (ceil 1000/256), q = 16 → 4·16·256 = 16384 params vs
+        // 1000·4096 dense.
+        assert_eq!(s.compressed_params, 16384);
+        assert!(s.param_ratio() < 256.0);
+        assert!(s.param_ratio() > 200.0);
+    }
+
+    #[test]
+    fn conv_ratio_ignores_kernel_size() {
+        let s = conv_storage("conv3", 256, 384, 3, 64);
+        assert!((s.param_ratio() - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dense_entries_have_unit_ratio() {
+        assert_eq!(fc_storage_dense("fc", 100, 100).storage_ratio(), 1.0);
+        assert_eq!(conv_storage_dense("conv", 3, 96, 11).param_ratio(), 1.0);
+    }
+
+    #[test]
+    fn model_rollup_mixes_layers() {
+        let model = ModelStorage::new()
+            .with(conv_storage_dense("conv1", 3, 96, 11))
+            .with(fc_storage("fc6", 4096, 9216, 512))
+            .with(fc_storage("fc7", 4096, 4096, 512));
+        assert!(model.fc_storage_ratio() > 1000.0);
+        // Whole model dominated by the compressed FC layers but diluted by
+        // the dense conv — the Fig. 7(a) "entire DCNN 30–50×" effect.
+        let whole = model.storage_ratio();
+        assert!(whole > 10.0 && whole < model.fc_storage_ratio());
+    }
+}

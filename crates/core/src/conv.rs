@@ -1,0 +1,466 @@
+//! The block-circulant CONV layer (paper §3.2, Eqns. 6–7).
+//!
+//! CirCNN "generalizes the concept of block-circulant structure to the
+//! rank-4 tensor F in the CONV layer, i.e., all the slices of the form
+//! `F(·,·,i,j)` are circulant matrices" — circulant across the
+//! *channel* dimensions `(C, P)`, one circulant structure per kernel offset
+//! `(i, j)`. After the Fig.-6 im2col lowering with channel-fastest column
+//! order, the lowered `Cr²×P` matrix is block-circulant (Eqn. 7), so every
+//! output pixel is computed with the same FFT pipeline as the FC layer.
+//!
+//! Implementation: one [`BlockCirculantMatrix`] of logical shape `P×C` per
+//! kernel offset (`r²` of them). For each output pixel the `r²` operators'
+//! frequency-domain accumulators are summed before a **single** IFFT per
+//! output block — the same IFFT sharing the hardware's peripheral
+//! block performs. Channel spectra are computed **once per input pixel**
+//! and reused by every patch/offset that touches that pixel, which is where
+//! the big constant-factor win over naive per-patch FFTs comes from.
+
+use circnn_fft::Complex;
+use circnn_nn::Layer;
+use circnn_tensor::im2col::ConvGeometry;
+use circnn_tensor::Tensor;
+use rand::Rng;
+
+use crate::error::CircError;
+use crate::matrix::{BlockCirculantMatrix, BlockSpectra};
+
+/// A 2-D convolution layer whose filter bank is circulant across the
+/// channel dimensions, with block size `k`.
+///
+/// # Examples
+///
+/// ```
+/// use circnn_core::CirculantConv2d;
+/// use circnn_nn::Layer;
+/// use circnn_tensor::{init::seeded_rng, Tensor};
+///
+/// # fn main() -> Result<(), circnn_core::CircError> {
+/// let mut rng = seeded_rng(0);
+/// // 16→32 channels, 3×3 kernel, circulant blocks of 16 across channels.
+/// let mut conv = CirculantConv2d::new(&mut rng, 16, 32, 3, 1, 1, 16)?;
+/// let y = conv.forward(&Tensor::ones(&[16, 8, 8]));
+/// assert_eq!(y.dims(), &[32, 8, 8]);
+/// // 16× fewer filter parameters than a dense conv.
+/// assert!((conv.compression_ratio() - 16.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub struct CirculantConv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    /// One `P×C` block-circulant operator per kernel offset (`r²` total),
+    /// offset-major index `kh·r + kw`.
+    engines: Vec<BlockCirculantMatrix>,
+    /// Canonical trainable weights: `r²` slices of `p·q·k` each.
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+    wgrad: Vec<f32>,
+    bgrad: Vec<f32>,
+    dirty: bool,
+    /// Forward caches.
+    geom_cache: Option<ConvGeometry>,
+    pixel_spectra: Option<Vec<BlockSpectra>>,
+}
+
+impl CirculantConv2d {
+    /// Creates a layer with He-style random circulant filters and zero bias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError`] for a non-power-of-two block size or zero
+    /// dimensions.
+    pub fn new<R: Rng>(
+        rng: &mut R,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        block: usize,
+    ) -> Result<Self, CircError> {
+        if kernel == 0 || stride == 0 {
+            return Err(CircError::DimensionMismatch { expected: 1, got: 0 });
+        }
+        let fan_in = in_channels * kernel * kernel;
+        let mut engines = Vec::with_capacity(kernel * kernel);
+        let mut weights = Vec::new();
+        for _ in 0..kernel * kernel {
+            // He variance over the full fan-in C·r², not just C.
+            let mut e = BlockCirculantMatrix::zeros(out_channels, in_channels, block)?;
+            let std = (2.0 / fan_in as f32).sqrt();
+            let w = circnn_tensor::init::normal(rng, &[e.num_parameters()], 0.0, std);
+            e.set_weights(w.data())?;
+            weights.extend_from_slice(e.weights());
+            engines.push(e);
+        }
+        let per_engine = engines[0].num_parameters();
+        Ok(Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            engines,
+            wgrad: vec![0.0; kernel * kernel * per_engine],
+            weights,
+            bias: vec![0.0; out_channels],
+            bgrad: vec![0.0; out_channels],
+            dirty: false,
+            geom_cache: None,
+            pixel_spectra: None,
+        })
+    }
+
+    /// Input channel count `C`.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count `P`.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Circulant block size `k`.
+    pub fn block_size(&self) -> usize {
+        self.engines[0].block_size()
+    }
+
+    /// Filter-parameter compression ratio versus a dense conv layer:
+    /// `C·P / (p·q·k)` (the `r²` factor cancels).
+    pub fn compression_ratio(&self) -> f64 {
+        self.engines[0].compression_ratio()
+    }
+
+    /// Parameters stored per kernel offset.
+    fn per_engine(&self) -> usize {
+        self.engines[0].num_parameters()
+    }
+
+    /// Materializes the lowered dense weight matrix `[P, C·r²]` in im2col
+    /// layout (channel fastest) — directly loadable into
+    /// `circnn_nn::Conv2d::from_weights` for equivalence testing.
+    pub fn to_dense_lowered(&mut self) -> Tensor {
+        self.sync();
+        let (c, p, r) = (self.in_channels, self.out_channels, self.kernel);
+        let patch = c * r * r;
+        let mut lowered = vec![0.0f32; p * patch];
+        for (o, engine) in self.engines.iter().enumerate() {
+            let dense = engine.to_dense(); // [P, C]
+            for pi in 0..p {
+                for ci in 0..c {
+                    lowered[pi * patch + o * c + ci] = dense.at(&[pi, ci]);
+                }
+            }
+        }
+        Tensor::from_vec(lowered, &[p, patch])
+    }
+
+    fn sync(&mut self) {
+        if self.dirty {
+            let per = self.per_engine();
+            for (o, engine) in self.engines.iter_mut().enumerate() {
+                engine
+                    .set_weights(&self.weights[o * per..(o + 1) * per])
+                    .expect("weight slice length fixed at construction");
+            }
+            self.dirty = false;
+        }
+    }
+
+    fn geometry_for(&self, input: &Tensor) -> ConvGeometry {
+        assert_eq!(input.shape().rank(), 3, "conv input must be [C, H, W]");
+        assert_eq!(input.dims()[0], self.in_channels, "input channel mismatch");
+        ConvGeometry::new(
+            self.in_channels,
+            input.dims()[1],
+            input.dims()[2],
+            self.kernel,
+            self.stride,
+            self.padding,
+        )
+    }
+}
+
+impl Layer for CirculantConv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.sync();
+        let geom = self.geometry_for(input);
+        let (h, w) = (geom.height, geom.width);
+        let (oh, ow) = (geom.out_height(), geom.out_width());
+        // Channel spectra once per input pixel (shared across patches).
+        let mut pixel_spectra = Vec::with_capacity(h * w);
+        let mut chans = vec![0.0f32; self.in_channels];
+        for iy in 0..h {
+            for ix in 0..w {
+                for c in 0..self.in_channels {
+                    chans[c] = input.data()[(c * h + iy) * w + ix];
+                }
+                pixel_spectra.push(
+                    self.engines[0].col_spectra(&chans).expect("channel vector length is fixed"),
+                );
+            }
+        }
+        let engine0 = &self.engines[0];
+        let acc_len = engine0.block_rows() * engine0.bins();
+        let mut out = vec![0.0f32; self.out_channels * oh * ow];
+        let mut acc = vec![Complex::zero(); acc_len];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                acc.fill(Complex::zero());
+                for kh in 0..self.kernel {
+                    let iy = (oy * self.stride + kh) as isize - self.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kw in 0..self.kernel {
+                        let ix = (ox * self.stride + kw) as isize - self.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let spec = &pixel_spectra[iy as usize * w + ix as usize];
+                        self.engines[kh * self.kernel + kw].accumulate_forward(spec, &mut acc);
+                    }
+                }
+                let y = engine0.finish_forward(&acc).expect("accumulator sized to engine");
+                for (p, &v) in y.iter().enumerate() {
+                    out[(p * oh + oy) * ow + ox] = v + self.bias[p];
+                }
+            }
+        }
+        self.geom_cache = Some(geom);
+        self.pixel_spectra = Some(pixel_spectra);
+        Tensor::from_vec(out, &[self.out_channels, oh, ow])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        self.sync();
+        let geom = self.geom_cache.expect("backward called before forward");
+        let pixel_spectra =
+            self.pixel_spectra.as_ref().expect("backward called before forward");
+        let (h, w) = (geom.height, geom.width);
+        let (oh, ow) = (geom.out_height(), geom.out_width());
+        assert_eq!(grad_output.dims(), &[self.out_channels, oh, ow], "conv grad shape mismatch");
+        let engine0 = &self.engines[0];
+        let gx_acc_len = engine0.block_cols() * engine0.bins();
+        // Per-input-pixel frequency-domain gradient accumulators.
+        let mut gx_acc = vec![vec![Complex::<f32>::zero(); gx_acc_len]; h * w];
+        let per = self.per_engine();
+        let mut gpatch = vec![0.0f32; self.out_channels];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for p in 0..self.out_channels {
+                    gpatch[p] = grad_output.data()[(p * oh + oy) * ow + ox];
+                }
+                let gspec = engine0.row_spectra(&gpatch).expect("grad vector length is fixed");
+                for (p, &g) in gpatch.iter().enumerate() {
+                    self.bgrad[p] += g;
+                }
+                for kh in 0..self.kernel {
+                    let iy = (oy * self.stride + kh) as isize - self.padding as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    for kw in 0..self.kernel {
+                        let ix = (ox * self.stride + kw) as isize - self.padding as isize;
+                        if ix < 0 || ix >= w as isize {
+                            continue;
+                        }
+                        let o = kh * self.kernel + kw;
+                        let pixel = iy as usize * w + ix as usize;
+                        self.engines[o]
+                            .weight_gradient_spectral(
+                                &gspec,
+                                &pixel_spectra[pixel],
+                                &mut self.wgrad[o * per..(o + 1) * per],
+                            )
+                            .expect("gradient buffers sized at construction");
+                        self.engines[o].accumulate_backward(&gspec, &mut gx_acc[pixel]);
+                    }
+                }
+            }
+        }
+        // One IFFT per input pixel to materialize ∂L/∂x.
+        let mut gx = vec![0.0f32; self.in_channels * h * w];
+        for iy in 0..h {
+            for ix in 0..w {
+                let chans = engine0
+                    .finish_backward(&gx_acc[iy * w + ix])
+                    .expect("accumulator sized to engine");
+                for (c, &v) in chans.iter().enumerate() {
+                    gx[(c * h + iy) * w + ix] = v;
+                }
+            }
+        }
+        Tensor::from_vec(gx, &[self.in_channels, h, w])
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        visitor(&mut self.weights, &mut self.wgrad);
+        visitor(&mut self.bias, &mut self.bgrad);
+        self.dirty = true;
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.len() + self.bias.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "CirculantConv2d"
+    }
+}
+
+impl core::fmt::Debug for CirculantConv2d {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "CirculantConv2d({}→{}, r={}, k={}, {} params)",
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.block_size(),
+            self.weights.len() + self.bias.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circnn_nn::Conv2d;
+    use circnn_tensor::init::seeded_rng;
+
+    /// The key equivalence: a CirculantConv2d must produce *exactly* the
+    /// same output as a dense Conv2d loaded with its materialized filters.
+    #[test]
+    fn forward_matches_equivalent_dense_conv() {
+        let mut rng = seeded_rng(1);
+        let mut circ = CirculantConv2d::new(&mut rng, 4, 8, 3, 1, 1, 4).unwrap();
+        let lowered = circ.to_dense_lowered();
+        let mut dense = Conv2d::from_weights(lowered, vec![0.0; 8], 4, 3, 1, 1);
+        let x = circnn_tensor::init::uniform(&mut rng, &[4, 6, 6], -1.0, 1.0);
+        let yc = circ.forward(&x);
+        let yd = dense.forward(&x);
+        assert_eq!(yc.dims(), yd.dims());
+        for (a, b) in yc.data().iter().zip(yd.data()) {
+            assert!((a - b).abs() < 3e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn strided_and_unpadded_variants_match_dense() {
+        for (stride, padding) in [(2usize, 0usize), (1, 0), (2, 1)] {
+            let mut rng = seeded_rng(2 + stride as u64 + padding as u64);
+            let mut circ =
+                CirculantConv2d::new(&mut rng, 2, 4, 3, stride, padding, 2).unwrap();
+            let lowered = circ.to_dense_lowered();
+            let mut dense = Conv2d::from_weights(lowered, vec![0.0; 4], 2, 3, stride, padding);
+            let x = circnn_tensor::init::uniform(&mut rng, &[2, 7, 7], -1.0, 1.0);
+            let yc = circ.forward(&x);
+            let yd = dense.forward(&x);
+            for (a, b) in yc.data().iter().zip(yd.data()) {
+                assert!((a - b).abs() < 3e-4, "stride {stride} pad {padding}");
+            }
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        use circnn_nn::Layer as _;
+        let mut rng = seeded_rng(3);
+        let mut conv = CirculantConv2d::new(&mut rng, 2, 4, 3, 1, 1, 2).unwrap();
+        let x = circnn_tensor::init::uniform(&mut rng, &[2, 4, 4], -1.0, 1.0);
+        let cw = |n: usize| -> Vec<f32> {
+            (0..n).map(|i| (((i * 2654435761) % 1000) as f32 / 500.0) - 1.0).collect()
+        };
+        let out = conv.forward(&x);
+        let c = cw(out.len());
+        let grad_out = Tensor::from_vec(c.clone(), out.dims());
+        conv.zero_grads();
+        let gx = conv.backward(&grad_out);
+        let mut analytic: Vec<Vec<f32>> = Vec::new();
+        conv.visit_params(&mut |_, g| analytic.push(g.to_vec()));
+        let eps = 1e-2f32;
+        let loss = |conv: &mut CirculantConv2d, x: &Tensor| -> f32 {
+            let out = conv.forward(x);
+            out.data().iter().zip(&c).map(|(&y, &w)| y * w).sum()
+        };
+        // Input gradient (subsample for speed).
+        for i in (0..x.len()).step_by(3) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let numeric = (loss(&mut conv, &xp) - loss(&mut conv, &xm)) / (2.0 * eps);
+            assert!(
+                (gx.data()[i] - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                "input grad {i}: {} vs {numeric}",
+                gx.data()[i]
+            );
+        }
+        // Parameter gradients (subsample).
+        for group in 0..analytic.len() {
+            let len = analytic[group].len();
+            for idx in (0..len).step_by(if group == 0 { 5 } else { 1 }) {
+                let nudge = |delta: f32, conv: &mut CirculantConv2d| {
+                    let mut g = 0;
+                    conv.visit_params(&mut |p, _| {
+                        if g == group {
+                            p[idx] += delta;
+                        }
+                        g += 1;
+                    });
+                };
+                nudge(eps, &mut conv);
+                let lp = loss(&mut conv, &x);
+                nudge(-2.0 * eps, &mut conv);
+                let lm = loss(&mut conv, &x);
+                nudge(eps, &mut conv);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = analytic[group][idx];
+                assert!(
+                    (a - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
+                    "param grad group {group} idx {idx}: {a} vs {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compression_ratio_is_channel_blocked() {
+        let mut rng = seeded_rng(4);
+        let conv = CirculantConv2d::new(&mut rng, 64, 128, 3, 1, 1, 32).unwrap();
+        assert!((conv.compression_ratio() - 32.0).abs() < 1e-9);
+        use circnn_nn::Layer as _;
+        // Dense: 128·64·9 = 73728 weights; circulant: 9·(4·2·32) = 2304.
+        assert_eq!(conv.param_count(), 9 * (128 / 32) * (64 / 32) * 32 + 128);
+    }
+
+    #[test]
+    fn single_input_channel_degenerates_gracefully() {
+        // C = 1 (LeNet-5 conv1): circulant over a 1-wide dimension still works.
+        let mut rng = seeded_rng(5);
+        let mut conv = CirculantConv2d::new(&mut rng, 1, 4, 3, 1, 0, 1).unwrap();
+        use circnn_nn::Layer as _;
+        let y = conv.forward(&Tensor::ones(&[1, 5, 5]));
+        assert_eq!(y.dims(), &[4, 3, 3]);
+    }
+
+    #[test]
+    fn optimizer_round_trip_updates_output() {
+        use circnn_nn::{Layer as _, Optimizer, Sgd};
+        let mut rng = seeded_rng(6);
+        let mut conv = CirculantConv2d::new(&mut rng, 2, 2, 3, 1, 1, 2).unwrap();
+        let x = Tensor::ones(&[2, 4, 4]);
+        let y0 = conv.forward(&x).data().to_vec();
+        conv.zero_grads();
+        conv.backward(&Tensor::ones(&[2, 4, 4]));
+        Sgd::new(0.1, 0.0).step(&mut conv);
+        let y1 = conv.forward(&x).data().to_vec();
+        assert_ne!(y0, y1);
+    }
+}

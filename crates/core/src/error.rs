@@ -1,0 +1,88 @@
+//! Error type for block-circulant construction and application.
+
+use core::fmt;
+
+use circnn_fft::FftError;
+
+/// Errors returned by the block-circulant operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CircError {
+    /// Block size must be a nonzero power of two (radix-2 FFT plans).
+    BadBlockSize(usize),
+    /// A vector passed to an operator has the wrong length.
+    DimensionMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// A weight buffer does not match `p·q·k` (or the conv equivalent).
+    BadWeightLength {
+        /// Expected length.
+        expected: usize,
+        /// Provided length.
+        got: usize,
+    },
+    /// Underlying FFT failure (propagated).
+    Fft(FftError),
+}
+
+impl fmt::Display for CircError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircError::BadBlockSize(k) => {
+                write!(f, "block size {k} is not a nonzero power of two")
+            }
+            CircError::DimensionMismatch { expected, got } => {
+                write!(f, "vector length {got} does not match operator dimension {expected}")
+            }
+            CircError::BadWeightLength { expected, got } => {
+                write!(f, "weight buffer length {got} does not match parameter count {expected}")
+            }
+            CircError::Fft(e) => write!(f, "fft error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CircError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CircError::Fft(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FftError> for CircError {
+    fn from(e: FftError) -> Self {
+        CircError::Fft(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let errs: Vec<CircError> = vec![
+            CircError::BadBlockSize(12),
+            CircError::DimensionMismatch { expected: 8, got: 4 },
+            CircError::BadWeightLength { expected: 64, got: 32 },
+            CircError::Fft(FftError::ZeroLength),
+        ];
+        for e in errs {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn fft_errors_convert_and_chain() {
+        let e: CircError = FftError::NotPowerOfTwo(3).into();
+        assert!(matches!(e, CircError::Fft(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,849 @@
+//! The block-circulant operator: CirCNN's weight representation.
+//!
+//! An `m×n` matrix is partitioned into `p×q` circulant blocks of size `k`
+//! (`p = ⌈m/k⌉`, `q = ⌈n/k⌉`; ragged edges are zero-padded, which the
+//! paper's Fig. 4 contrasts against the wasteful whole-matrix padding of
+//! [54]). Only the `p·q·k` defining vectors are stored, plus their cached
+//! spectra `FFT(w_ij)` — mirroring the hardware, where "RAM … is used to
+//! store weights, e.g., the FFT results FFT(w_ij)" (§4.2).
+//!
+//! The computational kernels are exactly the paper's:
+//!
+//! * **Algorithm 1 (forward)** — `a_i = IFFT(Σ_j FFT(w_ij)* ∘ FFT(x_j))`,
+//!   with the frequency-domain accumulation so each output block needs one
+//!   IFFT rather than `q` (the sum moves inside the IFFT by linearity;
+//!   [`BlockCirculantMatrix::matvec_naive`] keeps the literal per-block
+//!   IFFT variant for the ablation bench).
+//! * **transpose apply** — `(Wᵀy)_j = IFFT(Σ_i FFT(w_ij) ∘ FFT(y_i))`,
+//!   the `∂L/∂x` half of Algorithm 2.
+//! * **weight gradient** — `∂L/∂w_ij = IFFT(conj(FFT(g_i)) ∘ FFT(x_j))`,
+//!   the other half of Algorithm 2.
+//!
+//! The `accumulate_*`/`finish_*` split exposes the frequency-domain
+//! accumulators directly so composite operators — the CONV layer sums `r²`
+//! block-circulant products per output pixel (Eqn. 7) — can share a single
+//! IFFT per output block, just like the hardware shares its IFFT stage.
+
+use circnn_fft::{Complex, RealFftPlan};
+use circnn_nn::LinearOp;
+use circnn_tensor::Tensor;
+use rand::Rng;
+
+use crate::error::CircError;
+
+/// Per-block spectra of a padded vector (`count` blocks × `bins` bins).
+///
+/// Produced by [`BlockCirculantMatrix::col_spectra`] (input side, `q`
+/// blocks) or [`BlockCirculantMatrix::row_spectra`] (output side, `p`
+/// blocks) and consumed by the spectral kernels. Caching these across the
+/// forward/backward pair is the software analogue of the paper's reuse of
+/// `FFT(x_j)` in Algorithm 2.
+#[derive(Debug, Clone)]
+pub struct BlockSpectra {
+    bins: usize,
+    count: usize,
+    data: Vec<Complex<f32>>,
+}
+
+impl BlockSpectra {
+    /// Number of blocks.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Spectrum bins per block (`k/2 + 1`).
+    #[inline]
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Spectrum of block `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.count()`.
+    #[inline]
+    pub fn block(&self, j: usize) -> &[Complex<f32>] {
+        &self.data[j * self.bins..(j + 1) * self.bins]
+    }
+}
+
+/// An `m×n` block-circulant matrix with block size `k`.
+///
+/// # Examples
+///
+/// ```
+/// use circnn_core::BlockCirculantMatrix;
+///
+/// # fn main() -> Result<(), circnn_core::CircError> {
+/// let w = BlockCirculantMatrix::zeros(6, 10, 4)?; // ragged: blocks pad to 8×12
+/// assert_eq!(w.block_rows(), 2);
+/// assert_eq!(w.block_cols(), 3);
+/// assert_eq!(w.num_parameters(), 2 * 3 * 4);
+/// assert_eq!(w.matvec(&vec![1.0; 10])?.len(), 6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BlockCirculantMatrix {
+    m: usize,
+    n: usize,
+    k: usize,
+    p: usize,
+    q: usize,
+    bins: usize,
+    /// Defining vectors, block-row-major: block `(i, j)` at
+    /// `[(i·q + j)·k .. +k]`. Convention: first **row** of each block.
+    weights: Vec<f32>,
+    /// Cached `FFT(w_ij)`, same block order, `bins` complex values each.
+    spectra: Vec<Complex<f32>>,
+    plan: RealFftPlan<f32>,
+}
+
+impl BlockCirculantMatrix {
+    fn validated(m: usize, n: usize, k: usize) -> Result<(usize, usize, usize), CircError> {
+        if k == 0 || !k.is_power_of_two() {
+            return Err(CircError::BadBlockSize(k));
+        }
+        if m == 0 || n == 0 {
+            return Err(CircError::DimensionMismatch { expected: 1, got: 0 });
+        }
+        Ok((m.div_ceil(k), n.div_ceil(k), k / 2 + 1))
+    }
+
+    /// An all-zero operator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::BadBlockSize`] unless `k` is a nonzero power of
+    /// two, or [`CircError::DimensionMismatch`] if `m` or `n` is zero.
+    pub fn zeros(m: usize, n: usize, k: usize) -> Result<Self, CircError> {
+        let (p, q, bins) = Self::validated(m, n, k)?;
+        Ok(Self {
+            m,
+            n,
+            k,
+            p,
+            q,
+            bins,
+            weights: vec![0.0; p * q * k],
+            spectra: vec![Complex::zero(); p * q * bins],
+            plan: RealFftPlan::new(k)?,
+        })
+    }
+
+    /// He-style random initialization: each defining-vector entry is
+    /// `N(0, √(2/n))`, matching the output variance of a dense He init
+    /// (each output sums `n` weighted inputs either way).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BlockCirculantMatrix::zeros`].
+    pub fn random<R: Rng>(rng: &mut R, m: usize, n: usize, k: usize) -> Result<Self, CircError> {
+        let mut out = Self::zeros(m, n, k)?;
+        let std = (2.0 / n as f32).sqrt();
+        let w = circnn_tensor::init::normal(rng, &[out.weights.len()], 0.0, std);
+        out.set_weights(w.data())?;
+        Ok(out)
+    }
+
+    /// Builds from explicit defining vectors (block-row-major, `p·q·k` long).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::BadWeightLength`] on a mis-sized buffer, plus
+    /// the constructor errors of [`BlockCirculantMatrix::zeros`].
+    pub fn from_weights(m: usize, n: usize, k: usize, weights: &[f32]) -> Result<Self, CircError> {
+        let mut out = Self::zeros(m, n, k)?;
+        out.set_weights(weights)?;
+        Ok(out)
+    }
+
+    /// Least-squares projection of a dense matrix onto the block-circulant
+    /// space: each block's defining vector is the mean of the corresponding
+    /// cyclic diagonal (out-of-range entries count as zero).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError`] if `dense` is not rank-2 or `k` is invalid.
+    pub fn project_from_dense(dense: &Tensor, k: usize) -> Result<Self, CircError> {
+        if dense.shape().rank() != 2 {
+            return Err(CircError::DimensionMismatch { expected: 2, got: dense.shape().rank() });
+        }
+        let (m, n) = (dense.dims()[0], dense.dims()[1]);
+        let mut out = Self::zeros(m, n, k)?;
+        let mut weights = vec![0.0f32; out.p * out.q * k];
+        for i in 0..out.p {
+            for j in 0..out.q {
+                for d in 0..k {
+                    // Least-squares projection: average the cyclic diagonal
+                    // over the entries that actually exist after cropping
+                    // (ragged edge blocks have shorter diagonals).
+                    let mut acc = 0.0f32;
+                    let mut valid = 0u32;
+                    for s in 0..k {
+                        let row = i * k + s;
+                        let col = j * k + (s + d) % k;
+                        if row < m && col < n {
+                            acc += dense.at(&[row, col]);
+                            valid += 1;
+                        }
+                    }
+                    weights[(i * out.q + j) * k + d] =
+                        if valid == 0 { 0.0 } else { acc / valid as f32 };
+                }
+            }
+        }
+        out.set_weights(&weights)?;
+        Ok(out)
+    }
+
+    /// Logical row count `m`.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Logical column count `n`.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// Block size `k`.
+    #[inline]
+    pub fn block_size(&self) -> usize {
+        self.k
+    }
+
+    /// Number of block rows `p = ⌈m/k⌉`.
+    #[inline]
+    pub fn block_rows(&self) -> usize {
+        self.p
+    }
+
+    /// Number of block columns `q = ⌈n/k⌉`.
+    #[inline]
+    pub fn block_cols(&self) -> usize {
+        self.q
+    }
+
+    /// Spectrum bins per block, `k/2 + 1`.
+    #[inline]
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// Stored parameter count `p·q·k` — the `O(n)` storage claim.
+    #[inline]
+    pub fn num_parameters(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Parameter count of the dense equivalent, `m·n`.
+    #[inline]
+    pub fn dense_parameters(&self) -> usize {
+        self.m * self.n
+    }
+
+    /// Parameter compression ratio `m·n / (p·q·k)` (≈ `k` when `k` divides
+    /// both dimensions).
+    pub fn compression_ratio(&self) -> f64 {
+        self.dense_parameters() as f64 / self.num_parameters() as f64
+    }
+
+    /// The defining vectors (block-row-major).
+    #[inline]
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Replaces all defining vectors and refreshes the cached spectra.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::BadWeightLength`] if the buffer size differs
+    /// from [`BlockCirculantMatrix::num_parameters`].
+    pub fn set_weights(&mut self, weights: &[f32]) -> Result<(), CircError> {
+        if weights.len() != self.weights.len() {
+            return Err(CircError::BadWeightLength {
+                expected: self.weights.len(),
+                got: weights.len(),
+            });
+        }
+        self.weights.copy_from_slice(weights);
+        self.refresh_spectra()
+    }
+
+    /// Recomputes every cached spectrum from the time-domain weights.
+    fn refresh_spectra(&mut self) -> Result<(), CircError> {
+        let mut scratch = vec![Complex::zero(); self.k / 2];
+        for b in 0..self.p * self.q {
+            self.plan.forward_with_scratch(
+                &self.weights[b * self.k..(b + 1) * self.k],
+                &mut self.spectra[b * self.bins..(b + 1) * self.bins],
+                &mut scratch,
+            )?;
+        }
+        Ok(())
+    }
+
+    fn spectrum_block(&self, i: usize, j: usize) -> &[Complex<f32>] {
+        let b = i * self.q + j;
+        &self.spectra[b * self.bins..(b + 1) * self.bins]
+    }
+
+    fn block_spectra_of(&self, v: &[f32], logical: usize, count: usize) -> Result<BlockSpectra, CircError> {
+        if v.len() != logical {
+            return Err(CircError::DimensionMismatch { expected: logical, got: v.len() });
+        }
+        let mut pad = vec![0.0f32; count * self.k];
+        pad[..logical].copy_from_slice(v);
+        let mut data = vec![Complex::zero(); count * self.bins];
+        let mut scratch = vec![Complex::zero(); self.k / 2];
+        for b in 0..count {
+            self.plan.forward_with_scratch(
+                &pad[b * self.k..(b + 1) * self.k],
+                &mut data[b * self.bins..(b + 1) * self.bins],
+                &mut scratch,
+            )?;
+        }
+        Ok(BlockSpectra { bins: self.bins, count, data })
+    }
+
+    /// Spectra of an input-side vector (`n` logical values, `q` blocks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn col_spectra(&self, x: &[f32]) -> Result<BlockSpectra, CircError> {
+        self.block_spectra_of(x, self.n, self.q)
+    }
+
+    /// Spectra of an output-side vector (`m` logical values, `p` blocks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] if `y.len() != self.rows()`.
+    pub fn row_spectra(&self, y: &[f32]) -> Result<BlockSpectra, CircError> {
+        self.block_spectra_of(y, self.m, self.p)
+    }
+
+    /// Frequency-domain half of Algorithm 1:
+    /// `acc_i += Σ_j conj(FFT(w_ij)) ∘ X_j` for every output block `i`.
+    ///
+    /// `acc` must hold `p·bins` values; callers may accumulate several
+    /// operators (the CONV layer sums `r²` of them) before one
+    /// [`BlockCirculantMatrix::finish_forward`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `acc` or `x` have mismatched sizes (internal invariant;
+    /// the public wrappers validate lengths).
+    pub fn accumulate_forward(&self, x: &BlockSpectra, acc: &mut [Complex<f32>]) {
+        assert_eq!(x.count(), self.q, "input spectra block count mismatch");
+        assert_eq!(x.bins(), self.bins, "spectra bin count mismatch");
+        assert_eq!(acc.len(), self.p * self.bins, "accumulator size mismatch");
+        for i in 0..self.p {
+            let out = &mut acc[i * self.bins..(i + 1) * self.bins];
+            for j in 0..self.q {
+                let w = self.spectrum_block(i, j);
+                let xb = x.block(j);
+                for b in 0..self.bins {
+                    out[b] += w[b].conj() * xb[b];
+                }
+            }
+        }
+    }
+
+    /// IFFT half of Algorithm 1: one inverse transform per output block,
+    /// truncated to the logical `m` rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] if `acc.len() != p·bins`.
+    pub fn finish_forward(&self, acc: &[Complex<f32>]) -> Result<Vec<f32>, CircError> {
+        if acc.len() != self.p * self.bins {
+            return Err(CircError::DimensionMismatch {
+                expected: self.p * self.bins,
+                got: acc.len(),
+            });
+        }
+        let mut y = vec![0.0f32; self.p * self.k];
+        let mut scratch = vec![Complex::zero(); self.k / 2];
+        for i in 0..self.p {
+            self.plan.inverse_with_scratch(
+                &acc[i * self.bins..(i + 1) * self.bins],
+                &mut y[i * self.k..(i + 1) * self.k],
+                &mut scratch,
+            )?;
+        }
+        y.truncate(self.m);
+        Ok(y)
+    }
+
+    /// Frequency-domain transpose accumulation (the `∂L/∂x` direction):
+    /// `acc_j += Σ_i FFT(w_ij) ∘ G_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on internal size mismatches (public wrappers validate).
+    pub fn accumulate_backward(&self, g: &BlockSpectra, acc: &mut [Complex<f32>]) {
+        assert_eq!(g.count(), self.p, "grad spectra block count mismatch");
+        assert_eq!(g.bins(), self.bins, "spectra bin count mismatch");
+        assert_eq!(acc.len(), self.q * self.bins, "accumulator size mismatch");
+        for j in 0..self.q {
+            let out = &mut acc[j * self.bins..(j + 1) * self.bins];
+            for i in 0..self.p {
+                let w = self.spectrum_block(i, j);
+                let gb = g.block(i);
+                for b in 0..self.bins {
+                    out[b] += w[b] * gb[b];
+                }
+            }
+        }
+    }
+
+    /// IFFT half of the transpose apply, truncated to `n` columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] if `acc.len() != q·bins`.
+    pub fn finish_backward(&self, acc: &[Complex<f32>]) -> Result<Vec<f32>, CircError> {
+        if acc.len() != self.q * self.bins {
+            return Err(CircError::DimensionMismatch {
+                expected: self.q * self.bins,
+                got: acc.len(),
+            });
+        }
+        let mut x = vec![0.0f32; self.q * self.k];
+        let mut scratch = vec![Complex::zero(); self.k / 2];
+        for j in 0..self.q {
+            self.plan.inverse_with_scratch(
+                &acc[j * self.bins..(j + 1) * self.bins],
+                &mut x[j * self.k..(j + 1) * self.k],
+                &mut scratch,
+            )?;
+        }
+        x.truncate(self.n);
+        Ok(x)
+    }
+
+    /// `W·x` — Algorithm 1 with frequency-domain accumulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[f32]) -> Result<Vec<f32>, CircError> {
+        Ok(self.forward_cached(x)?.0)
+    }
+
+    /// `W·x`, also returning the input spectra for reuse in Algorithm 2.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn forward_cached(&self, x: &[f32]) -> Result<(Vec<f32>, BlockSpectra), CircError> {
+        let xs = self.col_spectra(x)?;
+        let mut acc = vec![Complex::zero(); self.p * self.bins];
+        self.accumulate_forward(&xs, &mut acc);
+        let y = self.finish_forward(&acc)?;
+        Ok((y, xs))
+    }
+
+    /// Algorithm 1 exactly as printed in the paper: one IFFT **per block**,
+    /// accumulating in the time domain. Mathematically identical to
+    /// [`BlockCirculantMatrix::matvec`] but does `p·q` IFFTs instead of `p`;
+    /// kept for the frequency-domain-accumulation ablation bench.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] if `x.len() != self.cols()`.
+    pub fn matvec_naive(&self, x: &[f32]) -> Result<Vec<f32>, CircError> {
+        let xs = self.col_spectra(x)?;
+        let mut y = vec![0.0f32; self.p * self.k];
+        let mut prod = vec![Complex::zero(); self.bins];
+        let mut block_out = vec![0.0f32; self.k];
+        let mut scratch = vec![Complex::zero(); self.k / 2];
+        for i in 0..self.p {
+            for j in 0..self.q {
+                let w = self.spectrum_block(i, j);
+                let xb = xs.block(j);
+                for b in 0..self.bins {
+                    prod[b] = w[b].conj() * xb[b];
+                }
+                self.plan.inverse_with_scratch(&prod, &mut block_out, &mut scratch)?;
+                for (slot, &v) in y[i * self.k..(i + 1) * self.k].iter_mut().zip(&block_out) {
+                    *slot += v;
+                }
+            }
+        }
+        y.truncate(self.m);
+        Ok(y)
+    }
+
+    /// `Wᵀ·y` — the `∂L/∂x` kernel of Algorithm 2 (also the visible-unit
+    /// pass of an RBM).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] if `y.len() != self.rows()`.
+    pub fn matvec_t(&self, y: &[f32]) -> Result<Vec<f32>, CircError> {
+        let gs = self.row_spectra(y)?;
+        let mut acc = vec![Complex::zero(); self.q * self.bins];
+        self.accumulate_backward(&gs, &mut acc);
+        self.finish_backward(&acc)
+    }
+
+    /// Algorithm 2's weight-gradient kernel with both spectra precomputed:
+    /// `∂L/∂w_ij += IFFT(conj(G_i) ∘ X_j)`, accumulated into `accum`
+    /// (laid out like [`BlockCirculantMatrix::weights`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::BadWeightLength`] if `accum` is mis-sized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spectra block counts do not match this operator.
+    pub fn weight_gradient_spectral(
+        &self,
+        g: &BlockSpectra,
+        x: &BlockSpectra,
+        accum: &mut [f32],
+    ) -> Result<(), CircError> {
+        assert_eq!(g.count(), self.p, "grad spectra block count mismatch");
+        assert_eq!(x.count(), self.q, "input spectra block count mismatch");
+        if accum.len() != self.weights.len() {
+            return Err(CircError::BadWeightLength {
+                expected: self.weights.len(),
+                got: accum.len(),
+            });
+        }
+        let mut prod = vec![Complex::zero(); self.bins];
+        let mut block = vec![0.0f32; self.k];
+        let mut scratch = vec![Complex::zero(); self.k / 2];
+        for i in 0..self.p {
+            let gb = g.block(i);
+            for j in 0..self.q {
+                let xb = x.block(j);
+                for b in 0..self.bins {
+                    prod[b] = gb[b].conj() * xb[b];
+                }
+                self.plan.inverse_with_scratch(&prod, &mut block, &mut scratch)?;
+                let base = (i * self.q + j) * self.k;
+                for (slot, &v) in accum[base..base + self.k].iter_mut().zip(&block) {
+                    *slot += v;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Algorithm 2's weight-gradient kernel from a raw output gradient;
+    /// `x_spectra` must come from [`BlockCirculantMatrix::forward_cached`]
+    /// on the input that produced `grad_output`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError`] on any length mismatch.
+    pub fn weight_gradient(
+        &self,
+        grad_output: &[f32],
+        x_spectra: &BlockSpectra,
+        accum: &mut [f32],
+    ) -> Result<(), CircError> {
+        let gs = self.row_spectra(grad_output)?;
+        self.weight_gradient_spectral(&gs, x_spectra, accum)
+    }
+
+    /// Materializes the dense `m×n` equivalent (tests and inspection only —
+    /// this is the `O(n²)` object the representation exists to avoid).
+    pub fn to_dense(&self) -> Tensor {
+        let mut dense = vec![0.0f32; self.m * self.n];
+        for i in 0..self.p {
+            for j in 0..self.q {
+                let w = &self.weights[(i * self.q + j) * self.k..(i * self.q + j + 1) * self.k];
+                for s in 0..self.k {
+                    let row = i * self.k + s;
+                    if row >= self.m {
+                        break;
+                    }
+                    for t in 0..self.k {
+                        let col = j * self.k + t;
+                        if col < self.n {
+                            dense[row * self.n + col] = w[(t + self.k - s) % self.k];
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(dense, &[self.m, self.n])
+    }
+}
+
+impl LinearOp for BlockCirculantMatrix {
+    fn out_dim(&self) -> usize {
+        self.m
+    }
+
+    fn in_dim(&self) -> usize {
+        self.n
+    }
+
+    fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        BlockCirculantMatrix::matvec(self, x).expect("dimension mismatch in LinearOp::matvec")
+    }
+
+    fn rmatvec(&self, y: &[f32]) -> Vec<f32> {
+        self.matvec_t(y).expect("dimension mismatch in LinearOp::rmatvec")
+    }
+
+    fn outer_update(&mut self, h: &[f32], v: &[f32], scale: f32) {
+        // Project the rank-1 update h·vᵀ onto the block-circulant subspace:
+        // per block, Δw_ij = scale·corr(h_i, v_j) — the same kernel as the
+        // Algorithm-2 weight gradient.
+        let xs = self.col_spectra(v).expect("dimension mismatch in outer_update (v)");
+        let mut delta = vec![0.0f32; self.weights.len()];
+        self.weight_gradient(h, &xs, &mut delta)
+            .expect("dimension mismatch in outer_update (h)");
+        for (w, d) in self.weights.iter_mut().zip(&delta) {
+            *w += scale * d;
+        }
+        self.refresh_spectra().expect("spectra refresh cannot fail after construction");
+    }
+
+    fn param_count(&self) -> usize {
+        self.num_parameters()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circnn_tensor::init::seeded_rng;
+
+    fn seeded(n: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0) * 0.6
+            })
+            .collect()
+    }
+
+    fn random_bcm(m: usize, n: usize, k: usize, seed: u64) -> BlockCirculantMatrix {
+        let mut rng = seeded_rng(seed);
+        BlockCirculantMatrix::random(&mut rng, m, n, k).unwrap()
+    }
+
+    #[test]
+    fn matvec_matches_dense_for_exact_tiling() {
+        for (m, n, k) in [(8, 8, 4), (16, 32, 8), (64, 16, 16), (4, 4, 4), (6, 6, 2)] {
+            let w = random_bcm(m, n, k, (m * n * k) as u64);
+            let x = seeded(n, 9);
+            let fast = w.matvec(&x).unwrap();
+            let dense = w.to_dense().matvec(&x);
+            for (a, b) in fast.iter().zip(&dense) {
+                assert!((a - b).abs() < 2e-4, "({m},{n},{k}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_matches_dense_for_ragged_dims() {
+        // m, n not multiples of k — the Fig.-4 case block partitioning handles.
+        for (m, n, k) in [(10, 7, 4), (5, 13, 8), (3, 3, 4), (17, 9, 16)] {
+            let w = random_bcm(m, n, k, (m + 31 * n + 7 * k) as u64);
+            let x = seeded(n, 11);
+            let fast = w.matvec(&x).unwrap();
+            let dense = w.to_dense().matvec(&x);
+            assert_eq!(fast.len(), m);
+            for (a, b) in fast.iter().zip(&dense) {
+                assert!((a - b).abs() < 2e-4, "({m},{n},{k}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn naive_and_accumulated_forward_agree() {
+        let w = random_bcm(24, 40, 8, 5);
+        let x = seeded(40, 6);
+        let fast = w.matvec(&x).unwrap();
+        let naive = w.matvec_naive(&x).unwrap();
+        for (a, b) in fast.iter().zip(&naive) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn transpose_matches_dense_transpose() {
+        for (m, n, k) in [(12, 20, 4), (7, 10, 8)] {
+            let w = random_bcm(m, n, k, 77);
+            let y = seeded(m, 8);
+            let fast = w.matvec_t(&y).unwrap();
+            let dense = w.to_dense().transpose().matvec(&y);
+            for (a, b) in fast.iter().zip(&dense) {
+                assert!((a - b).abs() < 2e-4, "({m},{n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn adjoint_identity_holds() {
+        let w = random_bcm(14, 22, 8, 13);
+        let x = seeded(22, 1);
+        let y = seeded(14, 2);
+        let lhs: f32 = w.matvec(&x).unwrap().iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(&w.matvec_t(&y).unwrap()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn weight_gradient_matches_finite_differences() {
+        let (m, n, k) = (6, 8, 4);
+        let w = random_bcm(m, n, k, 21);
+        let x = seeded(n, 3);
+        let g = seeded(m, 4);
+        let (_, xs) = w.forward_cached(&x).unwrap();
+        let mut analytic = vec![0.0f32; w.num_parameters()];
+        w.weight_gradient(&g, &xs, &mut analytic).unwrap();
+        // Numeric: L = Σ g_i·(Wx)_i ; perturb each defining weight.
+        let eps = 1e-2f32;
+        for idx in 0..w.num_parameters() {
+            let mut wp = w.weights().to_vec();
+            wp[idx] += eps;
+            let plus = BlockCirculantMatrix::from_weights(m, n, k, &wp).unwrap();
+            wp[idx] -= 2.0 * eps;
+            let minus = BlockCirculantMatrix::from_weights(m, n, k, &wp).unwrap();
+            let lp: f32 = plus.matvec(&x).unwrap().iter().zip(&g).map(|(a, b)| a * b).sum();
+            let lm: f32 = minus.matvec(&x).unwrap().iter().zip(&g).map(|(a, b)| a * b).sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic[idx] - numeric).abs() < 1e-2 * numeric.abs().max(1.0),
+                "weight {idx}: analytic {} vs numeric {numeric}",
+                analytic[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn spectral_accumulators_compose_linearly() {
+        // Summing two operators' accumulators then one IFFT must equal the
+        // sum of their separate matvecs — the property the CONV layer
+        // (Eqn. 7) relies on to share IFFTs across the r² kernel offsets.
+        let a = random_bcm(12, 8, 4, 101);
+        let b = random_bcm(12, 8, 4, 102);
+        let x1 = seeded(8, 103);
+        let x2 = seeded(8, 104);
+        let xs1 = a.col_spectra(&x1).unwrap();
+        let xs2 = b.col_spectra(&x2).unwrap();
+        let mut acc = vec![Complex::zero(); a.block_rows() * a.bins()];
+        a.accumulate_forward(&xs1, &mut acc);
+        b.accumulate_forward(&xs2, &mut acc);
+        let combined = a.finish_forward(&acc).unwrap();
+        let ya = a.matvec(&x1).unwrap();
+        let yb = b.matvec(&x2).unwrap();
+        for i in 0..12 {
+            assert!((combined[i] - (ya[i] + yb[i])).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn parameter_counts_and_compression() {
+        let w = BlockCirculantMatrix::zeros(4096, 9216, 128).unwrap(); // AlexNet FC6 shape
+        assert_eq!(w.num_parameters(), 32 * 72 * 128);
+        assert_eq!(w.dense_parameters(), 4096 * 9216);
+        assert!((w.compression_ratio() - 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn block_size_one_is_dense_scalar_blocks() {
+        // k = 1: no compression, every "block" is a scalar — the paper's
+        // "There is no compression if the block size is 1".
+        let w = random_bcm(4, 6, 1, 9);
+        assert_eq!(w.num_parameters(), 24);
+        assert!((w.compression_ratio() - 1.0).abs() < 1e-12);
+        let x = seeded(6, 5);
+        let fast = w.matvec(&x).unwrap();
+        let dense = w.to_dense().matvec(&x);
+        for (a, b) in fast.iter().zip(&dense) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn projection_recovers_block_circulant_matrices() {
+        let w = random_bcm(12, 8, 4, 30);
+        let back = BlockCirculantMatrix::project_from_dense(&w.to_dense(), 4).unwrap();
+        for (a, b) in w.weights().iter().zip(back.weights()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn linear_op_round_trip() {
+        let mut w = random_bcm(8, 8, 4, 40);
+        let before = LinearOp::matvec(&w, &vec![1.0; 8]);
+        // Rank-1 nudge, projected.
+        let h = seeded(8, 41);
+        let v = seeded(8, 42);
+        w.outer_update(&h, &v, 0.1);
+        let after = LinearOp::matvec(&w, &vec![1.0; 8]);
+        assert_ne!(before, after);
+        assert_eq!(LinearOp::param_count(&w), 2 * 2 * 4); // p·q·k
+    }
+
+    #[test]
+    fn outer_update_matches_dense_projection() {
+        // outer_update applies the *gradient adjoint* of the circulant
+        // parameterization: each defining weight appears k times in the
+        // dense block, so Δw = k · (orthogonal projection of h·vᵀ).
+        // Therefore outer_update(h, v, s) == project(dense + s·k·h·vᵀ).
+        let k = 4usize;
+        let mut w = random_bcm(8, 8, k, 50);
+        let h = seeded(8, 51);
+        let v = seeded(8, 52);
+        let scale = 0.2f32;
+        let mut dense = w.to_dense();
+        for i in 0..8 {
+            for j in 0..8 {
+                let val = dense.at(&[i, j]) + scale * k as f32 * h[i] * v[j];
+                dense.set(&[i, j], val);
+            }
+        }
+        let expected = BlockCirculantMatrix::project_from_dense(&dense, k).unwrap();
+        w.outer_update(&h, &v, scale);
+        for (a, b) in w.weights().iter().zip(expected.weights()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn validates_construction_and_application() {
+        assert!(matches!(
+            BlockCirculantMatrix::zeros(8, 8, 3),
+            Err(CircError::BadBlockSize(3))
+        ));
+        assert!(BlockCirculantMatrix::zeros(0, 8, 4).is_err());
+        let w = BlockCirculantMatrix::zeros(8, 8, 4).unwrap();
+        assert!(w.matvec(&vec![0.0; 7]).is_err());
+        assert!(w.matvec_t(&vec![0.0; 9]).is_err());
+        assert!(BlockCirculantMatrix::from_weights(8, 8, 4, &[0.0; 5]).is_err());
+    }
+
+    #[test]
+    fn spectra_stay_consistent_after_set_weights() {
+        let mut w = BlockCirculantMatrix::zeros(8, 8, 4).unwrap();
+        let weights = seeded(w.num_parameters(), 60);
+        w.set_weights(&weights).unwrap();
+        let x = seeded(8, 61);
+        let fast = w.matvec(&x).unwrap();
+        let dense = w.to_dense().matvec(&x);
+        for (a, b) in fast.iter().zip(&dense) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Compact binary serialization for block-circulant operators.
+//!
+//! A downstream user of CirCNN ships the *defining vectors*, not dense
+//! matrices — that is the entire point of the representation. This module
+//! provides a tiny, dependency-free, versioned binary codec for
+//! [`BlockCirculantMatrix`] so trained models can be saved and reloaded
+//! (optionally with 16-bit quantized weights, matching the deployment
+//! format of §3.4/§4.2).
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  "CIRC"            4 bytes
+//! version u16              currently 1
+//! flags   u16              bit 0: weights are 16-bit quantized
+//! m, n, k u64 × 3
+//! [f32 scale]              present iff quantized
+//! weights p·q·k × (f32 | i16)
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::error::CircError;
+use crate::matrix::BlockCirculantMatrix;
+
+const MAGIC: &[u8; 4] = b"CIRC";
+const VERSION: u16 = 1;
+const FLAG_QUANTIZED: u16 = 1;
+
+/// Errors from the codec.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a CirCNN model file.
+    BadMagic,
+    /// The file version is newer than this library understands.
+    UnsupportedVersion(u16),
+    /// The decoded dimensions are invalid.
+    Invalid(CircError),
+}
+
+impl core::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "i/o error: {e}"),
+            SerializeError::BadMagic => write!(f, "not a circnn model stream (bad magic)"),
+            SerializeError::UnsupportedVersion(v) => write!(f, "unsupported model version {v}"),
+            SerializeError::Invalid(e) => write!(f, "invalid model contents: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SerializeError::Io(e) => Some(e),
+            SerializeError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SerializeError {
+    fn from(e: io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+impl From<CircError> for SerializeError {
+    fn from(e: CircError) -> Self {
+        SerializeError::Invalid(e)
+    }
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Writes an operator in full f32 precision.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save<W: Write>(matrix: &BlockCirculantMatrix, mut out: W) -> Result<(), SerializeError> {
+    out.write_all(MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&0u16.to_le_bytes())?;
+    write_u64(&mut out, matrix.rows() as u64)?;
+    write_u64(&mut out, matrix.cols() as u64)?;
+    write_u64(&mut out, matrix.block_size() as u64)?;
+    for &w in matrix.weights() {
+        out.write_all(&w.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Writes an operator with weights quantized to 16-bit (the deployment
+/// format: ×2 storage saving on top of the circulant compression).
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save_quantized<W: Write>(
+    matrix: &BlockCirculantMatrix,
+    mut out: W,
+) -> Result<(), SerializeError> {
+    out.write_all(MAGIC)?;
+    out.write_all(&VERSION.to_le_bytes())?;
+    out.write_all(&FLAG_QUANTIZED.to_le_bytes())?;
+    write_u64(&mut out, matrix.rows() as u64)?;
+    write_u64(&mut out, matrix.cols() as u64)?;
+    write_u64(&mut out, matrix.block_size() as u64)?;
+    let max_abs = matrix.weights().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+    let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 32767.0 };
+    out.write_all(&scale.to_le_bytes())?;
+    for &w in matrix.weights() {
+        let code = (w / scale).round().clamp(-32768.0, 32767.0) as i16;
+        out.write_all(&code.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads an operator written by [`save`] or [`save_quantized`].
+///
+/// # Errors
+///
+/// Returns [`SerializeError`] on malformed streams, bad versions, or
+/// invalid dimensions.
+pub fn load<R: Read>(mut input: R) -> Result<BlockCirculantMatrix, SerializeError> {
+    let mut magic = [0u8; 4];
+    input.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SerializeError::BadMagic);
+    }
+    let mut half = [0u8; 2];
+    input.read_exact(&mut half)?;
+    let version = u16::from_le_bytes(half);
+    if version != VERSION {
+        return Err(SerializeError::UnsupportedVersion(version));
+    }
+    input.read_exact(&mut half)?;
+    let flags = u16::from_le_bytes(half);
+    let m = read_u64(&mut input)? as usize;
+    let n = read_u64(&mut input)? as usize;
+    let k = read_u64(&mut input)? as usize;
+    let count = m.div_ceil(k.max(1)) * n.div_ceil(k.max(1)) * k;
+    let weights = if flags & FLAG_QUANTIZED != 0 {
+        let mut sbuf = [0u8; 4];
+        input.read_exact(&mut sbuf)?;
+        let scale = f32::from_le_bytes(sbuf);
+        let mut codes = vec![0u8; count * 2];
+        input.read_exact(&mut codes)?;
+        codes
+            .chunks_exact(2)
+            .map(|c| f32::from(i16::from_le_bytes([c[0], c[1]])) * scale)
+            .collect::<Vec<f32>>()
+    } else {
+        let mut raw = vec![0u8; count * 4];
+        input.read_exact(&mut raw)?;
+        raw.chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect::<Vec<f32>>()
+    };
+    Ok(BlockCirculantMatrix::from_weights(m, n, k, &weights)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circnn_tensor::init::seeded_rng;
+
+    fn sample() -> BlockCirculantMatrix {
+        let mut rng = seeded_rng(5);
+        BlockCirculantMatrix::random(&mut rng, 24, 40, 8).unwrap()
+    }
+
+    #[test]
+    fn f32_round_trip_is_exact() {
+        let m = sample();
+        let mut buf = Vec::new();
+        save(&m, &mut buf).unwrap();
+        let back = load(&buf[..]).unwrap();
+        assert_eq!(back.rows(), 24);
+        assert_eq!(back.cols(), 40);
+        assert_eq!(back.block_size(), 8);
+        assert_eq!(back.weights(), m.weights());
+    }
+
+    #[test]
+    fn quantized_round_trip_is_close_and_half_size() {
+        let m = sample();
+        let mut full = Vec::new();
+        save(&m, &mut full).unwrap();
+        let mut quant = Vec::new();
+        save_quantized(&m, &mut quant).unwrap();
+        assert!(quant.len() < full.len() * 6 / 10, "{} vs {}", quant.len(), full.len());
+        let back = load(&quant[..]).unwrap();
+        let max_abs = m.weights().iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+        for (a, b) in back.weights().iter().zip(m.weights()) {
+            assert!((a - b).abs() <= max_abs / 32000.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn loaded_operator_computes_identically() {
+        let m = sample();
+        let mut buf = Vec::new();
+        save(&m, &mut buf).unwrap();
+        let back = load(&buf[..]).unwrap();
+        let x: Vec<f32> = (0..40).map(|i| (i as f32 * 0.2).sin()).collect();
+        assert_eq!(m.matvec(&x).unwrap(), back.matvec(&x).unwrap());
+    }
+
+    #[test]
+    fn rejects_garbage_and_wrong_versions() {
+        assert!(matches!(load(&b"NOPE"[..]), Err(SerializeError::BadMagic) | Err(SerializeError::Io(_))));
+        let mut buf = Vec::new();
+        save(&sample(), &mut buf).unwrap();
+        buf[4] = 99; // version
+        assert!(matches!(load(&buf[..]), Err(SerializeError::UnsupportedVersion(_))));
+        // Truncated stream.
+        let mut short = Vec::new();
+        save(&sample(), &mut short).unwrap();
+        short.truncate(short.len() / 2);
+        assert!(matches!(load(&short[..]), Err(SerializeError::Io(_))));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = SerializeError::BadMagic;
+        assert!(!e.to_string().is_empty());
+        let e2 = SerializeError::UnsupportedVersion(7);
+        assert!(e2.to_string().contains('7'));
+    }
+}

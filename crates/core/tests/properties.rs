@@ -1,0 +1,129 @@
+//! Property tests for the block-circulant operators — the algebra the
+//! whole reproduction stands on, checked against dense materializations on
+//! randomized shapes.
+
+use circnn_core::{BlockCirculantMatrix, CirculantMatrix};
+use circnn_nn::LinearOp;
+use proptest::prelude::*;
+
+/// Random (m, n, k, seed) with k a power of two ≤ 32 and dims ≤ 48.
+fn shapes() -> impl Strategy<Value = (usize, usize, usize, u64)> {
+    (1usize..48, 1usize..48, 0u32..6, any::<u64>())
+        .prop_map(|(m, n, logk, seed)| (m, n, 1usize << logk, seed))
+}
+
+fn random_weights(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0) * 0.5
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matvec_equals_dense_matvec((m, n, k, seed) in shapes()) {
+        let p = m.div_ceil(k);
+        let q = n.div_ceil(k);
+        let w = BlockCirculantMatrix::from_weights(m, n, k, &random_weights(p * q * k, seed)).unwrap();
+        let x = random_weights(n, seed ^ 0xABCD);
+        let fast = w.matvec(&x).unwrap();
+        let dense = w.to_dense().matvec(&x);
+        let scale = dense.iter().fold(1.0f32, |a, &b| a.max(b.abs()));
+        for (a, b) in fast.iter().zip(&dense) {
+            prop_assert!((a - b).abs() < 1e-3 * scale, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn transpose_equals_dense_transpose((m, n, k, seed) in shapes()) {
+        let p = m.div_ceil(k);
+        let q = n.div_ceil(k);
+        let w = BlockCirculantMatrix::from_weights(m, n, k, &random_weights(p * q * k, seed)).unwrap();
+        let y = random_weights(m, seed ^ 0x1234);
+        let fast = w.matvec_t(&y).unwrap();
+        let dense = w.to_dense().transpose().matvec(&y);
+        let scale = dense.iter().fold(1.0f32, |a, &b| a.max(b.abs()));
+        for (a, b) in fast.iter().zip(&dense) {
+            prop_assert!((a - b).abs() < 1e-3 * scale);
+        }
+    }
+
+    #[test]
+    fn adjoint_identity((m, n, k, seed) in shapes()) {
+        let p = m.div_ceil(k);
+        let q = n.div_ceil(k);
+        let w = BlockCirculantMatrix::from_weights(m, n, k, &random_weights(p * q * k, seed)).unwrap();
+        let x = random_weights(n, seed ^ 1);
+        let y = random_weights(m, seed ^ 2);
+        let lhs: f32 = w.matvec(&x).unwrap().iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(&w.matvec_t(&y).unwrap()).map(|(a, b)| a * b).sum();
+        let scale = lhs.abs().max(rhs.abs()).max(1.0);
+        prop_assert!((lhs - rhs).abs() < 2e-3 * scale);
+    }
+
+    #[test]
+    fn matvec_is_linear((m, n, k, seed) in shapes(), alpha in -3.0f32..3.0) {
+        let p = m.div_ceil(k);
+        let q = n.div_ceil(k);
+        let w = BlockCirculantMatrix::from_weights(m, n, k, &random_weights(p * q * k, seed)).unwrap();
+        let x1 = random_weights(n, seed ^ 3);
+        let x2 = random_weights(n, seed ^ 4);
+        let combo: Vec<f32> = x1.iter().zip(&x2).map(|(a, b)| a + alpha * b).collect();
+        let lhs = w.matvec(&combo).unwrap();
+        let y1 = w.matvec(&x1).unwrap();
+        let y2 = w.matvec(&x2).unwrap();
+        for i in 0..m {
+            let rhs = y1[i] + alpha * y2[i];
+            prop_assert!((lhs[i] - rhs).abs() < 2e-3 * rhs.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn parameter_count_is_pqk((m, n, k, _seed) in shapes()) {
+        let w = BlockCirculantMatrix::zeros(m, n, k).unwrap();
+        prop_assert_eq!(w.num_parameters(), m.div_ceil(k) * n.div_ceil(k) * k);
+        prop_assert!(w.compression_ratio() <= k as f64 + 1e-9);
+    }
+
+    #[test]
+    fn projection_is_idempotent((m, n, k, seed) in shapes()) {
+        let p = m.div_ceil(k);
+        let q = n.div_ceil(k);
+        let w = BlockCirculantMatrix::from_weights(m, n, k, &random_weights(p * q * k, seed)).unwrap();
+        let reproj = BlockCirculantMatrix::project_from_dense(&w.to_dense(), k).unwrap();
+        let again = BlockCirculantMatrix::project_from_dense(&reproj.to_dense(), k).unwrap();
+        for (a, b) in reproj.weights().iter().zip(again.weights()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn single_block_matches_circulant_matrix(logk in 0u32..6, seed in any::<u64>()) {
+        let k = 1usize << logk;
+        let weights = random_weights(k, seed);
+        let block = BlockCirculantMatrix::from_weights(k, k, k, &weights).unwrap();
+        let single = CirculantMatrix::from_first_row(weights).unwrap();
+        let x = random_weights(k, seed ^ 9);
+        let a = block.matvec(&x).unwrap();
+        let b = single.matvec(&x).unwrap();
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn linear_op_surface_agrees_with_inherent_methods((m, n, k, seed) in shapes()) {
+        let p = m.div_ceil(k);
+        let q = n.div_ceil(k);
+        let w = BlockCirculantMatrix::from_weights(m, n, k, &random_weights(p * q * k, seed)).unwrap();
+        let x = random_weights(n, seed ^ 5);
+        prop_assert_eq!(LinearOp::matvec(&w, &x), w.matvec(&x).unwrap());
+        prop_assert_eq!(LinearOp::out_dim(&w), m);
+        prop_assert_eq!(LinearOp::in_dim(&w), n);
+    }
+}

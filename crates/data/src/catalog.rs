@@ -1,0 +1,123 @@
+//! Dataset presets matching the geometries of the paper's benchmarks.
+//!
+//! | Preset | Stands in for | Geometry | Classes |
+//! |---|---|---|---|
+//! | [`mnist_like`] | MNIST | 1×28×28 | 10 |
+//! | [`cifar10_like`] | CIFAR-10 | 3×32×32 | 10 |
+//! | [`svhn_like`] | SVHN | 3×32×32 | 10 |
+//! | [`stl10_like`] | STL-10 | 3×96×96 | 10 |
+//! | [`imagenet_surrogate`] | ImageNet (reduced) | 3×64×64 | 20 |
+//!
+//! Difficulty is staged to mirror the real benchmarks' relative hardness:
+//! the MNIST stand-in is nearly clean (models reach high 90s%), the
+//! CIFAR-10 stand-in is the noisiest (accuracy well below the MNIST one),
+//! SVHN sits between. The ImageNet surrogate reduces resolution and class
+//! count so CPU training stays tractable; layer-shape accounting for the
+//! real AlexNet lives in `circnn-models`, independent of this data.
+
+use crate::dataset::Dataset;
+use crate::synth::{generate, SyntheticSpec};
+
+/// MNIST stand-in: 1×28×28, 10 classes, low noise.
+pub fn mnist_like(n: usize, seed: u64) -> Dataset {
+    let spec = SyntheticSpec::new(10, 1, 28, 28).with_noise(0.2).with_jitter(2);
+    generate("mnist-like", &spec, n, seed.wrapping_add(0xA1))
+}
+
+/// CIFAR-10 stand-in: 3×32×32, 10 classes, high noise + jitter (the hard one).
+pub fn cifar10_like(n: usize, seed: u64) -> Dataset {
+    let spec = SyntheticSpec::new(10, 3, 32, 32).with_noise(0.7).with_jitter(3);
+    generate("cifar10-like", &spec, n, seed.wrapping_add(0xB2))
+}
+
+/// SVHN stand-in: 3×32×32, 10 classes, moderate noise.
+pub fn svhn_like(n: usize, seed: u64) -> Dataset {
+    let spec = SyntheticSpec::new(10, 3, 32, 32).with_noise(0.45).with_jitter(3);
+    generate("svhn-like", &spec, n, seed.wrapping_add(0xC3))
+}
+
+/// STL-10 stand-in: 3×96×96, 10 classes.
+pub fn stl10_like(n: usize, seed: u64) -> Dataset {
+    let spec = SyntheticSpec::new(10, 3, 96, 96).with_noise(0.5).with_jitter(5);
+    generate("stl10-like", &spec, n, seed.wrapping_add(0xD4))
+}
+
+/// Reduced ImageNet surrogate: 3×64×64, 20 classes.
+///
+/// The real AlexNet/ImageNet numbers in the paper concern *layer shapes*
+/// (storage) and *hardware throughput*; those are computed from the true
+/// 224×224/1000-class AlexNet descriptor in `circnn-models`. This dataset
+/// exists so the AlexNet-surrogate network can actually be trained end to
+/// end on a CPU.
+pub fn imagenet_surrogate(n: usize, seed: u64) -> Dataset {
+    let spec = SyntheticSpec::new(20, 3, 64, 64).with_noise(0.6).with_jitter(4);
+    generate("imagenet-surrogate", &spec, n, seed.wrapping_add(0xE5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometries_match_the_paper_benchmarks() {
+        assert_eq!(mnist_like(4, 0).images.dims(), &[4, 1, 28, 28]);
+        assert_eq!(cifar10_like(4, 0).images.dims(), &[4, 3, 32, 32]);
+        assert_eq!(svhn_like(4, 0).images.dims(), &[4, 3, 32, 32]);
+        assert_eq!(stl10_like(2, 0).images.dims(), &[2, 3, 96, 96]);
+        assert_eq!(imagenet_surrogate(2, 0).images.dims(), &[2, 3, 64, 64]);
+    }
+
+    #[test]
+    fn class_counts() {
+        assert_eq!(mnist_like(4, 0).num_classes, 10);
+        assert_eq!(imagenet_surrogate(2, 0).num_classes, 20);
+    }
+
+    #[test]
+    fn presets_use_distinct_seeds() {
+        // Same n and seed must still give different data across presets
+        // (they perturb the seed differently) — prevents accidental reuse.
+        let a = cifar10_like(4, 1);
+        let b = svhn_like(4, 1);
+        assert_ne!(a.images.data(), b.images.data());
+    }
+
+    #[test]
+    fn all_presets_are_learnable_well_above_chance() {
+        // Nearest-prototype is a crude lower bound on learnability (CNNs do
+        // far better — see the Fig.-7b harness); every preset must clear
+        // chance (10%) by a wide margin, or the accuracy experiments would
+        // be measuring noise. The MNIST-vs-CIFAR *trained* difficulty
+        // ordering is asserted where it belongs, on trained models, in the
+        // integration tests.
+        use crate::synth::class_prototype;
+        let nearest_acc = |ds: &Dataset, spec: &SyntheticSpec, seed: u64| -> f32 {
+            let protos: Vec<_> =
+                (0..ds.num_classes).map(|c| class_prototype(spec, c, seed)).collect();
+            let mut correct = 0;
+            for i in 0..ds.len() {
+                let img = ds.image(i);
+                let mut best = (0usize, f32::INFINITY);
+                for (c, p) in protos.iter().enumerate() {
+                    let d: f32 =
+                        img.data().iter().zip(p.data()).map(|(a, b)| (a - b).powi(2)).sum();
+                    if d < best.1 {
+                        best = (c, d);
+                    }
+                }
+                if best.0 == ds.labels[i] {
+                    correct += 1;
+                }
+            }
+            correct as f32 / ds.len() as f32
+        };
+        let mnist_spec = SyntheticSpec::new(10, 1, 28, 28).with_noise(0.2).with_jitter(2);
+        let cifar_spec = SyntheticSpec::new(10, 3, 32, 32).with_noise(0.7).with_jitter(3);
+        let m = mnist_like(50, 3);
+        let c = cifar10_like(50, 3);
+        let am = nearest_acc(&m, &mnist_spec, 3u64.wrapping_add(0xA1));
+        let ac = nearest_acc(&c, &cifar_spec, 3u64.wrapping_add(0xB2));
+        assert!(am > 0.4, "mnist-like nearest-prototype accuracy {am} too close to chance");
+        assert!(ac > 0.4, "cifar-like nearest-prototype accuracy {ac} too close to chance");
+    }
+}

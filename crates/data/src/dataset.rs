@@ -1,0 +1,141 @@
+//! The labeled image dataset container.
+
+use circnn_tensor::Tensor;
+
+/// A labeled image classification dataset.
+///
+/// Images are stored `[N, C, H, W]`; `labels[i]` is the class index of
+/// sample `i`.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Dataset name (for report tables).
+    pub name: String,
+    /// Image batch `[N, C, H, W]`.
+    pub images: Tensor,
+    /// Class index per sample.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl Dataset {
+    /// Creates a dataset, validating shapes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not rank-4, the leading dimension disagrees
+    /// with `labels.len()`, or any label is out of range.
+    pub fn new(name: impl Into<String>, images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+        assert_eq!(images.shape().rank(), 4, "images must be [N, C, H, W]");
+        assert_eq!(images.dims()[0], labels.len(), "images/labels length mismatch");
+        assert!(labels.iter().all(|&l| l < num_classes), "label out of range");
+        Self { name: name.into(), images, labels, num_classes }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` if the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Per-image `[C, H, W]` shape.
+    pub fn image_dims(&self) -> (usize, usize, usize) {
+        let d = self.images.dims();
+        (d[1], d[2], d[3])
+    }
+
+    /// Flattened input length `C·H·W`.
+    pub fn input_len(&self) -> usize {
+        let (c, h, w) = self.image_dims();
+        c * h * w
+    }
+
+    /// One image as a `[C, H, W]` tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn image(&self, i: usize) -> Tensor {
+        self.images.index_axis0(i)
+    }
+
+    /// Splits off the first `n` samples as one dataset and the rest as
+    /// another (generation is already shuffled, so this is a random split).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or `n >= self.len()`.
+    pub fn split_at(&self, n: usize) -> (Dataset, Dataset) {
+        assert!(n > 0 && n < self.len(), "split point {n} out of range");
+        let dims = self.images.dims();
+        let per = self.input_len();
+        let head = Tensor::from_vec(
+            self.images.data()[..n * per].to_vec(),
+            &[n, dims[1], dims[2], dims[3]],
+        );
+        let tail = Tensor::from_vec(
+            self.images.data()[n * per..].to_vec(),
+            &[self.len() - n, dims[1], dims[2], dims[3]],
+        );
+        (
+            Dataset::new(format!("{}-train", self.name), head, self.labels[..n].to_vec(), self.num_classes),
+            Dataset::new(format!("{}-test", self.name), tail, self.labels[n..].to_vec(), self.num_classes),
+        )
+    }
+
+    /// Per-class sample counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let images = Tensor::from_vec((0..2 * 1 * 2 * 2).map(|i| i as f32).collect(), &[2, 1, 2, 2]);
+        Dataset::new("tiny", images, vec![0, 1], 2)
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = tiny();
+        assert_eq!(ds.len(), 2);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.image_dims(), (1, 2, 2));
+        assert_eq!(ds.input_len(), 4);
+        assert_eq!(ds.image(1).data(), &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(ds.class_counts(), vec![1, 1]);
+    }
+
+    #[test]
+    fn split_partitions_samples() {
+        let images = Tensor::zeros(&[10, 1, 2, 2]);
+        let ds = Dataset::new("x", images, (0..10).map(|i| i % 2).collect(), 2);
+        let (a, b) = ds.split_at(7);
+        assert_eq!(a.len(), 7);
+        assert_eq!(b.len(), 3);
+        assert_eq!(a.name, "x-train");
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn validates_labels() {
+        let _ = Dataset::new("bad", Tensor::zeros(&[1, 1, 2, 2]), vec![5], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn validates_lengths() {
+        let _ = Dataset::new("bad", Tensor::zeros(&[2, 1, 2, 2]), vec![0], 2);
+    }
+}

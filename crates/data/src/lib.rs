@@ -1,0 +1,39 @@
+//! # circnn-data
+//!
+//! Synthetic datasets standing in for the paper's benchmarks.
+//!
+//! The original evaluation uses MNIST, CIFAR-10, SVHN, STL-10 and ImageNet.
+//! Those corpora are not available offline here, and — per the reproduction's
+//! substitution rule (DESIGN.md §2) — the experiments only need *learnable
+//! classification tasks of the same tensor geometry*: the storage ratios are
+//! pure functions of layer shapes, and the accuracy comparisons (dense vs.
+//! block-circulant, Fig. 7b/c) need a task where both can be trained to a
+//! meaningful accuracy on a CPU in seconds.
+//!
+//! [`synth`] generates class-prototype image datasets: each class is a
+//! deterministic superposition of low-frequency 2-D cosines; samples are
+//! spatially jittered, noisy copies. Difficulty is tunable via noise and
+//! jitter. [`catalog`] provides presets with the exact shapes of the
+//! paper's benchmarks (28×28×1, 32×32×3, 96×96×3, and a reduced ImageNet
+//! surrogate). [`toy`] has XOR/blobs for unit-scale tests.
+//!
+//! ## Example
+//!
+//! ```
+//! use circnn_data::catalog;
+//!
+//! let ds = catalog::mnist_like(64, 0);
+//! assert_eq!(ds.images.dims(), &[64, 1, 28, 28]);
+//! assert_eq!(ds.num_classes, 10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+
+pub mod catalog;
+pub mod synth;
+pub mod toy;
+
+pub use dataset::Dataset;

@@ -1,0 +1,76 @@
+//! Toy tasks for unit-scale training tests.
+
+use circnn_tensor::init::seeded_rng;
+use circnn_tensor::Tensor;
+use rand::Rng;
+
+/// The XOR problem: 4 points, 2 classes — the canonical "needs a hidden
+/// layer" sanity check.
+pub fn xor() -> (Tensor, Vec<usize>) {
+    let inputs = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]);
+    (inputs, vec![0, 1, 1, 0])
+}
+
+/// Gaussian blobs: `classes` clusters in `dim`-dimensional space with unit
+/// center spacing and the given spread. Linearly separable for small
+/// `spread`, overlapping for large.
+///
+/// # Panics
+///
+/// Panics if any of `n`, `classes`, `dim` is zero.
+pub fn blobs(n: usize, classes: usize, dim: usize, spread: f32, seed: u64) -> (Tensor, Vec<usize>) {
+    assert!(n > 0 && classes > 0 && dim > 0, "degenerate blob spec");
+    let mut rng = seeded_rng(seed);
+    // Fixed, well-separated centers on coordinate axes (scaled).
+    let centers: Vec<Vec<f32>> = (0..classes)
+        .map(|c| {
+            (0..dim)
+                .map(|d| if d % classes == c { 2.0 } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    let mut data = Vec::with_capacity(n * dim);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % classes;
+        labels.push(c);
+        for d in 0..dim {
+            let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let u2: f64 = rng.gen();
+            let z = ((-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos()) as f32;
+            data.push(centers[c][d] + spread * z);
+        }
+    }
+    (Tensor::from_vec(data, &[n, dim]), labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_is_the_classic_four_points() {
+        let (x, y) = xor();
+        assert_eq!(x.dims(), &[4, 2]);
+        assert_eq!(y, vec![0, 1, 1, 0]);
+    }
+
+    #[test]
+    fn blobs_cluster_near_centers() {
+        let (x, y) = blobs(60, 3, 6, 0.1, 5);
+        assert_eq!(x.dims(), &[60, 6]);
+        // Class 0 samples should have coordinate 0 near 2.0.
+        for i in 0..60 {
+            if y[i] == 0 {
+                assert!((x.at(&[i, 0]) - 2.0).abs() < 0.6);
+            }
+        }
+    }
+
+    #[test]
+    fn blobs_are_deterministic() {
+        let (a, _) = blobs(10, 2, 3, 0.5, 9);
+        let (b, _) = blobs(10, 2, 3, 0.5, 9);
+        assert_eq!(a.data(), b.data());
+    }
+}

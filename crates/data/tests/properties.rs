@@ -1,0 +1,92 @@
+//! Property tests for the synthetic data substrate.
+
+use circnn_data::synth::{class_prototype, generate, SyntheticSpec};
+use proptest::prelude::*;
+
+fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
+    (2usize..6, 1usize..4, 6usize..20, 6usize..20, 0usize..3, 0.0f32..0.8).prop_map(
+        |(classes, channels, h, w, jitter, noise)| SyntheticSpec {
+            classes,
+            channels,
+            height: h,
+            width: w,
+            components: 3,
+            jitter,
+            noise_std: noise,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn generation_is_deterministic(spec in spec_strategy(), n in 1usize..24, seed in any::<u64>()) {
+        let a = generate("p", &spec, n, seed);
+        let b = generate("p", &spec, n, seed);
+        prop_assert_eq!(a.images.data(), b.images.data());
+        prop_assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn shapes_and_labels_are_valid(spec in spec_strategy(), n in 1usize..24, seed in any::<u64>()) {
+        let ds = generate("p", &spec, n, seed);
+        prop_assert_eq!(ds.len(), n);
+        prop_assert_eq!(
+            ds.images.dims(),
+            &[n, spec.channels, spec.height, spec.width]
+        );
+        prop_assert!(ds.labels.iter().all(|&l| l < spec.classes));
+        prop_assert!(ds.images.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn class_balance_is_within_one(spec in spec_strategy(), mult in 1usize..5, seed in any::<u64>()) {
+        let n = spec.classes * mult;
+        let ds = generate("p", &spec, n, seed);
+        let counts = ds.class_counts();
+        let min = counts.iter().min().unwrap();
+        let max = counts.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "unbalanced: {counts:?}");
+    }
+
+    #[test]
+    fn prototypes_are_seed_stable_and_class_distinct(spec in spec_strategy(), seed in any::<u64>()) {
+        let p0a = class_prototype(&spec, 0, seed);
+        let p0b = class_prototype(&spec, 0, seed);
+        prop_assert_eq!(p0a.data(), p0b.data());
+        if spec.classes > 1 {
+            let p1 = class_prototype(&spec, 1, seed);
+            let dist: f32 = p0a
+                .data()
+                .iter()
+                .zip(p1.data())
+                .map(|(a, b)| (a - b).powi(2))
+                .sum();
+            prop_assert!(dist > 1e-6, "distinct classes must have distinct prototypes");
+        }
+    }
+
+    #[test]
+    fn zero_noise_zero_jitter_samples_equal_prototype(
+        classes in 2usize..5, seed in any::<u64>()
+    ) {
+        let spec = SyntheticSpec {
+            classes,
+            channels: 1,
+            height: 8,
+            width: 8,
+            components: 3,
+            jitter: 0,
+            noise_std: 0.0,
+        };
+        let ds = generate("p", &spec, classes, seed);
+        for i in 0..ds.len() {
+            let proto = class_prototype(&spec, ds.labels[i], seed);
+            let img = ds.image(i);
+            for (a, b) in img.data().iter().zip(proto.data()) {
+                prop_assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+}

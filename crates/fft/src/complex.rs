@@ -1,0 +1,311 @@
+//! A minimal complex-number type.
+//!
+//! The CirCNN datapath works on complex values only inside the
+//! FFT ↔ element-wise-multiply ↔ IFFT pipeline, so this type stays small:
+//! arithmetic, conjugation, polar construction, and magnitude. Everything is
+//! `#[inline]` plain math — the compiler autovectorizes the hot loops in
+//! [`crate::FftPlan`].
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use crate::float::Float;
+
+/// A complex number `re + i·im` over an [`Float`] scalar.
+///
+/// # Examples
+///
+/// ```
+/// use circnn_fft::Complex;
+///
+/// let a = Complex::new(1.0_f64, 2.0);
+/// let b = Complex::new(3.0, -1.0);
+/// assert_eq!(a * b, Complex::new(5.0, 5.0));
+/// assert_eq!(a.conj(), Complex::new(1.0, -2.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Default)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+/// Single-precision complex number, the DNN stack's working type.
+pub type Complex32 = Complex<f32>;
+/// Double-precision complex number, used for high-accuracy references.
+pub type Complex64 = Complex<f64>;
+
+impl<T: Float> Complex<T> {
+    /// Creates a complex number from real and imaginary parts.
+    #[inline]
+    pub fn new(re: T, im: T) -> Self {
+        Self { re, im }
+    }
+
+    /// The additive identity `0 + 0i`.
+    #[inline]
+    pub fn zero() -> Self {
+        Self::new(T::ZERO, T::ZERO)
+    }
+
+    /// The multiplicative identity `1 + 0i`.
+    #[inline]
+    pub fn one() -> Self {
+        Self::new(T::ONE, T::ZERO)
+    }
+
+    /// The imaginary unit `0 + 1i`.
+    #[inline]
+    pub fn i() -> Self {
+        Self::new(T::ZERO, T::ONE)
+    }
+
+    /// A purely real complex number.
+    #[inline]
+    pub fn from_real(re: T) -> Self {
+        Self::new(re, T::ZERO)
+    }
+
+    /// Builds `r·(cos θ + i sin θ)`.
+    ///
+    /// This is how FFT twiddle factors `e^{-2πik/n}` are tabulated.
+    #[inline]
+    pub fn from_polar(r: T, theta: T) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared magnitude `re² + im²` (avoids the square root).
+    #[inline]
+    pub fn norm_sqr(self) -> T {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[inline]
+    pub fn abs(self) -> T {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, s: T) -> Self {
+        Self::new(self.re * s, self.im * s)
+    }
+
+    /// Fused `self + a * b`, the butterfly accumulation primitive.
+    #[inline]
+    pub fn mul_acc(self, a: Self, b: Self) -> Self {
+        self + a * b
+    }
+
+    /// Returns `true` when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite_val() && self.im.is_finite_val()
+    }
+}
+
+impl<T: Float> Add for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl<T: Float> Sub for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl<T: Float> Mul for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl<T: Float> Mul<T> for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: T) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl<T: Float> Div for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        Self::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl<T: Float> Neg for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl<T: Float> AddAssign for Complex<T> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl<T: Float> SubAssign for Complex<T> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl<T: Float> MulAssign for Complex<T> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl<T: Float> Sum for Complex<T> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::zero(), |a, b| a + b)
+    }
+}
+
+impl<T: Float> From<T> for Complex<T> {
+    #[inline]
+    fn from(re: T) -> Self {
+        Self::from_real(re)
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?} + {:?}i)", self.re, self.im)
+    }
+}
+
+impl<T: Float> fmt::Display for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:+}i", self.re, self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex64, b: Complex64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(2.0, -3.0);
+        assert_eq!(z + Complex::zero(), z);
+        assert_eq!(z * Complex::one(), z);
+        assert_eq!(z - z, Complex::zero());
+        assert_eq!(-z, Complex::new(-2.0, 3.0));
+        assert_eq!(z * Complex::i(), Complex::new(3.0, 2.0));
+    }
+
+    #[test]
+    fn multiplication_matches_definition() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        // (1+2i)(-3+0.5i) = -3 + 0.5i - 6i + i² = -4 - 5.5i
+        assert!(close(a * b, Complex::new(-4.0, -5.5)));
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Complex::new(1.25, -0.5);
+        let b = Complex::new(0.75, 2.0);
+        assert!(close((a * b) / b, a));
+    }
+
+    #[test]
+    fn conjugate_properties() {
+        let z = Complex::new(0.3, 0.4);
+        assert_eq!(z.conj().conj(), z);
+        assert!((z * z.conj()).im.abs() < 1e-15);
+        assert!(((z * z.conj()).re - z.norm_sqr()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn polar_construction() {
+        let z = Complex::from_polar(2.0, core::f64::consts::FRAC_PI_2);
+        assert!(close(z, Complex::new(0.0, 2.0)));
+        let w = Complex::from_polar(1.0, core::f64::consts::PI);
+        assert!(close(w, Complex::new(-1.0, 0.0)));
+    }
+
+    #[test]
+    fn magnitude() {
+        assert!((Complex::new(3.0, 4.0).abs() - 5.0_f64).abs() < 1e-12);
+        assert_eq!(Complex::new(3.0, 4.0).norm_sqr(), 25.0);
+    }
+
+    #[test]
+    fn assign_operators() {
+        let mut z = Complex::new(1.0, 1.0);
+        z += Complex::new(2.0, -1.0);
+        assert_eq!(z, Complex::new(3.0, 0.0));
+        z -= Complex::new(1.0, 0.0);
+        assert_eq!(z, Complex::new(2.0, 0.0));
+        z *= Complex::new(0.0, 1.0);
+        assert_eq!(z, Complex::new(0.0, 2.0));
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: Complex64 = (0..4).map(|i| Complex::new(i as f64, 1.0)).sum();
+        assert_eq!(total, Complex::new(6.0, 4.0));
+    }
+
+    #[test]
+    fn mul_acc_is_fused_multiply_add() {
+        let acc = Complex::new(1.0, 1.0);
+        let out = acc.mul_acc(Complex::new(2.0, 0.0), Complex::new(0.0, 3.0));
+        assert_eq!(out, Complex::new(1.0, 7.0));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let z = Complex::new(1.0, -2.0);
+        assert!(!format!("{z}").is_empty());
+        assert!(!format!("{z:?}").is_empty());
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Complex::new(1.0_f64, 2.0).is_finite());
+        assert!(!Complex::new(f64::NAN, 2.0).is_finite());
+        assert!(!Complex::new(1.0, f64::INFINITY).is_finite());
+    }
+}

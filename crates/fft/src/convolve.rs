@@ -1,0 +1,337 @@
+//! Circular convolution and correlation — the identities CirCNN rests on.
+//!
+//! A `k × k` circulant matrix defined by its **first row** `w`
+//! (`W[i][j] = w[(j − i) mod k]`, each row the previous one rotated) acts on
+//! a vector as a circular *cross-correlation*:
+//!
+//! ```text
+//! (W x)[i] = Σ_t w[t] · x[(i + t) mod k]         (= correlate(w, x))
+//! ```
+//!
+//! while the circulant defined by its **first column** `c`
+//! (`W[i][j] = c[(i − j) mod k]`) acts as a circular *convolution*:
+//!
+//! ```text
+//! (W x)[i] = Σ_j c[(i − j) mod k] · x[j]         (= convolve(c, x))
+//! ```
+//!
+//! Both are `O(k log k)` via the convolution/correlation theorems:
+//! `convolve = IFFT(FFT(c) ∘ FFT(x))` and
+//! `correlate = IFFT(conj(FFT(w)) ∘ FFT(x))` (for real `w`).
+//! The paper's Fig. 5 writes the product as `IFFT(FFT(w) ∘ FFT(x))` with `w`
+//! "the first row vector"; the conjugation is the first-row/first-column
+//! bookkeeping made explicit, and the tests in this module pin both forms
+//! against brute force.
+
+use crate::complex::Complex;
+use crate::error::FftError;
+use crate::float::Float;
+use crate::rfft::RealFftPlan;
+
+/// Direct `O(k²)` circular convolution `y[i] = Σ_j a[j]·b[(i−j) mod k]`.
+///
+/// # Panics
+///
+/// Panics if `a` and `b` have different lengths.
+///
+/// # Examples
+///
+/// ```
+/// use circnn_fft::convolve::circular_convolve_direct;
+///
+/// let y = circular_convolve_direct(&[1.0, 0.0, 0.0, 0.0], &[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(y, vec![1.0, 2.0, 3.0, 4.0]); // identity impulse
+/// ```
+pub fn circular_convolve_direct<T: Float>(a: &[T], b: &[T]) -> Vec<T> {
+    assert_eq!(a.len(), b.len(), "circular convolution requires equal lengths");
+    let k = a.len();
+    let mut y = vec![T::ZERO; k];
+    for (i, slot) in y.iter_mut().enumerate() {
+        let mut acc = T::ZERO;
+        for (j, &aj) in a.iter().enumerate() {
+            acc += aj * b[(i + k - j) % k];
+        }
+        *slot = acc;
+    }
+    y
+}
+
+/// Direct `O(k²)` circular cross-correlation
+/// `y[i] = Σ_t w[t]·x[(i+t) mod k]` — exactly the matvec of the circulant
+/// matrix whose first row is `w`.
+///
+/// # Panics
+///
+/// Panics if `w` and `x` have different lengths.
+pub fn circular_correlate_direct<T: Float>(w: &[T], x: &[T]) -> Vec<T> {
+    assert_eq!(w.len(), x.len(), "circular correlation requires equal lengths");
+    let k = w.len();
+    let mut y = vec![T::ZERO; k];
+    for (i, slot) in y.iter_mut().enumerate() {
+        let mut acc = T::ZERO;
+        for (t, &wt) in w.iter().enumerate() {
+            acc += wt * x[(i + t) % k];
+        }
+        *slot = acc;
+    }
+    y
+}
+
+/// Builds the dense `k × k` circulant matrix with first row `w`, in
+/// row-major order. Used by tests and by the dense-baseline comparisons.
+pub fn circulant_from_first_row<T: Float>(w: &[T]) -> Vec<T> {
+    let k = w.len();
+    let mut m = vec![T::ZERO; k * k];
+    for i in 0..k {
+        for j in 0..k {
+            m[i * k + j] = w[(j + k - i) % k];
+        }
+    }
+    m
+}
+
+/// Builds the dense `k × k` circulant matrix with first column `c`.
+pub fn circulant_from_first_column<T: Float>(c: &[T]) -> Vec<T> {
+    let k = c.len();
+    let mut m = vec![T::ZERO; k * k];
+    for i in 0..k {
+        for j in 0..k {
+            m[i * k + j] = c[(i + k - j) % k];
+        }
+    }
+    m
+}
+
+/// FFT-backed circular convolution/correlation engine for one length.
+///
+/// Planning is done once; each call is `O(k log k)` and allocation-free when
+/// the `*_with_scratch` variants are used.
+///
+/// # Examples
+///
+/// ```
+/// use circnn_fft::convolve::{CircularConvolver, circular_convolve_direct};
+///
+/// # fn main() -> Result<(), circnn_fft::FftError> {
+/// let conv = CircularConvolver::<f64>::new(8)?;
+/// let a: Vec<f64> = (0..8).map(|i| i as f64).collect();
+/// let b: Vec<f64> = (0..8).map(|i| (i as f64).sin()).collect();
+/// let fast = conv.convolve(&a, &b)?;
+/// let slow = circular_convolve_direct(&a, &b);
+/// for (f, s) in fast.iter().zip(&slow) {
+///     assert!((f - s).abs() < 1e-9);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircularConvolver<T> {
+    plan: RealFftPlan<T>,
+}
+
+impl<T: Float> CircularConvolver<T> {
+    /// Builds a convolver for vectors of power-of-two length `k`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FftError`] from planning (zero / non-power-of-two length).
+    pub fn new(k: usize) -> Result<Self, FftError> {
+        Ok(Self { plan: RealFftPlan::new(k)? })
+    }
+
+    /// Vector length this convolver handles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.plan.len()
+    }
+
+    /// Always `false`; for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Access to the underlying real-FFT plan (for spectrum caching).
+    #[inline]
+    pub fn plan(&self) -> &RealFftPlan<T> {
+        &self.plan
+    }
+
+    /// Circular convolution via the convolution theorem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if either input has the wrong length.
+    pub fn convolve(&self, a: &[T], b: &[T]) -> Result<Vec<T>, FftError> {
+        let sa = self.plan.forward(a)?;
+        let sb = self.plan.forward(b)?;
+        let prod: Vec<Complex<T>> = sa.iter().zip(&sb).map(|(&x, &y)| x * y).collect();
+        self.plan.inverse(&prod)
+    }
+
+    /// Circular cross-correlation via `IFFT(conj(FFT(w)) ∘ FFT(x))`.
+    ///
+    /// This is the matvec of the circulant matrix with first row `w`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if either input has the wrong length.
+    pub fn correlate(&self, w: &[T], x: &[T]) -> Result<Vec<T>, FftError> {
+        let sw = self.plan.forward(w)?;
+        let sx = self.plan.forward(x)?;
+        let prod: Vec<Complex<T>> = sw.iter().zip(&sx).map(|(&w, &x)| w.conj() * x).collect();
+        self.plan.inverse(&prod)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    fn dense_matvec(m: &[f64], x: &[f64]) -> Vec<f64> {
+        let k = x.len();
+        (0..k).map(|i| (0..k).map(|j| m[i * k + j] * x[j]).sum()).collect()
+    }
+
+    #[test]
+    fn impulse_is_convolution_identity() {
+        let mut e = vec![0.0; 8];
+        e[0] = 1.0;
+        let b = seeded(8, 3);
+        assert_eq!(circular_convolve_direct(&e, &b), b);
+    }
+
+    #[test]
+    fn direct_convolution_commutes() {
+        let a = seeded(16, 1);
+        let b = seeded(16, 2);
+        let ab = circular_convolve_direct(&a, &b);
+        let ba = circular_convolve_direct(&b, &a);
+        for (x, y) in ab.iter().zip(&ba) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_convolution_matches_direct() {
+        for k in [1usize, 2, 4, 8, 64, 256] {
+            let conv = CircularConvolver::<f64>::new(k).unwrap();
+            let a = seeded(k, k as u64);
+            let b = seeded(k, k as u64 + 1);
+            let fast = conv.convolve(&a, &b).unwrap();
+            let slow = circular_convolve_direct(&a, &b);
+            for (f, s) in fast.iter().zip(&slow) {
+                assert!((f - s).abs() < 1e-9, "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_correlation_matches_direct() {
+        for k in [2usize, 8, 32, 128] {
+            let conv = CircularConvolver::<f64>::new(k).unwrap();
+            let w = seeded(k, 10 + k as u64);
+            let x = seeded(k, 20 + k as u64);
+            let fast = conv.correlate(&w, &x).unwrap();
+            let slow = circular_correlate_direct(&w, &x);
+            for (f, s) in fast.iter().zip(&slow) {
+                assert!((f - s).abs() < 1e-9, "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_row_circulant_matvec_is_correlation() {
+        // THE load-bearing identity: the paper's circulant FC layer computes
+        // W·x where W has first row w; that equals correlate(w, x).
+        let k = 8;
+        let w = seeded(k, 5);
+        let x = seeded(k, 6);
+        let dense = circulant_from_first_row(&w);
+        let via_dense = dense_matvec(&dense, &x);
+        let via_corr = circular_correlate_direct(&w, &x);
+        for (a, b) in via_dense.iter().zip(&via_corr) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn first_column_circulant_matvec_is_convolution() {
+        let k = 8;
+        let c = seeded(k, 7);
+        let x = seeded(k, 8);
+        let dense = circulant_from_first_column(&c);
+        let via_dense = dense_matvec(&dense, &x);
+        let via_conv = circular_convolve_direct(&c, &x);
+        for (a, b) in via_dense.iter().zip(&via_conv) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn circulant_matrix_rows_are_rotations() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let m = circulant_from_first_row(&w);
+        // Row 0 is w itself; row 1 is w rotated: W[1][j] = w[(j-1) mod 4].
+        assert_eq!(&m[0..4], &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(&m[4..8], &[4.0, 1.0, 2.0, 3.0]);
+        assert_eq!(&m[8..12], &[3.0, 4.0, 1.0, 2.0]);
+        assert_eq!(&m[12..16], &[2.0, 3.0, 4.0, 1.0]);
+    }
+
+    #[test]
+    fn first_row_and_first_column_are_transposes() {
+        let w = seeded(8, 11);
+        let row = circulant_from_first_row(&w);
+        let col = circulant_from_first_column(&w);
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!((row[i * 8 + j] - col[j * 8 + i]).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn correlation_transpose_identity() {
+        // W^T·g for first-row circulant W equals convolve(w, g); this is the
+        // identity Algorithm 2 (backward pass) relies on.
+        let k = 16;
+        let w = seeded(k, 31);
+        let g = seeded(k, 32);
+        let dense = circulant_from_first_row(&w);
+        let mut transposed = vec![0.0; k * k];
+        for i in 0..k {
+            for j in 0..k {
+                transposed[i * k + j] = dense[j * k + i];
+            }
+        }
+        let via_dense = dense_matvec(&transposed, &g);
+        let via_conv = circular_convolve_direct(&w, &g);
+        for (a, b) in via_dense.iter().zip(&via_conv) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn length_mismatch_errors() {
+        let conv = CircularConvolver::<f64>::new(8).unwrap();
+        assert!(conv.convolve(&[0.0; 8], &[0.0; 4]).is_err());
+        assert!(conv.correlate(&[0.0; 4], &[0.0; 8]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn direct_convolve_panics_on_mismatch() {
+        let _ = circular_convolve_direct(&[1.0, 2.0], &[1.0]);
+    }
+}

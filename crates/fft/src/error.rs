@@ -1,0 +1,72 @@
+//! Error type shared by the FFT entry points.
+
+use core::fmt;
+
+/// Errors returned by FFT planning and execution.
+///
+/// # Examples
+///
+/// ```
+/// use circnn_fft::{FftPlan, FftError};
+///
+/// let err = FftPlan::<f64>::new(12).unwrap_err();
+/// assert!(matches!(err, FftError::NotPowerOfTwo(12)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FftError {
+    /// The requested transform length is not a power of two (radix-2 plans
+    /// only accept powers of two; CirCNN block sizes are powers of two by
+    /// construction).
+    NotPowerOfTwo(usize),
+    /// A buffer passed to an executor does not match the planned length.
+    LengthMismatch {
+        /// Length the plan was built for.
+        expected: usize,
+        /// Length of the buffer actually supplied.
+        got: usize,
+    },
+    /// The requested transform length is zero.
+    ZeroLength,
+}
+
+impl fmt::Display for FftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FftError::NotPowerOfTwo(n) => {
+                write!(f, "transform length {n} is not a power of two")
+            }
+            FftError::LengthMismatch { expected, got } => {
+                write!(f, "buffer length {got} does not match planned length {expected}")
+            }
+            FftError::ZeroLength => write!(f, "transform length must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let msgs = [
+            FftError::NotPowerOfTwo(12).to_string(),
+            FftError::LengthMismatch { expected: 8, got: 4 }.to_string(),
+            FftError::ZeroLength.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(m.chars().next().unwrap().is_lowercase());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_error::<FftError>();
+    }
+}

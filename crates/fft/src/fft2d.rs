@@ -1,0 +1,278 @@
+//! 2-D FFT and FFT-based spatial convolution — the LeCun et al. baseline.
+//!
+//! Paper §2.3: "LeCun et al. has proposed using FFTs to accelerate the
+//! computations in the CONV layers … It uses FFT to calculate the
+//! traditional inner products of filters and input feature maps, and can
+//! achieve speedup for large filter sizes … The underlying neural network
+//! structure and parameters remain unchanged" — i.e. speedup without
+//! compression, and **no** asymptotic gain. This module implements that
+//! method faithfully so the comparison in the ablation bench is against a
+//! real artifact rather than a strawman:
+//!
+//! * [`Fft2dPlan`] — row-column 2-D FFT over power-of-two grids;
+//! * [`fft_conv2d_valid`] — "valid" 2-D convolution/correlation of a
+//!   feature map with a filter via zero-padded spectral multiplication,
+//!   exactly LeCun-style kernel evaluation.
+
+use crate::complex::Complex;
+use crate::error::FftError;
+use crate::float::Float;
+use crate::plan::FftPlan;
+
+/// A planned 2-D FFT over an `h×w` power-of-two grid (row-column method).
+///
+/// # Examples
+///
+/// ```
+/// use circnn_fft::fft2d::Fft2dPlan;
+/// use circnn_fft::Complex;
+///
+/// # fn main() -> Result<(), circnn_fft::FftError> {
+/// let plan = Fft2dPlan::<f64>::new(4, 8)?;
+/// let mut grid = vec![Complex::from_real(1.0); 32];
+/// plan.forward(&mut grid)?;
+/// assert!((grid[0].re - 32.0).abs() < 1e-12); // DC bin = sum
+/// assert!(grid[1].abs() < 1e-12);
+/// plan.inverse(&mut grid)?;
+/// assert!((grid[5].re - 1.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft2dPlan<T> {
+    h: usize,
+    w: usize,
+    row_plan: FftPlan<T>,
+    col_plan: FftPlan<T>,
+}
+
+impl<T: Float> Fft2dPlan<T> {
+    /// Builds a plan for `h×w` grids.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError`] unless both extents are nonzero powers of two.
+    pub fn new(h: usize, w: usize) -> Result<Self, FftError> {
+        Ok(Self { h, w, row_plan: FftPlan::new(w)?, col_plan: FftPlan::new(h)? })
+    }
+
+    /// Grid height.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Grid width.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.w
+    }
+
+    fn process(&self, data: &mut [Complex<T>], inverse: bool) -> Result<(), FftError> {
+        if data.len() != self.h * self.w {
+            return Err(FftError::LengthMismatch { expected: self.h * self.w, got: data.len() });
+        }
+        // Rows.
+        for r in 0..self.h {
+            let row = &mut data[r * self.w..(r + 1) * self.w];
+            if inverse {
+                self.row_plan.inverse(row)?;
+            } else {
+                self.row_plan.forward(row)?;
+            }
+        }
+        // Columns (gather/scatter through a scratch column).
+        let mut col = vec![Complex::zero(); self.h];
+        for c in 0..self.w {
+            for r in 0..self.h {
+                col[r] = data[r * self.w + c];
+            }
+            if inverse {
+                self.col_plan.inverse(&mut col)?;
+            } else {
+                self.col_plan.forward(&mut col)?;
+            }
+            for r in 0..self.h {
+                data[r * self.w + c] = col[r];
+            }
+        }
+        Ok(())
+    }
+
+    /// In-place forward 2-D transform (row-major grid).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len() != h·w`.
+    pub fn forward(&self, data: &mut [Complex<T>]) -> Result<(), FftError> {
+        self.process(data, false)
+    }
+
+    /// In-place inverse 2-D transform (normalized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len() != h·w`.
+    pub fn inverse(&self, data: &mut [Complex<T>]) -> Result<(), FftError> {
+        self.process(data, true)
+    }
+}
+
+/// "Valid" 2-D cross-correlation (the CNN convention) of an `h×w` input
+/// with an `r×r` filter via the FFT — the LeCun [52] kernel. Output is
+/// `(h−r+1)×(w−r+1)`.
+///
+/// Both operands are zero-padded to the covering power-of-two grid,
+/// transformed, multiplied with conjugated filter spectrum, and
+/// inverse-transformed; the valid region is cropped out.
+///
+/// # Errors
+///
+/// Returns [`FftError`] on degenerate sizes (`r > h` or `r > w`).
+pub fn fft_conv2d_valid<T: Float>(
+    input: &[T],
+    h: usize,
+    w: usize,
+    filter: &[T],
+    r: usize,
+) -> Result<Vec<T>, FftError> {
+    if input.len() != h * w || filter.len() != r * r || r == 0 || r > h || r > w {
+        return Err(FftError::LengthMismatch { expected: h * w, got: input.len() });
+    }
+    let ph = h.next_power_of_two();
+    let pw = w.next_power_of_two();
+    let plan = Fft2dPlan::<T>::new(ph, pw)?;
+    let mut a = vec![Complex::zero(); ph * pw];
+    for y in 0..h {
+        for x in 0..w {
+            a[y * pw + x] = Complex::from_real(input[y * w + x]);
+        }
+    }
+    let mut b = vec![Complex::zero(); ph * pw];
+    for y in 0..r {
+        for x in 0..r {
+            b[y * pw + x] = Complex::from_real(filter[y * r + x]);
+        }
+    }
+    plan.forward(&mut a)?;
+    plan.forward(&mut b)?;
+    // Correlation theorem: conj(F(filter)) ∘ F(input).
+    for (av, bv) in a.iter_mut().zip(&b) {
+        *av = bv.conj() * *av;
+    }
+    plan.inverse(&mut a)?;
+    let (oh, ow) = (h - r + 1, w - r + 1);
+    let mut out = vec![T::ZERO; oh * ow];
+    for y in 0..oh {
+        for x in 0..ow {
+            out[y * ow + x] = a[y * pw + x].re;
+        }
+    }
+    Ok(out)
+}
+
+/// Direct `O(h·w·r²)` valid cross-correlation, the reference for
+/// [`fft_conv2d_valid`].
+pub fn direct_conv2d_valid<T: Float>(
+    input: &[T],
+    h: usize,
+    w: usize,
+    filter: &[T],
+    r: usize,
+) -> Vec<T> {
+    let (oh, ow) = (h - r + 1, w - r + 1);
+    let mut out = vec![T::ZERO; oh * ow];
+    for y in 0..oh {
+        for x in 0..ow {
+            let mut acc = T::ZERO;
+            for ky in 0..r {
+                for kx in 0..r {
+                    acc += filter[ky * r + kx] * input[(y + ky) * w + (x + kx)];
+                }
+            }
+            out[y * ow + x] = acc;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0) * 0.8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fft2d_round_trip() {
+        let plan = Fft2dPlan::<f64>::new(8, 16).unwrap();
+        let original: Vec<Complex<f64>> =
+            seeded(128, 1).into_iter().map(Complex::from_real).collect();
+        let mut buf = original.clone();
+        plan.forward(&mut buf).unwrap();
+        plan.inverse(&mut buf).unwrap();
+        for (a, b) in buf.iter().zip(&original) {
+            assert!((*a - *b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft2d_separable_impulse() {
+        // Impulse at origin → flat spectrum.
+        let plan = Fft2dPlan::<f64>::new(4, 4).unwrap();
+        let mut buf = vec![Complex::zero(); 16];
+        buf[0] = Complex::one();
+        plan.forward(&mut buf).unwrap();
+        for v in &buf {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_conv_matches_direct_across_sizes() {
+        for (h, w, r) in [(8usize, 8usize, 3usize), (12, 10, 5), (16, 16, 11), (7, 9, 2)] {
+            let input = seeded(h * w, (h * w) as u64);
+            let filter = seeded(r * r, r as u64);
+            let fast = fft_conv2d_valid(&input, h, w, &filter, r).unwrap();
+            let slow = direct_conv2d_valid(&input, h, w, &filter, r);
+            assert_eq!(fast.len(), slow.len());
+            for (a, b) in fast.iter().zip(&slow) {
+                assert!((a - b).abs() < 1e-9, "({h},{w},{r}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn one_by_one_filter_scales_input() {
+        let input = seeded(16, 3);
+        let out = fft_conv2d_valid(&input, 4, 4, &[2.0], 1).unwrap();
+        for (o, i) in out.iter().zip(&input) {
+            assert!((o - 2.0 * i).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(fft_conv2d_valid(&[0.0; 16], 4, 4, &[0.0; 25], 5).is_err());
+        assert!(fft_conv2d_valid(&[0.0; 15], 4, 4, &[0.0; 9], 3).is_err());
+        assert!(Fft2dPlan::<f64>::new(3, 4).is_err());
+    }
+
+    #[test]
+    fn f32_precision_is_adequate() {
+        let input: Vec<f32> = seeded(64, 9).iter().map(|&v| v as f32).collect();
+        let filter: Vec<f32> = seeded(9, 10).iter().map(|&v| v as f32).collect();
+        let fast = fft_conv2d_valid(&input, 8, 8, &filter, 3).unwrap();
+        let slow = direct_conv2d_valid(&input, 8, 8, &filter, 3);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

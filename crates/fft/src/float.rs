@@ -1,0 +1,195 @@
+//! Floating-point abstraction so the FFT kernels work in both `f32`
+//! (the precision the DNN stack trains in) and `f64` (used by tests to pin
+//! tight tolerances).
+
+use core::fmt::{Debug, Display};
+use core::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+mod private {
+    /// Prevents downstream crates from implementing [`super::Float`], so new
+    /// methods can be added without a breaking change (C-SEALED).
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+/// Scalar floating-point type usable inside the FFT kernels.
+///
+/// This trait is sealed: it is implemented for `f32` and `f64` only.
+///
+/// # Examples
+///
+/// ```
+/// use circnn_fft::Float;
+///
+/// fn norm<T: Float>(xs: &[T]) -> T {
+///     xs.iter().fold(T::ZERO, |acc, &x| acc + x * x).sqrt()
+/// }
+///
+/// assert!((norm(&[3.0_f64, 4.0]) - 5.0).abs() < 1e-12);
+/// ```
+pub trait Float:
+    Copy
+    + PartialEq
+    + PartialOrd
+    + Debug
+    + Display
+    + Default
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Send
+    + Sync
+    + 'static
+    + private::Sealed
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// The constant 2.
+    const TWO: Self;
+    /// One half.
+    const HALF: Self;
+    /// Archimedes' constant π.
+    const PI: Self;
+    /// Machine epsilon.
+    const EPSILON: Self;
+
+    /// Converts from `f64`, rounding to the nearest representable value.
+    fn from_f64(v: f64) -> Self;
+    /// Converts to `f64` exactly (`f32` widens losslessly).
+    fn to_f64(self) -> f64;
+    /// Converts from `usize` (may round for very large values).
+    fn from_usize(v: usize) -> Self;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// Sine.
+    fn sin(self) -> Self;
+    /// Cosine.
+    fn cos(self) -> Self;
+    /// Natural exponential.
+    fn exp(self) -> Self;
+    /// Natural logarithm.
+    fn ln(self) -> Self;
+    /// IEEE-754 maximum of two values.
+    fn maximum(self, other: Self) -> Self;
+    /// IEEE-754 minimum of two values.
+    fn minimum(self, other: Self) -> Self;
+    /// Returns `true` if the value is finite (not NaN or ±∞).
+    fn is_finite_val(self) -> bool;
+}
+
+macro_rules! impl_float {
+    ($t:ty) => {
+        impl Float for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const TWO: Self = 2.0;
+            const HALF: Self = 0.5;
+            const PI: Self = core::f64::consts::PI as $t;
+            const EPSILON: Self = <$t>::EPSILON;
+
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn from_usize(v: usize) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                self.sqrt()
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                self.abs()
+            }
+            #[inline]
+            fn sin(self) -> Self {
+                self.sin()
+            }
+            #[inline]
+            fn cos(self) -> Self {
+                self.cos()
+            }
+            #[inline]
+            fn exp(self) -> Self {
+                self.exp()
+            }
+            #[inline]
+            fn ln(self) -> Self {
+                self.ln()
+            }
+            #[inline]
+            fn maximum(self, other: Self) -> Self {
+                self.max(other)
+            }
+            #[inline]
+            fn minimum(self, other: Self) -> Self {
+                self.min(other)
+            }
+            #[inline]
+            fn is_finite_val(self) -> bool {
+                self.is_finite()
+            }
+        }
+    };
+}
+
+impl_float!(f32);
+impl_float!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_std() {
+        assert_eq!(f64::PI, core::f64::consts::PI);
+        assert!((f32::PI - core::f32::consts::PI).abs() < 1e-6);
+        assert_eq!(f64::ZERO + f64::ONE, 1.0);
+        assert_eq!(f64::TWO * f64::HALF, 1.0);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(f64::from_f64(1.5), 1.5);
+        assert_eq!(f32::from_f64(1.5), 1.5_f32);
+        assert_eq!(f32::from_usize(7), 7.0);
+        assert_eq!(2.5_f32.to_f64(), 2.5);
+    }
+
+    #[test]
+    fn math_functions_delegate() {
+        assert!((f64::sqrt(2.0) - core::f64::consts::SQRT_2).abs() < 1e-15);
+        assert_eq!((-3.5_f64).abs(), 3.5);
+        assert_eq!(Float::maximum(1.0_f64, 2.0), 2.0);
+        assert_eq!(Float::minimum(1.0_f64, 2.0), 1.0);
+        assert!(1.0_f64.is_finite_val());
+        assert!(!(f64::INFINITY).is_finite_val());
+        assert!(!(f64::NAN).is_finite_val());
+    }
+
+    #[test]
+    fn generic_usage_compiles_for_both_widths() {
+        fn sum<T: Float>(xs: &[T]) -> T {
+            xs.iter().fold(T::ZERO, |a, &b| a + b)
+        }
+        assert_eq!(sum(&[1.0_f32, 2.0]), 3.0);
+        assert_eq!(sum(&[1.0_f64, 2.0]), 3.0);
+    }
+}

@@ -1,0 +1,383 @@
+//! Planned iterative radix-2 FFT.
+//!
+//! A [`FftPlan`] precomputes the twiddle-factor table and the bit-reversal
+//! permutation for one transform length, then executes decimation-in-time
+//! butterflies in place. Planning once and executing many times mirrors how
+//! the CirCNN hardware stores twiddles in ROM (paper §4.2: "The memory
+//! subsystem is composed of ROM, which is utilized to store the coefficients
+//! in FFT/IFFT calculations").
+
+use crate::complex::Complex;
+use crate::error::FftError;
+use crate::float::Float;
+
+/// Direction of a transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FftDirection {
+    /// Forward DFT: `X[k] = Σ x[j]·e^{-2πijk/n}`.
+    Forward,
+    /// Inverse DFT, normalized by `1/n`.
+    Inverse,
+}
+
+/// A reusable radix-2 FFT plan for one power-of-two length.
+///
+/// # Examples
+///
+/// Convolving by pointwise spectral multiplication:
+///
+/// ```
+/// use circnn_fft::{FftPlan, Complex};
+///
+/// # fn main() -> Result<(), circnn_fft::FftError> {
+/// let plan = FftPlan::<f64>::new(4)?;
+/// let mut x = vec![Complex::from_real(1.0); 4];
+/// plan.forward(&mut x)?;
+/// // The DFT of an all-ones vector is an impulse of height n at bin 0.
+/// assert!((x[0].re - 4.0).abs() < 1e-12);
+/// assert!(x[1].abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FftPlan<T> {
+    n: usize,
+    log2n: u32,
+    /// Forward twiddles `e^{-2πik/n}` for `k in 0..n/2`.
+    twiddles: Vec<Complex<T>>,
+    /// Bit-reversal permutation of `0..n`.
+    bitrev: Vec<u32>,
+}
+
+impl<T: Float> FftPlan<T> {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::ZeroLength`] if `n == 0` and
+    /// [`FftError::NotPowerOfTwo`] if `n` is not a power of two.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        if n == 0 {
+            return Err(FftError::ZeroLength);
+        }
+        if !n.is_power_of_two() {
+            return Err(FftError::NotPowerOfTwo(n));
+        }
+        let log2n = n.trailing_zeros();
+        let mut twiddles = Vec::with_capacity(n / 2);
+        for k in 0..n / 2 {
+            let theta = -T::TWO * T::PI * T::from_usize(k) / T::from_usize(n);
+            twiddles.push(Complex::from_polar(T::ONE, theta));
+        }
+        let mut bitrev = vec![0u32; n];
+        for (i, slot) in bitrev.iter_mut().enumerate() {
+            *slot = (i as u32).reverse_bits() >> (32 - log2n.max(1)) as u32;
+        }
+        if n == 1 {
+            bitrev[0] = 0;
+        }
+        Ok(Self { n, log2n, twiddles, bitrev })
+    }
+
+    /// Transform length this plan was built for.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` for the degenerate length-0 plan (never constructible,
+    /// present for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// `log₂` of the transform length — the number of butterfly levels, i.e.
+    /// the paper's pipeline depth dimension (Fig. 10).
+    #[inline]
+    pub fn levels(&self) -> u32 {
+        self.log2n
+    }
+
+    /// Executes an in-place transform in the given direction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `data.len() != self.len()`.
+    pub fn process(&self, data: &mut [Complex<T>], direction: FftDirection) -> Result<(), FftError> {
+        if data.len() != self.n {
+            return Err(FftError::LengthMismatch { expected: self.n, got: data.len() });
+        }
+        if self.n == 1 {
+            return Ok(());
+        }
+        // Bit-reversal permutation.
+        for i in 0..self.n {
+            let j = self.bitrev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+        // Iterative decimation-in-time butterflies. `half` doubles each level,
+        // exactly the recursive structure of the paper's Fig. 9 unrolled.
+        let mut half = 1usize;
+        while half < self.n {
+            let stride = self.n / (2 * half);
+            for start in (0..self.n).step_by(2 * half) {
+                for k in 0..half {
+                    let tw = self.twiddles[k * stride];
+                    let tw = match direction {
+                        FftDirection::Forward => tw,
+                        FftDirection::Inverse => tw.conj(),
+                    };
+                    let a = data[start + k];
+                    let b = data[start + k + half] * tw;
+                    data[start + k] = a + b;
+                    data[start + k + half] = a - b;
+                }
+            }
+            half *= 2;
+        }
+        if direction == FftDirection::Inverse {
+            let scale = T::ONE / T::from_usize(self.n);
+            for v in data.iter_mut() {
+                *v = v.scale(scale);
+            }
+        }
+        Ok(())
+    }
+
+    /// In-place forward transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] on buffer length mismatch.
+    #[inline]
+    pub fn forward(&self, data: &mut [Complex<T>]) -> Result<(), FftError> {
+        self.process(data, FftDirection::Forward)
+    }
+
+    /// In-place inverse transform (normalized by `1/n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] on buffer length mismatch.
+    #[inline]
+    pub fn inverse(&self, data: &mut [Complex<T>]) -> Result<(), FftError> {
+        self.process(data, FftDirection::Inverse)
+    }
+
+    /// Convenience: forward transform of a real signal into a fresh buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `input.len() != self.len()`.
+    pub fn forward_real(&self, input: &[T]) -> Result<Vec<Complex<T>>, FftError> {
+        if input.len() != self.n {
+            return Err(FftError::LengthMismatch { expected: self.n, got: input.len() });
+        }
+        let mut buf: Vec<Complex<T>> = input.iter().map(|&x| Complex::from_real(x)).collect();
+        self.forward(&mut buf)?;
+        Ok(buf)
+    }
+}
+
+/// Reference `O(n²)` DFT used by the test-suite to pin the FFT output bit
+/// patterns against the definition.
+#[cfg(test)]
+pub(crate) fn dft_naive<T: Float>(input: &[Complex<T>], direction: FftDirection) -> Vec<Complex<T>> {
+    let n = input.len();
+    let sign = match direction {
+        FftDirection::Forward => -T::ONE,
+        FftDirection::Inverse => T::ONE,
+    };
+    let mut out = vec![Complex::zero(); n];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut acc = Complex::zero();
+        for (j, &x) in input.iter().enumerate() {
+            let theta = sign * T::TWO * T::PI * T::from_usize(k * j % n) / T::from_usize(n);
+            acc += x * Complex::from_polar(T::ONE, theta);
+        }
+        if direction == FftDirection::Inverse {
+            acc = acc.scale(T::ONE / T::from_usize(n));
+        }
+        *slot = acc;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_err(a: &[Complex<f64>], b: &[Complex<f64>]) -> f64 {
+        a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    fn seeded_signal(n: usize, seed: u64) -> Vec<Complex<f64>> {
+        // Small deterministic LCG; avoids pulling rand into the unit tests.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let re = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let im = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+                Complex::new(re, im)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert_eq!(FftPlan::<f64>::new(0).unwrap_err(), FftError::ZeroLength);
+        assert_eq!(FftPlan::<f64>::new(12).unwrap_err(), FftError::NotPowerOfTwo(12));
+        assert_eq!(FftPlan::<f64>::new(7).unwrap_err(), FftError::NotPowerOfTwo(7));
+    }
+
+    #[test]
+    fn rejects_mismatched_buffers() {
+        let plan = FftPlan::<f64>::new(8).unwrap();
+        let mut buf = vec![Complex::zero(); 4];
+        assert_eq!(
+            plan.forward(&mut buf).unwrap_err(),
+            FftError::LengthMismatch { expected: 8, got: 4 }
+        );
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let plan = FftPlan::<f64>::new(1).unwrap();
+        let mut buf = vec![Complex::new(3.0, -1.0)];
+        plan.forward(&mut buf).unwrap();
+        assert_eq!(buf[0], Complex::new(3.0, -1.0));
+        plan.inverse(&mut buf).unwrap();
+        assert_eq!(buf[0], Complex::new(3.0, -1.0));
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let plan = FftPlan::<f64>::new(8).unwrap();
+        let mut buf = vec![Complex::zero(); 8];
+        buf[0] = Complex::one();
+        plan.forward(&mut buf).unwrap();
+        for v in &buf {
+            assert!((v.re - 1.0).abs() < 1e-12 && v.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shifted_impulse_gives_twiddle_ramp() {
+        let n = 16;
+        let plan = FftPlan::<f64>::new(n).unwrap();
+        let mut buf = vec![Complex::zero(); n];
+        buf[1] = Complex::one();
+        plan.forward(&mut buf).unwrap();
+        for (k, v) in buf.iter().enumerate() {
+            let theta = -2.0 * core::f64::consts::PI * k as f64 / n as f64;
+            let expect = Complex::from_polar(1.0, theta);
+            assert!((*v - expect).abs() < 1e-12, "bin {k}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_across_sizes() {
+        for log in 0..=10 {
+            let n = 1usize << log;
+            let plan = FftPlan::<f64>::new(n).unwrap();
+            let signal = seeded_signal(n, 42 + log as u64);
+            let mut fast = signal.clone();
+            plan.forward(&mut fast).unwrap();
+            let slow = dft_naive(&signal, FftDirection::Forward);
+            assert!(max_err(&fast, &slow) < 1e-9 * n as f64, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive_inverse() {
+        let n = 64;
+        let plan = FftPlan::<f64>::new(n).unwrap();
+        let signal = seeded_signal(n, 7);
+        let mut fast = signal.clone();
+        plan.inverse(&mut fast).unwrap();
+        let slow = dft_naive(&signal, FftDirection::Inverse);
+        assert!(max_err(&fast, &slow) < 1e-11);
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        for n in [2usize, 8, 128, 1024] {
+            let plan = FftPlan::<f64>::new(n).unwrap();
+            let signal = seeded_signal(n, n as u64);
+            let mut buf = signal.clone();
+            plan.forward(&mut buf).unwrap();
+            plan.inverse(&mut buf).unwrap();
+            assert!(max_err(&buf, &signal) < 1e-11, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 32;
+        let plan = FftPlan::<f64>::new(n).unwrap();
+        let a = seeded_signal(n, 1);
+        let b = seeded_signal(n, 2);
+        let mut sum: Vec<Complex<f64>> = a.iter().zip(&b).map(|(&x, &y)| x + y.scale(2.5)).collect();
+        plan.forward(&mut sum).unwrap();
+        let mut fa = a.clone();
+        plan.forward(&mut fa).unwrap();
+        let mut fb = b.clone();
+        plan.forward(&mut fb).unwrap();
+        let expect: Vec<Complex<f64>> = fa.iter().zip(&fb).map(|(&x, &y)| x + y.scale(2.5)).collect();
+        assert!(max_err(&sum, &expect) < 1e-11);
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let n = 256;
+        let plan = FftPlan::<f64>::new(n).unwrap();
+        let signal = seeded_signal(n, 99);
+        let time_energy: f64 = signal.iter().map(|z| z.norm_sqr()).sum();
+        let mut freq = signal.clone();
+        plan.forward(&mut freq).unwrap();
+        let freq_energy: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy);
+    }
+
+    #[test]
+    fn real_input_spectrum_is_hermitian() {
+        // This symmetry is the basis of the paper's Fig. 10 "red circle"
+        // optimization: for real inputs only half the outputs are unique.
+        let n = 64;
+        let plan = FftPlan::<f64>::new(n).unwrap();
+        let real: Vec<f64> = seeded_signal(n, 5).iter().map(|z| z.re).collect();
+        let spec = plan.forward_real(&real).unwrap();
+        for k in 1..n {
+            let diff = (spec[k] - spec[n - k].conj()).abs();
+            assert!(diff < 1e-11, "bin {k}");
+        }
+        assert!(spec[0].im.abs() < 1e-12);
+        assert!(spec[n / 2].im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn f32_plan_reaches_single_precision_accuracy() {
+        let n = 512;
+        let plan = FftPlan::<f32>::new(n).unwrap();
+        let sig64 = seeded_signal(n, 3);
+        let mut buf: Vec<Complex<f32>> =
+            sig64.iter().map(|z| Complex::new(z.re as f32, z.im as f32)).collect();
+        plan.forward(&mut buf).unwrap();
+        plan.inverse(&mut buf).unwrap();
+        for (a, b) in buf.iter().zip(&sig64) {
+            assert!((a.re as f64 - b.re).abs() < 1e-4);
+            assert!((a.im as f64 - b.im).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn levels_reports_log2() {
+        assert_eq!(FftPlan::<f64>::new(1024).unwrap().levels(), 10);
+        assert_eq!(FftPlan::<f64>::new(2).unwrap().levels(), 1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Recursive FFT decomposition mirroring the paper's Fig. 9.
+//!
+//! The CirCNN architecture hinges on the *recursive property* of the FFT
+//! (§4.1): "the calculation of a size-n FFT can be implemented using two
+//! FFTs with size n/2 plus one additional level of butterfly calculation".
+//! This module implements that decomposition literally — a size-n transform
+//! recursing into even/odd half-size transforms — and exposes a butterfly
+//! trace that `circnn-hw` cross-validates its cycle model against.
+
+use crate::complex::Complex;
+use crate::error::FftError;
+use crate::float::Float;
+
+/// Forward DFT computed by literal Fig.-9 recursion.
+///
+/// This exists for architectural fidelity and cross-validation; use
+/// [`crate::FftPlan`] for speed.
+///
+/// # Errors
+///
+/// Returns [`FftError`] if the length is zero or not a power of two.
+///
+/// # Examples
+///
+/// ```
+/// use circnn_fft::{recursive::fft_recursive, Complex};
+///
+/// let x = vec![Complex::from_real(1.0_f64); 4];
+/// let spec = fft_recursive(&x)?;
+/// assert!((spec[0].re - 4.0).abs() < 1e-12);
+/// # Ok::<(), circnn_fft::FftError>(())
+/// ```
+pub fn fft_recursive<T: Float>(input: &[Complex<T>]) -> Result<Vec<Complex<T>>, FftError> {
+    let n = input.len();
+    if n == 0 {
+        return Err(FftError::ZeroLength);
+    }
+    if !n.is_power_of_two() {
+        return Err(FftError::NotPowerOfTwo(n));
+    }
+    Ok(recurse(input))
+}
+
+fn recurse<T: Float>(x: &[Complex<T>]) -> Vec<Complex<T>> {
+    let n = x.len();
+    if n == 1 {
+        return vec![x[0]];
+    }
+    // Split into the two half-size sub-problems of Fig. 9 …
+    let even: Vec<Complex<T>> = x.iter().step_by(2).copied().collect();
+    let odd: Vec<Complex<T>> = x.iter().skip(1).step_by(2).copied().collect();
+    let fe = recurse(&even);
+    let fo = recurse(&odd);
+    // … plus one additional level of butterfly calculation.
+    let mut out = vec![Complex::zero(); n];
+    for k in 0..n / 2 {
+        let theta = -T::TWO * T::PI * T::from_usize(k) / T::from_usize(n);
+        let tw = Complex::from_polar(T::ONE, theta);
+        let t = tw * fo[k];
+        out[k] = fe[k] + t;
+        out[k + n / 2] = fe[k] - t;
+    }
+    out
+}
+
+/// Per-level butterfly counts of the recursive decomposition.
+///
+/// Level `0` is the first (size-2) combine stage and level
+/// `log₂n − 1` the final full-width stage; every level performs exactly
+/// `n/2` complex butterflies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ButterflyTrace {
+    /// Butterfly count at each of the `log₂ n` levels.
+    pub per_level: Vec<usize>,
+}
+
+impl ButterflyTrace {
+    /// Total number of butterflies across all levels: `(n/2)·log₂n`.
+    pub fn total(&self) -> usize {
+        self.per_level.iter().sum()
+    }
+
+    /// Number of butterfly levels (`log₂ n`).
+    pub fn levels(&self) -> usize {
+        self.per_level.len()
+    }
+}
+
+/// Computes the butterfly trace of a size-`n` complex FFT without running it.
+///
+/// # Errors
+///
+/// Returns [`FftError`] if `n` is zero or not a power of two.
+pub fn trace_butterflies(n: usize) -> Result<ButterflyTrace, FftError> {
+    if n == 0 {
+        return Err(FftError::ZeroLength);
+    }
+    if !n.is_power_of_two() {
+        return Err(FftError::NotPowerOfTwo(n));
+    }
+    let levels = n.trailing_zeros() as usize;
+    Ok(ButterflyTrace { per_level: vec![n / 2; levels] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FftPlan;
+
+    #[test]
+    fn recursive_matches_planned_fft() {
+        for log in 0..=9 {
+            let n = 1usize << log;
+            let input: Vec<Complex<f64>> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect();
+            let rec = fft_recursive(&input).unwrap();
+            let plan = FftPlan::new(n).unwrap();
+            let mut fast = input.clone();
+            plan.forward(&mut fast).unwrap();
+            for (a, b) in rec.iter().zip(&fast) {
+                assert!((*a - *b).abs() < 1e-9 * n.max(1) as f64, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_counts_match_closed_form() {
+        for log in 1..=12 {
+            let n = 1usize << log;
+            let trace = trace_butterflies(n).unwrap();
+            assert_eq!(trace.levels(), log);
+            assert_eq!(trace.total(), n / 2 * log);
+            assert!(trace.per_level.iter().all(|&c| c == n / 2));
+        }
+    }
+
+    #[test]
+    fn trace_rejects_bad_lengths() {
+        assert!(trace_butterflies(0).is_err());
+        assert!(trace_butterflies(24).is_err());
+    }
+
+    #[test]
+    fn recursion_decomposes_exactly_as_figure_nine() {
+        // A size-n FFT = two size-n/2 FFTs + n/2 extra butterflies.
+        let n = 64;
+        let full = trace_butterflies(n).unwrap();
+        let half = trace_butterflies(n / 2).unwrap();
+        assert_eq!(full.total(), 2 * half.total() + n / 2);
+    }
+
+    #[test]
+    fn rejects_invalid_inputs() {
+        assert!(fft_recursive::<f64>(&[]).is_err());
+        let bad = vec![Complex::<f64>::zero(); 3];
+        assert!(fft_recursive(&bad).is_err());
+    }
+}

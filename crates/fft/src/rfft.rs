@@ -1,0 +1,326 @@
+//! Real-input FFT exploiting Hermitian symmetry.
+//!
+//! DNN activations and weights are real-valued, so their spectra satisfy
+//! `X[k] = conj(X[n−k])` and only `n/2 + 1` bins carry information. The
+//! paper leans on exactly this in hardware (Fig. 10: "the outcomes in the
+//! red circles do not need to be calculated and stored"). In software the
+//! same saving is realized by packing the real signal into a half-length
+//! complex signal, running one half-size FFT, and unpacking — roughly a 2×
+//! reduction in both compute and intermediate storage.
+
+use crate::complex::Complex;
+use crate::error::FftError;
+use crate::float::Float;
+use crate::plan::FftPlan;
+
+/// A planned real-input FFT of power-of-two length `n`.
+///
+/// The forward transform maps `n` reals to the `n/2 + 1` unique spectrum
+/// bins; the inverse maps them back.
+///
+/// # Examples
+///
+/// ```
+/// use circnn_fft::RealFftPlan;
+///
+/// # fn main() -> Result<(), circnn_fft::FftError> {
+/// let plan = RealFftPlan::<f64>::new(8)?;
+/// let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+/// let spectrum = plan.forward(&x)?;
+/// assert_eq!(spectrum.len(), 5); // n/2 + 1 unique bins
+/// let back = plan.inverse(&spectrum)?;
+/// assert!((back[3] - 4.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RealFftPlan<T> {
+    n: usize,
+    /// Half-size complex plan (`None` for the trivial n = 1 transform).
+    half: Option<FftPlan<T>>,
+    /// Unpack twiddles `e^{-2πik/n}` for `k in 0..=n/2`.
+    twiddles: Vec<Complex<T>>,
+}
+
+impl<T: Float> RealFftPlan<T> {
+    /// Builds a plan for real transforms of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::ZeroLength`] if `n == 0` and
+    /// [`FftError::NotPowerOfTwo`] otherwise for non-power-of-two `n`.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        if n == 0 {
+            return Err(FftError::ZeroLength);
+        }
+        if !n.is_power_of_two() {
+            return Err(FftError::NotPowerOfTwo(n));
+        }
+        let half = if n >= 2 { Some(FftPlan::new(n / 2)?) } else { None };
+        let mut twiddles = Vec::with_capacity(n / 2 + 1);
+        for k in 0..=n / 2 {
+            let theta = -T::TWO * T::PI * T::from_usize(k) / T::from_usize(n);
+            twiddles.push(Complex::from_polar(T::ONE, theta));
+        }
+        Ok(Self { n, half, twiddles })
+    }
+
+    /// Real signal length this plan transforms.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`; provided for API completeness alongside [`len`].
+    ///
+    /// [`len`]: Self::len
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of unique spectrum bins, `n/2 + 1`.
+    #[inline]
+    pub fn spectrum_len(&self) -> usize {
+        self.n / 2 + 1
+    }
+
+    /// Forward transform into a freshly allocated spectrum buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `input.len() != self.len()`.
+    pub fn forward(&self, input: &[T]) -> Result<Vec<Complex<T>>, FftError> {
+        let mut out = vec![Complex::zero(); self.spectrum_len()];
+        let mut scratch = vec![Complex::zero(); self.n / 2];
+        self.forward_with_scratch(input, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// Forward transform using caller-provided buffers (no allocation).
+    ///
+    /// `out` must hold `n/2 + 1` bins and `scratch` must hold `n/2` values.
+    /// This is the hot path used by the block-circulant layers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if any buffer has the wrong size.
+    pub fn forward_with_scratch(
+        &self,
+        input: &[T],
+        out: &mut [Complex<T>],
+        scratch: &mut [Complex<T>],
+    ) -> Result<(), FftError> {
+        if input.len() != self.n {
+            return Err(FftError::LengthMismatch { expected: self.n, got: input.len() });
+        }
+        if out.len() != self.spectrum_len() {
+            return Err(FftError::LengthMismatch { expected: self.spectrum_len(), got: out.len() });
+        }
+        if self.n == 1 {
+            out[0] = Complex::from_real(input[0]);
+            return Ok(());
+        }
+        let n2 = self.n / 2;
+        if scratch.len() != n2 {
+            return Err(FftError::LengthMismatch { expected: n2, got: scratch.len() });
+        }
+        // Pack x[2m] + i·x[2m+1] and run the half-size complex FFT.
+        for m in 0..n2 {
+            scratch[m] = Complex::new(input[2 * m], input[2 * m + 1]);
+        }
+        let half = self.half.as_ref().expect("n >= 2 always has a half plan");
+        half.forward(scratch)?;
+        // Unpack: E[k] = (Z[k] + conj(Z[n2−k]))/2 is the even-sample DFT,
+        // O[k] = (Z[k] − conj(Z[n2−k]))/(2i) the odd-sample DFT, and
+        // X[k] = E[k] + e^{-2πik/n}·O[k].
+        let half_scalar = T::HALF;
+        for k in 0..=n2 {
+            let zk = scratch[k % n2];
+            let znk = scratch[(n2 - k) % n2].conj();
+            let even = (zk + znk).scale(half_scalar);
+            let diff = zk - znk;
+            // (a+bi)/(2i) = (b - ai)/2
+            let odd = Complex::new(diff.im, -diff.re).scale(half_scalar);
+            out[k] = even + odd * self.twiddles[k];
+        }
+        Ok(())
+    }
+
+    /// Inverse transform into a freshly allocated real buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `spectrum.len() != n/2 + 1`.
+    pub fn inverse(&self, spectrum: &[Complex<T>]) -> Result<Vec<T>, FftError> {
+        let mut out = vec![T::ZERO; self.n];
+        let mut scratch = vec![Complex::zero(); self.n / 2];
+        self.inverse_with_scratch(spectrum, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// Inverse transform using caller-provided buffers (no allocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if any buffer has the wrong size.
+    pub fn inverse_with_scratch(
+        &self,
+        spectrum: &[Complex<T>],
+        out: &mut [T],
+        scratch: &mut [Complex<T>],
+    ) -> Result<(), FftError> {
+        if spectrum.len() != self.spectrum_len() {
+            return Err(FftError::LengthMismatch {
+                expected: self.spectrum_len(),
+                got: spectrum.len(),
+            });
+        }
+        if out.len() != self.n {
+            return Err(FftError::LengthMismatch { expected: self.n, got: out.len() });
+        }
+        if self.n == 1 {
+            out[0] = spectrum[0].re;
+            return Ok(());
+        }
+        let n2 = self.n / 2;
+        if scratch.len() != n2 {
+            return Err(FftError::LengthMismatch { expected: n2, got: scratch.len() });
+        }
+        // Re-pack: E[k] = (X[k] + conj(X[n2−k]))/2,
+        // O[k] = e^{+2πik/n}·(X[k] − conj(X[n2−k]))/2, Z[k] = E[k] + i·O[k].
+        let half_scalar = T::HALF;
+        for k in 0..n2 {
+            let xk = spectrum[k];
+            let xnk = spectrum[n2 - k].conj();
+            let even = (xk + xnk).scale(half_scalar);
+            let odd = (xk - xnk).scale(half_scalar) * self.twiddles[k].conj();
+            scratch[k] = even + Complex::new(-odd.im, odd.re); // + i·odd
+        }
+        let half = self.half.as_ref().expect("n >= 2 always has a half plan");
+        half.inverse(scratch)?;
+        for m in 0..n2 {
+            out[2 * m] = scratch[m].re;
+            out[2 * m + 1] = scratch[m].im;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FftPlan;
+
+    fn seeded_real(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_lengths() {
+        assert!(RealFftPlan::<f64>::new(0).is_err());
+        assert!(RealFftPlan::<f64>::new(6).is_err());
+    }
+
+    #[test]
+    fn trivial_length_one() {
+        let plan = RealFftPlan::<f64>::new(1).unwrap();
+        let spec = plan.forward(&[5.0]).unwrap();
+        assert_eq!(spec.len(), 1);
+        assert_eq!(spec[0], Complex::new(5.0, 0.0));
+        let back = plan.inverse(&spec).unwrap();
+        assert_eq!(back, vec![5.0]);
+    }
+
+    #[test]
+    fn length_two() {
+        let plan = RealFftPlan::<f64>::new(2).unwrap();
+        let spec = plan.forward(&[3.0, 1.0]).unwrap();
+        assert!((spec[0].re - 4.0).abs() < 1e-12);
+        assert!((spec[1].re - 2.0).abs() < 1e-12);
+        let back = plan.inverse(&spec).unwrap();
+        assert!((back[0] - 3.0).abs() < 1e-12 && (back[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_full_complex_fft() {
+        for log in 1..=11 {
+            let n = 1usize << log;
+            let rplan = RealFftPlan::<f64>::new(n).unwrap();
+            let cplan = FftPlan::<f64>::new(n).unwrap();
+            let x = seeded_real(n, log as u64);
+            let rspec = rplan.forward(&x).unwrap();
+            let cspec = cplan.forward_real(&x).unwrap();
+            for k in 0..=n / 2 {
+                let d = (rspec[k] - cspec[k]).abs();
+                assert!(d < 1e-10 * n as f64, "n = {n}, bin {k}: err {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_len_is_half_plus_one() {
+        for n in [1usize, 2, 4, 64, 4096] {
+            let plan = RealFftPlan::<f64>::new(n).unwrap();
+            assert_eq!(plan.spectrum_len(), n / 2 + 1);
+            assert_eq!(plan.forward(&vec![0.5; n]).unwrap().len(), n / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        for n in [2usize, 4, 16, 256, 2048] {
+            let plan = RealFftPlan::<f64>::new(n).unwrap();
+            let x = seeded_real(n, 1234 + n as u64);
+            let spec = plan.forward(&x).unwrap();
+            let back = plan.inverse(&spec).unwrap();
+            for (a, b) in back.iter().zip(&x) {
+                assert!((a - b).abs() < 1e-10, "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dc_and_nyquist_bins_are_real() {
+        let n = 32;
+        let plan = RealFftPlan::<f64>::new(n).unwrap();
+        let x = seeded_real(n, 77);
+        let spec = plan.forward(&x).unwrap();
+        assert!(spec[0].im.abs() < 1e-12);
+        assert!(spec[n / 2].im.abs() < 1e-12);
+        let sum: f64 = x.iter().sum();
+        assert!((spec[0].re - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn scratch_api_rejects_wrong_sizes() {
+        let plan = RealFftPlan::<f64>::new(8).unwrap();
+        let x = [0.0; 8];
+        let mut out = vec![Complex::zero(); 5];
+        let mut bad_scratch = vec![Complex::zero(); 3];
+        assert!(plan.forward_with_scratch(&x, &mut out, &mut bad_scratch).is_err());
+        let mut bad_out = vec![Complex::zero(); 4];
+        let mut scratch = vec![Complex::zero(); 4];
+        assert!(plan.forward_with_scratch(&x, &mut bad_out, &mut scratch).is_err());
+        assert!(plan.forward(&[0.0; 7]).is_err());
+        assert!(plan.inverse(&vec![Complex::zero(); 4]).is_err());
+    }
+
+    #[test]
+    fn f32_round_trip() {
+        let n = 128;
+        let plan = RealFftPlan::<f32>::new(n).unwrap();
+        let x: Vec<f32> = seeded_real(n, 9).iter().map(|&v| v as f32).collect();
+        let spec = plan.forward(&x).unwrap();
+        let back = plan.inverse(&spec).unwrap();
+        for (a, b) in back.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Property-based tests for the FFT substrate.
+//!
+//! These pin the algebraic laws the rest of the CirCNN stack relies on:
+//! invertibility, linearity, Parseval, the convolution/correlation theorems,
+//! and the Hermitian symmetry that justifies the real-FFT (and the paper's
+//! Fig. 10 hardware saving).
+
+use circnn_fft::convolve::{
+    circular_convolve_direct, circular_correlate_direct, circulant_from_first_row,
+    CircularConvolver,
+};
+use circnn_fft::{Complex, FftPlan, RealFftPlan};
+use proptest::prelude::*;
+
+/// Strategy: a power-of-two length in `[2, 256]` plus that many doubles.
+fn real_signal() -> impl Strategy<Value = Vec<f64>> {
+    (1u32..=8).prop_flat_map(|log| {
+        let n = 1usize << log;
+        prop::collection::vec(-100.0..100.0f64, n..=n)
+    })
+}
+
+fn complex_signal() -> impl Strategy<Value = Vec<Complex<f64>>> {
+    (1u32..=8).prop_flat_map(|log| {
+        let n = 1usize << log;
+        prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64), n..=n)
+            .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+    })
+}
+
+fn max_abs(v: &[Complex<f64>]) -> f64 {
+    v.iter().map(|z| z.abs()).fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fft_round_trip_recovers_signal(sig in complex_signal()) {
+        let plan = FftPlan::new(sig.len()).unwrap();
+        let mut buf = sig.clone();
+        plan.forward(&mut buf).unwrap();
+        plan.inverse(&mut buf).unwrap();
+        let scale = max_abs(&sig).max(1.0);
+        for (a, b) in buf.iter().zip(&sig) {
+            prop_assert!((*a - *b).abs() < 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn fft_is_linear(sig in complex_signal(), alpha in -10.0..10.0f64) {
+        let n = sig.len();
+        let plan = FftPlan::new(n).unwrap();
+        let mut scaled: Vec<Complex<f64>> = sig.iter().map(|z| z.scale(alpha)).collect();
+        plan.forward(&mut scaled).unwrap();
+        let mut base = sig.clone();
+        plan.forward(&mut base).unwrap();
+        let scale = max_abs(&base).max(1.0) * alpha.abs().max(1.0);
+        for (a, b) in scaled.iter().zip(&base) {
+            prop_assert!((*a - b.scale(alpha)).abs() < 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(sig in complex_signal()) {
+        let n = sig.len();
+        let plan = FftPlan::new(n).unwrap();
+        let time: f64 = sig.iter().map(|z| z.norm_sqr()).sum();
+        let mut freq = sig.clone();
+        plan.forward(&mut freq).unwrap();
+        let spec: f64 = freq.iter().map(|z| z.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((time - spec).abs() < 1e-7 * time.max(1.0));
+    }
+
+    #[test]
+    fn real_fft_matches_complex_fft(sig in real_signal()) {
+        let n = sig.len();
+        let rplan = RealFftPlan::new(n).unwrap();
+        let cplan = FftPlan::new(n).unwrap();
+        let rspec = rplan.forward(&sig).unwrap();
+        let cspec = cplan.forward_real(&sig).unwrap();
+        let scale = max_abs(&cspec).max(1.0);
+        for k in 0..=n / 2 {
+            prop_assert!((rspec[k] - cspec[k]).abs() < 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn real_fft_round_trip(sig in real_signal()) {
+        let plan = RealFftPlan::new(sig.len()).unwrap();
+        let spec = plan.forward(&sig).unwrap();
+        let back = plan.inverse(&spec).unwrap();
+        let scale = sig.iter().fold(1.0f64, |m, &x| m.max(x.abs()));
+        for (a, b) in back.iter().zip(&sig) {
+            prop_assert!((a - b).abs() < 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn convolution_theorem(ab in (1u32..=7).prop_flat_map(|log| {
+        let n = 1usize << log;
+        (prop::collection::vec(-10.0..10.0f64, n..=n),
+         prop::collection::vec(-10.0..10.0f64, n..=n))
+    })) {
+        let (a, b) = ab;
+        let conv = CircularConvolver::new(a.len()).unwrap();
+        let fast = conv.convolve(&a, &b).unwrap();
+        let slow = circular_convolve_direct(&a, &b);
+        let scale = slow.iter().fold(1.0f64, |m, &x| m.max(x.abs()));
+        for (f, s) in fast.iter().zip(&slow) {
+            prop_assert!((f - s).abs() < 1e-8 * scale);
+        }
+    }
+
+    #[test]
+    fn correlation_theorem_is_first_row_circulant_matvec(wx in (1u32..=6).prop_flat_map(|log| {
+        let n = 1usize << log;
+        (prop::collection::vec(-10.0..10.0f64, n..=n),
+         prop::collection::vec(-10.0..10.0f64, n..=n))
+    })) {
+        let (w, x) = wx;
+        let k = w.len();
+        // Dense reference: build the circulant matrix, multiply explicitly.
+        let dense = circulant_from_first_row(&w);
+        let reference: Vec<f64> = (0..k)
+            .map(|i| (0..k).map(|j| dense[i * k + j] * x[j]).sum())
+            .collect();
+        // Fast path used by the CirCNN layers.
+        let conv = CircularConvolver::new(k).unwrap();
+        let fast = conv.correlate(&w, &x).unwrap();
+        // And the direct O(k²) correlation.
+        let direct = circular_correlate_direct(&w, &x);
+        let scale = reference.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+        for i in 0..k {
+            prop_assert!((fast[i] - reference[i]).abs() < 1e-8 * scale);
+            prop_assert!((direct[i] - reference[i]).abs() < 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn real_spectrum_is_hermitian(sig in real_signal()) {
+        let n = sig.len();
+        let plan = FftPlan::new(n).unwrap();
+        let spec = plan.forward_real(&sig).unwrap();
+        let scale = max_abs(&spec).max(1.0);
+        for k in 1..n {
+            prop_assert!((spec[k] - spec[n - k].conj()).abs() < 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn convolution_is_commutative_and_bilinear(
+        abc in (1u32..=6).prop_flat_map(|log| {
+            let n = 1usize << log;
+            (prop::collection::vec(-5.0..5.0f64, n..=n),
+             prop::collection::vec(-5.0..5.0f64, n..=n),
+             prop::collection::vec(-5.0..5.0f64, n..=n))
+        }),
+        alpha in -3.0..3.0f64,
+    ) {
+        let (a, b, c) = abc;
+        let n = a.len();
+        let ab = circular_convolve_direct(&a, &b);
+        let ba = circular_convolve_direct(&b, &a);
+        // a ⊛ (b + αc) = a ⊛ b + α (a ⊛ c)
+        let bc: Vec<f64> = b.iter().zip(&c).map(|(&x, &y)| x + alpha * y).collect();
+        let lhs = circular_convolve_direct(&a, &bc);
+        let ac = circular_convolve_direct(&a, &c);
+        for i in 0..n {
+            prop_assert!((ab[i] - ba[i]).abs() < 1e-9 * ab[i].abs().max(1.0));
+            let rhs = ab[i] + alpha * ac[i];
+            prop_assert!((lhs[i] - rhs).abs() < 1e-8 * rhs.abs().max(1.0));
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Area / resource model — the "hardware resource limit" of Algorithm 3.
+//!
+//! Algorithm 3 derives the upper bound of `p` from "memory bandwidth-limit
+//! & hardware resource limit"; [`crate::dse`] models the bandwidth side and
+//! this module the resource side: how many butterfly units, multiplier
+//! lanes and memory bits a device can actually host.
+//!
+//! Constants are representative catalog values with sources in comments;
+//! they feed a feasibility check, not a placement tool, so ±20 % accuracy
+//! is ample.
+
+/// FPGA resource inventory (Cyclone-V-class accounting: logic elements,
+/// 18×18 DSP multipliers, block-RAM kilobits).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FpgaResources {
+    /// Logic elements (LE/ALM-equivalents).
+    pub logic_elements: u64,
+    /// 18×18 hardware multipliers (2 per Cyclone V DSP block).
+    pub multipliers_18x18: u64,
+    /// Block memory in kilobits.
+    pub block_ram_kbit: u64,
+}
+
+impl FpgaResources {
+    /// Intel Cyclone V 5CEA9 (the paper's §5.1 part): ≈301 K LEs, 342 DSP
+    /// blocks (684 18×18 multipliers), ≈12,200 Kbit M10K block RAM
+    /// (Cyclone V device handbook).
+    pub fn cyclone_v_5cea9() -> Self {
+        Self { logic_elements: 301_000, multipliers_18x18: 684, block_ram_kbit: 12_200 }
+    }
+
+    /// Whether a demand fits within this inventory.
+    pub fn fits(&self, demand: &FpgaResources) -> bool {
+        demand.logic_elements <= self.logic_elements
+            && demand.multipliers_18x18 <= self.multipliers_18x18
+            && demand.block_ram_kbit <= self.block_ram_kbit
+    }
+
+    /// Utilization of the scarcest resource, in [0, ∞).
+    pub fn utilization(&self, demand: &FpgaResources) -> f64 {
+        let le = demand.logic_elements as f64 / self.logic_elements as f64;
+        let mul = demand.multipliers_18x18 as f64 / self.multipliers_18x18 as f64;
+        let ram = demand.block_ram_kbit as f64 / self.block_ram_kbit as f64;
+        le.max(mul).max(ram)
+    }
+}
+
+/// Per-unit FPGA costs at 16 bits (synthesis-report scale):
+/// a radix-2 butterfly = 4 multipliers + ~6 adders (~350 LEs of adder,
+/// routing and control); a complex-multiply lane = 4 multipliers + ~150 LEs;
+/// a MAC lane = 1 multiplier + ~60 LEs; a simple-op lane ≈ 40 LEs.
+pub fn fpga_demand(
+    p: usize,
+    d: usize,
+    cmul_lanes: usize,
+    mac_lanes: usize,
+    simple_lanes: usize,
+    weight_kbit: u64,
+) -> FpgaResources {
+    let butterflies = (p * d) as u64;
+    FpgaResources {
+        logic_elements: butterflies * 350
+            + cmul_lanes as u64 * 150
+            + mac_lanes as u64 * 60
+            + simple_lanes as u64 * 40
+            + 20_000, // control subsystem, I/O buffers (§4.2 blocks)
+        multipliers_18x18: butterflies * 4 + cmul_lanes as u64 * 4 + mac_lanes as u64,
+        block_ram_kbit: weight_kbit + 512, // weights + twiddle ROM + I/O buffers
+    }
+}
+
+/// Largest `p` (at depth `d`) the device can host alongside the given
+/// peripheral configuration — the resource half of Algorithm 3's bound.
+pub fn resource_bound_p(
+    device: &FpgaResources,
+    d: usize,
+    cmul_lanes: usize,
+    mac_lanes: usize,
+    simple_lanes: usize,
+    weight_kbit: u64,
+) -> usize {
+    let mut best = 0usize;
+    for p in 1..=4096 {
+        if device.fits(&fpga_demand(p, d, cmul_lanes, mac_lanes, simple_lanes, weight_kbit)) {
+            best = p;
+        } else {
+            break;
+        }
+    }
+    best
+}
+
+/// ASIC silicon area model at 45 nm (representative synthesis figures:
+/// 16×16 multiplier ≈ 0.0015 mm², 16-bit adder ≈ 0.0001 mm², SRAM ≈
+/// 0.6 mm² per Mbit including periphery).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsicArea {
+    /// Logic area in mm².
+    pub logic_mm2: f64,
+    /// SRAM area in mm².
+    pub sram_mm2: f64,
+}
+
+impl AsicArea {
+    /// Total die area estimate (plus 20 % routing overhead).
+    pub fn total_mm2(&self) -> f64 {
+        (self.logic_mm2 + self.sram_mm2) * 1.2
+    }
+}
+
+/// ASIC area demand for a computing-block configuration.
+pub fn asic_demand(
+    p: usize,
+    d: usize,
+    cmul_lanes: usize,
+    mac_lanes: usize,
+    weight_bits: u64,
+) -> AsicArea {
+    const MULT_MM2: f64 = 0.0015;
+    const ADD_MM2: f64 = 0.0001;
+    let butterflies = (p * d) as f64;
+    let logic_mm2 = butterflies * (4.0 * MULT_MM2 + 6.0 * ADD_MM2)
+        + cmul_lanes as f64 * (4.0 * MULT_MM2 + 2.0 * ADD_MM2)
+        + mac_lanes as f64 * (MULT_MM2 + ADD_MM2)
+        + 0.5; // control + I/O
+    let sram_mm2 = weight_bits as f64 / 1.0e6 * 0.6;
+    AsicArea { logic_mm2, sram_mm2 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::netdesc::NetworkDescriptor;
+
+    fn alexnet_weight_kbit() -> u64 {
+        NetworkDescriptor::alexnet_circulant().weight_bytes(16) * 8 / 1024
+    }
+
+    #[test]
+    fn the_paper_design_point_fits_the_cyclone_v() {
+        // The platform preset (p=32, d=3, 32 cmul lanes, 64 MAC lanes)
+        // with compressed AlexNet weights on chip must fit the 5CEA9 —
+        // the §4.4 feasibility claim.
+        let device = FpgaResources::cyclone_v_5cea9();
+        let demand = fpga_demand(32, 3, 32, 64, 128, alexnet_weight_kbit());
+        assert!(device.fits(&demand), "demand {demand:?}");
+        let util = device.utilization(&demand);
+        assert!(util > 0.3 && util <= 1.0, "utilization {util}");
+    }
+
+    #[test]
+    fn dense_alexnet_weights_do_not_fit_any_fpga_block_ram() {
+        let device = FpgaResources::cyclone_v_5cea9();
+        let dense_kbit = NetworkDescriptor::alexnet_dense().weight_bytes(32) * 8 / 1024;
+        let demand = fpga_demand(32, 3, 32, 64, 128, dense_kbit);
+        assert!(!device.fits(&demand));
+    }
+
+    #[test]
+    fn resource_bound_is_in_the_same_regime_as_the_bandwidth_bound() {
+        // Algorithm 3 takes min(bandwidth bound ≈ 38, resource bound); the
+        // resource bound for the Cyclone V should be the same order.
+        let device = FpgaResources::cyclone_v_5cea9();
+        let bound = resource_bound_p(&device, 3, 32, 64, 128, alexnet_weight_kbit());
+        assert!((20..200).contains(&bound), "resource bound {bound}");
+    }
+
+    #[test]
+    fn bigger_blocks_demand_more_of_everything() {
+        let small = fpga_demand(16, 1, 16, 16, 32, 1024);
+        let big = fpga_demand(64, 3, 64, 64, 128, 4096);
+        assert!(big.logic_elements > small.logic_elements);
+        assert!(big.multipliers_18x18 > small.multipliers_18x18);
+        assert!(big.block_ram_kbit > small.block_ram_kbit);
+    }
+
+    #[test]
+    fn asic_area_is_a_few_tens_of_mm2() {
+        // The ASIC preset (p=128, d=3, 256 lanes) with compressed weights:
+        // tens of mm² at 45 nm — consistent with the DNN-accelerator
+        // tapeouts the paper cites (Eyeriss: 12.25 mm² at 65 nm, etc.).
+        let weight_bits = NetworkDescriptor::alexnet_circulant().weight_bytes(16) * 8;
+        let area = asic_demand(128, 3, 256, 256, weight_bits);
+        let total = area.total_mm2();
+        assert!((5.0..80.0).contains(&total), "area {total} mm²");
+        // SRAM and logic are the same order (the §5.4 balance claim, in
+        // area instead of power).
+        let ratio = area.sram_mm2 / area.logic_mm2;
+        assert!((0.1..10.0).contains(&ratio), "sram/logic {ratio}");
+    }
+
+    #[test]
+    fn utilization_detects_overflow() {
+        let device = FpgaResources::cyclone_v_5cea9();
+        let demand = fpga_demand(512, 3, 256, 256, 512, 1024);
+        assert!(device.utilization(&demand) > 1.0);
+        assert!(!device.fits(&demand));
+    }
+}

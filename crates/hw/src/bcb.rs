@@ -1,0 +1,167 @@
+//! The basic computing block: throughput model for `p × d` butterfly units.
+//!
+//! Paper Fig. 10 defines the block by a *parallelization degree* `p`
+//! (butterfly units per level) and *depth* `d` (pipelined levels in
+//! flight). §4.3 reports a concrete design-space example on the Cyclone V
+//! at block size 128:
+//!
+//! * `p`: 16 → 32 at `d = 1` raises performance **53.8 %** at < 10 % power;
+//! * `d`: 1 → 2 at `p = 32` raises performance **62.2 %** at 7.8 % power;
+//! * `d > 3` is impractical ("high control difficulty and pipelining
+//!   bubbles"), so `p` is the optimization priority.
+//!
+//! Those three facts calibrate this model. Throughput combines a compute
+//! term (`p·d` units, discounted by a depth-dependent pipeline-bubble
+//! efficiency `η(d) = 1/(1 + β(d−1))`) and a memory term (each butterfly
+//! moves `BITS_PER_BUTTERFLY / d` bits because intermediate levels stay in
+//! the pipeline), serialized:
+//!
+//! ```text
+//! 1/T(p, d) = 1/(p·d·η(d)) + bpb/(B·d)        [cycles per butterfly]
+//! ```
+//!
+//! Fitting the two reported ratios gives `B ≈ 4750 bits/cycle` for the
+//! Cyclone-V block-RAM aggregate and `β ≈ 0.434`; both are exposed as
+//! parameters so other platforms can differ.
+
+/// Bits moved per butterfly at 16-bit precision when results spill to
+/// memory every level: read 2 complex + write 2 complex = 8 × 16 bits.
+pub const BITS_PER_BUTTERFLY: f64 = 128.0;
+
+/// The basic computing block configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BasicComputingBlock {
+    /// Parallelization degree: butterfly units per level.
+    pub p: usize,
+    /// Depth: pipelined butterfly levels in flight (1–3 practical).
+    pub d: usize,
+    /// Pipeline-bubble coefficient β in `η(d) = 1/(1 + β(d−1))`.
+    pub bubble_beta: f64,
+    /// Aggregate on-chip memory bandwidth, bits per cycle.
+    pub mem_bits_per_cycle: f64,
+}
+
+impl BasicComputingBlock {
+    /// Creates a block with the Cyclone-V-calibrated β and bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `d` is zero.
+    pub fn new(p: usize, d: usize) -> Self {
+        Self::with_params(p, d, 0.434, 4750.0)
+    }
+
+    /// Creates a block with explicit model parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` or `d` is zero, or the parameters are non-positive.
+    pub fn with_params(p: usize, d: usize, bubble_beta: f64, mem_bits_per_cycle: f64) -> Self {
+        assert!(p > 0 && d > 0, "degenerate computing block");
+        assert!(bubble_beta >= 0.0 && mem_bits_per_cycle > 0.0);
+        Self { p, d, bubble_beta, mem_bits_per_cycle }
+    }
+
+    /// Pipeline efficiency `η(d)`.
+    pub fn pipeline_efficiency(&self) -> f64 {
+        1.0 / (1.0 + self.bubble_beta * (self.d as f64 - 1.0))
+    }
+
+    /// Sustained throughput in butterflies per cycle.
+    pub fn butterflies_per_cycle(&self) -> f64 {
+        let compute = (self.p * self.d) as f64 * self.pipeline_efficiency();
+        let memory = self.mem_bits_per_cycle * self.d as f64 / BITS_PER_BUTTERFLY;
+        1.0 / (1.0 / compute + 1.0 / memory)
+    }
+
+    /// Cycles to retire `butterflies` butterflies. FFT instances stream
+    /// back-to-back through the pipeline, so fill is charged per *layer*
+    /// (see [`Self::layer_fill_cycles`]), not per transform.
+    pub fn butterfly_cycles(&self, butterflies: u64) -> f64 {
+        butterflies as f64 / self.butterflies_per_cycle()
+    }
+
+    /// Pipeline fill/drain charged once per layer: the `d` in-flight levels
+    /// plus one pass through the `log₂ k` levels of the largest FFT.
+    pub fn layer_fill_cycles(&self, fft_size: usize) -> f64 {
+        (self.d + fft_size.max(2).ilog2() as usize) as f64
+    }
+
+    /// Maximum useful `p` before the memory system saturates (Algorithm 3's
+    /// "upper bound of p based on memory bandwidth limit").
+    pub fn bandwidth_bound_p(mem_bits_per_cycle: f64, _d: usize) -> usize {
+        // Compute bound where compute throughput equals memory throughput
+        // at η = 1: p·d = B·d/bpb  →  p = B/bpb.
+        (mem_bits_per_cycle / BITS_PER_BUTTERFLY).ceil() as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's §4.3 example — the calibration fixture. If this test
+    /// fails, the Algorithm-3 reproduction (fig. `alg3` binary) is off.
+    #[test]
+    fn reproduces_design_space_example() {
+        let t = |p: usize, d: usize| BasicComputingBlock::new(p, d).butterflies_per_cycle();
+        let p_gain = t(32, 1) / t(16, 1) - 1.0;
+        assert!(
+            (p_gain - 0.538).abs() < 0.02,
+            "p 16→32 should gain ≈53.8%, got {:.1}%",
+            p_gain * 100.0
+        );
+        let d_gain = t(32, 2) / t(32, 1) - 1.0;
+        assert!(
+            (d_gain - 0.622).abs() < 0.03,
+            "d 1→2 should gain ≈62.2%, got {:.1}%",
+            d_gain * 100.0
+        );
+    }
+
+    #[test]
+    fn throughput_increases_monotonically_in_p() {
+        let mut last = 0.0;
+        for p in [1usize, 2, 4, 8, 16, 32, 64, 128] {
+            let t = BasicComputingBlock::new(p, 1).butterflies_per_cycle();
+            assert!(t > last, "p = {p}");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn throughput_saturates_at_memory_bound() {
+        // As p → ∞ at d = 1, throughput approaches B/bpb ≈ 37.1.
+        let t = BasicComputingBlock::new(4096, 1).butterflies_per_cycle();
+        let bound = 4750.0 / BITS_PER_BUTTERFLY;
+        assert!(t < bound);
+        assert!(t > 0.9 * bound);
+    }
+
+    #[test]
+    fn depth_raises_the_memory_ceiling() {
+        let d1 = BasicComputingBlock::new(4096, 1).butterflies_per_cycle();
+        let d3 = BasicComputingBlock::new(4096, 3).butterflies_per_cycle();
+        assert!(d3 > 2.0 * d1, "depth multiplies effective bandwidth");
+    }
+
+    #[test]
+    fn pipeline_efficiency_decays_with_depth() {
+        let bcb = |d| BasicComputingBlock::new(32, d).pipeline_efficiency();
+        assert_eq!(bcb(1), 1.0);
+        assert!(bcb(2) < 1.0);
+        assert!(bcb(3) < bcb(2));
+    }
+
+    #[test]
+    fn fill_overhead_is_per_layer_and_small() {
+        let b = BasicComputingBlock::new(32, 2);
+        assert_eq!(b.layer_fill_cycles(128), (2 + 7) as f64);
+        assert!(b.layer_fill_cycles(128) < b.butterfly_cycles(10_000));
+    }
+
+    #[test]
+    fn bandwidth_bound() {
+        assert_eq!(BasicComputingBlock::bandwidth_bound_p(4750.0, 1), 38);
+    }
+}

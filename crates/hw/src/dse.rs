@@ -1,0 +1,225 @@
+//! Algorithm 3: design-space optimization of the basic computing block.
+//!
+//! The paper optimizes a metric `M(Perf(p,d), Power(p,d))`:
+//!
+//! ```text
+//! Optimize parallel degree p:
+//!   derive upper bound of p from memory-bandwidth & resource limits;
+//!   ternary search p, estimating M(Perf(p,d), Power(p,d)) at d = 1;
+//! Optimize depth d by ternary search at the chosen p.
+//! ```
+//!
+//! `Perf` comes from the calibrated throughput model in [`crate::bcb`];
+//! `Power` uses the §4.3 analytic form fitted to the paper's example
+//! (`<10 %` for p 16→32, `7.8 %` for d 1→2 at p 32):
+//!
+//! ```text
+//! Power(p, d) = fixed + κ·p·d + μ·traffic(p, d)
+//! traffic(p, d) = T(p, d) · BITS_PER_BUTTERFLY / d      [bits/cycle]
+//! ```
+//!
+//! with `fixed = 267κ`, `μ = 0.01478κ` (fits), and κ scaled so the Cyclone
+//! V design totals ≈1 W. `p` is searched first and preferred, matching the
+//! paper's "sets p as optimization priority in order not to increase
+//! control complexity"; `d` is capped at 3 ("a d value higher than 3 will
+//! result in high control difficulty and pipelining bubbles").
+
+use crate::bcb::{BasicComputingBlock, BITS_PER_BUTTERFLY};
+
+/// Configuration for one design-space run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DseConfig {
+    /// Memory bandwidth, bits per cycle.
+    pub mem_bits_per_cycle: f64,
+    /// Pipeline-bubble coefficient β.
+    pub bubble_beta: f64,
+    /// Hard resource cap on `p` (DSP/logic budget).
+    pub resource_max_p: usize,
+    /// Maximum practical depth (3 per §4.3).
+    pub max_d: usize,
+    /// Per-butterfly-unit power κ, watts.
+    pub unit_power_w: f64,
+    /// Fixed power (static + clock + I/O), watts.
+    pub fixed_power_w: f64,
+    /// Memory power per bit-per-cycle of sustained traffic, watts.
+    pub mem_power_w_per_bpc: f64,
+}
+
+impl DseConfig {
+    /// The Cyclone-V configuration the §4.3 example uses (block size 128).
+    pub fn cyclone_v() -> Self {
+        let kappa = 3.1e-3;
+        Self {
+            mem_bits_per_cycle: 4750.0,
+            bubble_beta: 0.434,
+            resource_max_p: 64,
+            max_d: 3,
+            unit_power_w: kappa,
+            fixed_power_w: 267.0 * kappa,
+            mem_power_w_per_bpc: 0.01478 * kappa,
+        }
+    }
+}
+
+/// One evaluated design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DsePoint {
+    /// Parallelization degree.
+    pub p: usize,
+    /// Depth.
+    pub d: usize,
+    /// Sustained throughput, butterflies per cycle.
+    pub throughput: f64,
+    /// Modeled power, watts.
+    pub power_w: f64,
+    /// The optimization metric (throughput per watt).
+    pub metric: f64,
+}
+
+/// Result of an Algorithm-3 run.
+#[derive(Debug, Clone)]
+pub struct DseResult {
+    /// The selected design point.
+    pub best: DsePoint,
+    /// The bandwidth-derived upper bound on `p`.
+    pub p_bound: usize,
+    /// Every point evaluated, in evaluation order.
+    pub evaluated: Vec<DsePoint>,
+}
+
+/// Evaluates the metric at one `(p, d)`.
+pub fn evaluate(cfg: &DseConfig, p: usize, d: usize) -> DsePoint {
+    let bcb = BasicComputingBlock::with_params(p, d, cfg.bubble_beta, cfg.mem_bits_per_cycle);
+    let throughput = bcb.butterflies_per_cycle();
+    let traffic = throughput * BITS_PER_BUTTERFLY / d as f64;
+    let power_w =
+        cfg.fixed_power_w + cfg.unit_power_w * (p * d) as f64 + cfg.mem_power_w_per_bpc * traffic;
+    DsePoint { p, d, throughput, power_w, metric: throughput / power_w }
+}
+
+/// Runs Algorithm 3: ternary search over `p` (at `d = 1`), then over `d`.
+pub fn optimize(cfg: &DseConfig) -> DseResult {
+    let mut evaluated = Vec::new();
+    // "Derive upper bound of p based on memory bandwidth-limit & hardware
+    // resource limit".
+    let bw_bound = BasicComputingBlock::bandwidth_bound_p(cfg.mem_bits_per_cycle, 1);
+    let p_bound = bw_bound.min(cfg.resource_max_p).max(1);
+    // Ternary search over p at d = 1 (metric is unimodal in p: throughput
+    // saturates while power keeps growing).
+    let mut lo = 1usize;
+    let mut hi = p_bound;
+    while hi - lo > 2 {
+        let m1 = lo + (hi - lo) / 3;
+        let m2 = hi - (hi - lo) / 3;
+        let e1 = evaluate(cfg, m1, 1);
+        let e2 = evaluate(cfg, m2, 1);
+        evaluated.push(e1);
+        evaluated.push(e2);
+        if e1.metric < e2.metric {
+            lo = m1 + 1;
+        } else {
+            hi = m2 - 1;
+        }
+    }
+    let mut best_p = evaluate(cfg, lo, 1);
+    for p in lo..=hi {
+        let e = evaluate(cfg, p, 1);
+        evaluated.push(e);
+        if e.metric > best_p.metric {
+            best_p = e;
+        }
+    }
+    // Ternary (here: exhaustive, max_d ≤ 3) search over d at the chosen p.
+    let mut best = best_p;
+    for d in 1..=cfg.max_d {
+        let e = evaluate(cfg, best_p.p, d);
+        evaluated.push(e);
+        if e.metric > best.metric {
+            best = e;
+        }
+    }
+    DseResult { best, p_bound, evaluated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_the_section_4_3_power_numbers() {
+        let cfg = DseConfig::cyclone_v();
+        let p16 = evaluate(&cfg, 16, 1);
+        let p32 = evaluate(&cfg, 32, 1);
+        let p_power_increase = p32.power_w / p16.power_w - 1.0;
+        assert!(
+            p_power_increase > 0.05 && p_power_increase < 0.10,
+            "p 16→32 power increase should be <10%, got {:.1}%",
+            p_power_increase * 100.0
+        );
+        let d1 = evaluate(&cfg, 32, 1);
+        let d2 = evaluate(&cfg, 32, 2);
+        let d_power_increase = d2.power_w / d1.power_w - 1.0;
+        assert!(
+            (d_power_increase - 0.078).abs() < 0.01,
+            "d 1→2 power increase should be ≈7.8%, got {:.1}%",
+            d_power_increase * 100.0
+        );
+        // And the performance sides (also covered in bcb tests).
+        assert!((p32.throughput / p16.throughput - 1.538).abs() < 0.02);
+        assert!((d2.throughput / d1.throughput - 1.622).abs() < 0.03);
+    }
+
+    #[test]
+    fn optimizer_respects_bandwidth_bound_and_depth_cap() {
+        let cfg = DseConfig::cyclone_v();
+        let result = optimize(&cfg);
+        assert!(result.best.p <= result.p_bound);
+        assert!(result.best.d <= cfg.max_d);
+        // On the Cyclone V envelope, depth is worth using (d = 3).
+        assert_eq!(result.best.d, 3);
+        // And p lands near the bandwidth bound (p priority).
+        assert!(result.best.p + 4 >= result.p_bound, "p = {}", result.best.p);
+    }
+
+    #[test]
+    fn best_point_beats_neighbors() {
+        let cfg = DseConfig::cyclone_v();
+        let result = optimize(&cfg);
+        let b = result.best;
+        for (dp, dd) in [(-4i64, 0i64), (4, 0), (0, -1), (0, 1)] {
+            let p = (b.p as i64 + dp).max(1) as usize;
+            let d = (b.d as i64 + dd).clamp(1, cfg.max_d as i64) as usize;
+            if p > result.p_bound {
+                continue;
+            }
+            let e = evaluate(&cfg, p, d);
+            assert!(
+                e.metric <= b.metric + 1e-9,
+                "neighbor ({p},{d}) beats best ({},{})",
+                b.p,
+                b.d
+            );
+        }
+    }
+
+    #[test]
+    fn metric_is_unimodal_enough_for_ternary_search() {
+        // Sweep p exhaustively and check the optimizer found the max.
+        let cfg = DseConfig::cyclone_v();
+        let result = optimize(&cfg);
+        let mut exhaustive_best = 0.0f64;
+        for p in 1..=result.p_bound {
+            for d in 1..=cfg.max_d {
+                exhaustive_best = exhaustive_best.max(evaluate(&cfg, p, d).metric);
+            }
+        }
+        assert!(result.best.metric >= 0.98 * exhaustive_best);
+    }
+
+    #[test]
+    fn evaluated_points_are_recorded() {
+        let result = optimize(&DseConfig::cyclone_v());
+        assert!(!result.evaluated.is_empty());
+        assert!(result.evaluated.iter().all(|e| e.power_w > 0.0 && e.throughput > 0.0));
+    }
+}

@@ -1,0 +1,53 @@
+//! # circnn-hw
+//!
+//! Cycle- and energy-level simulator of the CirCNN accelerator
+//! architecture (paper §4) — the stand-in for the authors' Cyclone V FPGA
+//! implementation and Nangate 45 nm ASIC synthesis (DESIGN.md §2 documents
+//! the substitution).
+//!
+//! The model follows the paper's architecture piece by piece:
+//!
+//! * [`netdesc`] — network descriptors (layer shapes + block sizes), the
+//!   "configurable network architecture" the engine executes.
+//! * [`workload`] — per-layer operation/traffic counts derived from the
+//!   FFT→element-wise-multiply→IFFT dataflow (butterflies via
+//!   `circnn_fft::ops`, Hermitian-symmetry savings included per Fig. 10).
+//! * [`bcb`] — the *basic computing block*: `p` butterfly units × `d`
+//!   pipelined levels (Fig. 10), with the §4.3 throughput model calibrated
+//!   against the paper's own design-space example.
+//! * [`energy`] — per-op/per-bit energy tables (45 nm-class constants,
+//!   FPGA overhead factor, near-threshold voltage + bit-width scaling).
+//! * [`platform`] — presets: Cyclone V FPGA, 45 nm ASIC at 200 MHz,
+//!   the 4-bit near-threshold ASIC variant, and an uncompressed MAC-array
+//!   baseline for contrast.
+//! * [`simulator`] — executes a descriptor on a platform, reporting cycles,
+//!   fps, energy, actual and dense-equivalent GOPS and GOPS/W (the paper's
+//!   reporting convention for compressed models).
+//! * [`dse`] — Algorithm 3: ternary search over `p` then `d`.
+//! * [`baselines`] — the published accelerator numbers the paper compares
+//!   against (EIE, Eyeriss, ESE, TrueNorth, Jetson TX1, …), as cited
+//!   constants.
+//!
+//! ## Example
+//!
+//! ```
+//! use circnn_hw::{netdesc::NetworkDescriptor, platform, simulator::simulate};
+//!
+//! let net = NetworkDescriptor::lenet5_circulant();
+//! let report = simulate(&net, &platform::cyclone_v());
+//! assert!(report.fps > 1000.0); // thousands of MNIST frames per second
+//! assert!(report.equiv_gops_per_w > report.actual_gops / report.power_w);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod baselines;
+pub mod bcb;
+pub mod dse;
+pub mod energy;
+pub mod netdesc;
+pub mod platform;
+pub mod simulator;
+pub mod workload;

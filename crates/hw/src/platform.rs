@@ -1,0 +1,154 @@
+//! Platform presets: the hardware configurations of Section 5.
+//!
+//! Each preset bundles a clock, a basic-computing-block configuration, the
+//! peripheral-block widths, an energy model and the fixed (static + clock
+//! tree + I/O) power. The Cyclone V and ASIC presets use the `(p, d)`
+//! points Algorithm 3 selects on their respective resource envelopes (see
+//! `dse` and the `alg3` experiment binary).
+
+use crate::bcb::BasicComputingBlock;
+use crate::energy::EnergyModel;
+
+/// A simulated execution platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Platform name for reports.
+    pub name: String,
+    /// Clock frequency in Hz.
+    pub freq_hz: f64,
+    /// The FFT engine.
+    pub bcb: BasicComputingBlock,
+    /// Peripheral complex-multiplier lanes (frequency-domain element-wise
+    /// products, §4.2's peripheral computing block).
+    pub cmul_lanes: usize,
+    /// Dense MAC lanes (DSP blocks) for uncompressed layers.
+    pub mac_lanes: usize,
+    /// Simple-op lanes (ReLU comparators, pool, bias adders).
+    pub simple_lanes: usize,
+    /// Datapath width in bits.
+    pub bits: u32,
+    /// Per-op/per-bit energies.
+    pub energy: EnergyModel,
+    /// Fixed power: static leakage + clock network + I/O, in watts.
+    pub fixed_power_w: f64,
+    /// If `true`, weights do not fit on chip and every weight bit is
+    /// charged at DRAM cost (the uncompressed-baseline situation the paper
+    /// opens with).
+    pub weights_offchip: bool,
+}
+
+/// Intel (Altera) Cyclone V 5CEA9 preset — the paper's §5.1 FPGA.
+///
+/// 200 MHz target clock (the paper: "we target a clock frequency around
+/// 200MHz"); `(p, d) = (32, 3)` from the Algorithm-3 sweep under the
+/// Cyclone-V bandwidth bound; fixed power 0.65 W (≤0.35 W static per the
+/// datasheet plus clock/I/O, FITTED so the AlexNet energy-efficiency point
+/// lands in the paper's Fig.-13 band).
+pub fn cyclone_v() -> Platform {
+    Platform {
+        name: "cyclone-v".into(),
+        freq_hz: 200e6,
+        bcb: BasicComputingBlock::new(32, 3),
+        cmul_lanes: 32,
+        mac_lanes: 64,
+        simple_lanes: 128,
+        bits: 16,
+        energy: EnergyModel::fpga_16bit(),
+        fixed_power_w: 1.0,
+        weights_offchip: false,
+    }
+}
+
+/// Nangate 45 nm ASIC synthesis preset at 200 MHz (§5.2: "we target at a
+/// lower clock frequency of 200MHz and therefore the memory hierarchy
+/// structure is not needed"). Wider everything than the FPGA; on-chip SRAM
+/// holds all (compressed) weights. Uses synthesis-grade energy constants
+/// (the paper's Design-Compiler/CACTI methodology — see
+/// [`EnergyModel::asic_synthesis_16bit`]).
+pub fn asic_45nm() -> Platform {
+    Platform {
+        name: "asic-45nm".into(),
+        freq_hz: 200e6,
+        bcb: BasicComputingBlock::with_params(128, 3, 0.434, 32768.0),
+        cmul_lanes: 256,
+        mac_lanes: 256,
+        simple_lanes: 512,
+        bits: 16,
+        energy: EnergyModel::asic_synthesis_16bit(),
+        fixed_power_w: 0.02,
+        weights_offchip: false,
+    }
+}
+
+/// The §5.2 near-threshold variant: 0.55 V, 4-bit weights and inputs,
+/// clocked down (near-threshold logic is slow). Energy per op falls ≈17×;
+/// accuracy at 4 bits is poor (the paper reports <20% for AlexNet) — this
+/// point exists for the Fig.-15 efficiency comparison only.
+pub fn asic_near_threshold() -> Platform {
+    Platform {
+        name: "asic-nt-4bit".into(),
+        freq_hz: 100e6,
+        bcb: BasicComputingBlock::with_params(128, 3, 0.434, 32768.0),
+        cmul_lanes: 256,
+        mac_lanes: 256,
+        simple_lanes: 512,
+        bits: 4,
+        energy: EnergyModel::asic_synthesis_near_threshold(4, 0.55),
+        fixed_power_w: 0.0015,
+        weights_offchip: false,
+    }
+}
+
+/// A conventional dense MAC-array accelerator whose (uncompressed) weights
+/// live in off-chip DRAM — the situation §1 describes ("off-chip DRAM
+/// accesses … can easily dominate the whole system power consumption").
+/// Used as the contrast case in the ablation benches.
+pub fn dense_mac_baseline() -> Platform {
+    Platform {
+        name: "dense-mac-dram".into(),
+        freq_hz: 500e6,
+        bcb: BasicComputingBlock::with_params(1, 1, 0.434, 32768.0),
+        cmul_lanes: 16,
+        mac_lanes: 256,
+        simple_lanes: 512,
+        bits: 16,
+        energy: EnergyModel::asic_16bit(),
+        fixed_power_w: 0.2,
+        weights_offchip: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_sane_clocks_and_widths() {
+        for p in [cyclone_v(), asic_45nm(), asic_near_threshold(), dense_mac_baseline()] {
+            assert!(p.freq_hz >= 10e6 && p.freq_hz <= 1e9, "{}", p.name);
+            assert!(p.cmul_lanes > 0 && p.simple_lanes > 0);
+            assert!(p.fixed_power_w > 0.0);
+        }
+    }
+
+    #[test]
+    fn fpga_ops_cost_more_than_asic() {
+        assert!(cyclone_v().energy.butterfly_j > 5.0 * asic_45nm().energy.butterfly_j);
+    }
+
+    #[test]
+    fn near_threshold_is_slower_but_cheaper() {
+        let nt = asic_near_threshold();
+        let asic = asic_45nm();
+        assert!(nt.freq_hz < asic.freq_hz);
+        assert!(nt.energy.complex_mul_j < asic.energy.complex_mul_j / 10.0);
+        assert_eq!(nt.bits, 4);
+    }
+
+    #[test]
+    fn only_the_dense_baseline_pays_dram() {
+        assert!(dense_mac_baseline().weights_offchip);
+        assert!(!cyclone_v().weights_offchip);
+        assert!(!asic_45nm().weights_offchip);
+    }
+}

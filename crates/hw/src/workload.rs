@@ -1,0 +1,241 @@
+//! Per-layer operation and traffic accounting.
+//!
+//! Every circulant layer is priced with the paper's dataflow: forward FFTs
+//! of the input blocks, element-wise complex multiplies over the `k/2 + 1`
+//! unique Hermitian bins (Fig. 10's "red circle" saving — the conjugate
+//! half is never computed or stored), and one IFFT per output block
+//! (frequency-domain accumulation). Dense layers are priced as MACs on the
+//! peripheral block's multiplier lanes.
+
+use circnn_fft::ops;
+
+use crate::netdesc::{LayerDesc, NetworkDescriptor};
+
+/// Operation and traffic counts for one layer, one inference.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LayerWorkload {
+    /// Layer kind tag.
+    pub kind: &'static str,
+    /// Radix-2 butterflies across all FFT/IFFT instances.
+    pub butterflies: u64,
+    /// FFT/IFFT instance count (for pipeline-fill overhead).
+    pub fft_instances: u64,
+    /// FFT size `k` (0 for non-FFT layers).
+    pub fft_size: usize,
+    /// Element-wise complex multiplies in the frequency domain, plus the
+    /// real-FFT combine-stage multiplies.
+    pub complex_muls: u64,
+    /// Dense MACs executed on multiplier lanes (dense layers only).
+    pub macs: u64,
+    /// Simple peripheral ops (ReLU compares, pool compares/adds, bias adds).
+    pub simple_ops: u64,
+    /// Weight bits read from RAM per inference. The dataflow is
+    /// weights-stationary (the paper keeps `FFT(w_ij)` resident on chip),
+    /// so weights are charged **once per layer**, while activations are
+    /// charged per use.
+    pub weight_bits: u64,
+    /// Activation bits moved through the I/O buffers.
+    pub activation_bits: u64,
+    /// Dense-equivalent ops (the paper's equivalent-GOPS numerator).
+    pub dense_equiv_ops: u64,
+}
+
+impl LayerWorkload {
+    /// Total real arithmetic operations actually executed (for
+    /// actual-GOPS reporting): butterfly/cmul flops + MACs×2 + simple ops.
+    pub fn actual_ops(&self) -> u64 {
+        self.butterflies * ops::FLOPS_PER_BUTTERFLY
+            + self.complex_muls * ops::FLOPS_PER_COMPLEX_MUL
+            + self.macs * 2
+            + self.simple_ops
+    }
+}
+
+/// Prices a block-circulant matvec of logical shape `m×n`, block `k`,
+/// executed `uses` times (CONV layers run one matvec per output pixel).
+fn circulant_matvec(m: usize, n: usize, k: usize, uses: u64, bits: u32) -> LayerWorkload {
+    let p = m.div_ceil(k) as u64;
+    let q = n.div_ceil(k) as u64;
+    let bins = (k / 2 + 1) as u64;
+    let rfft_bf = if k >= 2 { ops::rfft_butterflies(k) } else { 0 };
+    let combine = if k >= 2 { ops::rfft_combine_muls(k) } else { 0 };
+    LayerWorkload {
+        kind: "circ",
+        butterflies: uses * (q + p) * rfft_bf,
+        fft_instances: uses * (q + p),
+        fft_size: k,
+        complex_muls: uses * (p * q * bins + (q + p) * combine),
+        macs: 0,
+        simple_ops: uses * m as u64, // bias add per output
+        // Weight spectra are half-spectrum complex values: p·q·bins·2
+        // reals, resident on chip and read once per layer.
+        weight_bits: p * q * bins * 2 * u64::from(bits),
+        activation_bits: uses * (n as u64 + m as u64) * u64::from(bits),
+        dense_equiv_ops: uses * 2 * m as u64 * n as u64,
+    }
+}
+
+/// Prices a dense matvec executed on MAC lanes.
+fn dense_matvec(m: usize, n: usize, uses: u64, bits: u32) -> LayerWorkload {
+    LayerWorkload {
+        kind: "dense",
+        macs: uses * m as u64 * n as u64,
+        simple_ops: uses * m as u64,
+        weight_bits: (m * n) as u64 * u64::from(bits),
+        activation_bits: uses * (n + m) as u64 * u64::from(bits),
+        dense_equiv_ops: uses * 2 * (m * n) as u64,
+        ..LayerWorkload::default()
+    }
+}
+
+/// Prices one layer at the given datapath width.
+pub fn layer_workload(layer: &LayerDesc, bits: u32) -> LayerWorkload {
+    let mut w = match *layer {
+        LayerDesc::FcCirculant { in_dim, out_dim, block } => {
+            circulant_matvec(out_dim, in_dim, block, 1, bits)
+        }
+        LayerDesc::FcDense { in_dim, out_dim } => dense_matvec(out_dim, in_dim, 1, bits),
+        LayerDesc::ConvCirculant { in_channels, out_channels, kernel, block, .. } => {
+            let rows = in_channels * kernel * kernel;
+            circulant_matvec(out_channels, rows, block, layer.out_pixels() as u64, bits)
+        }
+        LayerDesc::ConvDense { in_channels, out_channels, kernel, .. } => {
+            let rows = in_channels * kernel * kernel;
+            dense_matvec(out_channels, rows, layer.out_pixels() as u64, bits)
+        }
+        LayerDesc::Pool { channels, window, .. } => LayerWorkload {
+            kind: "pool",
+            simple_ops: layer.out_pixels() as u64 * channels as u64 * (window * window) as u64,
+            activation_bits: layer.out_pixels() as u64
+                * channels as u64
+                * (window * window + 1) as u64
+                * u64::from(bits),
+            dense_equiv_ops: layer.dense_equiv_ops(),
+            ..LayerWorkload::default()
+        },
+        LayerDesc::Activation { len } => LayerWorkload {
+            kind: "act",
+            simple_ops: len as u64,
+            activation_bits: 2 * len as u64 * u64::from(bits),
+            dense_equiv_ops: len as u64,
+            ..LayerWorkload::default()
+        },
+    };
+    w.kind = layer.kind();
+    w
+}
+
+/// Workload for a whole network.
+pub fn network_workload(net: &NetworkDescriptor, bits: u32) -> Vec<LayerWorkload> {
+    net.layers.iter().map(|l| layer_workload(l, bits)).collect()
+}
+
+/// Sums a set of layer workloads.
+pub fn total(workloads: &[LayerWorkload]) -> LayerWorkload {
+    let mut t = LayerWorkload { kind: "total", ..LayerWorkload::default() };
+    for w in workloads {
+        t.butterflies += w.butterflies;
+        t.fft_instances += w.fft_instances;
+        t.complex_muls += w.complex_muls;
+        t.macs += w.macs;
+        t.simple_ops += w.simple_ops;
+        t.weight_bits += w.weight_bits;
+        t.activation_bits += w.activation_bits;
+        t.dense_equiv_ops += w.dense_equiv_ops;
+        t.fft_size = t.fft_size.max(w.fft_size);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circulant_fc_matches_hand_count() {
+        // 8×8 with k = 4: p = q = 2, bins = 3, rfft(4) = cfft(2) = 1 bf.
+        let w = layer_workload(&LayerDesc::FcCirculant { in_dim: 8, out_dim: 8, block: 4 }, 16);
+        assert_eq!(w.fft_instances, 4); // 2 forward + 2 inverse
+        assert_eq!(w.butterflies, 4 * 1);
+        // p·q·bins + (p+q)·combine = 4·3 + 4·2 = 20.
+        assert_eq!(w.complex_muls, 20);
+        assert_eq!(w.dense_equiv_ops, 128);
+        assert_eq!(w.weight_bits, 4 * 3 * 2 * 16);
+    }
+
+    #[test]
+    fn dense_fc_is_pure_macs() {
+        let w = layer_workload(&LayerDesc::FcDense { in_dim: 100, out_dim: 10 }, 16);
+        assert_eq!(w.macs, 1000);
+        assert_eq!(w.butterflies, 0);
+        assert_eq!(w.dense_equiv_ops, 2000);
+        assert_eq!(w.actual_ops(), 2000 + 10);
+    }
+
+    #[test]
+    fn algorithmic_gain_grows_with_block_size() {
+        // The equivalent-to-actual ops ratio is the algorithmic gain; it
+        // must grow monotonically with k (≈ k up to the FFT log factor:
+        // the cmul count shrinks as 1/k while FFT work only grows log k).
+        let gain = |k: usize| {
+            let w = layer_workload(&LayerDesc::FcCirculant { in_dim: 512, out_dim: 512, block: k }, 16);
+            w.dense_equiv_ops as f64 / w.actual_ops() as f64
+        };
+        let (g8, g64, g256) = (gain(8), gain(64), gain(256));
+        assert!(g64 > 3.0 * g8, "k=8 → {g8}, k=64 → {g64}");
+        assert!(g256 > g64, "k=64 → {g64}, k=256 → {g256}");
+    }
+
+    #[test]
+    fn alexnet_totals_show_algorithmic_reduction() {
+        // §5.4: "fundamental algorithmic improvements account for …
+        // around 10×-20×". Actual executed ops must be an order of
+        // magnitude below the dense-equivalent count.
+        let net = NetworkDescriptor::alexnet_circulant();
+        let t = total(&network_workload(&net, 16));
+        let gain = t.dense_equiv_ops as f64 / t.actual_ops() as f64;
+        assert!(gain > 6.0 && gain < 60.0, "algorithmic gain {gain}");
+    }
+
+    #[test]
+    fn conv_uses_scale_with_output_pixels() {
+        let small = layer_workload(
+            &LayerDesc::ConvCirculant {
+                in_channels: 64, out_channels: 64, kernel: 3, stride: 1, padding: 1,
+                in_h: 8, in_w: 8, block: 32,
+            },
+            16,
+        );
+        let big = layer_workload(
+            &LayerDesc::ConvCirculant {
+                in_channels: 64, out_channels: 64, kernel: 3, stride: 1, padding: 1,
+                in_h: 16, in_w: 16, block: 32,
+            },
+            16,
+        );
+        assert_eq!(big.complex_muls, 4 * small.complex_muls);
+        assert_eq!(big.butterflies, 4 * small.butterflies);
+    }
+
+    #[test]
+    fn pools_and_activations_are_peripheral_only() {
+        let p = layer_workload(
+            &LayerDesc::Pool { channels: 16, in_h: 8, in_w: 8, window: 2, stride: 2 },
+            16,
+        );
+        assert_eq!(p.butterflies, 0);
+        assert_eq!(p.macs, 0);
+        assert_eq!(p.simple_ops, 16 * 16 * 4);
+        let a = layer_workload(&LayerDesc::Activation { len: 100 }, 16);
+        assert_eq!(a.simple_ops, 100);
+    }
+
+    #[test]
+    fn hermitian_saving_halves_weight_traffic() {
+        // Weight bits are bins = k/2+1 complex values per block, not k.
+        let w = layer_workload(&LayerDesc::FcCirculant { in_dim: 128, out_dim: 128, block: 128 }, 16);
+        // 1 block: 65 bins × 2 × 16 bits.
+        assert_eq!(w.weight_bits, 65 * 2 * 16);
+        assert!(w.weight_bits < 128 * 2 * 16);
+    }
+}

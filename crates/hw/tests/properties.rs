@@ -1,0 +1,92 @@
+//! Property tests for the hardware model: monotonicities and conservation
+//! laws the simulator must satisfy regardless of configuration.
+
+use circnn_hw::bcb::BasicComputingBlock;
+use circnn_hw::netdesc::{LayerDesc, NetworkDescriptor};
+use circnn_hw::platform;
+use circnn_hw::simulator::simulate;
+use circnn_hw::workload::layer_workload;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn throughput_is_monotone_in_p_and_d(
+        p1 in 1usize..128, dp in 1usize..64, d in 1usize..4
+    ) {
+        let t1 = BasicComputingBlock::new(p1, d).butterflies_per_cycle();
+        let t2 = BasicComputingBlock::new(p1 + dp, d).butterflies_per_cycle();
+        prop_assert!(t2 >= t1);
+        let t3 = BasicComputingBlock::new(p1, d + 1).butterflies_per_cycle();
+        prop_assert!(t3 >= t1 * 0.99, "depth must not reduce throughput: {t1} vs {t3}");
+    }
+
+    #[test]
+    fn fc_workload_counts_scale_with_shape(
+        m in 1usize..256, n in 1usize..256, logk in 0u32..8
+    ) {
+        let k = 1usize << logk;
+        let w = layer_workload(&LayerDesc::FcCirculant { in_dim: n, out_dim: m, block: k }, 16);
+        prop_assert_eq!(w.dense_equiv_ops, 2 * (m * n) as u64);
+        // Frequency-domain multiplies are at most the padded dense count.
+        let padded = m.div_ceil(k) * n.div_ceil(k) * k * k;
+        prop_assert!(w.complex_muls <= padded as u64 + (m + n) as u64 * k as u64);
+        prop_assert!(w.actual_ops() > 0);
+    }
+
+    #[test]
+    fn equivalent_gops_never_below_actual_for_circulant_fc(
+        m in 16usize..512, n in 16usize..512
+    ) {
+        // With k ≥ 16 the algorithmic gain is real: equivalent > actual.
+        let k = 16usize;
+        let w = layer_workload(&LayerDesc::FcCirculant { in_dim: n, out_dim: m, block: k }, 16);
+        prop_assert!(w.dense_equiv_ops >= w.actual_ops() / 4,
+            "equiv {} vs actual {}", w.dense_equiv_ops, w.actual_ops());
+    }
+
+    #[test]
+    fn simulation_energy_and_time_are_positive_and_consistent(seed in any::<u64>()) {
+        // Randomly pick a descriptor/platform pair.
+        let net = if seed % 2 == 0 {
+            NetworkDescriptor::lenet5_circulant()
+        } else {
+            NetworkDescriptor::alexnet_circulant()
+        };
+        let plat = match seed % 3 {
+            0 => platform::cyclone_v(),
+            1 => platform::asic_45nm(),
+            _ => platform::asic_near_threshold(),
+        };
+        let r = simulate(&net, &plat);
+        prop_assert!(r.seconds > 0.0 && r.energy_j > 0.0);
+        prop_assert!((r.fps * r.seconds - 1.0).abs() < 1e-9);
+        prop_assert!((r.power_w - r.energy_j / r.seconds).abs() < 1e-9);
+        // Energy ≥ fixed-power floor.
+        prop_assert!(r.energy_j >= plat.fixed_power_w * r.seconds * 0.999);
+    }
+
+    #[test]
+    fn scaling_a_platform_up_never_hurts(extra_lanes in 1usize..8) {
+        let net = NetworkDescriptor::lenet5_circulant();
+        let base = platform::cyclone_v();
+        let slow = simulate(&net, &base);
+        let mut fast_p = base.clone();
+        fast_p.cmul_lanes *= extra_lanes + 1;
+        fast_p.mac_lanes *= extra_lanes + 1;
+        fast_p.simple_lanes *= extra_lanes + 1;
+        let fast = simulate(&net, &fast_p);
+        prop_assert!(fast.cycles <= slow.cycles + 1.0);
+    }
+
+    #[test]
+    fn weight_bytes_scale_linearly_with_bits(bits in 1u32..33) {
+        let net = NetworkDescriptor::alexnet_circulant();
+        let b = net.weight_bytes(bits);
+        let b16 = net.weight_bytes(16);
+        // Proportionality within integer-division rounding.
+        let expected = b16 as f64 * f64::from(bits) / 16.0;
+        prop_assert!((b as f64 - expected).abs() <= net.weight_params() as f64);
+    }
+}

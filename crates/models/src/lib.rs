@@ -1,0 +1,33 @@
+//! # circnn-models
+//!
+//! The model zoo: every network the paper evaluates, in matched **dense**
+//! and **block-circulant** variants built from the same substrate layers,
+//! plus the hardware descriptors (`circnn-hw`) and storage accounting
+//! (`circnn-core::compression`) derived from the same shapes.
+//!
+//! | Model | Stands in for | Input | Used by |
+//! |---|---|---|---|
+//! | [`lenet5_dense`] / [`lenet5_circulant`] | LeNet-5 on MNIST | 1×28×28 | Fig. 7, Fig. 14, §5.3 |
+//! | [`cifar_net_dense`] / [`cifar_net_circulant`] | CIFAR-10 convnet | 3×32×32 | Fig. 7, Fig. 14 |
+//! | [`svhn_net_dense`] / [`svhn_net_circulant`] | SVHN convnet | 3×32×32 | Fig. 7, Fig. 14 |
+//! | [`alexnet_surrogate_dense`] / [`alexnet_surrogate_circulant`] | trainable AlexNet stand-in | 3×64×64 | Fig. 7 accuracy |
+//! | [`mlp_dense`] / [`mlp_circulant`] | DBN-scale FC stacks | flat | §3.4 training speedup |
+//!
+//! Full-size AlexNet *shapes* (for storage and hardware numbers) come from
+//! `circnn_hw::netdesc::NetworkDescriptor::alexnet_circulant()`; the
+//! surrogate here exists so Fig. 7(b)-style accuracy deltas can actually be
+//! trained on a CPU.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod nets;
+
+pub mod robustness;
+pub mod storage;
+pub mod zoo;
+
+pub use nets::{
+    alexnet_surrogate_circulant, alexnet_surrogate_dense, cifar_net_circulant, cifar_net_dense,
+    lenet5_circulant, lenet5_dense, mlp_circulant, mlp_dense, svhn_net_circulant, svhn_net_dense,
+};

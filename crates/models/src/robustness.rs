@@ -1,0 +1,153 @@
+//! Fault-injection robustness study (extension experiment).
+//!
+//! The paper argues CirCNN's *regular* weight storage simplifies the
+//! memory system; a natural follow-up question for any weight RAM is
+//! resilience to storage bit flips (soft errors). This module injects
+//! random bit flips into the 16-bit quantized weight codes — the
+//! representation the CirCNN RAM actually holds — and measures accuracy
+//! degradation. Because every circulant defining-vector entry is reused
+//! `k` times per block, a single flipped weight touches `k` matrix entries:
+//! the compression trades storage for blast radius, which this experiment
+//! quantifies.
+
+use circnn_data::Dataset;
+use circnn_nn::{trainer, Layer, Sequential};
+use rand::Rng;
+
+/// Flips `flips` random bits across the 16-bit quantized codes of the
+/// network's weights (biases included — they are parameters in RAM too).
+/// Returns the number of parameters actually modified.
+pub fn inject_bit_flips<R: Rng>(net: &mut Sequential, flips: usize, rng: &mut R) -> usize {
+    // Collect group sizes first so flips can be distributed uniformly over
+    // all parameters.
+    let mut sizes = Vec::new();
+    net.visit_params(&mut |p, _| sizes.push(p.len()));
+    let total: usize = sizes.iter().sum();
+    if total == 0 {
+        return 0;
+    }
+    let targets: Vec<(usize, u32)> = (0..flips)
+        .map(|_| (rng.gen_range(0..total), rng.gen_range(0..16u32)))
+        .collect();
+    let mut modified = 0;
+    let mut group_start = 0usize;
+    let mut group_idx = 0usize;
+    net.visit_params(&mut |p, _| {
+        // Max-abs scale per group, matching the quantizer in circnn-quant.
+        // An all-zero group (fresh biases) has scale 0: the stored codes
+        // carry no magnitude, so flips there are masked faults.
+        let max_abs = p.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let scale = max_abs / 32767.0;
+        for &(t, bit) in &targets {
+            if t >= group_start && t < group_start + p.len() {
+                let idx = t - group_start;
+                let code = (p[idx] / scale).round() as i32;
+                let flipped = (code ^ (1 << bit)).clamp(-32768, 32767);
+                p[idx] = flipped as f32 * scale;
+                modified += 1;
+            }
+        }
+        group_start += p.len();
+        group_idx += 1;
+    });
+    let _ = group_idx;
+    modified
+}
+
+/// One point of the robustness curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPoint {
+    /// Number of injected bit flips.
+    pub flips: usize,
+    /// Accuracy after injection.
+    pub accuracy: f32,
+}
+
+/// Measures accuracy as a function of injected flip count. The network is
+/// cloned per point via re-injection on a fresh copy provided by `build`.
+pub fn accuracy_under_faults<R: Rng, F: FnMut(&mut R) -> Sequential>(
+    mut build: F,
+    dataset: &Dataset,
+    flip_counts: &[usize],
+    rng: &mut R,
+) -> Vec<FaultPoint> {
+    flip_counts
+        .iter()
+        .map(|&flips| {
+            let mut net = build(rng);
+            inject_bit_flips(&mut net, flips, rng);
+            let accuracy = trainer::evaluate_accuracy(&mut net, &dataset.images, &dataset.labels);
+            FaultPoint { flips, accuracy }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circnn_tensor::init::seeded_rng;
+
+    #[test]
+    fn injection_modifies_requested_number_of_parameters() {
+        let mut rng = seeded_rng(1);
+        let mut net = crate::nets::lenet5_circulant(&mut rng);
+        let before: usize = {
+            let mut v = Vec::new();
+            net.visit_params(&mut |p, _| v.extend_from_slice(p));
+            v.len()
+        };
+        let modified = inject_bit_flips(&mut net, 10, &mut rng);
+        assert_eq!(modified, 10);
+        assert!(before > 0);
+    }
+
+    #[test]
+    fn zero_flips_is_identity() {
+        let mut rng = seeded_rng(2);
+        let mut net = crate::nets::mlp_circulant(&mut rng, &[16, 16], 4);
+        let mut before = Vec::new();
+        net.visit_params(&mut |p, _| before.extend_from_slice(p));
+        inject_bit_flips(&mut net, 0, &mut rng);
+        let mut after = Vec::new();
+        net.visit_params(&mut |p, _| after.extend_from_slice(p));
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn flips_change_weights_boundedly() {
+        // A flipped 16-bit code stays within the representable range, so no
+        // weight can become NaN or explode beyond ±2·max_abs.
+        let mut rng = seeded_rng(3);
+        let mut net = crate::nets::mlp_circulant(&mut rng, &[32, 32], 8);
+        let max_before: f32 = {
+            let mut m = 0.0f32;
+            net.visit_params(&mut |p, _| {
+                for &v in p.iter() {
+                    m = m.max(v.abs());
+                }
+            });
+            m
+        };
+        inject_bit_flips(&mut net, 50, &mut rng);
+        net.visit_params(&mut |p, _| {
+            for &v in p.iter() {
+                assert!(v.is_finite());
+                assert!(v.abs() <= 2.1 * max_before.max(1e-3));
+            }
+        });
+    }
+
+    #[test]
+    fn fault_curve_is_produced_for_each_count() {
+        let mut rng = seeded_rng(4);
+        let ds = circnn_data::catalog::mnist_like(10, 0);
+        let points = accuracy_under_faults(
+            |r| crate::nets::lenet5_circulant(r),
+            &ds,
+            &[0, 5],
+            &mut rng,
+        );
+        assert_eq!(points.len(), 2);
+        assert!(points.iter().all(|p| (0.0..=1.0).contains(&p.accuracy)));
+    }
+}

@@ -1,0 +1,288 @@
+//! Model registry: one enum tying together the trainable variants, the
+//! synthetic dataset, the hardware descriptor and the storage accounting
+//! for each benchmark.
+
+use circnn_core::compression::ModelStorage;
+use circnn_data::{catalog, Dataset};
+use circnn_hw::netdesc::{LayerDesc, NetworkDescriptor};
+use circnn_nn::Sequential;
+use rand::Rng;
+
+use crate::{nets, storage};
+
+/// The benchmarks of the paper's evaluation section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Benchmark {
+    /// MNIST / LeNet-5.
+    Mnist,
+    /// CIFAR-10 / small convnet.
+    Cifar10,
+    /// SVHN / small convnet.
+    Svhn,
+    /// ImageNet-surrogate / AlexNet-surrogate.
+    ImageNet,
+}
+
+impl Benchmark {
+    /// All benchmarks in paper order.
+    pub fn all() -> [Benchmark; 4] {
+        [Benchmark::Mnist, Benchmark::Cifar10, Benchmark::Svhn, Benchmark::ImageNet]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Benchmark::Mnist => "MNIST",
+            Benchmark::Cifar10 => "CIFAR-10",
+            Benchmark::Svhn => "SVHN",
+            Benchmark::ImageNet => "ImageNet",
+        }
+    }
+
+    /// Builds the dense variant.
+    pub fn build_dense<R: Rng>(&self, rng: &mut R) -> Sequential {
+        match self {
+            Benchmark::Mnist => nets::lenet5_dense(rng),
+            Benchmark::Cifar10 => nets::cifar_net_dense(rng),
+            Benchmark::Svhn => nets::svhn_net_dense(rng),
+            Benchmark::ImageNet => nets::alexnet_surrogate_dense(rng),
+        }
+    }
+
+    /// Builds the block-circulant variant.
+    pub fn build_circulant<R: Rng>(&self, rng: &mut R) -> Sequential {
+        match self {
+            Benchmark::Mnist => nets::lenet5_circulant(rng),
+            Benchmark::Cifar10 => nets::cifar_net_circulant(rng),
+            Benchmark::Svhn => nets::svhn_net_circulant(rng),
+            Benchmark::ImageNet => nets::alexnet_surrogate_circulant(rng),
+        }
+    }
+
+    /// Generates `n` samples of the matching synthetic dataset.
+    pub fn dataset(&self, n: usize, seed: u64) -> Dataset {
+        match self {
+            Benchmark::Mnist => catalog::mnist_like(n, seed),
+            Benchmark::Cifar10 => catalog::cifar10_like(n, seed),
+            Benchmark::Svhn => catalog::svhn_like(n, seed),
+            Benchmark::ImageNet => catalog::imagenet_surrogate(n, seed),
+        }
+    }
+
+    /// FC-only-compression storage accounting (Fig. 7a).
+    pub fn storage_fc_only(&self) -> ModelStorage {
+        match self {
+            Benchmark::Mnist => storage::lenet_storage_fc_only(),
+            Benchmark::Cifar10 => storage::cifar_storage_fc_only(),
+            Benchmark::Svhn => storage::svhn_storage_fc_only(),
+            Benchmark::ImageNet => storage::alexnet_storage_fc_only(),
+        }
+    }
+
+    /// FC+CONV-compression storage accounting (Fig. 7c).
+    pub fn storage_full(&self) -> ModelStorage {
+        match self {
+            Benchmark::Mnist => storage::lenet_storage_full(),
+            Benchmark::Cifar10 => storage::cifar_storage_full(),
+            Benchmark::Svhn => storage::svhn_storage_full(),
+            Benchmark::ImageNet => storage::alexnet_storage_full(),
+        }
+    }
+
+    /// Hardware descriptor of the circulant variant (matches the trainable
+    /// model's shapes layer for layer).
+    pub fn descriptor(&self) -> NetworkDescriptor {
+        match self {
+            Benchmark::Mnist => NetworkDescriptor::lenet5_circulant(),
+            Benchmark::Cifar10 => cifar_descriptor(),
+            Benchmark::Svhn => svhn_descriptor(),
+            Benchmark::ImageNet => NetworkDescriptor::alexnet_circulant(),
+        }
+    }
+
+    /// Descriptor for the Fig.-14 end-to-end comparison. Identical to
+    /// [`Benchmark::descriptor`] except for CIFAR-10: the paper's CIFAR
+    /// network (the class TrueNorth was compared against, Esser et al.)
+    /// is a VGG-scale model far larger than our CPU-trainable surrogate,
+    /// and the Fig.-14 throughput ordering (TrueNorth wins CIFAR) only
+    /// exists at that scale — so the CIFAR row simulates a matching
+    /// VGG-scale circulant descriptor.
+    pub fn fig14_descriptor(&self) -> NetworkDescriptor {
+        match self {
+            Benchmark::Cifar10 => cifar_vgg_descriptor(),
+            other => other.descriptor(),
+        }
+    }
+}
+
+/// VGG-scale CIFAR-10 workload for Fig. 14 (see
+/// [`Benchmark::fig14_descriptor`]): 64–256 channels, several full-width
+/// conv stages, small circulant blocks — the "small-scale FFTs" the paper
+/// blames for CirCNN's CIFAR throughput.
+fn cifar_vgg_descriptor() -> NetworkDescriptor {
+    NetworkDescriptor::new(
+        "cifar-vgg-circ",
+        vec![
+            LayerDesc::ConvDense {
+                in_channels: 3, out_channels: 64, kernel: 3, stride: 1, padding: 1,
+                in_h: 32, in_w: 32,
+            },
+            LayerDesc::Activation { len: 64 * 32 * 32 },
+            LayerDesc::ConvCirculant {
+                in_channels: 64, out_channels: 64, kernel: 3, stride: 1, padding: 1,
+                in_h: 32, in_w: 32, block: 16,
+            },
+            LayerDesc::Activation { len: 64 * 32 * 32 },
+            LayerDesc::ConvCirculant {
+                in_channels: 64, out_channels: 64, kernel: 3, stride: 1, padding: 1,
+                in_h: 32, in_w: 32, block: 16,
+            },
+            LayerDesc::Activation { len: 64 * 32 * 32 },
+            LayerDesc::Pool { channels: 64, in_h: 32, in_w: 32, window: 2, stride: 2 },
+            LayerDesc::ConvCirculant {
+                in_channels: 64, out_channels: 128, kernel: 3, stride: 1, padding: 1,
+                in_h: 16, in_w: 16, block: 16,
+            },
+            LayerDesc::Activation { len: 128 * 16 * 16 },
+            LayerDesc::ConvCirculant {
+                in_channels: 128, out_channels: 128, kernel: 3, stride: 1, padding: 1,
+                in_h: 16, in_w: 16, block: 16,
+            },
+            LayerDesc::Activation { len: 128 * 16 * 16 },
+            LayerDesc::Pool { channels: 128, in_h: 16, in_w: 16, window: 2, stride: 2 },
+            LayerDesc::ConvCirculant {
+                in_channels: 128, out_channels: 256, kernel: 3, stride: 1, padding: 1,
+                in_h: 8, in_w: 8, block: 32,
+            },
+            LayerDesc::Activation { len: 256 * 8 * 8 },
+            LayerDesc::Pool { channels: 256, in_h: 8, in_w: 8, window: 2, stride: 2 },
+            LayerDesc::FcCirculant { in_dim: 4096, out_dim: 512, block: 32 },
+            LayerDesc::Activation { len: 512 },
+            LayerDesc::FcDense { in_dim: 512, out_dim: 10 },
+        ],
+    )
+}
+
+/// Descriptor of [`nets::cifar_net_circulant`].
+fn cifar_descriptor() -> NetworkDescriptor {
+    NetworkDescriptor::new(
+        "cifar-net-circ",
+        vec![
+            LayerDesc::ConvDense {
+                in_channels: 3, out_channels: 16, kernel: 3, stride: 1, padding: 1,
+                in_h: 32, in_w: 32,
+            },
+            LayerDesc::Activation { len: 16 * 32 * 32 },
+            LayerDesc::Pool { channels: 16, in_h: 32, in_w: 32, window: 2, stride: 2 },
+            LayerDesc::ConvCirculant {
+                in_channels: 16, out_channels: 32, kernel: 3, stride: 1, padding: 1,
+                in_h: 16, in_w: 16, block: 8,
+            },
+            LayerDesc::Activation { len: 32 * 16 * 16 },
+            LayerDesc::Pool { channels: 32, in_h: 16, in_w: 16, window: 2, stride: 2 },
+            LayerDesc::ConvCirculant {
+                in_channels: 32, out_channels: 32, kernel: 3, stride: 1, padding: 1,
+                in_h: 8, in_w: 8, block: 16,
+            },
+            LayerDesc::Activation { len: 32 * 8 * 8 },
+            LayerDesc::Pool { channels: 32, in_h: 8, in_w: 8, window: 2, stride: 2 },
+            LayerDesc::FcCirculant { in_dim: 512, out_dim: 128, block: 16 },
+            LayerDesc::Activation { len: 128 },
+            LayerDesc::FcDense { in_dim: 128, out_dim: 10 },
+        ],
+    )
+}
+
+/// Descriptor of [`nets::svhn_net_circulant`].
+fn svhn_descriptor() -> NetworkDescriptor {
+    NetworkDescriptor::new(
+        "svhn-net-circ",
+        vec![
+            LayerDesc::ConvDense {
+                in_channels: 3, out_channels: 16, kernel: 5, stride: 1, padding: 2,
+                in_h: 32, in_w: 32,
+            },
+            LayerDesc::Activation { len: 16 * 32 * 32 },
+            LayerDesc::Pool { channels: 16, in_h: 32, in_w: 32, window: 2, stride: 2 },
+            LayerDesc::ConvCirculant {
+                in_channels: 16, out_channels: 32, kernel: 5, stride: 1, padding: 2,
+                in_h: 16, in_w: 16, block: 16,
+            },
+            LayerDesc::Activation { len: 32 * 16 * 16 },
+            LayerDesc::Pool { channels: 32, in_h: 16, in_w: 16, window: 2, stride: 2 },
+            LayerDesc::FcCirculant { in_dim: 2048, out_dim: 256, block: 32 },
+            LayerDesc::Activation { len: 256 },
+            LayerDesc::FcDense { in_dim: 256, out_dim: 10 },
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circnn_nn::Layer as _;
+    use circnn_tensor::init::seeded_rng;
+
+    #[test]
+    fn every_benchmark_is_fully_wired() {
+        let mut rng = seeded_rng(1);
+        for b in Benchmark::all() {
+            let ds = b.dataset(4, 0);
+            let mut net = b.build_circulant(&mut rng);
+            let out = net.forward(&ds.image(0));
+            assert_eq!(out.len(), ds.num_classes, "{}", b.name());
+            assert!(b.storage_fc_only().storage_ratio() > 1.0);
+            assert!(b.descriptor().dense_equiv_ops() > 0);
+        }
+    }
+
+    /// The descriptor and the trainable model must agree on the shapes they
+    /// claim to share — the descriptor drives the hardware numbers, the
+    /// model drives the accuracy numbers, and Fig. 14 pairs them.
+    #[test]
+    fn descriptors_match_model_parameter_counts_for_circulant_layers() {
+        let mut rng = seeded_rng(2);
+        for b in [Benchmark::Cifar10, Benchmark::Svhn] {
+            let net = b.build_circulant(&mut rng);
+            let desc = b.descriptor();
+            // Compare total weight params of circulant FC layers: the
+            // descriptor's FcCirculant entries must match CirculantLinear
+            // param counts (minus biases).
+            let desc_fc: u64 = desc
+                .layers
+                .iter()
+                .filter(|l| matches!(l, LayerDesc::FcCirculant { .. }))
+                .map(LayerDesc::weight_params)
+                .sum();
+            let model_fc: usize = net
+                .iter()
+                .filter(|l| l.name() == "CirculantLinear")
+                .map(|l| l.param_count())
+                .sum();
+            // Model counts include biases; subtract them.
+            let biases: usize = match b {
+                Benchmark::Cifar10 => 128,
+                Benchmark::Svhn => 256,
+                _ => unreachable!(),
+            };
+            assert_eq!(desc_fc as usize, model_fc - biases, "{}", b.name());
+        }
+    }
+
+    #[test]
+    fn dataset_geometry_matches_model_input() {
+        let mut rng = seeded_rng(3);
+        for b in Benchmark::all() {
+            let ds = b.dataset(2, 1);
+            let mut dense = b.build_dense(&mut rng);
+            // Must not panic: geometry agreement is the test.
+            let _ = dense.forward(&ds.image(1));
+        }
+    }
+
+    #[test]
+    fn names_are_paper_names() {
+        assert_eq!(Benchmark::Mnist.name(), "MNIST");
+        assert_eq!(Benchmark::ImageNet.name(), "ImageNet");
+    }
+}

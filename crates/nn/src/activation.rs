@@ -1,0 +1,218 @@
+//! Parameter-free layers: activations and shape adapters.
+
+use circnn_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// Rectified linear unit, `ψ(x) = max(0, x)` — "the most widely utilized in
+/// DNNs" (paper §2.1) and the activation of every CirCNN benchmark model.
+///
+/// # Examples
+///
+/// ```
+/// use circnn_nn::{Layer, Relu};
+/// use circnn_tensor::Tensor;
+///
+/// let mut relu = Relu::new();
+/// let y = relu.forward(&Tensor::from_vec(vec![-2.0, 0.0, 3.0], &[3]));
+/// assert_eq!(y.data(), &[0.0, 0.0, 3.0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Relu {
+    mask: Option<Vec<f32>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.mask = Some(input.data().iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect());
+        input.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self.mask.as_ref().expect("backward called before forward");
+        assert_eq!(mask.len(), grad_output.len(), "relu grad length mismatch");
+        let data = grad_output.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
+        Tensor::from_vec(data, grad_output.dims())
+    }
+
+    fn name(&self) -> &'static str {
+        "ReLU"
+    }
+}
+
+/// Logistic sigmoid `σ(x) = 1/(1+e^{-x})`, used by the RBM/DBN experiments.
+#[derive(Debug, Clone, Default)]
+pub struct Sigmoid {
+    output: Option<Vec<f32>>,
+}
+
+impl Sigmoid {
+    /// Creates a sigmoid layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Scalar sigmoid, shared with the RBM module.
+#[inline]
+pub(crate) fn sigmoid_scalar(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Layer for Sigmoid {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = input.map(sigmoid_scalar);
+        self.output = Some(out.data().to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let y = self.output.as_ref().expect("backward called before forward");
+        assert_eq!(y.len(), grad_output.len(), "sigmoid grad length mismatch");
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(y)
+            .map(|(&g, &s)| g * s * (1.0 - s))
+            .collect();
+        Tensor::from_vec(data, grad_output.dims())
+    }
+
+    fn name(&self) -> &'static str {
+        "Sigmoid"
+    }
+}
+
+/// Hyperbolic tangent activation.
+#[derive(Debug, Clone, Default)]
+pub struct Tanh {
+    output: Option<Vec<f32>>,
+}
+
+impl Tanh {
+    /// Creates a tanh layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Tanh {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let out = input.map(f32::tanh);
+        self.output = Some(out.data().to_vec());
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let y = self.output.as_ref().expect("backward called before forward");
+        assert_eq!(y.len(), grad_output.len(), "tanh grad length mismatch");
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(y)
+            .map(|(&g, &t)| g * (1.0 - t * t))
+            .collect();
+        Tensor::from_vec(data, grad_output.dims())
+    }
+
+    fn name(&self) -> &'static str {
+        "Tanh"
+    }
+}
+
+/// Flattens any input to rank-1, remembering the original shape for the
+/// backward pass. Bridges CONV/POOL feature maps into FC layers.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        self.input_dims = Some(input.dims().to_vec());
+        input.reshape(&[input.len()])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let dims = self.input_dims.as_ref().expect("backward called before forward");
+        grad_output.reshape(dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::testutil::check_input_gradient;
+
+    #[test]
+    fn relu_forward_and_mask() {
+        let mut relu = Relu::new();
+        let y = relu.forward(&Tensor::from_vec(vec![-1.0, 0.0, 2.0, -0.5], &[4]));
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let gx = relu.backward(&Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[4]));
+        assert_eq!(gx.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_range_and_gradient() {
+        let mut s = Sigmoid::new();
+        let y = s.forward(&Tensor::from_vec(vec![-10.0, 0.0, 10.0], &[3]));
+        assert!(y.data()[0] < 0.001 && (y.data()[1] - 0.5).abs() < 1e-6 && y.data()[2] > 0.999);
+        // Gradient at 0 is 0.25.
+        let gx = s.backward(&Tensor::ones(&[3]));
+        assert!((gx.data()[1] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tanh_gradient_at_zero_is_one() {
+        let mut t = Tanh::new();
+        t.forward(&Tensor::zeros(&[1]));
+        let gx = t.backward(&Tensor::ones(&[1]));
+        assert!((gx.data()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activations_pass_gradient_check() {
+        // Inputs chosen away from the ReLU kink so finite differences apply.
+        let input = Tensor::from_vec(vec![-1.5, -0.3, 0.4, 1.2, 2.0], &[5]);
+        check_input_gradient(&mut Relu::new(), &input, 1e-2);
+        check_input_gradient(&mut Sigmoid::new(), &input, 1e-2);
+        check_input_gradient(&mut Tanh::new(), &input, 1e-2);
+    }
+
+    #[test]
+    fn flatten_round_trips_shape() {
+        let mut f = Flatten::new();
+        let x = Tensor::ones(&[2, 3, 4]);
+        let y = f.forward(&x);
+        assert_eq!(y.dims(), &[24]);
+        let gx = f.backward(&Tensor::ones(&[24]));
+        assert_eq!(gx.dims(), &[2, 3, 4]);
+    }
+
+    #[test]
+    fn parameter_free_layers_report_zero_params() {
+        assert_eq!(Relu::new().param_count(), 0);
+        assert_eq!(Flatten::new().param_count(), 0);
+        assert_eq!(Sigmoid::new().param_count(), 0);
+        assert_eq!(Tanh::new().param_count(), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! The layer contract shared by dense, pooling, activation and (in
+//! `circnn-core`) block-circulant layers.
+
+use circnn_tensor::Tensor;
+
+/// A differentiable network layer processing one sample at a time.
+///
+/// The calling convention is strict and simple:
+///
+/// 1. [`forward`] consumes the input and may cache whatever it needs;
+/// 2. [`backward`] receives `∂L/∂output`, **accumulates** parameter
+///    gradients internally, and returns `∂L/∂input`;
+/// 3. [`visit_params`] exposes `(parameter, gradient)` slice pairs in a
+///    deterministic order so optimizers can update them;
+/// 4. [`zero_grads`] clears the accumulated gradients between batches.
+///
+/// [`forward`]: Layer::forward
+/// [`backward`]: Layer::backward
+/// [`visit_params`]: Layer::visit_params
+/// [`zero_grads`]: Layer::zero_grads
+///
+/// # Examples
+///
+/// A parameter-free layer only needs `forward`/`backward`:
+///
+/// ```
+/// use circnn_nn::{Layer, Relu};
+/// use circnn_tensor::Tensor;
+///
+/// let mut relu = Relu::new();
+/// let y = relu.forward(&Tensor::from_vec(vec![-1.0, 2.0], &[2]));
+/// assert_eq!(y.data(), &[0.0, 2.0]);
+/// let gx = relu.backward(&Tensor::ones(&[2]));
+/// assert_eq!(gx.data(), &[0.0, 1.0]);
+/// ```
+pub trait Layer {
+    /// Computes the layer output for one sample, caching activations needed
+    /// by the backward pass.
+    fn forward(&mut self, input: &Tensor) -> Tensor;
+
+    /// Propagates `∂L/∂output` to `∂L/∂input`, accumulating parameter
+    /// gradients along the way.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if called before [`Layer::forward`].
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor;
+
+    /// Visits every `(parameter, gradient)` pair in a deterministic order.
+    ///
+    /// The default implementation visits nothing (parameter-free layer).
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        let _ = visitor;
+    }
+
+    /// Clears accumulated gradients.
+    fn zero_grads(&mut self) {
+        self.visit_params(&mut |_, g| g.fill(0.0));
+    }
+
+    /// Total trainable parameter count.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Switches between training and inference behaviour (dropout masks,
+    /// etc.). Most layers behave identically and ignore this.
+    fn set_training(&mut self, training: bool) {
+        let _ = training;
+    }
+
+    /// Human-readable layer name for summaries.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Finite-difference gradient checking shared by the layer tests.
+
+    use super::Layer;
+    use circnn_tensor::Tensor;
+
+    /// Scalar loss used for gradient checks: a fixed weighted sum of the
+    /// outputs, `L = Σ c_i · y_i` with pseudo-random but deterministic `c`.
+    fn loss_weights(n: usize) -> Vec<f32> {
+        (0..n).map(|i| (((i * 2654435761) % 1000) as f32 / 500.0) - 1.0).collect()
+    }
+
+    fn forward_loss<L: Layer>(layer: &mut L, input: &Tensor) -> f32 {
+        let out = layer.forward(input);
+        let w = loss_weights(out.len());
+        out.data().iter().zip(&w).map(|(&y, &c)| y * c).sum()
+    }
+
+    /// Checks `∂L/∂input` against central differences.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the test) when any component disagrees beyond the
+    /// mixed absolute/relative tolerance `tol`.
+    pub fn check_input_gradient<L: Layer>(layer: &mut L, input: &Tensor, tol: f32) {
+        let out = layer.forward(input);
+        let w = loss_weights(out.len());
+        let grad_out = Tensor::from_vec(w, out.dims());
+        let analytic = layer.backward(&grad_out);
+        let eps = 1e-2f32;
+        for i in 0..input.len() {
+            let mut plus = input.clone();
+            plus.data_mut()[i] += eps;
+            let mut minus = input.clone();
+            minus.data_mut()[i] -= eps;
+            let numeric = (forward_loss(layer, &plus) - forward_loss(layer, &minus)) / (2.0 * eps);
+            let a = analytic.data()[i];
+            let denom = a.abs().max(numeric.abs()).max(1.0);
+            assert!(
+                (a - numeric).abs() / denom < tol,
+                "input grad {i}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    /// Checks every parameter gradient against central differences.
+    ///
+    /// # Panics
+    ///
+    /// Panics (failing the test) when any parameter gradient disagrees
+    /// beyond the mixed tolerance `tol`.
+    pub fn check_param_gradients<L: Layer>(layer: &mut L, input: &Tensor, tol: f32) {
+        let out = layer.forward(input);
+        let w = loss_weights(out.len());
+        let grad_out = Tensor::from_vec(w, out.dims());
+        layer.zero_grads();
+        let _ = layer.backward(&grad_out);
+        // Collect analytic gradients.
+        let mut analytic: Vec<Vec<f32>> = Vec::new();
+        layer.visit_params(&mut |_, g| analytic.push(g.to_vec()));
+        let eps = 1e-2f32;
+        let num_groups = analytic.len();
+        for group in 0..num_groups {
+            for idx in 0..analytic[group].len() {
+                let nudge = |layer: &mut L, delta: f32| {
+                    let mut g = 0usize;
+                    layer.visit_params(&mut |p, _| {
+                        if g == group {
+                            p[idx] += delta;
+                        }
+                        g += 1;
+                    });
+                };
+                nudge(layer, eps);
+                let lp = forward_loss(layer, input);
+                nudge(layer, -2.0 * eps);
+                let lm = forward_loss(layer, input);
+                nudge(layer, eps);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = analytic[group][idx];
+                let denom = a.abs().max(numeric.abs()).max(1.0);
+                assert!(
+                    (a - numeric).abs() / denom < tol,
+                    "param grad group {group} idx {idx}: analytic {a} vs numeric {numeric}"
+                );
+            }
+        }
+    }
+}

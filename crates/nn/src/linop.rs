@@ -1,0 +1,171 @@
+//! Abstract linear operators — the seam where block-circulant weights plug
+//! into representation-agnostic algorithms (the RBM/DBN of §3.4, for one).
+//!
+//! A [`LinearOp`] is "a weight matrix you can apply, transpose-apply, and
+//! nudge by an outer product". Dense matrices implement it directly
+//! ([`DenseOp`]); `circnn-core` implements it for
+//! `BlockCirculantMatrix`, where the outer-product update projects onto the
+//! circulant subspace (which is exactly what Algorithm 2's weight gradient
+//! computes).
+
+/// A real linear operator `W : R^n → R^m` with trainable parameters.
+///
+/// # Examples
+///
+/// ```
+/// use circnn_nn::{DenseOp, LinearOp};
+///
+/// let mut w = DenseOp::zeros(2, 3);
+/// // Rank-1 update: W += 1.0 · h·vᵀ
+/// w.outer_update(&[1.0, 2.0], &[1.0, 0.0, -1.0], 1.0);
+/// assert_eq!(w.matvec(&[1.0, 0.0, 0.0]), vec![1.0, 2.0]);
+/// ```
+pub trait LinearOp {
+    /// Output dimension `m`.
+    fn out_dim(&self) -> usize;
+
+    /// Input dimension `n`.
+    fn in_dim(&self) -> usize;
+
+    /// Applies the operator: `W·x`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `x.len() != self.in_dim()`.
+    fn matvec(&self, x: &[f32]) -> Vec<f32>;
+
+    /// Applies the transpose: `Wᵀ·y`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `y.len() != self.out_dim()`.
+    fn rmatvec(&self, y: &[f32]) -> Vec<f32>;
+
+    /// Performs `W += scale · h·vᵀ`, *projected onto the operator's
+    /// parameterization*. For a dense matrix this is the literal rank-1
+    /// update; for a block-circulant matrix each block receives the
+    /// projection of its sub-outer-product onto the circulant subspace.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic on dimension mismatches.
+    fn outer_update(&mut self, h: &[f32], v: &[f32], scale: f32);
+
+    /// Number of stored parameters (the compression story in one number).
+    fn param_count(&self) -> usize;
+}
+
+/// A dense matrix implementing [`LinearOp`] — the uncompressed baseline.
+#[derive(Debug, Clone)]
+pub struct DenseOp {
+    m: usize,
+    n: usize,
+    data: Vec<f32>,
+}
+
+impl DenseOp {
+    /// An all-zeros `m×n` operator.
+    pub fn zeros(m: usize, n: usize) -> Self {
+        assert!(m > 0 && n > 0, "degenerate operator");
+        Self { m, n, data: vec![0.0; m * n] }
+    }
+
+    /// Builds from row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != m·n`.
+    pub fn from_data(m: usize, n: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), m * n, "dense operator size mismatch");
+        Self { m, n, data }
+    }
+
+    /// Row-major weights.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl LinearOp for DenseOp {
+    fn out_dim(&self) -> usize {
+        self.m
+    }
+
+    fn in_dim(&self) -> usize {
+        self.n
+    }
+
+    fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.n, "matvec length mismatch");
+        (0..self.m)
+            .map(|i| self.data[i * self.n..(i + 1) * self.n].iter().zip(x).map(|(&w, &v)| w * v).sum())
+            .collect()
+    }
+
+    fn rmatvec(&self, y: &[f32]) -> Vec<f32> {
+        assert_eq!(y.len(), self.m, "rmatvec length mismatch");
+        let mut out = vec![0.0f32; self.n];
+        for i in 0..self.m {
+            let yi = y[i];
+            if yi == 0.0 {
+                continue;
+            }
+            for (o, &w) in out.iter_mut().zip(&self.data[i * self.n..(i + 1) * self.n]) {
+                *o += yi * w;
+            }
+        }
+        out
+    }
+
+    fn outer_update(&mut self, h: &[f32], v: &[f32], scale: f32) {
+        assert_eq!(h.len(), self.m, "outer_update h length mismatch");
+        assert_eq!(v.len(), self.n, "outer_update v length mismatch");
+        for i in 0..self.m {
+            let hi = scale * h[i];
+            if hi == 0.0 {
+                continue;
+            }
+            for (w, &vj) in self.data[i * self.n..(i + 1) * self.n].iter_mut().zip(v) {
+                *w += hi * vj;
+            }
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matvec_and_rmatvec_are_adjoint() {
+        let w = DenseOp::from_data(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let x = [1.0, -1.0, 0.5];
+        let y = [2.0, -0.5];
+        let lhs: f32 = w.matvec(&x).iter().zip(&y).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(&w.rmatvec(&y)).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-5);
+    }
+
+    #[test]
+    fn outer_update_is_rank_one() {
+        let mut w = DenseOp::zeros(2, 2);
+        w.outer_update(&[1.0, 3.0], &[2.0, -1.0], 0.5);
+        assert_eq!(w.data(), &[1.0, -0.5, 3.0, -1.5]);
+    }
+
+    #[test]
+    fn param_count_is_mn() {
+        assert_eq!(DenseOp::zeros(8, 16).param_count(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn validates_dimensions() {
+        let w = DenseOp::zeros(2, 3);
+        let _ = w.matvec(&[1.0, 2.0]);
+    }
+}

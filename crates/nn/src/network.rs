@@ -1,0 +1,200 @@
+//! Sequential layer composition.
+
+use circnn_tensor::Tensor;
+
+use crate::layer::Layer;
+
+/// A feed-forward stack of layers executed in order.
+///
+/// `Sequential` itself implements [`Layer`], so stacks nest.
+///
+/// # Examples
+///
+/// ```
+/// use circnn_nn::{Layer, Linear, Relu, Sequential};
+/// use circnn_tensor::{init::seeded_rng, Tensor};
+///
+/// let mut rng = seeded_rng(0);
+/// let mut net = Sequential::new()
+///     .add(Linear::new(&mut rng, 2, 16))
+///     .add(Relu::new())
+///     .add(Linear::new(&mut rng, 16, 3));
+/// assert_eq!(net.forward(&Tensor::ones(&[2])).dims(), &[3]);
+/// assert_eq!(net.depth(), 3);
+/// ```
+#[derive(Default)]
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self { layers: Vec::new() }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn add<L: Layer + 'static>(mut self, layer: L) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Appends a boxed layer in place.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Access to a layer by index (for surgery such as pruning).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn layer_mut(&mut self, index: usize) -> &mut dyn Layer {
+        self.layers[index].as_mut()
+    }
+
+    /// Iterates over the layers.
+    pub fn iter(&self) -> impl Iterator<Item = &dyn Layer> {
+        self.layers.iter().map(|b| b.as_ref())
+    }
+
+    /// Class prediction: forward pass + argmax over the final output.
+    pub fn predict(&mut self, input: &Tensor) -> usize {
+        self.forward(input).argmax()
+    }
+
+    /// Per-layer `(name, param_count)` summary.
+    pub fn summary(&self) -> Vec<(&'static str, usize)> {
+        self.layers.iter().map(|l| (l.name(), l.param_count())).collect()
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mut g = grad_output.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
+        for layer in &mut self.layers {
+            layer.visit_params(visitor);
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    fn set_training(&mut self, training: bool) {
+        for layer in &mut self.layers {
+            layer.set_training(training);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+}
+
+impl core::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Sequential[")?;
+        for (i, l) in self.layers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{}", l.name())?;
+        }
+        write!(f, "] ({} params)", self.param_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::linear::Linear;
+    use circnn_tensor::init::seeded_rng;
+
+    #[test]
+    fn forward_composes_layers() {
+        let w1 = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]);
+        let w2 = Tensor::from_vec(vec![2.0, 0.0, 0.0, 2.0], &[2, 2]);
+        let mut net = Sequential::new()
+            .add(Linear::from_weights(w1, vec![0.0, 0.0]))
+            .add(Linear::from_weights(w2, vec![1.0, 1.0]));
+        let y = net.forward(&Tensor::from_vec(vec![3.0, -4.0], &[2]));
+        assert_eq!(y.data(), &[7.0, -7.0]);
+    }
+
+    #[test]
+    fn backward_runs_in_reverse() {
+        let mut rng = seeded_rng(1);
+        let mut net = Sequential::new()
+            .add(Linear::new(&mut rng, 3, 5))
+            .add(Relu::new())
+            .add(Linear::new(&mut rng, 5, 2));
+        let x = Tensor::ones(&[3]);
+        net.forward(&x);
+        let gx = net.backward(&Tensor::ones(&[2]));
+        assert_eq!(gx.dims(), &[3]);
+    }
+
+    #[test]
+    fn whole_network_gradient_check() {
+        use crate::layer::testutil::{check_input_gradient, check_param_gradients};
+        let mut rng = seeded_rng(2);
+        let mut net = Sequential::new()
+            .add(Linear::new(&mut rng, 4, 6))
+            .add(crate::activation::Tanh::new())
+            .add(Linear::new(&mut rng, 6, 3));
+        let x = circnn_tensor::init::uniform(&mut rng, &[4], -1.0, 1.0);
+        check_input_gradient(&mut net, &x, 2e-2);
+        check_param_gradients(&mut net, &x, 2e-2);
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let mut rng = seeded_rng(3);
+        let net = Sequential::new()
+            .add(Linear::new(&mut rng, 3, 4))
+            .add(Relu::new())
+            .add(Linear::new(&mut rng, 4, 2));
+        assert_eq!(net.param_count(), (3 * 4 + 4) + (4 * 2 + 2));
+        let summary = net.summary();
+        assert_eq!(summary.len(), 3);
+        assert_eq!(summary[1], ("ReLU", 0));
+    }
+
+    #[test]
+    fn predict_returns_argmax() {
+        let w = Tensor::from_vec(vec![1.0, 0.0, 0.0, -1.0], &[2, 2]);
+        let mut net = Sequential::new().add(Linear::from_weights(w, vec![0.0, 0.0]));
+        assert_eq!(net.predict(&Tensor::from_vec(vec![2.0, 5.0], &[2])), 0);
+    }
+
+    #[test]
+    fn debug_shows_structure() {
+        let mut rng = seeded_rng(4);
+        let net = Sequential::new().add(Linear::new(&mut rng, 2, 2)).add(Relu::new());
+        let s = format!("{net:?}");
+        assert!(s.contains("Linear") && s.contains("ReLU"));
+    }
+}

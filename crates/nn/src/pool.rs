@@ -1,0 +1,249 @@
+//! Pooling layers (paper §2.1: "the max pooling is the dominant type of
+//! pooling strategy in state-of-the-art DCNNs").
+
+use circnn_tensor::Tensor;
+
+use crate::layer::Layer;
+
+fn pooled_extent(inp: usize, window: usize, stride: usize) -> usize {
+    assert!(inp >= window, "pool window {window} larger than input {inp}");
+    (inp - window) / stride + 1
+}
+
+/// Max pooling over non-overlapping (or strided) square windows.
+///
+/// # Examples
+///
+/// ```
+/// use circnn_nn::{Layer, MaxPool2d};
+/// use circnn_tensor::Tensor;
+///
+/// let mut pool = MaxPool2d::new(2, 2);
+/// let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 4, 4]);
+/// let y = pool.forward(&x);
+/// assert_eq!(y.dims(), &[1, 2, 2]);
+/// assert_eq!(y.data(), &[5.0, 7.0, 13.0, 15.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    window: usize,
+    stride: usize,
+    /// For each output element, the flat input index of its maximum.
+    argmax: Option<Vec<usize>>,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with a `window × window` kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `stride` is zero.
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window > 0 && stride > 0, "degenerate pooling");
+        Self { window, stride, argmax: None, input_dims: None }
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().rank(), 3, "pool input must be [C, H, W]");
+        let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+        let (oh, ow) = (pooled_extent(h, self.window, self.stride), pooled_extent(w, self.window, self.stride));
+        let mut out = vec![f32::NEG_INFINITY; c * oh * ow];
+        let mut argmax = vec![0usize; c * oh * ow];
+        let data = input.data();
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let oidx = (ch * oh + oy) * ow + ox;
+                    for ky in 0..self.window {
+                        for kx in 0..self.window {
+                            let iy = oy * self.stride + ky;
+                            let ix = ox * self.stride + kx;
+                            let iidx = (ch * h + iy) * w + ix;
+                            if data[iidx] > out[oidx] {
+                                out[oidx] = data[iidx];
+                                argmax[oidx] = iidx;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.argmax = Some(argmax);
+        self.input_dims = Some(vec![c, h, w]);
+        Tensor::from_vec(out, &[c, oh, ow])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let argmax = self.argmax.as_ref().expect("backward called before forward");
+        let dims = self.input_dims.as_ref().expect("backward called before forward");
+        assert_eq!(grad_output.len(), argmax.len(), "pool grad length mismatch");
+        let mut gx = vec![0.0f32; dims.iter().product()];
+        for (&g, &idx) in grad_output.data().iter().zip(argmax) {
+            gx[idx] += g;
+        }
+        Tensor::from_vec(gx, dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+/// Average pooling over strided square windows.
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    window: usize,
+    stride: usize,
+    input_dims: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average-pool layer with a `window × window` kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` or `stride` is zero.
+    pub fn new(window: usize, stride: usize) -> Self {
+        assert!(window > 0 && stride > 0, "degenerate pooling");
+        Self { window, stride, input_dims: None }
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().rank(), 3, "pool input must be [C, H, W]");
+        let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+        let (oh, ow) = (pooled_extent(h, self.window, self.stride), pooled_extent(w, self.window, self.stride));
+        let norm = 1.0 / (self.window * self.window) as f32;
+        let mut out = vec![0.0f32; c * oh * ow];
+        let data = input.data();
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = 0.0;
+                    for ky in 0..self.window {
+                        for kx in 0..self.window {
+                            let iy = oy * self.stride + ky;
+                            let ix = ox * self.stride + kx;
+                            acc += data[(ch * h + iy) * w + ix];
+                        }
+                    }
+                    out[(ch * oh + oy) * ow + ox] = acc * norm;
+                }
+            }
+        }
+        self.input_dims = Some(vec![c, h, w]);
+        Tensor::from_vec(out, &[c, oh, ow])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let dims = self.input_dims.as_ref().expect("backward called before forward");
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        let (oh, ow) = (pooled_extent(h, self.window, self.stride), pooled_extent(w, self.window, self.stride));
+        assert_eq!(grad_output.dims(), &[c, oh, ow], "pool grad shape mismatch");
+        let norm = 1.0 / (self.window * self.window) as f32;
+        let mut gx = vec![0.0f32; c * h * w];
+        let g = grad_output.data();
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let gv = g[(ch * oh + oy) * ow + ox] * norm;
+                    for ky in 0..self.window {
+                        for kx in 0..self.window {
+                            let iy = oy * self.stride + ky;
+                            let ix = ox * self.stride + kx;
+                            gx[(ch * h + iy) * w + ix] += gv;
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(gx, dims)
+    }
+
+    fn name(&self) -> &'static str {
+        "AvgPool2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::testutil::check_input_gradient;
+
+    #[test]
+    fn max_pool_selects_window_maxima() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+            &[1, 4, 4],
+        );
+        let y = pool.forward(&x);
+        assert_eq!(y.data(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn max_pool_backward_routes_to_argmax() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]);
+        pool.forward(&x);
+        let gx = pool.backward(&Tensor::from_vec(vec![5.0], &[1, 1, 1]));
+        assert_eq!(gx.data(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn avg_pool_averages() {
+        let mut pool = AvgPool2d::new(2, 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 2, 2]);
+        let y = pool.forward(&x);
+        assert_eq!(y.data(), &[2.5]);
+        let gx = pool.backward(&Tensor::from_vec(vec![4.0], &[1, 1, 1]));
+        assert_eq!(gx.data(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn multi_channel_pooling_is_independent() {
+        let mut pool = MaxPool2d::new(2, 2);
+        let x = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0],
+            &[2, 2, 2],
+        );
+        let y = pool.forward(&x);
+        assert_eq!(y.data(), &[4.0, -1.0]);
+    }
+
+    #[test]
+    fn gradient_checks() {
+        // Distinct values so the max is stable under ±ε nudges.
+        let x = Tensor::from_vec(
+            (0..32).map(|i| (i as f32 * 0.713).sin() * 3.0 + i as f32 * 0.01).collect(),
+            &[2, 4, 4],
+        );
+        check_input_gradient(&mut MaxPool2d::new(2, 2), &x, 1e-2);
+        check_input_gradient(&mut AvgPool2d::new(2, 2), &x, 1e-2);
+    }
+
+    #[test]
+    fn overlapping_stride() {
+        let mut pool = MaxPool2d::new(3, 2);
+        let x = Tensor::from_vec((0..25).map(|i| i as f32).collect(), &[1, 5, 5]);
+        let y = pool.forward(&x);
+        assert_eq!(y.dims(), &[1, 2, 2]);
+        assert_eq!(y.data(), &[12.0, 14.0, 22.0, 24.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than input")]
+    fn rejects_oversized_window() {
+        let mut pool = MaxPool2d::new(5, 1);
+        let _ = pool.forward(&Tensor::ones(&[1, 3, 3]));
+    }
+}

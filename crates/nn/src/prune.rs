@@ -1,0 +1,216 @@
+//! Heuristic magnitude pruning — the paper's primary comparison point.
+//!
+//! CirCNN's introduction lists three drawbacks of weight pruning
+//! ([34, 35] = Han et al.): (1) irregular network structure, (2) increased
+//! training complexity from the prune-retrain cycle, and (3) no rigorous
+//! compression-ratio guarantee. This module implements that baseline
+//! honestly so the comparison is fair: magnitude pruning with a freeze mask
+//! for retraining, plus a CSR sparse representation whose storage accounting
+//! *includes the per-weight index overhead* the paper calls out
+//! ("indexing is always needed, which undermines the compression ratio").
+
+use circnn_tensor::Tensor;
+
+use crate::linear::Linear;
+
+/// Result of pruning one layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PruneStats {
+    /// Requested sparsity (fraction of weights removed).
+    pub target_sparsity: f32,
+    /// Achieved sparsity after thresholding.
+    pub achieved_sparsity: f32,
+    /// Number of surviving (nonzero) weights.
+    pub remaining: usize,
+}
+
+/// Magnitude-prunes a dense layer in place: the `sparsity` fraction of
+/// smallest-|w| weights are zeroed and frozen via the layer mask, so
+/// subsequent retraining (the Han-et-al. pipeline) cannot revive them.
+///
+/// # Panics
+///
+/// Panics if `sparsity` is outside `[0, 1)`.
+pub fn magnitude_prune(layer: &mut Linear, sparsity: f32) -> PruneStats {
+    assert!((0.0..1.0).contains(&sparsity), "sparsity must be in [0, 1)");
+    let w = layer.weight().data();
+    let total = w.len();
+    let prune_count = ((total as f32) * sparsity).floor() as usize;
+    let mut magnitudes: Vec<f32> = w.iter().map(|&v| v.abs()).collect();
+    magnitudes.sort_by(|a, b| a.partial_cmp(b).expect("NaN weight"));
+    let threshold = if prune_count == 0 { -1.0 } else { magnitudes[prune_count - 1] };
+    let mask: Vec<f32> =
+        w.iter().map(|&v| if v.abs() <= threshold { 0.0 } else { 1.0 }).collect();
+    let remaining = mask.iter().filter(|&&m| m == 1.0).count();
+    layer.set_mask(mask);
+    PruneStats {
+        target_sparsity: sparsity,
+        achieved_sparsity: 1.0 - remaining as f32 / total as f32,
+        remaining,
+    }
+}
+
+/// A compressed-sparse-row matrix, the storage format a pruned layer needs
+/// at inference time.
+#[derive(Debug, Clone)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    values: Vec<f32>,
+    col_idx: Vec<u32>,
+    row_ptr: Vec<u32>,
+}
+
+impl CsrMatrix {
+    /// Builds CSR from a dense rank-2 tensor, dropping exact zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dense` is not rank-2.
+    pub fn from_dense(dense: &Tensor) -> Self {
+        assert_eq!(dense.shape().rank(), 2, "CSR needs a matrix");
+        let (rows, cols) = (dense.dims()[0], dense.dims()[1]);
+        let mut values = Vec::new();
+        let mut col_idx = Vec::new();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        row_ptr.push(0u32);
+        for i in 0..rows {
+            for j in 0..cols {
+                let v = dense.data()[i * cols + j];
+                if v != 0.0 {
+                    values.push(v);
+                    col_idx.push(j as u32);
+                }
+            }
+            row_ptr.push(values.len() as u32);
+        }
+        Self { rows, cols, values, col_idx, row_ptr }
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Matrix dimensions `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Sparse matrix–vector product. The irregular, index-chasing inner loop
+    /// here is exactly the memory-access pattern the paper criticizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.cols, "matvec length mismatch");
+        let mut y = vec![0.0f32; self.rows];
+        for i in 0..self.rows {
+            let (start, end) = (self.row_ptr[i] as usize, self.row_ptr[i + 1] as usize);
+            let mut acc = 0.0f32;
+            for k in start..end {
+                acc += self.values[k] * x[self.col_idx[k] as usize];
+            }
+            y[i] = acc;
+        }
+        y
+    }
+
+    /// Storage in bytes: values at `value_bits` each **plus** one column
+    /// index per nonzero at `index_bits` plus the row-pointer array — the
+    /// index overhead of irregular compression.
+    pub fn storage_bytes(&self, value_bits: u32, index_bits: u32) -> u64 {
+        let nnz = self.nnz() as u64;
+        let value_bytes = nnz * u64::from(value_bits) / 8;
+        let index_bytes = nnz * u64::from(index_bits) / 8;
+        let row_ptr_bytes = (self.rows as u64 + 1) * 4;
+        value_bytes + index_bytes + row_ptr_bytes
+    }
+
+    /// Effective compression ratio versus a dense 32-bit matrix, *including*
+    /// index overhead at `index_bits` per nonzero.
+    pub fn compression_vs_dense_f32(&self, value_bits: u32, index_bits: u32) -> f64 {
+        let dense = (self.rows * self.cols) as f64 * 4.0;
+        dense / self.storage_bytes(value_bits, index_bits) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circnn_tensor::init::seeded_rng;
+
+    #[test]
+    fn prune_hits_target_sparsity() {
+        let mut rng = seeded_rng(1);
+        let mut layer = Linear::new(&mut rng, 32, 32);
+        let stats = magnitude_prune(&mut layer, 0.9);
+        assert!((stats.achieved_sparsity - 0.9).abs() < 0.02, "{stats:?}");
+        assert_eq!(layer.nonzero_weights(), stats.remaining);
+    }
+
+    #[test]
+    fn prune_removes_smallest_magnitudes() {
+        let w = Tensor::from_vec(vec![0.1, -5.0, 0.01, 3.0], &[2, 2]);
+        let mut layer = Linear::from_weights(w, vec![0.0, 0.0]);
+        magnitude_prune(&mut layer, 0.5);
+        let kept: Vec<f32> = layer.weight().data().to_vec();
+        assert_eq!(kept, vec![0.0, -5.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn zero_sparsity_is_identity() {
+        let mut rng = seeded_rng(2);
+        let mut layer = Linear::new(&mut rng, 4, 4);
+        let before = layer.weight().data().to_vec();
+        let stats = magnitude_prune(&mut layer, 0.0);
+        assert_eq!(stats.remaining, 16);
+        assert_eq!(layer.weight().data(), &before[..]);
+    }
+
+    #[test]
+    fn csr_matvec_matches_dense() {
+        let mut rng = seeded_rng(3);
+        let mut layer = Linear::new(&mut rng, 16, 8);
+        magnitude_prune(&mut layer, 0.7);
+        let csr = CsrMatrix::from_dense(layer.weight());
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.3).sin()).collect();
+        let dense_y = layer.weight().matvec(&x);
+        let sparse_y = csr.matvec(&x);
+        for (a, b) in dense_y.iter().zip(&sparse_y) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn csr_counts_and_shape() {
+        let dense = Tensor::from_vec(vec![1.0, 0.0, 0.0, 2.0, 0.0, 3.0], &[2, 3]);
+        let csr = CsrMatrix::from_dense(&dense);
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.shape(), (2, 3));
+    }
+
+    #[test]
+    fn index_overhead_undermines_compression() {
+        // The paper's point: at 10× parameter reduction with 16-bit values
+        // and 16-bit indices, the *storage* reduction is only about 5×.
+        let mut rng = seeded_rng(4);
+        let mut layer = Linear::new(&mut rng, 100, 100);
+        magnitude_prune(&mut layer, 0.9);
+        let csr = CsrMatrix::from_dense(layer.weight());
+        let ratio = csr.compression_vs_dense_f32(16, 16);
+        assert!(ratio < 11.0, "ratio {ratio} should be well below the 10× parameter reduction");
+        assert!(ratio > 7.0);
+        // Without indices the same pruning would give ~20×.
+        let no_index = (100.0 * 100.0 * 4.0) / (csr.nnz() as f64 * 2.0);
+        assert!(no_index > 1.8 * ratio);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity must be in")]
+    fn rejects_full_sparsity() {
+        let mut layer = Linear::new(&mut seeded_rng(0), 2, 2);
+        let _ = magnitude_prune(&mut layer, 1.0);
+    }
+}

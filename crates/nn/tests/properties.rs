@@ -1,0 +1,102 @@
+//! Property tests for the training substrate.
+
+use circnn_nn::prune::{magnitude_prune, CsrMatrix};
+use circnn_nn::{Layer, Linear, MseLoss, Optimizer, Relu, Sgd, SoftmaxCrossEntropy};
+use circnn_tensor::{init::seeded_rng, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn softmax_ce_loss_is_nonnegative_and_grad_sums_to_zero(
+        logits in prop::collection::vec(-20.0f32..20.0, 2..12),
+        target_frac in 0.0f64..1.0,
+    ) {
+        let n = logits.len();
+        let target = ((target_frac * n as f64) as usize).min(n - 1);
+        let t = Tensor::from_vec(logits, &[n]);
+        let (loss, grad) = SoftmaxCrossEntropy::new().loss(&t, target);
+        prop_assert!(loss >= 0.0);
+        prop_assert!(grad.sum().abs() < 1e-4);
+        // Gradient of the target entry is in [-1, 0]; others in [0, 1].
+        for (i, &g) in grad.data().iter().enumerate() {
+            if i == target {
+                prop_assert!((-1.0..=0.0).contains(&g));
+            } else {
+                prop_assert!((0.0..=1.0).contains(&g));
+            }
+        }
+    }
+
+    #[test]
+    fn mse_is_zero_iff_equal(
+        pred in prop::collection::vec(-5.0f32..5.0, 1..10),
+        delta in 0.01f32..2.0,
+    ) {
+        let p = Tensor::from_vec(pred.clone(), &[pred.len()]);
+        let (zero, _) = MseLoss::new().loss(&p, &p);
+        prop_assert_eq!(zero, 0.0);
+        let shifted = p.map(|v| v + delta);
+        let (loss, _) = MseLoss::new().loss(&p, &shifted);
+        prop_assert!((loss - delta * delta).abs() < 1e-3 * (delta * delta).max(1e-3));
+    }
+
+    #[test]
+    fn relu_is_idempotent(xs in prop::collection::vec(-10.0f32..10.0, 1..32)) {
+        let n = xs.len();
+        let mut relu = Relu::new();
+        let once = relu.forward(&Tensor::from_vec(xs, &[n]));
+        let twice = relu.forward(&once);
+        prop_assert_eq!(once.data(), twice.data());
+        prop_assert!(once.data().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn sgd_descends_a_quadratic(seed in any::<u64>(), lr in 0.01f32..0.2) {
+        let mut rng = seeded_rng(seed);
+        let mut layer = Linear::new(&mut rng, 3, 2);
+        let x = Tensor::from_vec(vec![0.5, -1.0, 0.25], &[3]);
+        let target = Tensor::from_vec(vec![0.1, -0.2], &[2]);
+        let mse = MseLoss::new();
+        let mut opt = Sgd::new(lr, 0.0);
+        let initial = mse.loss(&layer.forward(&x), &target).0;
+        for _ in 0..25 {
+            let out = layer.forward(&x);
+            let (_, grad) = mse.loss(&out, &target);
+            layer.zero_grads();
+            layer.backward(&grad);
+            opt.step(&mut layer);
+        }
+        let final_loss = mse.loss(&layer.forward(&x), &target).0;
+        prop_assert!(final_loss <= initial + 1e-6, "{initial} -> {final_loss}");
+    }
+
+    #[test]
+    fn pruning_achieves_requested_sparsity(seed in any::<u64>(), sparsity in 0.0f32..0.95) {
+        let mut rng = seeded_rng(seed);
+        let mut layer = Linear::new(&mut rng, 16, 16);
+        let stats = magnitude_prune(&mut layer, sparsity);
+        prop_assert!((stats.achieved_sparsity - sparsity).abs() < 0.05);
+        // Remaining weights are exactly the large-magnitude ones: every
+        // surviving |w| ≥ every pruned |w| (ties broken by threshold).
+        prop_assert_eq!(layer.nonzero_weights(), stats.remaining);
+    }
+
+    #[test]
+    fn csr_round_trips_matvec(seed in any::<u64>(), sparsity in 0.1f32..0.9) {
+        let mut rng = seeded_rng(seed);
+        let mut layer = Linear::new(&mut rng, 12, 8);
+        magnitude_prune(&mut layer, sparsity);
+        let csr = CsrMatrix::from_dense(layer.weight());
+        let x: Vec<f32> = (0..12).map(|i| ((i as f32) * 0.3).sin()).collect();
+        let dense_y = layer.weight().matvec(&x);
+        let sparse_y = csr.matvec(&x);
+        for (a, b) in dense_y.iter().zip(&sparse_y) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+        // Storage accounting is consistent: nnz values + nnz indices + rows.
+        let bytes = csr.storage_bytes(16, 16);
+        prop_assert_eq!(bytes, csr.nnz() as u64 * 4 + (8 + 1) * 4);
+    }
+}

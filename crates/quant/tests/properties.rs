@@ -1,0 +1,76 @@
+//! Property tests for the quantization substrate.
+
+use circnn_quant::{fake_quantize, QuantizedVector};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn fake_quantize_error_is_bounded_by_half_step(
+        data in prop::collection::vec(-100.0f32..100.0, 1..64),
+        bits in 2u32..17,
+    ) {
+        let original = data.clone();
+        let mut q = data;
+        let stats = fake_quantize(&mut q, bits);
+        for (a, b) in q.iter().zip(&original) {
+            // Error ≤ one step (half-step rounding + clamp edge cases).
+            prop_assert!((a - b).abs() <= stats.scale * 1.001 + 1e-6);
+        }
+        prop_assert!(stats.max_err <= stats.scale * 1.001 + 1e-6);
+    }
+
+    #[test]
+    fn fake_quantize_is_idempotent(
+        data in prop::collection::vec(-10.0f32..10.0, 1..64),
+        bits in 2u32..17,
+    ) {
+        let mut once = data;
+        fake_quantize(&mut once, bits);
+        let mut twice = once.clone();
+        let stats = fake_quantize(&mut twice, bits);
+        for (a, b) in once.iter().zip(&twice) {
+            prop_assert!((a - b).abs() < stats.scale * 1e-3 + 1e-7);
+        }
+    }
+
+    #[test]
+    fn quantized_vector_round_trip_bounded(
+        data in prop::collection::vec(-50.0f32..50.0, 1..64),
+        bits in 2u32..17,
+    ) {
+        let q = QuantizedVector::quantize(&data, bits);
+        let back = q.dequantize();
+        let max_abs = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+        let step = if max_abs == 0.0 { 0.0 } else {
+            max_abs / ((1i64 << (bits - 1)) - 1) as f32
+        };
+        for (a, b) in back.iter().zip(&data) {
+            prop_assert!((a - b).abs() <= step * 1.001 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn storage_shrinks_with_bits(
+        data in prop::collection::vec(-1.0f32..1.0, 8..64),
+    ) {
+        let b16 = QuantizedVector::quantize(&data, 16).storage_bytes();
+        let b8 = QuantizedVector::quantize(&data, 8).storage_bytes();
+        let b4 = QuantizedVector::quantize(&data, 4).storage_bytes();
+        prop_assert!(b16 > b8 && b8 > b4);
+    }
+
+    #[test]
+    fn more_bits_never_increase_error(
+        data in prop::collection::vec(-10.0f32..10.0, 4..64),
+    ) {
+        let err_at = |bits: u32| -> f64 {
+            let mut v = data.clone();
+            let s = fake_quantize(&mut v, bits);
+            if s.snr_db.is_infinite() { 1e9 } else { s.snr_db }
+        };
+        prop_assert!(err_at(16) >= err_at(8) - 1e-6);
+        prop_assert!(err_at(8) >= err_at(4) - 1e-6);
+    }
+}

@@ -1,0 +1,141 @@
+//! Seeded weight initializers.
+//!
+//! CirCNN "directly trains the vectors w_ij" (§3.1) rather than converting a
+//! pre-trained dense model, so initialization matters for both the dense
+//! baselines and the circulant variants. All initializers take an explicit
+//! RNG so every experiment is reproducible from a single seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tensor::Tensor;
+
+/// Creates the workspace's standard deterministic RNG from a seed.
+///
+/// # Examples
+///
+/// ```
+/// use circnn_tensor::init::{seeded_rng, uniform};
+///
+/// let mut rng = seeded_rng(42);
+/// let t = uniform(&mut rng, &[4, 4], -1.0, 1.0);
+/// let mut rng2 = seeded_rng(42);
+/// let t2 = uniform(&mut rng2, &[4, 4], -1.0, 1.0);
+/// assert_eq!(t.data(), t2.data()); // bit-reproducible
+/// ```
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Uniform initialization over `[lo, hi)`.
+///
+/// # Panics
+///
+/// Panics if `lo >= hi`.
+pub fn uniform<R: Rng>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Tensor {
+    assert!(lo < hi, "empty uniform range [{lo}, {hi})");
+    let shape = crate::shape::Shape::new(dims);
+    let data = (0..shape.len()).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(data, dims)
+}
+
+/// One standard-normal sample via Box–Muller (keeps us inside plain `rand`
+/// without the `rand_distr` dependency).
+fn standard_normal<R: Rng>(rng: &mut R) -> f32 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        if u1 > f64::MIN_POSITIVE {
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * core::f64::consts::PI * u2).cos();
+            return z as f32;
+        }
+    }
+}
+
+/// Normal initialization with the given mean and standard deviation.
+///
+/// # Panics
+///
+/// Panics if `std` is negative.
+pub fn normal<R: Rng>(rng: &mut R, dims: &[usize], mean: f32, std: f32) -> Tensor {
+    assert!(std >= 0.0, "negative standard deviation");
+    let shape = crate::shape::Shape::new(dims);
+    let data = (0..shape.len()).map(|_| mean + std * standard_normal(rng)).collect();
+    Tensor::from_vec(data, dims)
+}
+
+/// Xavier/Glorot uniform initialization: `U(−a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. The default for sigmoid/tanh layers.
+///
+/// # Panics
+///
+/// Panics if `fan_in + fan_out == 0`.
+pub fn xavier_uniform<R: Rng>(rng: &mut R, dims: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+    assert!(fan_in + fan_out > 0, "zero fan");
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(rng, dims, -a, a)
+}
+
+/// He/Kaiming normal initialization: `N(0, sqrt(2 / fan_in))`. The default
+/// for ReLU layers (all CirCNN benchmark nets use ReLU).
+///
+/// # Panics
+///
+/// Panics if `fan_in == 0`.
+pub fn he_normal<R: Rng>(rng: &mut R, dims: &[usize], fan_in: usize) -> Tensor {
+    assert!(fan_in > 0, "zero fan-in");
+    normal(rng, dims, 0.0, (2.0 / fan_in as f32).sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_from_seed() {
+        let a = normal(&mut seeded_rng(7), &[100], 0.0, 1.0);
+        let b = normal(&mut seeded_rng(7), &[100], 0.0, 1.0);
+        assert_eq!(a.data(), b.data());
+        let c = normal(&mut seeded_rng(8), &[100], 0.0, 1.0);
+        assert_ne!(a.data(), c.data());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = uniform(&mut seeded_rng(1), &[10_000], -0.25, 0.75);
+        assert!(t.data().iter().all(|&v| (-0.25..0.75).contains(&v)));
+        // Mean of U(-0.25, 0.75) is 0.25.
+        assert!((t.mean() - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let t = normal(&mut seeded_rng(2), &[20_000], 1.0, 2.0);
+        assert!((t.mean() - 1.0).abs() < 0.05);
+        let var: f32 =
+            t.data().iter().map(|&v| (v - t.mean()).powi(2)).sum::<f32>() / t.len() as f32;
+        assert!((var.sqrt() - 2.0).abs() < 0.06, "std = {}", var.sqrt());
+    }
+
+    #[test]
+    fn xavier_bound_formula() {
+        let t = xavier_uniform(&mut seeded_rng(3), &[64, 64], 64, 64);
+        let a = (6.0f32 / 128.0).sqrt();
+        assert!(t.data().iter().all(|&v| v.abs() <= a));
+        assert!(t.max() > 0.5 * a, "should come close to the bound");
+    }
+
+    #[test]
+    fn he_scale_tracks_fan_in() {
+        let narrow = he_normal(&mut seeded_rng(4), &[10_000], 10);
+        let wide = he_normal(&mut seeded_rng(4), &[10_000], 1000);
+        let std = |t: &Tensor| (t.norm_sqr() / t.len() as f32).sqrt();
+        assert!(std(&narrow) > 5.0 * std(&wide));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty uniform range")]
+    fn uniform_rejects_inverted_range() {
+        let _ = uniform(&mut seeded_rng(0), &[1], 1.0, 1.0);
+    }
+}

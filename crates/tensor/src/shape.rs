@@ -1,0 +1,193 @@
+//! Tensor shapes and row-major index arithmetic.
+
+use core::fmt;
+
+/// The extent of each tensor dimension, row-major (last dimension fastest).
+///
+/// # Examples
+///
+/// ```
+/// use circnn_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// assert_eq!(s.flat_index(&[1, 2, 3]), 23);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero (zero-sized tensors are never
+    /// meaningful in this workspace and usually indicate a bug).
+    pub fn new(dims: &[usize]) -> Self {
+        assert!(
+            dims.iter().all(|&d| d > 0),
+            "zero-sized dimension in shape {dims:?}"
+        );
+        Self { dims: dims.to_vec() }
+    }
+
+    /// A scalar (rank-0) shape.
+    pub fn scalar() -> Self {
+        Self { dims: Vec::new() }
+    }
+
+    /// Dimension extents.
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (1 for a scalar).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// `true` only for the degenerate rank-0 case with no elements — never
+    /// constructed here; provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Extent of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    #[inline]
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (in elements).
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.rank()];
+        for i in (0..self.rank().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Flattens a multi-index into a row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank differs or any coordinate is out of range.
+    pub fn flat_index(&self, index: &[usize]) -> usize {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let mut flat = 0usize;
+        for (axis, (&i, &d)) in index.iter().zip(&self.dims).enumerate() {
+            assert!(i < d, "index {i} out of range for axis {axis} (extent {d})");
+            flat = flat * d + i;
+        }
+        flat
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.dims)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(&dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_properties() {
+        let s = Shape::new(&[3, 4, 5]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.len(), 60);
+        assert_eq!(s.dim(1), 4);
+        assert_eq!(s.dims(), &[3, 4, 5]);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.flat_index(&[]), 0);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[7]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn flat_index_round_trips_with_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        let strides = s.strides();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let manual = i * strides[0] + j * strides[1] + k * strides[2];
+                    assert_eq!(s.flat_index(&[i, j, k]), manual);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-sized dimension")]
+    fn rejects_zero_dims() {
+        let _ = Shape::new(&[2, 0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_index() {
+        let _ = Shape::new(&[2, 2]).flat_index(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn rejects_wrong_rank_index() {
+        let _ = Shape::new(&[2, 2]).flat_index(&[1]);
+    }
+
+    #[test]
+    fn conversions_and_formatting() {
+        let s: Shape = [2usize, 3].into();
+        assert_eq!(s.dims(), &[2, 3]);
+        assert_eq!(format!("{s}"), "[2, 3]");
+        assert!(format!("{s:?}").contains("Shape"));
+    }
+}

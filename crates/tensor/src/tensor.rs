@@ -1,0 +1,525 @@
+//! The dense `f32` tensor used throughout the DNN stack.
+
+use core::fmt;
+
+use crate::shape::Shape;
+
+/// A row-major dense `f32` tensor.
+///
+/// Storage is a contiguous `Vec<f32>`; all views copy (the workloads in this
+/// workspace are small enough that clarity beats zero-copy cleverness, and
+/// the hot paths — FFT butterflies and `matmul` — operate on contiguous
+/// slices anyway).
+///
+/// # Examples
+///
+/// ```
+/// use circnn_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(vec![1.0, -2.0, 3.0, -4.0], &[2, 2]);
+/// let relu = x.map(|v| v.max(0.0));
+/// assert_eq!(relu.data(), &[1.0, 0.0, 3.0, 0.0]);
+/// assert_eq!(x.transpose().data(), &[1.0, 3.0, -2.0, -4.0]);
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor from data in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the shape's element count.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "data length {} does not match shape {shape} ({} elements)",
+            data.len(),
+            shape.len()
+        );
+        Self { data, shape }
+    }
+
+    /// An all-zeros tensor.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Self { data: vec![0.0; shape.len()], shape }
+    }
+
+    /// An all-ones tensor.
+    pub fn ones(dims: &[usize]) -> Self {
+        Self::filled(dims, 1.0)
+    }
+
+    /// A tensor filled with a constant.
+    pub fn filled(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Self { data: vec![value; shape.len()], shape }
+    }
+
+    /// The `n×n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Borrows the underlying row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its storage.
+    #[inline]
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// The tensor's shape.
+    #[inline]
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Dimension extents (shorthand for `shape().dims()`).
+    #[inline]
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` if the tensor has no elements (impossible by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-range coordinates.
+    #[inline]
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.flat_index(index)]
+    }
+
+    /// Sets the element at a multi-index.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank mismatch or out-of-range coordinates.
+    #[inline]
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let i = self.shape.flat_index(index);
+        self.data[i] = value;
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            shape.len(),
+            self.len(),
+            "cannot reshape {} elements into {shape}",
+            self.len()
+        );
+        Self { data: self.data.clone(), shape }
+    }
+
+    /// Applies a function element-wise, producing a new tensor.
+    pub fn map<F: Fn(f32) -> f32>(&self, f: F) -> Self {
+        Self {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies a function element-wise in place.
+    pub fn map_inplace<F: Fn(f32) -> f32>(&mut self, f: F) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Element-wise binary operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn zip_with<F: Fn(f32, f32) -> f32>(&self, other: &Self, f: F) -> Self {
+        assert_eq!(self.shape, other.shape, "shape mismatch in element-wise op");
+        Self {
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn mul(&self, other: &Self) -> Self {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|v| v * s)
+    }
+
+    /// Accumulates `alpha * other` into `self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn axpy(&mut self, alpha: f32, other: &Self) {
+        assert_eq!(self.shape, other.shape, "shape mismatch in axpy");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements.
+    pub fn mean(&self) -> f32 {
+        self.sum() / self.len() as f32
+    }
+
+    /// Maximum element (−∞ for the impossible empty case).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Index of the maximum element (first occurrence).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Squared L2 norm.
+    pub fn norm_sqr(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum()
+    }
+
+    /// Matrix multiplication of two rank-2 tensors: `(m×k)·(k×n) → (m×n)`.
+    ///
+    /// Cache-friendly i-k-j loop order. This is the `O(n²)`-per-matvec dense
+    /// baseline the block-circulant layers are measured against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either operand is not rank-2 or the inner dimensions differ.
+    pub fn matmul(&self, other: &Self) -> Self {
+        assert_eq!(self.shape.rank(), 2, "matmul lhs must be a matrix");
+        assert_eq!(other.shape.rank(), 2, "matmul rhs must be a matrix");
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        let (k2, n) = (other.shape.dim(0), other.shape.dim(1));
+        assert_eq!(k, k2, "inner dimension mismatch: {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            let o_row = &mut out[i * n..(i + 1) * n];
+            for (p, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in o_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        Self { data: out, shape: Shape::new(&[m, n]) }
+    }
+
+    /// Matrix–vector product of a rank-2 tensor with a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not rank-2 or `x.len()` differs from the column count.
+    pub fn matvec(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(self.shape.rank(), 2, "matvec needs a matrix");
+        let (m, k) = (self.shape.dim(0), self.shape.dim(1));
+        assert_eq!(x.len(), k, "vector length mismatch");
+        (0..m)
+            .map(|i| {
+                self.data[i * k..(i + 1) * k]
+                    .iter()
+                    .zip(x)
+                    .map(|(&a, &b)| a * b)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not rank-2.
+    pub fn transpose(&self) -> Self {
+        assert_eq!(self.shape.rank(), 2, "transpose needs a matrix");
+        let (m, n) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Self { data: out, shape: Shape::new(&[n, m]) }
+    }
+
+    /// Copies row `r` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not rank-2 or `r` is out of range.
+    pub fn row(&self, r: usize) -> Vec<f32> {
+        assert_eq!(self.shape.rank(), 2, "row access needs a matrix");
+        let n = self.shape.dim(1);
+        assert!(r < self.shape.dim(0), "row {r} out of range");
+        self.data[r * n..(r + 1) * n].to_vec()
+    }
+
+    /// Writes `values` into row `r` of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on rank/row/length mismatch.
+    pub fn set_row(&mut self, r: usize, values: &[f32]) {
+        assert_eq!(self.shape.rank(), 2, "row access needs a matrix");
+        let n = self.shape.dim(1);
+        assert!(r < self.shape.dim(0), "row {r} out of range");
+        assert_eq!(values.len(), n, "row length mismatch");
+        self.data[r * n..(r + 1) * n].copy_from_slice(values);
+    }
+
+    /// Splits the leading axis, returning the `i`-th sub-tensor
+    /// (e.g. one image out of an `[N, C, H, W]` batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is rank-0 or `i` exceeds the leading extent.
+    pub fn index_axis0(&self, i: usize) -> Tensor {
+        assert!(self.shape.rank() >= 1, "cannot index a scalar");
+        let n0 = self.shape.dim(0);
+        assert!(i < n0, "index {i} out of range for leading axis {n0}");
+        let rest: Vec<usize> = self.shape.dims()[1..].to_vec();
+        let chunk = self.len() / n0;
+        let dims = if rest.is_empty() { vec![1] } else { rest };
+        Tensor::from_vec(self.data[i * chunk..(i + 1) * chunk].to_vec(), &dims)
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.len() <= 16 {
+            write!(f, "Tensor{} {:?}", self.shape, self.data)
+        } else {
+            write!(
+                f,
+                "Tensor{} [{} elements, mean {:.4}]",
+                self.shape,
+                self.len(),
+                self.mean()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.dims(), &[2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_validates_length() {
+        let _ = Tensor::from_vec(vec![1.0; 5], &[2, 3]);
+    }
+
+    #[test]
+    fn fills() {
+        assert!(Tensor::zeros(&[3, 3]).data().iter().all(|&v| v == 0.0));
+        assert!(Tensor::ones(&[4]).data().iter().all(|&v| v == 1.0));
+        assert!(Tensor::filled(&[2], 2.5).data().iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn identity_matmul_is_neutral() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.matmul(&Tensor::eye(2)), a);
+        assert_eq!(Tensor::eye(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_agrees_with_matvec() {
+        let a = Tensor::from_vec((0..12).map(|i| i as f32 * 0.5 - 2.0).collect(), &[3, 4]);
+        let x = [1.0, -1.0, 0.5, 2.0];
+        let via_vec = a.matvec(&x);
+        let via_mat = a.matmul(&Tensor::from_vec(x.to_vec(), &[4, 1]));
+        assert_eq!(via_vec, via_mat.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn matmul_validates_dims() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 3]);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        let t = a.transpose();
+        assert_eq!(t.dims(), &[3, 2]);
+        assert_eq!(t.at(&[2, 1]), a.at(&[1, 2]));
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn transpose_distributes_over_matmul() {
+        let a = Tensor::from_vec((0..6).map(|i| (i as f32).sin()).collect(), &[2, 3]);
+        let b = Tensor::from_vec((0..12).map(|i| (i as f32).cos()).collect(), &[3, 4]);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]);
+        assert_eq!(a.add(&b).data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[3.0, 10.0]);
+        assert_eq!(a.scale(2.0).data(), &[2.0, 4.0]);
+        let mut c = a.clone();
+        c.axpy(0.5, &b);
+        assert_eq!(c.data(), &[2.5, 4.5]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.5, 0.5], &[4]);
+        assert_eq!(t.sum(), 3.0);
+        assert_eq!(t.mean(), 0.75);
+        assert_eq!(t.max(), 3.5);
+        assert_eq!(t.argmax(), 2);
+        assert!((t.norm_sqr() - (1.0 + 4.0 + 12.25 + 0.25)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec((0..6).map(|i| i as f32).collect(), &[2, 3]);
+        let r = t.reshape(&[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert_eq!(r.dims(), &[3, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot reshape")]
+    fn reshape_validates_count() {
+        let _ = Tensor::zeros(&[2, 3]).reshape(&[4, 2]);
+    }
+
+    #[test]
+    fn rows_and_axis_indexing() {
+        let t = Tensor::from_vec((0..12).map(|i| i as f32).collect(), &[3, 4]);
+        assert_eq!(t.row(1), vec![4.0, 5.0, 6.0, 7.0]);
+        let mut t2 = t.clone();
+        t2.set_row(0, &[9.0, 9.0, 9.0, 9.0]);
+        assert_eq!(t2.row(0), vec![9.0; 4]);
+        let batch = Tensor::from_vec((0..24).map(|i| i as f32).collect(), &[2, 3, 4]);
+        let img = batch.index_axis0(1);
+        assert_eq!(img.dims(), &[3, 4]);
+        assert_eq!(img.at(&[0, 0]), 12.0);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let t = Tensor::from_vec(vec![-1.0, 2.0], &[2]);
+        assert_eq!(t.map(f32::abs).data(), &[1.0, 2.0]);
+        let mut u = t.clone();
+        u.map_inplace(|v| v + 1.0);
+        assert_eq!(u.data(), &[0.0, 3.0]);
+    }
+
+    #[test]
+    fn debug_formats_are_nonempty() {
+        assert!(!format!("{:?}", Tensor::zeros(&[2, 2])).is_empty());
+        assert!(!format!("{:?}", Tensor::zeros(&[64, 64])).is_empty());
+    }
+}

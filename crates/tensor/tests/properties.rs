@@ -1,0 +1,112 @@
+//! Property tests for the tensor substrate.
+
+use circnn_tensor::im2col::{col2im, im2col, ConvGeometry};
+use circnn_tensor::Tensor;
+use proptest::prelude::*;
+
+fn matrix(max: usize) -> impl Strategy<Value = Tensor> {
+    (1usize..max, 1usize..max).prop_flat_map(move |(m, n)| {
+        prop::collection::vec(-10.0f32..10.0, m * n..=m * n)
+            .prop_map(move |data| Tensor::from_vec(data, &[m, n]))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involution(a in matrix(12)) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_identity_is_neutral(a in matrix(10)) {
+        let n = a.dims()[1];
+        let prod = a.matmul(&Tensor::eye(n));
+        for (x, y) in prod.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in matrix(8), seed in any::<u64>()) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ for a random compatible B.
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let _ = m;
+        let n = (seed % 6 + 1) as usize;
+        let bdata: Vec<f32> = (0..k * n).map(|i| ((i as f32) * 0.37).sin()).collect();
+        let b = Tensor::from_vec(bdata, &[k, n]);
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matvec_matches_matmul(a in matrix(10)) {
+        let n = a.dims()[1];
+        let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.71).cos()).collect();
+        let via_vec = a.matvec(&x);
+        let via_mat = a.matmul(&Tensor::from_vec(x.clone(), &[n, 1]));
+        for (u, v) in via_vec.iter().zip(via_mat.data()) {
+            prop_assert!((u - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn elementwise_ops_commute_appropriately(a in matrix(8)) {
+        let b = a.map(|v| v * 0.5 + 1.0);
+        let (ab, ba) = (a.add(&b), b.add(&a));
+        prop_assert_eq!(ab.data(), ba.data());
+        let (am, bm) = (a.mul(&b), b.mul(&a));
+        prop_assert_eq!(am.data(), bm.data());
+        let zero = a.sub(&a);
+        prop_assert!(zero.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn reductions_are_consistent(a in matrix(10)) {
+        let sum = a.sum();
+        let mean = a.mean();
+        prop_assert!((sum - mean * a.len() as f32).abs() < 1e-2 * sum.abs().max(1.0));
+        let max = a.max();
+        prop_assert!(a.data().iter().all(|&v| v <= max));
+        prop_assert_eq!(a.data()[a.argmax()], max);
+    }
+
+    #[test]
+    fn im2col_col2im_adjointness(
+        (c, h, w, r, s, p) in (1usize..4, 3usize..9, 3usize..9, 1usize..4, 1usize..3, 0usize..2)
+    ) {
+        prop_assume!(h + 2 * p >= r && w + 2 * p >= r);
+        let geom = ConvGeometry::new(c, h, w, r, s, p);
+        let x = Tensor::from_vec(
+            (0..c * h * w).map(|i| ((i as f32) * 0.13).sin()).collect(),
+            &[c, h, w],
+        );
+        let y = Tensor::from_vec(
+            (0..geom.num_patches() * geom.patch_len())
+                .map(|i| ((i as f32) * 0.29).cos())
+                .collect(),
+            &[geom.num_patches(), geom.patch_len()],
+        );
+        let lhs: f32 = im2col(&x, &geom).data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.data().iter().zip(col2im(&y, &geom).data()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn im2col_preserves_energy_bound(
+        (c, h, w) in (1usize..4, 4usize..10, 4usize..10)
+    ) {
+        // Each input pixel appears at most r² times in the patch matrix.
+        let r = 3usize;
+        prop_assume!(h >= r && w >= r);
+        let geom = ConvGeometry::new(c, h, w, r, 1, 0);
+        let x = Tensor::ones(&[c, h, w]);
+        let cols = im2col(&x, &geom);
+        let total: f32 = cols.data().iter().sum();
+        prop_assert!(total <= (r * r * c * h * w) as f32 + 0.5);
+    }
+}

@@ -1,0 +1,32 @@
+//! The §2.4 "fine-grained tradeoff": sweep the block size k and report
+//! compression vs accuracy on the MNIST stand-in (Fig. 7 ablation).
+//!
+//! ```text
+//! cargo run --example compress_sweep --release
+//! ```
+
+use circnn::core::CirculantLinear;
+use circnn::nn::trainer::{evaluate_accuracy, train_classifier, TrainConfig};
+use circnn::nn::{Adam, Flatten, Linear, Relu, Sequential};
+use circnn::tensor::init::seeded_rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = circnn::data::catalog::mnist_like(800, 3);
+    let (train, test) = full.split_at(600);
+    println!("{:>5}  {:>12}  {:>9}", "k", "compression", "accuracy");
+    for k in [1usize, 2, 4, 8, 16, 32, 64] {
+        let mut rng = seeded_rng(13);
+        let mut net = Sequential::new()
+            .add(Flatten::new())
+            .add(CirculantLinear::new(&mut rng, 784, 128, k)?)
+            .add(Relu::new())
+            .add(Linear::new(&mut rng, 128, 10));
+        let mut opt = Adam::new(0.002);
+        let cfg = TrainConfig { epochs: 4, batch_size: 16, shuffle_seed: 1, ..Default::default() };
+        let _ = train_classifier(&mut net, &mut opt, &train.images, &train.labels, &cfg);
+        let acc = evaluate_accuracy(&mut net, &test.images, &test.labels);
+        println!("{k:>5}  {:>11}x  {:>8.1}%", k, 100.0 * acc);
+    }
+    println!("\nlarger k -> more compression, eventually costing accuracy (paper Sec. 2.4)");
+    Ok(())
+}

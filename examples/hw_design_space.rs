@@ -1,0 +1,46 @@
+//! The hardware side: run Algorithm 3 (design-space optimization) and then
+//! simulate AlexNet on every platform preset (the Fig. 13/15 pipeline).
+//!
+//! ```text
+//! cargo run --example hw_design_space --release
+//! ```
+
+use circnn::hw::dse::{evaluate, optimize, DseConfig};
+use circnn::hw::netdesc::NetworkDescriptor;
+use circnn::hw::platform;
+use circnn::hw::simulator::simulate;
+
+fn main() {
+    // Algorithm 3 on the Cyclone V envelope.
+    let cfg = DseConfig::cyclone_v();
+    let result = optimize(&cfg);
+    println!("== Algorithm 3 (block 128, Cyclone V) ==");
+    println!("bandwidth-derived p bound : {}", result.p_bound);
+    println!(
+        "selected (p, d)           : ({}, {}) at {:.1} butterflies/cycle, {:.2} W\n",
+        result.best.p, result.best.d, result.best.throughput, result.best.power_w
+    );
+    println!("sample of the design space (throughput / power / efficiency):");
+    for (p, d) in [(8usize, 1usize), (16, 1), (32, 1), (32, 2), (32, 3), (38, 3)] {
+        let e = evaluate(&cfg, p, d);
+        println!(
+            "  p={p:>3} d={d}: {:>6.1} bf/cyc  {:>5.2} W  {:>7.1} bf/cyc/W",
+            e.throughput, e.power_w, e.metric
+        );
+    }
+
+    // Simulate AlexNet on every platform.
+    println!("\n== AlexNet (block-circulant) across platforms ==");
+    let net = NetworkDescriptor::alexnet_circulant();
+    for p in [
+        platform::cyclone_v(),
+        platform::asic_45nm(),
+        platform::asic_near_threshold(),
+    ] {
+        let r = simulate(&net, &p);
+        println!("{}", r.summary_row());
+    }
+    let dense = NetworkDescriptor::alexnet_dense();
+    let r = simulate(&dense, &platform::dense_mac_baseline());
+    println!("{}   <- uncompressed, weights in DRAM", r.summary_row());
+}

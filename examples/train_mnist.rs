@@ -1,0 +1,41 @@
+//! Fig. 7(b) in miniature: train LeNet-5 dense vs block-circulant on the
+//! synthetic MNIST stand-in and compare accuracy and model size.
+//!
+//! ```text
+//! cargo run --example train_mnist --release
+//! ```
+
+use circnn::models::{lenet5_circulant, lenet5_dense};
+use circnn::nn::trainer::{evaluate_accuracy, train_classifier, TrainConfig};
+use circnn::nn::{Adam, Layer, Sequential};
+use circnn::tensor::init::seeded_rng;
+
+fn run(name: &str, mut net: Sequential) -> Result<(), Box<dyn std::error::Error>> {
+    let full = circnn::data::catalog::mnist_like(1000, 11);
+    let (train, test) = full.split_at(800);
+    let mut opt = Adam::new(0.002);
+    let cfg = TrainConfig { epochs: 4, batch_size: 16, shuffle_seed: 5, verbose: true, ..Default::default() };
+    println!("-- {name} ({} parameters) --", net.param_count());
+    let report = train_classifier(&mut net, &mut opt, &train.images, &train.labels, &cfg);
+    let acc = evaluate_accuracy(&mut net, &test.images, &test.labels);
+    println!(
+        "{name}: final train loss {:.4}, test accuracy {:.1}%\n",
+        report.final_loss(),
+        100.0 * acc
+    );
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = seeded_rng(42);
+    let dense = lenet5_dense(&mut rng);
+    let mut rng = seeded_rng(42);
+    let circulant = lenet5_circulant(&mut rng);
+    println!(
+        "parameter reduction: {:.1}x\n",
+        dense.param_count() as f64 / circulant.param_count() as f64
+    );
+    run("dense LeNet-5", dense)?;
+    run("block-circulant LeNet-5", circulant)?;
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! # circnn — facade crate
+//!
+//! Re-exports the whole CirCNN reproduction workspace under one roof so the
+//! examples and integration tests can `use circnn::…` uniformly.
+//!
+//! The interesting code lives in the member crates:
+//!
+//! * [`fft`] — FFT substrate (complex/real plans, fixed point, op counts).
+//! * [`tensor`] — dense tensors, im2col, initializers.
+//! * [`nn`] — training substrate (layers, losses, optimizers, baselines).
+//! * [`core`] — **the paper's contribution**: block-circulant matrices and
+//!   the FFT-based FC/CONV layers (Algorithms 1–2).
+//! * [`quant`] — fixed-point quantization (16-bit default, 4-bit study).
+//! * [`data`] — synthetic datasets standing in for MNIST/CIFAR-10/SVHN/….
+//! * [`hw`] — cycle/energy simulator of the CirCNN accelerator (Section 4).
+//! * [`models`] — LeNet-5 / CIFAR / SVHN / AlexNet model zoo.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use circnn::core::BlockCirculantMatrix;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A 256×512 weight matrix stored as 8×16 circulant blocks of size 32:
+//! // 4096 parameters instead of 131072 (32× compression).
+//! let w = BlockCirculantMatrix::zeros(256, 512, 32)?;
+//! assert_eq!(w.num_parameters(), 256 * 512 / 32);
+//! let y = w.matvec(&vec![0.5_f32; 512])?;
+//! assert_eq!(y.len(), 256);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use circnn_core as core;
+pub use circnn_data as data;
+pub use circnn_fft as fft;
+pub use circnn_hw as hw;
+pub use circnn_models as models;
+pub use circnn_nn as nn;
+pub use circnn_quant as quant;
+pub use circnn_tensor as tensor;

@@ -1,0 +1,65 @@
+//! End-to-end training integration: dense and block-circulant models
+//! trained through identical pipelines on the synthetic benchmarks —
+//! the Fig. 7(b) comparison at CI scale.
+
+use circnn::models::zoo::Benchmark;
+use circnn::nn::trainer::{evaluate_accuracy, train_classifier, TrainConfig};
+use circnn::nn::{Adam, Layer};
+use circnn::tensor::init::seeded_rng;
+
+fn train_pair(benchmark: Benchmark, train_n: usize, test_n: usize, epochs: usize) -> (f32, f32) {
+    // Single generation, then split: prototypes are seed-derived, so the
+    // held-out set must come from the same generation pass.
+    let full = benchmark.dataset(train_n + test_n, 11);
+    let (train, test) = full.split_at(train_n);
+    let cfg = TrainConfig { epochs, batch_size: 16, shuffle_seed: 7, ..Default::default() };
+    let mut rng = seeded_rng(42);
+    let mut dense = benchmark.build_dense(&mut rng);
+    let mut opt = Adam::new(0.002);
+    let _ = train_classifier(&mut dense, &mut opt, &train.images, &train.labels, &cfg);
+    let acc_dense = evaluate_accuracy(&mut dense, &test.images, &test.labels);
+    let mut rng = seeded_rng(42);
+    let mut circ = benchmark.build_circulant(&mut rng);
+    let mut opt = Adam::new(0.002);
+    let _ = train_classifier(&mut circ, &mut opt, &train.images, &train.labels, &cfg);
+    let acc_circ = evaluate_accuracy(&mut circ, &test.images, &test.labels);
+    (acc_dense, acc_circ)
+}
+
+#[test]
+fn circulant_lenet_learns_the_mnist_standin() {
+    let (dense, circ) = train_pair(Benchmark::Mnist, 300, 100, 3);
+    assert!(dense > 0.6, "dense accuracy {dense}");
+    assert!(circ > 0.6, "circulant accuracy {circ}");
+    // The Fig.-7b claim at CI scale: the gap is small.
+    assert!(
+        (dense - circ).abs() < 0.25,
+        "dense {dense} vs circulant {circ} diverged"
+    );
+}
+
+#[test]
+fn circulant_svhn_net_learns() {
+    let (dense, circ) = train_pair(Benchmark::Svhn, 250, 100, 3);
+    assert!(dense > 0.4, "dense accuracy {dense}");
+    assert!(circ > 0.4, "circulant accuracy {circ}");
+}
+
+#[test]
+fn circulant_models_are_much_smaller_at_similar_topology() {
+    let mut rng = seeded_rng(1);
+    for b in Benchmark::all() {
+        let dense = b.build_dense(&mut rng);
+        let circ = b.build_circulant(&mut rng);
+        let ratio = dense.param_count() as f64 / circ.param_count() as f64;
+        assert!(ratio > 3.0, "{}: only {ratio:.1}x smaller", b.name());
+    }
+}
+
+#[test]
+fn training_is_deterministic_given_seeds() {
+    let (d1, c1) = train_pair(Benchmark::Mnist, 100, 40, 1);
+    let (d2, c2) = train_pair(Benchmark::Mnist, 100, 40, 1);
+    assert_eq!(d1, d2);
+    assert_eq!(c1, c2);
+}

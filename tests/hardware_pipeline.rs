@@ -1,0 +1,74 @@
+//! Hardware-pipeline integration: every zoo descriptor simulates on every
+//! platform; the cross-platform orderings the paper reports must hold.
+
+use circnn::hw::netdesc::NetworkDescriptor;
+use circnn::hw::platform;
+use circnn::hw::simulator::simulate;
+use circnn::models::zoo::Benchmark;
+
+#[test]
+fn every_benchmark_descriptor_simulates_on_every_platform() {
+    let platforms =
+        [platform::cyclone_v(), platform::asic_45nm(), platform::asic_near_threshold()];
+    for b in Benchmark::all() {
+        for p in &platforms {
+            let r = simulate(&b.descriptor(), p);
+            assert!(r.fps.is_finite() && r.fps > 0.0, "{} on {}", b.name(), p.name);
+            assert!(r.energy_j > 0.0);
+            assert!(r.equiv_gops >= r.actual_gops * 0.5, "{} on {}", b.name(), p.name);
+        }
+    }
+}
+
+#[test]
+fn platform_ordering_fpga_asic_nt() {
+    // Efficiency: NT > ASIC > FPGA; throughput: ASIC > FPGA > NT (clocked
+    // down) — the Fig.-15 scatter's geometry.
+    let net = NetworkDescriptor::alexnet_circulant();
+    let fpga = simulate(&net, &platform::cyclone_v());
+    let asic = simulate(&net, &platform::asic_45nm());
+    let nt = simulate(&net, &platform::asic_near_threshold());
+    assert!(nt.equiv_gops_per_w > asic.equiv_gops_per_w);
+    assert!(asic.equiv_gops_per_w > fpga.equiv_gops_per_w);
+    assert!(asic.equiv_gops > fpga.equiv_gops);
+    assert!(asic.equiv_gops > nt.equiv_gops);
+}
+
+#[test]
+fn compressed_weights_fit_on_chip_dense_do_not() {
+    // The §4.4 FPGA observation: compressed AlexNet ≈ a few MB (fits in
+    // block RAM); dense fp32 AlexNet ≈ 240 MB (does not).
+    let circ = NetworkDescriptor::alexnet_circulant().weight_bytes(16);
+    let dense = NetworkDescriptor::alexnet_dense().weight_bytes(32);
+    assert!(circ < 8 * 1024 * 1024, "circulant bytes {circ}");
+    assert!(dense > 100 * 1024 * 1024, "dense bytes {dense}");
+}
+
+#[test]
+fn more_parallelism_never_slows_inference() {
+    let net = NetworkDescriptor::lenet5_circulant();
+    let mut base = platform::cyclone_v();
+    let slow = simulate(&net, &base);
+    base.bcb = circnn::hw::bcb::BasicComputingBlock::new(64, 3);
+    base.cmul_lanes *= 2;
+    let fast = simulate(&net, &base);
+    assert!(fast.cycles <= slow.cycles);
+}
+
+#[test]
+fn bigger_networks_cost_more_cycles_and_energy() {
+    let p = platform::cyclone_v();
+    let lenet = simulate(&NetworkDescriptor::lenet5_circulant(), &p);
+    let alexnet = simulate(&NetworkDescriptor::alexnet_circulant(), &p);
+    assert!(alexnet.cycles > 10.0 * lenet.cycles);
+    assert!(alexnet.energy_j > 10.0 * lenet.energy_j);
+}
+
+#[test]
+fn memory_is_not_the_bottleneck_on_circulant_configs() {
+    // §5.4: "weight storage is no longer the system bottleneck".
+    let r = simulate(&NetworkDescriptor::alexnet_circulant(), &platform::asic_45nm());
+    let frac = r.memory_energy_fraction();
+    assert!(frac < 0.5, "memory fraction {frac}");
+    assert!(frac > 0.02, "memory should still be visible: {frac}");
+}

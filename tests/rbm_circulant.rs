@@ -1,0 +1,74 @@
+//! RBM/DBN integration: contrastive divergence over the block-circulant
+//! operator (the §3.4 "training in the compressed representation" claim) —
+//! the learning algorithm is identical, only `LinearOp` changes.
+
+use circnn::core::BlockCirculantMatrix;
+use circnn::nn::rbm::Rbm;
+use circnn::nn::{DenseOp, LinearOp};
+use circnn::tensor::init::seeded_rng;
+use rand::Rng;
+
+fn patterns(n: usize) -> Vec<Vec<f32>> {
+    // Two complementary binary patterns plus a striped one.
+    let a: Vec<f32> = (0..n).map(|i| f32::from(i < n / 2)).collect();
+    let b: Vec<f32> = a.iter().map(|&x| 1.0 - x).collect();
+    let c: Vec<f32> = (0..n).map(|i| f32::from(i % 2 == 0)).collect();
+    vec![a, b, c]
+}
+
+fn train_rbm<Op: LinearOp>(op: Op, n: usize, epochs: usize, seed: u64) -> (f32, f32) {
+    let mut rbm = Rbm::new(op);
+    let data = patterns(n);
+    let mut rng = seeded_rng(seed);
+    let initial: f32 =
+        data.iter().map(|v| rbm.reconstruction_error(v)).sum::<f32>() / data.len() as f32;
+    for _ in 0..epochs {
+        for v in &data {
+            rbm.cd1_step(v, 0.1, &mut rng);
+        }
+    }
+    let trained: f32 =
+        data.iter().map(|v| rbm.reconstruction_error(v)).sum::<f32>() / data.len() as f32;
+    (initial, trained)
+}
+
+#[test]
+fn circulant_rbm_learns_binary_patterns() {
+    let n = 32;
+    let mut rng = seeded_rng(1);
+    let mut op = BlockCirculantMatrix::zeros(24, n, 8).unwrap();
+    // Tiny random init through the LinearOp surface.
+    let h: Vec<f32> = (0..24).map(|_| rng.gen_range(-0.05f32..0.05)).collect();
+    let v: Vec<f32> = (0..n).map(|_| rng.gen_range(-0.05f32..0.05)).collect();
+    op.outer_update(&h, &v, 1.0);
+    let (initial, trained) = train_rbm(op, n, 300, 7);
+    assert!(
+        trained < initial * 0.6,
+        "circulant RBM did not learn: {initial} -> {trained}"
+    );
+    assert!(trained < 0.12, "final reconstruction error {trained}");
+}
+
+#[test]
+fn circulant_and_dense_rbms_reach_similar_quality() {
+    let n = 32;
+    let (_, dense) = train_rbm(DenseOp::zeros(24, n), n, 300, 7);
+    let mut rng = seeded_rng(2);
+    let mut op = BlockCirculantMatrix::zeros(24, n, 8).unwrap();
+    let h: Vec<f32> = (0..24).map(|_| rng.gen_range(-0.05f32..0.05)).collect();
+    let v: Vec<f32> = (0..n).map(|_| rng.gen_range(-0.05f32..0.05)).collect();
+    op.outer_update(&h, &v, 1.0);
+    let (_, circ) = train_rbm(op, n, 300, 7);
+    assert!(
+        circ < dense * 4.0 + 0.05,
+        "circulant RBM ({circ}) far behind dense ({dense})"
+    );
+}
+
+#[test]
+fn circulant_op_stores_fraction_of_dense_parameters() {
+    let dense = DenseOp::zeros(512, 512);
+    let circ = BlockCirculantMatrix::zeros(512, 512, 64).unwrap();
+    assert_eq!(LinearOp::param_count(&dense), 512 * 512);
+    assert_eq!(LinearOp::param_count(&circ), 512 * 512 / 64);
+}
