@@ -1,0 +1,78 @@
+//! Criterion bench: single-sample vs batched vs parallel-batched
+//! block-circulant inference at several `(m, n, k, B)` points.
+//!
+//! The `(512, 512, 16, B=32)` group is the headline number; the `batched`
+//! binary (`cargo run --release -p circnn-bench --bin batched`) runs the
+//! same comparison and records it to `BENCH_batched.json`.
+
+use circnn_core::{default_batch_threads, BlockCirculantMatrix, Workspace};
+use circnn_tensor::init::seeded_rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_batched_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batched-inference");
+    group.sample_size(12);
+    for &(m, n, k, batch) in &[
+        (256usize, 256usize, 8usize, 32usize),
+        (512, 512, 16, 32),
+        (1024, 1024, 64, 32),
+    ] {
+        let mut rng = seeded_rng((m + n + k + batch) as u64);
+        let w = BlockCirculantMatrix::random(&mut rng, m, n, k).unwrap();
+        let xt = circnn_tensor::init::uniform(&mut rng, &[batch * n], -1.0, 1.0);
+        let x = xt.data();
+        let label = format!("{m}x{n}-k{k}-B{batch}");
+        group.bench_with_input(BenchmarkId::new("single", &label), &batch, |b, &bsz| {
+            b.iter(|| {
+                for s in 0..bsz {
+                    black_box(w.matvec(black_box(&x[s * n..(s + 1) * n])).unwrap());
+                }
+            })
+        });
+        let mut ws = Workspace::new();
+        let mut out = vec![0.0f32; batch * m];
+        group.bench_with_input(BenchmarkId::new("batched", &label), &batch, |b, &bsz| {
+            b.iter(|| {
+                w.forward_batch_into_with_threads(black_box(x), bsz, &mut ws, &mut out, 1)
+                    .unwrap();
+                black_box(&out);
+            })
+        });
+        let threads = default_batch_threads();
+        let mut ws_p = Workspace::new();
+        group.bench_with_input(BenchmarkId::new("parallel", &label), &batch, |b, &bsz| {
+            b.iter(|| {
+                w.forward_batch_into_with_threads(black_box(x), bsz, &mut ws_p, &mut out, threads)
+                    .unwrap();
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_batch_size_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch-size-scaling");
+    group.sample_size(12);
+    let (m, n, k) = (512usize, 512usize, 16usize);
+    let mut rng = seeded_rng(99);
+    let w = BlockCirculantMatrix::random(&mut rng, m, n, k).unwrap();
+    for &batch in &[1usize, 4, 16, 64, 256] {
+        let xt = circnn_tensor::init::uniform(&mut rng, &[batch * n], -1.0, 1.0);
+        let x = xt.data().to_vec();
+        let mut ws = Workspace::new();
+        let mut out = vec![0.0f32; batch * m];
+        group.bench_with_input(BenchmarkId::new("batched", batch), &batch, |b, &bsz| {
+            b.iter(|| {
+                w.forward_batch_into(black_box(&x), bsz, &mut ws, &mut out)
+                    .unwrap();
+                black_box(&out);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_inference, bench_batch_size_scaling);
+criterion_main!(benches);

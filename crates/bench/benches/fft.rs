@@ -10,8 +10,9 @@ fn bench_fft(c: &mut Criterion) {
     group.sample_size(20);
     for &n in &[64usize, 256, 1024, 4096] {
         let cplan = FftPlan::<f32>::new(n).unwrap();
-        let signal: Vec<Complex<f32>> =
-            (0..n).map(|i| Complex::new((i as f32 * 0.37).sin(), 0.0)).collect();
+        let signal: Vec<Complex<f32>> = (0..n)
+            .map(|i| Complex::new((i as f32 * 0.37).sin(), 0.0))
+            .collect();
         group.bench_with_input(BenchmarkId::new("complex", n), &n, |b, _| {
             b.iter(|| {
                 let mut buf = signal.clone();

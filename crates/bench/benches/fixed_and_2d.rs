@@ -32,9 +32,11 @@ fn bench_2d_convolution(c: &mut Criterion) {
     for &(h, r) in &[(32usize, 11usize), (64, 11), (32, 3)] {
         let input: Vec<f32> = (0..h * h).map(|i| (i as f32 * 0.01).sin()).collect();
         let filter: Vec<f32> = (0..r * r).map(|i| (i as f32 * 0.3).cos()).collect();
-        group.bench_with_input(BenchmarkId::new("fft", format!("{h}x{h}-r{r}")), &h, |b, _| {
-            b.iter(|| fft_conv2d_valid(black_box(&input), h, h, &filter, r).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fft", format!("{h}x{h}-r{r}")),
+            &h,
+            |b, _| b.iter(|| fft_conv2d_valid(black_box(&input), h, h, &filter, r).unwrap()),
+        );
         group.bench_with_input(
             BenchmarkId::new("direct", format!("{h}x{h}-r{r}")),
             &h,

@@ -17,12 +17,16 @@ fn bench_inference(c: &mut Criterion) {
     let mut ld = lenet5_dense(&mut rng);
     let mut lc = lenet5_circulant(&mut rng);
     group.bench_function("lenet5-dense", |b| b.iter(|| ld.forward(black_box(&mnist))));
-    group.bench_function("lenet5-circulant", |b| b.iter(|| lc.forward(black_box(&mnist))));
+    group.bench_function("lenet5-circulant", |b| {
+        b.iter(|| lc.forward(black_box(&mnist)))
+    });
     let svhn = Tensor::ones(&[3, 32, 32]);
     let mut sd = svhn_net_dense(&mut rng);
     let mut sc = svhn_net_circulant(&mut rng);
     group.bench_function("svhn-dense", |b| b.iter(|| sd.forward(black_box(&svhn))));
-    group.bench_function("svhn-circulant", |b| b.iter(|| sc.forward(black_box(&svhn))));
+    group.bench_function("svhn-circulant", |b| {
+        b.iter(|| sc.forward(black_box(&svhn)))
+    });
     group.finish();
 }
 

@@ -24,7 +24,9 @@ fn bench_fc_layers(c: &mut Criterion) {
         })
     });
     let mut circ = CirculantLinear::new(&mut rng, n, m, k).unwrap();
-    group.bench_function("circulant-forward", |b| b.iter(|| circ.forward(black_box(&x))));
+    group.bench_function("circulant-forward", |b| {
+        b.iter(|| circ.forward(black_box(&x)))
+    });
     group.bench_function("circulant-fwd+bwd", |b| {
         b.iter(|| {
             circ.forward(black_box(&x));
@@ -39,13 +41,17 @@ fn bench_conv_layers(c: &mut Criterion) {
     group.sample_size(10);
     let mut rng = seeded_rng(2);
     let x = Tensor::from_vec(
-        (0..32 * 16 * 16).map(|i| (i as f32 * 0.003).sin()).collect(),
+        (0..32 * 16 * 16)
+            .map(|i| (i as f32 * 0.003).sin())
+            .collect(),
         &[32, 16, 16],
     );
     let mut dense = Conv2d::new(&mut rng, 32, 64, 3, 1, 1);
     group.bench_function("dense-forward", |b| b.iter(|| dense.forward(black_box(&x))));
     let mut circ = CirculantConv2d::new(&mut rng, 32, 64, 3, 1, 1, 16).unwrap();
-    group.bench_function("circulant-forward", |b| b.iter(|| circ.forward(black_box(&x))));
+    group.bench_function("circulant-forward", |b| {
+        b.iter(|| circ.forward(black_box(&x)))
+    });
     group.finish();
 }
 

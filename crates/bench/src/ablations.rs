@@ -108,11 +108,19 @@ pub fn block_size_sweep(quick: bool) -> Vec<BlockSweepRow> {
                 .add(Relu::new())
                 .add(Linear::new(&mut rng, 128, 10));
             let mut opt = Adam::new(0.002);
-            let cfg =
-                TrainConfig { epochs, batch_size: 16, shuffle_seed: 3, ..Default::default() };
+            let cfg = TrainConfig {
+                epochs,
+                batch_size: 16,
+                shuffle_seed: 3,
+                ..Default::default()
+            };
             let _ = train_classifier(&mut net, &mut opt, &train.images, &train.labels, &cfg);
             let accuracy = evaluate_accuracy(&mut net, &test.images, &test.labels);
-            BlockSweepRow { k, compression: k as f64, accuracy }
+            BlockSweepRow {
+                k,
+                compression: k as f64,
+                accuracy,
+            }
         })
         .collect()
 }
@@ -153,7 +161,11 @@ pub fn lecun_comparison(quick: bool) -> Vec<(String, f64, usize)> {
             t_lecun,
             lecun.parameter_count() + lecun.spectrum_storage_floats(),
         ),
-        ("CirCNN circulant conv (k=8)".into(), t_circ, c * p * r * r / 8),
+        (
+            "CirCNN circulant conv (k=8)".into(),
+            t_circ,
+            c * p * r * r / 8,
+        ),
     ]
 }
 
@@ -165,9 +177,18 @@ pub fn quantization_sweep(quick: bool) -> Vec<(u32, f32)> {
     let mut rng = seeded_rng(61);
     let mut net = Benchmark::Mnist.build_circulant(&mut rng);
     let mut opt = Adam::new(0.002);
-    let cfg = TrainConfig { epochs, batch_size: 16, shuffle_seed: 1, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 16,
+        shuffle_seed: 1,
+        ..Default::default()
+    };
     let _ = train_classifier(&mut net, &mut opt, &train.images, &train.labels, &cfg);
-    let bits_list: &[u32] = if quick { &[16, 4] } else { &[24, 16, 8, 6, 4, 2] };
+    let bits_list: &[u32] = if quick {
+        &[16, 4]
+    } else {
+        &[24, 16, 8, 6, 4, 2]
+    };
     bits_list
         .iter()
         .map(|&bits| {
@@ -182,14 +203,20 @@ pub fn quantization_sweep(quick: bool) -> Vec<(u32, f32)> {
                 i += 1;
             });
             let _ = fake_quantize_layer(&mut qnet, bits);
-            (bits, evaluate_accuracy(&mut qnet, &test.images, &test.labels))
+            (
+                bits,
+                evaluate_accuracy(&mut qnet, &test.images, &test.labels),
+            )
         })
         .collect()
 }
 
 /// Prints every ablation.
 pub fn print_all(quick: bool) {
-    let mut t = Table::new("Ablation: matvec variants (4096×4096, k=256)", &["variant", "time/call"]);
+    let mut t = Table::new(
+        "Ablation: matvec variants (4096×4096, k=256)",
+        &["variant", "time/call"],
+    );
     for (name, secs) in matvec_variants(quick) {
         t.row(&[name, format!("{:.3} ms", secs * 1e3)]);
     }
@@ -214,7 +241,11 @@ pub fn print_all(quick: bool) {
         &["d", "butterflies/cycle", "pipeline efficiency"],
     );
     for (depth, tput, eff) in depth_sweep() {
-        d.row(&[format!("{depth}"), format!("{tput:.1}"), format!("{eff:.2}")]);
+        d.row(&[
+            format!("{depth}"),
+            format!("{tput:.1}"),
+            format!("{eff:.2}"),
+        ]);
     }
     d.print();
 
@@ -223,7 +254,11 @@ pub fn print_all(quick: bool) {
         &["k", "compression", "test accuracy"],
     );
     for row in block_size_sweep(quick) {
-        b.row(&[format!("{}", row.k), format!("{:.0}×", row.compression), pct(f64::from(row.accuracy))]);
+        b.row(&[
+            format!("{}", row.k),
+            format!("{:.0}×", row.compression),
+            pct(f64::from(row.accuracy)),
+        ]);
     }
     b.print();
 
@@ -257,7 +292,10 @@ mod tests {
         let naive = rows[1].1;
         let recompute = rows[2].1;
         assert!(naive > accum, "naive {naive} should be slower than {accum}");
-        assert!(recompute > accum, "no-cache {recompute} should be slower than {accum}");
+        assert!(
+            recompute > accum,
+            "no-cache {recompute} should be slower than {accum}"
+        );
     }
 
     #[test]

@@ -41,7 +41,13 @@ pub fn run() -> DseResult {
 pub fn print(example: &Alg3Example, result: &DseResult) {
     let mut t = Table::new(
         "Algorithm 3 example (block 128, Cyclone V): step effects",
-        &["step", "perf gain (paper)", "perf gain (ours)", "power (paper)", "power (ours)"],
+        &[
+            "step",
+            "perf gain (paper)",
+            "perf gain (ours)",
+            "power (paper)",
+            "power (ours)",
+        ],
     );
     t.row(&[
         "p: 16 → 32 (d = 1)".into(),
@@ -60,12 +66,24 @@ pub fn print(example: &Alg3Example, result: &DseResult) {
     t.print();
 
     let mut o = Table::new("Algorithm 3 optimizer outcome", &["quantity", "value"]);
-    o.row(&["bandwidth-derived p bound".into(), format!("{}", result.p_bound)]);
+    o.row(&[
+        "bandwidth-derived p bound".into(),
+        format!("{}", result.p_bound),
+    ]);
     o.row(&["selected p".into(), format!("{}", result.best.p)]);
     o.row(&["selected d".into(), format!("{}", result.best.d)]);
-    o.row(&["throughput (butterflies/cycle)".into(), format!("{:.1}", result.best.throughput)]);
-    o.row(&["modeled power".into(), format!("{:.2} W", result.best.power_w)]);
-    o.row(&["points evaluated".into(), format!("{}", result.evaluated.len())]);
+    o.row(&[
+        "throughput (butterflies/cycle)".into(),
+        format!("{:.1}", result.best.throughput),
+    ]);
+    o.row(&[
+        "modeled power".into(),
+        format!("{:.2} W", result.best.power_w),
+    ]);
+    o.row(&[
+        "points evaluated".into(),
+        format!("{}", result.evaluated.len()),
+    ]);
     o.print();
     println!(
         "paper: p is the optimization priority; d capped at 3 (control complexity).\n\
@@ -84,7 +102,11 @@ mod tests {
         assert!((e.p_perf_gain - 0.538).abs() < 0.02, "{}", e.p_perf_gain);
         assert!(e.p_power_increase < 0.10 && e.p_power_increase > 0.0);
         assert!((e.d_perf_gain - 0.622).abs() < 0.03, "{}", e.d_perf_gain);
-        assert!((e.d_power_increase - 0.078).abs() < 0.012, "{}", e.d_power_increase);
+        assert!(
+            (e.d_power_increase - 0.078).abs() < 0.012,
+            "{}",
+            e.d_power_increase
+        );
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! Batched-inference trajectory: single-sample vs batched vs
+//! parallel-batched block-circulant forward throughput.
+//!
+//! This is the software analogue of the paper's premise that throughput
+//! comes from keeping the weight spectra resident and streaming many
+//! activations through them (cf. the batched FPGA RNN implementations that
+//! followed CirCNN). Three engines are compared at each `(m, n, k, B)`
+//! point:
+//!
+//! * **single** — `B` independent [`BlockCirculantMatrix::matvec`] calls,
+//!   the pre-batching hot path (allocates per call);
+//! * **batched** — one [`BlockCirculantMatrix::forward_batch_into`] on one
+//!   worker thread: allocation-free, batch-innermost SIMD layout, one
+//!   weight-spectrum sweep per batch;
+//! * **parallel** — the same batched kernel on
+//!   [`circnn_core::default_batch_threads`] threads.
+//!
+//! The `batched` binary wraps [`run`] and writes the points to
+//! `BENCH_batched.json` so the trajectory can be tracked across commits.
+
+use std::time::Instant;
+
+use circnn_core::{default_batch_threads, BlockCirculantMatrix, Workspace};
+use circnn_tensor::init::seeded_rng;
+
+/// One measured `(shape, batch)` point of the trajectory.
+#[derive(Debug, Clone)]
+pub struct BatchedPoint {
+    /// Output dimension.
+    pub m: usize,
+    /// Input dimension.
+    pub n: usize,
+    /// Circulant block size.
+    pub k: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Worker threads used by the parallel engine.
+    pub threads: usize,
+    /// Nanoseconds per *sample* for `batch` single-sample matvecs.
+    pub single_ns: f64,
+    /// Nanoseconds per sample for the one-thread batched kernel.
+    pub batched_ns: f64,
+    /// Nanoseconds per sample for the multi-thread batched kernel.
+    pub parallel_ns: f64,
+}
+
+impl BatchedPoint {
+    /// Throughput gain of the serial batched kernel over single-sample.
+    pub fn batched_speedup(&self) -> f64 {
+        self.single_ns / self.batched_ns
+    }
+
+    /// Throughput gain of the parallel batched kernel over single-sample.
+    pub fn parallel_speedup(&self) -> f64 {
+        self.single_ns / self.parallel_ns
+    }
+}
+
+/// Times `f` and returns median nanoseconds per call over `samples` runs.
+fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    // Warm-up also sizes workspaces, so the timed region is allocation-free.
+    f();
+    let mut times: Vec<f64> = (0..samples.max(3))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    times[times.len() / 2]
+}
+
+/// Measures one `(m, n, k, batch)` point.
+pub fn measure(m: usize, n: usize, k: usize, batch: usize, samples: usize) -> BatchedPoint {
+    let mut rng = seeded_rng((m * 31 + n * 7 + k * 3 + batch) as u64);
+    let w = BlockCirculantMatrix::random(&mut rng, m, n, k).expect("valid shape");
+    let x = circnn_tensor::init::uniform(&mut rng, &[batch * n], -1.0, 1.0);
+    let x = x.data();
+    let mut out = vec![0.0f32; batch * m];
+    let threads = default_batch_threads();
+
+    let single_ns = median_ns(samples, || {
+        for b in 0..batch {
+            let y = w.matvec(&x[b * n..(b + 1) * n]).expect("sized input");
+            std::hint::black_box(&y);
+        }
+    }) / batch as f64;
+
+    let mut ws = Workspace::new();
+    let batched_ns = median_ns(samples, || {
+        w.forward_batch_into_with_threads(x, batch, &mut ws, &mut out, 1)
+            .expect("sized input");
+        std::hint::black_box(&out);
+    }) / batch as f64;
+
+    let mut ws_p = Workspace::new();
+    let parallel_ns = median_ns(samples, || {
+        w.forward_batch_into_with_threads(x, batch, &mut ws_p, &mut out, threads)
+            .expect("sized input");
+        std::hint::black_box(&out);
+    }) / batch as f64;
+
+    BatchedPoint {
+        m,
+        n,
+        k,
+        batch,
+        threads,
+        single_ns,
+        batched_ns,
+        parallel_ns,
+    }
+}
+
+/// The trajectory's `(m, n, k, B)` grid. The `(512, 512, 16, 32)` point is
+/// the acceptance-criteria headline.
+pub fn grid(quick: bool) -> Vec<(usize, usize, usize, usize)> {
+    if quick {
+        vec![(256, 256, 16, 16), (512, 512, 16, 32)]
+    } else {
+        vec![
+            (256, 256, 8, 32),
+            (256, 256, 16, 16),
+            (512, 512, 16, 1),
+            (512, 512, 16, 8),
+            (512, 512, 16, 32),
+            (512, 512, 16, 128),
+            (1024, 1024, 64, 32),
+            (2048, 1024, 128, 32),
+        ]
+    }
+}
+
+/// Runs the whole trajectory.
+pub fn run(quick: bool) -> Vec<BatchedPoint> {
+    let samples = if quick { 5 } else { 15 };
+    grid(quick)
+        .into_iter()
+        .map(|(m, n, k, b)| measure(m, n, k, b, samples))
+        .collect()
+}
+
+/// Renders the points as the `BENCH_batched.json` trajectory document.
+pub fn to_json(points: &[BatchedPoint]) -> String {
+    let mut out = String::from(
+        "{\n  \"bench\": \"batched_inference\",\n  \"unit\": \"ns_per_sample\",\n  \"points\": [\n",
+    );
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"m\": {}, \"n\": {}, \"k\": {}, \"batch\": {}, \"threads\": {}, \
+             \"single_ns\": {:.1}, \"batched_ns\": {:.1}, \"parallel_ns\": {:.1}, \
+             \"batched_speedup\": {:.2}, \"parallel_speedup\": {:.2}}}{}\n",
+            p.m,
+            p.n,
+            p.k,
+            p.batch,
+            p.threads,
+            p.single_ns,
+            p.batched_ns,
+            p.parallel_ns,
+            p.batched_speedup(),
+            p.parallel_speedup(),
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Prints a human-readable table.
+pub fn print(points: &[BatchedPoint]) {
+    println!(
+        "{:>5} {:>5} {:>4} {:>5} | {:>12} {:>12} {:>12} | {:>8} {:>8}",
+        "m", "n", "k", "B", "single", "batched", "parallel", "B-spdup", "P-spdup"
+    );
+    for p in points {
+        println!(
+            "{:>5} {:>5} {:>4} {:>5} | {:>9.0} ns {:>9.0} ns {:>9.0} ns | {:>7.2}x {:>7.2}x",
+            p.m,
+            p.n,
+            p.k,
+            p.batch,
+            p.single_ns,
+            p.batched_ns,
+            p.parallel_ns,
+            p.batched_speedup(),
+            p.parallel_speedup()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_serializes_a_small_point() {
+        let p = measure(64, 64, 8, 4, 3);
+        assert!(p.single_ns > 0.0 && p.batched_ns > 0.0 && p.parallel_ns > 0.0);
+        let json = to_json(std::slice::from_ref(&p));
+        assert!(json.contains("\"batch\": 4"));
+        assert!(json.contains("batched_speedup"));
+    }
+}

@@ -1,0 +1,11 @@
+//! Runs the batched-inference trajectory and writes `BENCH_batched.json`.
+fn main() {
+    let quick = circnn_bench::quick_mode();
+    println!("CirCNN reproduction — batched inference engine (quick = {quick})\n");
+    let points = circnn_bench::batched::run(quick);
+    circnn_bench::batched::print(&points);
+    let json = circnn_bench::batched::to_json(&points);
+    let path = "BENCH_batched.json";
+    std::fs::write(path, json).expect("writing trajectory file");
+    println!("\nwrote {path}");
+}

@@ -21,8 +21,19 @@ fn main() {
     for plat in [platform::cyclone_v(), platform::asic_45nm()] {
         let report = simulate(&net, &plat);
         let mut t = Table::new(
-            &format!("{} on {}: per-layer breakdown", report.network, report.platform),
-            &["#", "kind", "cycles", "share", "bottleneck", "dyn energy", "equiv Mops"],
+            &format!(
+                "{} on {}: per-layer breakdown",
+                report.network, report.platform
+            ),
+            &[
+                "#",
+                "kind",
+                "cycles",
+                "share",
+                "bottleneck",
+                "dyn energy",
+                "equiv Mops",
+            ],
         );
         for (i, l) in report.layers.iter().enumerate() {
             t.row(&[

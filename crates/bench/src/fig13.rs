@@ -36,7 +36,11 @@ pub fn run() -> Fig13 {
     let fpga = platform::cyclone_v();
     let ours = simulate(&NetworkDescriptor::alexnet_circulant(), &fpga);
     let ours_vgg = simulate(&NetworkDescriptor::vgg16_circulant(), &fpga);
-    Fig13 { ours, ours_vgg, references: fpga_references() }
+    Fig13 {
+        ours,
+        ours_vgg,
+        references: fpga_references(),
+    }
 }
 
 /// Prints the comparison table.
@@ -111,6 +115,9 @@ mod tests {
         let qiu = fig.improvement_over("[FPGA16]").unwrap();
         assert!(ese > 5.0 && ese < 30.0, "vs ESE: {ese}");
         assert!(qiu > 40.0 && qiu < 120.0, "vs Qiu: {qiu}");
-        assert!(qiu > 3.0 * ese, "uncompressed gap must dwarf compressed gap");
+        assert!(
+            qiu > 3.0 * ese,
+            "uncompressed gap must dwarf compressed gap"
+        );
     }
 }

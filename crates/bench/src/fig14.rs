@@ -121,7 +121,13 @@ mod tests {
         // column for the same dataset.
         for r in run() {
             let ratio = r.ours_fps / r.paper.fps;
-            assert!((0.2..5.0).contains(&ratio), "{}: {} vs paper {}", r.dataset, r.ours_fps, r.paper.fps);
+            assert!(
+                (0.2..5.0).contains(&ratio),
+                "{}: {} vs paper {}",
+                r.dataset,
+                r.ours_fps,
+                r.paper.fps
+            );
         }
     }
 }

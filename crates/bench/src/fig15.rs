@@ -84,7 +84,11 @@ pub fn print(fig: &Fig15) {
         format!("{:.0}", fig.fpga.equiv_gops_per_w),
     ]);
     for r in &fig.references {
-        t.row(&[r.name.into(), format!("{:.0}", r.gops), format!("{:.0}", r.gops_per_w)]);
+        t.row(&[
+            r.name.into(),
+            format!("{:.0}", r.gops),
+            format!("{:.0}", r.gops_per_w),
+        ]);
     }
     t.print();
     println!(
@@ -131,6 +135,10 @@ mod tests {
         let fig = run();
         assert!(fig.asic_improvement() > 1.0);
         assert!(fig.total_improvement() > 10.0 * fig.asic_improvement() / 17.0);
-        assert!(fig.gpu_improvement() > 50.0, "vs TX1: {}", fig.gpu_improvement());
+        assert!(
+            fig.gpu_improvement() > 50.0,
+            "vs TX1: {}",
+            fig.gpu_improvement()
+        );
     }
 }

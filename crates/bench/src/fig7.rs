@@ -65,7 +65,12 @@ fn train_and_test(
     let full = benchmark.dataset(train_n + test_n, 11);
     let (train, test) = full.split_at(train_n);
     let mut opt = Adam::new(lr);
-    let cfg = TrainConfig { epochs, batch_size: 16, shuffle_seed: 7, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 16,
+        shuffle_seed: 7,
+        ..Default::default()
+    };
     let _ = train_classifier(&mut net, &mut opt, &train.images, &train.labels, &cfg);
     evaluate_accuracy(&mut net, &test.images, &test.labels)
 }
@@ -105,11 +110,24 @@ pub fn storage_rows() -> Vec<(String, f64, f64, f64)> {
         .map(|b| {
             let fc = b.storage_fc_only();
             let full = b.storage_full();
-            (b.name().to_string(), fc.fc_storage_ratio(), fc.storage_ratio(), full.storage_ratio())
+            (
+                b.name().to_string(),
+                fc.fc_storage_ratio(),
+                fc.storage_ratio(),
+                full.storage_ratio(),
+            )
         })
         .collect();
     let stl = circnn_models::storage::stl_storage_fc_only();
-    rows.insert(3, ("STL-10".into(), stl.fc_storage_ratio(), stl.storage_ratio(), f64::NAN));
+    rows.insert(
+        3,
+        (
+            "STL-10".into(),
+            stl.fc_storage_ratio(),
+            stl.storage_ratio(),
+            f64::NAN,
+        ),
+    );
     rows
 }
 
@@ -133,7 +151,10 @@ pub fn print(rows: &[Fig7Row]) {
             r.benchmark.to_string(),
             pct(f64::from(r.acc_dense)),
             pct(f64::from(r.acc_circulant)),
-            format!("{:+.1} pts", 100.0 * f64::from(r.acc_circulant - r.acc_dense)),
+            format!(
+                "{:+.1} pts",
+                100.0 * f64::from(r.acc_circulant - r.acc_dense)
+            ),
         ]);
     }
     b.print();
@@ -143,7 +164,11 @@ pub fn print(rows: &[Fig7Row]) {
         &["benchmark", "storage saving", "parameter reduction"],
     );
     for r in rows {
-        c.row(&[r.benchmark.to_string(), times(r.whole_full), times(r.param_ratio_full)]);
+        c.row(&[
+            r.benchmark.to_string(),
+            times(r.whole_full),
+            times(r.param_ratio_full),
+        ]);
     }
     c.print();
 }

@@ -14,6 +14,7 @@
 //! | [`alg3`] / `alg3` | Algorithm 3 design-space example (§4.3) |
 //! | [`train_speedup`] / `train_speedup` | §3.4: 5–9× DBN training gain |
 //! | [`ablations`] / `ablations` | design-choice ablations |
+//! | [`batched`] / `batched` | batched-inference engine trajectory (`BENCH_batched.json`) |
 //!
 //! Experiments honor the `CIRCNN_QUICK=1` environment variable to shrink
 //! training workloads (used by the integration tests); the binaries default
@@ -22,6 +23,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablations;
+pub mod batched;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;
@@ -35,5 +37,7 @@ pub mod alg3;
 
 /// Returns `true` when the quick (CI-sized) configuration is requested.
 pub fn quick_mode() -> bool {
-    std::env::var("CIRCNN_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("CIRCNN_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }

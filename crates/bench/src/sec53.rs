@@ -72,7 +72,11 @@ pub fn run(quick: bool) -> Sec53 {
     // Crossover sweep: square n×n layers, k = min(n, 128). The quick
     // configuration uses the extremes so the growth trend is measurable
     // even on a noisy debug build.
-    let sizes: &[usize] = if quick { &[128, 2048] } else { &[128, 256, 512, 1024, 2048, 4096] };
+    let sizes: &[usize] = if quick {
+        &[128, 2048]
+    } else {
+        &[128, 256, 512, 1024, 2048, 4096]
+    };
     let size_sweep = sizes
         .iter()
         .map(|&n| {
@@ -80,7 +84,11 @@ pub fn run(quick: bool) -> Sec53 {
             let w = BlockCirculantMatrix::random(&mut rng, n, n, k).expect("valid block");
             let d = circnn_tensor::init::uniform(&mut rng, &[n, n], -0.01, 0.01);
             let xv: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01).cos()).collect();
-            let sweep_reps = if quick { 4 } else { (2_000_000 / (n * n)).clamp(3, 200) };
+            let sweep_reps = if quick {
+                4
+            } else {
+                (2_000_000 / (n * n)).clamp(3, 200)
+            };
             let tc = time_ms(sweep_reps, || {
                 let _ = w.matvec(&xv).expect("dims fixed");
             });
@@ -104,25 +112,40 @@ pub fn run(quick: bool) -> Sec53 {
 pub fn print(r: &Sec53) {
     let mut t = Table::new(
         "Sec. 5.3: embedded-processor results (host CPU stands in for ARM Cortex-A9)",
-        &["quantity", "measured (host)", "paper (ARM A9)", "published comparator"],
+        &[
+            "quantity",
+            "measured (host)",
+            "paper (ARM A9)",
+            "published comparator",
+        ],
     );
     t.row(&[
         "LeNet-5 ms/image (circulant)".into(),
         format!("{:.3} ms", r.lenet_circ_ms),
         format!("{:.1} ms", embedded::PAPER_ARM_MNIST_MS),
-        format!("TrueNorth high-acc: {:.0} img/s", embedded::TRUENORTH_HIGH_ACCURACY_MNIST_FPS),
+        format!(
+            "TrueNorth high-acc: {:.0} img/s",
+            embedded::TRUENORTH_HIGH_ACCURACY_MNIST_FPS
+        ),
     ]);
     t.row(&[
         "LeNet-5 ms/image (dense)".into(),
         format!("{:.3} ms", r.lenet_dense_ms),
         "—".into(),
-        format!("Tesla C2075: {:.0} img/s @ {:.1} W", embedded::TESLA_C2075_MNIST_FPS, embedded::TESLA_C2075_POWER_W),
+        format!(
+            "Tesla C2075: {:.0} img/s @ {:.1} W",
+            embedded::TESLA_C2075_MNIST_FPS,
+            embedded::TESLA_C2075_POWER_W
+        ),
     ]);
     t.row(&[
         "AlexNet FC6 layers/s (circulant)".into(),
         format!("{:.0}", r.alexnet_fc_circ_layers_per_s),
         format!("{:.0}", embedded::PAPER_ARM_ALEXNET_FC_LAYERS_PER_S),
-        format!("Tesla C2075: {:.0} layers/s", embedded::TESLA_C2075_ALEXNET_FC_LAYERS_PER_S),
+        format!(
+            "Tesla C2075: {:.0} layers/s",
+            embedded::TESLA_C2075_ALEXNET_FC_LAYERS_PER_S
+        ),
     ]);
     t.row(&[
         "AlexNet FC6 layers/s (dense)".into(),

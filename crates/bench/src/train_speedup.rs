@@ -39,13 +39,20 @@ fn time_s<F: FnMut()>(reps: usize, mut f: F) -> f64 {
 
 /// Measures RBM and FC training-step speedups at the given widths.
 pub fn run(quick: bool) -> Vec<SpeedupPoint> {
-    let sizes: &[(usize, usize)] =
-        if quick { &[(512, 128)] } else { &[(1024, 128), (2048, 256), (4096, 512)] };
+    let sizes: &[(usize, usize)] = if quick {
+        &[(512, 128)]
+    } else {
+        &[(1024, 128), (2048, 256), (4096, 512)]
+    };
     let mut rng = seeded_rng(5);
     sizes
         .iter()
         .map(|&(n, block)| {
-            let reps = if quick { 2 } else { (8_000_000 / (n * n)).clamp(2, 50) };
+            let reps = if quick {
+                2
+            } else {
+                (8_000_000 / (n * n)).clamp(2, 50)
+            };
             let v0: Vec<f32> = (0..n).map(|i| f32::from(i % 2 == 0)).collect();
             // RBM: dense vs circulant weight operator.
             let mut rbm_dense = Rbm::new(DenseOp::zeros(n, n));
@@ -72,7 +79,12 @@ pub fn run(quick: bool) -> Vec<SpeedupPoint> {
                 let _ = fc_circ.forward(&x);
                 let _ = fc_circ.backward(&g);
             });
-            SpeedupPoint { n, block, rbm_speedup: td / tc, fc_speedup: tfd / tfc }
+            SpeedupPoint {
+                n,
+                block,
+                rbm_speedup: td / tc,
+                fc_speedup: tfd / tfc,
+            }
         })
         .collect()
 }

@@ -50,11 +50,19 @@ impl SingleCirculantLinear {
     /// Returns [`CircError`] if either dimension is zero.
     pub fn new<R: Rng>(rng: &mut R, in_dim: usize, out_dim: usize) -> Result<Self, CircError> {
         if in_dim == 0 || out_dim == 0 {
-            return Err(CircError::DimensionMismatch { expected: 1, got: 0 });
+            return Err(CircError::DimensionMismatch {
+                expected: 1,
+                got: 0,
+            });
         }
         let padded = in_dim.max(out_dim).next_power_of_two();
         let inner = CirculantLinear::new(rng, in_dim, out_dim, padded)?;
-        Ok(Self { inner, in_dim, out_dim, padded })
+        Ok(Self {
+            inner,
+            in_dim,
+            out_dim,
+            padded,
+        })
     }
 
     /// Input dimension `n`.

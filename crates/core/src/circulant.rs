@@ -48,7 +48,11 @@ impl CirculantMatrix {
         }
         let engine = CircularConvolver::new(k)?;
         let spectrum = engine.plan().forward(&w)?;
-        Ok(Self { weights: w, spectrum, engine })
+        Ok(Self {
+            weights: w,
+            spectrum,
+            engine,
+        })
     }
 
     /// Block size `k`.
@@ -76,11 +80,18 @@ impl CirculantMatrix {
     /// Returns [`CircError::DimensionMismatch`] if `x.len() != k`.
     pub fn matvec(&self, x: &[f32]) -> Result<Vec<f32>, CircError> {
         if x.len() != self.size() {
-            return Err(CircError::DimensionMismatch { expected: self.size(), got: x.len() });
+            return Err(CircError::DimensionMismatch {
+                expected: self.size(),
+                got: x.len(),
+            });
         }
         let xs = self.engine.plan().forward(x)?;
-        let prod: Vec<Complex<f32>> =
-            self.spectrum.iter().zip(&xs).map(|(&w, &x)| w.conj() * x).collect();
+        let prod: Vec<Complex<f32>> = self
+            .spectrum
+            .iter()
+            .zip(&xs)
+            .map(|(&w, &x)| w.conj() * x)
+            .collect();
         Ok(self.engine.plan().inverse(&prod)?)
     }
 
@@ -92,11 +103,18 @@ impl CirculantMatrix {
     /// Returns [`CircError::DimensionMismatch`] if `y.len() != k`.
     pub fn matvec_t(&self, y: &[f32]) -> Result<Vec<f32>, CircError> {
         if y.len() != self.size() {
-            return Err(CircError::DimensionMismatch { expected: self.size(), got: y.len() });
+            return Err(CircError::DimensionMismatch {
+                expected: self.size(),
+                got: y.len(),
+            });
         }
         let ys = self.engine.plan().forward(y)?;
-        let prod: Vec<Complex<f32>> =
-            self.spectrum.iter().zip(&ys).map(|(&w, &y)| w * y).collect();
+        let prod: Vec<Complex<f32>> = self
+            .spectrum
+            .iter()
+            .zip(&ys)
+            .map(|(&w, &y)| w * y)
+            .collect();
         Ok(self.engine.plan().inverse(&prod)?)
     }
 
@@ -144,7 +162,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0) * 0.8
             })
             .collect()
@@ -182,8 +202,18 @@ mod tests {
         let w = CirculantMatrix::from_first_row(seeded(k, 3)).unwrap();
         let x = seeded(k, 4);
         let y = seeded(k, 5);
-        let lhs: f32 = w.matvec(&x).unwrap().iter().zip(&y).map(|(a, b)| a * b).sum();
-        let rhs: f32 = x.iter().zip(&w.matvec_t(&y).unwrap()).map(|(a, b)| a * b).sum();
+        let lhs: f32 = w
+            .matvec(&x)
+            .unwrap()
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .iter()
+            .zip(&w.matvec_t(&y).unwrap())
+            .map(|(a, b)| a * b)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-4);
     }
 

@@ -185,8 +185,12 @@ impl ModelStorage {
 
     /// Storage reduction over FC layers only (the Fig.-7a quantity).
     pub fn fc_storage_ratio(&self) -> f64 {
-        let dense: u64 =
-            self.layers.iter().filter(|l| l.kind == LayerKind::Fc).map(LayerStorage::dense_bytes).sum();
+        let dense: u64 = self
+            .layers
+            .iter()
+            .filter(|l| l.kind == LayerKind::Fc)
+            .map(LayerStorage::dense_bytes)
+            .sum();
         let comp: u64 = self
             .layers
             .iter()

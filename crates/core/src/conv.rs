@@ -64,6 +64,10 @@ pub struct CirculantConv2d {
     /// Forward caches.
     geom_cache: Option<ConvGeometry>,
     pixel_spectra: Option<Vec<BlockSpectra>>,
+    /// Per-sample caches recorded by `forward_batch` (training mode only)
+    /// for `backward_batch`.
+    batch_caches: Vec<(ConvGeometry, Vec<BlockSpectra>)>,
+    training: bool,
 }
 
 impl CirculantConv2d {
@@ -83,7 +87,10 @@ impl CirculantConv2d {
         block: usize,
     ) -> Result<Self, CircError> {
         if kernel == 0 || stride == 0 {
-            return Err(CircError::DimensionMismatch { expected: 1, got: 0 });
+            return Err(CircError::DimensionMismatch {
+                expected: 1,
+                got: 0,
+            });
         }
         let fan_in = in_channels * kernel * kernel;
         let mut engines = Vec::with_capacity(kernel * kernel);
@@ -112,6 +119,8 @@ impl CirculantConv2d {
             dirty: false,
             geom_cache: None,
             pixel_spectra: None,
+            batch_caches: Vec::new(),
+            training: true,
         })
     }
 
@@ -186,8 +195,10 @@ impl CirculantConv2d {
     }
 }
 
-impl Layer for CirculantConv2d {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+impl CirculantConv2d {
+    /// Shared forward core: returns the output plus the per-pixel channel
+    /// spectra and geometry the backward pass needs.
+    fn forward_impl(&mut self, input: &Tensor) -> (Tensor, ConvGeometry, Vec<BlockSpectra>) {
         self.sync();
         let geom = self.geometry_for(input);
         let (h, w) = (geom.height, geom.width);
@@ -201,7 +212,9 @@ impl Layer for CirculantConv2d {
                     chans[c] = input.data()[(c * h + iy) * w + ix];
                 }
                 pixel_spectra.push(
-                    self.engines[0].col_spectra(&chans).expect("channel vector length is fixed"),
+                    self.engines[0]
+                        .col_spectra(&chans)
+                        .expect("channel vector length is fixed"),
                 );
             }
         }
@@ -226,25 +239,36 @@ impl Layer for CirculantConv2d {
                         self.engines[kh * self.kernel + kw].accumulate_forward(spec, &mut acc);
                     }
                 }
-                let y = engine0.finish_forward(&acc).expect("accumulator sized to engine");
+                let y = engine0
+                    .finish_forward(&acc)
+                    .expect("accumulator sized to engine");
                 for (p, &v) in y.iter().enumerate() {
                     out[(p * oh + oy) * ow + ox] = v + self.bias[p];
                 }
             }
         }
-        self.geom_cache = Some(geom);
-        self.pixel_spectra = Some(pixel_spectra);
-        Tensor::from_vec(out, &[self.out_channels, oh, ow])
+        (
+            Tensor::from_vec(out, &[self.out_channels, oh, ow]),
+            geom,
+            pixel_spectra,
+        )
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+    /// Shared backward core over explicit forward caches.
+    fn backward_impl(
+        &mut self,
+        grad_output: &Tensor,
+        geom: &ConvGeometry,
+        pixel_spectra: &[BlockSpectra],
+    ) -> Tensor {
         self.sync();
-        let geom = self.geom_cache.expect("backward called before forward");
-        let pixel_spectra =
-            self.pixel_spectra.as_ref().expect("backward called before forward");
         let (h, w) = (geom.height, geom.width);
         let (oh, ow) = (geom.out_height(), geom.out_width());
-        assert_eq!(grad_output.dims(), &[self.out_channels, oh, ow], "conv grad shape mismatch");
+        assert_eq!(
+            grad_output.dims(),
+            &[self.out_channels, oh, ow],
+            "conv grad shape mismatch"
+        );
         let engine0 = &self.engines[0];
         let gx_acc_len = engine0.block_cols() * engine0.bins();
         // Per-input-pixel frequency-domain gradient accumulators.
@@ -256,7 +280,9 @@ impl Layer for CirculantConv2d {
                 for p in 0..self.out_channels {
                     gpatch[p] = grad_output.data()[(p * oh + oy) * ow + ox];
                 }
-                let gspec = engine0.row_spectra(&gpatch).expect("grad vector length is fixed");
+                let gspec = engine0
+                    .row_spectra(&gpatch)
+                    .expect("grad vector length is fixed");
                 for (p, &g) in gpatch.iter().enumerate() {
                     self.bgrad[p] += g;
                 }
@@ -297,6 +323,74 @@ impl Layer for CirculantConv2d {
             }
         }
         Tensor::from_vec(gx, &[self.in_channels, h, w])
+    }
+}
+
+impl Layer for CirculantConv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (out, geom, pixel_spectra) = self.forward_impl(input);
+        self.geom_cache = Some(geom);
+        self.pixel_spectra = Some(pixel_spectra);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let geom = self.geom_cache.expect("backward called before forward");
+        let pixel_spectra = self
+            .pixel_spectra
+            .take()
+            .expect("backward called before forward");
+        let gx = self.backward_impl(grad_output, &geom, &pixel_spectra);
+        self.pixel_spectra = Some(pixel_spectra);
+        gx
+    }
+
+    fn forward_batch(&mut self, input: &Tensor) -> Tensor {
+        // A batch of images runs per sample — the conv pipeline's internal
+        // batching is across *pixels* (channel spectra shared over patches),
+        // which a cross-image batch cannot improve on — but each sample's
+        // caches are retained so `backward_batch` never recomputes a
+        // forward pass.
+        let batch = input.dims()[0];
+        assert!(batch > 0, "empty batch");
+        assert_eq!(
+            input.shape().rank(),
+            4,
+            "conv batch input must be [B, C, H, W]"
+        );
+        self.batch_caches.clear();
+        circnn_tensor::stack_samples(batch, |b| {
+            let (y, geom, spectra) = self.forward_impl(&input.index_axis0(b));
+            // Caches only matter to a backward pass; at inference they
+            // would just pile up per-pixel spectra.
+            if self.training {
+                self.batch_caches.push((geom, spectra));
+            }
+            y
+        })
+    }
+
+    fn backward_batch(&mut self, _input: &Tensor, grad_output: &Tensor) -> Tensor {
+        let batch = grad_output.dims()[0];
+        assert_eq!(
+            batch,
+            self.batch_caches.len(),
+            "backward_batch called before forward_batch (or in inference mode)"
+        );
+        let caches = core::mem::take(&mut self.batch_caches);
+        let gx = circnn_tensor::stack_samples(batch, |b| {
+            let (geom, spectra) = &caches[b];
+            self.backward_impl(&grad_output.index_axis0(b), geom, spectra)
+        });
+        self.batch_caches = caches;
+        gx
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+        if !training {
+            self.batch_caches.clear();
+        }
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
@@ -355,8 +449,7 @@ mod tests {
     fn strided_and_unpadded_variants_match_dense() {
         for (stride, padding) in [(2usize, 0usize), (1, 0), (2, 1)] {
             let mut rng = seeded_rng(2 + stride as u64 + padding as u64);
-            let mut circ =
-                CirculantConv2d::new(&mut rng, 2, 4, 3, stride, padding, 2).unwrap();
+            let mut circ = CirculantConv2d::new(&mut rng, 2, 4, 3, stride, padding, 2).unwrap();
             let lowered = circ.to_dense_lowered();
             let mut dense = Conv2d::from_weights(lowered, vec![0.0; 4], 2, 3, stride, padding);
             let x = circnn_tensor::init::uniform(&mut rng, &[2, 7, 7], -1.0, 1.0);
@@ -375,7 +468,9 @@ mod tests {
         let mut conv = CirculantConv2d::new(&mut rng, 2, 4, 3, 1, 1, 2).unwrap();
         let x = circnn_tensor::init::uniform(&mut rng, &[2, 4, 4], -1.0, 1.0);
         let cw = |n: usize| -> Vec<f32> {
-            (0..n).map(|i| (((i * 2654435761) % 1000) as f32 / 500.0) - 1.0).collect()
+            (0..n)
+                .map(|i| (((i * 2654435761) % 1000) as f32 / 500.0) - 1.0)
+                .collect()
         };
         let out = conv.forward(&x);
         let c = cw(out.len());

@@ -24,6 +24,9 @@ pub enum CircError {
         /// Provided length.
         got: usize,
     },
+    /// A workspace holds no (or another operator's) forward/backward
+    /// spectra pair for the requested batched weight gradient.
+    StaleBatchSpectra,
     /// Underlying FFT failure (propagated).
     Fft(FftError),
 }
@@ -35,10 +38,24 @@ impl fmt::Display for CircError {
                 write!(f, "block size {k} is not a nonzero power of two")
             }
             CircError::DimensionMismatch { expected, got } => {
-                write!(f, "vector length {got} does not match operator dimension {expected}")
+                write!(
+                    f,
+                    "vector length {got} does not match operator dimension {expected}"
+                )
             }
             CircError::BadWeightLength { expected, got } => {
-                write!(f, "weight buffer length {got} does not match parameter count {expected}")
+                write!(
+                    f,
+                    "weight buffer length {got} does not match parameter count {expected}"
+                )
+            }
+            CircError::StaleBatchSpectra => {
+                write!(
+                    f,
+                    "workspace does not hold this operator's forward/backward batch \
+                     spectra pair (run forward_batch_into and backward_batch_into with \
+                     the same operator, workspace and batch first)"
+                )
             }
             CircError::Fft(e) => write!(f, "fft error: {e}"),
         }
@@ -68,8 +85,15 @@ mod tests {
     fn messages_are_informative() {
         let errs: Vec<CircError> = vec![
             CircError::BadBlockSize(12),
-            CircError::DimensionMismatch { expected: 8, got: 4 },
-            CircError::BadWeightLength { expected: 64, got: 32 },
+            CircError::DimensionMismatch {
+                expected: 8,
+                got: 4,
+            },
+            CircError::BadWeightLength {
+                expected: 64,
+                got: 32,
+            },
+            CircError::StaleBatchSpectra,
             CircError::Fft(FftError::ZeroLength),
         ];
         for e in errs {

@@ -11,7 +11,7 @@ use circnn_tensor::Tensor;
 use rand::Rng;
 
 use crate::error::CircError;
-use crate::matrix::{BlockCirculantMatrix, BlockSpectra};
+use crate::matrix::{BlockCirculantMatrix, BlockSpectra, Workspace};
 
 /// A block-circulant affine layer `y = W·x + b`.
 ///
@@ -34,15 +34,20 @@ use crate::matrix::{BlockCirculantMatrix, BlockSpectra};
 /// ```
 #[derive(Debug, Clone)]
 pub struct CirculantLinear {
-    /// Canonical trainable defining vectors (block-row-major).
-    weights: Vec<f32>,
     bias: Vec<f32>,
     wgrad: Vec<f32>,
     bgrad: Vec<f32>,
-    /// FFT engine + spectra cache; refreshed when `dirty`.
+    /// The operator owns the canonical trainable defining vectors *and*
+    /// their spectra cache — one copy of the weights, refreshed when
+    /// `dirty` (the optimizer mutates them through
+    /// [`Layer::visit_params`]).
     engine: BlockCirculantMatrix,
     dirty: bool,
     input_spectra: Option<BlockSpectra>,
+    /// Scratch arena + cached batch spectra for the batched fast path.
+    ws: Workspace,
+    /// Batch size of the spectra currently held in `ws`.
+    batch: Option<usize>,
 }
 
 impl CirculantLinear {
@@ -61,13 +66,14 @@ impl CirculantLinear {
     ) -> Result<Self, CircError> {
         let engine = BlockCirculantMatrix::random(rng, out_dim, in_dim, block)?;
         Ok(Self {
-            weights: engine.weights().to_vec(),
             bias: vec![0.0; out_dim],
             wgrad: vec![0.0; engine.num_parameters()],
             bgrad: vec![0.0; out_dim],
             engine,
             dirty: false,
             input_spectra: None,
+            ws: Workspace::new(),
+            batch: None,
         })
     }
 
@@ -85,16 +91,20 @@ impl CirculantLinear {
     ) -> Result<Self, CircError> {
         let engine = BlockCirculantMatrix::from_weights(out_dim, in_dim, block, weights)?;
         if bias.len() != out_dim {
-            return Err(CircError::DimensionMismatch { expected: out_dim, got: bias.len() });
+            return Err(CircError::DimensionMismatch {
+                expected: out_dim,
+                got: bias.len(),
+            });
         }
         Ok(Self {
-            weights: weights.to_vec(),
             wgrad: vec![0.0; engine.num_parameters()],
             bgrad: vec![0.0; out_dim],
             bias,
             engine,
             dirty: false,
             input_spectra: None,
+            ws: Workspace::new(),
+            batch: None,
         })
     }
 
@@ -120,7 +130,7 @@ impl CirculantLinear {
 
     /// The defining vectors.
     pub fn weights(&self) -> &[f32] {
-        &self.weights
+        self.engine.weights()
     }
 
     /// The bias vector.
@@ -144,8 +154,8 @@ impl CirculantLinear {
     fn sync(&mut self) {
         if self.dirty {
             self.engine
-                .set_weights(&self.weights)
-                .expect("weight buffer length is fixed at construction");
+                .refresh_spectra()
+                .expect("spectra refresh cannot fail after construction");
             self.dirty = false;
         }
     }
@@ -167,7 +177,10 @@ impl Layer for CirculantLinear {
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         self.sync();
-        let xs = self.input_spectra.as_ref().expect("backward called before forward");
+        let xs = self
+            .input_spectra
+            .as_ref()
+            .expect("backward called before forward");
         let g = grad_output.data();
         // Algorithm 2, both halves.
         self.engine
@@ -176,19 +189,75 @@ impl Layer for CirculantLinear {
         for (slot, &gi) in self.bgrad.iter_mut().zip(g) {
             *slot += gi;
         }
-        let gx = self.engine.matvec_t(g).expect("circulant linear grad length mismatch");
+        let gx = self
+            .engine
+            .matvec_t(g)
+            .expect("circulant linear grad length mismatch");
         Tensor::from_vec(gx, &[self.in_dim()])
     }
 
+    fn forward_batch(&mut self, input: &Tensor) -> Tensor {
+        self.sync();
+        let batch = input.dims()[0];
+        if batch == 1 {
+            // Degenerate batch (e.g. a trainer's remainder chunk): the
+            // scalar path's real-FFT pipeline is faster than plane setup.
+            let y = self.forward(&input.index_axis0(0));
+            self.batch = None;
+            return Tensor::from_vec(y.data().to_vec(), &[1, self.out_dim()]);
+        }
+        let mut out = vec![0.0f32; batch * self.out_dim()];
+        self.engine
+            .forward_batch_into(input.data(), batch, &mut self.ws, &mut out)
+            .expect("circulant linear batch input length mismatch");
+        let m = self.out_dim();
+        for row in out.chunks_mut(m) {
+            for (v, &b) in row.iter_mut().zip(&self.bias) {
+                *v += b;
+            }
+        }
+        self.batch = Some(batch);
+        Tensor::from_vec(out, &[batch, m])
+    }
+
+    fn backward_batch(&mut self, _input: &Tensor, grad_output: &Tensor) -> Tensor {
+        self.sync();
+        if self.batch.is_none() {
+            // Matching degenerate-batch forward ran the scalar path.
+            assert_eq!(grad_output.dims()[0], 1, "batch size mismatch");
+            let gx = self.backward(&grad_output.index_axis0(0));
+            return Tensor::from_vec(gx.data().to_vec(), &[1, self.in_dim()]);
+        }
+        let batch = self.batch.expect("checked above");
+        assert_eq!(grad_output.dims()[0], batch, "batch size mismatch");
+        let g = grad_output.data();
+        let mut gx = vec![0.0f32; batch * self.in_dim()];
+        // Transpose apply first: it records the gradient spectra that the
+        // frequency-domain weight-gradient reduction then reuses.
+        self.engine
+            .backward_batch_into(g, batch, &mut self.ws, &mut gx)
+            .expect("circulant linear grad length mismatch");
+        self.engine
+            .weight_gradient_batch(&mut self.ws, &mut self.wgrad)
+            .expect("batch spectra recorded by the forward/backward pair");
+        let m = self.out_dim();
+        for row in g.chunks(m) {
+            for (slot, &gi) in self.bgrad.iter_mut().zip(row) {
+                *slot += gi;
+            }
+        }
+        Tensor::from_vec(gx, &[batch, self.in_dim()])
+    }
+
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
-        visitor(&mut self.weights, &mut self.wgrad);
+        visitor(self.engine.weights_mut(), &mut self.wgrad);
         visitor(&mut self.bias, &mut self.bgrad);
         // Assume the visitor mutated the weights (optimizers do).
         self.dirty = true;
     }
 
     fn param_count(&self) -> usize {
-        self.weights.len() + self.bias.len()
+        self.engine.num_parameters() + self.bias.len()
     }
 
     fn name(&self) -> &'static str {
@@ -224,11 +293,15 @@ mod tests {
         // Re-use the nn crate's checker via a tiny local reimplementation
         // (the shared helper is crate-private to circnn-nn).
         let weights = |n: usize| -> Vec<f32> {
-            (0..n).map(|i| (((i * 2654435761) % 1000) as f32 / 500.0) - 1.0).collect()
+            (0..n)
+                .map(|i| (((i * 2654435761) % 1000) as f32 / 500.0) - 1.0)
+                .collect()
         };
         let out = layer.forward(&x);
-        let c = weights(out.len());
-        let grad_out = Tensor::from_vec(c.clone(), out.dims());
+        // The loss weights live in the gradient tensor itself — no spare
+        // copies of either the weights or the nudged inputs.
+        let grad_out = Tensor::from_vec(weights(out.len()), out.dims());
+        let c = grad_out.data();
         layer.zero_grads();
         let gx = layer.backward(&grad_out);
         let mut analytic_params: Vec<Vec<f32>> = Vec::new();
@@ -236,15 +309,17 @@ mod tests {
         let eps = 1e-2f32;
         let loss = |layer: &mut CirculantLinear, x: &Tensor| -> f32 {
             let out = layer.forward(x);
-            out.data().iter().zip(&c).map(|(&y, &w)| y * w).sum()
+            out.data().iter().zip(c).map(|(&y, &w)| y * w).sum()
         };
-        // Input gradient.
+        // Input gradient: nudge one shared buffer in place.
+        let mut xbuf = x.clone();
         for i in 0..x.len() {
-            let mut xp = x.clone();
-            xp.data_mut()[i] += eps;
-            let mut xm = x.clone();
-            xm.data_mut()[i] -= eps;
-            let numeric = (loss(&mut layer, &xp) - loss(&mut layer, &xm)) / (2.0 * eps);
+            xbuf.data_mut()[i] += eps;
+            let lp = loss(&mut layer, &xbuf);
+            xbuf.data_mut()[i] -= 2.0 * eps;
+            let lm = loss(&mut layer, &xbuf);
+            xbuf.data_mut()[i] += eps;
+            let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (gx.data()[i] - numeric).abs() < 2e-2 * numeric.abs().max(1.0),
                 "input grad {i}"
@@ -319,10 +394,65 @@ mod tests {
     }
 
     #[test]
+    fn batched_layer_matches_per_sample_layer() {
+        use circnn_nn::Layer as _;
+        let mut rng = seeded_rng(9);
+        let (n, m, k, batch) = (10, 6, 4, 5);
+        let mut batched = CirculantLinear::new(&mut rng, n, m, k).unwrap();
+        let mut single = batched.clone();
+        let x = circnn_tensor::init::uniform(&mut rng, &[batch, n], -1.0, 1.0);
+        let g = circnn_tensor::init::uniform(&mut rng, &[batch, m], -1.0, 1.0);
+        // Forward rows must match the one-sample kernel to rounding.
+        let yb = batched.forward_batch(&x);
+        assert_eq!(yb.dims(), &[batch, m]);
+        for b in 0..batch {
+            let ys = single.forward(&x.index_axis0(b));
+            for (i, (&a, &e)) in yb.data()[b * m..(b + 1) * m]
+                .iter()
+                .zip(ys.data())
+                .enumerate()
+            {
+                assert!(
+                    (a - e).abs() < 5e-4 * e.abs().max(1.0),
+                    "sample {b} row {i}: {a} vs {e}"
+                );
+            }
+        }
+        // Batched backward must accumulate the same gradients as the
+        // interleaved per-sample loop (weight grads via the frequency-domain
+        // batch reduction, so tolerance rather than bitwise).
+        batched.zero_grads();
+        let gxb = batched.backward_batch(&x, &g);
+        single.zero_grads();
+        let mut gxs = Vec::new();
+        for b in 0..batch {
+            single.forward(&x.index_axis0(b));
+            gxs.extend_from_slice(single.backward(&g.index_axis0(b)).data());
+        }
+        for (i, (a, e)) in gxb.data().iter().zip(&gxs).enumerate() {
+            assert!((a - e).abs() < 1e-4, "input grad {i}: {a} vs {e}");
+        }
+        let collect = |l: &mut CirculantLinear| {
+            let mut gs: Vec<Vec<f32>> = Vec::new();
+            l.visit_params(&mut |_, g| gs.push(g.to_vec()));
+            gs
+        };
+        let gb = collect(&mut batched);
+        let gs = collect(&mut single);
+        for (group, (a, e)) in gb.iter().zip(&gs).enumerate() {
+            for (i, (av, ev)) in a.iter().zip(e).enumerate() {
+                assert!(
+                    (av - ev).abs() < 1e-3 * ev.abs().max(1.0),
+                    "param grad group {group} idx {i}: {av} vs {ev}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn from_weights_round_trips() {
         let weights: Vec<f32> = (0..2 * 2 * 4).map(|i| i as f32 * 0.1).collect();
-        let mut layer =
-            CirculantLinear::from_weights(8, 8, 4, &weights, vec![0.0; 8]).unwrap();
+        let mut layer = CirculantLinear::from_weights(8, 8, 4, &weights, vec![0.0; 8]).unwrap();
         assert_eq!(layer.weights(), &weights[..]);
         assert_eq!(layer.block_size(), 4);
         let dense = layer.to_dense();

@@ -62,13 +62,22 @@ impl LeCunFftConv2d {
         kernel: usize,
     ) -> Result<Self, CircError> {
         if in_channels == 0 || out_channels == 0 || kernel == 0 {
-            return Err(CircError::DimensionMismatch { expected: 1, got: 0 });
+            return Err(CircError::DimensionMismatch {
+                expected: 1,
+                got: 0,
+            });
         }
         let fan_in = in_channels * kernel * kernel;
         let std = (2.0 / fan_in as f32).sqrt();
         let filters =
             circnn_tensor::init::normal(rng, &[out_channels * fan_in], 0.0, std).into_vec();
-        Ok(Self { in_channels, out_channels, kernel, filters, plan: None })
+        Ok(Self {
+            in_channels,
+            out_channels,
+            kernel,
+            filters,
+            plan: None,
+        })
     }
 
     /// Builds from explicit filters in `[P][C][r][r]` order.
@@ -84,9 +93,18 @@ impl LeCunFftConv2d {
     ) -> Result<Self, CircError> {
         let expected = out_channels * in_channels * kernel * kernel;
         if filters.len() != expected {
-            return Err(CircError::BadWeightLength { expected, got: filters.len() });
+            return Err(CircError::BadWeightLength {
+                expected,
+                got: filters.len(),
+            });
         }
-        Ok(Self { in_channels, out_channels, kernel, filters, plan: None })
+        Ok(Self {
+            in_channels,
+            out_channels,
+            kernel,
+            filters,
+            plan: None,
+        })
     }
 
     /// Parameter count — identical to a dense conv ("the underlying neural
@@ -147,7 +165,14 @@ impl LeCunFftConv2d {
                 filter_spectra[base..base + ph * pw].copy_from_slice(&grid);
             }
         }
-        self.plan = Some(PlannedSpectra { h, w, ph, pw, plan, filter_spectra });
+        self.plan = Some(PlannedSpectra {
+            h,
+            w,
+            ph,
+            pw,
+            plan,
+            filter_spectra,
+        });
         Ok(())
     }
 
@@ -169,7 +194,10 @@ impl LeCunFftConv2d {
         }
         let (h, w) = (input.dims()[1], input.dims()[2]);
         if h < self.kernel || w < self.kernel {
-            return Err(CircError::DimensionMismatch { expected: self.kernel, got: h.min(w) });
+            return Err(CircError::DimensionMismatch {
+                expected: self.kernel,
+                got: h.min(w),
+            });
         }
         self.ensure_plan(h, w)?;
         let planned = self.plan.as_ref().expect("plan just ensured");
@@ -180,8 +208,7 @@ impl LeCunFftConv2d {
             let grid = &mut channel_spectra[ci * ph * pw..(ci + 1) * ph * pw];
             for y in 0..h {
                 for x in 0..w {
-                    grid[y * pw + x] =
-                        Complex::from_real(input.data()[(ci * h + y) * w + x]);
+                    grid[y * pw + x] = Complex::from_real(input.data()[(ci * h + y) * w + x]);
                 }
             }
             planned.plan.forward(grid)?;

@@ -66,4 +66,4 @@ pub use conv::CirculantConv2d;
 pub use error::CircError;
 pub use fc::CirculantLinear;
 pub use lecun::LeCunFftConv2d;
-pub use matrix::{BlockCirculantMatrix, BlockSpectra};
+pub use matrix::{default_batch_threads, BlockCirculantMatrix, BlockSpectra, Workspace};

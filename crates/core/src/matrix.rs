@@ -23,8 +23,35 @@
 //! accumulators directly so composite operators — the CONV layer sums `r²`
 //! block-circulant products per output pixel (Eqn. 7) — can share a single
 //! IFFT per output block, just like the hardware shares its IFFT stage.
+//!
+//! # Batched inference engine
+//!
+//! Serving workloads present many inputs at once, and the cached weight
+//! spectra are the same for every one of them — so the batched kernels
+//! sweep the `p·q` weight-spectrum blocks **once per batch** instead of
+//! once per sample. The entry points are:
+//!
+//! * [`Workspace`] — a reusable, grow-only scratch arena. After the first
+//!   call at a given `(shape, batch)` the batched kernels perform **zero
+//!   heap allocations**; a serving loop keeps one `Workspace` per worker.
+//! * [`BlockCirculantMatrix::forward_batch_into`] /
+//!   [`BlockCirculantMatrix::matmat`] — `Y = W·X` for a row-major
+//!   `[batch, n]` input, `[batch, m]` output (Algorithm 1 over a batch).
+//! * [`BlockCirculantMatrix::backward_batch_into`] — the batched transpose
+//!   apply `Wᵀ·G` (the `∂L/∂x` half of Algorithm 2).
+//! * [`BlockCirculantMatrix::weight_gradient_batch`] — the `∂L/∂w` half,
+//!   with the **batch reduction done in the frequency domain** so the whole
+//!   batch costs `p·q` IFFTs total rather than `p·q` per sample.
+//!
+//! Internally the batch dimension is innermost (structure-of-arrays
+//! `[block][bin][batch]` planes, split re/im), which turns the hot
+//! complex-MAC loop into stride-1 FMA chains the compiler autovectorizes.
+//! With the `parallel` feature (default) the block-row/-column sweeps are
+//! split across `std::thread::scope` threads; every output element is
+//! accumulated in the same order regardless of thread count, so serial and
+//! parallel results are **bit-identical** and runs stay reproducible.
 
-use circnn_fft::{Complex, RealFftPlan};
+use circnn_fft::{BatchFftPlan, Complex, RealFftPlan};
 use circnn_nn::LinearOp;
 use circnn_tensor::Tensor;
 use rand::Rng;
@@ -85,8 +112,12 @@ impl BlockSpectra {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct BlockCirculantMatrix {
+    /// Unique per-instance identity (fresh on clone), stamped into
+    /// [`Workspace`] spectra so a cross-operator forward/backward mix-up
+    /// fails loudly instead of producing silently wrong gradients.
+    id: u64,
     m: usize,
     n: usize,
     k: usize,
@@ -99,6 +130,44 @@ pub struct BlockCirculantMatrix {
     /// Cached `FFT(w_ij)`, same block order, `bins` complex values each.
     spectra: Vec<Complex<f32>>,
     plan: RealFftPlan<f32>,
+    /// Batch-plane FFT for the batched engine (one dispatch per block for a
+    /// whole batch of samples).
+    bplan: BatchFftPlan<f32>,
+    /// Weight spectra re-laid out for the batched MAC: `[bins][p][q]`
+    /// (forward: contiguous sweep over block columns `j`).
+    wplane_re: Vec<f32>,
+    wplane_im: Vec<f32>,
+    /// Transposed planes `[bins][q][p]` for the backward sweep over block
+    /// rows.
+    wplane_t_re: Vec<f32>,
+    wplane_t_im: Vec<f32>,
+}
+
+/// Source of per-instance identities for the workspace stamps.
+static NEXT_OPERATOR_ID: core::sync::atomic::AtomicU64 = core::sync::atomic::AtomicU64::new(0);
+
+impl Clone for BlockCirculantMatrix {
+    fn clone(&self) -> Self {
+        Self {
+            // A clone can diverge from the original (e.g. `set_weights`),
+            // so it gets its own identity.
+            id: NEXT_OPERATOR_ID.fetch_add(1, core::sync::atomic::Ordering::Relaxed),
+            m: self.m,
+            n: self.n,
+            k: self.k,
+            p: self.p,
+            q: self.q,
+            bins: self.bins,
+            weights: self.weights.clone(),
+            spectra: self.spectra.clone(),
+            plan: self.plan.clone(),
+            bplan: self.bplan.clone(),
+            wplane_re: self.wplane_re.clone(),
+            wplane_im: self.wplane_im.clone(),
+            wplane_t_re: self.wplane_t_re.clone(),
+            wplane_t_im: self.wplane_t_im.clone(),
+        }
+    }
 }
 
 impl BlockCirculantMatrix {
@@ -107,7 +176,10 @@ impl BlockCirculantMatrix {
             return Err(CircError::BadBlockSize(k));
         }
         if m == 0 || n == 0 {
-            return Err(CircError::DimensionMismatch { expected: 1, got: 0 });
+            return Err(CircError::DimensionMismatch {
+                expected: 1,
+                got: 0,
+            });
         }
         Ok((m.div_ceil(k), n.div_ceil(k), k / 2 + 1))
     }
@@ -121,6 +193,7 @@ impl BlockCirculantMatrix {
     pub fn zeros(m: usize, n: usize, k: usize) -> Result<Self, CircError> {
         let (p, q, bins) = Self::validated(m, n, k)?;
         Ok(Self {
+            id: NEXT_OPERATOR_ID.fetch_add(1, core::sync::atomic::Ordering::Relaxed),
             m,
             n,
             k,
@@ -130,6 +203,11 @@ impl BlockCirculantMatrix {
             weights: vec![0.0; p * q * k],
             spectra: vec![Complex::zero(); p * q * bins],
             plan: RealFftPlan::new(k)?,
+            bplan: BatchFftPlan::new(k)?,
+            wplane_re: vec![0.0; bins * p * q],
+            wplane_im: vec![0.0; bins * p * q],
+            wplane_t_re: vec![0.0; bins * p * q],
+            wplane_t_im: vec![0.0; bins * p * q],
         })
     }
 
@@ -169,7 +247,10 @@ impl BlockCirculantMatrix {
     /// Returns [`CircError`] if `dense` is not rank-2 or `k` is invalid.
     pub fn project_from_dense(dense: &Tensor, k: usize) -> Result<Self, CircError> {
         if dense.shape().rank() != 2 {
-            return Err(CircError::DimensionMismatch { expected: 2, got: dense.shape().rank() });
+            return Err(CircError::DimensionMismatch {
+                expected: 2,
+                got: dense.shape().rank(),
+            });
         }
         let (m, n) = (dense.dims()[0], dense.dims()[1]);
         let mut out = Self::zeros(m, n, k)?;
@@ -276,8 +357,20 @@ impl BlockCirculantMatrix {
         self.refresh_spectra()
     }
 
-    /// Recomputes every cached spectrum from the time-domain weights.
-    fn refresh_spectra(&mut self) -> Result<(), CircError> {
+    /// Mutable view of the defining vectors for in-place optimizer updates.
+    ///
+    /// The cached spectra go stale after mutation; callers must follow up
+    /// with [`BlockCirculantMatrix::refresh_spectra`] before the next apply.
+    /// Crate-internal so the staleness contract stays within the layers
+    /// that manage their own dirty flags.
+    #[inline]
+    pub(crate) fn weights_mut(&mut self) -> &mut [f32] {
+        &mut self.weights
+    }
+
+    /// Recomputes every cached spectrum from the time-domain weights,
+    /// including the SoA planes the batched MAC sweeps.
+    pub(crate) fn refresh_spectra(&mut self) -> Result<(), CircError> {
         let mut scratch = vec![Complex::zero(); self.k / 2];
         for b in 0..self.p * self.q {
             self.plan.forward_with_scratch(
@@ -285,6 +378,18 @@ impl BlockCirculantMatrix {
                 &mut self.spectra[b * self.bins..(b + 1) * self.bins],
                 &mut scratch,
             )?;
+        }
+        let (p, q, bins) = (self.p, self.q, self.bins);
+        for i in 0..p {
+            for j in 0..q {
+                let spec = &self.spectra[(i * q + j) * bins..(i * q + j + 1) * bins];
+                for (bin, w) in spec.iter().enumerate() {
+                    self.wplane_re[(bin * p + i) * q + j] = w.re;
+                    self.wplane_im[(bin * p + i) * q + j] = w.im;
+                    self.wplane_t_re[(bin * q + j) * p + i] = w.re;
+                    self.wplane_t_im[(bin * q + j) * p + i] = w.im;
+                }
+            }
         }
         Ok(())
     }
@@ -294,9 +399,17 @@ impl BlockCirculantMatrix {
         &self.spectra[b * self.bins..(b + 1) * self.bins]
     }
 
-    fn block_spectra_of(&self, v: &[f32], logical: usize, count: usize) -> Result<BlockSpectra, CircError> {
+    fn block_spectra_of(
+        &self,
+        v: &[f32],
+        logical: usize,
+        count: usize,
+    ) -> Result<BlockSpectra, CircError> {
         if v.len() != logical {
-            return Err(CircError::DimensionMismatch { expected: logical, got: v.len() });
+            return Err(CircError::DimensionMismatch {
+                expected: logical,
+                got: v.len(),
+            });
         }
         let mut pad = vec![0.0f32; count * self.k];
         pad[..logical].copy_from_slice(v);
@@ -309,7 +422,11 @@ impl BlockCirculantMatrix {
                 &mut scratch,
             )?;
         }
-        Ok(BlockSpectra { bins: self.bins, count, data })
+        Ok(BlockSpectra {
+            bins: self.bins,
+            count,
+            data,
+        })
     }
 
     /// Spectra of an input-side vector (`n` logical values, `q` blocks).
@@ -473,7 +590,8 @@ impl BlockCirculantMatrix {
                 for b in 0..self.bins {
                     prod[b] = w[b].conj() * xb[b];
                 }
-                self.plan.inverse_with_scratch(&prod, &mut block_out, &mut scratch)?;
+                self.plan
+                    .inverse_with_scratch(&prod, &mut block_out, &mut scratch)?;
                 for (slot, &v) in y[i * self.k..(i + 1) * self.k].iter_mut().zip(&block_out) {
                     *slot += v;
                 }
@@ -531,7 +649,8 @@ impl BlockCirculantMatrix {
                 for b in 0..self.bins {
                     prod[b] = gb[b].conj() * xb[b];
                 }
-                self.plan.inverse_with_scratch(&prod, &mut block, &mut scratch)?;
+                self.plan
+                    .inverse_with_scratch(&prod, &mut block, &mut scratch)?;
                 let base = (i * self.q + j) * self.k;
                 for (slot, &v) in accum[base..base + self.k].iter_mut().zip(&block) {
                     *slot += v;
@@ -583,6 +702,766 @@ impl BlockCirculantMatrix {
     }
 }
 
+/// Reusable scratch arena for the batched kernels.
+///
+/// All buffers are grow-only: the first call at a given `(shape, batch)`
+/// sizes them, and every later call at the same or smaller size performs
+/// **zero heap allocations**. For pure inference one `Workspace` can serve
+/// any number of operators (buffers are re-sliced per call); a serving loop
+/// keeps one per worker thread. For training, the forward/backward spectra
+/// it retains belong to one operator's in-flight batch — interleaving a
+/// second operator between a forward and its
+/// [`BlockCirculantMatrix::weight_gradient_batch`] overwrites them, and the
+/// stamp check makes that an error rather than a wrong gradient.
+///
+/// The forward pass leaves the batch input spectra in the arena and the
+/// backward pass leaves the output-gradient spectra, which is what lets
+/// [`BlockCirculantMatrix::weight_gradient_batch`] reduce the whole batch
+/// in the frequency domain without re-running any FFTs — the batched analogue
+/// of Algorithm 2's reuse of `FFT(x_j)`.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    /// Input spectra planes `[q][bins][batch]`, split re/im (SoA).
+    xs_re: Vec<f32>,
+    xs_im: Vec<f32>,
+    /// Output-gradient spectra planes `[p][bins][batch]`.
+    gs_re: Vec<f32>,
+    gs_im: Vec<f32>,
+    /// Frequency-domain accumulators `[blocks][bins][batch]`.
+    acc_re: Vec<f32>,
+    acc_im: Vec<f32>,
+    /// Time-domain staging `[blocks][k][batch]` before the final transpose.
+    stage: Vec<f32>,
+    /// Per-thread `[k][batch]` plane scratch for the batch FFT stages.
+    pr: Vec<f32>,
+    pi: Vec<f32>,
+    /// Per-thread scalar-FFT scratch (weight-gradient IFFTs).
+    spec: Vec<Complex<f32>>,
+    fft: Vec<Complex<f32>>,
+    time: Vec<f32>,
+    /// `(operator id, batch)` of the spectra currently held in `xs_*` /
+    /// `gs_*`.
+    fwd_stamp: Option<(u64, usize)>,
+    bwd_stamp: Option<(u64, usize)>,
+}
+
+impl Workspace {
+    /// An empty arena; buffers are sized lazily by the first batched call.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare_common(&mut self, mat: &BlockCirculantMatrix, batch: usize, threads: usize) {
+        let blocks = mat.p.max(mat.q);
+        let acc = blocks * mat.bins * batch;
+        if self.acc_re.len() < acc {
+            self.acc_re.resize(acc, 0.0);
+            self.acc_im.resize(acc, 0.0);
+        }
+        let stage = blocks * mat.k * batch;
+        if self.stage.len() < stage {
+            self.stage.resize(stage, 0.0);
+        }
+        if self.pr.len() < threads * mat.k * batch {
+            self.pr.resize(threads * mat.k * batch, 0.0);
+            self.pi.resize(threads * mat.k * batch, 0.0);
+        }
+        if self.time.len() < threads * mat.k {
+            self.time.resize(threads * mat.k, 0.0);
+        }
+        if self.spec.len() < threads * mat.bins {
+            self.spec.resize(threads * mat.bins, Complex::zero());
+        }
+        let scr = threads * (mat.k / 2).max(1);
+        if self.fft.len() < scr {
+            self.fft.resize(scr, Complex::zero());
+        }
+    }
+
+    fn prepare_forward(&mut self, mat: &BlockCirculantMatrix, batch: usize, threads: usize) {
+        self.prepare_common(mat, batch, threads);
+        let xs = mat.q * mat.bins * batch;
+        if self.xs_re.len() < xs {
+            self.xs_re.resize(xs, 0.0);
+            self.xs_im.resize(xs, 0.0);
+        }
+    }
+
+    fn prepare_backward(&mut self, mat: &BlockCirculantMatrix, batch: usize, threads: usize) {
+        self.prepare_common(mat, batch, threads);
+        let gs = mat.p * mat.bins * batch;
+        if self.gs_re.len() < gs {
+            self.gs_re.resize(gs, 0.0);
+            self.gs_im.resize(gs, 0.0);
+        }
+    }
+}
+
+/// Which half of Algorithm 1/2 a batched apply runs.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Dir {
+    /// `Y = W·X` (Algorithm 1).
+    Forward,
+    /// `X̃ = Wᵀ·G` (the `∂L/∂x` half of Algorithm 2).
+    Backward,
+}
+
+/// Number of worker threads the batched kernels use by default.
+///
+/// With the `parallel` feature (default) this is the machine's available
+/// parallelism; without it the kernels run on the calling thread. Thread
+/// count never changes results: every output element is accumulated in the
+/// same order, so serial and parallel runs are bit-identical.
+pub fn default_batch_threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+impl BlockCirculantMatrix {
+    /// `W·X` for a row-major `[batch, n]` input, allocating the output.
+    ///
+    /// Convenience wrapper over
+    /// [`BlockCirculantMatrix::forward_batch_into`]; the output `Vec` is the
+    /// only allocation once `ws` is warm.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] if `x.len() != batch * n`
+    /// or `batch == 0`.
+    pub fn matmat(
+        &self,
+        x: &[f32],
+        batch: usize,
+        ws: &mut Workspace,
+    ) -> Result<Vec<f32>, CircError> {
+        let mut out = vec![0.0f32; batch * self.m];
+        self.forward_batch_into(x, batch, ws, &mut out)?;
+        Ok(out)
+    }
+
+    /// `W·X` into a caller-provided `[batch, m]` buffer — the zero-allocation
+    /// serving path (Algorithm 1 with one weight-spectrum sweep per batch).
+    ///
+    /// The batch input spectra stay in `ws` for reuse by
+    /// [`BlockCirculantMatrix::weight_gradient_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] on mis-sized buffers or a
+    /// zero batch.
+    pub fn forward_batch_into(
+        &self,
+        x: &[f32],
+        batch: usize,
+        ws: &mut Workspace,
+        out: &mut [f32],
+    ) -> Result<(), CircError> {
+        self.apply_batch(Dir::Forward, x, batch, ws, out, default_batch_threads())
+    }
+
+    /// [`BlockCirculantMatrix::forward_batch_into`] with an explicit worker
+    /// thread count (mainly for tests and tuning; results are identical for
+    /// every `threads` value).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BlockCirculantMatrix::forward_batch_into`].
+    pub fn forward_batch_into_with_threads(
+        &self,
+        x: &[f32],
+        batch: usize,
+        ws: &mut Workspace,
+        out: &mut [f32],
+        threads: usize,
+    ) -> Result<(), CircError> {
+        self.apply_batch(Dir::Forward, x, batch, ws, out, threads)
+    }
+
+    /// `Wᵀ·G` for a row-major `[batch, m]` gradient, into a `[batch, n]`
+    /// buffer. The gradient spectra stay in `ws` for
+    /// [`BlockCirculantMatrix::weight_gradient_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] on mis-sized buffers or a
+    /// zero batch.
+    pub fn backward_batch_into(
+        &self,
+        g: &[f32],
+        batch: usize,
+        ws: &mut Workspace,
+        out: &mut [f32],
+    ) -> Result<(), CircError> {
+        self.apply_batch(Dir::Backward, g, batch, ws, out, default_batch_threads())
+    }
+
+    /// [`BlockCirculantMatrix::backward_batch_into`] with an explicit worker
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BlockCirculantMatrix::backward_batch_into`].
+    pub fn backward_batch_into_with_threads(
+        &self,
+        g: &[f32],
+        batch: usize,
+        ws: &mut Workspace,
+        out: &mut [f32],
+        threads: usize,
+    ) -> Result<(), CircError> {
+        self.apply_batch(Dir::Backward, g, batch, ws, out, threads)
+    }
+
+    /// Batched Algorithm-2 weight gradient,
+    /// `∂L/∂w_ij += IFFT(Σ_b conj(G_i^b) ∘ X_j^b)`, accumulated into `accum`
+    /// (laid out like [`BlockCirculantMatrix::weights`]).
+    ///
+    /// The batch reduction happens **in the frequency domain**, so the whole
+    /// batch costs `p·q` IFFTs total instead of `p·q` per sample. Requires
+    /// the spectra left in `ws` by a matching
+    /// [`BlockCirculantMatrix::forward_batch_into`] /
+    /// [`BlockCirculantMatrix::backward_batch_into`] pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::BadWeightLength`] if `accum` is mis-sized, or
+    /// [`CircError::DimensionMismatch`] if `ws` does not hold matching
+    /// forward and backward spectra for this operator.
+    pub fn weight_gradient_batch(
+        &self,
+        ws: &mut Workspace,
+        accum: &mut [f32],
+    ) -> Result<(), CircError> {
+        self.weight_gradient_batch_with_threads(ws, accum, default_batch_threads())
+    }
+
+    /// [`BlockCirculantMatrix::weight_gradient_batch`] with an explicit
+    /// worker thread count.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BlockCirculantMatrix::weight_gradient_batch`].
+    pub fn weight_gradient_batch_with_threads(
+        &self,
+        ws: &mut Workspace,
+        accum: &mut [f32],
+        threads: usize,
+    ) -> Result<(), CircError> {
+        if accum.len() != self.weights.len() {
+            return Err(CircError::BadWeightLength {
+                expected: self.weights.len(),
+                got: accum.len(),
+            });
+        }
+        // Both spectra sets must come from *this* operator (clones count as
+        // different operators) and the same batch — otherwise the reduction
+        // would silently pair unrelated X and G planes.
+        let stamp = ws.fwd_stamp;
+        if stamp.is_none() || stamp != ws.bwd_stamp {
+            return Err(CircError::StaleBatchSpectra);
+        }
+        let (sid, batch) = stamp.expect("stamp checked above");
+        if sid != self.id {
+            return Err(CircError::StaleBatchSpectra);
+        }
+        let threads = threads.max(1).min(self.p);
+        ws.prepare_backward(self, batch, threads);
+        let (k, q, bins) = (self.k, self.q, self.bins);
+        let Workspace {
+            xs_re,
+            xs_im,
+            gs_re,
+            gs_im,
+            spec,
+            fft,
+            time,
+            ..
+        } = ws;
+        let xs_re = &xs_re[..q * bins * batch];
+        let xs_im = &xs_im[..q * bins * batch];
+        let gs_re = &gs_re[..self.p * bins * batch];
+        let gs_im = &gs_im[..self.p * bins * batch];
+        let chunk_blocks = self.p.div_ceil(threads);
+        if threads == 1 {
+            self.weight_grad_chunk(
+                batch,
+                0,
+                self.p,
+                xs_re,
+                xs_im,
+                gs_re,
+                gs_im,
+                accum,
+                &mut spec[..bins],
+                &mut fft[..(k / 2).max(1)],
+                &mut time[..k],
+            );
+        } else {
+            let cw = chunk_blocks * q * k;
+            std::thread::scope(|s| {
+                for ((((ci, acc_chunk), spec_c), fft_c), time_c) in accum
+                    .chunks_mut(cw)
+                    .enumerate()
+                    .zip(spec.chunks_mut(bins))
+                    .zip(fft.chunks_mut((k / 2).max(1)))
+                    .zip(time.chunks_mut(k))
+                {
+                    let i0 = ci * chunk_blocks;
+                    let icount = acc_chunk.len() / (q * k);
+                    s.spawn(move || {
+                        self.weight_grad_chunk(
+                            batch, i0, icount, xs_re, xs_im, gs_re, gs_im, acc_chunk, spec_c,
+                            fft_c, time_c,
+                        );
+                    });
+                }
+            });
+        }
+        Ok(())
+    }
+
+    /// Shared driver for the batched forward/transpose apply.
+    fn apply_batch(
+        &self,
+        dir: Dir,
+        src: &[f32],
+        batch: usize,
+        ws: &mut Workspace,
+        out: &mut [f32],
+        threads: usize,
+    ) -> Result<(), CircError> {
+        let (in_logical, in_blocks, out_logical, out_blocks) = match dir {
+            Dir::Forward => (self.n, self.q, self.m, self.p),
+            Dir::Backward => (self.m, self.p, self.n, self.q),
+        };
+        if batch == 0 {
+            return Err(CircError::DimensionMismatch {
+                expected: 1,
+                got: 0,
+            });
+        }
+        if src.len() != batch * in_logical {
+            return Err(CircError::DimensionMismatch {
+                expected: batch * in_logical,
+                got: src.len(),
+            });
+        }
+        if out.len() != batch * out_logical {
+            return Err(CircError::DimensionMismatch {
+                expected: batch * out_logical,
+                got: out.len(),
+            });
+        }
+        let threads = threads.max(1);
+        match dir {
+            Dir::Forward => {
+                ws.prepare_forward(self, batch, threads);
+                ws.fwd_stamp = Some((self.id, batch));
+            }
+            Dir::Backward => {
+                ws.prepare_backward(self, batch, threads);
+                ws.bwd_stamp = Some((self.id, batch));
+            }
+        }
+        let (k, bins) = (self.k, self.bins);
+        let Workspace {
+            xs_re,
+            xs_im,
+            gs_re,
+            gs_im,
+            acc_re,
+            acc_im,
+            stage,
+            pr,
+            pi,
+            ..
+        } = ws;
+        let in_len = in_blocks * bins * batch;
+        let (in_re, in_im) = match dir {
+            Dir::Forward => (&mut xs_re[..in_len], &mut xs_im[..in_len]),
+            Dir::Backward => (&mut gs_re[..in_len], &mut gs_im[..in_len]),
+        };
+        // Stage A: one batch-plane FFT per input block (all samples at
+        // once), parallel over input blocks.
+        let t_a = threads.min(in_blocks);
+        {
+            // Block-major FFT output lands in the accumulator planes (free
+            // at this point), bin-major re-layout follows below.
+            let tmp_re = &mut acc_re[..in_blocks * bins * batch];
+            let tmp_im = &mut acc_im[..in_blocks * bins * batch];
+            if t_a == 1 {
+                self.fft_columns_chunk(
+                    src,
+                    batch,
+                    in_logical,
+                    0,
+                    in_blocks,
+                    tmp_re,
+                    tmp_im,
+                    &mut pr[..k * batch],
+                    &mut pi[..k * batch],
+                );
+            } else {
+                let cb = in_blocks.div_ceil(t_a);
+                let cw = cb * bins * batch;
+                std::thread::scope(|s| {
+                    for ((((ci, re_c), im_c), pr_c), pi_c) in tmp_re
+                        .chunks_mut(cw)
+                        .enumerate()
+                        .zip(tmp_im.chunks_mut(cw))
+                        .zip(pr.chunks_mut(k * batch))
+                        .zip(pi.chunks_mut(k * batch))
+                    {
+                        let j0 = ci * cb;
+                        let jcount = re_c.len() / (bins * batch);
+                        s.spawn(move || {
+                            self.fft_columns_chunk(
+                                src, batch, in_logical, j0, jcount, re_c, im_c, pr_c, pi_c,
+                            );
+                        });
+                    }
+                });
+            }
+        }
+        // Re-layout the spectra bin-major (`[bin][block][batch]`) so the
+        // MAC's innermost block sweep reads contiguously.
+        let a_tmp_len = in_blocks * bins * batch;
+        {
+            let tmp_re = &acc_re[..a_tmp_len];
+            let tmp_im = &acc_im[..a_tmp_len];
+            for j in 0..in_blocks {
+                for bin in 0..bins {
+                    let src = (j * bins + bin) * batch;
+                    let dst = (bin * in_blocks + j) * batch;
+                    in_re[dst..dst + batch].copy_from_slice(&tmp_re[src..src + batch]);
+                    in_im[dst..dst + batch].copy_from_slice(&tmp_im[src..src + batch]);
+                }
+            }
+        }
+        let in_re = &in_re[..];
+        let in_im = &in_im[..];
+        // Stage B: the frequency-domain MAC — one sweep over the cached
+        // weight spectra for the whole batch, parallel over output blocks.
+        let acc_len = out_blocks * bins * batch;
+        let acc_re = &mut acc_re[..acc_len];
+        let acc_im = &mut acc_im[..acc_len];
+        let t_b = threads.min(out_blocks);
+        if t_b == 1 {
+            self.mac_chunk(dir, batch, 0, out_blocks, in_re, in_im, acc_re, acc_im);
+        } else {
+            let cb = out_blocks.div_ceil(t_b);
+            let cw = cb * bins * batch;
+            std::thread::scope(|s| {
+                for ((ci, re_c), im_c) in
+                    acc_re.chunks_mut(cw).enumerate().zip(acc_im.chunks_mut(cw))
+                {
+                    let i0 = ci * cb;
+                    let icount = re_c.len() / (bins * batch);
+                    s.spawn(move || {
+                        self.mac_chunk(dir, batch, i0, icount, in_re, in_im, re_c, im_c);
+                    });
+                }
+            });
+        }
+        let acc_re = &acc_re[..];
+        let acc_im = &acc_im[..];
+        // Stage C: one inverse FFT per (output block, sample), parallel over
+        // output blocks, into the time-domain staging planes.
+        let stage_len = out_blocks * k * batch;
+        let stage = &mut stage[..stage_len];
+        let t_c = threads.min(out_blocks);
+        if t_c == 1 {
+            self.ifft_chunk(
+                batch,
+                0,
+                out_blocks,
+                acc_re,
+                acc_im,
+                stage,
+                &mut pi[..k * batch],
+            );
+        } else {
+            let cb = out_blocks.div_ceil(t_c);
+            let cw = cb * k * batch;
+            std::thread::scope(|s| {
+                for ((ci, stage_c), pi_c) in stage
+                    .chunks_mut(cw)
+                    .enumerate()
+                    .zip(pi.chunks_mut(k * batch))
+                {
+                    let i0 = ci * cb;
+                    let icount = stage_c.len() / (k * batch);
+                    s.spawn(move || {
+                        self.ifft_chunk(batch, i0, icount, acc_re, acc_im, stage_c, pi_c);
+                    });
+                }
+            });
+        }
+        // Stage D: transpose the `[block][k][batch]` staging planes into the
+        // row-major `[batch, out_logical]` output, dropping ragged padding.
+        // Sample-outer order keeps the writes contiguous (one output row per
+        // sample); the strided reads prefetch well.
+        for (b, orow) in out.chunks_exact_mut(out_logical).enumerate() {
+            for i in 0..out_blocks {
+                let rows = k.min(out_logical - i * k);
+                let base = i * k * batch + b;
+                for t in 0..rows {
+                    orow[i * k + t] = stage[base + t * batch];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Stage-A worker: one batch-plane FFT per block column — every
+    /// sample's length-`k` block transforms in the same pass, then the
+    /// unique `bins` spectrum rows land in the SoA planes.
+    #[allow(clippy::too_many_arguments)]
+    fn fft_columns_chunk(
+        &self,
+        src: &[f32],
+        batch: usize,
+        logical: usize,
+        j0: usize,
+        jcount: usize,
+        re: &mut [f32],
+        im: &mut [f32],
+        pr: &mut [f32],
+        pi: &mut [f32],
+    ) {
+        let (k, bins) = (self.k, self.bins);
+        for jl in 0..jcount {
+            let start = (j0 + jl) * k;
+            let len = k.min(logical.saturating_sub(start));
+            // Gather-transpose the block into [k][batch] planes (zero-padded
+            // ragged tail), imaginary plane zero. Sample-outer order keeps
+            // the source reads contiguous; the strided writes stay inside
+            // the L1-resident planes.
+            if len < k {
+                pr[len * batch..k * batch].fill(0.0);
+            }
+            for b in 0..batch {
+                let srow = &src[b * logical + start..b * logical + start + len];
+                for (t, &v) in srow.iter().enumerate() {
+                    pr[t * batch + b] = v;
+                }
+            }
+            pi[..k * batch].fill(0.0);
+            self.bplan
+                .forward_planes(&mut pr[..k * batch], &mut pi[..k * batch], batch)
+                .expect("plane buffers are sized before dispatch");
+            let off = jl * bins * batch;
+            re[off..off + bins * batch].copy_from_slice(&pr[..bins * batch]);
+            im[off..off + bins * batch].copy_from_slice(&pi[..bins * batch]);
+        }
+    }
+
+    /// Stage-B worker: the batched frequency-domain MAC for `icount` output
+    /// blocks, as a GEMM-style register-tiled kernel. For each `(output
+    /// block, bin)` the accumulator tile lives in registers across the whole
+    /// summed-block sweep; both the weight-spectrum row (SoA `[bin][i][j]`
+    /// planes) and the input-spectrum row (`[bin][block][batch]` planes)
+    /// stream contiguously. Every output element still accumulates its
+    /// terms in increasing block order, so results are bit-stable across
+    /// batch sizes, tilings and thread counts.
+    #[allow(clippy::too_many_arguments)]
+    fn mac_chunk(
+        &self,
+        dir: Dir,
+        batch: usize,
+        i0: usize,
+        icount: usize,
+        in_re: &[f32],
+        in_im: &[f32],
+        acc_re: &mut [f32],
+        acc_im: &mut [f32],
+    ) {
+        match dir {
+            Dir::Forward => {
+                self.mac_chunk_impl::<true>(batch, i0, icount, in_re, in_im, acc_re, acc_im)
+            }
+            Dir::Backward => {
+                self.mac_chunk_impl::<false>(batch, i0, icount, in_re, in_im, acc_re, acc_im)
+            }
+        }
+    }
+
+    /// Monomorphized MAC kernel; `FWD` selects `conj(w)·x` (Algorithm 1)
+    /// versus `w·g` (transpose apply). Output blocks are tiled (`TI`) so an
+    /// input-spectrum row loaded from cache feeds several output
+    /// accumulator tiles, cutting input-plane traffic by the tile factor.
+    #[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+    fn mac_chunk_impl<const FWD: bool>(
+        &self,
+        batch: usize,
+        i0: usize,
+        icount: usize,
+        in_re: &[f32],
+        in_im: &[f32],
+        acc_re: &mut [f32],
+        acc_im: &mut [f32],
+    ) {
+        const LANES: usize = 16;
+        const TI: usize = 4;
+        let bins = self.bins;
+        let (sum_blocks, out_blocks_total) = if FWD {
+            (self.q, self.p)
+        } else {
+            (self.p, self.q)
+        };
+        let (wre, wim) = if FWD {
+            (&self.wplane_re, &self.wplane_im)
+        } else {
+            (&self.wplane_t_re, &self.wplane_t_im)
+        };
+        for bin in 0..bins {
+            // Spectra of real signals are real at DC and (for k ≥ 2) the
+            // Nyquist bin, so those bins need one real multiply per term
+            // instead of a full complex one.
+            let real_bin = bin == 0 || (self.k >= 2 && bin == bins - 1);
+            let xrow = bin * sum_blocks * batch;
+            let mut it = 0;
+            while it < icount {
+                let tl = TI.min(icount - it);
+                let mut b0 = 0;
+                while b0 < batch {
+                    let l = LANES.min(batch - b0);
+                    let mut tr = [[0.0f32; LANES]; TI];
+                    let mut ti_ = [[0.0f32; LANES]; TI];
+                    for j in 0..sum_blocks {
+                        let xo = xrow + j * batch + b0;
+                        let xr = &in_re[xo..xo + l];
+                        let xi = &in_im[xo..xo + l];
+                        for u in 0..tl {
+                            let i = i0 + it + u;
+                            let widx = (bin * out_blocks_total + i) * sum_blocks + j;
+                            let (wr, wi) = (wre[widx], wim[widx]);
+                            let (ar, ai) = (&mut tr[u], &mut ti_[u]);
+                            if real_bin {
+                                for t in 0..l {
+                                    ar[t] += wr * xr[t];
+                                }
+                            } else if FWD {
+                                // conj(w)·x, the Algorithm-1 product.
+                                for t in 0..l {
+                                    ar[t] += wr * xr[t] + wi * xi[t];
+                                    ai[t] += wr * xi[t] - wi * xr[t];
+                                }
+                            } else {
+                                // w·g, the transpose-apply product.
+                                for t in 0..l {
+                                    ar[t] += wr * xr[t] - wi * xi[t];
+                                    ai[t] += wr * xi[t] + wi * xr[t];
+                                }
+                            }
+                        }
+                    }
+                    for u in 0..tl {
+                        let ao = ((it + u) * bins + bin) * batch + b0;
+                        acc_re[ao..ao + l].copy_from_slice(&tr[u][..l]);
+                        acc_im[ao..ao + l].copy_from_slice(&ti_[u][..l]);
+                    }
+                    b0 += l;
+                }
+                it += tl;
+            }
+        }
+    }
+
+    /// Stage-C worker: one batch-plane inverse FFT per output block. The
+    /// full spectrum is rebuilt from the unique `bins` rows via Hermitian
+    /// symmetry (`X[k−r] = conj(X[r])` — real outputs) directly in the
+    /// staging block, which the in-place inverse then turns into the
+    /// time-domain result (its real plane).
+    #[allow(clippy::too_many_arguments)]
+    fn ifft_chunk(
+        &self,
+        batch: usize,
+        i0: usize,
+        icount: usize,
+        acc_re: &[f32],
+        acc_im: &[f32],
+        stage: &mut [f32],
+        pi: &mut [f32],
+    ) {
+        let (k, bins) = (self.k, self.bins);
+        for il in 0..icount {
+            let i = i0 + il;
+            let off = i * bins * batch;
+            let sblock = &mut stage[il * k * batch..(il + 1) * k * batch];
+            sblock[..bins * batch].copy_from_slice(&acc_re[off..off + bins * batch]);
+            pi[..bins * batch].copy_from_slice(&acc_im[off..off + bins * batch]);
+            for r in bins..k {
+                let mirror = k - r;
+                let (dst_r, src_r) = (r * batch, mirror * batch);
+                for b in 0..batch {
+                    sblock[dst_r + b] = acc_re[off + src_r + b];
+                    pi[dst_r + b] = -acc_im[off + src_r + b];
+                }
+            }
+            self.bplan
+                .inverse_planes(sblock, &mut pi[..k * batch], batch)
+                .expect("plane buffers are sized before dispatch");
+        }
+    }
+
+    /// Worker for the batched weight gradient: frequency-domain batch
+    /// reduction, then one IFFT per block.
+    #[allow(clippy::too_many_arguments)]
+    fn weight_grad_chunk(
+        &self,
+        batch: usize,
+        i0: usize,
+        icount: usize,
+        xs_re: &[f32],
+        xs_im: &[f32],
+        gs_re: &[f32],
+        gs_im: &[f32],
+        accum: &mut [f32],
+        spec: &mut [Complex<f32>],
+        fft: &mut [Complex<f32>],
+        time: &mut [f32],
+    ) {
+        let (k, q) = (self.k, self.q);
+        let fft = &mut fft[..k / 2];
+        for il in 0..icount {
+            let i = i0 + il;
+            for j in 0..q {
+                for (bin, s) in spec.iter_mut().enumerate() {
+                    // Spectra planes are bin-major: `[bin][block][batch]`.
+                    let go = (bin * self.p + i) * batch;
+                    let xo = (bin * q + j) * batch;
+                    let gr = &gs_re[go..go + batch];
+                    let gi = &gs_im[go..go + batch];
+                    let xr = &xs_re[xo..xo + batch];
+                    let xi = &xs_im[xo..xo + batch];
+                    let (mut sr, mut si) = (0.0f32, 0.0f32);
+                    // conj(G)·X reduced over the batch — the frequency-domain
+                    // linearity that buys one IFFT per block per *batch*.
+                    for (((&a, &c), &r), &i2) in gr.iter().zip(gi).zip(xr).zip(xi) {
+                        sr += a * r + c * i2;
+                        si += a * i2 - c * r;
+                    }
+                    *s = Complex::new(sr, si);
+                }
+                self.plan
+                    .inverse_with_scratch(spec, time, fft)
+                    .expect("scratch buffers are sized before dispatch");
+                let base = (il * q + j) * k;
+                for (t, &v) in time.iter().enumerate() {
+                    accum[base + t] += v;
+                }
+            }
+        }
+    }
+}
+
 impl LinearOp for BlockCirculantMatrix {
     fn out_dim(&self) -> usize {
         self.m
@@ -597,21 +1476,25 @@ impl LinearOp for BlockCirculantMatrix {
     }
 
     fn rmatvec(&self, y: &[f32]) -> Vec<f32> {
-        self.matvec_t(y).expect("dimension mismatch in LinearOp::rmatvec")
+        self.matvec_t(y)
+            .expect("dimension mismatch in LinearOp::rmatvec")
     }
 
     fn outer_update(&mut self, h: &[f32], v: &[f32], scale: f32) {
         // Project the rank-1 update h·vᵀ onto the block-circulant subspace:
         // per block, Δw_ij = scale·corr(h_i, v_j) — the same kernel as the
         // Algorithm-2 weight gradient.
-        let xs = self.col_spectra(v).expect("dimension mismatch in outer_update (v)");
+        let xs = self
+            .col_spectra(v)
+            .expect("dimension mismatch in outer_update (v)");
         let mut delta = vec![0.0f32; self.weights.len()];
         self.weight_gradient(h, &xs, &mut delta)
             .expect("dimension mismatch in outer_update (h)");
         for (w, d) in self.weights.iter_mut().zip(&delta) {
             *w += scale * d;
         }
-        self.refresh_spectra().expect("spectra refresh cannot fail after construction");
+        self.refresh_spectra()
+            .expect("spectra refresh cannot fail after construction");
     }
 
     fn param_count(&self) -> usize {
@@ -628,7 +1511,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0) * 0.6
             })
             .collect()
@@ -696,8 +1581,18 @@ mod tests {
         let w = random_bcm(14, 22, 8, 13);
         let x = seeded(22, 1);
         let y = seeded(14, 2);
-        let lhs: f32 = w.matvec(&x).unwrap().iter().zip(&y).map(|(a, b)| a * b).sum();
-        let rhs: f32 = x.iter().zip(&w.matvec_t(&y).unwrap()).map(|(a, b)| a * b).sum();
+        let lhs: f32 = w
+            .matvec(&x)
+            .unwrap()
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .iter()
+            .zip(&w.matvec_t(&y).unwrap())
+            .map(|(a, b)| a * b)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3);
     }
 
@@ -718,8 +1613,20 @@ mod tests {
             let plus = BlockCirculantMatrix::from_weights(m, n, k, &wp).unwrap();
             wp[idx] -= 2.0 * eps;
             let minus = BlockCirculantMatrix::from_weights(m, n, k, &wp).unwrap();
-            let lp: f32 = plus.matvec(&x).unwrap().iter().zip(&g).map(|(a, b)| a * b).sum();
-            let lm: f32 = minus.matvec(&x).unwrap().iter().zip(&g).map(|(a, b)| a * b).sum();
+            let lp: f32 = plus
+                .matvec(&x)
+                .unwrap()
+                .iter()
+                .zip(&g)
+                .map(|(a, b)| a * b)
+                .sum();
+            let lm: f32 = minus
+                .matvec(&x)
+                .unwrap()
+                .iter()
+                .zip(&g)
+                .map(|(a, b)| a * b)
+                .sum();
             let numeric = (lp - lm) / (2.0 * eps);
             assert!(
                 (analytic[idx] - numeric).abs() < 1e-2 * numeric.abs().max(1.0),
@@ -832,6 +1739,147 @@ mod tests {
         assert!(w.matvec(&vec![0.0; 7]).is_err());
         assert!(w.matvec_t(&vec![0.0; 9]).is_err());
         assert!(BlockCirculantMatrix::from_weights(8, 8, 4, &[0.0; 5]).is_err());
+    }
+
+    /// |a − b| within a mixed absolute/relative tolerance (the batched
+    /// engine uses a different — equally valid — FFT factorization than the
+    /// scalar path, so agreement is to rounding, not bitwise).
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 5e-4 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn batched_forward_matches_single_sample() {
+        for (m, n, k, batch) in [(8, 8, 4, 1), (16, 32, 8, 5), (10, 7, 4, 3), (17, 9, 16, 4)] {
+            let w = random_bcm(m, n, k, (m * 31 + n * 7 + k + batch) as u64);
+            let x: Vec<f32> = seeded(batch * n, 77);
+            let mut ws = Workspace::new();
+            let y = w.matmat(&x, batch, &mut ws).unwrap();
+            assert_eq!(y.len(), batch * m);
+            for b in 0..batch {
+                let single = w.matvec(&x[b * n..(b + 1) * n]).unwrap();
+                for (i, (&a, &e)) in y[b * m..(b + 1) * m].iter().zip(&single).enumerate() {
+                    assert!(close(a, e), "({m},{n},{k}) sample {b} row {i}: {a} vs {e}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_batch_matches_serial_bitwise() {
+        let (m, n, k, batch) = (24, 40, 8, 7);
+        let w = random_bcm(m, n, k, 123);
+        let x = seeded(batch * n, 9);
+        let g = seeded(batch * m, 10);
+        let mut ws1 = Workspace::new();
+        let mut ws4 = Workspace::new();
+        let mut y1 = vec![0.0f32; batch * m];
+        let mut y4 = vec![0.0f32; batch * m];
+        w.forward_batch_into_with_threads(&x, batch, &mut ws1, &mut y1, 1)
+            .unwrap();
+        w.forward_batch_into_with_threads(&x, batch, &mut ws4, &mut y4, 4)
+            .unwrap();
+        assert_eq!(y1, y4, "forward: threaded result must be bit-identical");
+        let mut gx1 = vec![0.0f32; batch * n];
+        let mut gx4 = vec![0.0f32; batch * n];
+        w.backward_batch_into_with_threads(&g, batch, &mut ws1, &mut gx1, 1)
+            .unwrap();
+        w.backward_batch_into_with_threads(&g, batch, &mut ws4, &mut gx4, 3)
+            .unwrap();
+        assert_eq!(gx1, gx4, "backward: threaded result must be bit-identical");
+        let mut wg1 = vec![0.0f32; w.num_parameters()];
+        let mut wg4 = vec![0.0f32; w.num_parameters()];
+        w.weight_gradient_batch_with_threads(&mut ws1, &mut wg1, 1)
+            .unwrap();
+        w.weight_gradient_batch_with_threads(&mut ws4, &mut wg4, 5)
+            .unwrap();
+        assert_eq!(
+            wg1, wg4,
+            "weight grad: threaded result must be bit-identical"
+        );
+    }
+
+    #[test]
+    fn batched_backward_matches_single_sample() {
+        let (m, n, k, batch) = (12, 20, 4, 6);
+        let w = random_bcm(m, n, k, 55);
+        let g = seeded(batch * m, 3);
+        let mut ws = Workspace::new();
+        let mut gx = vec![0.0f32; batch * n];
+        w.backward_batch_into(&g, batch, &mut ws, &mut gx).unwrap();
+        for b in 0..batch {
+            let single = w.matvec_t(&g[b * m..(b + 1) * m]).unwrap();
+            for (i, (&a, &e)) in gx[b * n..(b + 1) * n].iter().zip(&single).enumerate() {
+                assert!(close(a, e), "sample {b} col {i}: {a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_weight_gradient_matches_per_sample_accumulation() {
+        let (m, n, k, batch) = (10, 14, 4, 5);
+        let w = random_bcm(m, n, k, 66);
+        let x = seeded(batch * n, 4);
+        let g = seeded(batch * m, 5);
+        // Per-sample reference via the existing Algorithm-2 kernel.
+        let mut expect = vec![0.0f32; w.num_parameters()];
+        for b in 0..batch {
+            let (_, xs) = w.forward_cached(&x[b * n..(b + 1) * n]).unwrap();
+            w.weight_gradient(&g[b * m..(b + 1) * m], &xs, &mut expect)
+                .unwrap();
+        }
+        let mut ws = Workspace::new();
+        let mut y = vec![0.0f32; batch * m];
+        let mut gx = vec![0.0f32; batch * n];
+        w.forward_batch_into(&x, batch, &mut ws, &mut y).unwrap();
+        w.backward_batch_into(&g, batch, &mut ws, &mut gx).unwrap();
+        let mut got = vec![0.0f32; w.num_parameters()];
+        w.weight_gradient_batch(&mut ws, &mut got).unwrap();
+        for (idx, (a, e)) in got.iter().zip(&expect).enumerate() {
+            assert!(
+                (a - e).abs() < 1e-3 * e.abs().max(1.0),
+                "weight {idx}: batched {a} vs per-sample {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn weight_gradient_batch_requires_matching_spectra() {
+        let w = random_bcm(8, 8, 4, 70);
+        let mut ws = Workspace::new();
+        let mut accum = vec![0.0f32; w.num_parameters()];
+        // No forward/backward pair recorded yet.
+        assert!(w.weight_gradient_batch(&mut ws, &mut accum).is_err());
+        assert!(w.weight_gradient_batch(&mut ws, &mut accum[..3]).is_err());
+        // A same-shaped *other* operator (incl. a clone) must not be able to
+        // consume this operator's recorded spectra.
+        let x = seeded(3 * 8, 71);
+        let g = seeded(3 * 8, 72);
+        let mut y = vec![0.0f32; 3 * 8];
+        w.forward_batch_into(&x, 3, &mut ws, &mut y).unwrap();
+        w.backward_batch_into(&g, 3, &mut ws, &mut y).unwrap();
+        let other = random_bcm(8, 8, 4, 99);
+        assert!(other.weight_gradient_batch(&mut ws, &mut accum).is_err());
+        let cloned = w.clone();
+        assert!(cloned.weight_gradient_batch(&mut ws, &mut accum).is_err());
+        // The recording operator itself still succeeds.
+        assert!(w.weight_gradient_batch(&mut ws, &mut accum).is_ok());
+    }
+
+    #[test]
+    fn batched_apply_validates_sizes() {
+        let w = random_bcm(8, 8, 4, 71);
+        let mut ws = Workspace::new();
+        let mut out = vec![0.0f32; 16];
+        assert!(w
+            .forward_batch_into(&[0.0; 15], 2, &mut ws, &mut out)
+            .is_err());
+        assert!(w
+            .forward_batch_into(&[0.0; 16], 0, &mut ws, &mut out)
+            .is_err());
+        assert!(w
+            .forward_batch_into(&[0.0; 16], 2, &mut ws, &mut out[..15])
+            .is_err());
     }
 
     #[test]

@@ -22,7 +22,7 @@ use circnn_tensor::Tensor;
 use rand::Rng;
 
 use crate::error::CircError;
-use crate::matrix::BlockCirculantMatrix;
+use crate::matrix::{BlockCirculantMatrix, Workspace};
 
 /// An Elman recurrent cell with block-circulant input and recurrent
 /// weights.
@@ -85,7 +85,11 @@ impl CirculantRnnCell {
         let scale = spectral_radius / sigma;
         let weights: Vec<f32> = w_hh.weights().iter().map(|&w| w * scale).collect();
         w_hh.set_weights(&weights)?;
-        Ok(Self { w_ih, w_hh, bias: vec![0.0; hidden] })
+        Ok(Self {
+            w_ih,
+            w_hh,
+            bias: vec![0.0; hidden],
+        })
     }
 
     /// Hidden width.
@@ -120,6 +124,81 @@ impl CirculantRnnCell {
             *p = (*p + r + b).tanh();
         }
         Ok(pre)
+    }
+
+    /// One recurrence step for a whole batch of sequences: row-major
+    /// `[batch, in_dim]` inputs and `[batch, hidden]` states in,
+    /// `[batch, hidden]` next states out. Both matmuls ride the batched
+    /// engine, sweeping each weight-spectrum cache once per step instead of
+    /// once per sequence — the serving-path win for recurrent workloads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] on wrong buffer sizes.
+    /// `rec` is caller-provided `[batch, hidden]` scratch for the recurrent
+    /// matmul, so a serving loop that reuses it (and `ws`) performs zero
+    /// heap allocations per step.
+    pub fn step_batch(
+        &self,
+        x: &[f32],
+        h: &[f32],
+        batch: usize,
+        ws: &mut Workspace,
+        rec: &mut [f32],
+        next: &mut [f32],
+    ) -> Result<(), CircError> {
+        let hidden = self.hidden();
+        if next.len() != batch * hidden || rec.len() != batch * hidden {
+            return Err(CircError::DimensionMismatch {
+                expected: batch * hidden,
+                got: next.len().min(rec.len()),
+            });
+        }
+        self.w_ih.forward_batch_into(x, batch, ws, next)?;
+        self.w_hh.forward_batch_into(h, batch, ws, rec)?;
+        for (row, rrow) in next.chunks_mut(hidden).zip(rec.chunks(hidden)) {
+            for ((slot, &r), &b) in row.iter_mut().zip(rrow).zip(&self.bias) {
+                *slot = (*slot + r + b).tanh();
+            }
+        }
+        Ok(())
+    }
+
+    /// Batched [`CirculantRnnCell::run_features`]: encodes `batch`
+    /// equal-length sequences at once (`inputs[t]` is the row-major
+    /// `[batch, in_dim]` slab for timestep `t`), returning `[batch,
+    /// 2·hidden]` features.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] on malformed slabs.
+    pub fn run_features_batch(
+        &self,
+        inputs: &[Vec<f32>],
+        batch: usize,
+        ws: &mut Workspace,
+    ) -> Result<Vec<f32>, CircError> {
+        let hidden = self.hidden();
+        let mut h = vec![0.0f32; batch * hidden];
+        let mut next = vec![0.0f32; batch * hidden];
+        let mut rec = vec![0.0f32; batch * hidden];
+        let mut feats = vec![0.0f32; batch * 2 * hidden];
+        for x in inputs {
+            self.step_batch(x, &h, batch, ws, &mut rec, &mut next)?;
+            core::mem::swap(&mut h, &mut next);
+            for (b, row) in h.chunks(hidden).enumerate() {
+                let f = &mut feats[b * 2 * hidden..(b + 1) * 2 * hidden];
+                for (i, &v) in row.iter().enumerate() {
+                    f[i] += v;
+                    f[hidden + i] += v * v;
+                }
+            }
+        }
+        let n = inputs.len().max(1) as f32;
+        for f in &mut feats {
+            *f /= n;
+        }
+        Ok(feats)
     }
 
     /// Runs a sequence from a zero state, returning the final hidden state.
@@ -189,7 +268,11 @@ impl ReservoirClassifier {
     ) -> Result<Self, CircError> {
         let cell = CirculantRnnCell::new(rng, in_dim, hidden, k, 0.9)?;
         let readout = Sequential::new().add(Linear::new(rng, 2 * hidden, classes));
-        Ok(Self { cell, readout, classes })
+        Ok(Self {
+            cell,
+            readout,
+            classes,
+        })
     }
 
     /// The underlying recurrent cell.
@@ -204,11 +287,34 @@ impl ReservoirClassifier {
     /// Returns [`CircError`] on malformed sequences.
     pub fn encode(&self, sequences: &[Vec<Vec<f32>>]) -> Result<Tensor, CircError> {
         let width = 2 * self.cell.hidden();
-        let mut data = Vec::with_capacity(sequences.len() * width);
+        let batch = sequences.len();
+        // Equal-length sequences (the common case for fixed-window
+        // workloads) ride the batched engine: one weight-spectrum sweep per
+        // timestep for the whole batch.
+        let uniform = batch > 1
+            && sequences.iter().all(|s| {
+                s.len() == sequences[0].len() && s.iter().all(|x| x.len() == self.cell.in_dim())
+            });
+        if uniform && !sequences[0].is_empty() {
+            let steps = sequences[0].len();
+            let in_dim = self.cell.in_dim();
+            let mut ws = Workspace::new();
+            let mut slabs = Vec::with_capacity(steps);
+            for t in 0..steps {
+                let mut slab = vec![0.0f32; batch * in_dim];
+                for (b, seq) in sequences.iter().enumerate() {
+                    slab[b * in_dim..(b + 1) * in_dim].copy_from_slice(&seq[t]);
+                }
+                slabs.push(slab);
+            }
+            let feats = self.cell.run_features_batch(&slabs, batch, &mut ws)?;
+            return Ok(Tensor::from_vec(feats, &[batch, width]));
+        }
+        let mut data = Vec::with_capacity(batch * width);
         for seq in sequences {
             data.extend(self.cell.run_features(seq)?);
         }
-        Ok(Tensor::from_vec(data, &[sequences.len(), width]))
+        Ok(Tensor::from_vec(data, &[batch, width]))
     }
 
     /// Trains the readout on labeled sequences; returns final training
@@ -227,10 +333,17 @@ impl ReservoirClassifier {
         labels: &[usize],
         epochs: usize,
     ) -> Result<f32, CircError> {
-        assert!(labels.iter().all(|&l| l < self.classes), "label out of range");
+        assert!(
+            labels.iter().all(|&l| l < self.classes),
+            "label out of range"
+        );
         let states = self.encode(sequences)?;
         let mut opt = Adam::new(0.01);
-        let cfg = TrainConfig { epochs, batch_size: 16, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs,
+            batch_size: 16,
+            ..Default::default()
+        };
         let report = train_classifier(&mut self.readout, &mut opt, &states, labels, &cfg);
         Ok(report.train_accuracy.unwrap_or(0.0))
     }
@@ -242,7 +355,10 @@ impl ReservoirClassifier {
     /// Returns [`CircError`] on malformed sequences.
     pub fn predict(&mut self, sequence: &[Vec<f32>]) -> Result<usize, CircError> {
         let f = self.cell.run_features(sequence)?;
-        Ok(self.readout.forward(&Tensor::from_vec(f, &[2 * self.cell.hidden()])).argmax())
+        Ok(self
+            .readout
+            .forward(&Tensor::from_vec(f, &[2 * self.cell.hidden()]))
+            .argmax())
     }
 }
 
@@ -283,7 +399,12 @@ mod tests {
             ha = cell.step(x, &ha).unwrap();
             hb = cell.step(x, &hb).unwrap();
         }
-        let dist: f32 = ha.iter().zip(&hb).map(|(a, b)| (a - b).powi(2)).sum::<f32>().sqrt();
+        let dist: f32 = ha
+            .iter()
+            .zip(&hb)
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f32>()
+            .sqrt();
         assert!(dist < 0.05, "states did not converge: {dist}");
     }
 
@@ -310,7 +431,9 @@ mod tests {
     fn reservoir_classifies_frequency_patterns() {
         // Two classes of sequences: low vs high frequency sinusoids.
         let make_seq = |freq: f32, phase: f32| -> Vec<Vec<f32>> {
-            (0..24).map(|t| vec![(freq * t as f32 + phase).sin()]).collect()
+            (0..24)
+                .map(|t| vec![(freq * t as f32 + phase).sin()])
+                .collect()
         };
         let mut sequences = Vec::new();
         let mut labels = Vec::new();

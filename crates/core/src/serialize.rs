@@ -118,7 +118,11 @@ pub fn save_quantized<W: Write>(
     write_u64(&mut out, matrix.cols() as u64)?;
     write_u64(&mut out, matrix.block_size() as u64)?;
     let max_abs = matrix.weights().iter().fold(0.0f32, |m, &v| m.max(v.abs()));
-    let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 32767.0 };
+    let scale = if max_abs == 0.0 {
+        1.0
+    } else {
+        max_abs / 32767.0
+    };
     out.write_all(&scale.to_le_bytes())?;
     for &w in matrix.weights() {
         let code = (w / scale).round().clamp(-32768.0, 32767.0) as i16;
@@ -200,7 +204,12 @@ mod tests {
         save(&m, &mut full).unwrap();
         let mut quant = Vec::new();
         save_quantized(&m, &mut quant).unwrap();
-        assert!(quant.len() < full.len() * 6 / 10, "{} vs {}", quant.len(), full.len());
+        assert!(
+            quant.len() < full.len() * 6 / 10,
+            "{} vs {}",
+            quant.len(),
+            full.len()
+        );
         let back = load(&quant[..]).unwrap();
         let max_abs = m.weights().iter().fold(0.0f32, |a, &b| a.max(b.abs()));
         for (a, b) in back.weights().iter().zip(m.weights()) {
@@ -220,11 +229,17 @@ mod tests {
 
     #[test]
     fn rejects_garbage_and_wrong_versions() {
-        assert!(matches!(load(&b"NOPE"[..]), Err(SerializeError::BadMagic) | Err(SerializeError::Io(_))));
+        assert!(matches!(
+            load(&b"NOPE"[..]),
+            Err(SerializeError::BadMagic) | Err(SerializeError::Io(_))
+        ));
         let mut buf = Vec::new();
         save(&sample(), &mut buf).unwrap();
         buf[4] = 99; // version
-        assert!(matches!(load(&buf[..]), Err(SerializeError::UnsupportedVersion(_))));
+        assert!(matches!(
+            load(&buf[..]),
+            Err(SerializeError::UnsupportedVersion(_))
+        ));
         // Truncated stream.
         let mut short = Vec::new();
         save(&sample(), &mut short).unwrap();

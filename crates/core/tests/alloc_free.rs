@@ -1,0 +1,102 @@
+//! Proof that the batched kernels are allocation-free after warm-up.
+//!
+//! A counting global allocator wraps `System`; after one warm-up pass sizes
+//! the [`circnn_core::Workspace`], a full forward / backward /
+//! weight-gradient round at the same `(shape, batch)` must perform **zero**
+//! heap allocations. This is the property that makes the engine safe to run
+//! in a latency-sensitive serving loop.
+//!
+//! This file holds exactly one test: the counter is process-global, and a
+//! sibling test running concurrently would pollute the count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use circnn_core::{BlockCirculantMatrix, Workspace};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn seeded(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0) * 0.5
+        })
+        .collect()
+}
+
+#[test]
+fn batched_round_trip_is_allocation_free_after_warmup() {
+    let (m, n, k, batch) = (96usize, 112usize, 16usize, 8usize);
+    let p = m.div_ceil(k);
+    let q = n.div_ceil(k);
+    let w = BlockCirculantMatrix::from_weights(m, n, k, &seeded(p * q * k, 1)).unwrap();
+    let x = seeded(batch * n, 2);
+    let g = seeded(batch * m, 3);
+    let mut ws = Workspace::new();
+    let mut y = vec![0.0f32; batch * m];
+    let mut gx = vec![0.0f32; batch * n];
+    let mut wgrad = vec![0.0f32; w.num_parameters()];
+
+    // Warm-up sizes every workspace buffer (the serial path: the parallel
+    // path's only allocations are the spawned threads' stacks).
+    w.forward_batch_into_with_threads(&x, batch, &mut ws, &mut y, 1)
+        .unwrap();
+    w.backward_batch_into_with_threads(&g, batch, &mut ws, &mut gx, 1)
+        .unwrap();
+    w.weight_gradient_batch_with_threads(&mut ws, &mut wgrad, 1)
+        .unwrap();
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    COUNTING.store(true, Ordering::SeqCst);
+    w.forward_batch_into_with_threads(&x, batch, &mut ws, &mut y, 1)
+        .unwrap();
+    w.backward_batch_into_with_threads(&g, batch, &mut ws, &mut gx, 1)
+        .unwrap();
+    w.weight_gradient_batch_with_threads(&mut ws, &mut wgrad, 1)
+        .unwrap();
+    COUNTING.store(false, Ordering::SeqCst);
+    let during = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        during, 0,
+        "warm batched round trip performed {during} heap allocations"
+    );
+    // And the results are still correct.
+    let single = w.matvec(&x[..n]).unwrap();
+    for (a, e) in y[..m].iter().zip(&single) {
+        assert!(
+            (a - e).abs() < 5e-4 * e.abs().max(1.0),
+            "warm path diverged: {a} vs {e}"
+        );
+    }
+}

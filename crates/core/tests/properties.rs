@@ -2,7 +2,7 @@
 //! whole reproduction stands on, checked against dense materializations on
 //! randomized shapes.
 
-use circnn_core::{BlockCirculantMatrix, CirculantMatrix};
+use circnn_core::{BlockCirculantMatrix, CirculantMatrix, Workspace};
 use circnn_nn::LinearOp;
 use proptest::prelude::*;
 
@@ -16,7 +16,9 @@ fn random_weights(len: usize, seed: u64) -> Vec<f32> {
     let mut state = seed | 1;
     (0..len)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0) * 0.5
         })
         .collect()
@@ -125,5 +127,114 @@ proptest! {
         prop_assert_eq!(LinearOp::matvec(&w, &x), w.matvec(&x).unwrap());
         prop_assert_eq!(LinearOp::out_dim(&w), m);
         prop_assert_eq!(LinearOp::in_dim(&w), n);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The batched engine column-wise reproduces the single-sample kernel
+    /// (to rounding: its batch-plane FFT is a different factorization than
+    /// the scalar real FFT), including ragged m/n not divisible by k.
+    #[test]
+    fn forward_batch_columns_equal_matvec((m, n, k, seed) in shapes(), batch in 1usize..8) {
+        let p = m.div_ceil(k);
+        let q = n.div_ceil(k);
+        let w = BlockCirculantMatrix::from_weights(m, n, k, &random_weights(p * q * k, seed)).unwrap();
+        let x = random_weights(batch * n, seed ^ 0xB00C);
+        let mut ws = Workspace::new();
+        let y = w.matmat(&x, batch, &mut ws).unwrap();
+        for b in 0..batch {
+            let single = w.matvec(&x[b * n..(b + 1) * n]).unwrap();
+            for (a, e) in y[b * m..(b + 1) * m].iter().zip(&single) {
+                prop_assert!((a - e).abs() < 5e-4 * e.abs().max(1.0),
+                    "({},{},{}) batch {} sample {}: {} vs {}", m, n, k, batch, b, a, e);
+            }
+        }
+    }
+
+    /// Same property for the batched transpose apply.
+    #[test]
+    fn backward_batch_columns_equal_matvec_t((m, n, k, seed) in shapes(), batch in 1usize..8) {
+        let p = m.div_ceil(k);
+        let q = n.div_ceil(k);
+        let w = BlockCirculantMatrix::from_weights(m, n, k, &random_weights(p * q * k, seed)).unwrap();
+        let g = random_weights(batch * m, seed ^ 0x5EED);
+        let mut ws = Workspace::new();
+        let mut gx = vec![0.0f32; batch * n];
+        w.backward_batch_into(&g, batch, &mut ws, &mut gx).unwrap();
+        for b in 0..batch {
+            let single = w.matvec_t(&g[b * m..(b + 1) * m]).unwrap();
+            for (a, e) in gx[b * n..(b + 1) * n].iter().zip(&single) {
+                prop_assert!((a - e).abs() < 5e-4 * e.abs().max(1.0),
+                    "({},{},{}) batch {} sample {}: {} vs {}", m, n, k, batch, b, a, e);
+            }
+        }
+    }
+
+    /// Thread count never changes a bit: every output element accumulates in
+    /// a fixed order, so the parallel path is exactly the serial path.
+    #[test]
+    fn parallel_path_is_bit_identical_to_serial(
+        (m, n, k, seed) in shapes(),
+        batch in 1usize..8,
+        threads in 2usize..6,
+    ) {
+        let p = m.div_ceil(k);
+        let q = n.div_ceil(k);
+        let w = BlockCirculantMatrix::from_weights(m, n, k, &random_weights(p * q * k, seed)).unwrap();
+        let x = random_weights(batch * n, seed ^ 0xFACE);
+        let g = random_weights(batch * m, seed ^ 0xF00D);
+        let mut ws_s = Workspace::new();
+        let mut ws_p = Workspace::new();
+        let mut y_s = vec![0.0f32; batch * m];
+        let mut y_p = vec![0.0f32; batch * m];
+        w.forward_batch_into_with_threads(&x, batch, &mut ws_s, &mut y_s, 1).unwrap();
+        w.forward_batch_into_with_threads(&x, batch, &mut ws_p, &mut y_p, threads).unwrap();
+        prop_assert_eq!(&y_s, &y_p, "forward diverged at {} threads", threads);
+        let mut gx_s = vec![0.0f32; batch * n];
+        let mut gx_p = vec![0.0f32; batch * n];
+        w.backward_batch_into_with_threads(&g, batch, &mut ws_s, &mut gx_s, 1).unwrap();
+        w.backward_batch_into_with_threads(&g, batch, &mut ws_p, &mut gx_p, threads).unwrap();
+        prop_assert_eq!(&gx_s, &gx_p, "backward diverged at {} threads", threads);
+        let mut wg_s = vec![0.0f32; w.num_parameters()];
+        let mut wg_p = vec![0.0f32; w.num_parameters()];
+        w.weight_gradient_batch_with_threads(&mut ws_s, &mut wg_s, 1).unwrap();
+        w.weight_gradient_batch_with_threads(&mut ws_p, &mut wg_p, threads).unwrap();
+        prop_assert_eq!(&wg_s, &wg_p, "weight gradient diverged at {} threads", threads);
+    }
+
+    /// A warm workspace keeps giving correct answers across differing
+    /// shapes and batch sizes (grow-only buffers are re-sliced per call).
+    #[test]
+    fn workspace_reuse_across_shapes_is_sound(
+        (m1, n1, k1, seed1) in shapes(),
+        (m2, n2, k2, seed2) in shapes(),
+        batch in 1usize..5,
+    ) {
+        let mk = |m: usize, n: usize, k: usize, seed: u64| {
+            let p = m.div_ceil(k);
+            let q = n.div_ceil(k);
+            BlockCirculantMatrix::from_weights(m, n, k, &random_weights(p * q * k, seed)).unwrap()
+        };
+        let a = mk(m1, n1, k1, seed1);
+        let b = mk(m2, n2, k2, seed2);
+        let xa = random_weights(batch * n1, seed1 ^ 1);
+        let xb = random_weights((batch + 1) * n2, seed2 ^ 2);
+        let mut ws = Workspace::new();
+        let ya = a.matmat(&xa, batch, &mut ws).unwrap();
+        let yb = b.matmat(&xb, batch + 1, &mut ws).unwrap();
+        for s in 0..batch {
+            let single = a.matvec(&xa[s * n1..(s + 1) * n1]).unwrap();
+            for (got, e) in ya[s * m1..(s + 1) * m1].iter().zip(&single) {
+                prop_assert!((got - e).abs() < 5e-4 * e.abs().max(1.0), "{} vs {}", got, e);
+            }
+        }
+        for s in 0..batch + 1 {
+            let single = b.matvec(&xb[s * n2..(s + 1) * n2]).unwrap();
+            for (got, e) in yb[s * m2..(s + 1) * m2].iter().zip(&single) {
+                prop_assert!((got - e).abs() < 5e-4 * e.abs().max(1.0), "{} vs {}", got, e);
+            }
+        }
     }
 }

@@ -20,25 +20,33 @@ use crate::synth::{generate, SyntheticSpec};
 
 /// MNIST stand-in: 1×28×28, 10 classes, low noise.
 pub fn mnist_like(n: usize, seed: u64) -> Dataset {
-    let spec = SyntheticSpec::new(10, 1, 28, 28).with_noise(0.2).with_jitter(2);
+    let spec = SyntheticSpec::new(10, 1, 28, 28)
+        .with_noise(0.2)
+        .with_jitter(2);
     generate("mnist-like", &spec, n, seed.wrapping_add(0xA1))
 }
 
 /// CIFAR-10 stand-in: 3×32×32, 10 classes, high noise + jitter (the hard one).
 pub fn cifar10_like(n: usize, seed: u64) -> Dataset {
-    let spec = SyntheticSpec::new(10, 3, 32, 32).with_noise(0.7).with_jitter(3);
+    let spec = SyntheticSpec::new(10, 3, 32, 32)
+        .with_noise(0.7)
+        .with_jitter(3);
     generate("cifar10-like", &spec, n, seed.wrapping_add(0xB2))
 }
 
 /// SVHN stand-in: 3×32×32, 10 classes, moderate noise.
 pub fn svhn_like(n: usize, seed: u64) -> Dataset {
-    let spec = SyntheticSpec::new(10, 3, 32, 32).with_noise(0.45).with_jitter(3);
+    let spec = SyntheticSpec::new(10, 3, 32, 32)
+        .with_noise(0.45)
+        .with_jitter(3);
     generate("svhn-like", &spec, n, seed.wrapping_add(0xC3))
 }
 
 /// STL-10 stand-in: 3×96×96, 10 classes.
 pub fn stl10_like(n: usize, seed: u64) -> Dataset {
-    let spec = SyntheticSpec::new(10, 3, 96, 96).with_noise(0.5).with_jitter(5);
+    let spec = SyntheticSpec::new(10, 3, 96, 96)
+        .with_noise(0.5)
+        .with_jitter(5);
     generate("stl10-like", &spec, n, seed.wrapping_add(0xD4))
 }
 
@@ -50,7 +58,9 @@ pub fn stl10_like(n: usize, seed: u64) -> Dataset {
 /// exists so the AlexNet-surrogate network can actually be trained end to
 /// end on a CPU.
 pub fn imagenet_surrogate(n: usize, seed: u64) -> Dataset {
-    let spec = SyntheticSpec::new(20, 3, 64, 64).with_noise(0.6).with_jitter(4);
+    let spec = SyntheticSpec::new(20, 3, 64, 64)
+        .with_noise(0.6)
+        .with_jitter(4);
     generate("imagenet-surrogate", &spec, n, seed.wrapping_add(0xE5))
 }
 
@@ -92,15 +102,20 @@ mod tests {
         // integration tests.
         use crate::synth::class_prototype;
         let nearest_acc = |ds: &Dataset, spec: &SyntheticSpec, seed: u64| -> f32 {
-            let protos: Vec<_> =
-                (0..ds.num_classes).map(|c| class_prototype(spec, c, seed)).collect();
+            let protos: Vec<_> = (0..ds.num_classes)
+                .map(|c| class_prototype(spec, c, seed))
+                .collect();
             let mut correct = 0;
             for i in 0..ds.len() {
                 let img = ds.image(i);
                 let mut best = (0usize, f32::INFINITY);
                 for (c, p) in protos.iter().enumerate() {
-                    let d: f32 =
-                        img.data().iter().zip(p.data()).map(|(a, b)| (a - b).powi(2)).sum();
+                    let d: f32 = img
+                        .data()
+                        .iter()
+                        .zip(p.data())
+                        .map(|(a, b)| (a - b).powi(2))
+                        .sum();
                     if d < best.1 {
                         best = (c, d);
                     }
@@ -111,13 +126,23 @@ mod tests {
             }
             correct as f32 / ds.len() as f32
         };
-        let mnist_spec = SyntheticSpec::new(10, 1, 28, 28).with_noise(0.2).with_jitter(2);
-        let cifar_spec = SyntheticSpec::new(10, 3, 32, 32).with_noise(0.7).with_jitter(3);
+        let mnist_spec = SyntheticSpec::new(10, 1, 28, 28)
+            .with_noise(0.2)
+            .with_jitter(2);
+        let cifar_spec = SyntheticSpec::new(10, 3, 32, 32)
+            .with_noise(0.7)
+            .with_jitter(3);
         let m = mnist_like(50, 3);
         let c = cifar10_like(50, 3);
         let am = nearest_acc(&m, &mnist_spec, 3u64.wrapping_add(0xA1));
         let ac = nearest_acc(&c, &cifar_spec, 3u64.wrapping_add(0xB2));
-        assert!(am > 0.4, "mnist-like nearest-prototype accuracy {am} too close to chance");
-        assert!(ac > 0.4, "cifar-like nearest-prototype accuracy {ac} too close to chance");
+        assert!(
+            am > 0.4,
+            "mnist-like nearest-prototype accuracy {am} too close to chance"
+        );
+        assert!(
+            ac > 0.4,
+            "cifar-like nearest-prototype accuracy {ac} too close to chance"
+        );
     }
 }

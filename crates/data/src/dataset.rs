@@ -25,11 +25,28 @@ impl Dataset {
     ///
     /// Panics if `images` is not rank-4, the leading dimension disagrees
     /// with `labels.len()`, or any label is out of range.
-    pub fn new(name: impl Into<String>, images: Tensor, labels: Vec<usize>, num_classes: usize) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        images: Tensor,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Self {
         assert_eq!(images.shape().rank(), 4, "images must be [N, C, H, W]");
-        assert_eq!(images.dims()[0], labels.len(), "images/labels length mismatch");
-        assert!(labels.iter().all(|&l| l < num_classes), "label out of range");
-        Self { name: name.into(), images, labels, num_classes }
+        assert_eq!(
+            images.dims()[0],
+            labels.len(),
+            "images/labels length mismatch"
+        );
+        assert!(
+            labels.iter().all(|&l| l < num_classes),
+            "label out of range"
+        );
+        Self {
+            name: name.into(),
+            images,
+            labels,
+            num_classes,
+        }
     }
 
     /// Number of samples.
@@ -82,8 +99,18 @@ impl Dataset {
             &[self.len() - n, dims[1], dims[2], dims[3]],
         );
         (
-            Dataset::new(format!("{}-train", self.name), head, self.labels[..n].to_vec(), self.num_classes),
-            Dataset::new(format!("{}-test", self.name), tail, self.labels[n..].to_vec(), self.num_classes),
+            Dataset::new(
+                format!("{}-train", self.name),
+                head,
+                self.labels[..n].to_vec(),
+                self.num_classes,
+            ),
+            Dataset::new(
+                format!("{}-test", self.name),
+                tail,
+                self.labels[n..].to_vec(),
+                self.num_classes,
+            ),
         )
     }
 
@@ -102,7 +129,10 @@ mod tests {
     use super::*;
 
     fn tiny() -> Dataset {
-        let images = Tensor::from_vec((0..2 * 1 * 2 * 2).map(|i| i as f32).collect(), &[2, 1, 2, 2]);
+        let images = Tensor::from_vec(
+            (0..2 * 1 * 2 * 2).map(|i| i as f32).collect(),
+            &[2, 1, 2, 2],
+        );
         Dataset::new("tiny", images, vec![0, 1], 2)
     }
 

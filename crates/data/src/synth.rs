@@ -38,7 +38,15 @@ pub struct SyntheticSpec {
 impl SyntheticSpec {
     /// A spec with sensible defaults for the given geometry.
     pub fn new(classes: usize, channels: usize, height: usize, width: usize) -> Self {
-        Self { classes, channels, height, width, components: 3, jitter: 2, noise_std: 0.25 }
+        Self {
+            classes,
+            channels,
+            height,
+            width,
+            components: 3,
+            jitter: 2,
+            noise_std: 0.25,
+        }
     }
 
     /// Sets the noise level (builder style).
@@ -66,10 +74,10 @@ pub fn class_prototype(spec: &SyntheticSpec, class: usize, seed: u64) -> Tensor 
         let comps: Vec<(f32, f32, f32, f32)> = (0..spec.components)
             .map(|_| {
                 (
-                    rng.gen_range(1..=4) as f32,          // fy
-                    rng.gen_range(1..=4) as f32,          // fx
+                    rng.gen_range(1..=4) as f32,                   // fy
+                    rng.gen_range(1..=4) as f32,                   // fx
                     rng.gen_range(0.0f32..core::f32::consts::TAU), // phase
-                    rng.gen_range(0.5f32..1.0),           // amplitude
+                    rng.gen_range(0.5f32..1.0),                    // amplitude
                 )
             })
             .collect();
@@ -101,8 +109,9 @@ pub fn generate(name: &str, spec: &SyntheticSpec, n: usize, seed: u64) -> Datase
     assert!(n > 0, "empty dataset requested");
     assert!(spec.classes > 0, "dataset needs at least one class");
     let mut rng = seeded_rng(seed);
-    let prototypes: Vec<Tensor> =
-        (0..spec.classes).map(|c| class_prototype(spec, c, seed)).collect();
+    let prototypes: Vec<Tensor> = (0..spec.classes)
+        .map(|c| class_prototype(spec, c, seed))
+        .collect();
     let (c, h, w) = (spec.channels, spec.height, spec.width);
     let per = c * h * w;
     // Balanced, shuffled label sequence.
@@ -177,9 +186,13 @@ mod tests {
         let s = spec();
         let p0 = class_prototype(&s, 0, 3);
         let p1 = class_prototype(&s, 1, 3);
-        let dist: f32 =
-            p0.data().iter().zip(p1.data()).map(|(a, b)| (a - b).powi(2)).sum::<f32>()
-                / p0.len() as f32;
+        let dist: f32 = p0
+            .data()
+            .iter()
+            .zip(p1.data())
+            .map(|(a, b)| (a - b).powi(2))
+            .sum::<f32>()
+            / p0.len() as f32;
         assert!(dist > 0.05, "prototype distance too small: {dist}");
     }
 
@@ -188,7 +201,11 @@ mod tests {
         // With modest noise, a sample is closer to its own prototype than
         // to other classes' — nearest-prototype is already a decent
         // classifier, so a CNN certainly has signal to learn.
-        let s = SyntheticSpec { noise_std: 0.15, jitter: 0, ..spec() };
+        let s = SyntheticSpec {
+            noise_std: 0.15,
+            jitter: 0,
+            ..spec()
+        };
         let ds = generate("c", &s, 40, 11);
         let protos: Vec<Tensor> = (0..4).map(|c| class_prototype(&s, c, 11)).collect();
         let mut correct = 0;
@@ -197,8 +214,12 @@ mod tests {
             let mut best = 0;
             let mut best_d = f32::INFINITY;
             for (c, p) in protos.iter().enumerate() {
-                let d: f32 =
-                    img.data().iter().zip(p.data()).map(|(a, b)| (a - b).powi(2)).sum();
+                let d: f32 = img
+                    .data()
+                    .iter()
+                    .zip(p.data())
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum();
                 if d < best_d {
                     best_d = d;
                     best = c;
@@ -213,8 +234,16 @@ mod tests {
 
     #[test]
     fn noise_increases_sample_spread() {
-        let quiet = SyntheticSpec { noise_std: 0.01, jitter: 0, ..spec() };
-        let loud = SyntheticSpec { noise_std: 0.5, jitter: 0, ..spec() };
+        let quiet = SyntheticSpec {
+            noise_std: 0.01,
+            jitter: 0,
+            ..spec()
+        };
+        let loud = SyntheticSpec {
+            noise_std: 0.5,
+            jitter: 0,
+            ..spec()
+        };
         let spread = |s: &SyntheticSpec| {
             let ds = generate("d", s, 8, 2);
             let proto = class_prototype(s, ds.labels[0], 2);

@@ -4,8 +4,15 @@ use circnn_data::synth::{class_prototype, generate, SyntheticSpec};
 use proptest::prelude::*;
 
 fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
-    (2usize..6, 1usize..4, 6usize..20, 6usize..20, 0usize..3, 0.0f32..0.8).prop_map(
-        |(classes, channels, h, w, jitter, noise)| SyntheticSpec {
+    (
+        2usize..6,
+        1usize..4,
+        6usize..20,
+        6usize..20,
+        0usize..3,
+        0.0f32..0.8,
+    )
+        .prop_map(|(classes, channels, h, w, jitter, noise)| SyntheticSpec {
             classes,
             channels,
             height: h,
@@ -13,8 +20,7 @@ fn spec_strategy() -> impl Strategy<Value = SyntheticSpec> {
             components: 3,
             jitter,
             noise_std: noise,
-        },
-    )
+        })
 }
 
 proptest! {

@@ -1,0 +1,294 @@
+//! Batch-plane FFT: one transform over many signals at once.
+//!
+//! The batched block-circulant engine holds its spectra in
+//! structure-of-arrays planes `[index][batch]` (split re/im), with the batch
+//! dimension innermost. Transforming `batch` signals one at a time wastes
+//! that layout — every butterfly of a radix-2 FFT applied at index granularity
+//! is the *same* operation for every signal in the batch, so this plan runs
+//! each butterfly across the whole length-`batch` row at once: stride-1
+//! loops the compiler turns into SIMD, and one plan dispatch per *block*
+//! instead of per *sample*.
+//!
+//! This is the software analogue of feeding the paper's FFT datapath a new
+//! input vector every cycle: the butterfly structure is fixed, only the data
+//! streams.
+
+use crate::complex::Complex;
+use crate::error::FftError;
+use crate::float::Float;
+
+/// A planned radix-2 FFT of power-of-two length `n` over `[n][batch]`
+/// split re/im planes.
+///
+/// # Examples
+///
+/// ```
+/// use circnn_fft::BatchFftPlan;
+///
+/// # fn main() -> Result<(), circnn_fft::FftError> {
+/// let plan = BatchFftPlan::<f32>::new(4)?;
+/// // Two interleaved signals: [1,0,0,0] and [0,1,0,0] (batch-innermost).
+/// let mut re = vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0];
+/// let mut im = vec![0.0; 8];
+/// plan.forward_planes(&mut re, &mut im, 2)?;
+/// assert_eq!(re[0], 1.0); // DC bin of signal 0
+/// assert_eq!(re[1], 1.0); // DC bin of signal 1
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchFftPlan<T> {
+    n: usize,
+    /// Flattened per-stage twiddles `e^{-2πi j/len}`, stages in order
+    /// `len = 2, 4, …, n`, `j in 0..len/2` each.
+    tw_re: Vec<T>,
+    tw_im: Vec<T>,
+    /// Bit-reversal permutation of `0..n`.
+    bitrev: Vec<usize>,
+}
+
+impl<T: Float> BatchFftPlan<T> {
+    /// Builds a plan for batched transforms of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::ZeroLength`] if `n == 0` and
+    /// [`FftError::NotPowerOfTwo`] otherwise for non-power-of-two `n`.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        if n == 0 {
+            return Err(FftError::ZeroLength);
+        }
+        if !n.is_power_of_two() {
+            return Err(FftError::NotPowerOfTwo(n));
+        }
+        let bits = n.trailing_zeros();
+        let bitrev = (0..n)
+            .map(|i| {
+                if bits == 0 {
+                    0
+                } else {
+                    (i as u64).reverse_bits().wrapping_shr(64 - bits) as usize
+                }
+            })
+            .collect();
+        let mut tw_re = Vec::new();
+        let mut tw_im = Vec::new();
+        let mut len = 2;
+        while len <= n {
+            for j in 0..len / 2 {
+                let theta = -T::TWO * T::PI * T::from_usize(j) / T::from_usize(len);
+                let w = Complex::from_polar(T::ONE, theta);
+                tw_re.push(w.re);
+                tw_im.push(w.im);
+            }
+            len <<= 1;
+        }
+        Ok(Self {
+            n,
+            tw_re,
+            tw_im,
+            bitrev,
+        })
+    }
+
+    /// Transform length.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`; provided for API completeness alongside [`len`].
+    ///
+    /// [`len`]: Self::len
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    fn validate(&self, re: &[T], im: &[T], batch: usize) -> Result<(), FftError> {
+        if batch == 0 {
+            return Err(FftError::ZeroLength);
+        }
+        let want = self.n * batch;
+        if re.len() != want || im.len() != want {
+            return Err(FftError::LengthMismatch {
+                expected: want,
+                got: re.len().min(im.len()),
+            });
+        }
+        Ok(())
+    }
+
+    /// In-place forward DFT of `batch` signals held as `[n][batch]` planes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError`] if the planes are not `n·batch` long or the
+    /// batch is zero.
+    pub fn forward_planes(&self, re: &mut [T], im: &mut [T], batch: usize) -> Result<(), FftError> {
+        self.validate(re, im, batch)?;
+        self.permute(re, im, batch);
+        self.butterflies(re, im, batch, false);
+        Ok(())
+    }
+
+    /// In-place inverse DFT (scaled by `1/n`) of `batch` signals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError`] if the planes are not `n·batch` long or the
+    /// batch is zero.
+    pub fn inverse_planes(&self, re: &mut [T], im: &mut [T], batch: usize) -> Result<(), FftError> {
+        self.validate(re, im, batch)?;
+        self.permute(re, im, batch);
+        self.butterflies(re, im, batch, true);
+        let scale = T::ONE / T::from_usize(self.n);
+        for v in re.iter_mut() {
+            *v = *v * scale;
+        }
+        for v in im.iter_mut() {
+            *v = *v * scale;
+        }
+        Ok(())
+    }
+
+    /// Applies the bit-reversal row permutation.
+    fn permute(&self, re: &mut [T], im: &mut [T], batch: usize) {
+        for (i, &j) in self.bitrev.iter().enumerate() {
+            if i < j {
+                for b in 0..batch {
+                    re.swap(i * batch + b, j * batch + b);
+                    im.swap(i * batch + b, j * batch + b);
+                }
+            }
+        }
+    }
+
+    /// Runs every butterfly stage; `inverse` conjugates the twiddles.
+    fn butterflies(&self, re: &mut [T], im: &mut [T], batch: usize, inverse: bool) {
+        let n = self.n;
+        let mut len = 2;
+        let mut tw_off = 0;
+        while len <= n {
+            let half = len / 2;
+            for start in (0..n).step_by(len) {
+                for j in 0..half {
+                    let wr = self.tw_re[tw_off + j];
+                    let wi0 = self.tw_im[tw_off + j];
+                    let wi = if inverse { T::ZERO - wi0 } else { wi0 };
+                    let lo = (start + j) * batch;
+                    let hi = (start + j + half) * batch;
+                    // Rows `lo` and `hi` are disjoint (`lo < hi`).
+                    let (re_a, re_b) = re.split_at_mut(hi);
+                    let (im_a, im_b) = im.split_at_mut(hi);
+                    let ar = &mut re_a[lo..lo + batch];
+                    let ai = &mut im_a[lo..lo + batch];
+                    let br = &mut re_b[..batch];
+                    let bi = &mut im_b[..batch];
+                    // One butterfly across every signal in the batch —
+                    // stride-1 lanes the compiler vectorizes.
+                    for (((a_r, a_i), b_r), b_i) in ar
+                        .iter_mut()
+                        .zip(ai.iter_mut())
+                        .zip(br.iter_mut())
+                        .zip(bi.iter_mut())
+                    {
+                        let tr = wr * *b_r - wi * *b_i;
+                        let ti = wr * *b_i + wi * *b_r;
+                        *b_r = *a_r - tr;
+                        *b_i = *a_i - ti;
+                        *a_r = *a_r + tr;
+                        *a_i = *a_i + ti;
+                    }
+                }
+            }
+            tw_off += half;
+            len <<= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FftPlan;
+
+    fn seeded(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(BatchFftPlan::<f64>::new(0).is_err());
+        assert!(BatchFftPlan::<f64>::new(12).is_err());
+        let plan = BatchFftPlan::<f64>::new(4).unwrap();
+        let mut re = vec![0.0; 8];
+        let mut im = vec![0.0; 8];
+        assert!(plan.forward_planes(&mut re, &mut im, 3).is_err());
+        assert!(plan.forward_planes(&mut re, &mut im, 0).is_err());
+    }
+
+    #[test]
+    fn matches_scalar_fft_per_lane() {
+        for log in 0..=7 {
+            let n = 1usize << log;
+            let batch = 5;
+            let plan = BatchFftPlan::<f64>::new(n).unwrap();
+            let scalar = FftPlan::<f64>::new(n).unwrap();
+            // Batch of distinct signals.
+            let signals: Vec<Vec<f64>> = (0..batch).map(|b| seeded(n, 7 + b as u64)).collect();
+            let mut re = vec![0.0f64; n * batch];
+            let mut im = vec![0.0f64; n * batch];
+            for (b, sig) in signals.iter().enumerate() {
+                for (t, &v) in sig.iter().enumerate() {
+                    re[t * batch + b] = v;
+                }
+            }
+            plan.forward_planes(&mut re, &mut im, batch).unwrap();
+            for (b, sig) in signals.iter().enumerate() {
+                let spec = scalar.forward_real(sig).unwrap();
+                for t in 0..n {
+                    let d = (re[t * batch + b] - spec[t].re).abs()
+                        + (im[t * batch + b] - spec[t].im).abs();
+                    assert!(d < 1e-9 * n as f64, "n={n} lane {b} bin {t}: err {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let n = 64;
+        let batch = 3;
+        let plan = BatchFftPlan::<f64>::new(n).unwrap();
+        let orig = seeded(n * batch, 3);
+        let mut re = orig.clone();
+        let mut im = seeded(n * batch, 4);
+        let orig_im = im.clone();
+        plan.forward_planes(&mut re, &mut im, batch).unwrap();
+        plan.inverse_planes(&mut re, &mut im, batch).unwrap();
+        for i in 0..n * batch {
+            assert!((re[i] - orig[i]).abs() < 1e-10);
+            assert!((im[i] - orig_im[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let plan = BatchFftPlan::<f32>::new(1).unwrap();
+        let mut re = vec![2.5f32, -1.0];
+        let mut im = vec![0.5f32, 0.25];
+        plan.forward_planes(&mut re, &mut im, 2).unwrap();
+        assert_eq!(re, vec![2.5, -1.0]);
+        plan.inverse_planes(&mut re, &mut im, 2).unwrap();
+        assert_eq!(re, vec![2.5, -1.0]);
+    }
+}

@@ -43,7 +43,11 @@ use crate::rfft::RealFftPlan;
 /// assert_eq!(y, vec![1.0, 2.0, 3.0, 4.0]); // identity impulse
 /// ```
 pub fn circular_convolve_direct<T: Float>(a: &[T], b: &[T]) -> Vec<T> {
-    assert_eq!(a.len(), b.len(), "circular convolution requires equal lengths");
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "circular convolution requires equal lengths"
+    );
     let k = a.len();
     let mut y = vec![T::ZERO; k];
     for (i, slot) in y.iter_mut().enumerate() {
@@ -64,7 +68,11 @@ pub fn circular_convolve_direct<T: Float>(a: &[T], b: &[T]) -> Vec<T> {
 ///
 /// Panics if `w` and `x` have different lengths.
 pub fn circular_correlate_direct<T: Float>(w: &[T], x: &[T]) -> Vec<T> {
-    assert_eq!(w.len(), x.len(), "circular correlation requires equal lengths");
+    assert_eq!(
+        w.len(),
+        x.len(),
+        "circular correlation requires equal lengths"
+    );
     let k = w.len();
     let mut y = vec![T::ZERO; k];
     for (i, slot) in y.iter_mut().enumerate() {
@@ -136,7 +144,9 @@ impl<T: Float> CircularConvolver<T> {
     ///
     /// Propagates [`FftError`] from planning (zero / non-power-of-two length).
     pub fn new(k: usize) -> Result<Self, FftError> {
-        Ok(Self { plan: RealFftPlan::new(k)? })
+        Ok(Self {
+            plan: RealFftPlan::new(k)?,
+        })
     }
 
     /// Vector length this convolver handles.
@@ -192,7 +202,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
             })
             .collect()
@@ -200,7 +212,9 @@ mod tests {
 
     fn dense_matvec(m: &[f64], x: &[f64]) -> Vec<f64> {
         let k = x.len();
-        (0..k).map(|i| (0..k).map(|j| m[i * k + j] * x[j]).sum()).collect()
+        (0..k)
+            .map(|i| (0..k).map(|j| m[i * k + j] * x[j]).sum())
+            .collect()
     }
 
     #[test]

@@ -37,7 +37,10 @@ impl fmt::Display for FftError {
                 write!(f, "transform length {n} is not a power of two")
             }
             FftError::LengthMismatch { expected, got } => {
-                write!(f, "buffer length {got} does not match planned length {expected}")
+                write!(
+                    f,
+                    "buffer length {got} does not match planned length {expected}"
+                )
             }
             FftError::ZeroLength => write!(f, "transform length must be nonzero"),
         }
@@ -54,7 +57,11 @@ mod tests {
     fn display_messages_are_lowercase_and_informative() {
         let msgs = [
             FftError::NotPowerOfTwo(12).to_string(),
-            FftError::LengthMismatch { expected: 8, got: 4 }.to_string(),
+            FftError::LengthMismatch {
+                expected: 8,
+                got: 4,
+            }
+            .to_string(),
             FftError::ZeroLength.to_string(),
         ];
         for m in msgs {

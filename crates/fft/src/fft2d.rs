@@ -53,7 +53,12 @@ impl<T: Float> Fft2dPlan<T> {
     ///
     /// Returns [`FftError`] unless both extents are nonzero powers of two.
     pub fn new(h: usize, w: usize) -> Result<Self, FftError> {
-        Ok(Self { h, w, row_plan: FftPlan::new(w)?, col_plan: FftPlan::new(h)? })
+        Ok(Self {
+            h,
+            w,
+            row_plan: FftPlan::new(w)?,
+            col_plan: FftPlan::new(h)?,
+        })
     }
 
     /// Grid height.
@@ -70,7 +75,10 @@ impl<T: Float> Fft2dPlan<T> {
 
     fn process(&self, data: &mut [Complex<T>], inverse: bool) -> Result<(), FftError> {
         if data.len() != self.h * self.w {
-            return Err(FftError::LengthMismatch { expected: self.h * self.w, got: data.len() });
+            return Err(FftError::LengthMismatch {
+                expected: self.h * self.w,
+                got: data.len(),
+            });
         }
         // Rows.
         for r in 0..self.h {
@@ -137,7 +145,10 @@ pub fn fft_conv2d_valid<T: Float>(
     r: usize,
 ) -> Result<Vec<T>, FftError> {
     if input.len() != h * w || filter.len() != r * r || r == 0 || r > h || r > w {
-        return Err(FftError::LengthMismatch { expected: h * w, got: input.len() });
+        return Err(FftError::LengthMismatch {
+            expected: h * w,
+            got: input.len(),
+        });
     }
     let ph = h.next_power_of_two();
     let pw = w.next_power_of_two();
@@ -204,7 +215,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0) * 0.8
             })
             .collect()
@@ -237,7 +250,12 @@ mod tests {
 
     #[test]
     fn fft_conv_matches_direct_across_sizes() {
-        for (h, w, r) in [(8usize, 8usize, 3usize), (12, 10, 5), (16, 16, 11), (7, 9, 2)] {
+        for (h, w, r) in [
+            (8usize, 8usize, 3usize),
+            (12, 10, 5),
+            (16, 16, 11),
+            (7, 9, 2),
+        ] {
             let input = seeded(h * w, (h * w) as u64);
             let filter = seeded(r * r, r as u64);
             let fast = fft_conv2d_valid(&input, h, w, &filter, r).unwrap();

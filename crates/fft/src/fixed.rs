@@ -174,7 +174,13 @@ impl FixedFftPlan {
                 *slot = (i as u32).reverse_bits() >> (32 - log2n);
             }
         }
-        Ok(Self { n, format, tw_frac, twiddles, bitrev })
+        Ok(Self {
+            n,
+            format,
+            tw_frac,
+            twiddles,
+            bitrev,
+        })
     }
 
     /// Transform length.
@@ -203,7 +209,10 @@ impl FixedFftPlan {
     /// Returns [`FftError::LengthMismatch`] on buffer size mismatch.
     pub fn forward(&self, data: &mut [FixedComplex]) -> Result<(), FftError> {
         if data.len() != self.n {
-            return Err(FftError::LengthMismatch { expected: self.n, got: data.len() });
+            return Err(FftError::LengthMismatch {
+                expected: self.n,
+                got: data.len(),
+            });
         }
         if self.n == 1 {
             return Ok(());
@@ -255,18 +264,27 @@ impl FixedFftPlan {
     /// Returns [`FftError::LengthMismatch`] if `input.len() != self.len()`.
     pub fn forward_real(&self, input: &[f64]) -> Result<Vec<Complex<f64>>, FftError> {
         if input.len() != self.n {
-            return Err(FftError::LengthMismatch { expected: self.n, got: input.len() });
+            return Err(FftError::LengthMismatch {
+                expected: self.n,
+                got: input.len(),
+            });
         }
         let mut data: Vec<FixedComplex> = input
             .iter()
-            .map(|&x| FixedComplex { re: self.format.quantize(x), im: 0 })
+            .map(|&x| FixedComplex {
+                re: self.format.quantize(x),
+                im: 0,
+            })
             .collect();
         self.forward(&mut data)?;
         let n = self.n as f64;
         Ok(data
             .iter()
             .map(|c| {
-                Complex::new(self.format.dequantize(c.re) * n, self.format.dequantize(c.im) * n)
+                Complex::new(
+                    self.format.dequantize(c.re) * n,
+                    self.format.dequantize(c.im) * n,
+                )
             })
             .collect())
     }
@@ -306,7 +324,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0) * 0.9
             })
             .collect()
@@ -378,7 +398,10 @@ mod tests {
         let sig = seeded(n, 4);
         let plan = FixedFftPlan::new(n, QFormat::q16()).unwrap();
         let approx = plan.forward_real(&sig).unwrap();
-        let exact = crate::plan::FftPlan::<f64>::new(n).unwrap().forward_real(&sig).unwrap();
+        let exact = crate::plan::FftPlan::<f64>::new(n)
+            .unwrap()
+            .forward_real(&sig)
+            .unwrap();
         // DC bin should agree to within quantization noise.
         assert!((approx[0].re - exact[0].re).abs() < 0.1);
     }

@@ -52,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod batched;
 mod complex;
 mod error;
 mod float;
@@ -64,6 +65,7 @@ pub mod fixed;
 pub mod ops;
 pub mod recursive;
 
+pub use batched::BatchFftPlan;
 pub use complex::{Complex, Complex32, Complex64};
 pub use error::FftError;
 pub use float::Float;

@@ -76,7 +76,12 @@ impl<T: Float> FftPlan<T> {
         if n == 1 {
             bitrev[0] = 0;
         }
-        Ok(Self { n, log2n, twiddles, bitrev })
+        Ok(Self {
+            n,
+            log2n,
+            twiddles,
+            bitrev,
+        })
     }
 
     /// Transform length this plan was built for.
@@ -104,9 +109,16 @@ impl<T: Float> FftPlan<T> {
     /// # Errors
     ///
     /// Returns [`FftError::LengthMismatch`] if `data.len() != self.len()`.
-    pub fn process(&self, data: &mut [Complex<T>], direction: FftDirection) -> Result<(), FftError> {
+    pub fn process(
+        &self,
+        data: &mut [Complex<T>],
+        direction: FftDirection,
+    ) -> Result<(), FftError> {
         if data.len() != self.n {
-            return Err(FftError::LengthMismatch { expected: self.n, got: data.len() });
+            return Err(FftError::LengthMismatch {
+                expected: self.n,
+                got: data.len(),
+            });
         }
         if self.n == 1 {
             return Ok(());
@@ -174,7 +186,10 @@ impl<T: Float> FftPlan<T> {
     /// Returns [`FftError::LengthMismatch`] if `input.len() != self.len()`.
     pub fn forward_real(&self, input: &[T]) -> Result<Vec<Complex<T>>, FftError> {
         if input.len() != self.n {
-            return Err(FftError::LengthMismatch { expected: self.n, got: input.len() });
+            return Err(FftError::LengthMismatch {
+                expected: self.n,
+                got: input.len(),
+            });
         }
         let mut buf: Vec<Complex<T>> = input.iter().map(|&x| Complex::from_real(x)).collect();
         self.forward(&mut buf)?;
@@ -185,7 +200,10 @@ impl<T: Float> FftPlan<T> {
 /// Reference `O(n²)` DFT used by the test-suite to pin the FFT output bit
 /// patterns against the definition.
 #[cfg(test)]
-pub(crate) fn dft_naive<T: Float>(input: &[Complex<T>], direction: FftDirection) -> Vec<Complex<T>> {
+pub(crate) fn dft_naive<T: Float>(
+    input: &[Complex<T>],
+    direction: FftDirection,
+) -> Vec<Complex<T>> {
     let n = input.len();
     let sign = match direction {
         FftDirection::Forward => -T::ONE,
@@ -211,7 +229,10 @@ mod tests {
     use super::*;
 
     fn max_err(a: &[Complex<f64>], b: &[Complex<f64>]) -> f64 {
-        a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).fold(0.0, f64::max)
+        a.iter()
+            .zip(b)
+            .map(|(&x, &y)| (x - y).abs())
+            .fold(0.0, f64::max)
     }
 
     fn seeded_signal(n: usize, seed: u64) -> Vec<Complex<f64>> {
@@ -219,9 +240,13 @@ mod tests {
         let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let re = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let im = ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
                 Complex::new(re, im)
             })
@@ -231,8 +256,14 @@ mod tests {
     #[test]
     fn rejects_bad_lengths() {
         assert_eq!(FftPlan::<f64>::new(0).unwrap_err(), FftError::ZeroLength);
-        assert_eq!(FftPlan::<f64>::new(12).unwrap_err(), FftError::NotPowerOfTwo(12));
-        assert_eq!(FftPlan::<f64>::new(7).unwrap_err(), FftError::NotPowerOfTwo(7));
+        assert_eq!(
+            FftPlan::<f64>::new(12).unwrap_err(),
+            FftError::NotPowerOfTwo(12)
+        );
+        assert_eq!(
+            FftPlan::<f64>::new(7).unwrap_err(),
+            FftError::NotPowerOfTwo(7)
+        );
     }
 
     #[test]
@@ -241,7 +272,10 @@ mod tests {
         let mut buf = vec![Complex::zero(); 4];
         assert_eq!(
             plan.forward(&mut buf).unwrap_err(),
-            FftError::LengthMismatch { expected: 8, got: 4 }
+            FftError::LengthMismatch {
+                expected: 8,
+                got: 4
+            }
         );
     }
 
@@ -322,13 +356,18 @@ mod tests {
         let plan = FftPlan::<f64>::new(n).unwrap();
         let a = seeded_signal(n, 1);
         let b = seeded_signal(n, 2);
-        let mut sum: Vec<Complex<f64>> = a.iter().zip(&b).map(|(&x, &y)| x + y.scale(2.5)).collect();
+        let mut sum: Vec<Complex<f64>> =
+            a.iter().zip(&b).map(|(&x, &y)| x + y.scale(2.5)).collect();
         plan.forward(&mut sum).unwrap();
         let mut fa = a.clone();
         plan.forward(&mut fa).unwrap();
         let mut fb = b.clone();
         plan.forward(&mut fb).unwrap();
-        let expect: Vec<Complex<f64>> = fa.iter().zip(&fb).map(|(&x, &y)| x + y.scale(2.5)).collect();
+        let expect: Vec<Complex<f64>> = fa
+            .iter()
+            .zip(&fb)
+            .map(|(&x, &y)| x + y.scale(2.5))
+            .collect();
         assert!(max_err(&sum, &expect) < 1e-11);
     }
 
@@ -365,8 +404,10 @@ mod tests {
         let n = 512;
         let plan = FftPlan::<f32>::new(n).unwrap();
         let sig64 = seeded_signal(n, 3);
-        let mut buf: Vec<Complex<f32>> =
-            sig64.iter().map(|z| Complex::new(z.re as f32, z.im as f32)).collect();
+        let mut buf: Vec<Complex<f32>> = sig64
+            .iter()
+            .map(|z| Complex::new(z.re as f32, z.im as f32))
+            .collect();
         plan.forward(&mut buf).unwrap();
         plan.inverse(&mut buf).unwrap();
         for (a, b) in buf.iter().zip(&sig64) {

@@ -99,7 +99,9 @@ pub fn trace_butterflies(n: usize) -> Result<ButterflyTrace, FftError> {
         return Err(FftError::NotPowerOfTwo(n));
     }
     let levels = n.trailing_zeros() as usize;
-    Ok(ButterflyTrace { per_level: vec![n / 2; levels] })
+    Ok(ButterflyTrace {
+        per_level: vec![n / 2; levels],
+    })
 }
 
 #[cfg(test)]

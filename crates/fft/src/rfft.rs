@@ -56,7 +56,11 @@ impl<T: Float> RealFftPlan<T> {
         if !n.is_power_of_two() {
             return Err(FftError::NotPowerOfTwo(n));
         }
-        let half = if n >= 2 { Some(FftPlan::new(n / 2)?) } else { None };
+        let half = if n >= 2 {
+            Some(FftPlan::new(n / 2)?)
+        } else {
+            None
+        };
         let mut twiddles = Vec::with_capacity(n / 2 + 1);
         for k in 0..=n / 2 {
             let theta = -T::TWO * T::PI * T::from_usize(k) / T::from_usize(n);
@@ -112,10 +116,16 @@ impl<T: Float> RealFftPlan<T> {
         scratch: &mut [Complex<T>],
     ) -> Result<(), FftError> {
         if input.len() != self.n {
-            return Err(FftError::LengthMismatch { expected: self.n, got: input.len() });
+            return Err(FftError::LengthMismatch {
+                expected: self.n,
+                got: input.len(),
+            });
         }
         if out.len() != self.spectrum_len() {
-            return Err(FftError::LengthMismatch { expected: self.spectrum_len(), got: out.len() });
+            return Err(FftError::LengthMismatch {
+                expected: self.spectrum_len(),
+                got: out.len(),
+            });
         }
         if self.n == 1 {
             out[0] = Complex::from_real(input[0]);
@@ -123,7 +133,10 @@ impl<T: Float> RealFftPlan<T> {
         }
         let n2 = self.n / 2;
         if scratch.len() != n2 {
-            return Err(FftError::LengthMismatch { expected: n2, got: scratch.len() });
+            return Err(FftError::LengthMismatch {
+                expected: n2,
+                got: scratch.len(),
+            });
         }
         // Pack x[2m] + i·x[2m+1] and run the half-size complex FFT.
         for m in 0..n2 {
@@ -177,7 +190,10 @@ impl<T: Float> RealFftPlan<T> {
             });
         }
         if out.len() != self.n {
-            return Err(FftError::LengthMismatch { expected: self.n, got: out.len() });
+            return Err(FftError::LengthMismatch {
+                expected: self.n,
+                got: out.len(),
+            });
         }
         if self.n == 1 {
             out[0] = spectrum[0].re;
@@ -185,7 +201,10 @@ impl<T: Float> RealFftPlan<T> {
         }
         let n2 = self.n / 2;
         if scratch.len() != n2 {
-            return Err(FftError::LengthMismatch { expected: n2, got: scratch.len() });
+            return Err(FftError::LengthMismatch {
+                expected: n2,
+                got: scratch.len(),
+            });
         }
         // Re-pack: E[k] = (X[k] + conj(X[n2−k]))/2,
         // O[k] = e^{+2πik/n}·(X[k] − conj(X[n2−k]))/2, Z[k] = E[k] + i·O[k].
@@ -216,7 +235,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
             })
             .collect()
@@ -304,10 +325,14 @@ mod tests {
         let x = [0.0; 8];
         let mut out = vec![Complex::zero(); 5];
         let mut bad_scratch = vec![Complex::zero(); 3];
-        assert!(plan.forward_with_scratch(&x, &mut out, &mut bad_scratch).is_err());
+        assert!(plan
+            .forward_with_scratch(&x, &mut out, &mut bad_scratch)
+            .is_err());
         let mut bad_out = vec![Complex::zero(); 4];
         let mut scratch = vec![Complex::zero(); 4];
-        assert!(plan.forward_with_scratch(&x, &mut bad_out, &mut scratch).is_err());
+        assert!(plan
+            .forward_with_scratch(&x, &mut bad_out, &mut scratch)
+            .is_err());
         assert!(plan.forward(&[0.0; 7]).is_err());
         assert!(plan.inverse(&vec![Complex::zero(); 4]).is_err());
     }

@@ -6,7 +6,7 @@
 //! Fig. 10 hardware saving).
 
 use circnn_fft::convolve::{
-    circular_convolve_direct, circular_correlate_direct, circulant_from_first_row,
+    circulant_from_first_row, circular_convolve_direct, circular_correlate_direct,
     CircularConvolver,
 };
 use circnn_fft::{Complex, FftPlan, RealFftPlan};

@@ -26,7 +26,11 @@ impl FpgaResources {
     /// blocks (684 18×18 multipliers), ≈12,200 Kbit M10K block RAM
     /// (Cyclone V device handbook).
     pub fn cyclone_v_5cea9() -> Self {
-        Self { logic_elements: 301_000, multipliers_18x18: 684, block_ram_kbit: 12_200 }
+        Self {
+            logic_elements: 301_000,
+            multipliers_18x18: 684,
+            block_ram_kbit: 12_200,
+        }
     }
 
     /// Whether a demand fits within this inventory.
@@ -81,7 +85,14 @@ pub fn resource_bound_p(
 ) -> usize {
     let mut best = 0usize;
     for p in 1..=4096 {
-        if device.fits(&fpga_demand(p, d, cmul_lanes, mac_lanes, simple_lanes, weight_kbit)) {
+        if device.fits(&fpga_demand(
+            p,
+            d,
+            cmul_lanes,
+            mac_lanes,
+            simple_lanes,
+            weight_kbit,
+        )) {
             best = p;
         } else {
             break;
@@ -124,7 +135,10 @@ pub fn asic_demand(
         + mac_lanes as f64 * (MULT_MM2 + ADD_MM2)
         + 0.5; // control + I/O
     let sram_mm2 = weight_bits as f64 / 1.0e6 * 0.6;
-    AsicArea { logic_mm2, sram_mm2 }
+    AsicArea {
+        logic_mm2,
+        sram_mm2,
+    }
 }
 
 #[cfg(test)]

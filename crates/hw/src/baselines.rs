@@ -24,14 +24,34 @@ pub struct RefPoint {
 pub fn fpga_references() -> Vec<RefPoint> {
     vec![
         // Qiu et al., FPGA'16: VGG on Zynq XC7Z045 — 136.97 GOPS @ 9.63 W.
-        RefPoint { name: "[FPGA16]", source: "Qiu et al., FPGA 2016", gops: 137.0, gops_per_w: 14.2 },
+        RefPoint {
+            name: "[FPGA16]",
+            source: "Qiu et al., FPGA 2016",
+            gops: 137.0,
+            gops_per_w: 14.2,
+        },
         // Zhang et al. Caffeine, ICCAD'16: KU060 — 365 GOPS @ ~25 W.
-        RefPoint { name: "[ICCAD16]", source: "Zhang et al., ICCAD 2016", gops: 365.0, gops_per_w: 14.6 },
+        RefPoint {
+            name: "[ICCAD16]",
+            source: "Zhang et al., ICCAD 2016",
+            gops: 365.0,
+            gops_per_w: 14.6,
+        },
         // Han et al. ESE, FPGA'17: sparse LSTM, 282 GOPS on sparse =
         // 2520 GOPS dense-equivalent @ 41 W.
-        RefPoint { name: "[FPGA17,Han]", source: "Han et al., FPGA 2017 (ESE)", gops: 2520.0, gops_per_w: 61.5 },
+        RefPoint {
+            name: "[FPGA17,Han]",
+            source: "Han et al., FPGA 2017 (ESE)",
+            gops: 2520.0,
+            gops_per_w: 61.5,
+        },
         // Zhao et al., FPGA'17: binarized CNN — 207.8 GOPS @ 4.7 W.
-        RefPoint { name: "[FPGA17,Zhao]", source: "Zhao et al., FPGA 2017", gops: 207.8, gops_per_w: 44.2 },
+        RefPoint {
+            name: "[FPGA17,Zhao]",
+            source: "Zhao et al., FPGA 2017",
+            gops: 207.8,
+            gops_per_w: 44.2,
+        },
     ]
 }
 
@@ -40,25 +60,58 @@ pub fn asic_references() -> Vec<RefPoint> {
     vec![
         // Han et al. EIE, ISCA'16: 102 GOPS on sparse FC = ~3 TOPS
         // equivalent @ 0.59 W.
-        RefPoint { name: "[EIE]", source: "Han et al., ISCA 2016", gops: 3000.0, gops_per_w: 5000.0 },
+        RefPoint {
+            name: "[EIE]",
+            source: "Han et al., ISCA 2016",
+            gops: 3000.0,
+            gops_per_w: 5000.0,
+        },
         // Chen et al. Eyeriss, JSSC'17: AlexNet conv 46.2 GOPS @ 0.278 W.
-        RefPoint { name: "[Eyeriss]", source: "Chen et al., JSSC 2017", gops: 46.2, gops_per_w: 166.0 },
+        RefPoint {
+            name: "[Eyeriss]",
+            source: "Chen et al., JSSC 2017",
+            gops: 46.2,
+            gops_per_w: 166.0,
+        },
         // Sim et al., ISSCC'16 (KAIST): 64–128 GOPS, 1.42 TOPS/W.
-        RefPoint { name: "[ISSCC16,KAIST]", source: "Sim et al., ISSCC 2016", gops: 64.0, gops_per_w: 1420.0 },
+        RefPoint {
+            name: "[ISSCC16,KAIST]",
+            source: "Sim et al., ISSCC 2016",
+            gops: 64.0,
+            gops_per_w: 1420.0,
+        },
         // Desoli et al., ISSCC'17 (ST): 676 GOPS @ 2.9 TOPS/W.
-        RefPoint { name: "[ISSCC17,ST]", source: "Desoli et al., ISSCC 2017", gops: 676.0, gops_per_w: 2900.0 },
+        RefPoint {
+            name: "[ISSCC17,ST]",
+            source: "Desoli et al., ISSCC 2017",
+            gops: 676.0,
+            gops_per_w: 2900.0,
+        },
         // Moons et al. ENVISION, ISSCC'17 (KU Leuven): up to 10 TOPS/W
         // (near-threshold, scaled precision), 76 GOPS.
-        RefPoint { name: "[ISSCC17,KULeuven]", source: "Moons et al., ISSCC 2017", gops: 76.0, gops_per_w: 10000.0 },
+        RefPoint {
+            name: "[ISSCC17,KULeuven]",
+            source: "Moons et al., ISSCC 2017",
+            gops: 76.0,
+            gops_per_w: 10000.0,
+        },
         // NVIDIA Jetson TX1: ~1 TFLOPS FP16 @ ~10 W.
-        RefPoint { name: "[GPU,TX1]", source: "NVIDIA Jetson TX1 (whitepaper)", gops: 1000.0, gops_per_w: 100.0 },
+        RefPoint {
+            name: "[GPU,TX1]",
+            source: "NVIDIA Jetson TX1 (whitepaper)",
+            gops: 1000.0,
+            gops_per_w: 100.0,
+        },
     ]
 }
 
 /// The best published ASIC energy efficiency (the "best state-of-the-art"
 /// of the 6–102× claims).
 pub fn best_asic_gops_per_w() -> f64 {
-    asic_references().iter().map(|r| r.gops_per_w).fold(0.0, f64::max)
+    asic_references()
+        .iter()
+        .map(|r| r.gops_per_w)
+        .fold(0.0, f64::max)
 }
 
 /// IBM TrueNorth end-to-end results (Fig. 14), from Esser et al. —
@@ -79,9 +132,24 @@ pub struct TrueNorthPoint {
 /// TrueNorth reference rows of Fig. 14, as printed in the paper.
 pub fn truenorth_references() -> Vec<TrueNorthPoint> {
     vec![
-        TrueNorthPoint { dataset: "MNIST", fps: 1000.0, fps_per_w: 16667.0, accuracy_pct: 92.7 },
-        TrueNorthPoint { dataset: "CIFAR-10", fps: 1249.0, fps_per_w: 6108.6, accuracy_pct: 83.4 },
-        TrueNorthPoint { dataset: "SVHN", fps: 2526.0, fps_per_w: 9889.9, accuracy_pct: 96.7 },
+        TrueNorthPoint {
+            dataset: "MNIST",
+            fps: 1000.0,
+            fps_per_w: 16667.0,
+            accuracy_pct: 92.7,
+        },
+        TrueNorthPoint {
+            dataset: "CIFAR-10",
+            fps: 1249.0,
+            fps_per_w: 6108.6,
+            accuracy_pct: 83.4,
+        },
+        TrueNorthPoint {
+            dataset: "SVHN",
+            fps: 2526.0,
+            fps_per_w: 9889.9,
+            accuracy_pct: 96.7,
+        },
     ]
 }
 
@@ -89,9 +157,24 @@ pub fn truenorth_references() -> Vec<TrueNorthPoint> {
 /// simulator against the published shape).
 pub fn paper_fig14_circnn() -> Vec<TrueNorthPoint> {
     vec![
-        TrueNorthPoint { dataset: "MNIST", fps: 13698.0, fps_per_w: 24905.0, accuracy_pct: 99.0 },
-        TrueNorthPoint { dataset: "CIFAR-10", fps: 726.0, fps_per_w: 1320.0, accuracy_pct: 80.3 },
-        TrueNorthPoint { dataset: "SVHN", fps: 4464.0, fps_per_w: 8116.0, accuracy_pct: 94.6 },
+        TrueNorthPoint {
+            dataset: "MNIST",
+            fps: 13698.0,
+            fps_per_w: 24905.0,
+            accuracy_pct: 99.0,
+        },
+        TrueNorthPoint {
+            dataset: "CIFAR-10",
+            fps: 726.0,
+            fps_per_w: 1320.0,
+            accuracy_pct: 80.3,
+        },
+        TrueNorthPoint {
+            dataset: "SVHN",
+            fps: 4464.0,
+            fps_per_w: 8116.0,
+            accuracy_pct: 94.6,
+        },
     ]
 }
 

@@ -59,7 +59,12 @@ impl BasicComputingBlock {
     pub fn with_params(p: usize, d: usize, bubble_beta: f64, mem_bits_per_cycle: f64) -> Self {
         assert!(p > 0 && d > 0, "degenerate computing block");
         assert!(bubble_beta >= 0.0 && mem_bits_per_cycle > 0.0);
-        Self { p, d, bubble_beta, mem_bits_per_cycle }
+        Self {
+            p,
+            d,
+            bubble_beta,
+            mem_bits_per_cycle,
+        }
     }
 
     /// Pipeline efficiency `η(d)`.

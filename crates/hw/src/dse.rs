@@ -94,7 +94,13 @@ pub fn evaluate(cfg: &DseConfig, p: usize, d: usize) -> DsePoint {
     let traffic = throughput * BITS_PER_BUTTERFLY / d as f64;
     let power_w =
         cfg.fixed_power_w + cfg.unit_power_w * (p * d) as f64 + cfg.mem_power_w_per_bpc * traffic;
-    DsePoint { p, d, throughput, power_w, metric: throughput / power_w }
+    DsePoint {
+        p,
+        d,
+        throughput,
+        power_w,
+        metric: throughput / power_w,
+    }
 }
 
 /// Runs Algorithm 3: ternary search over `p` (at `d = 1`), then over `d`.
@@ -138,7 +144,11 @@ pub fn optimize(cfg: &DseConfig) -> DseResult {
             best = e;
         }
     }
-    DseResult { best, p_bound, evaluated }
+    DseResult {
+        best,
+        p_bound,
+        evaluated,
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +230,9 @@ mod tests {
     fn evaluated_points_are_recorded() {
         let result = optimize(&DseConfig::cyclone_v());
         assert!(!result.evaluated.is_empty());
-        assert!(result.evaluated.iter().all(|e| e.power_w > 0.0 && e.throughput > 0.0));
+        assert!(result
+            .evaluated
+            .iter()
+            .all(|e| e.power_w > 0.0 && e.throughput > 0.0));
     }
 }

@@ -154,9 +154,15 @@ mod tests {
         let nt = EnergyModel::asic_near_threshold(4, 0.55);
         let logic_gain = nominal.butterfly_j / nt.butterfly_j;
         let mem_gain = nominal.sram_bit_j / nt.sram_bit_j;
-        assert!(logic_gain > 25.0 && logic_gain < 70.0, "logic gain {logic_gain}");
+        assert!(
+            logic_gain > 25.0 && logic_gain < 70.0,
+            "logic gain {logic_gain}"
+        );
         assert!(mem_gain > 3.0 && mem_gain < 12.0, "memory gain {mem_gain}");
-        assert!(mem_gain < 17.0 && 17.0 < logic_gain, "17× must lie between the components");
+        assert!(
+            mem_gain < 17.0 && 17.0 < logic_gain,
+            "17× must lie between the components"
+        );
     }
 
     #[test]

@@ -90,13 +90,34 @@ impl LayerDesc {
     /// Number of output feature-map pixels (1 for FC/activation layers).
     pub fn out_pixels(&self) -> usize {
         match *self {
-            LayerDesc::ConvCirculant { kernel, stride, padding, in_h, in_w, .. }
-            | LayerDesc::ConvDense { kernel, stride, padding, in_h, in_w, .. } => {
+            LayerDesc::ConvCirculant {
+                kernel,
+                stride,
+                padding,
+                in_h,
+                in_w,
+                ..
+            }
+            | LayerDesc::ConvDense {
+                kernel,
+                stride,
+                padding,
+                in_h,
+                in_w,
+                ..
+            } => {
                 Self::out_extent(in_h, kernel, stride, padding)
                     * Self::out_extent(in_w, kernel, stride, padding)
             }
-            LayerDesc::Pool { in_h, in_w, window, stride, .. } => {
-                Self::out_extent(in_h, window, stride, 0) * Self::out_extent(in_w, window, stride, 0)
+            LayerDesc::Pool {
+                in_h,
+                in_w,
+                window,
+                stride,
+                ..
+            } => {
+                Self::out_extent(in_h, window, stride, 0)
+                    * Self::out_extent(in_w, window, stride, 0)
             }
             _ => 1,
         }
@@ -106,19 +127,29 @@ impl LayerDesc {
     /// the numerator of the paper's "equivalent GOPS".
     pub fn dense_equiv_ops(&self) -> u64 {
         match *self {
-            LayerDesc::FcCirculant { in_dim, out_dim, .. }
+            LayerDesc::FcCirculant {
+                in_dim, out_dim, ..
+            }
             | LayerDesc::FcDense { in_dim, out_dim } => 2 * in_dim as u64 * out_dim as u64,
-            LayerDesc::ConvCirculant { in_channels, out_channels, kernel, .. } => {
-                2 * self.out_pixels() as u64
-                    * (kernel * kernel * in_channels * out_channels) as u64
+            LayerDesc::ConvCirculant {
+                in_channels,
+                out_channels,
+                kernel,
+                ..
+            } => {
+                2 * self.out_pixels() as u64 * (kernel * kernel * in_channels * out_channels) as u64
             }
-            LayerDesc::ConvDense { in_channels, out_channels, kernel, .. } => {
-                2 * self.out_pixels() as u64
-                    * (kernel * kernel * in_channels * out_channels) as u64
+            LayerDesc::ConvDense {
+                in_channels,
+                out_channels,
+                kernel,
+                ..
+            } => {
+                2 * self.out_pixels() as u64 * (kernel * kernel * in_channels * out_channels) as u64
             }
-            LayerDesc::Pool { channels, window, .. } => {
-                self.out_pixels() as u64 * channels as u64 * (window * window) as u64
-            }
+            LayerDesc::Pool {
+                channels, window, ..
+            } => self.out_pixels() as u64 * channels as u64 * (window * window) as u64,
             LayerDesc::Activation { len } => len as u64,
         }
     }
@@ -126,17 +157,28 @@ impl LayerDesc {
     /// Stored weight parameter count for this layer.
     pub fn weight_params(&self) -> u64 {
         match *self {
-            LayerDesc::FcCirculant { in_dim, out_dim, block } => {
-                (out_dim.div_ceil(block) * in_dim.div_ceil(block) * block) as u64
-            }
+            LayerDesc::FcCirculant {
+                in_dim,
+                out_dim,
+                block,
+            } => (out_dim.div_ceil(block) * in_dim.div_ceil(block) * block) as u64,
             LayerDesc::FcDense { in_dim, out_dim } => (in_dim * out_dim) as u64,
-            LayerDesc::ConvCirculant { in_channels, out_channels, kernel, block, .. } => {
+            LayerDesc::ConvCirculant {
+                in_channels,
+                out_channels,
+                kernel,
+                block,
+                ..
+            } => {
                 let rows = in_channels * kernel * kernel;
                 (rows.div_ceil(block) * out_channels.div_ceil(block) * block) as u64
             }
-            LayerDesc::ConvDense { in_channels, out_channels, kernel, .. } => {
-                (in_channels * out_channels * kernel * kernel) as u64
-            }
+            LayerDesc::ConvDense {
+                in_channels,
+                out_channels,
+                kernel,
+                ..
+            } => (in_channels * out_channels * kernel * kernel) as u64,
             _ => 0,
         }
     }
@@ -166,7 +208,10 @@ pub struct NetworkDescriptor {
 impl NetworkDescriptor {
     /// Creates a descriptor.
     pub fn new(name: impl Into<String>, layers: Vec<LayerDesc>) -> Self {
-        Self { name: name.into(), layers }
+        Self {
+            name: name.into(),
+            layers,
+        }
     }
 
     /// Total dense-equivalent ops per inference.
@@ -191,22 +236,56 @@ impl NetworkDescriptor {
             "lenet5-circ",
             vec![
                 LayerDesc::ConvDense {
-                    in_channels: 1, out_channels: 6, kernel: 5, stride: 1, padding: 2,
-                    in_h: 28, in_w: 28,
+                    in_channels: 1,
+                    out_channels: 6,
+                    kernel: 5,
+                    stride: 1,
+                    padding: 2,
+                    in_h: 28,
+                    in_w: 28,
                 },
                 LayerDesc::Activation { len: 6 * 28 * 28 },
-                LayerDesc::Pool { channels: 6, in_h: 28, in_w: 28, window: 2, stride: 2 },
+                LayerDesc::Pool {
+                    channels: 6,
+                    in_h: 28,
+                    in_w: 28,
+                    window: 2,
+                    stride: 2,
+                },
                 LayerDesc::ConvCirculant {
-                    in_channels: 6, out_channels: 16, kernel: 5, stride: 1, padding: 0,
-                    in_h: 14, in_w: 14, block: 8,
+                    in_channels: 6,
+                    out_channels: 16,
+                    kernel: 5,
+                    stride: 1,
+                    padding: 0,
+                    in_h: 14,
+                    in_w: 14,
+                    block: 8,
                 },
                 LayerDesc::Activation { len: 16 * 10 * 10 },
-                LayerDesc::Pool { channels: 16, in_h: 10, in_w: 10, window: 2, stride: 2 },
-                LayerDesc::FcCirculant { in_dim: 400, out_dim: 120, block: 8 },
+                LayerDesc::Pool {
+                    channels: 16,
+                    in_h: 10,
+                    in_w: 10,
+                    window: 2,
+                    stride: 2,
+                },
+                LayerDesc::FcCirculant {
+                    in_dim: 400,
+                    out_dim: 120,
+                    block: 8,
+                },
                 LayerDesc::Activation { len: 120 },
-                LayerDesc::FcCirculant { in_dim: 120, out_dim: 84, block: 4 },
+                LayerDesc::FcCirculant {
+                    in_dim: 120,
+                    out_dim: 84,
+                    block: 4,
+                },
                 LayerDesc::Activation { len: 84 },
-                LayerDesc::FcDense { in_dim: 84, out_dim: 10 },
+                LayerDesc::FcDense {
+                    in_dim: 84,
+                    out_dim: 10,
+                },
             ],
         )
     }
@@ -222,38 +301,98 @@ impl NetworkDescriptor {
             "alexnet-circ",
             vec![
                 LayerDesc::ConvCirculant {
-                    in_channels: 3, out_channels: 96, kernel: 11, stride: 4, padding: 0,
-                    in_h: 227, in_w: 227, block: 64,
+                    in_channels: 3,
+                    out_channels: 96,
+                    kernel: 11,
+                    stride: 4,
+                    padding: 0,
+                    in_h: 227,
+                    in_w: 227,
+                    block: 64,
                 },
                 LayerDesc::Activation { len: 96 * 55 * 55 },
-                LayerDesc::Pool { channels: 96, in_h: 55, in_w: 55, window: 3, stride: 2 },
+                LayerDesc::Pool {
+                    channels: 96,
+                    in_h: 55,
+                    in_w: 55,
+                    window: 3,
+                    stride: 2,
+                },
                 LayerDesc::ConvCirculant {
-                    in_channels: 96, out_channels: 256, kernel: 5, stride: 1, padding: 2,
-                    in_h: 27, in_w: 27, block: 64,
+                    in_channels: 96,
+                    out_channels: 256,
+                    kernel: 5,
+                    stride: 1,
+                    padding: 2,
+                    in_h: 27,
+                    in_w: 27,
+                    block: 64,
                 },
                 LayerDesc::Activation { len: 256 * 27 * 27 },
-                LayerDesc::Pool { channels: 256, in_h: 27, in_w: 27, window: 3, stride: 2 },
+                LayerDesc::Pool {
+                    channels: 256,
+                    in_h: 27,
+                    in_w: 27,
+                    window: 3,
+                    stride: 2,
+                },
                 LayerDesc::ConvCirculant {
-                    in_channels: 256, out_channels: 384, kernel: 3, stride: 1, padding: 1,
-                    in_h: 13, in_w: 13, block: 128,
+                    in_channels: 256,
+                    out_channels: 384,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                    in_h: 13,
+                    in_w: 13,
+                    block: 128,
                 },
                 LayerDesc::Activation { len: 384 * 13 * 13 },
                 LayerDesc::ConvCirculant {
-                    in_channels: 384, out_channels: 384, kernel: 3, stride: 1, padding: 1,
-                    in_h: 13, in_w: 13, block: 128,
+                    in_channels: 384,
+                    out_channels: 384,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                    in_h: 13,
+                    in_w: 13,
+                    block: 128,
                 },
                 LayerDesc::Activation { len: 384 * 13 * 13 },
                 LayerDesc::ConvCirculant {
-                    in_channels: 384, out_channels: 256, kernel: 3, stride: 1, padding: 1,
-                    in_h: 13, in_w: 13, block: 128,
+                    in_channels: 384,
+                    out_channels: 256,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                    in_h: 13,
+                    in_w: 13,
+                    block: 128,
                 },
                 LayerDesc::Activation { len: 256 * 13 * 13 },
-                LayerDesc::Pool { channels: 256, in_h: 13, in_w: 13, window: 3, stride: 2 },
-                LayerDesc::FcCirculant { in_dim: 9216, out_dim: 4096, block: 128 },
+                LayerDesc::Pool {
+                    channels: 256,
+                    in_h: 13,
+                    in_w: 13,
+                    window: 3,
+                    stride: 2,
+                },
+                LayerDesc::FcCirculant {
+                    in_dim: 9216,
+                    out_dim: 4096,
+                    block: 128,
+                },
                 LayerDesc::Activation { len: 4096 },
-                LayerDesc::FcCirculant { in_dim: 4096, out_dim: 4096, block: 128 },
+                LayerDesc::FcCirculant {
+                    in_dim: 4096,
+                    out_dim: 4096,
+                    block: 128,
+                },
                 LayerDesc::Activation { len: 4096 },
-                LayerDesc::FcCirculant { in_dim: 4096, out_dim: 1000, block: 128 },
+                LayerDesc::FcCirculant {
+                    in_dim: 4096,
+                    out_dim: 1000,
+                    block: 128,
+                },
             ],
         )
     }
@@ -273,7 +412,11 @@ impl NetworkDescriptor {
         ];
         for (in_ch, out_ch, size, count) in blocks {
             for i in 0..count {
-                let (ci, co) = if i == 0 { (in_ch, out_ch) } else { (out_ch, out_ch) };
+                let (ci, co) = if i == 0 {
+                    (in_ch, out_ch)
+                } else {
+                    (out_ch, out_ch)
+                };
                 // Circulant block scaled to the channel depth (k ≤ 128).
                 let k = co.min(128).min(ci.max(4).next_power_of_two());
                 layers.push(LayerDesc::ConvCirculant {
@@ -286,7 +429,9 @@ impl NetworkDescriptor {
                     in_w: size,
                     block: k,
                 });
-                layers.push(LayerDesc::Activation { len: co * size * size });
+                layers.push(LayerDesc::Activation {
+                    len: co * size * size,
+                });
             }
             layers.push(LayerDesc::Pool {
                 channels: out_ch,
@@ -296,11 +441,23 @@ impl NetworkDescriptor {
                 stride: 2,
             });
         }
-        layers.push(LayerDesc::FcCirculant { in_dim: 512 * 7 * 7, out_dim: 4096, block: 256 });
+        layers.push(LayerDesc::FcCirculant {
+            in_dim: 512 * 7 * 7,
+            out_dim: 4096,
+            block: 256,
+        });
         layers.push(LayerDesc::Activation { len: 4096 });
-        layers.push(LayerDesc::FcCirculant { in_dim: 4096, out_dim: 4096, block: 256 });
+        layers.push(LayerDesc::FcCirculant {
+            in_dim: 4096,
+            out_dim: 4096,
+            block: 256,
+        });
         layers.push(LayerDesc::Activation { len: 4096 });
-        layers.push(LayerDesc::FcCirculant { in_dim: 4096, out_dim: 1000, block: 128 });
+        layers.push(LayerDesc::FcCirculant {
+            in_dim: 4096,
+            out_dim: 1000,
+            block: 128,
+        });
         Self::new("vgg16-circ", layers)
     }
 
@@ -312,13 +469,26 @@ impl NetworkDescriptor {
             .into_iter()
             .map(|l| match l {
                 LayerDesc::ConvCirculant {
-                    in_channels, out_channels, kernel, stride, padding, in_h, in_w, ..
+                    in_channels,
+                    out_channels,
+                    kernel,
+                    stride,
+                    padding,
+                    in_h,
+                    in_w,
+                    ..
                 } => LayerDesc::ConvDense {
-                    in_channels, out_channels, kernel, stride, padding, in_h, in_w,
+                    in_channels,
+                    out_channels,
+                    kernel,
+                    stride,
+                    padding,
+                    in_h,
+                    in_w,
                 },
-                LayerDesc::FcCirculant { in_dim, out_dim, .. } => {
-                    LayerDesc::FcDense { in_dim, out_dim }
-                }
+                LayerDesc::FcCirculant {
+                    in_dim, out_dim, ..
+                } => LayerDesc::FcDense { in_dim, out_dim },
                 other => other,
             })
             .collect();
@@ -370,18 +540,36 @@ mod tests {
     #[test]
     fn out_pixels_formula() {
         let conv = LayerDesc::ConvDense {
-            in_channels: 3, out_channels: 96, kernel: 11, stride: 4, padding: 2,
-            in_h: 227, in_w: 227,
+            in_channels: 3,
+            out_channels: 96,
+            kernel: 11,
+            stride: 4,
+            padding: 2,
+            in_h: 227,
+            in_w: 227,
         };
         assert_eq!(conv.out_pixels(), 56 * 56);
-        let pool = LayerDesc::Pool { channels: 96, in_h: 56, in_w: 56, window: 3, stride: 2 };
+        let pool = LayerDesc::Pool {
+            channels: 96,
+            in_h: 56,
+            in_w: 56,
+            window: 3,
+            stride: 2,
+        };
         assert_eq!(pool.out_pixels(), 27 * 27);
     }
 
     #[test]
     fn weight_params_reflect_block_compression() {
-        let circ = LayerDesc::FcCirculant { in_dim: 9216, out_dim: 4096, block: 128 };
-        let dense = LayerDesc::FcDense { in_dim: 9216, out_dim: 4096 };
+        let circ = LayerDesc::FcCirculant {
+            in_dim: 9216,
+            out_dim: 4096,
+            block: 128,
+        };
+        let dense = LayerDesc::FcDense {
+            in_dim: 9216,
+            out_dim: 4096,
+        };
         assert_eq!(dense.weight_params() / circ.weight_params(), 128);
     }
 
@@ -398,18 +586,32 @@ mod tests {
         let params: usize = net
             .layers
             .iter()
-            .filter(|l| matches!(l, LayerDesc::ConvCirculant { .. } | LayerDesc::FcCirculant { .. }))
+            .filter(|l| {
+                matches!(
+                    l,
+                    LayerDesc::ConvCirculant { .. } | LayerDesc::FcCirculant { .. }
+                )
+            })
             .count();
         assert_eq!(params, 16);
         // Compressed weights fit in a large FPGA's block RAM budget.
-        assert!(net.weight_bytes(16) < 16 * 1024 * 1024, "{}", net.weight_bytes(16));
+        assert!(
+            net.weight_bytes(16) < 16 * 1024 * 1024,
+            "{}",
+            net.weight_bytes(16)
+        );
     }
 
     #[test]
     fn kinds_are_stable() {
         assert_eq!(LayerDesc::Activation { len: 4 }.kind(), "act");
         assert_eq!(
-            LayerDesc::FcCirculant { in_dim: 8, out_dim: 8, block: 4 }.kind(),
+            LayerDesc::FcCirculant {
+                in_dim: 8,
+                out_dim: 8,
+                block: 4
+            }
+            .kind(),
             "fc-circ"
         );
     }

@@ -124,7 +124,12 @@ mod tests {
 
     #[test]
     fn presets_have_sane_clocks_and_widths() {
-        for p in [cyclone_v(), asic_45nm(), asic_near_threshold(), dense_mac_baseline()] {
+        for p in [
+            cyclone_v(),
+            asic_45nm(),
+            asic_near_threshold(),
+            dense_mac_baseline(),
+        ] {
             assert!(p.freq_hz >= 10e6 && p.freq_hz <= 1e9, "{}", p.name);
             assert!(p.cmul_lanes > 0 && p.simple_lanes > 0);
             assert!(p.fixed_power_w > 0.0);

@@ -75,7 +75,11 @@ pub fn simulate(net: &NetworkDescriptor, platform: &Platform) -> SimReport {
     let mut layers = Vec::with_capacity(workloads.len());
     for w in workloads {
         let fft_cycles = platform.bcb.butterfly_cycles(w.butterflies)
-            + if w.butterflies > 0 { platform.bcb.layer_fill_cycles(w.fft_size) } else { 0.0 };
+            + if w.butterflies > 0 {
+                platform.bcb.layer_fill_cycles(w.fft_size)
+            } else {
+                0.0
+            };
         let cmul_cycles = w.complex_muls as f64 / platform.cmul_lanes as f64;
         let mac_cycles = w.macs as f64 / platform.mac_lanes as f64;
         let simple_cycles = w.simple_ops as f64 / platform.simple_lanes as f64;
@@ -94,8 +98,11 @@ pub fn simulate(net: &NetworkDescriptor, platform: &Platform) -> SimReport {
             .max_by(|a, b| a.1.partial_cmp(&b.1).expect("cycle counts are finite"))
             .expect("stage list is nonempty");
         let e = &platform.energy;
-        let weight_bit_j =
-            if platform.weights_offchip { e.dram_bit_j } else { e.sram_bit_j };
+        let weight_bit_j = if platform.weights_offchip {
+            e.dram_bit_j
+        } else {
+            e.sram_bit_j
+        };
         let memory_j =
             w.weight_bits as f64 * weight_bit_j + w.activation_bits as f64 * e.sram_bit_j;
         let layer_dynamic = w.butterflies as f64 * e.butterfly_j
@@ -167,7 +174,10 @@ mod tests {
 
     #[test]
     fn lenet_on_fpga_is_fast_and_frugal() {
-        let report = simulate(&NetworkDescriptor::lenet5_circulant(), &platform::cyclone_v());
+        let report = simulate(
+            &NetworkDescriptor::lenet5_circulant(),
+            &platform::cyclone_v(),
+        );
         assert!(report.fps > 2_000.0, "fps = {}", report.fps);
         assert!(report.power_w < 3.0);
         assert!(report.energy_j < 1e-3);
@@ -177,13 +187,20 @@ mod tests {
     fn alexnet_fpga_lands_in_the_fig13_band() {
         // The paper's Fig.-13 point: equivalent energy efficiency in the
         // several-hundred-to-low-thousands GOPS/W range on the Cyclone V.
-        let report = simulate(&NetworkDescriptor::alexnet_circulant(), &platform::cyclone_v());
+        let report = simulate(
+            &NetworkDescriptor::alexnet_circulant(),
+            &platform::cyclone_v(),
+        );
         assert!(
             report.equiv_gops_per_w > 300.0 && report.equiv_gops_per_w < 3000.0,
             "equiv eff = {}",
             report.equiv_gops_per_w
         );
-        assert!(report.equiv_gops > 100.0, "equiv gops = {}", report.equiv_gops);
+        assert!(
+            report.equiv_gops > 100.0,
+            "equiv gops = {}",
+            report.equiv_gops
+        );
     }
 
     #[test]
@@ -207,14 +224,23 @@ mod tests {
 
     #[test]
     fn equivalent_exceeds_actual_for_compressed_nets() {
-        let report = simulate(&NetworkDescriptor::alexnet_circulant(), &platform::cyclone_v());
+        let report = simulate(
+            &NetworkDescriptor::alexnet_circulant(),
+            &platform::cyclone_v(),
+        );
         assert!(report.equiv_gops > 5.0 * report.actual_gops);
     }
 
     #[test]
     fn dense_on_dram_baseline_is_energy_dominated_by_weights() {
-        let dense = simulate(&NetworkDescriptor::alexnet_dense(), &platform::dense_mac_baseline());
-        let circ = simulate(&NetworkDescriptor::alexnet_circulant(), &platform::asic_45nm());
+        let dense = simulate(
+            &NetworkDescriptor::alexnet_dense(),
+            &platform::dense_mac_baseline(),
+        );
+        let circ = simulate(
+            &NetworkDescriptor::alexnet_circulant(),
+            &platform::asic_45nm(),
+        );
         // The §1 motivation: DRAM weight traffic dominates the
         // uncompressed system; CirCNN's equivalent efficiency is orders of
         // magnitude better.
@@ -232,7 +258,10 @@ mod tests {
 
     #[test]
     fn memory_energy_is_comparable_but_below_compute_on_asic() {
-        let report = simulate(&NetworkDescriptor::alexnet_circulant(), &platform::asic_45nm());
+        let report = simulate(
+            &NetworkDescriptor::alexnet_circulant(),
+            &platform::asic_45nm(),
+        );
         let frac = report.memory_energy_fraction();
         assert!(frac > 0.05 && frac < 0.5, "memory fraction = {frac}");
     }

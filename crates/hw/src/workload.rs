@@ -91,19 +91,34 @@ fn dense_matvec(m: usize, n: usize, uses: u64, bits: u32) -> LayerWorkload {
 /// Prices one layer at the given datapath width.
 pub fn layer_workload(layer: &LayerDesc, bits: u32) -> LayerWorkload {
     let mut w = match *layer {
-        LayerDesc::FcCirculant { in_dim, out_dim, block } => {
-            circulant_matvec(out_dim, in_dim, block, 1, bits)
-        }
+        LayerDesc::FcCirculant {
+            in_dim,
+            out_dim,
+            block,
+        } => circulant_matvec(out_dim, in_dim, block, 1, bits),
         LayerDesc::FcDense { in_dim, out_dim } => dense_matvec(out_dim, in_dim, 1, bits),
-        LayerDesc::ConvCirculant { in_channels, out_channels, kernel, block, .. } => {
+        LayerDesc::ConvCirculant {
+            in_channels,
+            out_channels,
+            kernel,
+            block,
+            ..
+        } => {
             let rows = in_channels * kernel * kernel;
             circulant_matvec(out_channels, rows, block, layer.out_pixels() as u64, bits)
         }
-        LayerDesc::ConvDense { in_channels, out_channels, kernel, .. } => {
+        LayerDesc::ConvDense {
+            in_channels,
+            out_channels,
+            kernel,
+            ..
+        } => {
             let rows = in_channels * kernel * kernel;
             dense_matvec(out_channels, rows, layer.out_pixels() as u64, bits)
         }
-        LayerDesc::Pool { channels, window, .. } => LayerWorkload {
+        LayerDesc::Pool {
+            channels, window, ..
+        } => LayerWorkload {
             kind: "pool",
             simple_ops: layer.out_pixels() as u64 * channels as u64 * (window * window) as u64,
             activation_bits: layer.out_pixels() as u64
@@ -132,7 +147,10 @@ pub fn network_workload(net: &NetworkDescriptor, bits: u32) -> Vec<LayerWorkload
 
 /// Sums a set of layer workloads.
 pub fn total(workloads: &[LayerWorkload]) -> LayerWorkload {
-    let mut t = LayerWorkload { kind: "total", ..LayerWorkload::default() };
+    let mut t = LayerWorkload {
+        kind: "total",
+        ..LayerWorkload::default()
+    };
     for w in workloads {
         t.butterflies += w.butterflies;
         t.fft_instances += w.fft_instances;
@@ -154,7 +172,14 @@ mod tests {
     #[test]
     fn circulant_fc_matches_hand_count() {
         // 8×8 with k = 4: p = q = 2, bins = 3, rfft(4) = cfft(2) = 1 bf.
-        let w = layer_workload(&LayerDesc::FcCirculant { in_dim: 8, out_dim: 8, block: 4 }, 16);
+        let w = layer_workload(
+            &LayerDesc::FcCirculant {
+                in_dim: 8,
+                out_dim: 8,
+                block: 4,
+            },
+            16,
+        );
         assert_eq!(w.fft_instances, 4); // 2 forward + 2 inverse
         assert_eq!(w.butterflies, 4 * 1);
         // p·q·bins + (p+q)·combine = 4·3 + 4·2 = 20.
@@ -165,7 +190,13 @@ mod tests {
 
     #[test]
     fn dense_fc_is_pure_macs() {
-        let w = layer_workload(&LayerDesc::FcDense { in_dim: 100, out_dim: 10 }, 16);
+        let w = layer_workload(
+            &LayerDesc::FcDense {
+                in_dim: 100,
+                out_dim: 10,
+            },
+            16,
+        );
         assert_eq!(w.macs, 1000);
         assert_eq!(w.butterflies, 0);
         assert_eq!(w.dense_equiv_ops, 2000);
@@ -178,7 +209,14 @@ mod tests {
         // must grow monotonically with k (≈ k up to the FFT log factor:
         // the cmul count shrinks as 1/k while FFT work only grows log k).
         let gain = |k: usize| {
-            let w = layer_workload(&LayerDesc::FcCirculant { in_dim: 512, out_dim: 512, block: k }, 16);
+            let w = layer_workload(
+                &LayerDesc::FcCirculant {
+                    in_dim: 512,
+                    out_dim: 512,
+                    block: k,
+                },
+                16,
+            );
             w.dense_equiv_ops as f64 / w.actual_ops() as f64
         };
         let (g8, g64, g256) = (gain(8), gain(64), gain(256));
@@ -201,15 +239,27 @@ mod tests {
     fn conv_uses_scale_with_output_pixels() {
         let small = layer_workload(
             &LayerDesc::ConvCirculant {
-                in_channels: 64, out_channels: 64, kernel: 3, stride: 1, padding: 1,
-                in_h: 8, in_w: 8, block: 32,
+                in_channels: 64,
+                out_channels: 64,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                in_h: 8,
+                in_w: 8,
+                block: 32,
             },
             16,
         );
         let big = layer_workload(
             &LayerDesc::ConvCirculant {
-                in_channels: 64, out_channels: 64, kernel: 3, stride: 1, padding: 1,
-                in_h: 16, in_w: 16, block: 32,
+                in_channels: 64,
+                out_channels: 64,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                in_h: 16,
+                in_w: 16,
+                block: 32,
             },
             16,
         );
@@ -220,7 +270,13 @@ mod tests {
     #[test]
     fn pools_and_activations_are_peripheral_only() {
         let p = layer_workload(
-            &LayerDesc::Pool { channels: 16, in_h: 8, in_w: 8, window: 2, stride: 2 },
+            &LayerDesc::Pool {
+                channels: 16,
+                in_h: 8,
+                in_w: 8,
+                window: 2,
+                stride: 2,
+            },
             16,
         );
         assert_eq!(p.butterflies, 0);
@@ -233,7 +289,14 @@ mod tests {
     #[test]
     fn hermitian_saving_halves_weight_traffic() {
         // Weight bits are bins = k/2+1 complex values per block, not k.
-        let w = layer_workload(&LayerDesc::FcCirculant { in_dim: 128, out_dim: 128, block: 128 }, 16);
+        let w = layer_workload(
+            &LayerDesc::FcCirculant {
+                in_dim: 128,
+                out_dim: 128,
+                block: 128,
+            },
+            16,
+        );
         // 1 block: 65 bins × 2 × 16 bits.
         assert_eq!(w.weight_bits, 65 * 2 * 16);
         assert!(w.weight_bits < 128 * 2 * 16);

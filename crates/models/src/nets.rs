@@ -174,7 +174,10 @@ pub fn alexnet_surrogate_circulant<R: Rng>(rng: &mut R) -> Sequential {
 ///
 /// Panics if fewer than two widths are given.
 pub fn mlp_dense<R: Rng>(rng: &mut R, widths: &[usize]) -> Sequential {
-    assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+    assert!(
+        widths.len() >= 2,
+        "an MLP needs at least input and output widths"
+    );
     let mut net = Sequential::new();
     for (i, pair) in widths.windows(2).enumerate() {
         net.push(Box::new(Linear::new(rng, pair[0], pair[1])));
@@ -192,7 +195,10 @@ pub fn mlp_dense<R: Rng>(rng: &mut R, widths: &[usize]) -> Sequential {
 /// Panics if fewer than two widths are given or the block size is invalid
 /// for these widths.
 pub fn mlp_circulant<R: Rng>(rng: &mut R, widths: &[usize], block: usize) -> Sequential {
-    assert!(widths.len() >= 2, "an MLP needs at least input and output widths");
+    assert!(
+        widths.len() >= 2,
+        "an MLP needs at least input and output widths"
+    );
     let mut net = Sequential::new();
     for (i, pair) in widths.windows(2).enumerate() {
         net.push(Box::new(
@@ -229,7 +235,10 @@ mod tests {
             (lenet5_dense(&mut rng), lenet5_circulant(&mut rng)),
             (cifar_net_dense(&mut rng), cifar_net_circulant(&mut rng)),
             (svhn_net_dense(&mut rng), svhn_net_circulant(&mut rng)),
-            (alexnet_surrogate_dense(&mut rng), alexnet_surrogate_circulant(&mut rng)),
+            (
+                alexnet_surrogate_dense(&mut rng),
+                alexnet_surrogate_circulant(&mut rng),
+            ),
         ];
         for (dense, circ) in pairs {
             assert!(
@@ -254,7 +263,10 @@ mod tests {
     fn alexnet_surrogate_processes_64x64() {
         let mut rng = seeded_rng(4);
         let x = Tensor::ones(&[3, 64, 64]);
-        assert_eq!(alexnet_surrogate_circulant(&mut rng).forward(&x).dims(), &[20]);
+        assert_eq!(
+            alexnet_surrogate_circulant(&mut rng).forward(&x).dims(),
+            &[20]
+        );
     }
 
     #[test]

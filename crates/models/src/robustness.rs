@@ -141,12 +141,8 @@ mod tests {
     fn fault_curve_is_produced_for_each_count() {
         let mut rng = seeded_rng(4);
         let ds = circnn_data::catalog::mnist_like(10, 0);
-        let points = accuracy_under_faults(
-            |r| crate::nets::lenet5_circulant(r),
-            &ds,
-            &[0, 5],
-            &mut rng,
-        );
+        let points =
+            accuracy_under_faults(|r| crate::nets::lenet5_circulant(r), &ds, &[0, 5], &mut rng);
         assert_eq!(points.len(), 2);
         assert!(points.iter().all(|p| (0.0..=1.0).contains(&p.accuracy)));
     }

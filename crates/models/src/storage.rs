@@ -29,7 +29,7 @@ pub fn alexnet_storage_fc_only() -> ModelStorage {
         .with(conv_storage_quantized("conv5", 384, 256, 3))
         .with(fc_storage("fc6", 4096, 9216, 512))
         .with(fc_storage("fc7", 4096, 4096, 512))
-        // fc8 (softmax classifier) excluded, as in the paper.
+    // fc8 (softmax classifier) excluded, as in the paper.
 }
 
 /// AlexNet with both FC and CONV compressed (Fig. 7c).

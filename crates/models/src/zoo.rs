@@ -26,7 +26,12 @@ pub enum Benchmark {
 impl Benchmark {
     /// All benchmarks in paper order.
     pub fn all() -> [Benchmark; 4] {
-        [Benchmark::Mnist, Benchmark::Cifar10, Benchmark::Svhn, Benchmark::ImageNet]
+        [
+            Benchmark::Mnist,
+            Benchmark::Cifar10,
+            Benchmark::Svhn,
+            Benchmark::ImageNet,
+        ]
     }
 
     /// Display name matching the paper's tables.
@@ -124,41 +129,101 @@ fn cifar_vgg_descriptor() -> NetworkDescriptor {
         "cifar-vgg-circ",
         vec![
             LayerDesc::ConvDense {
-                in_channels: 3, out_channels: 64, kernel: 3, stride: 1, padding: 1,
-                in_h: 32, in_w: 32,
+                in_channels: 3,
+                out_channels: 64,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                in_h: 32,
+                in_w: 32,
             },
             LayerDesc::Activation { len: 64 * 32 * 32 },
             LayerDesc::ConvCirculant {
-                in_channels: 64, out_channels: 64, kernel: 3, stride: 1, padding: 1,
-                in_h: 32, in_w: 32, block: 16,
+                in_channels: 64,
+                out_channels: 64,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                in_h: 32,
+                in_w: 32,
+                block: 16,
             },
             LayerDesc::Activation { len: 64 * 32 * 32 },
             LayerDesc::ConvCirculant {
-                in_channels: 64, out_channels: 64, kernel: 3, stride: 1, padding: 1,
-                in_h: 32, in_w: 32, block: 16,
+                in_channels: 64,
+                out_channels: 64,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                in_h: 32,
+                in_w: 32,
+                block: 16,
             },
             LayerDesc::Activation { len: 64 * 32 * 32 },
-            LayerDesc::Pool { channels: 64, in_h: 32, in_w: 32, window: 2, stride: 2 },
+            LayerDesc::Pool {
+                channels: 64,
+                in_h: 32,
+                in_w: 32,
+                window: 2,
+                stride: 2,
+            },
             LayerDesc::ConvCirculant {
-                in_channels: 64, out_channels: 128, kernel: 3, stride: 1, padding: 1,
-                in_h: 16, in_w: 16, block: 16,
+                in_channels: 64,
+                out_channels: 128,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                in_h: 16,
+                in_w: 16,
+                block: 16,
             },
             LayerDesc::Activation { len: 128 * 16 * 16 },
             LayerDesc::ConvCirculant {
-                in_channels: 128, out_channels: 128, kernel: 3, stride: 1, padding: 1,
-                in_h: 16, in_w: 16, block: 16,
+                in_channels: 128,
+                out_channels: 128,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                in_h: 16,
+                in_w: 16,
+                block: 16,
             },
             LayerDesc::Activation { len: 128 * 16 * 16 },
-            LayerDesc::Pool { channels: 128, in_h: 16, in_w: 16, window: 2, stride: 2 },
+            LayerDesc::Pool {
+                channels: 128,
+                in_h: 16,
+                in_w: 16,
+                window: 2,
+                stride: 2,
+            },
             LayerDesc::ConvCirculant {
-                in_channels: 128, out_channels: 256, kernel: 3, stride: 1, padding: 1,
-                in_h: 8, in_w: 8, block: 32,
+                in_channels: 128,
+                out_channels: 256,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                in_h: 8,
+                in_w: 8,
+                block: 32,
             },
             LayerDesc::Activation { len: 256 * 8 * 8 },
-            LayerDesc::Pool { channels: 256, in_h: 8, in_w: 8, window: 2, stride: 2 },
-            LayerDesc::FcCirculant { in_dim: 4096, out_dim: 512, block: 32 },
+            LayerDesc::Pool {
+                channels: 256,
+                in_h: 8,
+                in_w: 8,
+                window: 2,
+                stride: 2,
+            },
+            LayerDesc::FcCirculant {
+                in_dim: 4096,
+                out_dim: 512,
+                block: 32,
+            },
             LayerDesc::Activation { len: 512 },
-            LayerDesc::FcDense { in_dim: 512, out_dim: 10 },
+            LayerDesc::FcDense {
+                in_dim: 512,
+                out_dim: 10,
+            },
         ],
     )
 }
@@ -169,26 +234,68 @@ fn cifar_descriptor() -> NetworkDescriptor {
         "cifar-net-circ",
         vec![
             LayerDesc::ConvDense {
-                in_channels: 3, out_channels: 16, kernel: 3, stride: 1, padding: 1,
-                in_h: 32, in_w: 32,
+                in_channels: 3,
+                out_channels: 16,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                in_h: 32,
+                in_w: 32,
             },
             LayerDesc::Activation { len: 16 * 32 * 32 },
-            LayerDesc::Pool { channels: 16, in_h: 32, in_w: 32, window: 2, stride: 2 },
+            LayerDesc::Pool {
+                channels: 16,
+                in_h: 32,
+                in_w: 32,
+                window: 2,
+                stride: 2,
+            },
             LayerDesc::ConvCirculant {
-                in_channels: 16, out_channels: 32, kernel: 3, stride: 1, padding: 1,
-                in_h: 16, in_w: 16, block: 8,
+                in_channels: 16,
+                out_channels: 32,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                in_h: 16,
+                in_w: 16,
+                block: 8,
             },
             LayerDesc::Activation { len: 32 * 16 * 16 },
-            LayerDesc::Pool { channels: 32, in_h: 16, in_w: 16, window: 2, stride: 2 },
+            LayerDesc::Pool {
+                channels: 32,
+                in_h: 16,
+                in_w: 16,
+                window: 2,
+                stride: 2,
+            },
             LayerDesc::ConvCirculant {
-                in_channels: 32, out_channels: 32, kernel: 3, stride: 1, padding: 1,
-                in_h: 8, in_w: 8, block: 16,
+                in_channels: 32,
+                out_channels: 32,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                in_h: 8,
+                in_w: 8,
+                block: 16,
             },
             LayerDesc::Activation { len: 32 * 8 * 8 },
-            LayerDesc::Pool { channels: 32, in_h: 8, in_w: 8, window: 2, stride: 2 },
-            LayerDesc::FcCirculant { in_dim: 512, out_dim: 128, block: 16 },
+            LayerDesc::Pool {
+                channels: 32,
+                in_h: 8,
+                in_w: 8,
+                window: 2,
+                stride: 2,
+            },
+            LayerDesc::FcCirculant {
+                in_dim: 512,
+                out_dim: 128,
+                block: 16,
+            },
             LayerDesc::Activation { len: 128 },
-            LayerDesc::FcDense { in_dim: 128, out_dim: 10 },
+            LayerDesc::FcDense {
+                in_dim: 128,
+                out_dim: 10,
+            },
         ],
     )
 }
@@ -199,20 +306,50 @@ fn svhn_descriptor() -> NetworkDescriptor {
         "svhn-net-circ",
         vec![
             LayerDesc::ConvDense {
-                in_channels: 3, out_channels: 16, kernel: 5, stride: 1, padding: 2,
-                in_h: 32, in_w: 32,
+                in_channels: 3,
+                out_channels: 16,
+                kernel: 5,
+                stride: 1,
+                padding: 2,
+                in_h: 32,
+                in_w: 32,
             },
             LayerDesc::Activation { len: 16 * 32 * 32 },
-            LayerDesc::Pool { channels: 16, in_h: 32, in_w: 32, window: 2, stride: 2 },
+            LayerDesc::Pool {
+                channels: 16,
+                in_h: 32,
+                in_w: 32,
+                window: 2,
+                stride: 2,
+            },
             LayerDesc::ConvCirculant {
-                in_channels: 16, out_channels: 32, kernel: 5, stride: 1, padding: 2,
-                in_h: 16, in_w: 16, block: 16,
+                in_channels: 16,
+                out_channels: 32,
+                kernel: 5,
+                stride: 1,
+                padding: 2,
+                in_h: 16,
+                in_w: 16,
+                block: 16,
             },
             LayerDesc::Activation { len: 32 * 16 * 16 },
-            LayerDesc::Pool { channels: 32, in_h: 16, in_w: 16, window: 2, stride: 2 },
-            LayerDesc::FcCirculant { in_dim: 2048, out_dim: 256, block: 32 },
+            LayerDesc::Pool {
+                channels: 32,
+                in_h: 16,
+                in_w: 16,
+                window: 2,
+                stride: 2,
+            },
+            LayerDesc::FcCirculant {
+                in_dim: 2048,
+                out_dim: 256,
+                block: 32,
+            },
             LayerDesc::Activation { len: 256 },
-            LayerDesc::FcDense { in_dim: 256, out_dim: 10 },
+            LayerDesc::FcDense {
+                in_dim: 256,
+                out_dim: 10,
+            },
         ],
     )
 }

@@ -31,15 +31,35 @@ impl Relu {
 
 impl Layer for Relu {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        self.mask = Some(input.data().iter().map(|&v| if v > 0.0 { 1.0 } else { 0.0 }).collect());
+        self.mask = Some(
+            input
+                .data()
+                .iter()
+                .map(|&v| if v > 0.0 { 1.0 } else { 0.0 })
+                .collect(),
+        );
         input.map(|v| v.max(0.0))
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
         let mask = self.mask.as_ref().expect("backward called before forward");
         assert_eq!(mask.len(), grad_output.len(), "relu grad length mismatch");
-        let data = grad_output.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
+        let data = grad_output
+            .data()
+            .iter()
+            .zip(mask)
+            .map(|(&g, &m)| g * m)
+            .collect();
         Tensor::from_vec(data, grad_output.dims())
+    }
+
+    fn forward_batch(&mut self, input: &Tensor) -> Tensor {
+        // Element-wise: a [batch, ...] tensor is just a bigger tensor.
+        self.forward(input)
+    }
+
+    fn backward_batch(&mut self, _input: &Tensor, grad_output: &Tensor) -> Tensor {
+        self.backward(grad_output)
     }
 
     fn name(&self) -> &'static str {
@@ -74,7 +94,10 @@ impl Layer for Sigmoid {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let y = self.output.as_ref().expect("backward called before forward");
+        let y = self
+            .output
+            .as_ref()
+            .expect("backward called before forward");
         assert_eq!(y.len(), grad_output.len(), "sigmoid grad length mismatch");
         let data = grad_output
             .data()
@@ -83,6 +106,15 @@ impl Layer for Sigmoid {
             .map(|(&g, &s)| g * s * (1.0 - s))
             .collect();
         Tensor::from_vec(data, grad_output.dims())
+    }
+
+    fn forward_batch(&mut self, input: &Tensor) -> Tensor {
+        // Element-wise: a [batch, ...] tensor is just a bigger tensor.
+        self.forward(input)
+    }
+
+    fn backward_batch(&mut self, _input: &Tensor, grad_output: &Tensor) -> Tensor {
+        self.backward(grad_output)
     }
 
     fn name(&self) -> &'static str {
@@ -111,7 +143,10 @@ impl Layer for Tanh {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let y = self.output.as_ref().expect("backward called before forward");
+        let y = self
+            .output
+            .as_ref()
+            .expect("backward called before forward");
         assert_eq!(y.len(), grad_output.len(), "tanh grad length mismatch");
         let data = grad_output
             .data()
@@ -120,6 +155,15 @@ impl Layer for Tanh {
             .map(|(&g, &t)| g * (1.0 - t * t))
             .collect();
         Tensor::from_vec(data, grad_output.dims())
+    }
+
+    fn forward_batch(&mut self, input: &Tensor) -> Tensor {
+        // Element-wise: a [batch, ...] tensor is just a bigger tensor.
+        self.forward(input)
+    }
+
+    fn backward_batch(&mut self, _input: &Tensor, grad_output: &Tensor) -> Tensor {
+        self.backward(grad_output)
     }
 
     fn name(&self) -> &'static str {
@@ -148,8 +192,25 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let dims = self.input_dims.as_ref().expect("backward called before forward");
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("backward called before forward");
         grad_output.reshape(dims)
+    }
+
+    fn forward_batch(&mut self, input: &Tensor) -> Tensor {
+        let batch = input.dims()[0];
+        self.input_dims = Some(input.dims()[1..].to_vec());
+        input.reshape(&[batch, input.len() / batch])
+    }
+
+    fn backward_batch(&mut self, input: &Tensor, grad_output: &Tensor) -> Tensor {
+        let _ = self
+            .input_dims
+            .as_ref()
+            .expect("backward called before forward");
+        grad_output.reshape(input.dims())
     }
 
     fn name(&self) -> &'static str {

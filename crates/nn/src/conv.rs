@@ -38,6 +38,10 @@ pub struct Conv2d {
     bgrad: Vec<f32>,
     cols_cache: Option<Tensor>,
     geom_cache: Option<ConvGeometry>,
+    /// Per-sample `(geometry, im2col matrix)` caches recorded by
+    /// `forward_batch` (training mode only) for `backward_batch`.
+    batch_caches: Vec<(ConvGeometry, Tensor)>,
+    training: bool,
 }
 
 impl Conv2d {
@@ -68,6 +72,8 @@ impl Conv2d {
             bgrad: vec![0.0; out_channels],
             cols_cache: None,
             geom_cache: None,
+            batch_caches: Vec::new(),
+            training: true,
         }
     }
 
@@ -86,7 +92,11 @@ impl Conv2d {
     ) -> Self {
         assert_eq!(weight.shape().rank(), 2);
         let out_channels = weight.dims()[0];
-        assert_eq!(weight.dims()[1], in_channels * kernel * kernel, "patch length mismatch");
+        assert_eq!(
+            weight.dims()[1],
+            in_channels * kernel * kernel,
+            "patch length mismatch"
+        );
         assert_eq!(bias.len(), out_channels);
         Self {
             in_channels,
@@ -100,6 +110,8 @@ impl Conv2d {
             bias,
             cols_cache: None,
             geom_cache: None,
+            batch_caches: Vec::new(),
+            training: true,
         }
     }
 
@@ -127,8 +139,10 @@ impl Conv2d {
     }
 }
 
-impl Layer for Conv2d {
-    fn forward(&mut self, input: &Tensor) -> Tensor {
+impl Conv2d {
+    /// Shared forward core: returns the output plus the caches backward
+    /// needs.
+    fn forward_impl(&mut self, input: &Tensor) -> (Tensor, ConvGeometry, Tensor) {
         let geom = self.geometry_for(input);
         let cols = im2col(input, &geom);
         // [patches, patch_len] · [patch_len, P] → [patches, P]
@@ -140,16 +154,26 @@ impl Layer for Conv2d {
                 chw[p * oh * ow + patch] = out.data()[patch * self.out_channels + p] + self.bias[p];
             }
         }
-        self.cols_cache = Some(cols);
-        self.geom_cache = Some(geom);
-        Tensor::from_vec(chw, &[self.out_channels, oh, ow])
+        (
+            Tensor::from_vec(chw, &[self.out_channels, oh, ow]),
+            geom,
+            cols,
+        )
     }
 
-    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let geom = self.geom_cache.expect("backward called before forward");
-        let cols = self.cols_cache.as_ref().expect("backward called before forward");
+    /// Shared backward core over explicit forward caches.
+    fn backward_impl(
+        &mut self,
+        grad_output: &Tensor,
+        geom: &ConvGeometry,
+        cols: &Tensor,
+    ) -> Tensor {
         let (oh, ow) = (geom.out_height(), geom.out_width());
-        assert_eq!(grad_output.dims(), &[self.out_channels, oh, ow], "conv grad shape mismatch");
+        assert_eq!(
+            grad_output.dims(),
+            &[self.out_channels, oh, ow],
+            "conv grad shape mismatch"
+        );
         // Rearrange grad to [patches, P].
         let mut gmat = vec![0.0f32; geom.num_patches() * self.out_channels];
         for p in 0..self.out_channels {
@@ -168,7 +192,70 @@ impl Layer for Conv2d {
         }
         // ∂L/∂cols = g·W  ([patches, patch_len]), then scatter back.
         let gcols = gmat.matmul(&self.weight);
-        col2im(&gcols, &geom)
+        col2im(&gcols, geom)
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        let (out, geom, cols) = self.forward_impl(input);
+        self.geom_cache = Some(geom);
+        self.cols_cache = Some(cols);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let geom = self.geom_cache.expect("backward called before forward");
+        let cols = self
+            .cols_cache
+            .take()
+            .expect("backward called before forward");
+        let gx = self.backward_impl(grad_output, &geom, &cols);
+        self.cols_cache = Some(cols);
+        gx
+    }
+
+    fn forward_batch(&mut self, input: &Tensor) -> Tensor {
+        let batch = input.dims()[0];
+        assert!(batch > 0, "empty batch");
+        assert_eq!(
+            input.shape().rank(),
+            4,
+            "conv batch input must be [B, C, H, W]"
+        );
+        self.batch_caches.clear();
+        circnn_tensor::stack_samples(batch, |b| {
+            let (y, geom, cols) = self.forward_impl(&input.index_axis0(b));
+            // Caches only matter to a backward pass; at inference they
+            // would just pile up im2col matrices.
+            if self.training {
+                self.batch_caches.push((geom, cols));
+            }
+            y
+        })
+    }
+
+    fn backward_batch(&mut self, _input: &Tensor, grad_output: &Tensor) -> Tensor {
+        let batch = grad_output.dims()[0];
+        assert_eq!(
+            batch,
+            self.batch_caches.len(),
+            "backward_batch called before forward_batch (or in inference mode)"
+        );
+        let caches = core::mem::take(&mut self.batch_caches);
+        let gx = circnn_tensor::stack_samples(batch, |b| {
+            let (geom, cols) = &caches[b];
+            self.backward_impl(&grad_output.index_axis0(b), geom, cols)
+        });
+        self.batch_caches = caches;
+        gx
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+        if !training {
+            self.batch_caches.clear();
+        }
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {

@@ -40,8 +40,16 @@ impl Dropout {
     ///
     /// Panics unless `0 ≤ p < 1`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "drop probability must be in [0, 1)");
-        Self { p, rng: StdRng::seed_from_u64(seed), training: true, mask: None }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability must be in [0, 1)"
+        );
+        Self {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            training: true,
+            mask: None,
+        }
     }
 
     /// The drop probability.
@@ -59,9 +67,20 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mask: Vec<f32> = (0..input.len())
-            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
-        let data = input.data().iter().zip(&mask).map(|(&v, &m)| v * m).collect();
+        let data = input
+            .data()
+            .iter()
+            .zip(&mask)
+            .map(|(&v, &m)| v * m)
+            .collect();
         self.mask = Some(mask);
         Tensor::from_vec(data, input.dims())
     }
@@ -70,12 +89,30 @@ impl Layer for Dropout {
         match &self.mask {
             None => grad_output.clone(),
             Some(mask) => {
-                assert_eq!(mask.len(), grad_output.len(), "dropout grad length mismatch");
-                let data =
-                    grad_output.data().iter().zip(mask).map(|(&g, &m)| g * m).collect();
+                assert_eq!(
+                    mask.len(),
+                    grad_output.len(),
+                    "dropout grad length mismatch"
+                );
+                let data = grad_output
+                    .data()
+                    .iter()
+                    .zip(mask)
+                    .map(|(&g, &m)| g * m)
+                    .collect();
                 Tensor::from_vec(data, grad_output.dims())
             }
         }
+    }
+
+    fn forward_batch(&mut self, input: &Tensor) -> Tensor {
+        // Element-wise: one mask over the whole [batch, ...] tensor draws the
+        // same per-unit Bernoulli stream as per-sample masks drawn in order.
+        self.forward(input)
+    }
+
+    fn backward_batch(&mut self, _input: &Tensor, grad_output: &Tensor) -> Tensor {
+        self.backward(grad_output)
     }
 
     fn set_training(&mut self, training: bool) {

@@ -63,6 +63,46 @@ pub trait Layer {
         0
     }
 
+    /// Computes the layer output for a **batch** of samples stacked along
+    /// axis 0 (`[batch, …]` in, `[batch, …]` out).
+    ///
+    /// The default implementation loops [`Layer::forward`] over the rows —
+    /// always correct, never fast. Layers with a real batched kernel
+    /// (`Linear`, `CirculantLinear`, `Sequential`, element-wise layers)
+    /// override it; gradients and caching semantics must match running the
+    /// samples one at a time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch axis is empty.
+    fn forward_batch(&mut self, input: &Tensor) -> Tensor {
+        let batch = input.dims()[0];
+        circnn_tensor::stack_samples(batch, |b| self.forward(&input.index_axis0(b)))
+    }
+
+    /// Batched counterpart of [`Layer::backward`]: propagates a `[batch, …]`
+    /// output gradient to a `[batch, …]` input gradient, accumulating
+    /// parameter gradients over the whole batch.
+    ///
+    /// `input` is the same tensor that was passed to
+    /// [`Layer::forward_batch`]; the default implementation re-runs
+    /// [`Layer::forward`] per sample to restore that sample's cached state
+    /// before calling [`Layer::backward`] (correct for any pure layer, at
+    /// 2× forward cost). Batched layers override this and ignore `input`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the leading dimensions of `input` and `grad_output`
+    /// disagree.
+    fn backward_batch(&mut self, input: &Tensor, grad_output: &Tensor) -> Tensor {
+        let batch = input.dims()[0];
+        assert_eq!(batch, grad_output.dims()[0], "batch size mismatch");
+        circnn_tensor::stack_samples(batch, |b| {
+            let _ = self.forward(&input.index_axis0(b));
+            self.backward(&grad_output.index_axis0(b))
+        })
+    }
+
     /// Switches between training and inference behaviour (dropout masks,
     /// etc.). Most layers behave identically and ignore this.
     fn set_training(&mut self, training: bool) {
@@ -83,7 +123,9 @@ pub(crate) mod testutil {
     /// Scalar loss used for gradient checks: a fixed weighted sum of the
     /// outputs, `L = Σ c_i · y_i` with pseudo-random but deterministic `c`.
     fn loss_weights(n: usize) -> Vec<f32> {
-        (0..n).map(|i| (((i * 2654435761) % 1000) as f32 / 500.0) - 1.0).collect()
+        (0..n)
+            .map(|i| (((i * 2654435761) % 1000) as f32 / 500.0) - 1.0)
+            .collect()
     }
 
     fn forward_loss<L: Layer>(layer: &mut L, input: &Tensor) -> f32 {

@@ -144,7 +144,11 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        assert_eq!(grad_output.len(), self.out_dim, "linear grad length mismatch");
+        assert_eq!(
+            grad_output.len(),
+            self.out_dim,
+            "linear grad length mismatch"
+        );
         let x = self
             .input_cache
             .as_ref()
@@ -181,6 +185,77 @@ impl Layer for Linear {
             }
         }
         Tensor::from_vec(gx, &[self.in_dim])
+    }
+
+    fn forward_batch(&mut self, input: &Tensor) -> Tensor {
+        let batch = input.dims()[0];
+        assert!(batch > 0, "empty batch");
+        assert_eq!(
+            input.len(),
+            batch * self.in_dim,
+            "linear batch input length mismatch"
+        );
+        let x = input.data();
+        let w = self.weight.data();
+        let mut out = vec![0.0f32; batch * self.out_dim];
+        for b in 0..batch {
+            let xr = &x[b * self.in_dim..(b + 1) * self.in_dim];
+            let yr = &mut out[b * self.out_dim..(b + 1) * self.out_dim];
+            for i in 0..self.out_dim {
+                let row = &w[i * self.in_dim..(i + 1) * self.in_dim];
+                let mut acc = 0.0f32;
+                for (wij, xj) in row.iter().zip(xr) {
+                    acc += wij * xj;
+                }
+                yr[i] = acc + self.bias[i];
+            }
+        }
+        Tensor::from_vec(out, &[batch, self.out_dim])
+    }
+
+    fn backward_batch(&mut self, input: &Tensor, grad_output: &Tensor) -> Tensor {
+        let batch = input.dims()[0];
+        assert_eq!(batch, grad_output.dims()[0], "batch size mismatch");
+        assert_eq!(
+            grad_output.len(),
+            batch * self.out_dim,
+            "linear grad length mismatch"
+        );
+        assert_eq!(
+            input.len(),
+            batch * self.in_dim,
+            "linear batch input length mismatch"
+        );
+        let x = input.data();
+        let g = grad_output.data();
+        let wg = self.wgrad.data_mut();
+        let w = self.weight.data();
+        let mut gx = vec![0.0f32; batch * self.in_dim];
+        // Sample-outer loops keep the accumulation order identical to the
+        // per-sample path, so batched training is bit-stable with it.
+        for b in 0..batch {
+            let xr = &x[b * self.in_dim..(b + 1) * self.in_dim];
+            let gr = &g[b * self.out_dim..(b + 1) * self.out_dim];
+            let gxr = &mut gx[b * self.in_dim..(b + 1) * self.in_dim];
+            for (i, &gi) in gr.iter().enumerate() {
+                self.bgrad[i] += gi;
+                if gi == 0.0 {
+                    continue;
+                }
+                let row = &w[i * self.in_dim..(i + 1) * self.in_dim];
+                let wrow = &mut wg[i * self.in_dim..(i + 1) * self.in_dim];
+                for j in 0..self.in_dim {
+                    wrow[j] += gi * xr[j];
+                    gxr[j] += gi * row[j];
+                }
+            }
+        }
+        if let Some(mask) = &self.mask {
+            for (slot, &m) in wg.iter_mut().zip(mask) {
+                *slot *= m;
+            }
+        }
+        Tensor::from_vec(gx, &[batch, self.in_dim])
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
@@ -236,7 +311,10 @@ mod tests {
         layer.visit_params(&mut |_, gr| second.push(gr.to_vec()));
         for (a, b) in first.iter().zip(&second) {
             for (x1, x2) in a.iter().zip(b) {
-                assert!((x2 - 2.0 * x1).abs() < 1e-6, "should double when accumulated");
+                assert!(
+                    (x2 - 2.0 * x1).abs() < 1e-6,
+                    "should double when accumulated"
+                );
             }
         }
         layer.zero_grads();

@@ -67,7 +67,11 @@ impl DenseOp {
     /// An all-zeros `m×n` operator.
     pub fn zeros(m: usize, n: usize) -> Self {
         assert!(m > 0 && n > 0, "degenerate operator");
-        Self { m, n, data: vec![0.0; m * n] }
+        Self {
+            m,
+            n,
+            data: vec![0.0; m * n],
+        }
     }
 
     /// Builds from row-major data.
@@ -98,7 +102,13 @@ impl LinearOp for DenseOp {
     fn matvec(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.n, "matvec length mismatch");
         (0..self.m)
-            .map(|i| self.data[i * self.n..(i + 1) * self.n].iter().zip(x).map(|(&w, &v)| w * v).sum())
+            .map(|i| {
+                self.data[i * self.n..(i + 1) * self.n]
+                    .iter()
+                    .zip(x)
+                    .map(|(&w, &v)| w * v)
+                    .sum()
+            })
             .collect()
     }
 

@@ -41,7 +41,10 @@ impl SoftmaxCrossEntropy {
     /// Panics if `target` is out of range for the logit vector.
     pub fn loss(&self, logits: &Tensor, target: usize) -> (f32, Tensor) {
         let n = logits.len();
-        assert!(target < n, "target class {target} out of range (classes: {n})");
+        assert!(
+            target < n,
+            "target class {target} out of range (classes: {n})"
+        );
         let probs = softmax(logits.data());
         let loss = -probs[target].max(1e-12).ln();
         let mut grad = probs;

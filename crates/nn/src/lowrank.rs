@@ -20,7 +20,12 @@ use crate::linear::Linear;
 /// # Panics
 ///
 /// Panics if `a` is not rank-2 or `r` exceeds `min(m, n)`.
-pub fn top_singular_triplets(a: &Tensor, r: usize, iters: usize, seed: u64) -> (Vec<f32>, Tensor, Tensor) {
+pub fn top_singular_triplets(
+    a: &Tensor,
+    r: usize,
+    iters: usize,
+    seed: u64,
+) -> (Vec<f32>, Tensor, Tensor) {
     assert_eq!(a.shape().rank(), 2, "SVD needs a matrix");
     let (m, n) = (a.dims()[0], a.dims()[1]);
     assert!(r <= m.min(n), "rank {r} exceeds min dimension {}", m.min(n));
@@ -76,7 +81,11 @@ pub fn top_singular_triplets(a: &Tensor, r: usize, iters: usize, seed: u64) -> (
             v_mat[j * r + c] = col[j];
         }
     }
-    (sigmas, Tensor::from_vec(u_mat, &[m, r]), Tensor::from_vec(v_mat, &[n, r]))
+    (
+        sigmas,
+        Tensor::from_vec(u_mat, &[m, r]),
+        Tensor::from_vec(v_mat, &[n, r]),
+    )
 }
 
 fn norm(v: &[f32]) -> f32 {
@@ -180,8 +189,16 @@ impl Layer for LowRankLinear {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let x = self.input_cache.as_ref().expect("backward before forward").clone();
-        let mid = self.mid_cache.as_ref().expect("backward before forward").clone();
+        let x = self
+            .input_cache
+            .as_ref()
+            .expect("backward before forward")
+            .clone();
+        let mid = self
+            .mid_cache
+            .as_ref()
+            .expect("backward before forward")
+            .clone();
         let (m, r) = (self.u.dims()[0], self.u.dims()[1]);
         let n = self.vt.dims()[1];
         let g = grad_output.data();

@@ -22,15 +22,30 @@ use crate::layer::Layer;
 /// assert_eq!(net.forward(&Tensor::ones(&[2])).dims(), &[3]);
 /// assert_eq!(net.depth(), 3);
 /// ```
-#[derive(Default)]
 pub struct Sequential {
     layers: Vec<Box<dyn Layer>>,
+    /// Per-layer batch inputs cached by [`Layer::forward_batch`] so each
+    /// layer's [`Layer::backward_batch`] receives the tensor it saw.
+    /// Retained in training mode only — inference has no backward pass to
+    /// feed.
+    batch_inputs: Vec<Tensor>,
+    training: bool,
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self {
+            layers: Vec::new(),
+            batch_inputs: Vec::new(),
+            training: true,
+        }
+    }
 }
 
 impl Sequential {
     /// Creates an empty network.
     pub fn new() -> Self {
-        Self { layers: Vec::new() }
+        Self::default()
     }
 
     /// Appends a layer (builder style).
@@ -71,7 +86,10 @@ impl Sequential {
 
     /// Per-layer `(name, param_count)` summary.
     pub fn summary(&self) -> Vec<(&'static str, usize)> {
-        self.layers.iter().map(|l| (l.name(), l.param_count())).collect()
+        self.layers
+            .iter()
+            .map(|l| (l.name(), l.param_count()))
+            .collect()
     }
 }
 
@@ -92,6 +110,37 @@ impl Layer for Sequential {
         g
     }
 
+    fn forward_batch(&mut self, input: &Tensor) -> Tensor {
+        self.batch_inputs.clear();
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            let y = layer.forward_batch(&x);
+            if self.training {
+                self.batch_inputs.push(x);
+            }
+            x = y;
+        }
+        x
+    }
+
+    fn backward_batch(&mut self, _input: &Tensor, grad_output: &Tensor) -> Tensor {
+        assert_eq!(
+            self.batch_inputs.len(),
+            self.layers.len(),
+            "backward_batch called before forward_batch (or in inference mode)"
+        );
+        let mut g = grad_output.clone();
+        for (layer, inp) in self
+            .layers
+            .iter_mut()
+            .rev()
+            .zip(self.batch_inputs.iter().rev())
+        {
+            g = layer.backward_batch(inp, &g);
+        }
+        g
+    }
+
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
         for layer in &mut self.layers {
             layer.visit_params(visitor);
@@ -103,6 +152,10 @@ impl Layer for Sequential {
     }
 
     fn set_training(&mut self, training: bool) {
+        self.training = training;
+        if !training {
+            self.batch_inputs.clear();
+        }
         for layer in &mut self.layers {
             layer.set_training(training);
         }
@@ -193,7 +246,9 @@ mod tests {
     #[test]
     fn debug_shows_structure() {
         let mut rng = seeded_rng(4);
-        let net = Sequential::new().add(Linear::new(&mut rng, 2, 2)).add(Relu::new());
+        let net = Sequential::new()
+            .add(Linear::new(&mut rng, 2, 2))
+            .add(Relu::new());
         let s = format!("{net:?}");
         assert!(s.contains("Linear") && s.contains("ReLU"));
     }

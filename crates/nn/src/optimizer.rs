@@ -50,7 +50,11 @@ impl Sgd {
     pub fn new(lr: f32, momentum: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 }
 
@@ -64,7 +68,11 @@ impl Optimizer for Sgd {
                 velocity.push(vec![0.0; param.len()]);
             }
             let v = &mut velocity[group];
-            assert_eq!(v.len(), param.len(), "parameter group size changed between steps");
+            assert_eq!(
+                v.len(),
+                param.len(),
+                "parameter group size changed between steps"
+            );
             for i in 0..param.len() {
                 v[i] = momentum * v[i] - lr * grad[i];
                 param[i] += v[i];
@@ -112,7 +120,15 @@ impl Adam {
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
         assert!(lr > 0.0, "learning rate must be positive");
         assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
-        Self { lr, beta1, beta2, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
@@ -188,7 +204,10 @@ mod tests {
     fn momentum_accelerates_convergence() {
         let plain = optimize_quadratic(&mut Sgd::new(0.002, 0.0), 50);
         let momentum = optimize_quadratic(&mut Sgd::new(0.002, 0.8), 50);
-        assert!(momentum < plain, "momentum {momentum} should beat plain {plain}");
+        assert!(
+            momentum < plain,
+            "momentum {momentum} should beat plain {plain}"
+        );
     }
 
     #[test]

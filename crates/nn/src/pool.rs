@@ -6,7 +6,10 @@ use circnn_tensor::Tensor;
 use crate::layer::Layer;
 
 fn pooled_extent(inp: usize, window: usize, stride: usize) -> usize {
-    assert!(inp >= window, "pool window {window} larger than input {inp}");
+    assert!(
+        inp >= window,
+        "pool window {window} larger than input {inp}"
+    );
     (inp - window) / stride + 1
 }
 
@@ -31,6 +34,10 @@ pub struct MaxPool2d {
     /// For each output element, the flat input index of its maximum.
     argmax: Option<Vec<usize>>,
     input_dims: Option<Vec<usize>>,
+    /// Per-sample argmax caches recorded by `forward_batch` (training mode
+    /// only) for `backward_batch`.
+    batch_argmax: Vec<Vec<usize>>,
+    training: bool,
 }
 
 impl MaxPool2d {
@@ -41,7 +48,14 @@ impl MaxPool2d {
     /// Panics if `window` or `stride` is zero.
     pub fn new(window: usize, stride: usize) -> Self {
         assert!(window > 0 && stride > 0, "degenerate pooling");
-        Self { window, stride, argmax: None, input_dims: None }
+        Self {
+            window,
+            stride,
+            argmax: None,
+            input_dims: None,
+            batch_argmax: Vec::new(),
+            training: true,
+        }
     }
 }
 
@@ -49,7 +63,10 @@ impl Layer for MaxPool2d {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         assert_eq!(input.shape().rank(), 3, "pool input must be [C, H, W]");
         let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
-        let (oh, ow) = (pooled_extent(h, self.window, self.stride), pooled_extent(w, self.window, self.stride));
+        let (oh, ow) = (
+            pooled_extent(h, self.window, self.stride),
+            pooled_extent(w, self.window, self.stride),
+        );
         let mut out = vec![f32::NEG_INFINITY; c * oh * ow];
         let mut argmax = vec![0usize; c * oh * ow];
         let data = input.data();
@@ -77,14 +94,62 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let argmax = self.argmax.as_ref().expect("backward called before forward");
-        let dims = self.input_dims.as_ref().expect("backward called before forward");
+        let argmax = self
+            .argmax
+            .as_ref()
+            .expect("backward called before forward");
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("backward called before forward");
         assert_eq!(grad_output.len(), argmax.len(), "pool grad length mismatch");
         let mut gx = vec![0.0f32; dims.iter().product()];
         for (&g, &idx) in grad_output.data().iter().zip(argmax) {
             gx[idx] += g;
         }
         Tensor::from_vec(gx, dims)
+    }
+
+    fn forward_batch(&mut self, input: &Tensor) -> Tensor {
+        let batch = input.dims()[0];
+        assert!(batch > 0, "empty batch");
+        self.batch_argmax.clear();
+        circnn_tensor::stack_samples(batch, |b| {
+            let y = self.forward(&input.index_axis0(b));
+            if self.training {
+                let argmax = self.argmax.take().expect("forward always records argmax");
+                self.batch_argmax.push(argmax);
+            }
+            y
+        })
+    }
+
+    fn backward_batch(&mut self, input: &Tensor, grad_output: &Tensor) -> Tensor {
+        let batch = grad_output.dims()[0];
+        assert_eq!(
+            batch,
+            self.batch_argmax.len(),
+            "backward_batch called before forward_batch (or in inference mode)"
+        );
+        let in_len = input.len() / batch;
+        let out_len = grad_output.len() / batch;
+        let mut gx = vec![0.0f32; batch * in_len];
+        for (b, argmax) in self.batch_argmax.iter().enumerate() {
+            assert_eq!(argmax.len(), out_len, "pool grad length mismatch");
+            let grow = &grad_output.data()[b * out_len..(b + 1) * out_len];
+            let gxr = &mut gx[b * in_len..(b + 1) * in_len];
+            for (&g, &idx) in grow.iter().zip(argmax) {
+                gxr[idx] += g;
+            }
+        }
+        Tensor::from_vec(gx, input.dims())
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.training = training;
+        if !training {
+            self.batch_argmax.clear();
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -108,7 +173,11 @@ impl AvgPool2d {
     /// Panics if `window` or `stride` is zero.
     pub fn new(window: usize, stride: usize) -> Self {
         assert!(window > 0 && stride > 0, "degenerate pooling");
-        Self { window, stride, input_dims: None }
+        Self {
+            window,
+            stride,
+            input_dims: None,
+        }
     }
 }
 
@@ -116,7 +185,10 @@ impl Layer for AvgPool2d {
     fn forward(&mut self, input: &Tensor) -> Tensor {
         assert_eq!(input.shape().rank(), 3, "pool input must be [C, H, W]");
         let (c, h, w) = (input.dims()[0], input.dims()[1], input.dims()[2]);
-        let (oh, ow) = (pooled_extent(h, self.window, self.stride), pooled_extent(w, self.window, self.stride));
+        let (oh, ow) = (
+            pooled_extent(h, self.window, self.stride),
+            pooled_extent(w, self.window, self.stride),
+        );
         let norm = 1.0 / (self.window * self.window) as f32;
         let mut out = vec![0.0f32; c * oh * ow];
         let data = input.data();
@@ -140,9 +212,15 @@ impl Layer for AvgPool2d {
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let dims = self.input_dims.as_ref().expect("backward called before forward");
+        let dims = self
+            .input_dims
+            .as_ref()
+            .expect("backward called before forward");
         let (c, h, w) = (dims[0], dims[1], dims[2]);
-        let (oh, ow) = (pooled_extent(h, self.window, self.stride), pooled_extent(w, self.window, self.stride));
+        let (oh, ow) = (
+            pooled_extent(h, self.window, self.stride),
+            pooled_extent(w, self.window, self.stride),
+        );
         assert_eq!(grad_output.dims(), &[c, oh, ow], "pool grad shape mismatch");
         let norm = 1.0 / (self.window * self.window) as f32;
         let mut gx = vec![0.0f32; c * h * w];
@@ -162,6 +240,15 @@ impl Layer for AvgPool2d {
             }
         }
         Tensor::from_vec(gx, dims)
+    }
+
+    fn backward_batch(&mut self, input: &Tensor, grad_output: &Tensor) -> Tensor {
+        // The only backward state is the (shared) input geometry from the
+        // last forward, so looping the single-sample backward is exact and
+        // free of the default override's forward recomputation.
+        let batch = grad_output.dims()[0];
+        assert_eq!(batch, input.dims()[0], "batch size mismatch");
+        circnn_tensor::stack_samples(batch, |b| self.backward(&grad_output.index_axis0(b)))
     }
 
     fn name(&self) -> &'static str {
@@ -212,10 +299,7 @@ mod tests {
     #[test]
     fn multi_channel_pooling_is_independent() {
         let mut pool = MaxPool2d::new(2, 2);
-        let x = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0],
-            &[2, 2, 2],
-        );
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, -1.0, -2.0, -3.0, -4.0], &[2, 2, 2]);
         let y = pool.forward(&x);
         assert_eq!(y.data(), &[4.0, -1.0]);
     }
@@ -224,7 +308,9 @@ mod tests {
     fn gradient_checks() {
         // Distinct values so the max is stable under ±ε nudges.
         let x = Tensor::from_vec(
-            (0..32).map(|i| (i as f32 * 0.713).sin() * 3.0 + i as f32 * 0.01).collect(),
+            (0..32)
+                .map(|i| (i as f32 * 0.713).sin() * 3.0 + i as f32 * 0.01)
+                .collect(),
             &[2, 4, 4],
         );
         check_input_gradient(&mut MaxPool2d::new(2, 2), &x, 1e-2);

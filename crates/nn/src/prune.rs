@@ -38,9 +38,15 @@ pub fn magnitude_prune(layer: &mut Linear, sparsity: f32) -> PruneStats {
     let prune_count = ((total as f32) * sparsity).floor() as usize;
     let mut magnitudes: Vec<f32> = w.iter().map(|&v| v.abs()).collect();
     magnitudes.sort_by(|a, b| a.partial_cmp(b).expect("NaN weight"));
-    let threshold = if prune_count == 0 { -1.0 } else { magnitudes[prune_count - 1] };
-    let mask: Vec<f32> =
-        w.iter().map(|&v| if v.abs() <= threshold { 0.0 } else { 1.0 }).collect();
+    let threshold = if prune_count == 0 {
+        -1.0
+    } else {
+        magnitudes[prune_count - 1]
+    };
+    let mask: Vec<f32> = w
+        .iter()
+        .map(|&v| if v.abs() <= threshold { 0.0 } else { 1.0 })
+        .collect();
     let remaining = mask.iter().filter(|&&m| m == 1.0).count();
     layer.set_mask(mask);
     PruneStats {
@@ -84,7 +90,13 @@ impl CsrMatrix {
             }
             row_ptr.push(values.len() as u32);
         }
-        Self { rows, cols, values, col_idx, row_ptr }
+        Self {
+            rows,
+            cols,
+            values,
+            col_idx,
+            row_ptr,
+        }
     }
 
     /// Number of stored nonzeros.
@@ -200,7 +212,10 @@ mod tests {
         magnitude_prune(&mut layer, 0.9);
         let csr = CsrMatrix::from_dense(layer.weight());
         let ratio = csr.compression_vs_dense_f32(16, 16);
-        assert!(ratio < 11.0, "ratio {ratio} should be well below the 10× parameter reduction");
+        assert!(
+            ratio < 11.0,
+            "ratio {ratio} should be well below the 10× parameter reduction"
+        );
         assert!(ratio > 7.0);
         // Without indices the same pruning would give ~20×.
         let no_index = (100.0 * 100.0 * 4.0) / (csr.nnz() as f64 * 2.0);

@@ -42,7 +42,11 @@ impl<Op: LinearOp> Rbm<Op> {
     pub fn new(weights: Op) -> Self {
         let visible_bias = vec![0.0; weights.in_dim()];
         let hidden_bias = vec![0.0; weights.out_dim()];
-        Self { weights, visible_bias, hidden_bias }
+        Self {
+            weights,
+            visible_bias,
+            hidden_bias,
+        }
     }
 
     /// Number of visible units.
@@ -88,7 +92,10 @@ impl<Op: LinearOp> Rbm<Op> {
 
     /// Bernoulli-samples a binary vector from unit probabilities.
     pub fn sample<R: Rng>(probs: &[f32], rng: &mut R) -> Vec<f32> {
-        probs.iter().map(|&p| if rng.gen::<f32>() < p { 1.0 } else { 0.0 }).collect()
+        probs
+            .iter()
+            .map(|&p| if rng.gen::<f32>() < p { 1.0 } else { 0.0 })
+            .collect()
     }
 
     /// One step of CD-1 (contrastive divergence with a single Gibbs step):
@@ -113,14 +120,22 @@ impl<Op: LinearOp> Rbm<Op> {
         for j in 0..self.hidden_bias.len() {
             self.hidden_bias[j] += lr * (h0p[j] - h1p[j]);
         }
-        v0.iter().zip(&v1p).map(|(&a, &b)| (a - b).powi(2)).sum::<f32>() / v0.len() as f32
+        v0.iter()
+            .zip(&v1p)
+            .map(|(&a, &b)| (a - b).powi(2))
+            .sum::<f32>()
+            / v0.len() as f32
     }
 
     /// Reconstruction error of a batch without updating parameters.
     pub fn reconstruction_error(&self, v: &[f32]) -> f32 {
         let h = self.hidden_probs(v);
         let v1 = self.visible_probs(&h);
-        v.iter().zip(&v1).map(|(&a, &b)| (a - b).powi(2)).sum::<f32>() / v.len() as f32
+        v.iter()
+            .zip(&v1)
+            .map(|(&a, &b)| (a - b).powi(2))
+            .sum::<f32>()
+            / v.len() as f32
     }
 }
 
@@ -149,19 +164,24 @@ mod tests {
     #[test]
     fn cd1_learns_simple_patterns() {
         let mut rng = seeded_rng(33);
-        let init: Vec<f32> =
-            (0..8 * 12).map(|_| rng.gen_range(-0.05f32..0.05)).collect();
+        let init: Vec<f32> = (0..8 * 12).map(|_| rng.gen_range(-0.05f32..0.05)).collect();
         let mut rbm = Rbm::new(DenseOp::from_data(8, 12, init));
         let data = patterns();
-        let initial: f32 =
-            data.iter().map(|v| rbm.reconstruction_error(v)).sum::<f32>() / data.len() as f32;
+        let initial: f32 = data
+            .iter()
+            .map(|v| rbm.reconstruction_error(v))
+            .sum::<f32>()
+            / data.len() as f32;
         for _ in 0..400 {
             for v in &data {
                 rbm.cd1_step(v, 0.2, &mut rng);
             }
         }
-        let trained: f32 =
-            data.iter().map(|v| rbm.reconstruction_error(v)).sum::<f32>() / data.len() as f32;
+        let trained: f32 = data
+            .iter()
+            .map(|v| rbm.reconstruction_error(v))
+            .sum::<f32>()
+            / data.len() as f32;
         assert!(
             trained < initial * 0.5,
             "reconstruction error should halve: {initial} -> {trained}"
@@ -182,7 +202,11 @@ mod tests {
         }
         assert_eq!(ones[0], 0);
         assert_eq!(ones[1], 1000);
-        assert!((400..600).contains(&ones[2]), "p=0.5 unit sampled {} times", ones[2]);
+        assert!(
+            (400..600).contains(&ones[2]),
+            "p=0.5 unit sampled {} times",
+            ones[2]
+        );
     }
 
     #[test]

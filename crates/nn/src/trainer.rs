@@ -1,10 +1,14 @@
 //! Training loops and evaluation.
 //!
-//! The loops are mini-batch SGD over per-sample forward/backward passes,
-//! with deterministic shuffling. Both the dense baselines and the
-//! block-circulant models (which implement the same [`Layer`] trait from
-//! `circnn-core`) train through these entry points, so the Fig.-7b
-//! accuracy comparisons exercise identical code paths.
+//! The loops are mini-batch SGD riding the layers' **batched** kernels:
+//! each mini-batch is assembled into one `[batch, …]` tensor, runs through
+//! [`Layer::forward_batch`] / [`Layer::backward_batch`] (one weight-spectrum
+//! sweep per batch for the block-circulant layers), and steps the optimizer
+//! once — with deterministic shuffling, and gradient semantics identical to
+//! the old per-sample loop. Both the dense baselines and the block-circulant
+//! models (which implement the same [`Layer`] trait from `circnn-core`)
+//! train through these entry points, so the Fig.-7b accuracy comparisons
+//! exercise identical code paths.
 
 use circnn_tensor::init::seeded_rng;
 use circnn_tensor::Tensor;
@@ -32,7 +36,13 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 5, batch_size: 16, shuffle_seed: 0, lr_decay: 1.0, verbose: false }
+        Self {
+            epochs: 5,
+            batch_size: 16,
+            shuffle_seed: 0,
+            lr_decay: 1.0,
+            verbose: false,
+        }
     }
 }
 
@@ -56,6 +66,23 @@ impl TrainReport {
         *self.epoch_losses.last().expect("no epochs were run")
     }
 }
+
+/// Gathers `indices` rows of an `[N, …]` tensor into one contiguous
+/// `[batch, …]` tensor.
+fn gather_rows(data: &Tensor, indices: &[usize]) -> Tensor {
+    let n = data.dims()[0];
+    let sample_len = data.len() / n;
+    let mut out = Vec::with_capacity(indices.len() * sample_len);
+    for &idx in indices {
+        out.extend_from_slice(&data.data()[idx * sample_len..(idx + 1) * sample_len]);
+    }
+    let mut dims = vec![indices.len()];
+    dims.extend_from_slice(&data.dims()[1..]);
+    Tensor::from_vec(out, &dims)
+}
+
+/// Batch size used by the batched evaluation loops.
+const EVAL_CHUNK: usize = 64;
 
 /// Trains a classifier with softmax cross-entropy.
 ///
@@ -85,13 +112,21 @@ pub fn train_classifier(
         for chunk in order.chunks(cfg.batch_size) {
             net.zero_grads();
             let scale = 1.0 / chunk.len() as f32;
-            for &idx in chunk {
-                let x = images.index_axis0(idx);
-                let out = net.forward(&x);
-                let (loss, grad) = loss_fn.loss(&out, labels[idx]);
+            let xb = gather_rows(images, chunk);
+            let out = net.forward_batch(&xb);
+            let out_len = out.len() / chunk.len();
+            let out_dims = &out.dims()[1..];
+            let mut grads = Vec::with_capacity(out.len());
+            for (bi, &idx) in chunk.iter().enumerate() {
+                let sample = Tensor::from_vec(
+                    out.data()[bi * out_len..(bi + 1) * out_len].to_vec(),
+                    out_dims,
+                );
+                let (loss, grad) = loss_fn.loss(&sample, labels[idx]);
                 total_loss += f64::from(loss);
-                net.backward(&grad.scale(scale));
+                grads.extend(grad.data().iter().map(|&g| g * scale));
             }
+            net.backward_batch(&xb, &Tensor::from_vec(grads, out.dims()));
             opt.step(net);
         }
         let mean_loss = (total_loss / n as f64) as f32;
@@ -102,7 +137,10 @@ pub fn train_classifier(
         opt.set_learning_rate(opt.learning_rate() * cfg.lr_decay);
     }
     let train_accuracy = Some(evaluate_accuracy(net, images, labels));
-    TrainReport { epoch_losses, train_accuracy }
+    TrainReport {
+        epoch_losses,
+        train_accuracy,
+    }
 }
 
 /// Trains a regressor with mean-squared error.
@@ -126,20 +164,28 @@ pub fn train_regressor(
     let mut rng = seeded_rng(cfg.shuffle_seed);
     let mut order: Vec<usize> = (0..n).collect();
     let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+    net.set_training(true);
     for epoch in 0..cfg.epochs {
         order.shuffle(&mut rng);
         let mut total_loss = 0.0f64;
         for chunk in order.chunks(cfg.batch_size) {
             net.zero_grads();
             let scale = 1.0 / chunk.len() as f32;
-            for &idx in chunk {
-                let x = inputs.index_axis0(idx);
-                let t = targets.index_axis0(idx);
-                let out = net.forward(&x);
-                let (loss, grad) = loss_fn.loss(&out, &t);
+            let xb = gather_rows(inputs, chunk);
+            let out = net.forward_batch(&xb);
+            let out_len = out.len() / chunk.len();
+            let out_dims = &out.dims()[1..];
+            let mut grads = Vec::with_capacity(out.len());
+            for (bi, &idx) in chunk.iter().enumerate() {
+                let sample = Tensor::from_vec(
+                    out.data()[bi * out_len..(bi + 1) * out_len].to_vec(),
+                    out_dims,
+                );
+                let (loss, grad) = loss_fn.loss(&sample, &targets.index_axis0(idx));
                 total_loss += f64::from(loss);
-                net.backward(&grad.scale(scale));
+                grads.extend(grad.data().iter().map(|&g| g * scale));
             }
+            net.backward_batch(&xb, &Tensor::from_vec(grads, out.dims()));
             opt.step(net);
         }
         let mean_loss = (total_loss / n as f64) as f32;
@@ -149,7 +195,10 @@ pub fn train_regressor(
         }
         opt.set_learning_rate(opt.learning_rate() * cfg.lr_decay);
     }
-    TrainReport { epoch_losses, train_accuracy: None }
+    TrainReport {
+        epoch_losses,
+        train_accuracy: None,
+    }
 }
 
 /// Fraction of samples whose argmax prediction matches the label.
@@ -162,9 +211,23 @@ pub fn evaluate_accuracy(net: &mut Sequential, images: &Tensor, labels: &[usize]
     assert_eq!(n, labels.len(), "images/labels length mismatch");
     net.set_training(false);
     let mut correct = 0usize;
-    for i in 0..n {
-        if net.predict(&images.index_axis0(i)) == labels[i] {
-            correct += 1;
+    let order: Vec<usize> = (0..n).collect();
+    for chunk in order.chunks(EVAL_CHUNK) {
+        let out = net.forward_batch(&gather_rows(images, chunk));
+        let out_len = out.len() / chunk.len();
+        for (bi, &idx) in chunk.iter().enumerate() {
+            let row = &out.data()[bi * out_len..(bi + 1) * out_len];
+            // First-occurrence, NaN-tolerant argmax — the same semantics as
+            // `Tensor::argmax` / `Sequential::predict`.
+            let mut pred = 0;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[pred] {
+                    pred = i;
+                }
+            }
+            if pred == labels[idx] {
+                correct += 1;
+            }
         }
     }
     correct as f32 / n as f32
@@ -175,9 +238,18 @@ pub fn evaluate_loss(net: &mut Sequential, images: &Tensor, labels: &[usize]) ->
     let n = images.dims()[0];
     let loss_fn = SoftmaxCrossEntropy::new();
     let mut total = 0.0f64;
-    for i in 0..n {
-        let out = net.forward(&images.index_axis0(i));
-        total += f64::from(loss_fn.loss(&out, labels[i]).0);
+    let order: Vec<usize> = (0..n).collect();
+    for chunk in order.chunks(EVAL_CHUNK) {
+        let out = net.forward_batch(&gather_rows(images, chunk));
+        let out_len = out.len() / chunk.len();
+        let out_dims = &out.dims()[1..];
+        for (bi, &idx) in chunk.iter().enumerate() {
+            let sample = Tensor::from_vec(
+                out.data()[bi * out_len..(bi + 1) * out_len].to_vec(),
+                out_dims,
+            );
+            total += f64::from(loss_fn.loss(&sample, labels[idx]).0);
+        }
     }
     (total / n as f64) as f32
 }
@@ -190,10 +262,7 @@ mod tests {
     use crate::optimizer::{Adam, Sgd};
 
     fn xor_dataset() -> (Tensor, Vec<usize>) {
-        let inputs = Tensor::from_vec(
-            vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0],
-            &[4, 2],
-        );
+        let inputs = Tensor::from_vec(vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0], &[4, 2]);
         (inputs, vec![0, 1, 1, 0])
     }
 
@@ -206,9 +275,18 @@ mod tests {
             .add(Linear::new(&mut rng, 8, 2));
         let (x, y) = xor_dataset();
         let mut opt = Adam::new(0.05);
-        let cfg = TrainConfig { epochs: 200, batch_size: 4, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 200,
+            batch_size: 4,
+            ..Default::default()
+        };
         let report = train_classifier(&mut net, &mut opt, &x, &y, &cfg);
-        assert_eq!(report.train_accuracy, Some(1.0), "losses: {:?}", report.final_loss());
+        assert_eq!(
+            report.train_accuracy,
+            Some(1.0),
+            "losses: {:?}",
+            report.final_loss()
+        );
         assert!(report.final_loss() < 0.1);
     }
 
@@ -221,7 +299,11 @@ mod tests {
             .add(Linear::new(&mut rng, 6, 2));
         let (x, y) = xor_dataset();
         let mut opt = Sgd::new(0.2, 0.9);
-        let cfg = TrainConfig { epochs: 100, batch_size: 4, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 100,
+            batch_size: 4,
+            ..Default::default()
+        };
         let report = train_classifier(&mut net, &mut opt, &x, &y, &cfg);
         let first = report.epoch_losses[0];
         let last = report.final_loss();
@@ -236,7 +318,11 @@ mod tests {
         let xs = Tensor::from_vec(vec![-1.0, -0.5, 0.0, 0.5, 1.0], &[5, 1]);
         let ys = Tensor::from_vec(vec![-4.0, -2.5, -1.0, 0.5, 2.0], &[5, 1]);
         let mut opt = Sgd::new(0.2, 0.0);
-        let cfg = TrainConfig { epochs: 300, batch_size: 5, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 300,
+            batch_size: 5,
+            ..Default::default()
+        };
         let report = train_regressor(&mut net, &mut opt, &xs, &ys, &cfg);
         assert!(report.final_loss() < 1e-4, "loss {}", report.final_loss());
     }
@@ -259,7 +345,12 @@ mod tests {
         let mut net = Sequential::new().add(Linear::new(&mut rng, 2, 2));
         let (x, y) = xor_dataset();
         let mut opt = Sgd::new(1.0, 0.0);
-        let cfg = TrainConfig { epochs: 3, batch_size: 4, lr_decay: 0.5, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 4,
+            lr_decay: 0.5,
+            ..Default::default()
+        };
         let _ = train_classifier(&mut net, &mut opt, &x, &y, &cfg);
         assert!((opt.learning_rate() - 0.125).abs() < 1e-6);
     }

@@ -67,22 +67,39 @@ pub fn fake_quantize(data: &mut [f32], bits: u32) -> QuantStats {
     let max_abs = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
     let levels = (1i64 << (bits - 1)) - 1;
     if max_abs == 0.0 {
-        return QuantStats { scale: 1.0, snr_db: f64::INFINITY, max_err: 0.0, bits };
+        return QuantStats {
+            scale: 1.0,
+            snr_db: f64::INFINITY,
+            max_err: 0.0,
+            bits,
+        };
     }
     let scale = max_abs / levels as f32;
     let mut sig = 0.0f64;
     let mut err = 0.0f64;
     let mut max_err = 0.0f32;
     for v in data.iter_mut() {
-        let q = (*v / scale).round().clamp(-(levels as f32) - 1.0, levels as f32) * scale;
+        let q = (*v / scale)
+            .round()
+            .clamp(-(levels as f32) - 1.0, levels as f32)
+            * scale;
         let e = (q - *v).abs();
         sig += f64::from(*v) * f64::from(*v);
         err += f64::from(e) * f64::from(e);
         max_err = max_err.max(e);
         *v = q;
     }
-    let snr_db = if err == 0.0 { f64::INFINITY } else { 10.0 * (sig / err).log10() };
-    QuantStats { scale, snr_db, max_err, bits }
+    let snr_db = if err == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (sig / err).log10()
+    };
+    QuantStats {
+        scale,
+        snr_db,
+        max_err,
+        bits,
+    }
 }
 
 /// Quantizes every parameter group of a layer (or whole network — anything
@@ -117,10 +134,18 @@ impl QuantizedVector {
         assert!(!data.is_empty(), "cannot quantize an empty tensor");
         let max_abs = data.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
         let levels = (1i64 << (bits - 1)) - 1;
-        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / levels as f32 };
+        let scale = if max_abs == 0.0 {
+            1.0
+        } else {
+            max_abs / levels as f32
+        };
         let codes = data
             .iter()
-            .map(|&v| (v / scale).round().clamp(-(levels as f32) - 1.0, levels as f32) as i32)
+            .map(|&v| {
+                (v / scale)
+                    .round()
+                    .clamp(-(levels as f32) - 1.0, levels as f32) as i32
+            })
             .collect();
         Self { codes, scale, bits }
     }
@@ -191,7 +216,10 @@ pub fn fixed_circulant_correlate(
     format: QFormat,
 ) -> Result<(Vec<f32>, f64), circnn_fft::FftError> {
     if w.len() != x.len() {
-        return Err(circnn_fft::FftError::LengthMismatch { expected: w.len(), got: x.len() });
+        return Err(circnn_fft::FftError::LengthMismatch {
+            expected: w.len(),
+            got: x.len(),
+        });
     }
     let k = w.len();
     let plan = FixedFftPlan::new(k, format)?;
@@ -216,7 +244,11 @@ pub fn fixed_circulant_correlate(
         sig += r * r;
         err += (f64::from(*a) - r).powi(2);
     }
-    let snr = if err == 0.0 { f64::INFINITY } else { 10.0 * (sig / err).log10() };
+    let snr = if err == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (sig / err).log10()
+    };
     Ok((approx, snr))
 }
 
@@ -230,7 +262,9 @@ mod tests {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
         (0..n)
             .map(|_| {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 (((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0) * 0.9
             })
             .collect()

@@ -65,7 +65,14 @@ impl ConvGeometry {
             height + 2 * padding >= kernel && width + 2 * padding >= kernel,
             "kernel {kernel} larger than padded input {height}x{width}+{padding}"
         );
-        Self { channels, height, width, kernel, stride, padding }
+        Self {
+            channels,
+            height,
+            width,
+            kernel,
+            stride,
+            padding,
+        }
     }
 
     /// Output feature-map height.
@@ -186,7 +193,11 @@ pub fn col2im(cols: &Tensor, geom: &ConvGeometry) -> Tensor {
 /// Panics on any shape mismatch.
 pub fn conv2d_direct(input: &Tensor, filters: &Tensor, geom: &ConvGeometry) -> Tensor {
     assert_eq!(input.dims(), &[geom.channels, geom.height, geom.width]);
-    assert_eq!(filters.dims()[1], geom.patch_len(), "filter patch length mismatch");
+    assert_eq!(
+        filters.dims()[1],
+        geom.patch_len(),
+        "filter patch length mismatch"
+    );
     let p_out = filters.dims()[0];
     let cols = im2col(input, geom);
     let out = cols.matmul(&filters.transpose());
@@ -274,9 +285,22 @@ mod tests {
                 .collect(),
             &[g.num_patches(), g.patch_len()],
         );
-        let lhs: f32 = im2col(&x, &g).data().iter().zip(y.data()).map(|(a, b)| a * b).sum();
-        let rhs: f32 = x.data().iter().zip(col2im(&y, &g).data()).map(|(a, b)| a * b).sum();
-        assert!((lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+        let lhs: f32 = im2col(&x, &g)
+            .data()
+            .iter()
+            .zip(y.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = x
+            .data()
+            .iter()
+            .zip(col2im(&y, &g).data())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!(
+            (lhs - rhs).abs() < 1e-3 * lhs.abs().max(1.0),
+            "{lhs} vs {rhs}"
+        );
     }
 
     #[test]

@@ -60,7 +60,9 @@ fn standard_normal<R: Rng>(rng: &mut R) -> f32 {
 pub fn normal<R: Rng>(rng: &mut R, dims: &[usize], mean: f32, std: f32) -> Tensor {
     assert!(std >= 0.0, "negative standard deviation");
     let shape = crate::shape::Shape::new(dims);
-    let data = (0..shape.len()).map(|_| mean + std * standard_normal(rng)).collect();
+    let data = (0..shape.len())
+        .map(|_| mean + std * standard_normal(rng))
+        .collect();
     Tensor::from_vec(data, dims)
 }
 
@@ -70,7 +72,12 @@ pub fn normal<R: Rng>(rng: &mut R, dims: &[usize], mean: f32, std: f32) -> Tenso
 /// # Panics
 ///
 /// Panics if `fan_in + fan_out == 0`.
-pub fn xavier_uniform<R: Rng>(rng: &mut R, dims: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+pub fn xavier_uniform<R: Rng>(
+    rng: &mut R,
+    dims: &[usize],
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
     assert!(fan_in + fan_out > 0, "zero fan");
     let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
     uniform(rng, dims, -a, a)
@@ -112,8 +119,12 @@ mod tests {
     fn normal_moments_are_close() {
         let t = normal(&mut seeded_rng(2), &[20_000], 1.0, 2.0);
         assert!((t.mean() - 1.0).abs() < 0.05);
-        let var: f32 =
-            t.data().iter().map(|&v| (v - t.mean()).powi(2)).sum::<f32>() / t.len() as f32;
+        let var: f32 = t
+            .data()
+            .iter()
+            .map(|&v| (v - t.mean()).powi(2))
+            .sum::<f32>()
+            / t.len() as f32;
         assert!((var.sqrt() - 2.0).abs() < 0.06, "std = {}", var.sqrt());
     }
 

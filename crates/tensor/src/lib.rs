@@ -38,4 +38,4 @@ pub mod im2col;
 pub mod init;
 
 pub use shape::Shape;
-pub use tensor::Tensor;
+pub use tensor::{stack_samples, Tensor};

@@ -32,7 +32,9 @@ impl Shape {
             dims.iter().all(|&d| d > 0),
             "zero-sized dimension in shape {dims:?}"
         );
-        Self { dims: dims.to_vec() }
+        Self {
+            dims: dims.to_vec(),
+        }
     }
 
     /// A scalar (rank-0) shape.

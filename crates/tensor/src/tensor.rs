@@ -48,7 +48,10 @@ impl Tensor {
     /// An all-zeros tensor.
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
-        Self { data: vec![0.0; shape.len()], shape }
+        Self {
+            data: vec![0.0; shape.len()],
+            shape,
+        }
     }
 
     /// An all-ones tensor.
@@ -59,7 +62,10 @@ impl Tensor {
     /// A tensor filled with a constant.
     pub fn filled(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
-        Self { data: vec![value; shape.len()], shape }
+        Self {
+            data: vec![value; shape.len()],
+            shape,
+        }
     }
 
     /// The `n×n` identity matrix.
@@ -147,7 +153,10 @@ impl Tensor {
             "cannot reshape {} elements into {shape}",
             self.len()
         );
-        Self { data: self.data.clone(), shape }
+        Self {
+            data: self.data.clone(),
+            shape,
+        }
     }
 
     /// Applies a function element-wise, producing a new tensor.
@@ -173,7 +182,12 @@ impl Tensor {
     pub fn zip_with<F: Fn(f32, f32) -> f32>(&self, other: &Self, f: F) -> Self {
         assert_eq!(self.shape, other.shape, "shape mismatch in element-wise op");
         Self {
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
             shape: self.shape.clone(),
         }
     }
@@ -281,7 +295,10 @@ impl Tensor {
                 }
             }
         }
-        Self { data: out, shape: Shape::new(&[m, n]) }
+        Self {
+            data: out,
+            shape: Shape::new(&[m, n]),
+        }
     }
 
     /// Matrix–vector product of a rank-2 tensor with a slice.
@@ -318,7 +335,10 @@ impl Tensor {
                 out[j * m + i] = self.data[i * n + j];
             }
         }
-        Self { data: out, shape: Shape::new(&[n, m]) }
+        Self {
+            data: out,
+            shape: Shape::new(&[n, m]),
+        }
     }
 
     /// Copies row `r` of a rank-2 tensor.
@@ -361,6 +381,31 @@ impl Tensor {
         let dims = if rest.is_empty() { vec![1] } else { rest };
         Tensor::from_vec(self.data[i * chunk..(i + 1) * chunk].to_vec(), &dims)
     }
+}
+
+/// Stacks `batch` per-sample tensors along a new leading axis: calls
+/// `f(0..batch)` and concatenates the results into a `[batch, ...]` tensor.
+///
+/// All samples must share the first sample's shape. This is the one stacking
+/// loop behind every `Layer::forward_batch`/`backward_batch` fallback.
+///
+/// # Panics
+///
+/// Panics if `batch == 0` or a later sample's shape differs from the first.
+pub fn stack_samples<F: FnMut(usize) -> Tensor>(batch: usize, mut f: F) -> Tensor {
+    assert!(batch > 0, "empty batch");
+    let first = f(0);
+    let sample_dims = first.dims().to_vec();
+    let mut data = Vec::with_capacity(batch * first.len());
+    data.extend_from_slice(first.data());
+    for b in 1..batch {
+        let y = f(b);
+        assert_eq!(y.dims(), &sample_dims[..], "sample {b} shape diverged");
+        data.extend_from_slice(y.data());
+    }
+    let mut dims = vec![batch];
+    dims.extend_from_slice(&sample_dims);
+    Tensor::from_vec(data, &dims)
 }
 
 impl fmt::Debug for Tensor {

@@ -22,7 +22,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .add(Relu::new())
             .add(Linear::new(&mut rng, 128, 10));
         let mut opt = Adam::new(0.002);
-        let cfg = TrainConfig { epochs: 4, batch_size: 16, shuffle_seed: 1, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 4,
+            batch_size: 16,
+            shuffle_seed: 1,
+            ..Default::default()
+        };
         let _ = train_classifier(&mut net, &mut opt, &train.images, &train.labels, &cfg);
         let acc = evaluate_accuracy(&mut net, &test.images, &test.labels);
         println!("{k:>5}  {:>11}x  {:>8.1}%", k, 100.0 * acc);

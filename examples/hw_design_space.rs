@@ -21,7 +21,14 @@ fn main() {
         result.best.p, result.best.d, result.best.throughput, result.best.power_w
     );
     println!("sample of the design space (throughput / power / efficiency):");
-    for (p, d) in [(8usize, 1usize), (16, 1), (32, 1), (32, 2), (32, 3), (38, 3)] {
+    for (p, d) in [
+        (8usize, 1usize),
+        (16, 1),
+        (32, 1),
+        (32, 2),
+        (32, 3),
+        (38, 3),
+    ] {
         let e = evaluate(&cfg, p, d);
         println!(
             "  p={p:>3} d={d}: {:>6.1} bf/cyc  {:>5.2} W  {:>7.1} bf/cyc/W",

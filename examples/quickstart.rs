@@ -48,7 +48,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut layer = CirculantLinear::new(&mut rng, 32, 32, 8)?;
     let target_op = BlockCirculantMatrix::random(&mut rng, 32, 32, 8)?;
     let mse = MseLoss::new();
-    let mut opt = Sgd::new(0.05, 0.9);
+    // 0.05/0.9 diverges on unlucky inits (effective step ~0.5); this is
+    // stable across seeds.
+    let mut opt = Sgd::new(0.02, 0.5);
     println!("== training (fit a random circulant operator) ==");
     for step in 0..=60 {
         let xs: Vec<f32> = (0..32).map(|i| ((i + step) as f32 * 0.3).sin()).collect();

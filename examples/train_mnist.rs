@@ -14,7 +14,13 @@ fn run(name: &str, mut net: Sequential) -> Result<(), Box<dyn std::error::Error>
     let full = circnn::data::catalog::mnist_like(1000, 11);
     let (train, test) = full.split_at(800);
     let mut opt = Adam::new(0.002);
-    let cfg = TrainConfig { epochs: 4, batch_size: 16, shuffle_seed: 5, verbose: true, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 4,
+        batch_size: 16,
+        shuffle_seed: 5,
+        verbose: true,
+        ..Default::default()
+    };
     println!("-- {name} ({} parameters) --", net.param_count());
     let report = train_classifier(&mut net, &mut opt, &train.images, &train.labels, &cfg);
     let acc = evaluate_accuracy(&mut net, &test.images, &test.labels);

@@ -19,7 +19,11 @@ fn sixteen_bit_quantization_preserves_trained_accuracy() {
     let mut rng = seeded_rng(2);
     let mut net = Benchmark::Mnist.build_circulant(&mut rng);
     let mut opt = Adam::new(0.002);
-    let cfg = TrainConfig { epochs: 3, batch_size: 16, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 3,
+        batch_size: 16,
+        ..Default::default()
+    };
     let _ = train_classifier(&mut net, &mut opt, &train.images, &train.labels, &cfg);
     let before = evaluate_accuracy(&mut net, &test.images, &test.labels);
     fake_quantize_layer(&mut net, 16);
@@ -32,7 +36,10 @@ fn sixteen_bit_quantization_preserves_trained_accuracy() {
     // a small model).
     fake_quantize_layer(&mut net, 2);
     let after2 = evaluate_accuracy(&mut net, &test.images, &test.labels);
-    assert!(after2 < before - 0.1 || after2 < 0.6, "2-bit should degrade: {after2}");
+    assert!(
+        after2 < before - 0.1 || after2 < 0.6,
+        "2-bit should degrade: {after2}"
+    );
 }
 
 #[test]
@@ -41,7 +48,10 @@ fn storage_accounting_matches_live_layer_parameters() {
     let layer = CirculantLinear::new(&mut rng, 1024, 512, 128).unwrap();
     let account = fc_storage("fc", 512, 1024, 128);
     // Accounting excludes bias (paper convention); layer includes it.
-    assert_eq!(account.compressed_params as usize, layer.param_count() - 512);
+    assert_eq!(
+        account.compressed_params as usize,
+        layer.param_count() - 512
+    );
     assert_eq!(account.compressed_bits, QUANT_BITS);
 }
 
@@ -69,7 +79,11 @@ fn single_circulant_baseline_wastes_storage_on_rectangular_layers() {
     // nothing and keep the accuracy knob.
     let single = SingleCirculantLinear::new(&mut rng, 1200, 80).unwrap();
     assert_eq!(single.padded_size(), 2048);
-    assert!(single.padding_waste() > 0.3, "waste = {}", single.padding_waste());
+    assert!(
+        single.padding_waste() > 0.3,
+        "waste = {}",
+        single.padding_waste()
+    );
 }
 
 #[test]

@@ -12,7 +12,12 @@ fn train_pair(benchmark: Benchmark, train_n: usize, test_n: usize, epochs: usize
     // held-out set must come from the same generation pass.
     let full = benchmark.dataset(train_n + test_n, 11);
     let (train, test) = full.split_at(train_n);
-    let cfg = TrainConfig { epochs, batch_size: 16, shuffle_seed: 7, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs,
+        batch_size: 16,
+        shuffle_seed: 7,
+        ..Default::default()
+    };
     let mut rng = seeded_rng(42);
     let mut dense = benchmark.build_dense(&mut rng);
     let mut opt = Adam::new(0.002);
@@ -28,7 +33,9 @@ fn train_pair(benchmark: Benchmark, train_n: usize, test_n: usize, epochs: usize
 
 #[test]
 fn circulant_lenet_learns_the_mnist_standin() {
-    let (dense, circ) = train_pair(Benchmark::Mnist, 300, 100, 3);
+    // 5 epochs: the circulant net needs a little longer than the dense one
+    // to converge, and the Fig.-7b gap claim is about converged models.
+    let (dense, circ) = train_pair(Benchmark::Mnist, 300, 100, 5);
     assert!(dense > 0.6, "dense accuracy {dense}");
     assert!(circ > 0.6, "circulant accuracy {circ}");
     // The Fig.-7b claim at CI scale: the gap is small.
@@ -40,7 +47,7 @@ fn circulant_lenet_learns_the_mnist_standin() {
 
 #[test]
 fn circulant_svhn_net_learns() {
-    let (dense, circ) = train_pair(Benchmark::Svhn, 250, 100, 3);
+    let (dense, circ) = train_pair(Benchmark::Svhn, 250, 100, 6);
     assert!(dense > 0.4, "dense accuracy {dense}");
     assert!(circ > 0.4, "circulant accuracy {circ}");
 }

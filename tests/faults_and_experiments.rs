@@ -14,7 +14,11 @@ fn few_bit_flips_degrade_gracefully_many_destroy() {
     let mut rng = seeded_rng(3);
     let mut net = Benchmark::Mnist.build_circulant(&mut rng);
     let mut opt = Adam::new(0.002);
-    let cfg = TrainConfig { epochs: 3, batch_size: 16, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 5,
+        batch_size: 16,
+        ..Default::default()
+    };
     let _ = train_classifier(&mut net, &mut opt, &train.images, &train.labels, &cfg);
     let clean = evaluate_accuracy(&mut net, &test.images, &test.labels);
     assert!(clean > 0.5, "model failed to train: {clean}");
@@ -28,7 +32,10 @@ fn few_bit_flips_degrade_gracefully_many_destroy() {
     };
     inject_bit_flips(&mut light, 3, &mut seeded_rng(5));
     let light_acc = evaluate_accuracy(&mut light, &test.images, &test.labels);
-    assert!(light_acc > clean - 0.3, "3 flips collapsed accuracy: {clean} -> {light_acc}");
+    assert!(
+        light_acc > clean - 0.3,
+        "3 flips collapsed accuracy: {clean} -> {light_acc}"
+    );
 }
 
 #[test]

@@ -8,14 +8,27 @@ use circnn::models::zoo::Benchmark;
 
 #[test]
 fn every_benchmark_descriptor_simulates_on_every_platform() {
-    let platforms =
-        [platform::cyclone_v(), platform::asic_45nm(), platform::asic_near_threshold()];
+    let platforms = [
+        platform::cyclone_v(),
+        platform::asic_45nm(),
+        platform::asic_near_threshold(),
+    ];
     for b in Benchmark::all() {
         for p in &platforms {
             let r = simulate(&b.descriptor(), p);
-            assert!(r.fps.is_finite() && r.fps > 0.0, "{} on {}", b.name(), p.name);
+            assert!(
+                r.fps.is_finite() && r.fps > 0.0,
+                "{} on {}",
+                b.name(),
+                p.name
+            );
             assert!(r.energy_j > 0.0);
-            assert!(r.equiv_gops >= r.actual_gops * 0.5, "{} on {}", b.name(), p.name);
+            assert!(
+                r.equiv_gops >= r.actual_gops * 0.5,
+                "{} on {}",
+                b.name(),
+                p.name
+            );
         }
     }
 }
@@ -67,7 +80,10 @@ fn bigger_networks_cost_more_cycles_and_energy() {
 #[test]
 fn memory_is_not_the_bottleneck_on_circulant_configs() {
     // §5.4: "weight storage is no longer the system bottleneck".
-    let r = simulate(&NetworkDescriptor::alexnet_circulant(), &platform::asic_45nm());
+    let r = simulate(
+        &NetworkDescriptor::alexnet_circulant(),
+        &platform::asic_45nm(),
+    );
     let frac = r.memory_energy_fraction();
     assert!(frac < 0.5, "memory fraction {frac}");
     assert!(frac > 0.02, "memory should still be visible: {frac}");

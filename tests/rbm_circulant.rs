@@ -20,15 +20,21 @@ fn train_rbm<Op: LinearOp>(op: Op, n: usize, epochs: usize, seed: u64) -> (f32, 
     let mut rbm = Rbm::new(op);
     let data = patterns(n);
     let mut rng = seeded_rng(seed);
-    let initial: f32 =
-        data.iter().map(|v| rbm.reconstruction_error(v)).sum::<f32>() / data.len() as f32;
+    let initial: f32 = data
+        .iter()
+        .map(|v| rbm.reconstruction_error(v))
+        .sum::<f32>()
+        / data.len() as f32;
     for _ in 0..epochs {
         for v in &data {
             rbm.cd1_step(v, 0.1, &mut rng);
         }
     }
-    let trained: f32 =
-        data.iter().map(|v| rbm.reconstruction_error(v)).sum::<f32>() / data.len() as f32;
+    let trained: f32 = data
+        .iter()
+        .map(|v| rbm.reconstruction_error(v))
+        .sum::<f32>()
+        / data.len() as f32;
     (initial, trained)
 }
 
