@@ -125,7 +125,7 @@ pub fn block_size_sweep(quick: bool) -> Vec<BlockSweepRow> {
         .collect()
 }
 
-/// Related-work baseline (§2.3, LeCun et al. [52]): spatial FFT convolution
+/// Related-work baseline (§2.3, LeCun et al. \[52\]): spatial FFT convolution
 /// accelerates large kernels but keeps (indeed grows) the storage, while
 /// CirCNN compresses the parameters themselves. One row per method:
 /// `(name, forward seconds, stored floats)`.

@@ -1,0 +1,11 @@
+//! Runs the serving-layer trajectory and writes `BENCH_serve.json`.
+fn main() {
+    let quick = circnn_bench::quick_mode();
+    println!("CirCNN reproduction — request-batching serving layer (quick = {quick})\n");
+    let points = circnn_bench::serve::run(quick);
+    circnn_bench::serve::print(&points);
+    let json = circnn_bench::serve::to_json(&points);
+    let path = "BENCH_serve.json";
+    std::fs::write(path, json).expect("writing trajectory file");
+    println!("\nwrote {path}");
+}

@@ -14,8 +14,8 @@ use crate::table::{times, Table};
 pub struct Fig13 {
     /// Our simulated FPGA point (AlexNet, the paper's workload).
     pub ours: SimReport,
-    /// VGG-16 on the same FPGA — the workload class of the [FPGA16] and
-    /// [ICCAD16] reference designs, for a like-for-like column.
+    /// VGG-16 on the same FPGA — the workload class of the \[FPGA16\] and
+    /// \[ICCAD16\] reference designs, for a like-for-like column.
     pub ours_vgg: SimReport,
     /// Published reference points.
     pub references: Vec<RefPoint>,

@@ -15,6 +15,7 @@
 //! | [`train_speedup`] / `train_speedup` | §3.4: 5–9× DBN training gain |
 //! | [`ablations`] / `ablations` | design-choice ablations |
 //! | [`batched`] / `batched` | batched-inference engine trajectory (`BENCH_batched.json`) |
+//! | [`serve`] / `serve` | serving-layer throughput trajectory (`BENCH_serve.json`) |
 //!
 //! Experiments honor the `CIRCNN_QUICK=1` environment variable to shrink
 //! training workloads (used by the integration tests); the binaries default
@@ -29,6 +30,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig7;
 pub mod sec53;
+pub mod serve;
 pub mod table;
 pub mod train_speedup;
 

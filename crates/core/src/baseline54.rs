@@ -1,4 +1,4 @@
-//! The single-circulant baseline of Cheng et al. (ICCV'15) — reference [54]
+//! The single-circulant baseline of Cheng et al. (ICCV'15) — reference \[54\]
 //! in the paper, reproduced so Fig. 4's storage-waste argument is
 //! measurable.
 //!

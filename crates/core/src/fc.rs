@@ -159,6 +159,23 @@ impl CirculantLinear {
             self.dirty = false;
         }
     }
+
+    /// The batched affine kernel `Y = W·X + b` shared by the training-side
+    /// [`Layer::forward_batch`] and the read-only [`Layer::infer_batch`]:
+    /// one engine call, one bias loop, bit-identical outputs.
+    fn batched_affine(&self, input: &Tensor, batch: usize, ws: &mut Workspace) -> Tensor {
+        let m = self.out_dim();
+        let mut out = vec![0.0f32; batch * m];
+        self.engine
+            .forward_batch_into(input.data(), batch, ws, &mut out)
+            .expect("circulant linear batch input length mismatch");
+        for row in out.chunks_mut(m) {
+            for (v, &b) in row.iter_mut().zip(&self.bias) {
+                *v += b;
+            }
+        }
+        Tensor::from_vec(out, &[batch, m])
+    }
 }
 
 impl Layer for CirculantLinear {
@@ -206,18 +223,13 @@ impl Layer for CirculantLinear {
             self.batch = None;
             return Tensor::from_vec(y.data().to_vec(), &[1, self.out_dim()]);
         }
-        let mut out = vec![0.0f32; batch * self.out_dim()];
-        self.engine
-            .forward_batch_into(input.data(), batch, &mut self.ws, &mut out)
-            .expect("circulant linear batch input length mismatch");
-        let m = self.out_dim();
-        for row in out.chunks_mut(m) {
-            for (v, &b) in row.iter_mut().zip(&self.bias) {
-                *v += b;
-            }
-        }
+        // Take the arena out so the shared kernel can borrow `self` and
+        // the workspace disjointly.
+        let mut ws = std::mem::take(&mut self.ws);
+        let out = self.batched_affine(input, batch, &mut ws);
+        self.ws = ws;
         self.batch = Some(batch);
-        Tensor::from_vec(out, &[batch, m])
+        out
     }
 
     fn backward_batch(&mut self, _input: &Tensor, grad_output: &Tensor) -> Tensor {
@@ -247,6 +259,34 @@ impl Layer for CirculantLinear {
             }
         }
         Tensor::from_vec(gx, &[batch, self.in_dim()])
+    }
+
+    fn infer_batch(&self, input: &Tensor, scratch: &mut circnn_nn::InferScratch) -> Tensor {
+        // The serving path cannot refresh the spectra cache (`&self`);
+        // `set_training(false)` syncs it before the network is shared.
+        assert!(
+            !self.dirty,
+            "CirculantLinear spectra cache is stale; call set_training(false) \
+             after the last optimizer step before serving"
+        );
+        let batch = input.dims()[0];
+        // Always the batched engine — even for B = 1 — so a request's
+        // result is bit-identical no matter which batch the server coalesced
+        // it into (the batch dimension is an independent SIMD lane).
+        let ws: &mut Workspace = scratch.slot();
+        self.batched_affine(input, batch, ws)
+    }
+
+    fn supports_infer(&self) -> bool {
+        true
+    }
+
+    fn set_training(&mut self, training: bool) {
+        if !training {
+            // Entering inference mode pins the spectra cache fresh so the
+            // read-only `infer_batch` path can serve from it.
+            self.sync();
+        }
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {

@@ -1,4 +1,4 @@
-//! The LeCun et al. FFT-convolution baseline (paper §2.3, reference [52]).
+//! The LeCun et al. FFT-convolution baseline (paper §2.3, reference \[52\]).
 //!
 //! That method accelerates spatial convolution by transforming feature maps
 //! and filters to the frequency domain and reusing the filter spectra
@@ -23,7 +23,7 @@ use rand::Rng;
 use crate::error::CircError;
 
 /// A LeCun-style FFT convolution engine for `[C, H, W] → [P, oh, ow]`
-/// valid convolution (stride 1, no padding — the regime [52] analyses).
+/// valid convolution (stride 1, no padding — the regime \[52\] analyses).
 ///
 /// Filter spectra are precomputed on the padded grid at construction, the
 /// source of both the speed (filter reuse) and the extra storage.
@@ -180,7 +180,7 @@ impl LeCunFftConv2d {
     ///
     /// Channel spectra are computed once and reused by every output map;
     /// each output map needs a single inverse transform (spectral
-    /// accumulation), which is the whole of [52]'s efficiency.
+    /// accumulation), which is the whole of \[52\]'s efficiency.
     ///
     /// # Errors
     ///

@@ -21,7 +21,7 @@
 //! * [`CirculantLinear`] — a drop-in FC layer (`circnn_nn::Layer`).
 //! * [`CirculantConv2d`] — the CONV layer of §3.2: filters circulant across
 //!   the channel dimensions, lowered through im2col per Eqn. (7).
-//! * [`SingleCirculantLinear`] — the [54] (Cheng et al.) baseline that uses
+//! * [`SingleCirculantLinear`] — the \[54\] (Cheng et al.) baseline that uses
 //!   one big zero-padded circulant matrix; kept to quantify the storage
 //!   waste block partitioning removes (paper Fig. 4).
 //! * [`compression`] — storage accounting (parameters/bytes/ratios).

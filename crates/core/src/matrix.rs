@@ -3,7 +3,7 @@
 //! An `m×n` matrix is partitioned into `p×q` circulant blocks of size `k`
 //! (`p = ⌈m/k⌉`, `q = ⌈n/k⌉`; ragged edges are zero-padded, which the
 //! paper's Fig. 4 contrasts against the wasteful whole-matrix padding of
-//! [54]). Only the `p·q·k` defining vectors are stored, plus their cached
+//! \[54\]). Only the `p·q·k` defining vectors are stored, plus their cached
 //! spectra `FFT(w_ij)` — mirroring the hardware, where "RAM … is used to
 //! store weights, e.g., the FFT results FFT(w_ij)" (§4.2).
 //!
@@ -721,10 +721,11 @@ impl BlockCirculantMatrix {
 /// of Algorithm 2's reuse of `FFT(x_j)`.
 #[derive(Debug, Clone, Default)]
 pub struct Workspace {
-    /// Input spectra planes `[q][bins][batch]`, split re/im (SoA).
+    /// Input spectra planes, bin-major `[bin][q-block][batch]`, split
+    /// re/im (SoA).
     xs_re: Vec<f32>,
     xs_im: Vec<f32>,
-    /// Output-gradient spectra planes `[p][bins][batch]`.
+    /// Output-gradient spectra planes, bin-major `[bin][p-block][batch]`.
     gs_re: Vec<f32>,
     gs_im: Vec<f32>,
     /// Frequency-domain accumulators `[blocks][bins][batch]`.
@@ -830,6 +831,26 @@ impl BlockCirculantMatrix {
     /// [`BlockCirculantMatrix::forward_batch_into`]; the output `Vec` is the
     /// only allocation once `ws` is warm.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use circnn_core::{BlockCirculantMatrix, Workspace};
+    /// use circnn_tensor::init::seeded_rng;
+    ///
+    /// # fn main() -> Result<(), circnn_core::CircError> {
+    /// let w = BlockCirculantMatrix::random(&mut seeded_rng(0), 64, 96, 16)?;
+    /// let mut ws = Workspace::new();
+    /// let batch = 4;
+    /// let x = vec![0.25_f32; batch * 96]; // row-major [batch, n]
+    /// let y = w.matmat(&x, batch, &mut ws)?; // row-major [batch, m]
+    /// assert_eq!(y.len(), batch * 64);
+    /// // Each row is bit-identical to serving that sample alone:
+    /// let alone = w.matmat(&x[..96], 1, &mut ws)?;
+    /// assert_eq!(&y[..64], &alone[..]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`CircError::DimensionMismatch`] if `x.len() != batch * n`
@@ -850,6 +871,27 @@ impl BlockCirculantMatrix {
     ///
     /// The batch input spectra stay in `ws` for reuse by
     /// [`BlockCirculantMatrix::weight_gradient_batch`].
+    ///
+    /// # Examples
+    ///
+    /// A serving loop reuses one workspace and one output slab; after the
+    /// first call at a given size, no further heap allocation happens:
+    ///
+    /// ```
+    /// use circnn_core::{BlockCirculantMatrix, Workspace};
+    /// use circnn_tensor::init::seeded_rng;
+    ///
+    /// # fn main() -> Result<(), circnn_core::CircError> {
+    /// let w = BlockCirculantMatrix::random(&mut seeded_rng(1), 32, 32, 8)?;
+    /// let mut ws = Workspace::new();
+    /// let mut out = vec![0.0_f32; 8 * 32]; // up to 8 samples per batch
+    /// for batch in [8usize, 3, 8] {
+    ///     let x = vec![1.0_f32; batch * 32];
+    ///     w.forward_batch_into(&x, batch, &mut ws, &mut out[..batch * 32])?;
+    /// }
+    /// # Ok(())
+    /// # }
+    /// ```
     ///
     /// # Errors
     ///

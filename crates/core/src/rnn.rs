@@ -2,7 +2,7 @@
 //!
 //! §4.4 claims the architecture serves "different network models like DBN
 //! or RNN" — the recurrence is just more matvecs against resident weights,
-//! which is exactly the engine's sweet spot (ESE, the paper's [20], is an
+//! which is exactly the engine's sweet spot (ESE, the paper's \[20\], is an
 //! LSTM accelerator for the same reason). This module provides:
 //!
 //! * [`CirculantRnnCell`] — an Elman-style cell

@@ -238,3 +238,68 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Batch-composition invariance: a sample's output row is **bitwise**
+    /// identical whether it is computed alone (`B = 1`) or inside any
+    /// larger coalesced batch — each batch lane is an independent chain of
+    /// IEEE ops in a fixed order. The dynamic-batching server
+    /// (`circnn-serve`) relies on this to keep every client's answer
+    /// independent of how requests happened to be coalesced.
+    #[test]
+    fn batched_rows_are_bitwise_batch_invariant((m, n, k, seed) in shapes(), batch in 2usize..8) {
+        let p = m.div_ceil(k);
+        let q = n.div_ceil(k);
+        let w = BlockCirculantMatrix::from_weights(m, n, k, &random_weights(p * q * k, seed)).unwrap();
+        let x = random_weights(batch * n, seed ^ 0xC0A1);
+        let mut ws = Workspace::new();
+        let coalesced = w.matmat(&x, batch, &mut ws).unwrap();
+        for b in 0..batch {
+            let alone = w.matmat(&x[b * n..(b + 1) * n], 1, &mut ws).unwrap();
+            prop_assert_eq!(
+                &coalesced[b * m..(b + 1) * m], &alone[..],
+                "({},{},{}) sample {} differs between B={} and B=1", m, n, k, b, batch
+            );
+        }
+    }
+}
+
+/// The serving layer shares one operator (`Arc`) across worker threads,
+/// each with a private `Workspace` — audit the types it needs to move.
+#[test]
+fn engine_types_are_send_and_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<BlockCirculantMatrix>();
+    assert_send_sync::<Workspace>();
+    assert_send_sync::<circnn_core::BlockSpectra>();
+    assert_send_sync::<circnn_core::CirculantLinear>();
+    assert_send_sync::<circnn_nn::Sequential>();
+}
+
+/// A shared read-only operator produces bitwise-identical results from
+/// every worker thread (each owning its own scratch arena).
+#[test]
+fn shared_operator_is_bitwise_stable_across_threads() {
+    use std::sync::Arc;
+    let (m, n, k, batch) = (48usize, 40usize, 8usize, 6usize);
+    let p = m.div_ceil(k);
+    let q = n.div_ceil(k);
+    let w = Arc::new(
+        BlockCirculantMatrix::from_weights(m, n, k, &random_weights(p * q * k, 77)).unwrap(),
+    );
+    let x = random_weights(batch * n, 0xBEEF);
+    let mut ws = Workspace::new();
+    let reference = w.matmat(&x, batch, &mut ws).unwrap();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let (w, x, reference) = (Arc::clone(&w), &x, &reference);
+            s.spawn(move || {
+                let mut ws = Workspace::new();
+                let y = w.matmat(x, batch, &mut ws).unwrap();
+                assert_eq!(&y, reference, "worker diverged from reference");
+            });
+        }
+    });
+}

@@ -127,7 +127,7 @@ impl<T: Float> Fft2dPlan<T> {
 }
 
 /// "Valid" 2-D cross-correlation (the CNN convention) of an `h×w` input
-/// with an `r×r` filter via the FFT — the LeCun [52] kernel. Output is
+/// with an `r×r` filter via the FFT — the LeCun \[52\] kernel. Output is
 /// `(h−r+1)×(w−r+1)`.
 ///
 /// Both operands are zero-padded to the covering power-of-two grid,

@@ -24,7 +24,7 @@
 //!   and FFT-based `O(n log n)`; the circulant-matvec identities the whole
 //!   project rests on are tested here against brute force.
 //! * [`fft2d`] — 2-D FFT and LeCun-style spatial FFT convolution (the
-//!   paper's §2.3 related-work baseline [52]).
+//!   paper's §2.3 related-work baseline \[52\]).
 //! * [`fixed`] — a 16-bit-style fixed-point FFT with per-stage scaling,
 //!   modelling the hardware datapath of Section 4.2 ("16-bit fixed point
 //!   numbers for input and weight representations").

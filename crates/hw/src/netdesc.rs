@@ -398,7 +398,7 @@ impl NetworkDescriptor {
     }
 
     /// VGG-16 with block-circulant CONV and FC layers — the workload class
-    /// of the [FPGA16]/[ICCAD16] reference designs in Fig. 13. 224×224
+    /// of the \[FPGA16\]/\[ICCAD16\] reference designs in Fig. 13. 224×224
     /// input, 13 conv layers + 3 FC layers (~31 G-op dense equivalent).
     pub fn vgg16_circulant() -> Self {
         let mut layers = Vec::new();

@@ -62,6 +62,14 @@ impl Layer for Relu {
         self.backward(grad_output)
     }
 
+    fn infer_batch(&self, input: &Tensor, _scratch: &mut crate::InferScratch) -> Tensor {
+        input.map(|v| v.max(0.0))
+    }
+
+    fn supports_infer(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "ReLU"
     }
@@ -117,6 +125,14 @@ impl Layer for Sigmoid {
         self.backward(grad_output)
     }
 
+    fn infer_batch(&self, input: &Tensor, _scratch: &mut crate::InferScratch) -> Tensor {
+        input.map(sigmoid_scalar)
+    }
+
+    fn supports_infer(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "Sigmoid"
     }
@@ -166,6 +182,14 @@ impl Layer for Tanh {
         self.backward(grad_output)
     }
 
+    fn infer_batch(&self, input: &Tensor, _scratch: &mut crate::InferScratch) -> Tensor {
+        input.map(f32::tanh)
+    }
+
+    fn supports_infer(&self) -> bool {
+        true
+    }
+
     fn name(&self) -> &'static str {
         "Tanh"
     }
@@ -211,6 +235,15 @@ impl Layer for Flatten {
             .as_ref()
             .expect("backward called before forward");
         grad_output.reshape(input.dims())
+    }
+
+    fn infer_batch(&self, input: &Tensor, _scratch: &mut crate::InferScratch) -> Tensor {
+        let batch = input.dims()[0];
+        input.reshape(&[batch, input.len() / batch])
+    }
+
+    fn supports_infer(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {

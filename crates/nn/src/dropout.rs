@@ -115,6 +115,16 @@ impl Layer for Dropout {
         self.backward(grad_output)
     }
 
+    fn infer_batch(&self, input: &Tensor, _scratch: &mut crate::InferScratch) -> Tensor {
+        // Inverted dropout is the identity at inference regardless of the
+        // training flag — the serving path never draws masks.
+        input.clone()
+    }
+
+    fn supports_infer(&self) -> bool {
+        true
+    }
+
     fn set_training(&mut self, training: bool) {
         self.training = training;
     }

@@ -1,0 +1,101 @@
+//! Per-worker scratch storage for the read-only inference path.
+//!
+//! [`Layer::infer_batch`](crate::Layer::infer_batch) takes `&self` so one
+//! model can be shared (`Arc`) by many serving workers — but the fast
+//! batched kernels still need mutable scratch (e.g.
+//! `circnn_core::Workspace`). [`InferScratch`] is that scratch: each worker
+//! owns one, and layers that need reusable buffers claim a typed slot from
+//! it on every pass.
+//!
+//! Slots are keyed by *visitation order*: a network's layers always run in
+//! the same order, so the `i`-th [`InferScratch::slot`] call of every pass
+//! lands on the same buffer, which therefore stays warm across requests.
+//! [`InferScratch::rewind`] resets the cursor; the root inference entry
+//! point ([`Sequential::infer`](crate::Sequential::infer)) calls it so
+//! callers never have to.
+
+use std::any::Any;
+
+/// Type-erased, visitation-ordered scratch slots for one inference worker.
+///
+/// The same `InferScratch` may be reused across different networks: a slot
+/// whose stored type no longer matches the requesting layer is simply
+/// re-initialized. It is `Send` (workers move to their threads) but
+/// deliberately not shared — one per worker, no locking.
+#[derive(Debug, Default)]
+pub struct InferScratch {
+    slots: Vec<Box<dyn Any + Send>>,
+    cursor: usize,
+}
+
+impl InferScratch {
+    /// An empty scratch store; slots are created on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets the slot cursor to the first slot. Call before (or at) the
+    /// root of each inference pass.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Claims the next slot as a `T`, creating or re-typing it as needed,
+    /// and advances the cursor.
+    ///
+    /// Layers call this once per pass, so a fixed network maps each layer
+    /// to a stable slot and buffers grown on the first request are reused
+    /// by every later one.
+    pub fn slot<T: Default + Send + 'static>(&mut self) -> &mut T {
+        let i = self.cursor;
+        self.cursor += 1;
+        if i == self.slots.len() {
+            self.slots.push(Box::new(T::default()));
+        } else if !self.slots[i].is::<T>() {
+            self.slots[i] = Box::new(T::default());
+        }
+        self.slots[i]
+            .downcast_mut::<T>()
+            .expect("slot was just ensured to hold a T")
+    }
+
+    /// Number of slots materialized so far.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no slot has been materialized yet.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_are_stable_across_rewinds() {
+        let mut s = InferScratch::new();
+        *s.slot::<Vec<f32>>() = vec![1.0, 2.0];
+        *s.slot::<u64>() = 7;
+        s.rewind();
+        assert_eq!(s.slot::<Vec<f32>>(), &vec![1.0, 2.0]);
+        assert_eq!(*s.slot::<u64>(), 7);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn type_mismatch_reinitializes_the_slot() {
+        let mut s = InferScratch::new();
+        *s.slot::<u64>() = 9;
+        s.rewind();
+        assert_eq!(*s.slot::<Vec<f32>>(), Vec::<f32>::new());
+    }
+
+    #[test]
+    fn scratch_is_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<InferScratch>();
+    }
+}

@@ -3,6 +3,8 @@
 
 use circnn_tensor::Tensor;
 
+use crate::infer::InferScratch;
+
 /// A differentiable network layer processing one sample at a time.
 ///
 /// The calling convention is strict and simple:
@@ -101,6 +103,49 @@ pub trait Layer {
             let _ = self.forward(&input.index_axis0(b));
             self.backward(&grad_output.index_axis0(b))
         })
+    }
+
+    /// Read-only batched inference: computes the `[batch, …]` output of
+    /// [`Layer::forward_batch`] **without mutating the layer** — no
+    /// activation caches, no training state. Reusable buffers come from the
+    /// caller's [`InferScratch`] instead, so one layer (behind an `Arc`)
+    /// can serve many worker threads, each with its own scratch.
+    ///
+    /// Implementations must be **batch-composition invariant**: a sample's
+    /// output row is bit-identical no matter which batch it rides in (the
+    /// batched kernels treat the batch dimension as independent lanes), so
+    /// a dynamic batcher can coalesce requests freely without changing any
+    /// client's answer. They must also claim the same number of scratch
+    /// slots on every call (slot reuse is keyed on visitation order).
+    /// Stochastic training-only layers (dropout) behave as their
+    /// inference-mode identity.
+    ///
+    /// The default implementation panics: layers whose batched kernel has
+    /// not been made shareable yet (CONV/POOL) cannot be served through
+    /// this path. Every FC-path layer (`Linear`, activations, `Flatten`,
+    /// `Dropout`, `Sequential`, and `CirculantLinear` in `circnn-core`)
+    /// overrides it — always together with [`Layer::supports_infer`], which
+    /// is the panic-free way to ask first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layer does not support read-only inference.
+    fn infer_batch(&self, input: &Tensor, scratch: &mut InferScratch) -> Tensor {
+        let _ = (input, scratch);
+        unimplemented!(
+            "{} does not support read-only batched inference (infer_batch)",
+            self.name()
+        )
+    }
+
+    /// Whether this layer overrides [`Layer::infer_batch`] (container
+    /// layers: whether every child does). Lets a serving layer reject an
+    /// unservable network up front instead of panicking inside a worker.
+    ///
+    /// Implementations overriding `infer_batch` must override this to
+    /// return `true`.
+    fn supports_infer(&self) -> bool {
+        false
     }
 
     /// Switches between training and inference behaviour (dropout masks,

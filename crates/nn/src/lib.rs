@@ -3,14 +3,18 @@
 //! DNN training substrate for the CirCNN reproduction.
 //!
 //! The paper trains its networks in Caffe on GPUs; this crate is the
-//! from-scratch CPU replacement. It deliberately processes one sample at a
-//! time with hand-written backward passes — small, auditable, and
-//! deterministic — which is all the evaluation needs (the datasets are
-//! synthetic and laptop-scale, see `circnn-data`).
+//! from-scratch CPU replacement: hand-written backward passes — small,
+//! auditable, and deterministic — plus batched forward/backward hooks that
+//! the block-circulant engine (`circnn-core`) and the serving layer
+//! (`circnn-serve`) plug their fast kernels into.
 //!
 //! Contents:
 //!
-//! * [`Layer`] — the forward/backward/parameter-visitation contract.
+//! * [`Layer`] — the forward/backward/parameter-visitation contract, plus
+//!   the batched training hooks (`forward_batch`/`backward_batch`) and the
+//!   read-only serving hook (`infer_batch`).
+//! * [`InferScratch`] — per-worker scratch slots backing `infer_batch`, so
+//!   an `Arc`-shared network can serve many threads without locks.
 //! * [`Linear`], [`Conv2d`], [`MaxPool2d`], [`AvgPool2d`], [`Relu`],
 //!   [`Sigmoid`], [`Tanh`], [`Flatten`] — the standard layers
 //!   (§2.1's FC / CONV / POOL taxonomy).
@@ -21,7 +25,7 @@
 //! * [`prune`] — the heuristic magnitude-pruning baseline ([34, 35] in the
 //!   paper) including CSR storage with explicit index overhead, which is the
 //!   irregularity cost CirCNN's regular structure avoids.
-//! * [`lowrank`] — the SVD low-rank baseline ([38, 39] / [48] in the paper).
+//! * [`lowrank`] — the SVD low-rank baseline (\[38, 39\] / \[48\] in the paper).
 //! * [`rbm`] — restricted Boltzmann machines over a pluggable [`LinearOp`],
 //!   used to reproduce the §3.4 DBN training-speedup claim.
 //!
@@ -46,6 +50,7 @@
 mod activation;
 mod conv;
 mod dropout;
+mod infer;
 mod layer;
 mod linear;
 mod loss;
@@ -62,6 +67,7 @@ pub mod trainer;
 pub use activation::{Flatten, Relu, Sigmoid, Tanh};
 pub use conv::Conv2d;
 pub use dropout::Dropout;
+pub use infer::InferScratch;
 pub use layer::Layer;
 pub use linear::Linear;
 pub use linop::{DenseOp, LinearOp};

@@ -130,6 +130,35 @@ impl Linear {
     pub fn nonzero_weights(&self) -> usize {
         self.weight.data().iter().filter(|&&w| w != 0.0).count()
     }
+
+    /// The batched affine kernel shared by the training-side
+    /// [`Layer::forward_batch`] and the read-only [`Layer::infer_batch`]:
+    /// one loop nest, one accumulation order, bit-identical outputs.
+    fn apply_batch(&self, input: &Tensor) -> Tensor {
+        let batch = input.dims()[0];
+        assert!(batch > 0, "empty batch");
+        assert_eq!(
+            input.len(),
+            batch * self.in_dim,
+            "linear batch input length mismatch"
+        );
+        let x = input.data();
+        let w = self.weight.data();
+        let mut out = vec![0.0f32; batch * self.out_dim];
+        for b in 0..batch {
+            let xr = &x[b * self.in_dim..(b + 1) * self.in_dim];
+            let yr = &mut out[b * self.out_dim..(b + 1) * self.out_dim];
+            for i in 0..self.out_dim {
+                let row = &w[i * self.in_dim..(i + 1) * self.in_dim];
+                let mut acc = 0.0f32;
+                for (wij, xj) in row.iter().zip(xr) {
+                    acc += wij * xj;
+                }
+                yr[i] = acc + self.bias[i];
+            }
+        }
+        Tensor::from_vec(out, &[batch, self.out_dim])
+    }
 }
 
 impl Layer for Linear {
@@ -188,29 +217,15 @@ impl Layer for Linear {
     }
 
     fn forward_batch(&mut self, input: &Tensor) -> Tensor {
-        let batch = input.dims()[0];
-        assert!(batch > 0, "empty batch");
-        assert_eq!(
-            input.len(),
-            batch * self.in_dim,
-            "linear batch input length mismatch"
-        );
-        let x = input.data();
-        let w = self.weight.data();
-        let mut out = vec![0.0f32; batch * self.out_dim];
-        for b in 0..batch {
-            let xr = &x[b * self.in_dim..(b + 1) * self.in_dim];
-            let yr = &mut out[b * self.out_dim..(b + 1) * self.out_dim];
-            for i in 0..self.out_dim {
-                let row = &w[i * self.in_dim..(i + 1) * self.in_dim];
-                let mut acc = 0.0f32;
-                for (wij, xj) in row.iter().zip(xr) {
-                    acc += wij * xj;
-                }
-                yr[i] = acc + self.bias[i];
-            }
-        }
-        Tensor::from_vec(out, &[batch, self.out_dim])
+        self.apply_batch(input)
+    }
+
+    fn infer_batch(&self, input: &Tensor, _scratch: &mut crate::InferScratch) -> Tensor {
+        self.apply_batch(input)
+    }
+
+    fn supports_infer(&self) -> bool {
+        true
     }
 
     fn backward_batch(&mut self, input: &Tensor, grad_output: &Tensor) -> Tensor {

@@ -2,11 +2,15 @@
 
 use circnn_tensor::Tensor;
 
+use crate::infer::InferScratch;
 use crate::layer::Layer;
 
 /// A feed-forward stack of layers executed in order.
 ///
-/// `Sequential` itself implements [`Layer`], so stacks nest.
+/// `Sequential` itself implements [`Layer`], so stacks nest. Layers are
+/// boxed as `dyn Layer + Send + Sync`, so a trained network can be wrapped
+/// in an `Arc` and shared by serving workers through the read-only
+/// [`Sequential::infer`] path.
 ///
 /// # Examples
 ///
@@ -23,7 +27,7 @@ use crate::layer::Layer;
 /// assert_eq!(net.depth(), 3);
 /// ```
 pub struct Sequential {
-    layers: Vec<Box<dyn Layer>>,
+    layers: Vec<Box<dyn Layer + Send + Sync>>,
     /// Per-layer batch inputs cached by [`Layer::forward_batch`] so each
     /// layer's [`Layer::backward_batch`] receives the tensor it saw.
     /// Retained in training mode only — inference has no backward pass to
@@ -50,13 +54,13 @@ impl Sequential {
 
     /// Appends a layer (builder style).
     #[must_use]
-    pub fn add<L: Layer + 'static>(mut self, layer: L) -> Self {
+    pub fn add<L: Layer + Send + Sync + 'static>(mut self, layer: L) -> Self {
         self.layers.push(Box::new(layer));
         self
     }
 
     /// Appends a boxed layer in place.
-    pub fn push(&mut self, layer: Box<dyn Layer>) {
+    pub fn push(&mut self, layer: Box<dyn Layer + Send + Sync>) {
         self.layers.push(layer);
     }
 
@@ -75,7 +79,7 @@ impl Sequential {
     }
 
     /// Iterates over the layers.
-    pub fn iter(&self) -> impl Iterator<Item = &dyn Layer> {
+    pub fn iter(&self) -> impl Iterator<Item = &(dyn Layer + Send + Sync)> {
         self.layers.iter().map(|b| b.as_ref())
     }
 
@@ -90,6 +94,32 @@ impl Sequential {
             .iter()
             .map(|l| (l.name(), l.param_count()))
             .collect()
+    }
+
+    /// Read-only batched inference over the whole stack — the root entry
+    /// point of the serving path (rewinds `scratch` and runs
+    /// [`Layer::infer_batch`] layer by layer).
+    ///
+    /// The network is untouched (`&self`), so an `Arc<Sequential>` can be
+    /// shared by any number of worker threads, each holding its own
+    /// [`InferScratch`]. Outputs are **batch-composition invariant**: a
+    /// sample's row is bit-identical no matter which batch carries it.
+    /// They also match [`Layer::forward_batch`] in inference mode, except
+    /// that circulant layers always use the batched engine — at batch
+    /// size 1, `forward_batch` takes a scalar-pipeline shortcut whose
+    /// rounding differs at the last ulp.
+    ///
+    /// Circulant layers serve from their cached weight spectra; call
+    /// [`Layer::set_training`]`(false)` once after training (before sharing
+    /// the network) so those caches are synced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any layer does not support read-only inference (see
+    /// [`Layer::infer_batch`]).
+    pub fn infer(&self, input: &Tensor, scratch: &mut InferScratch) -> Tensor {
+        scratch.rewind();
+        Layer::infer_batch(self, input, scratch)
     }
 }
 
@@ -139,6 +169,24 @@ impl Layer for Sequential {
             g = layer.backward_batch(inp, &g);
         }
         g
+    }
+
+    fn infer_batch(&self, input: &Tensor, scratch: &mut InferScratch) -> Tensor {
+        // First layer reads the caller's tensor directly — no input copy
+        // on the serving hot path.
+        let mut layers = self.layers.iter();
+        let Some(first) = layers.next() else {
+            return input.clone();
+        };
+        let mut x = first.infer_batch(input, scratch);
+        for layer in layers {
+            x = layer.infer_batch(&x, scratch);
+        }
+        x
+    }
+
+    fn supports_infer(&self) -> bool {
+        self.layers.iter().all(|l| l.supports_infer())
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {

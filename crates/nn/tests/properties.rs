@@ -100,3 +100,62 @@ proptest! {
         prop_assert_eq!(bytes, csr.nnz() as u64 * 4 + (8 + 1) * 4);
     }
 }
+
+/// The read-only serving path (`Sequential::infer`) must agree bitwise
+/// with the training-side `forward_batch` in inference mode — it is the
+/// same arithmetic, minus every cache write.
+#[test]
+fn infer_matches_forward_batch_bitwise() {
+    use circnn_nn::{Dropout, Flatten, InferScratch, Sequential, Sigmoid, Tanh};
+    let mut rng = seeded_rng(42);
+    let mut net = Sequential::new()
+        .add(Flatten::new())
+        .add(Linear::new(&mut rng, 12, 16))
+        .add(Relu::new())
+        .add(Dropout::new(0.3, 9))
+        .add(Linear::new(&mut rng, 16, 8))
+        .add(Tanh::new())
+        .add(Linear::new(&mut rng, 8, 4))
+        .add(Sigmoid::new());
+    net.set_training(false);
+    let x = circnn_tensor::init::uniform(&mut rng, &[5, 3, 4], -1.0, 1.0);
+    let trained_path = net.forward_batch(&x);
+    let mut scratch = InferScratch::new();
+    let served = net.infer(&x, &mut scratch);
+    assert_eq!(served.dims(), trained_path.dims());
+    assert_eq!(served.data(), trained_path.data());
+    // Reusing the same scratch on a second request is stable.
+    let again = net.infer(&x, &mut scratch);
+    assert_eq!(again.data(), trained_path.data());
+}
+
+/// An `Arc<Sequential>` is served concurrently by workers holding private
+/// scratch, with every worker bitwise-identical to the single-threaded
+/// answer — the sharing model of `circnn-serve`.
+#[test]
+fn shared_network_serves_threads_bitwise_identically() {
+    use circnn_nn::{InferScratch, Sequential};
+    use std::sync::Arc;
+    let mut rng = seeded_rng(7);
+    let mut net = Sequential::new()
+        .add(Linear::new(&mut rng, 6, 10))
+        .add(Relu::new())
+        .add(Linear::new(&mut rng, 10, 3));
+    net.set_training(false);
+    let x = circnn_tensor::init::uniform(&mut rng, &[4, 6], -1.0, 1.0);
+    let mut scratch = InferScratch::new();
+    let reference = net.infer(&x, &mut scratch);
+    let net = Arc::new(net);
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            let (net, x, reference) = (Arc::clone(&net), &x, &reference);
+            s.spawn(move || {
+                let mut scratch = InferScratch::new();
+                for _ in 0..3 {
+                    let y = net.infer(x, &mut scratch);
+                    assert_eq!(y.data(), reference.data(), "worker diverged");
+                }
+            });
+        }
+    });
+}

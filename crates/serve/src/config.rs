@@ -1,0 +1,55 @@
+//! Batching policy and server sizing.
+
+use std::time::Duration;
+
+/// Tunable policy of the dynamic batcher and worker pool.
+///
+/// The two policy knobs trade latency for occupancy exactly like the
+/// hardware pipelines the paper targets: `max_batch` caps the slab a
+/// worker assembles (the FFT engine's lane count), `max_wait` bounds how
+/// long the **oldest** request in a forming batch may age before the slab
+/// is flushed partially full.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Largest number of requests coalesced into one `[B, n]` slab.
+    pub max_batch: usize,
+    /// Maximum time the oldest collected request may wait for the slab to
+    /// fill before a partial flush.
+    pub max_wait: Duration,
+    /// Bound of the submission queue; a full queue blocks
+    /// [`Server::submit`](crate::Server::submit) (backpressure) and fails
+    /// [`Server::try_submit`](crate::Server::try_submit).
+    pub queue_capacity: usize,
+    /// Worker threads, each owning one model scratch (e.g. a pre-warmed
+    /// `Workspace`).
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    /// A small-footprint default: 32-wide slabs, 2 ms slack, two workers,
+    /// queue bounded at four slabs.
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 128,
+            workers: 2,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the knobs; every count must be nonzero.
+    pub(crate) fn validate(&self) -> Result<(), crate::ServeError> {
+        if self.max_batch == 0 {
+            return Err(crate::ServeError::BadConfig("max_batch must be ≥ 1"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(crate::ServeError::BadConfig("queue_capacity must be ≥ 1"));
+        }
+        if self.workers == 0 {
+            return Err(crate::ServeError::BadConfig("workers must be ≥ 1"));
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,37 @@
+//! Server-side error type.
+
+/// Everything that can go wrong between submission and completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// A [`ServeConfig`](crate::ServeConfig) knob is out of range.
+    BadConfig(&'static str),
+    /// The request vector length does not match the model's input length.
+    BadInput {
+        /// Model input length `n`.
+        expected: usize,
+        /// Submitted vector length.
+        got: usize,
+    },
+    /// `try_submit` found the bounded queue at capacity.
+    QueueFull,
+    /// The server is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The request was dropped without a result (worker died mid-batch).
+    Canceled,
+}
+
+impl core::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::BadConfig(why) => write!(f, "bad server config: {why}"),
+            Self::BadInput { expected, got } => {
+                write!(f, "bad request length: expected {expected}, got {got}")
+            }
+            Self::QueueFull => write!(f, "submission queue is full"),
+            Self::ShuttingDown => write!(f, "server is shutting down"),
+            Self::Canceled => write!(f, "request canceled without a result"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

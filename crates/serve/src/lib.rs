@@ -1,0 +1,86 @@
+//! # circnn-serve
+//!
+//! An async-style, request-batching inference server over the batched
+//! block-circulant engine — the serving scenario CirCNN's throughput story
+//! actually plays out in.
+//!
+//! CirCNN (Ding et al., MICRO'17) wins by keeping weight **spectra**
+//! resident and streaming activations through FFT pipelines; the FPGA RNN
+//! follow-ons showed the win only materializes when requests are coalesced
+//! into batches that keep those pipelines full. This crate is that
+//! coalescing layer in software: individual `[n]`-vector requests are
+//! dynamically batched into `[B, n]` slabs and dispatched to the
+//! allocation-free batched kernels of `circnn-core`
+//! (`BlockCirculantMatrix::forward_batch_into`), or to a whole network via
+//! `Sequential`'s read-only `infer` path.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  clients (any thread)                server
+//!  ──────────────────────   ┌──────────────────────────────────────────┐
+//!  submit([n]) ───────────► │ bounded FIFO (Mutex + Condvar)           │
+//!   ▲ blocks when full      │   │ collect ≤ max_batch, wait ≤ max_wait │
+//!   │ (backpressure)        │   ▼                                      │
+//!  ResponseHandle ◄──────── │ worker 0 ░ [B,n] slab ─► Arc<model>      │
+//!   .wait() → [m] row       │ worker 1 ░ [B,n] slab ─► (shared,        │
+//!                           │   each owns its scratch    read-only)    │
+//!                           │   Workspace/InferScratch                 │
+//!                           └──────────────────────────────────────────┘
+//! ```
+//!
+//! * **Batching policy** — a worker collects up to
+//!   [`ServeConfig::max_batch`] requests; once the *oldest* collected
+//!   request has waited [`ServeConfig::max_wait`], the slab is flushed
+//!   partially full. Full slabs flush immediately.
+//! * **Backpressure** — the queue is bounded ([`ServeConfig::queue_capacity`]);
+//!   [`Server::submit`] blocks (and [`Server::try_submit`] fails) while full.
+//! * **Workers** — [`ServeConfig::workers`] threads, each owning one
+//!   pre-warmed scratch ([`circnn_core::Workspace`] /
+//!   [`circnn_nn::InferScratch`]), all sharing one read-only model.
+//! * **Determinism** — the batched kernels are batch-composition
+//!   invariant, so a request's answer is **bit-identical** no matter which
+//!   batch the scheduler packed it into. Serving never changes results.
+//! * **Shutdown** — [`Server::shutdown`] stops intake, drains every queued
+//!   request (all handles resolve), joins the workers, and reports
+//!   [`ServeStats`] (occupancy, flush reasons, latency).
+//!
+//! ## Example
+//!
+//! Serve a raw block-circulant operator and check a round trip against the
+//! direct batched call:
+//!
+//! ```
+//! use circnn_core::{BlockCirculantMatrix, Workspace};
+//! use circnn_serve::{ServeConfig, Server};
+//! use circnn_tensor::init::seeded_rng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let w = BlockCirculantMatrix::random(&mut seeded_rng(0), 64, 128, 16)?;
+//! let expected = w.matmat(&vec![0.5; 128], 1, &mut Workspace::new())?;
+//!
+//! let server = Server::start(w, ServeConfig::default())?;
+//! let handle = server.submit(vec![0.5; 128])?;       // park a request …
+//! let y = handle.wait()?;                            // … and redeem it
+//! assert_eq!(y, expected);                           // bit-identical
+//!
+//! let stats = server.shutdown();                     // drains + joins
+//! assert_eq!(stats.requests, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod model;
+mod server;
+mod stats;
+
+pub use config::ServeConfig;
+pub use error::ServeError;
+pub use model::{SequentialModel, ServeModel};
+pub use server::{ResponseHandle, Server};
+pub use stats::{FlushReason, ServeStats};

@@ -1,0 +1,196 @@
+//! The model contract the server dispatches batches to.
+//!
+//! The server is generic over anything that can turn a `[batch, n]` slab
+//! into a `[batch, m]` slab from behind a shared reference: the raw
+//! [`BlockCirculantMatrix`] operator, or a whole network via
+//! [`SequentialModel`]. Per-worker mutable state (FFT planes, spectra
+//! arenas) lives in the associated `Scratch` type — one per worker thread,
+//! created by the model so it can pre-warm buffers.
+
+use circnn_core::{BlockCirculantMatrix, Workspace};
+use circnn_nn::{InferScratch, Layer, Sequential};
+use circnn_tensor::Tensor;
+
+/// A batched inference backend the server can share across workers.
+///
+/// Implementations must be **batch-composition invariant**: each input
+/// row's output must be bit-identical regardless of which batch the
+/// scheduler coalesced it into. The block-circulant engine guarantees this
+/// (the batch dimension is an independent SIMD lane), which is what lets
+/// the server batch freely without changing any client's answer.
+pub trait ServeModel: Send + Sync + 'static {
+    /// Per-worker mutable scratch (spectra arenas, staging planes, …).
+    type Scratch: Send + 'static;
+
+    /// Creates one worker's scratch. Called once per worker at startup.
+    fn make_scratch(&self) -> Self::Scratch;
+
+    /// Length of one request vector (`n`).
+    fn input_len(&self) -> usize;
+
+    /// Length of one response vector (`m`).
+    fn output_len(&self) -> usize;
+
+    /// Runs the batch: `x` is row-major `[batch, input_len]`, `out` is
+    /// row-major `[batch, output_len]`.
+    fn infer_batch(&self, x: &[f32], batch: usize, scratch: &mut Self::Scratch, out: &mut [f32]);
+}
+
+/// The raw operator is itself a servable model: `y = W·x` per request.
+impl ServeModel for BlockCirculantMatrix {
+    type Scratch = Workspace;
+
+    fn make_scratch(&self) -> Workspace {
+        Workspace::new()
+    }
+
+    fn input_len(&self) -> usize {
+        self.cols()
+    }
+
+    fn output_len(&self) -> usize {
+        self.rows()
+    }
+
+    fn infer_batch(&self, x: &[f32], batch: usize, scratch: &mut Workspace, out: &mut [f32]) {
+        self.forward_batch_into(x, batch, scratch, out)
+            .expect("server validated slab dimensions");
+    }
+}
+
+/// A whole [`Sequential`] network as a servable model.
+///
+/// Wraps the network together with its flat per-request input/output
+/// lengths (a `Sequential` does not know its own geometry) and pins it to
+/// inference mode. Batches run through the read-only
+/// [`Sequential::infer`] path, so one wrapped network serves every worker
+/// thread, each with a private [`InferScratch`].
+///
+/// # Examples
+///
+/// ```
+/// use circnn_nn::{Linear, Relu, Sequential};
+/// use circnn_serve::{SequentialModel, ServeModel};
+/// use circnn_tensor::init::seeded_rng;
+///
+/// let mut rng = seeded_rng(0);
+/// let net = Sequential::new()
+///     .add(Linear::new(&mut rng, 16, 32))
+///     .add(Relu::new())
+///     .add(Linear::new(&mut rng, 32, 4));
+/// let model = SequentialModel::new(net, 16).expect("FC nets are servable");
+/// assert_eq!(model.output_len(), 4);
+/// ```
+#[derive(Debug)]
+pub struct SequentialModel {
+    net: Sequential,
+    input_len: usize,
+    output_len: usize,
+}
+
+impl SequentialModel {
+    /// Wraps `net` for serving requests of `input_len` values.
+    ///
+    /// Switches the network to inference mode (syncing circulant spectra
+    /// caches), verifies every layer supports the read-only inference path
+    /// ([`Layer::supports_infer`]) — failing at construction, not inside a
+    /// worker — and runs one probe batch to discover the output length.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` naming the offending layer if any layer lacks
+    /// [`Layer::infer_batch`] support (CONV/POOL layers, currently).
+    ///
+    /// # Panics
+    ///
+    /// The probe batch panics (with the first layer's own length-mismatch
+    /// message) if `input_len` does not match the network's input
+    /// geometry — the `Layer` contract has no shape query to validate
+    /// against up front.
+    pub fn new(mut net: Sequential, input_len: usize) -> Result<Self, String> {
+        net.set_training(false);
+        if let Some(layer) = net.iter().find(|l| !l.supports_infer()) {
+            return Err(format!(
+                "network is not servable: {} has no read-only batched inference path",
+                layer.name()
+            ));
+        }
+        let probe = Tensor::zeros(&[1, input_len]);
+        let output_len = net.infer(&probe, &mut InferScratch::new()).len();
+        Ok(Self {
+            net,
+            input_len,
+            output_len,
+        })
+    }
+
+    /// The wrapped network.
+    pub fn network(&self) -> &Sequential {
+        &self.net
+    }
+}
+
+impl ServeModel for SequentialModel {
+    /// Layer scratch slots plus a reusable input-staging buffer.
+    type Scratch = (InferScratch, Vec<f32>);
+
+    fn make_scratch(&self) -> Self::Scratch {
+        (InferScratch::new(), Vec::new())
+    }
+
+    fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    fn output_len(&self) -> usize {
+        self.output_len
+    }
+
+    fn infer_batch(&self, x: &[f32], batch: usize, scratch: &mut Self::Scratch, out: &mut [f32]) {
+        let (slots, staging) = scratch;
+        // Stage the slab through a buffer that round-trips in and out of
+        // the input `Tensor`, so steady-state dispatch reuses its capacity
+        // instead of allocating a fresh copy per batch.
+        staging.clear();
+        staging.extend_from_slice(x);
+        let input = Tensor::from_vec(std::mem::take(staging), &[batch, self.input_len]);
+        let y = self.net.infer(&input, slots);
+        out.copy_from_slice(y.data());
+        *staging = input.into_vec();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use circnn_nn::Relu;
+    use circnn_tensor::init::seeded_rng;
+
+    #[test]
+    fn probe_discovers_output_len() {
+        let mut rng = seeded_rng(3);
+        let net = Sequential::new()
+            .add(circnn_nn::Linear::new(&mut rng, 8, 12))
+            .add(Relu::new())
+            .add(circnn_nn::Linear::new(&mut rng, 12, 5));
+        let model = SequentialModel::new(net, 8).unwrap();
+        assert_eq!(model.input_len(), 8);
+        assert_eq!(model.output_len(), 5);
+    }
+
+    #[test]
+    fn unservable_layer_is_rejected_at_construction() {
+        let mut rng = seeded_rng(4);
+        // Conv2d has no read-only inference path.
+        let net = Sequential::new().add(circnn_nn::Conv2d::new(&mut rng, 1, 2, 3, 1, 1));
+        let err = SequentialModel::new(net, 25).unwrap_err();
+        assert!(err.contains("not servable"), "{err}");
+    }
+
+    #[test]
+    fn operator_model_reports_geometry() {
+        let w = BlockCirculantMatrix::zeros(24, 40, 8).unwrap();
+        assert_eq!(ServeModel::input_len(&w), 40);
+        assert_eq!(ServeModel::output_len(&w), 24);
+    }
+}

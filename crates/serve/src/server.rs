@@ -1,0 +1,387 @@
+//! The batching server: submission queue, batch collector, worker pool.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::model::ServeModel;
+use crate::stats::{FlushReason, ServeStats, StatsAccum};
+
+/// Locks a mutex, recovering the data even if a worker died while holding
+/// it (a poisoned queue is still structurally valid; requests it holds are
+/// drained or canceled normally).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One request parked in the queue: its input row and its completion cell.
+struct PendingRequest {
+    input: Vec<f32>,
+    enqueued: Instant,
+    done: CompletionCell,
+}
+
+/// Result slot shared between a worker and a [`ResponseHandle`].
+struct Completion {
+    result: Mutex<Option<Result<Vec<f32>, ServeError>>>,
+    ready: Condvar,
+}
+
+/// A worker-side completion reference that **guarantees** an answer: if it
+/// is dropped unfulfilled (worker panic mid-batch, queue destroyed with
+/// requests still parked), the waiting client gets
+/// [`ServeError::Canceled`] instead of hanging forever.
+struct CompletionCell(Arc<Completion>);
+
+impl CompletionCell {
+    fn fulfill(&self, result: Result<Vec<f32>, ServeError>) {
+        *lock(&self.0.result) = Some(result);
+        self.0.ready.notify_all();
+        // The Drop guard below sees the slot filled and leaves it alone.
+    }
+}
+
+impl Drop for CompletionCell {
+    fn drop(&mut self) {
+        let mut slot = lock(&self.0.result);
+        if slot.is_none() {
+            *slot = Some(Err(ServeError::Canceled));
+            self.0.ready.notify_all();
+        }
+    }
+}
+
+/// The client's end of one in-flight request.
+///
+/// Returned by [`Server::submit`]; redeem it with [`ResponseHandle::wait`]
+/// from any thread. The handle is independent of the server's lifetime —
+/// shutdown drains in-flight requests, so a handle taken before shutdown
+/// still resolves.
+pub struct ResponseHandle {
+    cell: Arc<Completion>,
+}
+
+impl core::fmt::Debug for ResponseHandle {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ResponseHandle")
+            .field("ready", &self.is_ready())
+            .finish()
+    }
+}
+
+impl ResponseHandle {
+    /// Blocks until the batch carrying this request completes and returns
+    /// the model's output row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Canceled`] if the serving worker died before
+    /// producing a result.
+    pub fn wait(self) -> Result<Vec<f32>, ServeError> {
+        let mut slot = lock(&self.cell.result);
+        loop {
+            if let Some(result) = slot.take() {
+                return result;
+            }
+            slot = self
+                .cell
+                .ready
+                .wait(slot)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking readiness probe.
+    pub fn is_ready(&self) -> bool {
+        lock(&self.cell.result).is_some()
+    }
+}
+
+/// Submission queue + flags, behind the one server mutex.
+struct QueueState {
+    pending: VecDeque<PendingRequest>,
+    shutdown: bool,
+}
+
+/// State shared by the handle, the workers, and every submitter.
+struct Shared<M: ServeModel> {
+    model: Arc<M>,
+    cfg: ServeConfig,
+    queue: Mutex<QueueState>,
+    /// Workers wait here for requests (and for shutdown).
+    wake_workers: Condvar,
+    /// Backpressured submitters wait here for queue space.
+    space: Condvar,
+    stats: Mutex<StatsAccum>,
+}
+
+/// A multi-threaded dynamic-batching inference server.
+///
+/// See the [crate docs](crate) for the architecture; in short: submitters
+/// park `[n]` requests in a bounded FIFO, workers coalesce them into
+/// `[B, n]` slabs under the `max_batch`/`max_wait` policy and run them
+/// through a shared [`ServeModel`], and each request's row comes back
+/// through its [`ResponseHandle`].
+pub struct Server<M: ServeModel> {
+    shared: Arc<Shared<M>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<M: ServeModel> core::fmt::Debug for Server<M> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.workers.len())
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+impl<M: ServeModel> Server<M> {
+    /// Starts the worker pool around an owned model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for zero-valued knobs.
+    pub fn start(model: M, cfg: ServeConfig) -> Result<Self, ServeError> {
+        Self::start_shared(Arc::new(model), cfg)
+    }
+
+    /// Starts the worker pool around an already-shared model (so the
+    /// caller can keep a reference for direct, unbatched comparison).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadConfig`] for zero-valued knobs.
+    pub fn start_shared(model: Arc<M>, cfg: ServeConfig) -> Result<Self, ServeError> {
+        cfg.validate()?;
+        let shared = Arc::new(Shared {
+            model,
+            cfg,
+            queue: Mutex::new(QueueState {
+                pending: VecDeque::new(),
+                shutdown: false,
+            }),
+            wake_workers: Condvar::new(),
+            space: Condvar::new(),
+            stats: Mutex::new(StatsAccum::default()),
+        });
+        let workers = (0..shared.cfg.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let scratch = shared.model.make_scratch();
+                std::thread::Builder::new()
+                    .name(format!("circnn-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, scratch))
+                    .expect("spawning a serve worker")
+            })
+            .collect();
+        Ok(Self { shared, workers })
+    }
+
+    /// Submits one `[n]` request, **blocking while the queue is full**
+    /// (backpressure), and returns its completion handle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadInput`] on a mis-sized vector or
+    /// [`ServeError::ShuttingDown`] after [`Server::shutdown`] began.
+    pub fn submit(&self, input: Vec<f32>) -> Result<ResponseHandle, ServeError> {
+        self.enqueue(input, true)
+    }
+
+    /// Non-blocking [`Server::submit`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Server::submit`], plus [`ServeError::QueueFull`] instead of
+    /// blocking.
+    pub fn try_submit(&self, input: Vec<f32>) -> Result<ResponseHandle, ServeError> {
+        self.enqueue(input, false)
+    }
+
+    fn enqueue(&self, input: Vec<f32>, block: bool) -> Result<ResponseHandle, ServeError> {
+        let expected = self.shared.model.input_len();
+        if input.len() != expected {
+            return Err(ServeError::BadInput {
+                expected,
+                got: input.len(),
+            });
+        }
+        let mut q = lock(&self.shared.queue);
+        loop {
+            if q.shutdown {
+                return Err(ServeError::ShuttingDown);
+            }
+            if q.pending.len() < self.shared.cfg.queue_capacity {
+                break;
+            }
+            if !block {
+                return Err(ServeError::QueueFull);
+            }
+            q = self
+                .shared
+                .space
+                .wait(q)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        let cell = Arc::new(Completion {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+        });
+        q.pending.push_back(PendingRequest {
+            input,
+            enqueued: Instant::now(),
+            done: CompletionCell(Arc::clone(&cell)),
+        });
+        drop(q);
+        self.shared.wake_workers.notify_one();
+        Ok(ResponseHandle { cell })
+    }
+
+    /// Requests currently parked in the queue (not yet collected).
+    pub fn pending(&self) -> usize {
+        lock(&self.shared.queue).pending.len()
+    }
+
+    /// Snapshot of the aggregate serving statistics.
+    pub fn stats(&self) -> ServeStats {
+        lock(&self.shared.stats).snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting requests, **drain** everything
+    /// already queued (every outstanding [`ResponseHandle`] resolves),
+    /// join the workers, and return the final statistics.
+    pub fn shutdown(mut self) -> ServeStats {
+        self.begin_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        self.stats()
+    }
+
+    fn begin_shutdown(&self) {
+        lock(&self.shared.queue).shutdown = true;
+        self.shared.wake_workers.notify_all();
+        self.shared.space.notify_all();
+    }
+}
+
+impl<M: ServeModel> Drop for Server<M> {
+    /// Dropping the server without [`Server::shutdown`] still drains
+    /// gracefully.
+    fn drop(&mut self) {
+        self.begin_shutdown();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// One worker: collect → dispatch → fulfill, forever.
+fn worker_loop<M: ServeModel>(shared: &Shared<M>, mut scratch: M::Scratch) {
+    let n = shared.model.input_len();
+    let m = shared.model.output_len();
+    let max_batch = shared.cfg.max_batch;
+    // Warm slabs once; the loop below never allocates them again.
+    let mut slab = vec![0.0f32; max_batch * n];
+    let mut out = vec![0.0f32; max_batch * m];
+    let mut batch: Vec<PendingRequest> = Vec::with_capacity(max_batch);
+    loop {
+        let reason;
+        {
+            let mut q = lock(&shared.queue);
+            // Park until there is at least one request; exit once shutdown
+            // is flagged *and* the queue is fully drained.
+            loop {
+                if !q.pending.is_empty() {
+                    break;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared
+                    .wake_workers
+                    .wait(q)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            while batch.len() < max_batch {
+                match q.pending.pop_front() {
+                    Some(r) => batch.push(r),
+                    None => break,
+                }
+            }
+            // Every pop frees queue capacity — wake blocked submitters NOW,
+            // while this worker still waits for the slab to fill, or the
+            // batch could only ever grow to `queue_capacity`.
+            shared.space.notify_all();
+            // The wait budget is anchored to the OLDEST collected request:
+            // a request never waits more than `max_wait` on batching, no
+            // matter how the collector threads interleave.
+            let deadline = batch[0].enqueued + shared.cfg.max_wait;
+            while batch.len() < max_batch && !q.shutdown {
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, _) = shared
+                    .wake_workers
+                    .wait_timeout(q, deadline - now)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                q = guard;
+                while batch.len() < max_batch {
+                    match q.pending.pop_front() {
+                        Some(r) => batch.push(r),
+                        None => break,
+                    }
+                }
+                shared.space.notify_all();
+            }
+            reason = if batch.len() == max_batch {
+                FlushReason::Full
+            } else if q.shutdown {
+                FlushReason::Drain
+            } else {
+                FlushReason::Timeout
+            };
+        }
+        // Dispatch outside the lock: other workers keep collecting while
+        // this slab runs.
+        let b = batch.len();
+        for (i, req) in batch.iter().enumerate() {
+            slab[i * n..(i + 1) * n].copy_from_slice(&req.input);
+        }
+        let t0 = Instant::now();
+        // A panicking model must not take the worker (and with it the whole
+        // pool, eventually the queue) down: cancel this batch's requests,
+        // discard the possibly-inconsistent scratch, and keep serving.
+        let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            shared
+                .model
+                .infer_batch(&slab[..b * n], b, &mut scratch, &mut out[..b * m]);
+        }));
+        let infer = t0.elapsed();
+        if ran.is_err() {
+            for req in batch.drain(..) {
+                req.done.fulfill(Err(ServeError::Canceled));
+            }
+            scratch = shared.model.make_scratch();
+            // Canceled batches stay out of the stats: `requests` counts
+            // completed results.
+            continue;
+        }
+
+        let completed = Instant::now();
+        let mut latency_sum = std::time::Duration::ZERO;
+        let mut latency_max = std::time::Duration::ZERO;
+        for (i, req) in batch.drain(..).enumerate() {
+            let waited = completed.saturating_duration_since(req.enqueued);
+            latency_sum += waited;
+            latency_max = latency_max.max(waited);
+            req.done.fulfill(Ok(out[i * m..(i + 1) * m].to_vec()));
+        }
+        lock(&shared.stats).record_batch(b, reason, infer, latency_sum, latency_max);
+    }
+}

@@ -1,0 +1,116 @@
+//! Per-batch occupancy and latency accounting.
+
+use std::time::Duration;
+
+/// Why a worker stopped collecting and dispatched its slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushReason {
+    /// The slab reached `max_batch` requests.
+    Full,
+    /// The oldest collected request aged past `max_wait`.
+    Timeout,
+    /// Shutdown drain: flush whatever is collected, immediately.
+    Drain,
+}
+
+/// Running sums a worker folds each completed batch into (behind the
+/// stats mutex — one short lock per batch, not per request).
+#[derive(Debug, Default)]
+pub(crate) struct StatsAccum {
+    pub requests: u64,
+    pub batches: u64,
+    pub full_flushes: u64,
+    pub timeout_flushes: u64,
+    pub drain_flushes: u64,
+    pub max_occupancy: usize,
+    pub infer_ns: u128,
+    pub latency_ns: u128,
+    pub max_latency_ns: u128,
+}
+
+impl StatsAccum {
+    pub fn record_batch(
+        &mut self,
+        occupancy: usize,
+        reason: FlushReason,
+        infer: Duration,
+        latency_sum: Duration,
+        latency_max: Duration,
+    ) {
+        self.requests += occupancy as u64;
+        self.batches += 1;
+        match reason {
+            FlushReason::Full => self.full_flushes += 1,
+            FlushReason::Timeout => self.timeout_flushes += 1,
+            FlushReason::Drain => self.drain_flushes += 1,
+        }
+        self.max_occupancy = self.max_occupancy.max(occupancy);
+        self.infer_ns += infer.as_nanos();
+        self.latency_ns += latency_sum.as_nanos();
+        self.max_latency_ns = self.max_latency_ns.max(latency_max.as_nanos());
+    }
+
+    pub fn snapshot(&self) -> ServeStats {
+        let batches = self.batches.max(1) as f64;
+        let requests = self.requests.max(1) as f64;
+        ServeStats {
+            requests: self.requests,
+            batches: self.batches,
+            full_flushes: self.full_flushes,
+            timeout_flushes: self.timeout_flushes,
+            drain_flushes: self.drain_flushes,
+            max_occupancy: self.max_occupancy,
+            mean_occupancy: self.requests as f64 / batches,
+            mean_infer_us: self.infer_ns as f64 / batches / 1_000.0,
+            mean_latency_us: self.latency_ns as f64 / requests / 1_000.0,
+            max_latency_us: self.max_latency_ns as f64 / 1_000.0,
+        }
+    }
+}
+
+/// Aggregate serving statistics, snapshotted by
+/// [`Server::stats`](crate::Server::stats) and returned by
+/// [`Server::shutdown`](crate::Server::shutdown).
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Requests completed.
+    pub requests: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Batches flushed because they reached `max_batch`.
+    pub full_flushes: u64,
+    /// Batches flushed because the oldest request hit `max_wait`.
+    pub timeout_flushes: u64,
+    /// Batches flushed while draining at shutdown.
+    pub drain_flushes: u64,
+    /// Largest batch dispatched.
+    pub max_occupancy: usize,
+    /// Mean requests per batch (the occupancy the policy achieved).
+    pub mean_occupancy: f64,
+    /// Mean model time per batch, microseconds.
+    pub mean_infer_us: f64,
+    /// Mean request latency (enqueue → completion), microseconds.
+    pub mean_latency_us: f64,
+    /// Worst request latency observed, microseconds.
+    pub max_latency_us: f64,
+}
+
+impl core::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "{} requests in {} batches (occupancy mean {:.1}, max {}; \
+             flushes {} full / {} timeout / {} drain; \
+             latency mean {:.0} µs, max {:.0} µs)",
+            self.requests,
+            self.batches,
+            self.mean_occupancy,
+            self.max_occupancy,
+            self.full_flushes,
+            self.timeout_flushes,
+            self.drain_flushes,
+            self.mean_latency_us,
+            self.max_latency_us,
+        )
+    }
+}

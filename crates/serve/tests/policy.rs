@@ -1,0 +1,331 @@
+//! Batching-policy edge cases: partial-batch timeout flushes, oversize
+//! splits, backpressure, shutdown drains, and the bit-identity guarantee
+//! the whole design rests on.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use circnn_core::{BlockCirculantMatrix, Workspace};
+use circnn_nn::{Layer, Linear, Relu, Sequential};
+use circnn_serve::{SequentialModel, ServeConfig, ServeError, ServeModel, Server};
+use circnn_tensor::init::seeded_rng;
+
+fn operator(m: usize, n: usize, k: usize, seed: u64) -> BlockCirculantMatrix {
+    BlockCirculantMatrix::random(&mut seeded_rng(seed), m, n, k).expect("valid shape")
+}
+
+fn request(n: usize, seed: u64) -> Vec<f32> {
+    circnn_tensor::init::uniform(&mut seeded_rng(seed), &[n], -1.0, 1.0)
+        .data()
+        .to_vec()
+}
+
+/// A partial batch must not wait for `max_batch`: once the oldest request
+/// ages past `max_wait`, the slab flushes with whatever it holds.
+#[test]
+fn partial_batch_flushes_on_max_wait() {
+    let w = operator(32, 48, 8, 1);
+    let server = Server::start(
+        w,
+        ServeConfig {
+            max_batch: 64, // never reachable with 3 requests
+            max_wait: Duration::from_millis(20),
+            queue_capacity: 64,
+            workers: 1,
+        },
+    )
+    .unwrap();
+    let handles: Vec<_> = (0..3)
+        .map(|i| server.submit(request(48, 100 + i)).unwrap())
+        .collect();
+    for h in handles {
+        h.wait().unwrap(); // resolves despite the batch never filling
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 3);
+    assert!(
+        stats.timeout_flushes >= 1,
+        "partial batch must flush on the timer: {stats}"
+    );
+    assert!(stats.max_occupancy <= 3);
+}
+
+/// Offered load beyond `max_batch` splits into multiple full slabs; no
+/// slab ever exceeds the cap.
+#[test]
+fn oversize_load_splits_into_max_batch_slabs() {
+    let w = operator(32, 48, 8, 2);
+    let server = Server::start(
+        w,
+        ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(200),
+            queue_capacity: 64,
+            workers: 1,
+        },
+    )
+    .unwrap();
+    let handles: Vec<_> = (0..10)
+        .map(|i| server.submit(request(48, 200 + i)).unwrap())
+        .collect();
+    for h in handles {
+        h.wait().unwrap();
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 10);
+    assert!(stats.batches >= 3, "10 requests / cap 4 needs ≥ 3 slabs");
+    assert!(stats.max_occupancy <= 4, "slab exceeded max_batch: {stats}");
+    assert!(
+        stats.full_flushes >= 1,
+        "at least the first slabs were full"
+    );
+}
+
+/// Shutdown must drain: every request parked before shutdown resolves
+/// with a real result, even though the collector was still waiting on a
+/// far-away `max_wait` deadline.
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let w = operator(32, 48, 8, 3);
+    let wref = Arc::new(w);
+    let server = Server::start_shared(
+        Arc::clone(&wref),
+        ServeConfig {
+            max_batch: 64,
+            max_wait: Duration::from_secs(3600), // would park ~forever
+            queue_capacity: 64,
+            workers: 2,
+        },
+    )
+    .unwrap();
+    let inputs: Vec<Vec<f32>> = (0..7).map(|i| request(48, 300 + i)).collect();
+    let handles: Vec<_> = inputs
+        .iter()
+        .map(|x| server.submit(x.clone()).unwrap())
+        .collect();
+    let stats = server.shutdown(); // must not hang on max_wait
+    assert_eq!(stats.requests, 7, "drain lost requests: {stats}");
+    let mut ws = Workspace::new();
+    for (x, h) in inputs.iter().zip(handles) {
+        let served = h.wait().expect("drained request must carry a result");
+        let direct = wref.matmat(x, 1, &mut ws).unwrap();
+        assert_eq!(served, direct);
+    }
+}
+
+/// The headline guarantee: whatever batches the scheduler forms under
+/// concurrent load, every client's answer is bit-identical to a direct
+/// single-request `matmat` call.
+#[test]
+fn concurrent_results_are_bit_identical_to_direct_matmat() {
+    let (m, n, k) = (64, 96, 16);
+    let w = Arc::new(operator(m, n, k, 4));
+    let server = Server::start_shared(
+        Arc::clone(&w),
+        ServeConfig {
+            max_batch: 8,
+            max_wait: Duration::from_micros(500),
+            queue_capacity: 64,
+            workers: 2,
+        },
+    )
+    .unwrap();
+    std::thread::scope(|s| {
+        for client in 0..6u64 {
+            let (server, w) = (&server, Arc::clone(&w));
+            s.spawn(move || {
+                let mut ws = Workspace::new();
+                for r in 0..20u64 {
+                    let x = request(n, 1000 + client * 97 + r);
+                    let served = server.submit(x.clone()).unwrap().wait().unwrap();
+                    let direct = w.matmat(&x, 1, &mut ws).unwrap();
+                    assert_eq!(served, direct, "client {client} request {r} diverged");
+                }
+            });
+        }
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 6 * 20);
+    // (No assertion on coalescing itself: a fast enough machine may
+    // legally drain every request alone. Bit-identity above is the point.)
+}
+
+/// Same guarantee through a whole network (`SequentialModel`): served
+/// rows equal the read-only `infer` path run directly, bitwise.
+#[test]
+fn sequential_model_served_equals_direct_infer() {
+    let mut rng = seeded_rng(5);
+    let mut net = Sequential::new()
+        .add(circnn_core::CirculantLinear::new(&mut rng, 48, 64, 16).unwrap())
+        .add(Relu::new())
+        .add(Linear::new(&mut rng, 64, 10));
+    net.set_training(false);
+    // Reference copies of the outputs computed through the same read-only
+    // path the server uses, one request at a time.
+    let inputs: Vec<Vec<f32>> = (0..12).map(|i| request(48, 500 + i)).collect();
+    let mut scratch = circnn_nn::InferScratch::new();
+    let direct: Vec<Vec<f32>> = inputs
+        .iter()
+        .map(|x| {
+            let t = circnn_tensor::Tensor::from_vec(x.clone(), &[1, 48]);
+            net.infer(&t, &mut scratch).data().to_vec()
+        })
+        .collect();
+    let model = SequentialModel::new(net, 48).unwrap();
+    let server = Server::start(
+        model,
+        ServeConfig {
+            max_batch: 5,
+            max_wait: Duration::from_millis(5),
+            queue_capacity: 32,
+            workers: 2,
+        },
+    )
+    .unwrap();
+    let handles: Vec<_> = inputs
+        .iter()
+        .map(|x| server.submit(x.clone()).unwrap())
+        .collect();
+    for (h, expect) in handles.into_iter().zip(&direct) {
+        assert_eq!(&h.wait().unwrap(), expect);
+    }
+    server.shutdown();
+}
+
+/// A deliberately slow model to make queue states observable.
+struct SlowEcho {
+    len: usize,
+    delay: Duration,
+}
+
+impl ServeModel for SlowEcho {
+    type Scratch = ();
+    fn make_scratch(&self) {}
+    fn input_len(&self) -> usize {
+        self.len
+    }
+    fn output_len(&self) -> usize {
+        self.len
+    }
+    fn infer_batch(&self, x: &[f32], _batch: usize, _scratch: &mut (), out: &mut [f32]) {
+        std::thread::sleep(self.delay);
+        out.copy_from_slice(x);
+    }
+}
+
+/// Backpressure: with the single worker busy, `try_submit` fails once the
+/// bounded queue is full, and succeeds again after it drains.
+#[test]
+fn bounded_queue_exerts_backpressure() {
+    let server = Server::start(
+        SlowEcho {
+            len: 4,
+            delay: Duration::from_millis(30),
+        },
+        ServeConfig {
+            max_batch: 1, // every request is its own (slow) batch
+            max_wait: Duration::ZERO,
+            queue_capacity: 2,
+            workers: 1,
+        },
+    )
+    .unwrap();
+    // First request occupies the worker; then stuff the queue. The worker
+    // sleeps 30 ms per request, so it cannot absorb a 50-burst that takes
+    // microseconds — some try_submits must hit the 2-deep bound.
+    let mut handles = vec![server.submit(vec![0.0; 4]).unwrap()];
+    let mut rejections = 0;
+    for i in 0..50 {
+        match server.try_submit(vec![i as f32; 4]) {
+            Ok(h) => handles.push(h),
+            Err(ServeError::QueueFull) => rejections += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(rejections > 0, "a 2-deep queue must reject a 50-burst");
+    for h in handles {
+        h.wait().unwrap();
+    }
+    // Once drained, the queue accepts again.
+    server.try_submit(vec![1.0; 4]).unwrap().wait().unwrap();
+    server.shutdown();
+}
+
+/// A model that panics on marked inputs, to exercise worker recovery.
+struct Fragile {
+    len: usize,
+}
+
+impl ServeModel for Fragile {
+    type Scratch = ();
+    fn make_scratch(&self) {}
+    fn input_len(&self) -> usize {
+        self.len
+    }
+    fn output_len(&self) -> usize {
+        self.len
+    }
+    fn infer_batch(&self, x: &[f32], _batch: usize, _scratch: &mut (), out: &mut [f32]) {
+        assert!(x[0] >= 0.0, "poison request");
+        out.copy_from_slice(x);
+    }
+}
+
+/// A panicking batch cancels its own requests but must not kill the
+/// worker: the pool keeps serving afterwards.
+#[test]
+fn worker_survives_a_panicking_batch() {
+    let server = Server::start(
+        Fragile { len: 4 },
+        ServeConfig {
+            max_batch: 1, // keep the poison isolated in its own batch
+            max_wait: Duration::ZERO,
+            queue_capacity: 8,
+            workers: 1,
+        },
+    )
+    .unwrap();
+    let poison = server.submit(vec![-1.0; 4]).unwrap();
+    assert_eq!(poison.wait(), Err(ServeError::Canceled));
+    let healthy = server.submit(vec![2.0; 4]).unwrap();
+    assert_eq!(healthy.wait().unwrap(), vec![2.0; 4]);
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 1, "only the completed request counts");
+}
+
+/// Mis-sized requests are rejected at the door, not inside a worker.
+#[test]
+fn wrong_length_is_rejected_on_submit() {
+    let server = Server::start(operator(16, 32, 8, 6), ServeConfig::default()).unwrap();
+    match server.submit(vec![0.0; 31]) {
+        Err(ServeError::BadInput { expected, got }) => {
+            assert_eq!((expected, got), (32, 31));
+        }
+        other => panic!("expected BadInput, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// Zero-valued knobs are rejected at startup.
+#[test]
+fn zero_config_knobs_are_rejected() {
+    for cfg in [
+        ServeConfig {
+            max_batch: 0,
+            ..Default::default()
+        },
+        ServeConfig {
+            queue_capacity: 0,
+            ..Default::default()
+        },
+        ServeConfig {
+            workers: 0,
+            ..Default::default()
+        },
+    ] {
+        match Server::start(operator(16, 32, 8, 7), cfg) {
+            Err(ServeError::BadConfig(_)) => {}
+            other => panic!("expected BadConfig, got {:?}", other.map(|_| ())),
+        }
+    }
+}

@@ -252,7 +252,7 @@ pub mod prop {
     pub mod collection {
         use crate::{Strategy, TestRng};
 
-        /// Length specifications accepted by [`vec`].
+        /// Length specifications accepted by [`vec()`](vec()).
         pub trait IntoSizeRange {
             /// Inclusive `(min, max)` lengths.
             fn bounds(&self) -> (usize, usize);
@@ -284,7 +284,7 @@ pub mod prop {
             VecStrategy { element, min, max }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`](vec()).
         pub struct VecStrategy<S> {
             element: S,
             min: usize,

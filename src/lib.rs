@@ -14,6 +14,8 @@
 //! * [`data`] — synthetic datasets standing in for MNIST/CIFAR-10/SVHN/….
 //! * [`hw`] — cycle/energy simulator of the CirCNN accelerator (Section 4).
 //! * [`models`] — LeNet-5 / CIFAR / SVHN / AlexNet model zoo.
+//! * [`serve`] — dynamic request-batching inference server (coalesces
+//!   requests into `[B, n]` slabs for the batched engine).
 //!
 //! ## Quickstart
 //!
@@ -40,4 +42,5 @@ pub use circnn_hw as hw;
 pub use circnn_models as models;
 pub use circnn_nn as nn;
 pub use circnn_quant as quant;
+pub use circnn_serve as serve;
 pub use circnn_tensor as tensor;
