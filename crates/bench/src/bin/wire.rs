@@ -1,0 +1,10 @@
+//! Wire-serving trajectory binary: writes `BENCH_wire.json`.
+
+fn main() {
+    let quick = circnn_bench::quick_mode();
+    let points = circnn_bench::wire::run(quick);
+    circnn_bench::wire::print(&points);
+    let json = circnn_bench::wire::to_json(&points);
+    std::fs::write("BENCH_wire.json", json).expect("writing BENCH_wire.json");
+    println!("\nwrote BENCH_wire.json ({} points)", points.len());
+}

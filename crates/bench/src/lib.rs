@@ -16,6 +16,7 @@
 //! | [`ablations`] / `ablations` | design-choice ablations |
 //! | [`batched`] / `batched` | batched-inference engine trajectory (`BENCH_batched.json`) |
 //! | [`serve`] / `serve` | serving-layer throughput trajectory (`BENCH_serve.json`) |
+//! | [`wire`] / `wire` | network-serving throughput trajectory (`BENCH_wire.json`) |
 //!
 //! Experiments honor the `CIRCNN_QUICK=1` environment variable to shrink
 //! training workloads (used by the integration tests); the binaries default
@@ -33,6 +34,7 @@ pub mod sec53;
 pub mod serve;
 pub mod table;
 pub mod train_speedup;
+pub mod wire;
 
 /// Algorithm-3 experiment (design-space optimization).
 pub mod alg3;

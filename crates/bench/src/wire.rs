@@ -1,0 +1,275 @@
+//! Wire-serving trajectory: batched network serving versus
+//! one-request-per-connection dispatch, across concurrent connections and
+//! tenant counts.
+//!
+//! Each point starts a real [`circnn_wire::WireServer`] over a
+//! [`circnn_wire::ModelRegistry`] holding `tenants` independent 512×512
+//! block-circulant operators, floods it from `clients` TCP connections
+//! (each a closed loop keeping `WINDOW` pipelined requests in flight,
+//! spread round-robin over the tenants), and measures end-to-end request
+//! throughput twice:
+//!
+//! * **batched** — tenant policy `max_batch = 32`: the shared worker pool
+//!   coalesces traffic from all connections into `[B, n]` slabs;
+//! * **unbatched** — identical sockets, frames, queues and workers, but
+//!   `max_batch = 1`: every request is dispatched alone, isolating the
+//!   batching win from the wire overhead itself.
+//!
+//! The `wire` binary wraps [`run`] and writes `BENCH_wire.json`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use circnn_core::BlockCirculantMatrix;
+use circnn_serve::{ServeStats, TenantConfig};
+use circnn_tensor::init::seeded_rng;
+use circnn_wire::{ModelRegistry, WireClient, WireConfig, WireServer};
+
+/// Pipelined requests kept in flight per connection (the wire replies in
+/// arrival order per connection, so no request ids are needed).
+const WINDOW: usize = 8;
+
+/// One measured offered-load point.
+#[derive(Debug, Clone)]
+pub struct WirePoint {
+    /// Registered models (tenants), each its own queue and stats.
+    pub tenants: usize,
+    /// Concurrent TCP client connections.
+    pub clients: usize,
+    /// Requests issued per connection.
+    pub requests_per_client: usize,
+    /// End-to-end requests/second with dynamic batching (`max_batch = 32`).
+    pub batched_rps: f64,
+    /// Requests/second with one-request-per-connection dispatch
+    /// (`max_batch = 1`).
+    pub unbatched_rps: f64,
+    /// Mean batch occupancy achieved in the batched run (all tenants).
+    pub occupancy: f64,
+    /// Mean request latency in the batched run, microseconds (server
+    /// side: enqueue → completion).
+    pub batched_latency_us: f64,
+    /// Mean request latency in the unbatched run, microseconds.
+    pub unbatched_latency_us: f64,
+}
+
+impl WirePoint {
+    /// Throughput gain of batched wire serving over per-request dispatch.
+    pub fn speedup(&self) -> f64 {
+        self.batched_rps / self.unbatched_rps
+    }
+}
+
+/// Sums per-tenant stats into `(requests, batches, latency_sum_us)`.
+fn totals(stats: &[ServeStats]) -> (u64, u64, f64) {
+    let requests = stats.iter().map(|s| s.requests).sum();
+    let batches = stats.iter().map(|s| s.batches).sum();
+    let latency_sum = stats
+        .iter()
+        .map(|s| s.mean_latency_us * s.requests as f64)
+        .sum();
+    (requests, batches, latency_sum)
+}
+
+/// Floods the server from `clients` connections × `requests` each and
+/// returns the wall-clock seconds.
+fn flood(addr: std::net::SocketAddr, tenants: usize, clients: usize, requests: usize) -> f64 {
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            s.spawn(move || {
+                let model = format!("m{}", c % tenants);
+                let mut wire = WireClient::connect(addr).expect("connect");
+                let mut rng = seeded_rng(0xA11CE + c as u64);
+                let mut in_flight = 0usize;
+                for _ in 0..requests {
+                    let x = circnn_tensor::init::uniform(&mut rng, &[512], -1.0, 1.0);
+                    wire.send_infer(&model, x.data(), None).expect("send");
+                    in_flight += 1;
+                    if in_flight >= WINDOW {
+                        wire.recv_infer().expect("recv");
+                        in_flight -= 1;
+                    }
+                }
+                for _ in 0..in_flight {
+                    wire.recv_infer().expect("recv");
+                }
+            });
+        }
+    });
+    t0.elapsed().as_secs_f64()
+}
+
+/// Measures one `(tenants, clients)` point in one batching mode.
+fn run_mode(
+    tenants: usize,
+    clients: usize,
+    requests_per_client: usize,
+    workers: usize,
+    max_batch: usize,
+) -> (f64, f64, f64) {
+    let registry = Arc::new(ModelRegistry::new(workers).expect("valid worker count"));
+    let cfg = TenantConfig {
+        max_batch,
+        max_wait: if max_batch > 1 {
+            Duration::from_micros(300)
+        } else {
+            Duration::ZERO
+        },
+        queue_capacity: 256,
+    };
+    for t in 0..tenants {
+        let w = BlockCirculantMatrix::random(&mut seeded_rng(41 + t as u64), 512, 512, 16)
+            .expect("valid shape");
+        registry
+            .add_model(&format!("m{t}"), w, cfg.clone())
+            .expect("fresh name");
+    }
+    let server = WireServer::bind("127.0.0.1:0", Arc::clone(&registry), WireConfig::default())
+        .expect("bind ephemeral port");
+    let addr = server.local_addr();
+    // Warm-up sizes every worker scratch and client buffer.
+    flood(addr, tenants, clients, 4.max(requests_per_client / 10));
+    let names: Vec<String> = (0..tenants).map(|t| format!("m{t}")).collect();
+    let before: Vec<ServeStats> = names
+        .iter()
+        .map(|n| registry.stats(n).expect("registered"))
+        .collect();
+    let secs = flood(addr, tenants, clients, requests_per_client);
+    let after: Vec<ServeStats> = names
+        .iter()
+        .map(|n| registry.stats(n).expect("registered"))
+        .collect();
+    server.shutdown();
+    let (req_b, bat_b, lat_b) = totals(&before);
+    let (req_a, bat_a, lat_a) = totals(&after);
+    let requests = (req_a - req_b).max(1) as f64;
+    let rps = (clients * requests_per_client) as f64 / secs;
+    let occupancy = requests / (bat_a - bat_b).max(1) as f64;
+    let latency_us = (lat_a - lat_b) / requests;
+    (rps, occupancy, latency_us)
+}
+
+/// Measures one offered-load point in both modes.
+pub fn measure(
+    tenants: usize,
+    clients: usize,
+    requests_per_client: usize,
+    workers: usize,
+) -> WirePoint {
+    let (batched_rps, occupancy, batched_latency_us) =
+        run_mode(tenants, clients, requests_per_client, workers, 32);
+    let (unbatched_rps, _, unbatched_latency_us) =
+        run_mode(tenants, clients, requests_per_client, workers, 1);
+    WirePoint {
+        tenants,
+        clients,
+        requests_per_client,
+        batched_rps,
+        unbatched_rps,
+        occupancy,
+        batched_latency_us,
+        unbatched_latency_us,
+    }
+}
+
+/// The measured grid: connection counts around and past the slab width,
+/// at one and two tenants. Every grid includes the ≥ 8-connection point
+/// the acceptance criteria pin.
+pub fn grid(quick: bool) -> Vec<(usize, usize, usize)> {
+    // (tenants, clients, requests per client)
+    if quick {
+        vec![(1, 8, 48), (2, 8, 48)]
+    } else {
+        vec![
+            (1, 2, 256),
+            (1, 8, 192),
+            (1, 16, 128),
+            (2, 8, 192),
+            (2, 16, 128),
+        ]
+    }
+}
+
+/// Runs the whole trajectory on the headline 512×512, k = 16 operator.
+pub fn run(quick: bool) -> Vec<WirePoint> {
+    let workers = if circnn_core::default_batch_threads() > 1 {
+        2
+    } else {
+        1
+    };
+    grid(quick)
+        .into_iter()
+        .map(|(t, c, r)| measure(t, c, r, workers))
+        .collect()
+}
+
+/// Renders the points as the `BENCH_wire.json` trajectory document.
+pub fn to_json(points: &[WirePoint]) -> String {
+    let mut out = String::from(
+        "{\n  \"bench\": \"wire_throughput\",\n  \"unit\": \"requests_per_second\",\n  \"points\": [\n",
+    );
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"tenants\": {}, \"clients\": {}, \"requests_per_client\": {}, \
+             \"window\": {WINDOW}, \"batched_rps\": {:.0}, \"unbatched_rps\": {:.0}, \
+             \"speedup\": {:.2}, \"occupancy\": {:.1}, \
+             \"batched_latency_us\": {:.0}, \"unbatched_latency_us\": {:.0}}}{}\n",
+            p.tenants,
+            p.clients,
+            p.requests_per_client,
+            p.batched_rps,
+            p.unbatched_rps,
+            p.speedup(),
+            p.occupancy,
+            p.batched_latency_us,
+            p.unbatched_latency_us,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Prints a human-readable table.
+pub fn print(points: &[WirePoint]) {
+    println!(
+        "{:>7} {:>7} {:>8} | {:>12} {:>12} {:>7} | {:>9} {:>12} {:>12}",
+        "tenants",
+        "conns",
+        "reqs",
+        "batched",
+        "unbatched",
+        "spdup",
+        "occup",
+        "lat(batch)",
+        "lat(single)"
+    );
+    for p in points {
+        println!(
+            "{:>7} {:>7} {:>8} | {:>8.0} r/s {:>8.0} r/s {:>6.2}x | {:>9.1} {:>9.0} µs {:>9.0} µs",
+            p.tenants,
+            p.clients,
+            p.clients * p.requests_per_client,
+            p.batched_rps,
+            p.unbatched_rps,
+            p.speedup(),
+            p.occupancy,
+            p.batched_latency_us,
+            p.unbatched_latency_us,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_serializes_a_small_point() {
+        let p = measure(2, 4, 12, 1);
+        assert!(p.batched_rps > 0.0 && p.unbatched_rps > 0.0);
+        let json = to_json(std::slice::from_ref(&p));
+        assert!(json.contains("\"tenants\": 2"));
+        assert!(json.contains("speedup"));
+    }
+}

@@ -125,6 +125,18 @@ impl Layer for SingleCirculantLinear {
         self.inner.backward(grad_output)
     }
 
+    fn infer_batch(&self, input: &Tensor, scratch: &mut circnn_nn::InferScratch) -> Tensor {
+        self.inner.infer_batch(input, scratch)
+    }
+
+    fn supports_infer(&self) -> bool {
+        self.inner.supports_infer()
+    }
+
+    fn set_training(&mut self, training: bool) {
+        self.inner.set_training(training);
+    }
+
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
         self.inner.visit_params(visitor);
     }

@@ -200,6 +200,14 @@ impl CirculantConv2d {
     /// spectra and geometry the backward pass needs.
     fn forward_impl(&mut self, input: &Tensor) -> (Tensor, ConvGeometry, Vec<BlockSpectra>) {
         self.sync();
+        self.infer_image(input)
+    }
+
+    /// Read-only forward core. Requires fresh engine spectra (the `&mut`
+    /// wrapper [`CirculantConv2d::forward_impl`] syncs; the serving path
+    /// asserts `!dirty` instead), which is what lets
+    /// [`Layer::infer_batch`] share one layer across worker threads.
+    fn infer_image(&self, input: &Tensor) -> (Tensor, ConvGeometry, Vec<BlockSpectra>) {
         let geom = self.geometry_for(input);
         let (h, w) = (geom.height, geom.width);
         let (oh, ow) = (geom.out_height(), geom.out_width());
@@ -386,10 +394,35 @@ impl Layer for CirculantConv2d {
         gx
     }
 
+    fn infer_batch(&self, input: &Tensor, _scratch: &mut circnn_nn::InferScratch) -> Tensor {
+        // The serving path cannot refresh the spectra cache (`&self`);
+        // `set_training(false)` syncs it before the network is shared.
+        assert!(
+            !self.dirty,
+            "CirculantConv2d spectra cache is stale; call set_training(false) \
+             after the last optimizer step before serving"
+        );
+        let batch = input.dims()[0];
+        assert!(batch > 0, "empty batch");
+        assert_eq!(
+            input.shape().rank(),
+            4,
+            "conv batch input must be [B, C, H, W]"
+        );
+        circnn_tensor::stack_samples(batch, |b| self.infer_image(&input.index_axis0(b)).0)
+    }
+
+    fn supports_infer(&self) -> bool {
+        true
+    }
+
     fn set_training(&mut self, training: bool) {
         self.training = training;
         if !training {
             self.batch_caches.clear();
+            // Entering inference mode pins the spectra caches fresh so the
+            // read-only `infer_batch` path can serve from them.
+            self.sync();
         }
     }
 

@@ -733,13 +733,12 @@ pub struct Workspace {
     acc_im: Vec<f32>,
     /// Time-domain staging `[blocks][k][batch]` before the final transpose.
     stage: Vec<f32>,
-    /// Per-thread `[k][batch]` plane scratch for the batch FFT stages.
+    /// Per-thread plane scratch for the batch FFT stages: `[k][batch]`
+    /// during the forward/backward applies, `[k][q]` during the weight
+    /// gradient (whose batch-plane IFFT lanes are the `q` block pairs of
+    /// one block row).
     pr: Vec<f32>,
     pi: Vec<f32>,
-    /// Per-thread scalar-FFT scratch (weight-gradient IFFTs).
-    spec: Vec<Complex<f32>>,
-    fft: Vec<Complex<f32>>,
-    time: Vec<f32>,
     /// `(operator id, batch)` of the spectra currently held in `xs_*` /
     /// `gs_*`.
     fwd_stamp: Option<(u64, usize)>,
@@ -763,19 +762,12 @@ impl Workspace {
         if self.stage.len() < stage {
             self.stage.resize(stage, 0.0);
         }
-        if self.pr.len() < threads * mat.k * batch {
-            self.pr.resize(threads * mat.k * batch, 0.0);
-            self.pi.resize(threads * mat.k * batch, 0.0);
-        }
-        if self.time.len() < threads * mat.k {
-            self.time.resize(threads * mat.k, 0.0);
-        }
-        if self.spec.len() < threads * mat.bins {
-            self.spec.resize(threads * mat.bins, Complex::zero());
-        }
-        let scr = threads * (mat.k / 2).max(1);
-        if self.fft.len() < scr {
-            self.fft.resize(scr, Complex::zero());
+        // The weight-gradient IFFT lanes are the q block pairs of a block
+        // row, so the planes must cover both batch widths.
+        let lanes = batch.max(mat.q);
+        if self.pr.len() < threads * mat.k * lanes {
+            self.pr.resize(threads * mat.k * lanes, 0.0);
+            self.pi.resize(threads * mat.k * lanes, 0.0);
         }
     }
 
@@ -965,7 +957,9 @@ impl BlockCirculantMatrix {
     /// (laid out like [`BlockCirculantMatrix::weights`]).
     ///
     /// The batch reduction happens **in the frequency domain**, so the whole
-    /// batch costs `p·q` IFFTs total instead of `p·q` per sample. Requires
+    /// batch costs `p·q` inverse transforms total instead of `p·q` per
+    /// sample — and those ride the batch-plane IFFT as `q` lanes per block
+    /// row, one dispatch per row. Requires
     /// the spectra left in `ws` by a matching
     /// [`BlockCirculantMatrix::forward_batch_into`] /
     /// [`BlockCirculantMatrix::backward_batch_into`] pair.
@@ -1020,9 +1014,8 @@ impl BlockCirculantMatrix {
             xs_im,
             gs_re,
             gs_im,
-            spec,
-            fft,
-            time,
+            pr,
+            pi,
             ..
         } = ws;
         let xs_re = &xs_re[..q * bins * batch];
@@ -1040,26 +1033,23 @@ impl BlockCirculantMatrix {
                 gs_re,
                 gs_im,
                 accum,
-                &mut spec[..bins],
-                &mut fft[..(k / 2).max(1)],
-                &mut time[..k],
+                &mut pr[..k * q],
+                &mut pi[..k * q],
             );
         } else {
             let cw = chunk_blocks * q * k;
             std::thread::scope(|s| {
-                for ((((ci, acc_chunk), spec_c), fft_c), time_c) in accum
+                for (((ci, acc_chunk), pr_c), pi_c) in accum
                     .chunks_mut(cw)
                     .enumerate()
-                    .zip(spec.chunks_mut(bins))
-                    .zip(fft.chunks_mut((k / 2).max(1)))
-                    .zip(time.chunks_mut(k))
+                    .zip(pr.chunks_mut(k * q))
+                    .zip(pi.chunks_mut(k * q))
                 {
                     let i0 = ci * chunk_blocks;
                     let icount = acc_chunk.len() / (q * k);
                     s.spawn(move || {
                         self.weight_grad_chunk(
-                            batch, i0, icount, xs_re, xs_im, gs_re, gs_im, acc_chunk, spec_c,
-                            fft_c, time_c,
+                            batch, i0, icount, xs_re, xs_im, gs_re, gs_im, acc_chunk, pr_c, pi_c,
                         );
                     });
                 }
@@ -1454,7 +1444,9 @@ impl BlockCirculantMatrix {
     }
 
     /// Worker for the batched weight gradient: frequency-domain batch
-    /// reduction, then one IFFT per block.
+    /// reduction, then **one batch-plane IFFT per block row** — the `q`
+    /// block pairs of row `i` ride the plane transform as independent
+    /// lanes (`[k][q]` planes), instead of one scalar IFFT per pair.
     #[allow(clippy::too_many_arguments)]
     fn weight_grad_chunk(
         &self,
@@ -1466,38 +1458,50 @@ impl BlockCirculantMatrix {
         gs_re: &[f32],
         gs_im: &[f32],
         accum: &mut [f32],
-        spec: &mut [Complex<f32>],
-        fft: &mut [Complex<f32>],
-        time: &mut [f32],
+        pre: &mut [f32],
+        pim: &mut [f32],
     ) {
-        let (k, q) = (self.k, self.q);
-        let fft = &mut fft[..k / 2];
+        let (k, q, bins) = (self.k, self.q, self.bins);
         for il in 0..icount {
             let i = i0 + il;
-            for j in 0..q {
-                for (bin, s) in spec.iter_mut().enumerate() {
-                    // Spectra planes are bin-major: `[bin][block][batch]`.
-                    let go = (bin * self.p + i) * batch;
+            // conj(G)·X reduced over the batch — the frequency-domain
+            // linearity that buys one IFFT per block per *batch* — written
+            // lane-major `[bin][q]` so the plane IFFT reads it directly.
+            for bin in 0..bins {
+                let go = (bin * self.p + i) * batch;
+                let gr = &gs_re[go..go + batch];
+                let gi = &gs_im[go..go + batch];
+                for j in 0..q {
                     let xo = (bin * q + j) * batch;
-                    let gr = &gs_re[go..go + batch];
-                    let gi = &gs_im[go..go + batch];
                     let xr = &xs_re[xo..xo + batch];
                     let xi = &xs_im[xo..xo + batch];
                     let (mut sr, mut si) = (0.0f32, 0.0f32);
-                    // conj(G)·X reduced over the batch — the frequency-domain
-                    // linearity that buys one IFFT per block per *batch*.
                     for (((&a, &c), &r), &i2) in gr.iter().zip(gi).zip(xr).zip(xi) {
                         sr += a * r + c * i2;
                         si += a * i2 - c * r;
                     }
-                    *s = Complex::new(sr, si);
+                    pre[bin * q + j] = sr;
+                    pim[bin * q + j] = si;
                 }
-                self.plan
-                    .inverse_with_scratch(spec, time, fft)
-                    .expect("scratch buffers are sized before dispatch");
+            }
+            // Hermitian extension to the full k spectrum rows (the products
+            // of real-signal spectra are themselves conjugate-symmetric).
+            for r in bins..k {
+                let mirror = k - r;
+                for j in 0..q {
+                    pre[r * q + j] = pre[mirror * q + j];
+                    pim[r * q + j] = -pim[mirror * q + j];
+                }
+            }
+            self.bplan
+                .inverse_planes(&mut pre[..k * q], &mut pim[..k * q], q)
+                .expect("plane buffers are sized before dispatch");
+            // Scatter the `[k][q]` time-domain planes into the `[q][k]`
+            // defining-vector layout.
+            for j in 0..q {
                 let base = (il * q + j) * k;
-                for (t, &v) in time.iter().enumerate() {
-                    accum[base + t] += v;
+                for t in 0..k {
+                    accum[base + t] += pre[t * q + j];
                 }
             }
         }

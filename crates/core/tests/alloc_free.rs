@@ -82,6 +82,11 @@ fn batched_round_trip_is_allocation_free_after_warmup() {
         .unwrap();
     w.backward_batch_into_with_threads(&g, batch, &mut ws, &mut gx, 1)
         .unwrap();
+    // Covers the batch-plane weight-gradient IFFT too (its [k][q] lane
+    // planes must come from the warm arena, not fresh allocations) —
+    // twice, so the repeated-call steady state is what is measured.
+    w.weight_gradient_batch_with_threads(&mut ws, &mut wgrad, 1)
+        .unwrap();
     w.weight_gradient_batch_with_threads(&mut ws, &mut wgrad, 1)
         .unwrap();
     COUNTING.store(false, Ordering::SeqCst);

@@ -303,3 +303,33 @@ fn shared_operator_is_bitwise_stable_across_threads() {
         }
     });
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Serving parity for the block-circulant CONV layer: the read-only
+    /// `infer_batch` path must agree **bitwise** with `forward_batch` in
+    /// inference mode (same pipeline, minus the backward caches), so
+    /// circulant convnets can be registered with the wire registry.
+    #[test]
+    fn circulant_conv_infer_matches_forward_batch_bitwise(
+        seed in any::<u64>(),
+        batch in 1usize..4,
+        logk in 0u32..3,
+        size in 5usize..9,
+    ) {
+        use circnn_core::CirculantConv2d;
+        use circnn_nn::Layer;
+        let k = 1usize << logk; // 1, 2, 4 — divides the 4-channel input
+        let mut rng = circnn_tensor::init::seeded_rng(seed);
+        let mut conv = CirculantConv2d::new(&mut rng, 4, 8, 3, 1, 1, k).unwrap();
+        prop_assert!(conv.supports_infer());
+        conv.set_training(false);
+        let x = circnn_tensor::init::uniform(&mut rng, &[batch, 4, size, size], -1.0, 1.0);
+        let trained = conv.forward_batch(&x);
+        let mut scratch = circnn_nn::InferScratch::new();
+        let served = conv.infer_batch(&x, &mut scratch);
+        prop_assert_eq!(served.dims(), trained.dims());
+        prop_assert_eq!(served.data(), trained.data());
+    }
+}

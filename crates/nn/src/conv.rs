@@ -141,8 +141,9 @@ impl Conv2d {
 
 impl Conv2d {
     /// Shared forward core: returns the output plus the caches backward
-    /// needs.
-    fn forward_impl(&mut self, input: &Tensor) -> (Tensor, ConvGeometry, Tensor) {
+    /// needs. Takes `&self` — the dense conv pipeline is pure — so the
+    /// read-only [`Layer::infer_batch`] path reuses it verbatim.
+    fn forward_impl(&self, input: &Tensor) -> (Tensor, ConvGeometry, Tensor) {
         let geom = self.geometry_for(input);
         let cols = im2col(input, &geom);
         // [patches, patch_len] · [patch_len, P] → [patches, P]
@@ -249,6 +250,21 @@ impl Layer for Conv2d {
         });
         self.batch_caches = caches;
         gx
+    }
+
+    fn infer_batch(&self, input: &Tensor, _scratch: &mut crate::InferScratch) -> Tensor {
+        let batch = input.dims()[0];
+        assert!(batch > 0, "empty batch");
+        assert_eq!(
+            input.shape().rank(),
+            4,
+            "conv batch input must be [B, C, H, W]"
+        );
+        circnn_tensor::stack_samples(batch, |b| self.forward_impl(&input.index_axis0(b)).0)
+    }
+
+    fn supports_infer(&self) -> bool {
+        true
     }
 
     fn set_training(&mut self, training: bool) {

@@ -222,6 +222,25 @@ impl Layer for LowRankLinear {
         Tensor::from_vec(matvec_t(&self.vt, &gmid), &[n])
     }
 
+    fn infer_batch(&self, input: &Tensor, _scratch: &mut crate::InferScratch) -> Tensor {
+        let batch = input.dims()[0];
+        let n = self.vt.dims()[1];
+        assert_eq!(input.len(), batch * n, "low-rank batch input mismatch");
+        let m = self.u.dims()[0];
+        circnn_tensor::stack_samples(batch, |b| {
+            let mid = self.vt.matvec(&input.data()[b * n..(b + 1) * n]);
+            let mut y = self.u.matvec(&mid);
+            for (v, &bias) in y.iter_mut().zip(&self.bias) {
+                *v += bias;
+            }
+            Tensor::from_vec(y, &[m])
+        })
+    }
+
+    fn supports_infer(&self) -> bool {
+        true
+    }
+
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {
         visitor(self.u.data_mut(), self.ugrad.data_mut());
         visitor(self.vt.data_mut(), self.vtgrad.data_mut());

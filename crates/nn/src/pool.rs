@@ -3,6 +3,7 @@
 
 use circnn_tensor::Tensor;
 
+use crate::infer::InferScratch;
 use crate::layer::Layer;
 
 fn pooled_extent(inp: usize, window: usize, stride: usize) -> usize {
@@ -11,6 +12,47 @@ fn pooled_extent(inp: usize, window: usize, stride: usize) -> usize {
         "pool window {window} larger than input {inp}"
     );
     (inp - window) / stride + 1
+}
+
+/// Shared read-only pooling core over a `[B, C, H, W]` batch: `reduce`
+/// folds one window into one output value. Pure (no layer state), so both
+/// pool layers serve through it.
+fn pool_infer_batch(
+    input: &Tensor,
+    window: usize,
+    stride: usize,
+    reduce: impl Fn(&[f32], usize, usize, usize, usize, usize) -> f32,
+) -> Tensor {
+    assert_eq!(
+        input.shape().rank(),
+        4,
+        "pool batch input must be [B, C, H, W]"
+    );
+    let (batch, c, h, w) = (
+        input.dims()[0],
+        input.dims()[1],
+        input.dims()[2],
+        input.dims()[3],
+    );
+    assert!(batch > 0, "empty batch");
+    let (oh, ow) = (
+        pooled_extent(h, window, stride),
+        pooled_extent(w, window, stride),
+    );
+    let mut out = vec![0.0f32; batch * c * oh * ow];
+    for b in 0..batch {
+        let sample = &input.data()[b * c * h * w..(b + 1) * c * h * w];
+        let orow = &mut out[b * c * oh * ow..(b + 1) * c * oh * ow];
+        for ch in 0..c {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    orow[(ch * oh + oy) * ow + ox] =
+                        reduce(sample, ch, oy * stride, ox * stride, h, w);
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[batch, c, oh, ow])
 }
 
 /// Max pooling over non-overlapping (or strided) square windows.
@@ -145,6 +187,23 @@ impl Layer for MaxPool2d {
         Tensor::from_vec(gx, input.dims())
     }
 
+    fn infer_batch(&self, input: &Tensor, _scratch: &mut InferScratch) -> Tensor {
+        let win = self.window;
+        pool_infer_batch(input, win, self.stride, |sample, ch, iy0, ix0, h, w| {
+            let mut best = f32::NEG_INFINITY;
+            for ky in 0..win {
+                for kx in 0..win {
+                    best = best.max(sample[(ch * h + iy0 + ky) * w + ix0 + kx]);
+                }
+            }
+            best
+        })
+    }
+
+    fn supports_infer(&self) -> bool {
+        true
+    }
+
     fn set_training(&mut self, training: bool) {
         self.training = training;
         if !training {
@@ -249,6 +308,24 @@ impl Layer for AvgPool2d {
         let batch = grad_output.dims()[0];
         assert_eq!(batch, input.dims()[0], "batch size mismatch");
         circnn_tensor::stack_samples(batch, |b| self.backward(&grad_output.index_axis0(b)))
+    }
+
+    fn infer_batch(&self, input: &Tensor, _scratch: &mut InferScratch) -> Tensor {
+        let win = self.window;
+        let norm = 1.0 / (win * win) as f32;
+        pool_infer_batch(input, win, self.stride, |sample, ch, iy0, ix0, h, w| {
+            let mut acc = 0.0;
+            for ky in 0..win {
+                for kx in 0..win {
+                    acc += sample[(ch * h + iy0 + ky) * w + ix0 + kx];
+                }
+            }
+            acc * norm
+        })
+    }
+
+    fn supports_infer(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {

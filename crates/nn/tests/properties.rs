@@ -159,3 +159,41 @@ fn shared_network_serves_threads_bitwise_identically() {
         }
     });
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// CONV/POOL serving parity: the read-only `infer_batch` path of a
+    /// convnet stack (dense conv, max/avg pool, flatten) must agree
+    /// **bitwise** with `forward_batch` in inference mode — it is the same
+    /// arithmetic minus the cache writes, which is what makes convnets
+    /// servable through `circnn-serve`/`circnn-wire`.
+    #[test]
+    fn conv_pool_infer_matches_forward_batch_bitwise(
+        seed in any::<u64>(),
+        batch in 1usize..4,
+        ch in 1usize..3,
+        size in 6usize..10,
+    ) {
+        use circnn_nn::{AvgPool2d, Conv2d, Flatten, InferScratch, MaxPool2d, Sequential};
+        let mut rng = seeded_rng(seed);
+        let mut net = Sequential::new()
+            .add(Conv2d::new(&mut rng, ch, 4, 3, 1, 1))
+            .add(Relu::new())
+            .add(MaxPool2d::new(2, 2))
+            .add(Conv2d::new(&mut rng, 4, 3, 3, 1, 1))
+            .add(AvgPool2d::new(2, 1))
+            .add(Flatten::new());
+        prop_assert!(net.supports_infer(), "conv/pool stack must be servable");
+        net.set_training(false);
+        let x = circnn_tensor::init::uniform(&mut rng, &[batch, ch, size, size], -1.0, 1.0);
+        let trained = net.forward_batch(&x);
+        let mut scratch = InferScratch::new();
+        let served = net.infer(&x, &mut scratch);
+        prop_assert_eq!(served.dims(), trained.dims());
+        prop_assert_eq!(served.data(), trained.data());
+        // Scratch reuse across requests is stable.
+        let again = net.infer(&x, &mut scratch);
+        prop_assert_eq!(again.data(), trained.data());
+    }
+}

@@ -53,3 +53,48 @@ impl ServeConfig {
         Ok(())
     }
 }
+
+/// Per-tenant batching policy of the multi-tenant scheduler
+/// ([`MultiServer`](crate::MultiServer)).
+///
+/// The same `max_batch`/`max_wait` trade-off as [`ServeConfig`], minus the
+/// worker count: workers belong to the shared pool, not to a tenant.
+#[derive(Debug, Clone)]
+pub struct TenantConfig {
+    /// Largest number of requests coalesced into one `[B, n]` slab.
+    pub max_batch: usize,
+    /// Maximum batching slack: how long a request without an explicit
+    /// deadline may wait for its slab to fill before a partial flush (it
+    /// also bounds the slack of requests *with* deadlines — a tighter
+    /// explicit deadline flushes sooner).
+    pub max_wait: Duration,
+    /// Bound of this tenant's submission queue; a full queue blocks
+    /// [`TenantHandle::submit`](crate::TenantHandle::submit) and fails
+    /// [`TenantHandle::try_submit_with_deadline`](crate::TenantHandle::try_submit_with_deadline).
+    pub queue_capacity: usize,
+}
+
+impl Default for TenantConfig {
+    /// Mirrors [`ServeConfig::default`]: 32-wide slabs, 2 ms slack, queue
+    /// bounded at four slabs.
+    fn default() -> Self {
+        Self {
+            max_batch: 32,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 128,
+        }
+    }
+}
+
+impl TenantConfig {
+    /// Validates the knobs; every count must be nonzero.
+    pub(crate) fn validate(&self) -> Result<(), crate::ServeError> {
+        if self.max_batch == 0 {
+            return Err(crate::ServeError::BadConfig("max_batch must be ≥ 1"));
+        }
+        if self.queue_capacity == 0 {
+            return Err(crate::ServeError::BadConfig("queue_capacity must be ≥ 1"));
+        }
+        Ok(())
+    }
+}

@@ -18,6 +18,11 @@ pub enum ServeError {
     ShuttingDown,
     /// The request was dropped without a result (worker died mid-batch).
     Canceled,
+    /// The request's deadline passed before a worker dispatched it; it was
+    /// failed fast instead of running late.
+    DeadlineExceeded,
+    /// The request named a tenant that is not (or no longer) registered.
+    UnknownTenant,
 }
 
 impl core::fmt::Display for ServeError {
@@ -30,6 +35,8 @@ impl core::fmt::Display for ServeError {
             Self::QueueFull => write!(f, "submission queue is full"),
             Self::ShuttingDown => write!(f, "server is shutting down"),
             Self::Canceled => write!(f, "request canceled without a result"),
+            Self::DeadlineExceeded => write!(f, "request deadline passed before dispatch"),
+            Self::UnknownTenant => write!(f, "no such tenant registered"),
         }
     }
 }

@@ -45,6 +45,20 @@
 //!   request (all handles resolve), joins the workers, and reports
 //!   [`ServeStats`] (occupancy, flush reasons, latency).
 //!
+//! ## Multi-tenant, deadline-aware scheduling
+//!
+//! [`MultiServer`] generalizes the single-model server to **many named
+//! models over one shared worker pool**: each tenant
+//! ([`MultiServer::add_tenant`], hot add/remove) owns a bounded queue, a
+//! [`TenantConfig`] batching policy and per-tenant [`ServeStats`].
+//! Requests may carry a **deadline budget**
+//! ([`TenantHandle::submit_with_deadline`]); workers always serve the
+//! queue whose tightest effective deadline is earliest, tight-deadline
+//! tenants preempt a slack tenant's batching slack, and requests whose
+//! deadline passes before dispatch fail fast with
+//! [`ServeError::DeadlineExceeded`]. This is the scheduling core under the
+//! network front-end in `circnn-wire`.
+//!
 //! ## Example
 //!
 //! Serve a raw block-circulant operator and check a round trip against the
@@ -76,11 +90,13 @@
 mod config;
 mod error;
 mod model;
+mod sched;
 mod server;
 mod stats;
 
-pub use config::ServeConfig;
+pub use config::{ServeConfig, TenantConfig};
 pub use error::ServeError;
 pub use model::{SequentialModel, ServeModel};
+pub use sched::{MultiServer, TenantHandle};
 pub use server::{ResponseHandle, Server};
 pub use stats::{FlushReason, ServeStats};

@@ -84,12 +84,17 @@ impl ServeModel for BlockCirculantMatrix {
 #[derive(Debug)]
 pub struct SequentialModel {
     net: Sequential,
+    /// Per-sample input dims the flat request vector reshapes to (`[n]` for
+    /// MLPs, `[C, H, W]` for convnets).
+    input_shape: Vec<usize>,
     input_len: usize,
     output_len: usize,
 }
 
 impl SequentialModel {
-    /// Wraps `net` for serving requests of `input_len` values.
+    /// Wraps `net` for serving flat requests of `input_len` values
+    /// (MLP-style `[batch, n]` geometry). Convnets take
+    /// [`SequentialModel::with_input_shape`] instead.
     ///
     /// Switches the network to inference mode (syncing circulant spectra
     /// caches), verifies every layer supports the read-only inference path
@@ -99,7 +104,7 @@ impl SequentialModel {
     /// # Errors
     ///
     /// Returns `Err` naming the offending layer if any layer lacks
-    /// [`Layer::infer_batch`] support (CONV/POOL layers, currently).
+    /// [`Layer::infer_batch`] support.
     ///
     /// # Panics
     ///
@@ -107,7 +112,28 @@ impl SequentialModel {
     /// message) if `input_len` does not match the network's input
     /// geometry — the `Layer` contract has no shape query to validate
     /// against up front.
-    pub fn new(mut net: Sequential, input_len: usize) -> Result<Self, String> {
+    pub fn new(net: Sequential, input_len: usize) -> Result<Self, String> {
+        Self::with_input_shape(net, &[input_len])
+    }
+
+    /// Wraps `net` for serving requests whose flat vectors reshape to the
+    /// per-sample `input_shape` (e.g. `[C, H, W]` for a convnet): batches
+    /// run as `[batch, C, H, W]` tensors through [`Sequential::infer`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SequentialModel::new`], plus an error for an empty or
+    /// zero-sized shape.
+    ///
+    /// # Panics
+    ///
+    /// As [`SequentialModel::new`], if `input_shape` does not match the
+    /// network's input geometry.
+    pub fn with_input_shape(mut net: Sequential, input_shape: &[usize]) -> Result<Self, String> {
+        let input_len: usize = input_shape.iter().product();
+        if input_shape.is_empty() || input_len == 0 {
+            return Err("input shape must be non-empty with nonzero dims".to_string());
+        }
         net.set_training(false);
         if let Some(layer) = net.iter().find(|l| !l.supports_infer()) {
             return Err(format!(
@@ -115,10 +141,13 @@ impl SequentialModel {
                 layer.name()
             ));
         }
-        let probe = Tensor::zeros(&[1, input_len]);
+        let mut probe_dims = vec![1];
+        probe_dims.extend_from_slice(input_shape);
+        let probe = Tensor::zeros(&probe_dims);
         let output_len = net.infer(&probe, &mut InferScratch::new()).len();
         Ok(Self {
             net,
+            input_shape: input_shape.to_vec(),
             input_len,
             output_len,
         })
@@ -127,6 +156,11 @@ impl SequentialModel {
     /// The wrapped network.
     pub fn network(&self) -> &Sequential {
         &self.net
+    }
+
+    /// The per-sample input dims requests reshape to.
+    pub fn input_shape(&self) -> &[usize] {
+        &self.input_shape
     }
 }
 
@@ -153,10 +187,58 @@ impl ServeModel for SequentialModel {
         // instead of allocating a fresh copy per batch.
         staging.clear();
         staging.extend_from_slice(x);
-        let input = Tensor::from_vec(std::mem::take(staging), &[batch, self.input_len]);
+        let mut dims = vec![batch];
+        dims.extend_from_slice(&self.input_shape);
+        let input = Tensor::from_vec(std::mem::take(staging), &dims);
         let y = self.net.infer(&input, slots);
         out.copy_from_slice(y.data());
         *staging = input.into_vec();
+    }
+}
+
+/// Object-safe erasure of [`ServeModel`] — the associated `Scratch` type
+/// prevents boxing the trait directly, but the multi-tenant scheduler must
+/// hold heterogeneous models (an MLP next to a convnet next to a raw
+/// operator) behind one pointer type. Workers keep each tenant's scratch
+/// as a `Box<dyn Any>` created by the model itself, so the downcast inside
+/// [`ErasedModel::infer_batch_erased`] cannot fail.
+pub(crate) trait ErasedModel: Send + Sync {
+    fn make_scratch_box(&self) -> Box<dyn std::any::Any + Send>;
+    fn input_len(&self) -> usize;
+    fn output_len(&self) -> usize;
+    fn infer_batch_erased(
+        &self,
+        x: &[f32],
+        batch: usize,
+        scratch: &mut (dyn std::any::Any + Send),
+        out: &mut [f32],
+    );
+}
+
+impl<M: ServeModel> ErasedModel for M {
+    fn make_scratch_box(&self) -> Box<dyn std::any::Any + Send> {
+        Box::new(self.make_scratch())
+    }
+
+    fn input_len(&self) -> usize {
+        ServeModel::input_len(self)
+    }
+
+    fn output_len(&self) -> usize {
+        ServeModel::output_len(self)
+    }
+
+    fn infer_batch_erased(
+        &self,
+        x: &[f32],
+        batch: usize,
+        scratch: &mut (dyn std::any::Any + Send),
+        out: &mut [f32],
+    ) {
+        let scratch = scratch
+            .downcast_mut::<M::Scratch>()
+            .expect("scratch was created by this model's make_scratch");
+        self.infer_batch(x, batch, scratch, out);
     }
 }
 
@@ -174,17 +256,53 @@ mod tests {
             .add(Relu::new())
             .add(circnn_nn::Linear::new(&mut rng, 12, 5));
         let model = SequentialModel::new(net, 8).unwrap();
-        assert_eq!(model.input_len(), 8);
-        assert_eq!(model.output_len(), 5);
+        assert_eq!(ServeModel::input_len(&model), 8);
+        assert_eq!(ServeModel::output_len(&model), 5);
     }
 
     #[test]
     fn unservable_layer_is_rejected_at_construction() {
-        let mut rng = seeded_rng(4);
-        // Conv2d has no read-only inference path.
-        let net = Sequential::new().add(circnn_nn::Conv2d::new(&mut rng, 1, 2, 3, 1, 1));
+        // Every stock layer now supports read-only inference, so the
+        // rejection path needs a deliberately opaque custom layer.
+        struct Opaque;
+        impl Layer for Opaque {
+            fn forward(&mut self, input: &Tensor) -> Tensor {
+                input.clone()
+            }
+            fn backward(&mut self, grad: &Tensor) -> Tensor {
+                grad.clone()
+            }
+            fn name(&self) -> &'static str {
+                "Opaque"
+            }
+        }
+        let net = Sequential::new().add(Opaque);
         let err = SequentialModel::new(net, 25).unwrap_err();
         assert!(err.contains("not servable"), "{err}");
+    }
+
+    #[test]
+    fn shaped_model_serves_a_convnet() {
+        let mut rng = seeded_rng(6);
+        let net = Sequential::new()
+            .add(circnn_nn::Conv2d::new(&mut rng, 2, 3, 3, 1, 1))
+            .add(Relu::new())
+            .add(circnn_nn::MaxPool2d::new(2, 2))
+            .add(circnn_nn::Flatten::new())
+            .add(circnn_nn::Linear::new(&mut rng, 3 * 3 * 3, 5));
+        let model = SequentialModel::with_input_shape(net, &[2, 6, 6]).unwrap();
+        assert_eq!(ServeModel::input_len(&model), 72);
+        assert_eq!(ServeModel::output_len(&model), 5);
+        assert_eq!(model.input_shape(), &[2, 6, 6]);
+        let mut scratch = ServeModel::make_scratch(&model);
+        let x = vec![0.25f32; 2 * 72];
+        let mut out = vec![0.0f32; 2 * 5];
+        model.infer_batch(&x, 2, &mut scratch, &mut out);
+        assert_eq!(
+            &out[..5],
+            &out[5..],
+            "identical rows must infer identically"
+        );
     }
 
     #[test]

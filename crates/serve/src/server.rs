@@ -13,7 +13,7 @@ use crate::stats::{FlushReason, ServeStats, StatsAccum};
 /// Locks a mutex, recovering the data even if a worker died while holding
 /// it (a poisoned queue is still structurally valid; requests it holds are
 /// drained or canceled normally).
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
@@ -25,7 +25,7 @@ struct PendingRequest {
 }
 
 /// Result slot shared between a worker and a [`ResponseHandle`].
-struct Completion {
+pub(crate) struct Completion {
     result: Mutex<Option<Result<Vec<f32>, ServeError>>>,
     ready: Condvar,
 }
@@ -34,14 +34,25 @@ struct Completion {
 /// is dropped unfulfilled (worker panic mid-batch, queue destroyed with
 /// requests still parked), the waiting client gets
 /// [`ServeError::Canceled`] instead of hanging forever.
-struct CompletionCell(Arc<Completion>);
+pub(crate) struct CompletionCell(Arc<Completion>);
 
 impl CompletionCell {
-    fn fulfill(&self, result: Result<Vec<f32>, ServeError>) {
+    pub(crate) fn fulfill(&self, result: Result<Vec<f32>, ServeError>) {
         *lock(&self.0.result) = Some(result);
         self.0.ready.notify_all();
         // The Drop guard below sees the slot filled and leaves it alone.
     }
+}
+
+/// Creates a fresh `(worker cell, client handle)` pair around one result
+/// slot — shared by the single-model [`Server`] and the multi-tenant
+/// scheduler in [`crate::MultiServer`].
+pub(crate) fn completion_pair() -> (CompletionCell, ResponseHandle) {
+    let cell = Arc::new(Completion {
+        result: Mutex::new(None),
+        ready: Condvar::new(),
+    });
+    (CompletionCell(Arc::clone(&cell)), ResponseHandle { cell })
 }
 
 impl Drop for CompletionCell {
@@ -227,18 +238,15 @@ impl<M: ServeModel> Server<M> {
                 .wait(q)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
-        let cell = Arc::new(Completion {
-            result: Mutex::new(None),
-            ready: Condvar::new(),
-        });
+        let (done, handle) = completion_pair();
         q.pending.push_back(PendingRequest {
             input,
             enqueued: Instant::now(),
-            done: CompletionCell(Arc::clone(&cell)),
+            done,
         });
         drop(q);
         self.shared.wake_workers.notify_one();
-        Ok(ResponseHandle { cell })
+        Ok(handle)
     }
 
     /// Requests currently parked in the queue (not yet collected).

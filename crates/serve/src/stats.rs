@@ -22,6 +22,7 @@ pub(crate) struct StatsAccum {
     pub full_flushes: u64,
     pub timeout_flushes: u64,
     pub drain_flushes: u64,
+    pub expired: u64,
     pub max_occupancy: usize,
     pub infer_ns: u128,
     pub latency_ns: u128,
@@ -50,6 +51,12 @@ impl StatsAccum {
         self.max_latency_ns = self.max_latency_ns.max(latency_max.as_nanos());
     }
 
+    /// Counts a request failed fast because its deadline passed before
+    /// dispatch (it never joined a batch).
+    pub fn record_expired(&mut self) {
+        self.expired += 1;
+    }
+
     pub fn snapshot(&self) -> ServeStats {
         let batches = self.batches.max(1) as f64;
         let requests = self.requests.max(1) as f64;
@@ -59,6 +66,7 @@ impl StatsAccum {
             full_flushes: self.full_flushes,
             timeout_flushes: self.timeout_flushes,
             drain_flushes: self.drain_flushes,
+            expired: self.expired,
             max_occupancy: self.max_occupancy,
             mean_occupancy: self.requests as f64 / batches,
             mean_infer_us: self.infer_ns as f64 / batches / 1_000.0,
@@ -70,8 +78,9 @@ impl StatsAccum {
 
 /// Aggregate serving statistics, snapshotted by
 /// [`Server::stats`](crate::Server::stats) and returned by
-/// [`Server::shutdown`](crate::Server::shutdown).
-#[derive(Debug, Clone, Default)]
+/// [`Server::shutdown`](crate::Server::shutdown) — and per tenant by
+/// [`TenantHandle::stats`](crate::TenantHandle::stats).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ServeStats {
     /// Requests completed.
     pub requests: u64,
@@ -83,6 +92,10 @@ pub struct ServeStats {
     pub timeout_flushes: u64,
     /// Batches flushed while draining at shutdown.
     pub drain_flushes: u64,
+    /// Requests failed fast with
+    /// [`ServeError::DeadlineExceeded`](crate::ServeError::DeadlineExceeded)
+    /// because their deadline passed before dispatch.
+    pub expired: u64,
     /// Largest batch dispatched.
     pub max_occupancy: usize,
     /// Mean requests per batch (the occupancy the policy achieved).
@@ -100,7 +113,7 @@ impl core::fmt::Display for ServeStats {
         write!(
             f,
             "{} requests in {} batches (occupancy mean {:.1}, max {}; \
-             flushes {} full / {} timeout / {} drain; \
+             flushes {} full / {} timeout / {} drain; {} expired; \
              latency mean {:.0} µs, max {:.0} µs)",
             self.requests,
             self.batches,
@@ -109,6 +122,7 @@ impl core::fmt::Display for ServeStats {
             self.full_flushes,
             self.timeout_flushes,
             self.drain_flushes,
+            self.expired,
             self.mean_latency_us,
             self.max_latency_us,
         )

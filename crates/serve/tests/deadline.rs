@@ -1,0 +1,253 @@
+//! Deadline-aware multi-tenant scheduling: tight deadlines are served
+//! ahead of slack ones, expired requests fail fast with the typed error,
+//! per-tenant stats stay isolated, and answers remain bit-identical.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use circnn_core::{BlockCirculantMatrix, Workspace};
+use circnn_serve::{MultiServer, ServeError, ServeModel, TenantConfig};
+use circnn_tensor::init::seeded_rng;
+
+/// Echo model that logs its dispatches and holds the worker for `delay`
+/// — makes scheduling decisions observable.
+struct LoggingEcho {
+    tag: &'static str,
+    len: usize,
+    delay: Duration,
+    log: Arc<Mutex<Vec<&'static str>>>,
+}
+
+impl ServeModel for LoggingEcho {
+    type Scratch = ();
+    fn make_scratch(&self) {}
+    fn input_len(&self) -> usize {
+        self.len
+    }
+    fn output_len(&self) -> usize {
+        self.len
+    }
+    fn infer_batch(&self, x: &[f32], _batch: usize, _scratch: &mut (), out: &mut [f32]) {
+        self.log.lock().unwrap().push(self.tag);
+        std::thread::sleep(self.delay);
+        out.copy_from_slice(x);
+    }
+}
+
+fn one_shot(len: usize) -> TenantConfig {
+    TenantConfig {
+        max_batch: 1, // every request is its own batch: dispatch order IS schedule order
+        max_wait: Duration::from_millis(200),
+        queue_capacity: len,
+    }
+}
+
+/// With one worker and two tenants queued while it is busy, the tenant
+/// whose oldest deadline is tightest must be dispatched first — even
+/// though the slack tenant's request arrived earlier.
+#[test]
+fn tight_deadline_preempts_slack_queue() {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let pool = MultiServer::start(1).unwrap();
+    let slack = pool
+        .add_tenant(
+            LoggingEcho {
+                tag: "slack",
+                len: 4,
+                delay: Duration::from_millis(30),
+                log: Arc::clone(&log),
+            },
+            one_shot(8),
+        )
+        .unwrap();
+    let tight = pool
+        .add_tenant(
+            LoggingEcho {
+                tag: "tight",
+                len: 4,
+                delay: Duration::from_millis(30),
+                log: Arc::clone(&log),
+            },
+            one_shot(8),
+        )
+        .unwrap();
+    // Occupy the single worker with a slack-tenant batch…
+    let first = slack.submit(vec![1.0; 4]).unwrap();
+    std::thread::sleep(Duration::from_millis(10));
+    // …then park one slack request (generous budget) BEFORE one tight
+    // request (small budget). Arrival order says slack first; deadline
+    // order says tight first.
+    let second_slack = slack
+        .submit_with_deadline(vec![2.0; 4], Some(Duration::from_secs(5)))
+        .unwrap();
+    let tight_req = tight
+        .submit_with_deadline(vec![3.0; 4], Some(Duration::from_millis(120)))
+        .unwrap();
+    assert_eq!(first.wait().unwrap(), vec![1.0; 4]);
+    assert_eq!(tight_req.wait().unwrap(), vec![3.0; 4]);
+    assert_eq!(second_slack.wait().unwrap(), vec![2.0; 4]);
+    pool.shutdown();
+    assert_eq!(
+        *log.lock().unwrap(),
+        vec!["slack", "tight", "slack"],
+        "tight-deadline tenant must be flushed ahead of the slack one"
+    );
+}
+
+/// A request whose deadline passes while it is still queued fails fast
+/// with the typed deadline error and shows up in the tenant's expired
+/// counter; it never reaches the model.
+#[test]
+fn expired_requests_fail_fast_with_typed_error() {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let pool = MultiServer::start(1).unwrap();
+    let tenant = pool
+        .add_tenant(
+            LoggingEcho {
+                tag: "t",
+                len: 4,
+                delay: Duration::from_millis(60),
+                log: Arc::clone(&log),
+            },
+            one_shot(8),
+        )
+        .unwrap();
+    // Occupy the worker for 60 ms, then park a request that only has a
+    // 5 ms budget: by the time the worker is free it must be expired.
+    let busy = tenant.submit(vec![1.0; 4]).unwrap();
+    std::thread::sleep(Duration::from_millis(10));
+    let doomed = tenant
+        .submit_with_deadline(vec![2.0; 4], Some(Duration::from_millis(5)))
+        .unwrap();
+    assert_eq!(doomed.wait(), Err(ServeError::DeadlineExceeded));
+    assert_eq!(busy.wait().unwrap(), vec![1.0; 4]);
+    let stats = tenant.stats().unwrap();
+    assert_eq!(stats.expired, 1, "expiry must be counted: {stats}");
+    assert_eq!(stats.requests, 1, "only the completed request counts");
+    pool.shutdown();
+    assert_eq!(
+        *log.lock().unwrap(),
+        vec!["t"],
+        "the expired request must never reach the model"
+    );
+}
+
+/// Multi-tenant answers stay bit-identical to direct single-request
+/// `matmat`, and the per-tenant stats account for exactly their own
+/// requests (the global-only-stats fix).
+#[test]
+fn tenants_keep_bitwise_answers_and_private_stats() {
+    let wa = Arc::new(BlockCirculantMatrix::random(&mut seeded_rng(11), 48, 64, 8).unwrap());
+    let wb = Arc::new(BlockCirculantMatrix::random(&mut seeded_rng(12), 24, 32, 8).unwrap());
+    let pool = MultiServer::start(2).unwrap();
+    let cfg = TenantConfig {
+        max_batch: 8,
+        max_wait: Duration::from_micros(500),
+        queue_capacity: 64,
+    };
+    let ha = pool
+        .add_tenant_shared(Arc::clone(&wa), cfg.clone())
+        .unwrap();
+    let hb = pool.add_tenant_shared(Arc::clone(&wb), cfg).unwrap();
+    std::thread::scope(|s| {
+        for client in 0..4u64 {
+            let (ha, hb) = (ha.clone(), hb.clone());
+            let (wa, wb) = (Arc::clone(&wa), Arc::clone(&wb));
+            s.spawn(move || {
+                let mut ws = Workspace::new();
+                let mut rng = seeded_rng(900 + client);
+                for r in 0..15 {
+                    let xa = circnn_tensor::init::uniform(&mut rng, &[64], -1.0, 1.0);
+                    let xb = circnn_tensor::init::uniform(&mut rng, &[32], -1.0, 1.0);
+                    let ya = ha
+                        .submit_with_deadline(xa.data().to_vec(), Some(Duration::from_secs(30)))
+                        .unwrap();
+                    let yb = hb.submit(xb.data().to_vec()).unwrap();
+                    assert_eq!(
+                        ya.wait().unwrap(),
+                        wa.matmat(xa.data(), 1, &mut ws).unwrap(),
+                        "tenant A client {client} request {r} diverged"
+                    );
+                    assert_eq!(
+                        yb.wait().unwrap(),
+                        wb.matmat(xb.data(), 1, &mut ws).unwrap(),
+                        "tenant B client {client} request {r} diverged"
+                    );
+                }
+            });
+        }
+    });
+    let (sa, sb) = (ha.stats().unwrap(), hb.stats().unwrap());
+    assert_eq!(
+        sa.requests,
+        4 * 15,
+        "tenant A counts its own requests: {sa}"
+    );
+    assert_eq!(
+        sb.requests,
+        4 * 15,
+        "tenant B counts its own requests: {sb}"
+    );
+    assert_eq!(sa.expired, 0);
+    pool.shutdown();
+}
+
+/// Backpressure is per tenant: filling one tenant's bounded queue fails
+/// its `try_submit` without touching the other tenant.
+#[test]
+fn backpressure_is_per_tenant() {
+    let log = Arc::new(Mutex::new(Vec::new()));
+    let pool = MultiServer::start(1).unwrap();
+    let slow = pool
+        .add_tenant(
+            LoggingEcho {
+                tag: "slow",
+                len: 4,
+                delay: Duration::from_millis(25),
+                log: Arc::clone(&log),
+            },
+            TenantConfig {
+                max_batch: 1,
+                max_wait: Duration::ZERO,
+                queue_capacity: 2,
+            },
+        )
+        .unwrap();
+    let free = pool
+        .add_tenant(
+            LoggingEcho {
+                tag: "free",
+                len: 4,
+                delay: Duration::ZERO,
+                log: Arc::clone(&log),
+            },
+            TenantConfig {
+                max_batch: 1,
+                max_wait: Duration::ZERO,
+                queue_capacity: 64,
+            },
+        )
+        .unwrap();
+    let mut handles = vec![slow.submit(vec![0.0; 4]).unwrap()];
+    let mut rejections = 0;
+    for i in 0..40 {
+        match slow.try_submit_with_deadline(vec![i as f32; 4], None) {
+            Ok(h) => handles.push(h),
+            Err(ServeError::QueueFull) => rejections += 1,
+            Err(e) => panic!("unexpected error: {e}"),
+        }
+    }
+    assert!(rejections > 0, "a 2-deep queue must reject a 40-burst");
+    // The other tenant still accepts and completes.
+    assert_eq!(
+        free.try_submit_with_deadline(vec![9.0; 4], None)
+            .unwrap()
+            .wait()
+            .unwrap(),
+        vec![9.0; 4]
+    );
+    for h in handles {
+        h.wait().unwrap();
+    }
+    pool.shutdown();
+}

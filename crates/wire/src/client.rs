@@ -1,0 +1,219 @@
+//! Blocking wire client: one TCP connection, synchronous calls plus
+//! explicit pipelining primitives for throughput-oriented callers.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use circnn_serve::ServeStats;
+
+use crate::error::WireError;
+use crate::frame::{self, ModelInfo, Reply, Request, MAX_PAYLOAD};
+
+/// A blocking client over one connection.
+///
+/// Simple callers use the synchronous round-trip methods
+/// ([`WireClient::infer`], [`WireClient::list_models`], …). Because the
+/// server answers **in arrival order per connection**, a caller can also
+/// pipeline: issue several [`WireClient::send_infer`]s, then collect the
+/// matching [`WireClient::recv_infer`]s in the same order — that is what
+/// keeps the server's batcher fed from a single socket.
+pub struct WireClient {
+    stream: TcpStream,
+    /// Reused frame buffer (encode and decode share it).
+    buf: Vec<u8>,
+}
+
+impl core::fmt::Debug for WireClient {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("WireClient")
+            .field("peer", &self.stream.peer_addr().ok())
+            .finish()
+    }
+}
+
+impl WireClient {
+    /// Connects to a [`WireServer`](crate::WireServer).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
+        let stream = TcpStream::connect(addr)?;
+        // Frames are single contiguous writes; coalescing them behind
+        // Nagle only adds latency.
+        let _ = stream.set_nodelay(true);
+        Ok(Self {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    fn send(&mut self, req: &Request) -> Result<(), WireError> {
+        // Oversized requests would be rejected by the peer anyway; fail
+        // before writing a frame that desynchronizes the stream. The name
+        // bound also keeps the encoder's u16 string prefix exact (the
+        // registry rejects names over MAX_NAME_LEN at registration, so a
+        // longer name could never match a model).
+        let model_len = match req {
+            Request::Stats { model }
+            | Request::Infer { model, .. }
+            | Request::InferBatch { model, .. } => model.len(),
+            _ => 0,
+        };
+        if model_len > crate::MAX_NAME_LEN {
+            return Err(WireError::Malformed("model name exceeds MAX_NAME_LEN"));
+        }
+        if let Request::Infer { model, input, .. } | Request::InferBatch { model, input, .. } = req
+        {
+            // 32 bytes cover every fixed field of these two frames.
+            let payload = input.len() * 4 + model.len() + 32;
+            if payload > MAX_PAYLOAD {
+                return Err(WireError::Oversized {
+                    len: payload,
+                    max: MAX_PAYLOAD,
+                });
+            }
+        }
+        frame::encode_request(req, &mut self.buf);
+        frame::write_frame(&mut self.stream, &self.buf)
+    }
+
+    fn recv(&mut self) -> Result<Reply, WireError> {
+        frame::read_frame(&mut self.stream, &mut self.buf)?;
+        let reply = frame::decode_reply(&self.buf)?;
+        if let Reply::Error { code, message } = reply {
+            return Err(WireError::Remote { code, message });
+        }
+        Ok(reply)
+    }
+
+    /// Liveness round trip.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors, or the server's typed error.
+    pub fn ping(&mut self) -> Result<(), WireError> {
+        self.send(&Request::Ping)?;
+        match self.recv()? {
+            Reply::Pong => Ok(()),
+            _ => Err(WireError::Malformed("expected Pong")),
+        }
+    }
+
+    /// Enumerates the registered models (name, geometry, queue depth).
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors, or the server's typed error.
+    pub fn list_models(&mut self) -> Result<Vec<ModelInfo>, WireError> {
+        self.send(&Request::ListModels)?;
+        match self.recv()? {
+            Reply::ModelList(models) => Ok(models),
+            _ => Err(WireError::Malformed("expected ModelList")),
+        }
+    }
+
+    /// Fetches one model's per-tenant serving statistics.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors, or `Remote { code: UnknownModel, .. }`.
+    pub fn stats(&mut self, model: &str) -> Result<ServeStats, WireError> {
+        self.send(&Request::Stats {
+            model: model.to_string(),
+        })?;
+        match self.recv()? {
+            Reply::Stats { stats, .. } => Ok(stats),
+            _ => Err(WireError::Malformed("expected Stats")),
+        }
+    }
+
+    /// One synchronous inference round trip without a deadline.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors, or the server's typed error (unknown
+    /// model, bad input length, queue full, …).
+    pub fn infer(&mut self, model: &str, input: &[f32]) -> Result<Vec<f32>, WireError> {
+        self.infer_deadline(model, input, None)
+    }
+
+    /// One synchronous inference round trip with an optional deadline
+    /// budget: the server must dispatch within `budget` of receipt or
+    /// answer `Remote { code: DeadlineExceeded, .. }`.
+    ///
+    /// The wire carries microseconds; a nonzero sub-microsecond budget
+    /// rounds **up** to 1 µs (rounding down would silently mean "no
+    /// deadline").
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::infer`].
+    pub fn infer_deadline(
+        &mut self,
+        model: &str,
+        input: &[f32],
+        budget: Option<Duration>,
+    ) -> Result<Vec<f32>, WireError> {
+        self.send_infer(model, input, budget)?;
+        self.recv_infer()
+    }
+
+    /// A synchronous client-side batch: `input` is row-major
+    /// `[batch, n]`; the reply is row-major `[batch, m]`.
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::infer`].
+    pub fn infer_batch(
+        &mut self,
+        model: &str,
+        batch: usize,
+        input: &[f32],
+        budget: Option<Duration>,
+    ) -> Result<Vec<f32>, WireError> {
+        self.send(&Request::InferBatch {
+            model: model.to_string(),
+            deadline_micros: budget.map_or(0, |b| (b.as_micros() as u64).max(1)),
+            batch: batch as u32,
+            input: input.to_vec(),
+        })?;
+        match self.recv()? {
+            Reply::InferBatch { output, .. } => Ok(output),
+            _ => Err(WireError::Malformed("expected InferBatch")),
+        }
+    }
+
+    /// Pipelining: sends one inference request without waiting for the
+    /// reply. Collect replies with [`WireClient::recv_infer`] **in send
+    /// order** (the per-connection ordering guarantee).
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn send_infer(
+        &mut self,
+        model: &str,
+        input: &[f32],
+        budget: Option<Duration>,
+    ) -> Result<(), WireError> {
+        self.send(&Request::Infer {
+            model: model.to_string(),
+            deadline_micros: budget.map_or(0, |b| (b.as_micros() as u64).max(1)),
+            input: input.to_vec(),
+        })
+    }
+
+    /// Pipelining: receives the next inference reply (matching the oldest
+    /// outstanding [`WireClient::send_infer`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::infer`].
+    pub fn recv_infer(&mut self) -> Result<Vec<f32>, WireError> {
+        match self.recv()? {
+            Reply::Infer { output } => Ok(output),
+            _ => Err(WireError::Malformed("expected Infer")),
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Typed wire-level errors: every way a frame, a connection or a remote
+//! call can fail, with **no panics on attacker-controlled input**.
+
+use std::io;
+
+/// Typed error codes carried by `Reply::Error` frames (the server half of
+/// the contract: a client can match on the code without parsing prose).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// The request named a model that is not registered.
+    UnknownModel = 1,
+    /// The request vector length does not match the model's input length.
+    BadInput = 2,
+    /// The tenant's bounded queue was full (non-blocking rejection).
+    QueueFull = 3,
+    /// The server (or tenant) is shutting down.
+    ShuttingDown = 4,
+    /// The request's deadline passed before a worker dispatched it.
+    DeadlineExceeded = 5,
+    /// The request was dropped without a result (worker died mid-batch).
+    Canceled = 6,
+    /// The request frame was syntactically invalid.
+    Malformed = 7,
+    /// Any other server-side failure.
+    Internal = 8,
+}
+
+impl ErrorCode {
+    /// Decodes a wire code; unknown values land on
+    /// [`ErrorCode::Internal`] (forward compatibility: a newer server may
+    /// emit codes this client does not know).
+    pub fn from_wire(code: u16) -> Self {
+        match code {
+            1 => Self::UnknownModel,
+            2 => Self::BadInput,
+            3 => Self::QueueFull,
+            4 => Self::ShuttingDown,
+            5 => Self::DeadlineExceeded,
+            6 => Self::Canceled,
+            7 => Self::Malformed,
+            _ => Self::Internal,
+        }
+    }
+}
+
+impl core::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let name = match self {
+            Self::UnknownModel => "unknown model",
+            Self::BadInput => "bad input",
+            Self::QueueFull => "queue full",
+            Self::ShuttingDown => "shutting down",
+            Self::DeadlineExceeded => "deadline exceeded",
+            Self::Canceled => "canceled",
+            Self::Malformed => "malformed frame",
+            Self::Internal => "internal error",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Everything that can go wrong on the wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// Socket-level failure (includes truncated streams: a peer that hangs
+    /// up mid-frame surfaces as `UnexpectedEof`).
+    Io(io::Error),
+    /// The frame does not start with the protocol magic byte.
+    BadMagic(u8),
+    /// The frame's protocol version is not supported by this build.
+    BadVersion {
+        /// Version found in the header.
+        got: u8,
+        /// Version this build speaks.
+        want: u8,
+    },
+    /// The length prefix exceeds the per-frame payload cap.
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+        /// The cap ([`crate::frame::MAX_PAYLOAD`]).
+        max: usize,
+    },
+    /// The opcode byte names no known frame type.
+    UnknownOpcode(u8),
+    /// The payload is structurally invalid (truncated field, trailing
+    /// bytes, bad UTF-8 in a name, inconsistent counts, …).
+    Malformed(&'static str),
+    /// The remote answered with a typed error frame.
+    Remote {
+        /// Typed error code.
+        code: ErrorCode,
+        /// Human-readable server message.
+        message: String,
+    },
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::BadMagic(b) => write!(f, "not a circnn wire frame (magic byte {b:#04x})"),
+            Self::BadVersion { got, want } => {
+                write!(
+                    f,
+                    "unsupported protocol version {got} (this build speaks {want})"
+                )
+            }
+            Self::Oversized { len, max } => {
+                write!(f, "frame payload of {len} bytes exceeds the {max}-byte cap")
+            }
+            Self::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            Self::Malformed(why) => write!(f, "malformed frame: {why}"),
+            Self::Remote { code, message } => write!(f, "server error ({code}): {message}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}

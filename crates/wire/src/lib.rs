@@ -1,0 +1,74 @@
+//! # circnn-wire
+//!
+//! Network serving for the block-circulant engine: a std-only TCP stack
+//! on top of `circnn-serve` — the front door the ROADMAP's
+//! millions-of-users scenario walks through.
+//!
+//! Three pieces compose:
+//!
+//! * [`frame`] — a versioned, length-prefixed little-endian binary
+//!   protocol (`Infer`, `InferBatch`, `ListModels`, `Stats`, `Ping`, plus
+//!   typed error replies). Decoding is strict: truncated frames,
+//!   oversized length prefixes, unknown opcodes and version mismatches
+//!   all return typed errors, never panics.
+//! * [`ModelRegistry`] — named, hot-swappable models (multi-tenancy):
+//!   each registered model is a tenant of one shared
+//!   [`circnn_serve::MultiServer`] worker pool with its own bounded
+//!   queue, batching policy and statistics. Models arrive as raw
+//!   [`circnn_core::BlockCirculantMatrix`] operators (including
+//!   [`circnn_core::serialize`]d files), as whole networks
+//!   ([`ModelRegistry::add_network`], convnets included), or as any
+//!   custom [`circnn_serve::ServeModel`].
+//! * [`WireServer`] / [`WireClient`] — the accept loop (one reader and
+//!   one writer thread per connection, shared worker pool) and a
+//!   blocking client with pipelining primitives. Replies are written in
+//!   **arrival order per connection**, so pipelined clients need no
+//!   request ids.
+//!
+//! Requests may carry a **deadline budget**; the scheduler serves the
+//! queue whose oldest deadline is tightest and fails past-deadline
+//! requests fast with a typed `DeadlineExceeded` error (see
+//! `circnn_serve::MultiServer` for the policy).
+//!
+//! ## Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use circnn_core::BlockCirculantMatrix;
+//! use circnn_serve::TenantConfig;
+//! use circnn_tensor::init::seeded_rng;
+//! use circnn_wire::{ModelRegistry, WireClient, WireConfig, WireServer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let registry = Arc::new(ModelRegistry::new(2)?);
+//! registry.add_model(
+//!     "fc6",
+//!     BlockCirculantMatrix::random(&mut seeded_rng(0), 64, 128, 16)?,
+//!     TenantConfig::default(),
+//! )?;
+//!
+//! let server = WireServer::bind("127.0.0.1:0", Arc::clone(&registry), WireConfig::default())?;
+//! let mut client = WireClient::connect(server.local_addr())?;
+//! client.ping()?;
+//! assert_eq!(client.list_models()?[0].name, "fc6");
+//! let y = client.infer("fc6", &vec![0.5; 128])?;
+//! assert_eq!(y.len(), 64);
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod error;
+pub mod frame;
+mod registry;
+mod server;
+
+pub use client::WireClient;
+pub use error::{ErrorCode, WireError};
+pub use frame::{ModelInfo, Reply, Request};
+pub use registry::{ModelRegistry, RegistryError, MAX_NAME_LEN};
+pub use server::{WireConfig, WireServer};

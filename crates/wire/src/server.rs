@@ -1,0 +1,436 @@
+//! The TCP serving front-end: accept loop, per-connection reader/writer
+//! pair, shared scheduling pool.
+//!
+//! Thread model (the FPGA-hosted serving stacks this mirrors put a frame
+//! parser per link in front of one shared compute pipeline):
+//!
+//! * **accept thread** — one per server; hands each connection to
+//! * **reader thread** — one per connection: parses frames, answers
+//!   control frames immediately, submits inference frames to the right
+//!   tenant queue, and parks the completion in an **ordered** reply queue
+//!   (so replies go out in arrival order per connection, letting clients
+//!   pipeline without request ids);
+//! * **writer thread** — one per connection: redeems completions in
+//!   order and writes reply frames;
+//! * **worker pool** — the [`circnn_serve::MultiServer`] under the
+//!   registry, shared by every connection and tenant.
+//!
+//! Backpressure composes: a tenant queue at capacity blocks the reader
+//! (stalling that connection's socket), and the bounded reply queue bounds
+//! how far a client can pipeline ahead of the writer.
+
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use circnn_serve::{ResponseHandle, ServeError};
+
+use crate::error::{ErrorCode, WireError};
+use crate::frame::{self, Reply, Request};
+use crate::registry::ModelRegistry;
+
+/// Wire front-end knobs.
+#[derive(Debug, Clone)]
+pub struct WireConfig {
+    /// Bound of the per-connection ordered reply queue — how many replies
+    /// a client may have in flight (pipelined) before its reader stalls.
+    pub max_pipeline: usize,
+}
+
+impl Default for WireConfig {
+    /// 256 in-flight replies per connection.
+    fn default() -> Self {
+        Self { max_pipeline: 256 }
+    }
+}
+
+/// One entry of the per-connection ordered reply queue.
+enum PendingReply {
+    /// Answered inline by the reader (control frames, typed errors).
+    Ready(Reply),
+    /// One in-flight inference request.
+    Single(ResponseHandle),
+    /// A client-side batch: `batch` in-flight rows, concatenated on
+    /// completion.
+    Batch {
+        handles: Vec<ResponseHandle>,
+        batch: u32,
+    },
+}
+
+/// Bounded FIFO between a connection's reader and writer.
+struct ReplyQueue {
+    state: Mutex<(std::collections::VecDeque<PendingReply>, bool)>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl ReplyQueue {
+    fn new(cap: usize) -> Self {
+        Self {
+            state: Mutex::new((std::collections::VecDeque::new(), false)),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Parks one reply, blocking while the pipeline bound is reached.
+    /// Returns `false` once the queue is closed (the writer is gone) —
+    /// the entry is dropped and the caller should stop producing.
+    fn push(&self, entry: PendingReply) -> bool {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if st.1 {
+                return false;
+            }
+            if st.0.len() < self.cap {
+                break;
+            }
+            st = self.not_full.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        st.0.push_back(entry);
+        drop(st);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Pops the next reply in arrival order; `None` once closed and
+    /// drained.
+    fn pop(&self) -> Option<PendingReply> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(entry) = st.0.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(entry);
+            }
+            if st.1 {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Marks the queue closed (reader done); the writer drains what is
+    /// left and exits.
+    fn close(&self) {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).1 = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Maps a scheduler error onto its wire error code.
+fn error_reply(e: &ServeError) -> Reply {
+    let code = match e {
+        ServeError::BadInput { .. } => ErrorCode::BadInput,
+        ServeError::QueueFull => ErrorCode::QueueFull,
+        ServeError::ShuttingDown => ErrorCode::ShuttingDown,
+        ServeError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
+        ServeError::Canceled => ErrorCode::Canceled,
+        ServeError::UnknownTenant => ErrorCode::UnknownModel,
+        ServeError::BadConfig(_) => ErrorCode::Internal,
+    };
+    Reply::Error {
+        code,
+        message: e.to_string(),
+    }
+}
+
+fn unknown_model(name: &str) -> Reply {
+    Reply::Error {
+        code: ErrorCode::UnknownModel,
+        message: format!("no model named {name:?} is registered"),
+    }
+}
+
+fn budget_of(deadline_micros: u64) -> Option<Duration> {
+    (deadline_micros > 0).then(|| Duration::from_micros(deadline_micros))
+}
+
+/// Tracked connections: a stream clone (so shutdown can close the
+/// socket) plus the connection thread to join.
+type ConnTable = Vec<(TcpStream, JoinHandle<()>)>;
+
+/// A running TCP serving front-end over a shared [`ModelRegistry`].
+///
+/// Bind with [`WireServer::bind`]; connect with
+/// [`WireClient`](crate::WireClient) or any implementation of the frame
+/// format. [`WireServer::shutdown`] closes the listener and every
+/// connection; the registry (and its worker pool) stays up — it belongs
+/// to the caller and can be re-bound or driven in-process.
+pub struct WireServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<ConnTable>>,
+}
+
+impl core::fmt::Debug for WireServer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("WireServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl WireServer {
+    /// Binds a listener and starts accepting connections. Bind to port 0
+    /// for an ephemeral port (see [`WireServer::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from bind.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Arc<ModelRegistry>,
+        cfg: WireConfig,
+    ) -> Result<Self, WireError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<ConnTable>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let (stop, conns) = (Arc::clone(&stop), Arc::clone(&conns));
+            std::thread::Builder::new()
+                .name("circnn-wire-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let registry = Arc::clone(&registry);
+                        let pipeline = cfg.max_pipeline;
+                        let Ok(track) = stream.try_clone() else {
+                            continue;
+                        };
+                        let handle = std::thread::Builder::new()
+                            .name("circnn-wire-conn".into())
+                            .spawn(move || serve_connection(stream, &registry, pipeline))
+                            .expect("spawning a connection thread");
+                        conns
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push((track, handle));
+                    }
+                })
+                .expect("spawning the accept thread")
+        };
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            conns,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, closes every connection and joins the threads.
+    /// The registry stays alive (it belongs to the caller).
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
+        for (stream, _) in &conns {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for (_, handle) in conns {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WireServer {
+    /// Dropping without [`WireServer::shutdown`] still closes everything.
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Reader half of one connection (runs on the connection thread): parse →
+/// dispatch → park the completion in arrival order. Spawns and joins its
+/// writer half.
+fn serve_connection(mut stream: TcpStream, registry: &ModelRegistry, pipeline: usize) {
+    let queue = Arc::new(ReplyQueue::new(pipeline));
+    let writer = {
+        let Ok(wstream) = stream.try_clone() else {
+            return;
+        };
+        let queue = Arc::clone(&queue);
+        std::thread::Builder::new()
+            .name("circnn-wire-write".into())
+            .spawn(move || writer_loop(wstream, &queue))
+            .expect("spawning a connection writer")
+    };
+    let mut buf = Vec::new();
+    loop {
+        match frame::read_frame(&mut stream, &mut buf) {
+            Ok(()) => match frame::decode_request(&buf) {
+                // A false return means the writer died (dead socket) —
+                // stop reading; there is nobody left to answer.
+                Ok(req) => {
+                    if !dispatch(req, registry, &queue) {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    // Strict rejection: answer with the typed error, then
+                    // hang up — a peer that framed one request wrong has
+                    // desynchronized the stream.
+                    queue.push(PendingReply::Ready(Reply::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    }));
+                    break;
+                }
+            },
+            Err(WireError::Io(_)) => break, // peer hung up (or EOF mid-frame)
+            Err(e) => {
+                queue.push(PendingReply::Ready(Reply::Error {
+                    code: ErrorCode::Malformed,
+                    message: e.to_string(),
+                }));
+                break;
+            }
+        }
+    }
+    queue.close();
+    let _ = writer.join();
+    // Close the TCP connection explicitly: the server's connection table
+    // still holds a tracking clone of this socket (for shutdown), and
+    // `shutdown` acts on the connection rather than the fd, so the peer
+    // sees EOF now instead of when the whole server stops.
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Handles one decoded request on the reader thread. Returns `false` when
+/// the reply queue is closed (writer gone) and reading should stop.
+fn dispatch(req: Request, registry: &ModelRegistry, queue: &ReplyQueue) -> bool {
+    match req {
+        Request::Ping => queue.push(PendingReply::Ready(Reply::Pong)),
+        Request::ListModels => queue.push(PendingReply::Ready(Reply::ModelList(registry.list()))),
+        Request::Stats { model } => {
+            let reply = match registry.stats(&model) {
+                Some(stats) => Reply::Stats { model, stats },
+                None => unknown_model(&model),
+            };
+            queue.push(PendingReply::Ready(reply))
+        }
+        Request::Infer {
+            model,
+            deadline_micros,
+            input,
+        } => {
+            let Some(tenant) = registry.get(&model) else {
+                return queue.push(PendingReply::Ready(unknown_model(&model)));
+            };
+            // Blocking submit: tenant backpressure stalls this connection.
+            match tenant.submit_with_deadline(input, budget_of(deadline_micros)) {
+                Ok(handle) => queue.push(PendingReply::Single(handle)),
+                Err(e) => queue.push(PendingReply::Ready(error_reply(&e))),
+            }
+        }
+        Request::InferBatch {
+            model,
+            deadline_micros,
+            batch,
+            input,
+        } => {
+            let Some(tenant) = registry.get(&model) else {
+                return queue.push(PendingReply::Ready(unknown_model(&model)));
+            };
+            let n = tenant.input_len();
+            let rows = batch as usize;
+            if rows == 0 || input.len() != rows * n {
+                return queue.push(PendingReply::Ready(Reply::Error {
+                    code: ErrorCode::BadInput,
+                    message: format!(
+                        "batch of {rows} rows needs {} values, got {}",
+                        rows * n,
+                        input.len()
+                    ),
+                }));
+            }
+            // Rows enter the tenant queue individually: the scheduler is
+            // free to coalesce them with other connections' traffic, and
+            // every row's answer stays bit-identical either way.
+            let budget = budget_of(deadline_micros);
+            let mut handles = Vec::with_capacity(rows);
+            let mut failed = None;
+            for row in input.chunks_exact(n) {
+                match tenant.submit_with_deadline(row.to_vec(), budget) {
+                    Ok(h) => handles.push(h),
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            match failed {
+                // Already-submitted rows still run; their handles drop
+                // harmlessly.
+                Some(e) => queue.push(PendingReply::Ready(error_reply(&e))),
+                None => queue.push(PendingReply::Batch { handles, batch }),
+            }
+        }
+    }
+}
+
+/// Writer half of one connection: redeem completions in arrival order,
+/// encode, write. Exits on socket failure or when the reader closes the
+/// queue and it is drained.
+fn writer_loop(mut stream: TcpStream, queue: &ReplyQueue) {
+    let mut buf = Vec::new();
+    while let Some(entry) = queue.pop() {
+        let reply = match entry {
+            PendingReply::Ready(reply) => reply,
+            PendingReply::Single(handle) => match handle.wait() {
+                Ok(output) => Reply::Infer { output },
+                Err(e) => error_reply(&e),
+            },
+            PendingReply::Batch { handles, batch } => {
+                let mut output = Vec::new();
+                let mut failed = None;
+                for h in handles {
+                    match h.wait() {
+                        Ok(row) => output.extend_from_slice(&row),
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                match failed {
+                    Some(e) => error_reply(&e),
+                    None => Reply::InferBatch { batch, output },
+                }
+            }
+        };
+        frame::encode_reply(&reply, &mut buf);
+        if frame::write_frame(&mut stream, &buf).is_err() {
+            break; // connection is gone; drop remaining completions
+        }
+    }
+    // Close the queue on the way out (idempotent when the reader already
+    // closed it): a reader blocked in `push` against the pipeline bound
+    // must be released when the socket dies, or it parks forever and
+    // leaks the connection thread.
+    queue.close();
+}

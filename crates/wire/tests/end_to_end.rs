@@ -1,0 +1,247 @@
+//! End-to-end wire serving: two tenants (an MLP and a convnet), eight
+//! concurrent client connections, every reply bit-identical to direct
+//! `Sequential::infer`; plus deadline errors and strict malformed-frame
+//! handling over a real socket.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use circnn_core::{CirculantConv2d, CirculantLinear};
+use circnn_nn::{Flatten, InferScratch, Layer, Linear, MaxPool2d, Relu, Sequential};
+use circnn_serve::{ServeModel, TenantConfig};
+use circnn_tensor::init::seeded_rng;
+use circnn_tensor::Tensor;
+use circnn_wire::{ErrorCode, ModelRegistry, WireClient, WireConfig, WireError, WireServer};
+
+/// MLP tenant: 32 → 48 → 10 with a circulant hidden layer.
+fn mlp(seed: u64) -> Sequential {
+    let mut rng = seeded_rng(seed);
+    Sequential::new()
+        .add(CirculantLinear::new(&mut rng, 32, 48, 16).unwrap())
+        .add(Relu::new())
+        .add(Linear::new(&mut rng, 48, 10))
+}
+
+/// Convnet tenant over `[2, 8, 8]` images: circulant conv → pool → fc.
+fn convnet(seed: u64) -> Sequential {
+    let mut rng = seeded_rng(seed);
+    Sequential::new()
+        .add(CirculantConv2d::new(&mut rng, 2, 4, 3, 1, 1, 2).unwrap())
+        .add(Relu::new())
+        .add(MaxPool2d::new(2, 2))
+        .add(Flatten::new())
+        .add(Linear::new(&mut rng, 4 * 4 * 4, 6))
+}
+
+fn request(len: usize, seed: u64) -> Vec<f32> {
+    circnn_tensor::init::uniform(&mut seeded_rng(seed), &[len], -1.0, 1.0)
+        .data()
+        .to_vec()
+}
+
+/// The acceptance-criteria scenario: ≥ 2 models, ≥ 8 concurrent
+/// connections across both tenants, bitwise identity against the direct
+/// read-only inference path.
+#[test]
+fn eight_connections_two_tenants_bitwise_identical() {
+    let registry = Arc::new(ModelRegistry::new(2).unwrap());
+    registry
+        .add_network("mlp", mlp(77), &[32], TenantConfig::default())
+        .unwrap();
+    registry
+        .add_network("convnet", convnet(88), &[2, 8, 8], TenantConfig::default())
+        .unwrap();
+    let server =
+        WireServer::bind("127.0.0.1:0", Arc::clone(&registry), WireConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // An independent reference copy running the same read-only path
+    // directly, one request at a time (per-client copies live in the
+    // client threads below).
+    let mut ref_mlp = mlp(77);
+    ref_mlp.set_training(false);
+
+    const CLIENTS: usize = 8;
+    const REQUESTS: usize = 12;
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let (mut ref_net, model, input_len, input_dims) = if client % 2 == 0 {
+                (mlp(77), "mlp", 32usize, vec![1usize, 32])
+            } else {
+                (convnet(88), "convnet", 2 * 8 * 8, vec![1, 2, 8, 8])
+            };
+            ref_net.set_training(false);
+            s.spawn(move || {
+                let mut wire = WireClient::connect(addr).expect("connect");
+                let mut scratch = InferScratch::new();
+                for r in 0..REQUESTS {
+                    let x = request(input_len, (client * 1000 + r) as u64);
+                    let served = wire.infer(model, &x).expect("served");
+                    let direct = ref_net
+                        .infer(&Tensor::from_vec(x, &input_dims), &mut scratch)
+                        .data()
+                        .to_vec();
+                    assert_eq!(
+                        served, direct,
+                        "client {client} request {r} diverged from direct infer"
+                    );
+                }
+            });
+        }
+    });
+
+    // Control frames agree with the registry.
+    let mut wire = WireClient::connect(addr).unwrap();
+    wire.ping().unwrap();
+    let models = wire.list_models().unwrap();
+    assert_eq!(
+        models.iter().map(|m| m.name.as_str()).collect::<Vec<_>>(),
+        vec!["convnet", "mlp"],
+        "sorted model list"
+    );
+    let conv_info = &models[0];
+    assert_eq!(conv_info.input_len, 128);
+    assert_eq!(conv_info.output_len, 6);
+    let stats = wire.stats("mlp").unwrap();
+    assert_eq!(
+        stats.requests,
+        (CLIENTS as u64 / 2) * REQUESTS as u64,
+        "per-tenant stats count only this tenant's traffic: {stats}"
+    );
+    // A client-side batch equals row-by-row serving.
+    let flat: Vec<f32> = (0..3).flat_map(|i| request(32, 5000 + i)).collect();
+    let batched = wire.infer_batch("mlp", 3, &flat, None).unwrap();
+    let mut scratch = InferScratch::new();
+    for (i, rows) in flat.chunks(32).enumerate() {
+        let direct = ref_mlp
+            .infer(&Tensor::from_vec(rows.to_vec(), &[1, 32]), &mut scratch)
+            .data()
+            .to_vec();
+        assert_eq!(&batched[i * 10..(i + 1) * 10], &direct[..], "batch row {i}");
+    }
+
+    server.shutdown();
+}
+
+/// Unknown models and mis-sized inputs come back as typed remote errors.
+#[test]
+fn typed_errors_cross_the_wire() {
+    let registry = Arc::new(ModelRegistry::new(1).unwrap());
+    registry
+        .add_network("mlp", mlp(9), &[32], TenantConfig::default())
+        .unwrap();
+    let server =
+        WireServer::bind("127.0.0.1:0", Arc::clone(&registry), WireConfig::default()).unwrap();
+    let mut wire = WireClient::connect(server.local_addr()).unwrap();
+    match wire.infer("nope", &[0.0; 32]) {
+        Err(WireError::Remote { code, .. }) => assert_eq!(code, ErrorCode::UnknownModel),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+    match wire.infer("mlp", &[0.0; 31]) {
+        Err(WireError::Remote { code, .. }) => assert_eq!(code, ErrorCode::BadInput),
+        other => panic!("expected BadInput, got {other:?}"),
+    }
+    match wire.stats("nope") {
+        Err(WireError::Remote { code, .. }) => assert_eq!(code, ErrorCode::UnknownModel),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+    // Over-long model names are refused client-side, before any bytes
+    // hit the wire (they could never match a registered model anyway).
+    match wire.stats(&"x".repeat(circnn_wire::MAX_NAME_LEN + 1)) {
+        Err(WireError::Malformed(_)) => {}
+        other => panic!("expected client-side Malformed, got {other:?}"),
+    }
+    // The connection survives typed errors.
+    assert_eq!(wire.infer("mlp", &request(32, 1)).unwrap().len(), 10);
+    server.shutdown();
+}
+
+/// A model that stalls the single pool worker, making deadlines bite.
+struct SlowEcho;
+
+impl ServeModel for SlowEcho {
+    type Scratch = ();
+    fn make_scratch(&self) {}
+    fn input_len(&self) -> usize {
+        4
+    }
+    fn output_len(&self) -> usize {
+        4
+    }
+    fn infer_batch(&self, x: &[f32], _batch: usize, _scratch: &mut (), out: &mut [f32]) {
+        std::thread::sleep(Duration::from_millis(80));
+        out.copy_from_slice(x);
+    }
+}
+
+/// A deadline that cannot be met surfaces as the typed DeadlineExceeded
+/// error over the wire; a generous deadline succeeds.
+#[test]
+fn deadline_errors_cross_the_wire() {
+    let registry = Arc::new(ModelRegistry::new(1).unwrap());
+    registry
+        .add_model(
+            "slow",
+            SlowEcho,
+            TenantConfig {
+                max_batch: 1,
+                max_wait: Duration::ZERO,
+                queue_capacity: 16,
+            },
+        )
+        .unwrap();
+    let server =
+        WireServer::bind("127.0.0.1:0", Arc::clone(&registry), WireConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    // Pipeline two requests on one connection: the first occupies the
+    // worker for 80 ms; the second's 5 ms budget expires while queued.
+    let mut wire = WireClient::connect(addr).unwrap();
+    wire.send_infer("slow", &[1.0; 4], None).unwrap();
+    wire.send_infer("slow", &[2.0; 4], Some(Duration::from_millis(5)))
+        .unwrap();
+    assert_eq!(wire.recv_infer().unwrap(), vec![1.0; 4]);
+    match wire.recv_infer() {
+        Err(WireError::Remote { code, .. }) => assert_eq!(code, ErrorCode::DeadlineExceeded),
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    // A generous budget still completes.
+    assert_eq!(
+        wire.infer_deadline("slow", &[3.0; 4], Some(Duration::from_secs(10)))
+            .unwrap(),
+        vec![3.0; 4]
+    );
+    let stats = wire.stats("slow").unwrap();
+    assert_eq!(stats.expired, 1, "{stats}");
+    server.shutdown();
+}
+
+/// Garbage on the socket gets one typed Malformed error frame back, then
+/// the server hangs up — and stays healthy for well-formed peers.
+#[test]
+fn malformed_frames_get_a_typed_error_then_disconnect() {
+    let registry = Arc::new(ModelRegistry::new(1).unwrap());
+    registry
+        .add_network("mlp", mlp(4), &[32], TenantConfig::default())
+        .unwrap();
+    let server =
+        WireServer::bind("127.0.0.1:0", Arc::clone(&registry), WireConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    let mut reply = Vec::new();
+    raw.read_to_end(&mut reply).unwrap(); // server replies, then closes
+    let decoded = circnn_wire::frame::decode_reply(&reply).unwrap();
+    match decoded {
+        circnn_wire::Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected a Malformed error frame, got {other:?}"),
+    }
+
+    // A well-formed connection still works afterwards.
+    let mut wire = WireClient::connect(addr).unwrap();
+    assert_eq!(wire.infer("mlp", &request(32, 2)).unwrap().len(), 10);
+    server.shutdown();
+}

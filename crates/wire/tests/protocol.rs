@@ -1,0 +1,307 @@
+//! Protocol robustness: random frames round-trip exactly; malformed
+//! input of every stripe is rejected with typed errors and zero panics.
+
+use circnn_serve::ServeStats;
+use circnn_wire::frame::{
+    self, decode_reply, decode_request, encode_reply, encode_request, HEADER_LEN, MAGIC,
+    MAX_PAYLOAD, VERSION,
+};
+use circnn_wire::{ErrorCode, ModelInfo, Reply, Request, WireError};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..36, 0..16).prop_map(|v| {
+        v.iter()
+            .map(|&b| {
+                if b < 26 {
+                    (b'a' + b) as char
+                } else {
+                    (b'0' + b - 26) as char
+                }
+            })
+            .collect()
+    })
+}
+
+fn values_strategy() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1e6f32..1e6, 0..96)
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (
+        0usize..5,
+        name_strategy(),
+        any::<u64>(),
+        values_strategy(),
+        1u32..9,
+    )
+        .prop_map(|(tag, model, deadline, input, batch)| match tag {
+            0 => Request::Ping,
+            1 => Request::ListModels,
+            2 => Request::Stats { model },
+            3 => Request::Infer {
+                model,
+                deadline_micros: deadline,
+                input,
+            },
+            _ => Request::InferBatch {
+                model,
+                deadline_micros: deadline,
+                batch,
+                input,
+            },
+        })
+}
+
+fn stats_strategy() -> impl Strategy<Value = ServeStats> {
+    (
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), 0usize..1_000_000),
+        (0.0f64..1e9, 0.0f64..1e9, 0.0f64..1e9, 0.0f64..1e9),
+    )
+        .prop_map(
+            |(
+                (requests, batches, full_flushes, timeout_flushes),
+                (drain_flushes, expired, max_occupancy),
+                (mean_occupancy, mean_infer_us, mean_latency_us, max_latency_us),
+            )| ServeStats {
+                requests,
+                batches,
+                full_flushes,
+                timeout_flushes,
+                drain_flushes,
+                expired,
+                max_occupancy,
+                mean_occupancy,
+                mean_infer_us,
+                mean_latency_us,
+                max_latency_us,
+            },
+        )
+}
+
+fn reply_strategy() -> impl Strategy<Value = Reply> {
+    (
+        0usize..6,
+        name_strategy(),
+        values_strategy(),
+        stats_strategy(),
+        (1u32..9, 0u16..12),
+    )
+        .prop_map(|(tag, model, output, stats, (batch, code))| match tag {
+            0 => Reply::Pong,
+            1 => Reply::ModelList(
+                (0..(batch % 4))
+                    .map(|i| ModelInfo {
+                        name: format!("{model}{i}"),
+                        input_len: 64 + i,
+                        output_len: 32 + i,
+                        pending: i,
+                    })
+                    .collect(),
+            ),
+            2 => Reply::Stats { model, stats },
+            3 => Reply::Infer { output },
+            4 => Reply::InferBatch { batch, output },
+            _ => Reply::Error {
+                code: ErrorCode::from_wire(code),
+                message: model,
+            },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every request survives encode → decode exactly.
+    #[test]
+    fn requests_round_trip(req in request_strategy()) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let back = decode_request(&buf).expect("own encoding must decode");
+        prop_assert_eq!(back, req);
+    }
+
+    /// Every reply survives encode → decode exactly.
+    #[test]
+    fn replies_round_trip(reply in reply_strategy()) {
+        let mut buf = Vec::new();
+        encode_reply(&reply, &mut buf);
+        let back = decode_reply(&buf).expect("own encoding must decode");
+        prop_assert_eq!(back, reply);
+    }
+
+    /// Truncating a valid frame at ANY byte boundary yields a typed
+    /// error — header-level or payload-level — and never a panic.
+    #[test]
+    fn truncated_frames_are_rejected(req in request_strategy(), frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let cut = ((buf.len() as f64 * frac) as usize).min(buf.len().saturating_sub(1));
+        prop_assert!(
+            decode_request(&buf[..cut]).is_err(),
+            "decoding a {cut}-byte prefix of a {}-byte frame must fail",
+            buf.len()
+        );
+    }
+
+    /// Flipping a payload length prefix to disagree with the bytes
+    /// actually present is rejected (both directions).
+    #[test]
+    fn wrong_length_prefix_is_rejected(req in request_strategy(), delta in 1u32..64) {
+        let mut buf = Vec::new();
+        encode_request(&req, &mut buf);
+        let len = u32::from_le_bytes(buf[4..8].try_into().unwrap());
+        buf[4..8].copy_from_slice(&(len + delta).to_le_bytes());
+        prop_assert!(decode_request(&buf).is_err());
+        if len >= delta {
+            buf[4..8].copy_from_slice(&(len - delta).to_le_bytes());
+            prop_assert!(decode_request(&buf).is_err());
+        }
+    }
+
+    /// Random garbage never panics the decoder; it may only error (or, in
+    /// the astronomically unlikely case of a valid frame, decode).
+    #[test]
+    fn random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_request(&bytes);
+        let _ = decode_reply(&bytes);
+    }
+}
+
+fn valid_frame(req: &Request) -> Vec<u8> {
+    let mut buf = Vec::new();
+    encode_request(req, &mut buf);
+    buf
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_allocation() {
+    let mut buf = valid_frame(&Request::Ping);
+    buf[4..8].copy_from_slice(&((MAX_PAYLOAD + 1) as u32).to_le_bytes());
+    match decode_request(&buf) {
+        Err(WireError::Oversized { len, max }) => {
+            assert_eq!(len, MAX_PAYLOAD + 1);
+            assert_eq!(max, MAX_PAYLOAD);
+        }
+        other => panic!("expected Oversized, got {other:?}"),
+    }
+    // The streaming reader hits the same check from just the header —
+    // before any payload allocation could happen.
+    let mut reader = &buf[..];
+    let mut scratch = Vec::new();
+    assert!(matches!(
+        frame::read_frame(&mut reader, &mut scratch),
+        Err(WireError::Oversized { .. })
+    ));
+}
+
+#[test]
+fn unknown_opcodes_are_rejected() {
+    for op in [0x00u8, 0x06, 0x42, 0x80, 0x90, 0xFE] {
+        let mut buf = valid_frame(&Request::Ping);
+        buf[2] = op;
+        assert!(
+            matches!(decode_request(&buf), Err(WireError::UnknownOpcode(o)) if o == op),
+            "opcode {op:#04x} must be rejected"
+        );
+    }
+    // Reply opcodes are not request opcodes and vice versa.
+    let mut reply_frame = Vec::new();
+    encode_reply(&Reply::Pong, &mut reply_frame);
+    assert!(matches!(
+        decode_request(&reply_frame),
+        Err(WireError::UnknownOpcode(_))
+    ));
+}
+
+#[test]
+fn version_and_magic_mismatches_are_rejected() {
+    let mut buf = valid_frame(&Request::Ping);
+    buf[1] = VERSION + 1;
+    assert!(matches!(
+        decode_request(&buf),
+        Err(WireError::BadVersion { got, want }) if got == VERSION + 1 && want == VERSION
+    ));
+    let mut buf = valid_frame(&Request::Ping);
+    buf[0] = MAGIC.wrapping_add(1);
+    assert!(matches!(decode_request(&buf), Err(WireError::BadMagic(_))));
+    let mut buf = valid_frame(&Request::Ping);
+    buf[3] = 7; // reserved byte
+    assert!(matches!(decode_request(&buf), Err(WireError::Malformed(_))));
+}
+
+#[test]
+fn trailing_bytes_inside_the_payload_are_rejected() {
+    // A Stats frame whose payload holds the name plus one stray byte,
+    // with a length prefix that covers it: structurally wrong.
+    let mut buf = valid_frame(&Request::Stats {
+        model: "m".to_string(),
+    });
+    buf.push(0xAB);
+    let len = (buf.len() - HEADER_LEN) as u32;
+    buf[4..8].copy_from_slice(&len.to_le_bytes());
+    assert!(matches!(decode_request(&buf), Err(WireError::Malformed(_))));
+}
+
+#[test]
+fn inconsistent_f32_count_is_rejected() {
+    // An Infer frame whose declared f32 count exceeds the payload.
+    let mut buf = valid_frame(&Request::Infer {
+        model: "m".to_string(),
+        deadline_micros: 0,
+        input: vec![1.0, 2.0],
+    });
+    // The count field sits right after the name (2+1 bytes) and the
+    // deadline (8 bytes) in the payload.
+    let count_at = HEADER_LEN + 3 + 8;
+    buf[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(decode_request(&buf), Err(WireError::Malformed(_))));
+}
+
+#[test]
+fn truncated_stream_reads_surface_as_io_errors() {
+    let buf = valid_frame(&Request::Infer {
+        model: "m".to_string(),
+        deadline_micros: 5,
+        input: vec![1.0; 16],
+    });
+    // Cut the stream mid-payload: read_frame must report Io (EOF), not
+    // hang or panic.
+    let mut short = &buf[..buf.len() - 7];
+    let mut scratch = Vec::new();
+    assert!(matches!(
+        frame::read_frame(&mut short, &mut scratch),
+        Err(WireError::Io(_))
+    ));
+    // And mid-header.
+    let mut tiny = &buf[..3];
+    assert!(matches!(
+        frame::read_frame(&mut tiny, &mut scratch),
+        Err(WireError::Io(_))
+    ));
+}
+
+#[test]
+fn overlong_strings_encode_to_valid_truncated_frames() {
+    // Strings ride a u16 length prefix; an over-long server message (e.g.
+    // an error echoing hostile client input) must truncate on a char
+    // boundary rather than corrupt the frame.
+    let message = "é".repeat(40_000); // 80 000 bytes of two-byte chars
+    let mut buf = Vec::new();
+    encode_reply(
+        &Reply::Error {
+            code: ErrorCode::Internal,
+            message,
+        },
+        &mut buf,
+    );
+    match decode_reply(&buf).expect("truncated frame must stay valid") {
+        Reply::Error { message, .. } => {
+            assert!(message.len() <= u16::MAX as usize);
+            assert!(!message.is_empty());
+            assert!(message.chars().all(|c| c == 'é'), "clean char boundary");
+        }
+        other => panic!("expected Error, got {other:?}"),
+    }
+}

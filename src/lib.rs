@@ -15,7 +15,10 @@
 //! * [`hw`] — cycle/energy simulator of the CirCNN accelerator (Section 4).
 //! * [`models`] — LeNet-5 / CIFAR / SVHN / AlexNet model zoo.
 //! * [`serve`] — dynamic request-batching inference server (coalesces
-//!   requests into `[B, n]` slabs for the batched engine).
+//!   requests into `[B, n]` slabs for the batched engine), including the
+//!   multi-tenant deadline-aware scheduler.
+//! * [`wire`] — TCP wire protocol, model registry and network serving
+//!   front-end over [`serve`].
 //!
 //! ## Quickstart
 //!
@@ -44,3 +47,4 @@ pub use circnn_nn as nn;
 pub use circnn_quant as quant;
 pub use circnn_serve as serve;
 pub use circnn_tensor as tensor;
+pub use circnn_wire as wire;
