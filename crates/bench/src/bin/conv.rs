@@ -1,0 +1,11 @@
+//! Runs the batched-convolution trajectory and writes `BENCH_conv.json`.
+fn main() {
+    let quick = circnn_bench::quick_mode();
+    println!("CirCNN reproduction — batch-plane CONV pipeline (quick = {quick})\n");
+    let (conv, fft) = circnn_bench::conv::run(quick);
+    circnn_bench::conv::print(&conv, &fft);
+    let json = circnn_bench::conv::to_json(&conv, &fft);
+    let path = "BENCH_conv.json";
+    std::fs::write(path, json).expect("writing trajectory file");
+    println!("\nwrote {path}");
+}

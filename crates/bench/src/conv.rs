@@ -1,0 +1,395 @@
+//! Batched-convolution trajectory: the batch-plane CONV pipeline versus
+//! the retired per-image, per-pixel spectral path, plus the real-input
+//! plane-FFT specialization versus the complex plane FFT.
+//!
+//! The per-image baseline is the seed code path reconstructed from the
+//! public Algorithm-1 pieces (`col_spectra` / `accumulate_forward` /
+//! `finish_forward`): channel spectra once per input pixel via scalar
+//! real FFTs, `r²` operator accumulations per output pixel, one scalar
+//! IFFT per output block — allocating per pixel, image by image. The
+//! batched pipeline runs the whole `[B, C, H, W]` slab through SoA
+//! `[bin][block][batch·pixels]` planes with one batch-plane FFT dispatch
+//! per block row.
+//!
+//! The `conv` binary wraps [`run`] and writes the points to
+//! `BENCH_conv.json` so the trajectory can be tracked across commits.
+
+use std::time::Instant;
+
+use circnn_core::{default_batch_threads, BlockCirculantMatrix, CirculantConv2d, ConvWorkspace};
+use circnn_fft::BatchFftPlan;
+use circnn_nn::Layer;
+use circnn_tensor::init::seeded_rng;
+
+/// One measured conv configuration.
+#[derive(Debug, Clone)]
+pub struct ConvPoint {
+    /// Input channels.
+    pub c: usize,
+    /// Output channels.
+    pub p: usize,
+    /// Square input size (H = W).
+    pub hw: usize,
+    /// Kernel size `r`.
+    pub kernel: usize,
+    /// Circulant block size.
+    pub k: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Worker threads used by the parallel engine.
+    pub threads: usize,
+    /// Nanoseconds per sample for the retired per-image path.
+    pub per_image_ns: f64,
+    /// Nanoseconds per sample for the one-thread batched plane pipeline.
+    pub batched_ns: f64,
+    /// Nanoseconds per sample for the multi-thread plane pipeline.
+    pub parallel_ns: f64,
+}
+
+impl ConvPoint {
+    /// Throughput gain of the serial plane pipeline over per-image.
+    pub fn batched_speedup(&self) -> f64 {
+        self.per_image_ns / self.batched_ns
+    }
+
+    /// Throughput gain of the parallel plane pipeline over per-image.
+    pub fn parallel_speedup(&self) -> f64 {
+        self.per_image_ns / self.parallel_ns
+    }
+}
+
+/// One real-vs-complex plane FFT measurement.
+#[derive(Debug, Clone)]
+pub struct PlaneFftPoint {
+    /// Transform length.
+    pub n: usize,
+    /// Lanes per dispatch.
+    pub lanes: usize,
+    /// Nanoseconds per dispatch, complex path on real data.
+    pub complex_ns: f64,
+    /// Nanoseconds per dispatch, real-input (Hermitian) path.
+    pub real_ns: f64,
+}
+
+impl PlaneFftPoint {
+    /// Forward-transform gain of the real-input specialization.
+    pub fn speedup(&self) -> f64 {
+        self.complex_ns / self.real_ns
+    }
+}
+
+/// Times `f` and returns median nanoseconds per call over `samples` runs.
+fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    f(); // warm-up also sizes workspaces
+    let mut times: Vec<f64> = (0..samples.max(3))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    times[times.len() / 2]
+}
+
+/// The retired seed path: per-image, per-pixel scalar-FFT convolution.
+#[allow(clippy::too_many_arguments)]
+fn per_image_forward(
+    engines: &[BlockCirculantMatrix],
+    bias: &[f32],
+    c: usize,
+    r: usize,
+    img: &[f32],
+    hw: usize,
+    out: &mut [f32],
+) {
+    let (h, w) = (hw, hw);
+    let pad = r / 2;
+    let oh = h + 2 * pad - r + 1;
+    let ow = w + 2 * pad - r + 1;
+    let e0 = &engines[0];
+    let mut pixel_spectra = Vec::with_capacity(h * w);
+    let mut chans = vec![0.0f32; c];
+    for iy in 0..h {
+        for ix in 0..w {
+            for (ci, slot) in chans.iter_mut().enumerate() {
+                *slot = img[(ci * h + iy) * w + ix];
+            }
+            pixel_spectra.push(e0.col_spectra(&chans).expect("sized channel vector"));
+        }
+    }
+    let mut acc = vec![circnn_fft::Complex::zero(); e0.block_rows() * e0.bins()];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            acc.fill(circnn_fft::Complex::zero());
+            for kh in 0..r {
+                let iy = (oy + kh) as isize - pad as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                for kw in 0..r {
+                    let ix = (ox + kw) as isize - pad as isize;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
+                    }
+                    let spec = &pixel_spectra[iy as usize * w + ix as usize];
+                    engines[kh * r + kw].accumulate_forward(spec, &mut acc);
+                }
+            }
+            let y = e0.finish_forward(&acc).expect("sized accumulator");
+            for (pch, &v) in y.iter().enumerate() {
+                out[(pch * oh + oy) * ow + ox] = v + bias[pch];
+            }
+        }
+    }
+}
+
+/// Measures one conv configuration (`r×r` "same" conv, stride 1).
+pub fn measure(
+    c: usize,
+    p: usize,
+    hw: usize,
+    r: usize,
+    k: usize,
+    batch: usize,
+    samples: usize,
+) -> ConvPoint {
+    let mut rng = seeded_rng((c * 31 + p * 7 + hw * 3 + k + batch) as u64);
+    let mut conv = CirculantConv2d::new(&mut rng, c, p, r, 1, r / 2, k).expect("valid conv shape");
+    // Mirror the exact weights into standalone operators for the
+    // per-image baseline, so both paths compute the same function.
+    let mut groups: Vec<Vec<f32>> = Vec::new();
+    conv.visit_params(&mut |param, _| groups.push(param.to_vec()));
+    let per = (p.div_ceil(k)) * (c.div_ceil(k)) * k;
+    let engines: Vec<BlockCirculantMatrix> = (0..r * r)
+        .map(|o| {
+            BlockCirculantMatrix::from_weights(p, c, k, &groups[0][o * per..(o + 1) * per])
+                .expect("valid operator shape")
+        })
+        .collect();
+    conv.set_training(false);
+    let x = circnn_tensor::init::uniform(&mut rng, &[batch, c, hw, hw], -1.0, 1.0);
+    let per_out = p * hw * hw;
+    let mut out = vec![0.0f32; batch * per_out];
+    let threads = default_batch_threads();
+
+    let per_image_ns = median_ns(samples, || {
+        for b in 0..batch {
+            let img = x.data()[b * c * hw * hw..(b + 1) * c * hw * hw].to_vec();
+            per_image_forward(
+                &engines,
+                &groups[1],
+                c,
+                r,
+                &img,
+                hw,
+                &mut out[b * per_out..(b + 1) * per_out],
+            );
+        }
+        std::hint::black_box(&out);
+    }) / batch as f64;
+
+    let mut ws = ConvWorkspace::new();
+    let batched_ns = median_ns(samples, || {
+        conv.infer_batch_into(&x, &mut ws, &mut out, 1)
+            .expect("sized slab");
+        std::hint::black_box(&out);
+    }) / batch as f64;
+
+    let mut ws_p = ConvWorkspace::new();
+    let parallel_ns = median_ns(samples, || {
+        conv.infer_batch_into(&x, &mut ws_p, &mut out, threads)
+            .expect("sized slab");
+        std::hint::black_box(&out);
+    }) / batch as f64;
+
+    // Sanity: the two paths must agree (they share the spectral math).
+    {
+        let mut reference = vec![0.0f32; per_out];
+        let img = x.data()[..c * hw * hw].to_vec();
+        per_image_forward(&engines, &groups[1], c, r, &img, hw, &mut reference);
+        let scale = reference.iter().fold(1.0f32, |a, &v| a.max(v.abs()));
+        for (i, (&a, &e)) in out[..per_out].iter().zip(&reference).enumerate() {
+            assert!(
+                (a - e).abs() < 5e-4 * scale,
+                "plane path diverged from per-image baseline at {i}: {a} vs {e}"
+            );
+        }
+    }
+
+    ConvPoint {
+        c,
+        p,
+        hw,
+        kernel: r,
+        k,
+        batch,
+        threads,
+        per_image_ns,
+        batched_ns,
+        parallel_ns,
+    }
+}
+
+/// Measures one real-vs-complex forward plane FFT point.
+pub fn measure_plane_fft(n: usize, lanes: usize, samples: usize) -> PlaneFftPoint {
+    let plan = BatchFftPlan::<f32>::new(n).expect("power-of-two length");
+    let mut rng = seeded_rng((n * 31 + lanes) as u64);
+    let data: Vec<f32> = circnn_tensor::init::uniform(&mut rng, &[n * lanes], -1.0, 1.0)
+        .data()
+        .to_vec();
+    let mut re = vec![0.0f32; n * lanes];
+    let mut im = vec![0.0f32; n * lanes];
+    let complex_ns = median_ns(samples, || {
+        re.copy_from_slice(&data);
+        im.fill(0.0);
+        plan.forward_planes(&mut re, &mut im, lanes)
+            .expect("sized planes");
+        std::hint::black_box((&re, &im));
+    });
+    let real_ns = median_ns(samples, || {
+        re.copy_from_slice(&data);
+        plan.forward_planes_real(&mut re, &mut im, lanes)
+            .expect("sized planes");
+        std::hint::black_box((&re, &im));
+    });
+    PlaneFftPoint {
+        n,
+        lanes,
+        complex_ns,
+        real_ns,
+    }
+}
+
+/// The trajectory's conv grid. The `(16→32, 8×8, r=3, k=16, B=32)` point
+/// is the acceptance-criteria headline.
+pub fn grid(quick: bool) -> Vec<(usize, usize, usize, usize, usize, usize)> {
+    if quick {
+        vec![(16, 32, 8, 3, 16, 1), (16, 32, 8, 3, 16, 32)]
+    } else {
+        vec![
+            (16, 32, 8, 3, 16, 1),
+            (16, 32, 8, 3, 16, 8),
+            (16, 32, 8, 3, 16, 32),
+            (8, 16, 14, 3, 8, 32),
+            (32, 32, 8, 3, 32, 32),
+        ]
+    }
+}
+
+/// The real-vs-complex plane FFT grid.
+pub fn fft_grid(quick: bool) -> Vec<(usize, usize)> {
+    if quick {
+        vec![(16, 2048)]
+    } else {
+        vec![(16, 2048), (64, 1024), (512, 256)]
+    }
+}
+
+/// Runs the whole trajectory.
+pub fn run(quick: bool) -> (Vec<ConvPoint>, Vec<PlaneFftPoint>) {
+    let samples = if quick { 5 } else { 15 };
+    let conv = grid(quick)
+        .into_iter()
+        .map(|(c, p, hw, r, k, b)| measure(c, p, hw, r, k, b, samples))
+        .collect();
+    let fft = fft_grid(quick)
+        .into_iter()
+        .map(|(n, lanes)| measure_plane_fft(n, lanes, samples * 3))
+        .collect();
+    (conv, fft)
+}
+
+/// Renders the points as the `BENCH_conv.json` trajectory document.
+pub fn to_json(conv: &[ConvPoint], fft: &[PlaneFftPoint]) -> String {
+    let mut out = String::from(
+        "{\n  \"bench\": \"batched_conv\",\n  \"unit\": \"ns_per_sample\",\n  \"points\": [\n",
+    );
+    for (i, p) in conv.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"c\": {}, \"p\": {}, \"hw\": {}, \"kernel\": {}, \"k\": {}, \
+             \"batch\": {}, \"threads\": {}, \"per_image_ns\": {:.1}, \"batched_ns\": {:.1}, \
+             \"parallel_ns\": {:.1}, \"batched_speedup\": {:.2}, \"parallel_speedup\": {:.2}}}{}\n",
+            p.c,
+            p.p,
+            p.hw,
+            p.kernel,
+            p.k,
+            p.batch,
+            p.threads,
+            p.per_image_ns,
+            p.batched_ns,
+            p.parallel_ns,
+            p.batched_speedup(),
+            p.parallel_speedup(),
+            if i + 1 == conv.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"plane_fft\": [\n");
+    for (i, p) in fft.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"n\": {}, \"lanes\": {}, \"complex_ns\": {:.1}, \"real_ns\": {:.1}, \
+             \"real_speedup\": {:.2}}}{}\n",
+            p.n,
+            p.lanes,
+            p.complex_ns,
+            p.real_ns,
+            p.speedup(),
+            if i + 1 == fft.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Prints a human-readable table.
+pub fn print(conv: &[ConvPoint], fft: &[PlaneFftPoint]) {
+    println!(
+        "{:>4} {:>4} {:>4} {:>3} {:>4} {:>4} | {:>12} {:>12} {:>12} | {:>8} {:>8}",
+        "C", "P", "HW", "r", "k", "B", "per-image", "batched", "parallel", "B-spdup", "P-spdup"
+    );
+    for p in conv {
+        println!(
+            "{:>4} {:>4} {:>4} {:>3} {:>4} {:>4} | {:>9.0} ns {:>9.0} ns {:>9.0} ns | {:>7.2}x {:>7.2}x",
+            p.c,
+            p.p,
+            p.hw,
+            p.kernel,
+            p.k,
+            p.batch,
+            p.per_image_ns,
+            p.batched_ns,
+            p.parallel_ns,
+            p.batched_speedup(),
+            p.parallel_speedup()
+        );
+    }
+    println!("\nplane FFT (forward, real vs complex):");
+    for p in fft {
+        println!(
+            "  n={:>4} lanes={:>5} | complex {:>9.0} ns  real {:>9.0} ns | {:>5.2}x",
+            p.n,
+            p.lanes,
+            p.complex_ns,
+            p.real_ns,
+            p.speedup()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_serializes_a_small_point() {
+        let p = measure(4, 8, 5, 3, 4, 2, 3);
+        assert!(p.per_image_ns > 0.0 && p.batched_ns > 0.0 && p.parallel_ns > 0.0);
+        let f = measure_plane_fft(8, 64, 3);
+        assert!(f.complex_ns > 0.0 && f.real_ns > 0.0);
+        let json = to_json(std::slice::from_ref(&p), std::slice::from_ref(&f));
+        assert!(json.contains("\"batch\": 2"));
+        assert!(json.contains("batched_speedup"));
+        assert!(json.contains("plane_fft"));
+    }
+}

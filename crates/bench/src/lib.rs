@@ -15,6 +15,7 @@
 //! | [`train_speedup`] / `train_speedup` | §3.4: 5–9× DBN training gain |
 //! | [`ablations`] / `ablations` | design-choice ablations |
 //! | [`batched`] / `batched` | batched-inference engine trajectory (`BENCH_batched.json`) |
+//! | [`conv`] / `conv` | batch-plane CONV pipeline trajectory (`BENCH_conv.json`) |
 //! | [`serve`] / `serve` | serving-layer throughput trajectory (`BENCH_serve.json`) |
 //! | [`wire`] / `wire` | network-serving throughput trajectory (`BENCH_wire.json`) |
 //!
@@ -26,6 +27,7 @@
 
 pub mod ablations;
 pub mod batched;
+pub mod conv;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;

@@ -1,4 +1,5 @@
-//! The block-circulant CONV layer (paper §3.2, Eqns. 6–7).
+//! The block-circulant CONV layer (paper §3.2, Eqns. 6–7) on the
+//! batch-plane FFT engine.
 //!
 //! CirCNN "generalizes the concept of block-circulant structure to the
 //! rank-4 tensor F in the CONV layer, i.e., all the slices of the form
@@ -9,21 +10,896 @@
 //! output pixel is computed with the same FFT pipeline as the FC layer.
 //!
 //! Implementation: one [`BlockCirculantMatrix`] of logical shape `P×C` per
-//! kernel offset (`r²` of them). For each output pixel the `r²` operators'
-//! frequency-domain accumulators are summed before a **single** IFFT per
-//! output block — the same IFFT sharing the hardware's peripheral
-//! block performs. Channel spectra are computed **once per input pixel**
-//! and reused by every patch/offset that touches that pixel, which is where
-//! the big constant-factor win over naive per-patch FFTs comes from.
+//! kernel offset (`r²` of them), and a [`ConvWorkspace`] that runs the
+//! whole `[B, C, H, W]` batch through SoA `[bin][block][batch·pixels]`
+//! spectra planes:
+//!
+//! 1. **Channel FFT** — one real-input batch-plane FFT per block *column*
+//!    for the entire batch (`B·H·W` lanes per dispatch); each input pixel's
+//!    channel spectra are computed once and reused by every patch/offset
+//!    that touches that pixel.
+//! 2. **Per-offset MAC** — for each of the `r²` kernel offsets, the input
+//!    spectra lanes are gathered into patch planes (zero-filled at the
+//!    borders) and fed to that offset's register-tiled frequency-domain
+//!    MAC, *accumulating* into shared output planes — the Eqn.-7 sum moves
+//!    inside the IFFT by linearity.
+//! 3. **Output IFFT** — one real-input batch-plane inverse per output
+//!    block row for the whole batch (the single shared IFFT per output
+//!    block the hardware's peripheral block performs).
+//!
+//! Only the `k/2 + 1` unique half-spectrum rows are ever stored or swept
+//! (Fig. 10: real inputs make the mirror half redundant). The backward
+//! pass rides the same planes: output-gradient spectra planes, per-offset
+//! gathered patches for the frequency-domain weight-gradient reduction,
+//! and a scatter-add of the transpose MAC for `∂L/∂x`. Serial and
+//! threaded runs are bit-identical (fixed per-element accumulation order),
+//! and the steady state performs zero heap allocations once the workspace
+//! is warm.
 
-use circnn_fft::Complex;
+use circnn_fft::BatchFftPlan;
 use circnn_nn::Layer;
 use circnn_tensor::im2col::ConvGeometry;
 use circnn_tensor::Tensor;
 use rand::Rng;
 
 use crate::error::CircError;
-use crate::matrix::{BlockCirculantMatrix, BlockSpectra};
+use crate::matrix::{default_batch_threads, BlockCirculantMatrix};
+
+/// Copies one spectra row from the **padded** input-pixel lanes into the
+/// compact patch lanes `(b, oy, ox)` of kernel offset `(kh, kw)`. Taps are
+/// always in bounds on the padded grid (border taps read the zero-spectrum
+/// padding lanes), so there is no boundary branching.
+fn gather_row_padded(
+    src: &[f32],
+    dst: &mut [f32],
+    g: &ConvGeometry,
+    batch: usize,
+    kh: usize,
+    kw: usize,
+) {
+    let s = g.stride;
+    let (hp, wp) = (g.height + 2 * g.padding, g.width + 2 * g.padding);
+    let (oh, ow) = (g.out_height(), g.out_width());
+    let (hpwp, ohw) = (hp * wp, oh * ow);
+    for b in 0..batch {
+        for oy in 0..oh {
+            let dbase = b * ohw + oy * ow;
+            let sbase = b * hpwp + (oy * s + kh) * wp + kw;
+            if s == 1 {
+                dst[dbase..dbase + ow].copy_from_slice(&src[sbase..sbase + ow]);
+            } else {
+                let drow = &mut dst[dbase..dbase + ow];
+                let mut si = sbase;
+                for d in drow.iter_mut() {
+                    *d = src[si];
+                    si += s;
+                }
+            }
+        }
+    }
+}
+
+/// Adjoint of [`gather_row_padded`]: accumulates compact output-pixel
+/// lanes back onto the padded input-pixel lanes they were gathered from
+/// (the `∂L/∂x` scatter; adds landing on padding lanes are dropped with
+/// them at the end).
+fn scatter_add_row_padded(
+    src: &[f32],
+    dst: &mut [f32],
+    g: &ConvGeometry,
+    batch: usize,
+    kh: usize,
+    kw: usize,
+) {
+    let s = g.stride;
+    let (hp, wp) = (g.height + 2 * g.padding, g.width + 2 * g.padding);
+    let (oh, ow) = (g.out_height(), g.out_width());
+    let (hpwp, ohw) = (hp * wp, oh * ow);
+    for b in 0..batch {
+        for oy in 0..oh {
+            let srow = &src[b * ohw + oy * ow..][..ow];
+            let mut di = b * hpwp + (oy * s + kh) * wp + kw;
+            for &v in srow {
+                dst[di] += v;
+                di += s;
+            }
+        }
+    }
+}
+
+/// One batch-plane real-input forward FFT per block row of the input,
+/// staged onto the padded pixel grid: block `j0 + jl` covers channels
+/// `(j0+jl)·k ..` (rows past `channels` are zero), every padded
+/// `(sample, pixel)` pair is one lane and padding lanes are zero (their
+/// spectra are zero, which is exactly the zero-fill a boundary tap needs).
+/// Writes the `bins` half-spectrum rows block-major into the chunk.
+#[allow(clippy::too_many_arguments)]
+fn fft_input_blocks_padded(
+    plan: &BatchFftPlan<f32>,
+    src: &[f32],
+    g: &ConvGeometry,
+    batch: usize,
+    k: usize,
+    bins: usize,
+    l_pad: usize,
+    j0: usize,
+    jcount: usize,
+    out_re: &mut [f32],
+    out_im: &mut [f32],
+    pr: &mut [f32],
+    pi: &mut [f32],
+) {
+    let (c_in, h, w, pad) = (g.channels, g.height, g.width, g.padding);
+    let (hw, wp) = (h * w, w + 2 * pad);
+    let hpwp = (h + 2 * pad) * wp;
+    for jl in 0..jcount {
+        let j = j0 + jl;
+        for t in 0..k {
+            let c = j * k + t;
+            let prow = &mut pr[t * l_pad..(t + 1) * l_pad];
+            if c >= c_in {
+                prow.fill(0.0);
+                continue;
+            }
+            if pad > 0 {
+                prow.fill(0.0);
+            }
+            for b in 0..batch {
+                for y in 0..h {
+                    let dst = b * hpwp + (y + pad) * wp + pad;
+                    prow[dst..dst + w].copy_from_slice(&src[(b * c_in + c) * hw + y * w..][..w]);
+                }
+            }
+        }
+        plan.forward_planes_real(&mut pr[..k * l_pad], &mut pi[..k * l_pad], l_pad)
+            .expect("plane buffers are sized before dispatch");
+        let off = jl * bins * l_pad;
+        out_re[off..off + bins * l_pad].copy_from_slice(&pr[..bins * l_pad]);
+        out_im[off..off + bins * l_pad].copy_from_slice(&pi[..bins * l_pad]);
+    }
+}
+
+/// One batch-plane real-input forward FFT per block row of a **compact**
+/// `[B, C', …]` feature map (used for the output-gradient spectra): rows
+/// past `channels` are zero. Writes block-major half-spectrum rows.
+#[allow(clippy::too_many_arguments)]
+fn fft_channel_blocks(
+    plan: &BatchFftPlan<f32>,
+    src: &[f32],
+    channels: usize,
+    hw: usize,
+    batch: usize,
+    k: usize,
+    bins: usize,
+    lanes: usize,
+    j0: usize,
+    jcount: usize,
+    out_re: &mut [f32],
+    out_im: &mut [f32],
+    pr: &mut [f32],
+    pi: &mut [f32],
+) {
+    for jl in 0..jcount {
+        let j = j0 + jl;
+        for t in 0..k {
+            let c = j * k + t;
+            let prow = &mut pr[t * lanes..(t + 1) * lanes];
+            if c >= channels {
+                prow.fill(0.0);
+                continue;
+            }
+            for b in 0..batch {
+                prow[b * hw..(b + 1) * hw].copy_from_slice(&src[(b * channels + c) * hw..][..hw]);
+            }
+        }
+        plan.forward_planes_real(&mut pr[..k * lanes], &mut pi[..k * lanes], lanes)
+            .expect("plane buffers are sized before dispatch");
+        let off = jl * bins * lanes;
+        out_re[off..off + bins * lanes].copy_from_slice(&pr[..bins * lanes]);
+        out_im[off..off + bins * lanes].copy_from_slice(&pi[..bins * lanes]);
+    }
+}
+
+/// The stride-1 fused MAC: one register-tiled sweep accumulating **all**
+/// `r²` kernel offsets' frequency-domain products per output element. On
+/// the padded grid each offset is the same per-sample lane run at a
+/// constant plane shift, so the x-planes are streamed once (not `r²`
+/// times) and the accumulator planes are written exactly once — no
+/// read-modify-write traffic at all. Term order is fixed (offset-major,
+/// then block column), so results are bit-stable across thread counts.
+#[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+fn fused_mac_runs(
+    engines: &[BlockCirculantMatrix],
+    shifts: &[usize],
+    p: usize,
+    q: usize,
+    k: usize,
+    bins: usize,
+    i0: usize,
+    icount: usize,
+    xs_re: &[f32],
+    xs_im: &[f32],
+    l_pad: usize,
+    l_acc: usize,
+    runs: &[(usize, usize, usize)],
+    acc_re: &mut [f32],
+    acc_im: &mut [f32],
+) {
+    const LANES: usize = 16;
+    const TI: usize = 4;
+    for bin in 0..bins {
+        // Spectra of real signals are real at DC and (for k ≥ 2) the
+        // Nyquist bin, so those bins need one real multiply per term.
+        let real_bin = bin == 0 || (k >= 2 && bin == bins - 1);
+        let mut it = 0;
+        while it < icount {
+            let tl = TI.min(icount - it);
+            for &(out0, in_base, len) in runs {
+                let mut t0 = 0;
+                while t0 < len {
+                    let l = LANES.min(len - t0);
+                    let mut tr = [[0.0f32; LANES]; TI];
+                    let mut ti_ = [[0.0f32; LANES]; TI];
+                    for (eng, &shift) in engines.iter().zip(shifts) {
+                        let (wre, wim) = eng.forward_wplanes();
+                        for j in 0..q {
+                            // Block-major input planes: [q][bins][l_pad].
+                            let xo = (j * bins + bin) * l_pad + in_base + shift + t0;
+                            let xr = &xs_re[xo..xo + l];
+                            let xi = &xs_im[xo..xo + l];
+                            for u in 0..tl {
+                                let i = i0 + it + u;
+                                let widx = (bin * p + i) * q + j;
+                                let (wr, wi) = (wre[widx], wim[widx]);
+                                let (ar, ai) = (&mut tr[u], &mut ti_[u]);
+                                if real_bin {
+                                    for t in 0..l {
+                                        ar[t] += wr * xr[t];
+                                    }
+                                } else {
+                                    // conj(w)·x, the Algorithm-1 product.
+                                    for t in 0..l {
+                                        ar[t] += wr * xr[t] + wi * xi[t];
+                                        ai[t] += wr * xi[t] - wi * xr[t];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    for u in 0..tl {
+                        let ao = ((it + u) * bins + bin) * l_acc + out0 + t0;
+                        acc_re[ao..ao + l].copy_from_slice(&tr[u][..l]);
+                        acc_im[ao..ao + l].copy_from_slice(&ti_[u][..l]);
+                    }
+                    t0 += l;
+                }
+            }
+            it += tl;
+        }
+    }
+}
+
+/// One batch-plane real-input inverse FFT per block of block-major
+/// accumulator planes, into `[block][k][lanes]` time-domain staging.
+#[allow(clippy::too_many_arguments)]
+fn ifft_blocks(
+    plan: &BatchFftPlan<f32>,
+    acc_re: &[f32],
+    acc_im: &[f32],
+    k: usize,
+    bins: usize,
+    lanes: usize,
+    i0: usize,
+    icount: usize,
+    stage: &mut [f32],
+    pi: &mut [f32],
+) {
+    for il in 0..icount {
+        let off = (i0 + il) * bins * lanes;
+        let sblock = &mut stage[il * k * lanes..(il + 1) * k * lanes];
+        sblock[..bins * lanes].copy_from_slice(&acc_re[off..off + bins * lanes]);
+        pi[..bins * lanes].copy_from_slice(&acc_im[off..off + bins * lanes]);
+        plan.inverse_planes_real(sblock, &mut pi[..k * lanes], lanes)
+            .expect("plane buffers are sized before dispatch");
+    }
+}
+
+/// Dispatches per-block plane work across up to `threads` scoped workers:
+/// `f(i0, icount, a_chunk, b_chunk, s1_chunk, s2_chunk)`, where `a`/`b`
+/// hold `chunk` elements per block (pass an empty slice for an unused
+/// plane) and `s1`/`s2` provide `scratch` elements of private per-worker
+/// scratch each (their backing buffers hold `threads` times that). Chunk
+/// boundaries depend only on `(threads, blocks)` and per-element work is
+/// chunk-independent, so serial and threaded runs stay bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn par_planes<F>(
+    threads: usize,
+    blocks: usize,
+    chunk: usize,
+    a: &mut [f32],
+    b: &mut [f32],
+    scratch: usize,
+    s1: &mut [f32],
+    s2: &mut [f32],
+    f: F,
+) where
+    F: Fn(usize, usize, &mut [f32], &mut [f32], &mut [f32], &mut [f32]) + Sync,
+{
+    let t = threads.min(blocks).max(1);
+    if t <= 1 {
+        let (s1l, s2l) = (scratch.min(s1.len()), scratch.min(s2.len()));
+        f(0, blocks, a, b, &mut s1[..s1l], &mut s2[..s2l]);
+        return;
+    }
+    let cb = blocks.div_ceil(t);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let (mut a, mut b, mut s1, mut s2) = (a, b, s1, s2);
+        let mut i0 = 0;
+        while i0 < blocks {
+            let icount = cb.min(blocks - i0);
+            let na = if a.is_empty() { 0 } else { icount * chunk };
+            let (ac, ar) = std::mem::take(&mut a).split_at_mut(na);
+            a = ar;
+            let nb = if b.is_empty() { 0 } else { icount * chunk };
+            let (bc, br) = std::mem::take(&mut b).split_at_mut(nb);
+            b = br;
+            let ns1 = scratch.min(s1.len());
+            let (s1c, s1r) = std::mem::take(&mut s1).split_at_mut(ns1);
+            s1 = s1r;
+            let ns2 = scratch.min(s2.len());
+            let (s2c, s2r) = std::mem::take(&mut s2).split_at_mut(ns2);
+            s2 = s2r;
+            scope.spawn(move || f(i0, icount, ac, bc, s1c, s2c));
+            i0 += icount;
+        }
+    });
+}
+
+/// Reusable scratch arena for the batched CONV pipeline.
+///
+/// All buffers are grow-only: after the first pass at a given
+/// `(geometry, batch)` every later pass at the same or smaller size
+/// performs **zero heap allocations**, so a serving worker keeps one
+/// `ConvWorkspace` (via its `InferScratch` slot) and streams batches
+/// through it. After a forward pass the arena retains the input-channel
+/// spectra planes, which is what lets the backward pass run the
+/// weight-gradient reduction without re-running any FFT.
+#[derive(Debug, Clone, Default)]
+pub struct ConvWorkspace {
+    /// Input-channel spectra on the padded pixel grid, block-major
+    /// `[q][bins][B·Hp·Wp]`, split re/im. Retained across forward →
+    /// backward.
+    xs_re: Vec<f32>,
+    xs_im: Vec<f32>,
+    /// Gathered patch spectra for the current kernel offset, bin-major
+    /// `[bin][q][B·OH·OW]` (strided-conv forward and the backward
+    /// weight-gradient reduction; also reused block-major as the
+    /// transpose-MAC output during the backward pass).
+    patch_re: Vec<f32>,
+    patch_im: Vec<f32>,
+    /// Output accumulator planes, block-major `[p][bins][acc lanes]`
+    /// (also the grad-FFT staging during the backward pass). For stride 1
+    /// the acc lanes live on the input row pitch so every kernel offset is
+    /// one contiguous MAC run per sample.
+    acc_re: Vec<f32>,
+    acc_im: Vec<f32>,
+    /// Output-gradient spectra, bin-major `[bin][p][B·OH·OW]`.
+    gs_re: Vec<f32>,
+    gs_im: Vec<f32>,
+    /// Input-gradient accumulator planes on the padded pixel grid,
+    /// block-major `[q][bins][B·Hp·Wp]`.
+    gacc_re: Vec<f32>,
+    gacc_im: Vec<f32>,
+    /// Time-domain staging `[block][k][lanes]` between the inverse FFT and
+    /// the output scatter.
+    stage: Vec<f32>,
+    /// Per-thread plane scratch `[k][lanes]`.
+    pr: Vec<f32>,
+    pi: Vec<f32>,
+    /// Per-sample `(out_offset, in_base, len)` MAC runs (stride-1 path).
+    runs: Vec<(usize, usize, usize)>,
+    /// Per-kernel-offset input-plane shifts `kh·Wp + kw` (stride-1 path).
+    shifts: Vec<usize>,
+}
+
+/// Geometry-derived sizes shared by the pipeline stages.
+struct Dims {
+    p: usize,
+    q: usize,
+    k: usize,
+    bins: usize,
+    /// Padded input-plane lanes `B·Hp·Wp`.
+    l_pad: usize,
+    /// Compact output lanes `B·OH·OW`.
+    l_out: usize,
+    /// Accumulator lanes: for stride 1, `B·((OH−1)·Wp + OW)` (input row
+    /// pitch, contiguous per-sample MAC runs); otherwise `l_out`.
+    l_acc: usize,
+    /// Accumulator row pitch (`Wp` for stride 1, `OW` otherwise).
+    arow: usize,
+    /// Accumulator per-sample block (`(OH−1)·Wp + OW` or `OH·OW`).
+    abatch: usize,
+}
+
+impl ConvWorkspace {
+    /// An empty arena; buffers are sized lazily by the first pass.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn dims(e0: &BlockCirculantMatrix, g: &ConvGeometry, batch: usize) -> Dims {
+        let (hp, wp) = (g.height + 2 * g.padding, g.width + 2 * g.padding);
+        let (oh, ow) = (g.out_height(), g.out_width());
+        let (arow, abatch) = if g.stride == 1 {
+            (wp, (oh - 1) * wp + ow)
+        } else {
+            (ow, oh * ow)
+        };
+        Dims {
+            p: e0.block_rows(),
+            q: e0.block_cols(),
+            k: e0.block_size(),
+            bins: e0.bins(),
+            l_pad: batch * hp * wp,
+            l_out: batch * oh * ow,
+            l_acc: batch * abatch,
+            arow,
+            abatch,
+        }
+    }
+
+    fn prepare_forward(&mut self, d: &Dims, batch: usize, stride: usize, threads: usize) {
+        let grow = |v: &mut Vec<f32>, len: usize| {
+            if v.len() < len {
+                v.resize(len, 0.0);
+            }
+        };
+        grow(&mut self.xs_re, d.q * d.bins * d.l_pad);
+        grow(&mut self.xs_im, d.q * d.bins * d.l_pad);
+        if stride > 1 {
+            grow(&mut self.patch_re, d.q * d.bins * d.l_out);
+            grow(&mut self.patch_im, d.q * d.bins * d.l_out);
+        }
+        grow(&mut self.acc_re, d.p * d.bins * d.l_acc);
+        grow(&mut self.acc_im, d.p * d.bins * d.l_acc);
+        // Forward-only footprint: inference workspaces (one per serving
+        // worker) never pay for the backward pass's larger staging.
+        grow(&mut self.stage, d.p * d.k * d.l_acc);
+        grow(&mut self.pr, threads * d.k * d.l_pad.max(d.l_acc));
+        grow(&mut self.pi, threads * d.k * d.l_pad.max(d.l_acc));
+        if self.runs.len() < batch {
+            self.runs.resize(batch, (0, 0, 0));
+        }
+    }
+
+    fn prepare_shifts(&mut self, r2: usize) {
+        if self.shifts.len() < r2 {
+            self.shifts.resize(r2, 0);
+        }
+    }
+
+    fn prepare_backward(&mut self, d: &Dims, batch: usize, threads: usize) {
+        self.prepare_forward(d, batch, 1, threads);
+        let grow = |v: &mut Vec<f32>, len: usize| {
+            if v.len() < len {
+                v.resize(len, 0.0);
+            }
+        };
+        // The backward weight-gradient reduction gathers patches for every
+        // stride.
+        grow(&mut self.patch_re, d.q * d.bins * d.l_out);
+        grow(&mut self.patch_im, d.q * d.bins * d.l_out);
+        grow(&mut self.stage, d.q * d.k * d.l_pad);
+        let lanes = d.l_pad.max(d.l_acc).max(d.q);
+        grow(&mut self.pr, threads * d.k * lanes);
+        grow(&mut self.pi, threads * d.k * lanes);
+        grow(&mut self.gs_re, d.p * d.bins * d.l_out);
+        grow(&mut self.gs_im, d.p * d.bins * d.l_out);
+        grow(&mut self.gacc_re, d.q * d.bins * d.l_pad);
+        grow(&mut self.gacc_im, d.q * d.bins * d.l_pad);
+    }
+
+    /// The batched forward pass: `[B, C, H, W]` input slab to
+    /// `[B, P, OH, OW]` output slab, one plane-FFT dispatch per block row
+    /// for the entire batch. Leaves the input spectra planes in the arena
+    /// for [`ConvWorkspace::backward`].
+    #[allow(clippy::too_many_arguments)]
+    fn forward(
+        &mut self,
+        engines: &[BlockCirculantMatrix],
+        g: &ConvGeometry,
+        batch: usize,
+        input: &[f32],
+        bias: &[f32],
+        out_channels: usize,
+        out: &mut [f32],
+        threads: usize,
+    ) {
+        let e0 = &engines[0];
+        let d = Self::dims(e0, g, batch);
+        let threads = threads.max(1);
+        self.prepare_forward(&d, batch, g.stride, threads);
+        self.prepare_shifts(g.kernel * g.kernel);
+        let (p, q, k, bins) = (d.p, d.q, d.k, d.bins);
+        let (l_pad, l_out, l_acc) = (d.l_pad, d.l_out, d.l_acc);
+        let plan = e0.plane_plan();
+        let wp = g.width + 2 * g.padding;
+        let hpwp = (g.height + 2 * g.padding) * wp;
+        let Self {
+            xs_re,
+            xs_im,
+            patch_re,
+            patch_im,
+            acc_re,
+            acc_im,
+            stage,
+            pr,
+            pi,
+            runs,
+            shifts,
+            ..
+        } = self;
+        let xs_re = &mut xs_re[..q * bins * l_pad];
+        let xs_im = &mut xs_im[..q * bins * l_pad];
+        let acc_re = &mut acc_re[..p * bins * l_acc];
+        let acc_im = &mut acc_im[..p * bins * l_acc];
+        // Stage 1: channel spectra — one real plane FFT per block column
+        // for every padded (sample, pixel) lane at once, parallel over
+        // columns. Padding lanes carry zero spectra, which is what makes
+        // every later kernel-offset tap branch-free.
+        par_planes(
+            threads,
+            q,
+            bins * l_pad,
+            xs_re,
+            xs_im,
+            k * l_pad,
+            pr,
+            pi,
+            |j0, jcount, re_c, im_c, pr_c, pi_c| {
+                fft_input_blocks_padded(
+                    plan, input, g, batch, k, bins, l_pad, j0, jcount, re_c, im_c, pr_c, pi_c,
+                );
+            },
+        );
+        let xs_re = &xs_re[..];
+        let xs_im = &xs_im[..];
+        // Stage 2: the frequency-domain MAC. For stride 1 there is no
+        // gather and no per-offset pass at all: on the padded grid every
+        // kernel offset is one contiguous run per sample at a constant
+        // plane shift, so a single fused sweep accumulates all r²·q terms
+        // per output element in registers (offset-major, block ascending —
+        // a fixed order, so results stay bit-stable across thread counts).
+        let r = g.kernel;
+        if g.stride == 1 {
+            for (o, slot) in shifts[..r * r].iter_mut().enumerate() {
+                *slot = (o / r) * wp + (o % r);
+            }
+            for (b, slot) in runs[..batch].iter_mut().enumerate() {
+                *slot = (b * d.abatch, b * hpwp, d.abatch);
+            }
+            let (shifts, runs) = (&shifts[..r * r], &runs[..batch]);
+            par_planes(
+                threads,
+                p,
+                bins * l_acc,
+                acc_re,
+                acc_im,
+                0,
+                &mut [],
+                &mut [],
+                |i0, icount, re_c, im_c, _, _| {
+                    fused_mac_runs(
+                        engines, shifts, p, q, k, bins, i0, icount, xs_re, xs_im, l_pad, l_acc,
+                        runs, re_c, im_c,
+                    );
+                },
+            );
+        } else {
+            // Strided convs take the gather path: patch planes per offset,
+            // accumulated by the engine MAC in a fixed offset order.
+            for o in 0..r * r {
+                let (kh, kw) = (o / r, o % r);
+                let accumulate = o > 0;
+                let eng = &engines[o];
+                let patch_re = &mut patch_re[..q * bins * l_out];
+                let patch_im = &mut patch_im[..q * bins * l_out];
+                for j in 0..q {
+                    for bin in 0..bins {
+                        let src_r = &xs_re[(j * bins + bin) * l_pad..][..l_pad];
+                        let src_i = &xs_im[(j * bins + bin) * l_pad..][..l_pad];
+                        let dst_r = &mut patch_re[(bin * q + j) * l_out..][..l_out];
+                        let dst_i = &mut patch_im[(bin * q + j) * l_out..][..l_out];
+                        gather_row_padded(src_r, dst_r, g, batch, kh, kw);
+                        gather_row_padded(src_i, dst_i, g, batch, kh, kw);
+                    }
+                }
+                let (pre, pim): (&[f32], &[f32]) = (patch_re, patch_im);
+                par_planes(
+                    threads,
+                    p,
+                    bins * l_out,
+                    acc_re,
+                    acc_im,
+                    0,
+                    &mut [],
+                    &mut [],
+                    |i0, icount, re_c, im_c, _, _| {
+                        eng.mac_planes(true, accumulate, l_out, i0, icount, pre, pim, re_c, im_c);
+                    },
+                );
+            }
+        }
+        // Stage 3: one real plane inverse per output block row, then the
+        // bias-fused scatter into the [B, P, OH, OW] slab.
+        let (acc_re, acc_im): (&[f32], &[f32]) = (acc_re, acc_im);
+        let stage = &mut stage[..p * k * l_acc];
+        par_planes(
+            threads,
+            p,
+            k * l_acc,
+            stage,
+            &mut [],
+            k * l_acc,
+            pi,
+            &mut [],
+            |i0, icount, stage_c, _, pi_c, _| {
+                ifft_blocks(
+                    plan, acc_re, acc_im, k, bins, l_acc, i0, icount, stage_c, pi_c,
+                );
+            },
+        );
+        let (oh, ow) = (g.out_height(), g.out_width());
+        let ohw = oh * ow;
+        for i in 0..p {
+            for t in 0..k {
+                let pch = i * k + t;
+                if pch >= out_channels {
+                    break;
+                }
+                let bval = bias[pch];
+                let srow = &stage[(i * k + t) * l_acc..][..l_acc];
+                for b in 0..batch {
+                    for oy in 0..oh {
+                        let dst = &mut out[(b * out_channels + pch) * ohw + oy * ow..][..ow];
+                        let src = &srow[b * d.abatch + oy * d.arow..][..ow];
+                        for (dv, &sv) in dst.iter_mut().zip(src) {
+                            *dv = sv + bval;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The batched backward pass over the spectra planes a matching
+    /// [`ConvWorkspace::forward`] left in the arena: accumulates the
+    /// weight/bias gradients and writes `∂L/∂x` as a `[B, C, H, W]` slab.
+    #[allow(clippy::too_many_arguments)]
+    fn backward(
+        &mut self,
+        engines: &[BlockCirculantMatrix],
+        g: &ConvGeometry,
+        batch: usize,
+        grad: &[f32],
+        wgrad: &mut [f32],
+        bgrad: &mut [f32],
+        out_channels: usize,
+        gx: &mut [f32],
+        threads: usize,
+    ) {
+        let e0 = &engines[0];
+        let d = Self::dims(e0, g, batch);
+        let threads = threads.max(1);
+        self.prepare_backward(&d, batch, threads);
+        let (p, q, k, bins) = (d.p, d.q, d.k, d.bins);
+        let (l_pad, l_out) = (d.l_pad, d.l_out);
+        let plan = e0.plane_plan();
+        let ohw = g.out_height() * g.out_width();
+        let per = e0.num_parameters();
+        // Bias gradient: plain reduction over samples and pixels.
+        for b in 0..batch {
+            for pch in 0..out_channels {
+                let row = &grad[(b * out_channels + pch) * ohw..][..ohw];
+                bgrad[pch] += row.iter().sum::<f32>();
+            }
+        }
+        let Self {
+            xs_re,
+            xs_im,
+            patch_re,
+            patch_im,
+            acc_re,
+            acc_im,
+            gs_re,
+            gs_im,
+            gacc_re,
+            gacc_im,
+            stage,
+            pr,
+            pi,
+            ..
+        } = self;
+        let xs_re = &xs_re[..q * bins * l_pad];
+        let xs_im = &xs_im[..q * bins * l_pad];
+        let patch_re = &mut patch_re[..q * bins * l_out];
+        let patch_im = &mut patch_im[..q * bins * l_out];
+        let gs_re = &mut gs_re[..p * bins * l_out];
+        let gs_im = &mut gs_im[..p * bins * l_out];
+        let gacc_re = &mut gacc_re[..q * bins * l_pad];
+        let gacc_im = &mut gacc_im[..q * bins * l_pad];
+        // Output-gradient spectra: block-major FFT staging in the (free)
+        // forward accumulator planes, then a bin-major re-layout so both
+        // the weight-gradient reduction and the transpose MAC stream them
+        // contiguously.
+        {
+            let tmp_re = &mut acc_re[..p * bins * l_out];
+            let tmp_im = &mut acc_im[..p * bins * l_out];
+            par_planes(
+                threads,
+                p,
+                bins * l_out,
+                tmp_re,
+                tmp_im,
+                k * l_out,
+                pr,
+                pi,
+                |i0, icount, re_c, im_c, pr_c, pi_c| {
+                    fft_channel_blocks(
+                        plan,
+                        grad,
+                        out_channels,
+                        ohw,
+                        batch,
+                        k,
+                        bins,
+                        l_out,
+                        i0,
+                        icount,
+                        re_c,
+                        im_c,
+                        pr_c,
+                        pi_c,
+                    );
+                },
+            );
+            for i in 0..p {
+                for bin in 0..bins {
+                    let src = (i * bins + bin) * l_out;
+                    let dst = (bin * p + i) * l_out;
+                    gs_re[dst..dst + l_out].copy_from_slice(&tmp_re[src..src + l_out]);
+                    gs_im[dst..dst + l_out].copy_from_slice(&tmp_im[src..src + l_out]);
+                }
+            }
+        }
+        gacc_re.fill(0.0);
+        gacc_im.fill(0.0);
+        let (gs_re, gs_im): (&[f32], &[f32]) = (gs_re, gs_im);
+        let r = g.kernel;
+        for o in 0..r * r {
+            let (kh, kw) = (o / r, o % r);
+            // Gather this offset's patch spectra from the retained padded
+            // input planes (bin-major, as the reduction kernels expect).
+            for j in 0..q {
+                for bin in 0..bins {
+                    let src_r = &xs_re[(j * bins + bin) * l_pad..][..l_pad];
+                    let src_i = &xs_im[(j * bins + bin) * l_pad..][..l_pad];
+                    let dst_r = &mut patch_re[(bin * q + j) * l_out..][..l_out];
+                    let dst_i = &mut patch_im[(bin * q + j) * l_out..][..l_out];
+                    gather_row_padded(src_r, dst_r, g, batch, kh, kw);
+                    gather_row_padded(src_i, dst_i, g, batch, kh, kw);
+                }
+            }
+            // Weight gradient for this offset: frequency-domain reduction
+            // over every (sample, pixel) lane, one plane IFFT per block
+            // row, parallel over block rows.
+            {
+                let (pre, pim): (&[f32], &[f32]) = (patch_re, patch_im);
+                let accum = &mut wgrad[o * per..(o + 1) * per];
+                let eng = &engines[o];
+                par_planes(
+                    threads,
+                    p,
+                    q * k,
+                    accum,
+                    &mut [],
+                    k * q,
+                    pr,
+                    pi,
+                    |i0, icount, acc_c, _, pr_c, pi_c| {
+                        eng.weight_grad_chunk(
+                            l_out, i0, icount, pre, pim, gs_re, gs_im, acc_c, pr_c, pi_c,
+                        );
+                    },
+                );
+            }
+            // ∂L/∂x: transpose MAC over the gradient spectra (overwriting
+            // the patch planes, which this offset no longer needs), then a
+            // scatter-add onto the padded input-lane accumulators —
+            // parallel over block columns, per-lane order fixed by the
+            // offset loop.
+            {
+                let eng = &engines[o];
+                par_planes(
+                    threads,
+                    q,
+                    bins * l_out,
+                    patch_re,
+                    patch_im,
+                    0,
+                    &mut [],
+                    &mut [],
+                    |j0, jcount, re_c, im_c, _, _| {
+                        eng.mac_planes(false, false, l_out, j0, jcount, gs_re, gs_im, re_c, im_c);
+                    },
+                );
+                let (t_re, t_im): (&[f32], &[f32]) = (patch_re, patch_im);
+                par_planes(
+                    threads,
+                    q,
+                    bins * l_pad,
+                    gacc_re,
+                    gacc_im,
+                    0,
+                    &mut [],
+                    &mut [],
+                    |j0, jcount, ga_re, ga_im, _, _| {
+                        for jl in 0..jcount {
+                            let j = j0 + jl;
+                            for bin in 0..bins {
+                                let t_r = &t_re[(j * bins + bin) * l_out..][..l_out];
+                                let t_i = &t_im[(j * bins + bin) * l_out..][..l_out];
+                                let g_r = &mut ga_re[(jl * bins + bin) * l_pad..][..l_pad];
+                                let g_i = &mut ga_im[(jl * bins + bin) * l_pad..][..l_pad];
+                                scatter_add_row_padded(t_r, g_r, g, batch, kh, kw);
+                                scatter_add_row_padded(t_i, g_i, g, batch, kh, kw);
+                            }
+                        }
+                    },
+                );
+            }
+        }
+        // Materialize ∂L/∂x: one real plane inverse per block column over
+        // the padded grid, then the scatter into the [B, C, H, W] slab
+        // (padding lanes are dropped here).
+        let (gacc_re, gacc_im): (&[f32], &[f32]) = (gacc_re, gacc_im);
+        let stage = &mut stage[..q * k * l_pad];
+        par_planes(
+            threads,
+            q,
+            k * l_pad,
+            stage,
+            &mut [],
+            k * l_pad,
+            pi,
+            &mut [],
+            |j0, jcount, stage_c, _, pi_c, _| {
+                ifft_blocks(
+                    plan, gacc_re, gacc_im, k, bins, l_pad, j0, jcount, stage_c, pi_c,
+                );
+            },
+        );
+        let (c_in, h, w, pad) = (g.channels, g.height, g.width, g.padding);
+        let (hw, wp) = (h * w, w + 2 * pad);
+        let hpwp = (h + 2 * pad) * wp;
+        for j in 0..q {
+            for t in 0..k {
+                let c = j * k + t;
+                if c >= c_in {
+                    break;
+                }
+                let srow = &stage[(j * k + t) * l_pad..][..l_pad];
+                for b in 0..batch {
+                    for y in 0..h {
+                        gx[(b * c_in + c) * hw + y * w..][..w]
+                            .copy_from_slice(&srow[b * hpwp + (y + pad) * wp + pad..][..w]);
+                    }
+                }
+            }
+        }
+    }
+}
 
 /// A 2-D convolution layer whose filter bank is circulant across the
 /// channel dimensions, with block size `k`.
@@ -61,12 +937,11 @@ pub struct CirculantConv2d {
     wgrad: Vec<f32>,
     bgrad: Vec<f32>,
     dirty: bool,
-    /// Forward caches.
-    geom_cache: Option<ConvGeometry>,
-    pixel_spectra: Option<Vec<BlockSpectra>>,
-    /// Per-sample caches recorded by `forward_batch` (training mode only)
-    /// for `backward_batch`.
-    batch_caches: Vec<(ConvGeometry, Vec<BlockSpectra>)>,
+    /// Training-path plane arena; its retained input spectra (plus
+    /// `train_ctx`) are what `backward_batch` consumes.
+    ws: ConvWorkspace,
+    /// `(geometry, batch)` of the spectra planes `ws` currently retains.
+    train_ctx: Option<(ConvGeometry, usize)>,
     training: bool,
 }
 
@@ -117,9 +992,8 @@ impl CirculantConv2d {
             bias: vec![0.0; out_channels],
             bgrad: vec![0.0; out_channels],
             dirty: false,
-            geom_cache: None,
-            pixel_spectra: None,
-            batch_caches: Vec::new(),
+            ws: ConvWorkspace::new(),
+            train_ctx: None,
             training: true,
         })
     }
@@ -181,184 +1055,148 @@ impl CirculantConv2d {
         }
     }
 
-    fn geometry_for(&self, input: &Tensor) -> ConvGeometry {
-        assert_eq!(input.shape().rank(), 3, "conv input must be [C, H, W]");
-        assert_eq!(input.dims()[0], self.in_channels, "input channel mismatch");
+    fn geometry_for(&self, dims: &[usize]) -> ConvGeometry {
+        assert_eq!(dims[0], self.in_channels, "input channel mismatch");
         ConvGeometry::new(
             self.in_channels,
-            input.dims()[1],
-            input.dims()[2],
+            dims[1],
+            dims[2],
             self.kernel,
             self.stride,
             self.padding,
         )
     }
-}
 
-impl CirculantConv2d {
-    /// Shared forward core: returns the output plus the per-pixel channel
-    /// spectra and geometry the backward pass needs.
-    fn forward_impl(&mut self, input: &Tensor) -> (Tensor, ConvGeometry, Vec<BlockSpectra>) {
-        self.sync();
-        self.infer_image(input)
-    }
-
-    /// Read-only forward core. Requires fresh engine spectra (the `&mut`
-    /// wrapper [`CirculantConv2d::forward_impl`] syncs; the serving path
-    /// asserts `!dirty` instead), which is what lets
-    /// [`Layer::infer_batch`] share one layer across worker threads.
-    fn infer_image(&self, input: &Tensor) -> (Tensor, ConvGeometry, Vec<BlockSpectra>) {
-        let geom = self.geometry_for(input);
-        let (h, w) = (geom.height, geom.width);
-        let (oh, ow) = (geom.out_height(), geom.out_width());
-        // Channel spectra once per input pixel (shared across patches).
-        let mut pixel_spectra = Vec::with_capacity(h * w);
-        let mut chans = vec![0.0f32; self.in_channels];
-        for iy in 0..h {
-            for ix in 0..w {
-                for c in 0..self.in_channels {
-                    chans[c] = input.data()[(c * h + iy) * w + ix];
-                }
-                pixel_spectra.push(
-                    self.engines[0]
-                        .col_spectra(&chans)
-                        .expect("channel vector length is fixed"),
-                );
-            }
+    /// Read-only batched inference into a caller-provided `[B, P, OH, OW]`
+    /// buffer with an explicit worker thread count — the zero-allocation
+    /// serving core ([`Layer::infer_batch`] wraps it with a fresh output
+    /// and [`crate::default_batch_threads`]). Results are bit-identical
+    /// for every `threads` value. Requires fresh engine spectra
+    /// (`set_training(false)` syncs them; serving stacks verify this at
+    /// model registration via `Layer::infer_ready`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] if `input` is not a
+    /// non-empty `[B, C, H, W]` tensor or `out` is not `B·P·OH·OW` long.
+    pub fn infer_batch_into(
+        &self,
+        input: &Tensor,
+        ws: &mut ConvWorkspace,
+        out: &mut [f32],
+        threads: usize,
+    ) -> Result<(), CircError> {
+        if input.shape().rank() != 4 {
+            return Err(CircError::DimensionMismatch {
+                expected: 4,
+                got: input.shape().rank(),
+            });
         }
-        let engine0 = &self.engines[0];
-        let acc_len = engine0.block_rows() * engine0.bins();
-        let mut out = vec![0.0f32; self.out_channels * oh * ow];
-        let mut acc = vec![Complex::zero(); acc_len];
-        for oy in 0..oh {
-            for ox in 0..ow {
-                acc.fill(Complex::zero());
-                for kh in 0..self.kernel {
-                    let iy = (oy * self.stride + kh) as isize - self.padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for kw in 0..self.kernel {
-                        let ix = (ox * self.stride + kw) as isize - self.padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        let spec = &pixel_spectra[iy as usize * w + ix as usize];
-                        self.engines[kh * self.kernel + kw].accumulate_forward(spec, &mut acc);
-                    }
-                }
-                let y = engine0
-                    .finish_forward(&acc)
-                    .expect("accumulator sized to engine");
-                for (p, &v) in y.iter().enumerate() {
-                    out[(p * oh + oy) * ow + ox] = v + self.bias[p];
-                }
-            }
+        let batch = input.dims()[0];
+        if batch == 0 {
+            return Err(CircError::DimensionMismatch {
+                expected: 1,
+                got: 0,
+            });
         }
-        (
-            Tensor::from_vec(out, &[self.out_channels, oh, ow]),
-            geom,
-            pixel_spectra,
-        )
-    }
-
-    /// Shared backward core over explicit forward caches.
-    fn backward_impl(
-        &mut self,
-        grad_output: &Tensor,
-        geom: &ConvGeometry,
-        pixel_spectra: &[BlockSpectra],
-    ) -> Tensor {
-        self.sync();
-        let (h, w) = (geom.height, geom.width);
-        let (oh, ow) = (geom.out_height(), geom.out_width());
-        assert_eq!(
-            grad_output.dims(),
-            &[self.out_channels, oh, ow],
-            "conv grad shape mismatch"
+        if input.dims()[1] != self.in_channels {
+            return Err(CircError::DimensionMismatch {
+                expected: self.in_channels,
+                got: input.dims()[1],
+            });
+        }
+        let geom = self.geometry_for(&input.dims()[1..]);
+        let want = batch * self.out_channels * geom.num_patches();
+        if out.len() != want {
+            return Err(CircError::DimensionMismatch {
+                expected: want,
+                got: out.len(),
+            });
+        }
+        ws.forward(
+            &self.engines,
+            &geom,
+            batch,
+            input.data(),
+            &self.bias,
+            self.out_channels,
+            out,
+            threads,
         );
-        let engine0 = &self.engines[0];
-        let gx_acc_len = engine0.block_cols() * engine0.bins();
-        // Per-input-pixel frequency-domain gradient accumulators.
-        let mut gx_acc = vec![vec![Complex::<f32>::zero(); gx_acc_len]; h * w];
-        let per = self.per_engine();
-        let mut gpatch = vec![0.0f32; self.out_channels];
-        for oy in 0..oh {
-            for ox in 0..ow {
-                for p in 0..self.out_channels {
-                    gpatch[p] = grad_output.data()[(p * oh + oy) * ow + ox];
-                }
-                let gspec = engine0
-                    .row_spectra(&gpatch)
-                    .expect("grad vector length is fixed");
-                for (p, &g) in gpatch.iter().enumerate() {
-                    self.bgrad[p] += g;
-                }
-                for kh in 0..self.kernel {
-                    let iy = (oy * self.stride + kh) as isize - self.padding as isize;
-                    if iy < 0 || iy >= h as isize {
-                        continue;
-                    }
-                    for kw in 0..self.kernel {
-                        let ix = (ox * self.stride + kw) as isize - self.padding as isize;
-                        if ix < 0 || ix >= w as isize {
-                            continue;
-                        }
-                        let o = kh * self.kernel + kw;
-                        let pixel = iy as usize * w + ix as usize;
-                        self.engines[o]
-                            .weight_gradient_spectral(
-                                &gspec,
-                                &pixel_spectra[pixel],
-                                &mut self.wgrad[o * per..(o + 1) * per],
-                            )
-                            .expect("gradient buffers sized at construction");
-                        self.engines[o].accumulate_backward(&gspec, &mut gx_acc[pixel]);
-                    }
-                }
-            }
-        }
-        // One IFFT per input pixel to materialize ∂L/∂x.
-        let mut gx = vec![0.0f32; self.in_channels * h * w];
-        for iy in 0..h {
-            for ix in 0..w {
-                let chans = engine0
-                    .finish_backward(&gx_acc[iy * w + ix])
-                    .expect("accumulator sized to engine");
-                for (c, &v) in chans.iter().enumerate() {
-                    gx[(c * h + iy) * w + ix] = v;
-                }
-            }
-        }
-        Tensor::from_vec(gx, &[self.in_channels, h, w])
+        Ok(())
+    }
+
+    /// Mutable forward core shared by the training entry points.
+    fn run_forward(&mut self, input: &[f32], geom: &ConvGeometry, batch: usize) -> Vec<f32> {
+        self.sync();
+        let mut out = vec![0.0f32; batch * self.out_channels * geom.num_patches()];
+        self.ws.forward(
+            &self.engines,
+            geom,
+            batch,
+            input,
+            &self.bias,
+            self.out_channels,
+            &mut out,
+            default_batch_threads(),
+        );
+        out
+    }
+
+    /// Mutable backward core over the planes `run_forward` retained.
+    fn run_backward(&mut self, grad: &[f32], geom: &ConvGeometry, batch: usize) -> Vec<f32> {
+        self.sync();
+        let mut gx = vec![0.0f32; batch * geom.input_len()];
+        let Self {
+            engines,
+            ws,
+            wgrad,
+            bgrad,
+            out_channels,
+            ..
+        } = self;
+        ws.backward(
+            engines,
+            geom,
+            batch,
+            grad,
+            wgrad,
+            bgrad,
+            *out_channels,
+            &mut gx,
+            default_batch_threads(),
+        );
+        gx
     }
 }
 
 impl Layer for CirculantConv2d {
     fn forward(&mut self, input: &Tensor) -> Tensor {
-        let (out, geom, pixel_spectra) = self.forward_impl(input);
-        self.geom_cache = Some(geom);
-        self.pixel_spectra = Some(pixel_spectra);
-        out
+        assert_eq!(input.shape().rank(), 3, "conv input must be [C, H, W]");
+        let geom = self.geometry_for(input.dims());
+        // A single sample is a batch of one plane lane set — the scalar
+        // per-pixel FFT pipeline is gone.
+        let out = self.run_forward(input.data(), &geom, 1);
+        self.train_ctx = Some((geom, 1));
+        Tensor::from_vec(
+            out,
+            &[self.out_channels, geom.out_height(), geom.out_width()],
+        )
     }
 
     fn backward(&mut self, grad_output: &Tensor) -> Tensor {
-        let geom = self.geom_cache.expect("backward called before forward");
-        let pixel_spectra = self
-            .pixel_spectra
-            .take()
-            .expect("backward called before forward");
-        let gx = self.backward_impl(grad_output, &geom, &pixel_spectra);
-        self.pixel_spectra = Some(pixel_spectra);
-        gx
+        let (geom, batch) = self.train_ctx.expect("backward called before forward");
+        assert_eq!(batch, 1, "single-sample backward after a batched forward");
+        assert_eq!(
+            grad_output.dims(),
+            &[self.out_channels, geom.out_height(), geom.out_width()],
+            "conv grad shape mismatch"
+        );
+        let gx = self.run_backward(grad_output.data(), &geom, 1);
+        Tensor::from_vec(gx, &[self.in_channels, geom.height, geom.width])
     }
 
     fn forward_batch(&mut self, input: &Tensor) -> Tensor {
-        // A batch of images runs per sample — the conv pipeline's internal
-        // batching is across *pixels* (channel spectra shared over patches),
-        // which a cross-image batch cannot improve on — but each sample's
-        // caches are retained so `backward_batch` never recomputes a
-        // forward pass.
         let batch = input.dims()[0];
         assert!(batch > 0, "empty batch");
         assert_eq!(
@@ -366,38 +1204,46 @@ impl Layer for CirculantConv2d {
             4,
             "conv batch input must be [B, C, H, W]"
         );
-        self.batch_caches.clear();
-        circnn_tensor::stack_samples(batch, |b| {
-            let (y, geom, spectra) = self.forward_impl(&input.index_axis0(b));
-            // Caches only matter to a backward pass; at inference they
-            // would just pile up per-pixel spectra.
-            if self.training {
-                self.batch_caches.push((geom, spectra));
-            }
-            y
-        })
+        let geom = self.geometry_for(&input.dims()[1..]);
+        let out = self.run_forward(input.data(), &geom, batch);
+        // The retained spectra planes only matter to a backward pass; in
+        // inference mode nothing promises them to anyone.
+        self.train_ctx = self.training.then_some((geom, batch));
+        Tensor::from_vec(
+            out,
+            &[
+                batch,
+                self.out_channels,
+                geom.out_height(),
+                geom.out_width(),
+            ],
+        )
     }
 
     fn backward_batch(&mut self, _input: &Tensor, grad_output: &Tensor) -> Tensor {
-        let batch = grad_output.dims()[0];
+        let (geom, batch) = self
+            .train_ctx
+            .expect("backward_batch called before forward_batch (or in inference mode)");
         assert_eq!(
-            batch,
-            self.batch_caches.len(),
-            "backward_batch called before forward_batch (or in inference mode)"
+            grad_output.dims(),
+            &[
+                batch,
+                self.out_channels,
+                geom.out_height(),
+                geom.out_width()
+            ],
+            "conv grad shape mismatch"
         );
-        let caches = core::mem::take(&mut self.batch_caches);
-        let gx = circnn_tensor::stack_samples(batch, |b| {
-            let (geom, spectra) = &caches[b];
-            self.backward_impl(&grad_output.index_axis0(b), geom, spectra)
-        });
-        self.batch_caches = caches;
-        gx
+        let gx = self.run_backward(grad_output.data(), &geom, batch);
+        Tensor::from_vec(gx, &[batch, self.in_channels, geom.height, geom.width])
     }
 
-    fn infer_batch(&self, input: &Tensor, _scratch: &mut circnn_nn::InferScratch) -> Tensor {
+    fn infer_batch(&self, input: &Tensor, scratch: &mut circnn_nn::InferScratch) -> Tensor {
         // The serving path cannot refresh the spectra cache (`&self`);
-        // `set_training(false)` syncs it before the network is shared.
-        assert!(
+        // `set_training(false)` syncs it before the network is shared, and
+        // `SequentialModel` verifies `infer_ready` at registration — so a
+        // stale cache here is a harness bug, not a request-time condition.
+        debug_assert!(
             !self.dirty,
             "CirculantConv2d spectra cache is stale; call set_training(false) \
              after the last optimizer step before serving"
@@ -409,17 +1255,42 @@ impl Layer for CirculantConv2d {
             4,
             "conv batch input must be [B, C, H, W]"
         );
-        circnn_tensor::stack_samples(batch, |b| self.infer_image(&input.index_axis0(b)).0)
+        let geom = self.geometry_for(&input.dims()[1..]);
+        let mut out = vec![0.0f32; batch * self.out_channels * geom.num_patches()];
+        let ws: &mut ConvWorkspace = scratch.slot();
+        ws.forward(
+            &self.engines,
+            &geom,
+            batch,
+            input.data(),
+            &self.bias,
+            self.out_channels,
+            &mut out,
+            default_batch_threads(),
+        );
+        Tensor::from_vec(
+            out,
+            &[
+                batch,
+                self.out_channels,
+                geom.out_height(),
+                geom.out_width(),
+            ],
+        )
     }
 
     fn supports_infer(&self) -> bool {
         true
     }
 
+    fn infer_ready(&self) -> bool {
+        !self.dirty
+    }
+
     fn set_training(&mut self, training: bool) {
         self.training = training;
         if !training {
-            self.batch_caches.clear();
+            self.train_ctx = None;
             // Entering inference mode pins the spectra caches fresh so the
             // read-only `infer_batch` path can serve from them.
             self.sync();
@@ -590,5 +1461,119 @@ mod tests {
         Sgd::new(0.1, 0.0).step(&mut conv);
         let y1 = conv.forward(&x).data().to_vec();
         assert_ne!(y0, y1);
+    }
+
+    /// The plane pipeline must treat each sample as an independent lane:
+    /// a sample's output is bit-identical whether it runs alone (B = 1) or
+    /// inside a wider batch — the batch-composition invariance serving
+    /// relies on.
+    #[test]
+    fn batched_forward_is_composition_invariant_bitwise() {
+        let mut rng = seeded_rng(7);
+        let mut conv = CirculantConv2d::new(&mut rng, 3, 5, 3, 1, 1, 2).unwrap();
+        conv.set_training(false);
+        let batch = 4;
+        let x = circnn_tensor::init::uniform(&mut rng, &[batch, 3, 6, 6], -1.0, 1.0);
+        let mut scratch = circnn_nn::InferScratch::new();
+        let y = conv.infer_batch(&x, &mut scratch);
+        let per_out = 5 * 6 * 6;
+        for b in 0..batch {
+            let xb = x.index_axis0(b).reshape(&[1, 3, 6, 6]);
+            let yb = conv.infer_batch(&xb, &mut scratch);
+            assert_eq!(
+                &y.data()[b * per_out..(b + 1) * per_out],
+                yb.data(),
+                "sample {b} diverged across batch compositions"
+            );
+        }
+    }
+
+    /// Serial and threaded runs of the plane pipeline are bit-identical.
+    #[test]
+    fn threaded_conv_matches_serial_bitwise() {
+        let mut rng = seeded_rng(8);
+        let mut conv = CirculantConv2d::new(&mut rng, 4, 6, 3, 1, 1, 2).unwrap();
+        conv.set_training(false);
+        let x = circnn_tensor::init::uniform(&mut rng, &[3, 4, 5, 5], -1.0, 1.0);
+        let n_out = 3 * 6 * 5 * 5;
+        let mut ws1 = ConvWorkspace::new();
+        let mut ws4 = ConvWorkspace::new();
+        let mut y1 = vec![0.0f32; n_out];
+        let mut y4 = vec![0.0f32; n_out];
+        conv.infer_batch_into(&x, &mut ws1, &mut y1, 1).unwrap();
+        conv.infer_batch_into(&x, &mut ws4, &mut y4, 4).unwrap();
+        assert_eq!(y1, y4);
+    }
+
+    /// Serial and threaded runs of the backward plane pipeline are
+    /// bit-identical (the forward counterpart is covered above; this
+    /// drives ConvWorkspace::backward's chunked dispatches directly).
+    #[test]
+    fn threaded_conv_backward_matches_serial_bitwise() {
+        for stride in [1usize, 2] {
+            let mut rng = seeded_rng(10 + stride as u64);
+            let make = |rng: &mut _| CirculantConv2d::new(rng, 4, 6, 3, stride, 1, 2).unwrap();
+            let mut c1 = make(&mut rng);
+            let mut rng2 = seeded_rng(10 + stride as u64);
+            let mut c4 = make(&mut rng2);
+            let x = circnn_tensor::init::uniform(&mut rng, &[3, 4, 5, 5], -1.0, 1.0);
+            let y = c1.forward_batch(&x);
+            let _ = c4.forward_batch(&x);
+            let gout = circnn_tensor::init::uniform(&mut rng, y.dims(), -1.0, 1.0);
+            let run = |conv: &mut CirculantConv2d, threads: usize| {
+                conv.zero_grads();
+                let (geom, batch) = conv.train_ctx.expect("forward ran");
+                let mut gx = vec![0.0f32; batch * geom.input_len()];
+                let CirculantConv2d {
+                    engines,
+                    ws,
+                    wgrad,
+                    bgrad,
+                    out_channels,
+                    ..
+                } = conv;
+                ws.backward(
+                    engines,
+                    &geom,
+                    batch,
+                    gout.data(),
+                    wgrad,
+                    bgrad,
+                    *out_channels,
+                    &mut gx,
+                    threads,
+                );
+                (gx, wgrad.clone(), bgrad.clone())
+            };
+            let (gx1, wg1, bg1) = run(&mut c1, 1);
+            let (gx4, wg4, bg4) = run(&mut c4, 4);
+            assert_eq!(
+                gx1, gx4,
+                "stride {stride}: threaded ∂L/∂x must be bit-identical"
+            );
+            assert_eq!(
+                wg1, wg4,
+                "stride {stride}: threaded ∂L/∂w must be bit-identical"
+            );
+            assert_eq!(
+                bg1, bg4,
+                "stride {stride}: threaded ∂L/∂b must be bit-identical"
+            );
+        }
+    }
+
+    #[test]
+    fn infer_batch_into_validates_shapes() {
+        let mut rng = seeded_rng(9);
+        let conv = CirculantConv2d::new(&mut rng, 2, 2, 3, 1, 1, 2).unwrap();
+        let mut ws = ConvWorkspace::new();
+        let x = Tensor::zeros(&[2, 2, 4, 4]);
+        let mut short = vec![0.0f32; 3];
+        assert!(conv.infer_batch_into(&x, &mut ws, &mut short, 1).is_err());
+        let bad_rank = Tensor::zeros(&[2, 4, 4]);
+        let mut out = vec![0.0f32; 2 * 2 * 4 * 4];
+        assert!(conv
+            .infer_batch_into(&bad_rank, &mut ws, &mut out, 1)
+            .is_err());
     }
 }

@@ -263,8 +263,9 @@ impl Layer for CirculantLinear {
 
     fn infer_batch(&self, input: &Tensor, scratch: &mut circnn_nn::InferScratch) -> Tensor {
         // The serving path cannot refresh the spectra cache (`&self`);
-        // `set_training(false)` syncs it before the network is shared.
-        assert!(
+        // `set_training(false)` syncs it before the network is shared, and
+        // serving stacks verify `infer_ready` once at model registration.
+        debug_assert!(
             !self.dirty,
             "CirculantLinear spectra cache is stale; call set_training(false) \
              after the last optimizer step before serving"
@@ -279,6 +280,10 @@ impl Layer for CirculantLinear {
 
     fn supports_infer(&self) -> bool {
         true
+    }
+
+    fn infer_ready(&self) -> bool {
+        !self.dirty
     }
 
     fn set_training(&mut self, training: bool) {

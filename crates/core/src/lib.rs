@@ -62,7 +62,7 @@ pub mod serialize;
 
 pub use baseline54::SingleCirculantLinear;
 pub use circulant::CirculantMatrix;
-pub use conv::CirculantConv2d;
+pub use conv::{CirculantConv2d, ConvWorkspace};
 pub use error::CircError;
 pub use fc::CirculantLinear;
 pub use lecun::LeCunFftConv2d;

@@ -1284,9 +1284,11 @@ impl BlockCirculantMatrix {
                     pr[t * batch + b] = v;
                 }
             }
-            pi[..k * batch].fill(0.0);
+            // Real-input plane FFT: the imaginary plane is scratch (never
+            // zeroed) and only the unique `bins` half-spectrum rows come
+            // back — the Fig.-10 saving, batched.
             self.bplan
-                .forward_planes(&mut pr[..k * batch], &mut pi[..k * batch], batch)
+                .forward_planes_real(&mut pr[..k * batch], &mut pi[..k * batch], batch)
                 .expect("plane buffers are sized before dispatch");
             let off = jl * bins * batch;
             re[off..off + bins * batch].copy_from_slice(&pr[..bins * batch]);
@@ -1316,20 +1318,72 @@ impl BlockCirculantMatrix {
     ) {
         match dir {
             Dir::Forward => {
-                self.mac_chunk_impl::<true>(batch, i0, icount, in_re, in_im, acc_re, acc_im)
+                self.mac_chunk_impl::<true, false>(batch, i0, icount, in_re, in_im, acc_re, acc_im)
             }
             Dir::Backward => {
-                self.mac_chunk_impl::<false>(batch, i0, icount, in_re, in_im, acc_re, acc_im)
+                self.mac_chunk_impl::<false, false>(batch, i0, icount, in_re, in_im, acc_re, acc_im)
             }
         }
     }
 
+    /// Crate-internal MAC entry for composite operators (the CONV plane
+    /// pipeline): runs this operator's register-tiled frequency-domain MAC
+    /// over caller-owned planes. `forward` selects `conj(w)·x` versus the
+    /// transpose product; `accumulate` adds into `acc` (the CONV layer sums
+    /// `r²` operators per output pixel, Eqn. 7) instead of overwriting it.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn mac_planes(
+        &self,
+        forward: bool,
+        accumulate: bool,
+        lanes: usize,
+        i0: usize,
+        icount: usize,
+        in_re: &[f32],
+        in_im: &[f32],
+        acc_re: &mut [f32],
+        acc_im: &mut [f32],
+    ) {
+        match (forward, accumulate) {
+            (true, false) => {
+                self.mac_chunk_impl::<true, false>(lanes, i0, icount, in_re, in_im, acc_re, acc_im)
+            }
+            (true, true) => {
+                self.mac_chunk_impl::<true, true>(lanes, i0, icount, in_re, in_im, acc_re, acc_im)
+            }
+            (false, false) => {
+                self.mac_chunk_impl::<false, false>(lanes, i0, icount, in_re, in_im, acc_re, acc_im)
+            }
+            (false, true) => {
+                self.mac_chunk_impl::<false, true>(lanes, i0, icount, in_re, in_im, acc_re, acc_im)
+            }
+        }
+    }
+
+    /// Crate-internal view of the batch-plane FFT (the CONV pipeline runs
+    /// its channel/patch transforms through the same plan).
+    #[inline]
+    pub(crate) fn plane_plan(&self) -> &BatchFftPlan<f32> {
+        &self.bplan
+    }
+
+    /// Crate-internal view of the forward weight-spectrum planes
+    /// (`[bin][p][q]`, split re/im) — the CONV pipeline's fused
+    /// multi-offset MAC streams all `r²` operators' planes in one pass.
+    #[inline]
+    pub(crate) fn forward_wplanes(&self) -> (&[f32], &[f32]) {
+        (&self.wplane_re, &self.wplane_im)
+    }
+
     /// Monomorphized MAC kernel; `FWD` selects `conj(w)·x` (Algorithm 1)
-    /// versus `w·g` (transpose apply). Output blocks are tiled (`TI`) so an
-    /// input-spectrum row loaded from cache feeds several output
-    /// accumulator tiles, cutting input-plane traffic by the tile factor.
+    /// versus `w·g` (transpose apply), `ACC` adds the tile into the
+    /// accumulator planes instead of overwriting them (per-element term
+    /// order stays fixed either way, so results remain bit-stable). Output
+    /// blocks are tiled (`TI`) so an input-spectrum row loaded from cache
+    /// feeds several output accumulator tiles, cutting input-plane traffic
+    /// by the tile factor.
     #[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
-    fn mac_chunk_impl<const FWD: bool>(
+    fn mac_chunk_impl<const FWD: bool, const ACC: bool>(
         &self,
         batch: usize,
         i0: usize,
@@ -1396,8 +1450,15 @@ impl BlockCirculantMatrix {
                     }
                     for u in 0..tl {
                         let ao = ((it + u) * bins + bin) * batch + b0;
-                        acc_re[ao..ao + l].copy_from_slice(&tr[u][..l]);
-                        acc_im[ao..ao + l].copy_from_slice(&ti_[u][..l]);
+                        if ACC {
+                            for t in 0..l {
+                                acc_re[ao + t] += tr[u][t];
+                                acc_im[ao + t] += ti_[u][t];
+                            }
+                        } else {
+                            acc_re[ao..ao + l].copy_from_slice(&tr[u][..l]);
+                            acc_im[ao..ao + l].copy_from_slice(&ti_[u][..l]);
+                        }
                     }
                     b0 += l;
                 }
@@ -1406,11 +1467,11 @@ impl BlockCirculantMatrix {
         }
     }
 
-    /// Stage-C worker: one batch-plane inverse FFT per output block. The
-    /// full spectrum is rebuilt from the unique `bins` rows via Hermitian
-    /// symmetry (`X[k−r] = conj(X[r])` — real outputs) directly in the
-    /// staging block, which the in-place inverse then turns into the
-    /// time-domain result (its real plane).
+    /// Stage-C worker: one batch-plane inverse FFT per output block. Only
+    /// the unique `bins` half-spectrum rows are loaded; the real-input
+    /// inverse consumes them directly (the mirror rows
+    /// `X[k−r] = conj(X[r])` are implicit), leaving the time-domain result
+    /// in the staging block.
     #[allow(clippy::too_many_arguments)]
     fn ifft_chunk(
         &self,
@@ -1429,16 +1490,8 @@ impl BlockCirculantMatrix {
             let sblock = &mut stage[il * k * batch..(il + 1) * k * batch];
             sblock[..bins * batch].copy_from_slice(&acc_re[off..off + bins * batch]);
             pi[..bins * batch].copy_from_slice(&acc_im[off..off + bins * batch]);
-            for r in bins..k {
-                let mirror = k - r;
-                let (dst_r, src_r) = (r * batch, mirror * batch);
-                for b in 0..batch {
-                    sblock[dst_r + b] = acc_re[off + src_r + b];
-                    pi[dst_r + b] = -acc_im[off + src_r + b];
-                }
-            }
             self.bplan
-                .inverse_planes(sblock, &mut pi[..k * batch], batch)
+                .inverse_planes_real(sblock, &mut pi[..k * batch], batch)
                 .expect("plane buffers are sized before dispatch");
         }
     }
@@ -1447,8 +1500,12 @@ impl BlockCirculantMatrix {
     /// reduction, then **one batch-plane IFFT per block row** — the `q`
     /// block pairs of row `i` ride the plane transform as independent
     /// lanes (`[k][q]` planes), instead of one scalar IFFT per pair.
+    /// Crate-internal so the CONV pipeline can reduce each kernel offset's
+    /// gradient over its `batch·pixels` lanes with the same kernel
+    /// (`xs_*`/`gs_*` are then the gathered patch / output-gradient
+    /// spectra planes and `batch` the lane count).
     #[allow(clippy::too_many_arguments)]
-    fn weight_grad_chunk(
+    pub(crate) fn weight_grad_chunk(
         &self,
         batch: usize,
         i0: usize,
@@ -1484,17 +1541,11 @@ impl BlockCirculantMatrix {
                     pim[bin * q + j] = si;
                 }
             }
-            // Hermitian extension to the full k spectrum rows (the products
-            // of real-signal spectra are themselves conjugate-symmetric).
-            for r in bins..k {
-                let mirror = k - r;
-                for j in 0..q {
-                    pre[r * q + j] = pre[mirror * q + j];
-                    pim[r * q + j] = -pim[mirror * q + j];
-                }
-            }
+            // The products of real-signal spectra are conjugate-symmetric,
+            // so the real-input inverse consumes the `bins` unique rows
+            // directly — no Hermitian extension pass.
             self.bplan
-                .inverse_planes(&mut pre[..k * q], &mut pim[..k * q], q)
+                .inverse_planes_real(&mut pre[..k * q], &mut pim[..k * q], q)
                 .expect("plane buffers are sized before dispatch");
             // Scatter the `[k][q]` time-domain planes into the `[q][k]`
             // defining-vector layout.

@@ -333,3 +333,213 @@ proptest! {
         prop_assert_eq!(served.data(), trained.data());
     }
 }
+
+/// Random conv configurations: channels, out-channels, kernel, stride,
+/// padding, block size (power of two), batch, and an input size that fits
+/// the kernel.
+fn conv_shapes() -> impl Strategy<Value = (usize, usize, usize, usize, usize, usize, usize, usize)>
+{
+    (
+        1usize..6, // C
+        1usize..8, // P
+        1usize..4, // r
+        1usize..3, // stride
+        0usize..3, // padding
+        0u32..4,   // log2 k
+        1usize..4, // B
+        0usize..5, // extra input size beyond the kernel
+    )
+        .prop_map(|(c, p, r, s, pad, logk, b, extra)| {
+            let hw = (r + extra).max(r.saturating_sub(2 * pad).max(1));
+            (c, p, r, s, pad, 1usize << logk, b, hw)
+        })
+}
+
+/// The retired per-image, per-pixel spectral CONV path, reconstructed from
+/// the public Algorithm-1 pieces (`col_spectra` / `accumulate_forward` /
+/// `finish_forward`): channel spectra once per input pixel, `r²` operator
+/// accumulations per output pixel, one IFFT per output block.
+#[allow(clippy::too_many_arguments)]
+fn per_image_conv_reference(
+    engines: &[BlockCirculantMatrix],
+    bias: &[f32],
+    c: usize,
+    p_out: usize,
+    r: usize,
+    stride: usize,
+    padding: usize,
+    img: &[f32],
+    h: usize,
+    w: usize,
+) -> Vec<f32> {
+    let e0 = &engines[0];
+    let oh = (h + 2 * padding - r) / stride + 1;
+    let ow = (w + 2 * padding - r) / stride + 1;
+    let mut pixel_spectra = Vec::with_capacity(h * w);
+    let mut chans = vec![0.0f32; c];
+    for iy in 0..h {
+        for ix in 0..w {
+            for (ci, slot) in chans.iter_mut().enumerate() {
+                *slot = img[(ci * h + iy) * w + ix];
+            }
+            pixel_spectra.push(e0.col_spectra(&chans).unwrap());
+        }
+    }
+    let mut out = vec![0.0f32; p_out * oh * ow];
+    let mut acc = vec![circnn_fft::Complex::zero(); e0.block_rows() * e0.bins()];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            acc.fill(circnn_fft::Complex::zero());
+            for kh in 0..r {
+                let iy = (oy * stride + kh) as isize - padding as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                for kw in 0..r {
+                    let ix = (ox * stride + kw) as isize - padding as isize;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
+                    }
+                    let spec = &pixel_spectra[iy as usize * w + ix as usize];
+                    engines[kh * r + kw].accumulate_forward(spec, &mut acc);
+                }
+            }
+            let y = e0.finish_forward(&acc).unwrap();
+            for (pch, &v) in y.iter().enumerate() {
+                out[(pch * oh + oy) * ow + ox] = v + bias[pch];
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The batch-plane CONV pipeline must agree with the retired
+    /// per-image, per-pixel spectral path on random shapes, strides and
+    /// paddings — the refactor changed the FFT factorization and the
+    /// batching, not the math.
+    #[test]
+    fn batched_conv_matches_retired_per_image_path(
+        (c, p_out, r, stride, padding, k, batch, hw) in conv_shapes(),
+        seed in any::<u64>(),
+    ) {
+        use circnn_core::CirculantConv2d;
+        use circnn_nn::Layer;
+        let (h, w) = (hw, hw);
+        prop_assume!(h + 2 * padding >= r && w + 2 * padding >= r);
+        let mut rng = circnn_tensor::init::seeded_rng(seed);
+        let mut conv = CirculantConv2d::new(&mut rng, c, p_out, r, stride, padding, k).unwrap();
+        // Randomize the bias too, then mirror the exact weights into
+        // standalone operators for the reference path.
+        let mut groups: Vec<Vec<f32>> = Vec::new();
+        conv.visit_params(&mut |param, _| {
+            if groups.len() == 1 {
+                for (i, v) in param.iter_mut().enumerate() {
+                    *v = ((i as f32) * 0.37).sin() * 0.5;
+                }
+            }
+            groups.push(param.to_vec());
+        });
+        let per = (p_out.div_ceil(k)) * (c.div_ceil(k)) * k;
+        let engines: Vec<BlockCirculantMatrix> = (0..r * r)
+            .map(|o| {
+                BlockCirculantMatrix::from_weights(p_out, c, k, &groups[0][o * per..(o + 1) * per])
+                    .unwrap()
+            })
+            .collect();
+        conv.set_training(false);
+        let x = circnn_tensor::init::uniform(&mut rng, &[batch, c, h, w], -1.0, 1.0);
+        let mut scratch = circnn_nn::InferScratch::new();
+        let y = conv.infer_batch(&x, &mut scratch);
+        let per_out = y.len() / batch;
+        for b in 0..batch {
+            let img = x.index_axis0(b);
+            let reference =
+                per_image_conv_reference(&engines, &groups[1], c, p_out, r, stride, padding,
+                                         img.data(), h, w);
+            let row = &y.data()[b * per_out..(b + 1) * per_out];
+            let scale = reference.iter().fold(1.0f32, |a, &v| a.max(v.abs()));
+            for (i, (&a, &e)) in row.iter().zip(&reference).enumerate() {
+                prop_assert!(
+                    (a - e).abs() < 2e-4 * scale,
+                    "(C={c} P={p_out} r={r} s={stride} pad={padding} k={k} B={batch} \
+                     {h}x{w}) sample {b} idx {i}: plane {a} vs per-image {e}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Backward-path parity: running one `[B, C, H, W]` batch through the
+    /// plane pipeline's `backward_batch` must accumulate the same weight,
+    /// bias and input gradients as running the B samples one at a time —
+    /// across strides and paddings, not just the stride-1 fused path.
+    #[test]
+    fn batched_conv_backward_matches_per_sample(
+        seed in any::<u64>(),
+        stride in 1usize..3,
+        padding in 0usize..2,
+        logk in 0u32..3,
+    ) {
+        use circnn_core::CirculantConv2d;
+        use circnn_nn::Layer;
+        let (c, p_out, r, hw, batch) = (3usize, 5usize, 3usize, 6usize, 3usize);
+        let k = 1usize << logk;
+        prop_assume!(hw + 2 * padding >= r);
+        let mut rng = circnn_tensor::init::seeded_rng(seed);
+        let mut batched = CirculantConv2d::new(&mut rng, c, p_out, r, stride, padding, k).unwrap();
+        let mut single = CirculantConv2d::new(&mut rng, c, p_out, r, stride, padding, k).unwrap();
+        // Same parameters in both layers.
+        let mut groups: Vec<Vec<f32>> = Vec::new();
+        batched.visit_params(&mut |param, _| groups.push(param.to_vec()));
+        let mut gi = 0;
+        single.visit_params(&mut |param, _| {
+            param.copy_from_slice(&groups[gi]);
+            gi += 1;
+        });
+        let x = circnn_tensor::init::uniform(&mut rng, &[batch, c, hw, hw], -1.0, 1.0);
+        let y = batched.forward_batch(&x);
+        let gout = circnn_tensor::init::uniform(&mut rng, y.dims(), -1.0, 1.0);
+        batched.zero_grads();
+        let gx_b = batched.backward_batch(&x, &gout);
+        single.zero_grads();
+        let mut gx_rows: Vec<Vec<f32>> = Vec::new();
+        for b in 0..batch {
+            let _ = single.forward(&x.index_axis0(b));
+            gx_rows.push(single.backward(&gout.index_axis0(b)).data().to_vec());
+        }
+        // Parameter gradients accumulate identically (order of the batch
+        // reduction differs, so agreement is to rounding).
+        let mut got: Vec<Vec<f32>> = Vec::new();
+        batched.visit_params(&mut |_, grad| got.push(grad.to_vec()));
+        let mut expect: Vec<Vec<f32>> = Vec::new();
+        single.visit_params(&mut |_, grad| expect.push(grad.to_vec()));
+        for (gidx, (gv, ev)) in got.iter().zip(&expect).enumerate() {
+            let scale = ev.iter().fold(1.0f32, |a, &v| a.max(v.abs()));
+            for (i, (&a, &e)) in gv.iter().zip(ev).enumerate() {
+                prop_assert!(
+                    (a - e).abs() < 5e-4 * scale,
+                    "(s={stride} pad={padding} k={k}) grad group {gidx} idx {i}: \
+                     batched {a} vs per-sample {e}"
+                );
+            }
+        }
+        // Input gradients match row by row.
+        let per_in = c * hw * hw;
+        for b in 0..batch {
+            let row = &gx_b.data()[b * per_in..(b + 1) * per_in];
+            let scale = gx_rows[b].iter().fold(1.0f32, |a, &v| a.max(v.abs()));
+            for (i, (&a, &e)) in row.iter().zip(&gx_rows[b]).enumerate() {
+                prop_assert!(
+                    (a - e).abs() < 5e-4 * scale,
+                    "(s={stride} pad={padding} k={k}) sample {b} input grad {i}: {a} vs {e}"
+                );
+            }
+        }
+    }
+}

@@ -45,6 +45,13 @@ pub struct BatchFftPlan<T> {
     tw_im: Vec<T>,
     /// Bit-reversal permutation of `0..n`.
     bitrev: Vec<usize>,
+    /// Half-length plan driving the real-input transforms (`None` for
+    /// `n < 2` and for the inner half plans themselves).
+    half: Option<Box<BatchFftPlan<T>>>,
+    /// Real-transform unpack twiddles `e^{-2πik/n}` for `k in 0..=n/2`
+    /// (empty on inner half plans).
+    rtw_re: Vec<T>,
+    rtw_im: Vec<T>,
 }
 
 impl<T: Float> BatchFftPlan<T> {
@@ -55,6 +62,13 @@ impl<T: Float> BatchFftPlan<T> {
     /// Returns [`FftError::ZeroLength`] if `n == 0` and
     /// [`FftError::NotPowerOfTwo`] otherwise for non-power-of-two `n`.
     pub fn new(n: usize) -> Result<Self, FftError> {
+        Self::build(n, true)
+    }
+
+    /// Shared constructor; `real_support` adds the half plan + unpack
+    /// twiddles that [`BatchFftPlan::forward_planes_real`] needs (skipped
+    /// on the inner half plan, which only ever runs the complex path).
+    fn build(n: usize, real_support: bool) -> Result<Self, FftError> {
         if n == 0 {
             return Err(FftError::ZeroLength);
         }
@@ -83,11 +97,26 @@ impl<T: Float> BatchFftPlan<T> {
             }
             len <<= 1;
         }
+        let (half, mut rtw_re, mut rtw_im) = (None, Vec::new(), Vec::new());
+        let half = if real_support && n >= 2 {
+            for k in 0..=n / 2 {
+                let theta = -T::TWO * T::PI * T::from_usize(k) / T::from_usize(n);
+                let w = Complex::from_polar(T::ONE, theta);
+                rtw_re.push(w.re);
+                rtw_im.push(w.im);
+            }
+            Some(Box::new(Self::build(n / 2, false)?))
+        } else {
+            half
+        };
         Ok(Self {
             n,
             tw_re,
             tw_im,
             bitrev,
+            half,
+            rtw_re,
+            rtw_im,
         })
     }
 
@@ -148,6 +177,183 @@ impl<T: Float> BatchFftPlan<T> {
         }
         for v in im.iter_mut() {
             *v = *v * scale;
+        }
+        Ok(())
+    }
+
+    /// In-place forward DFT of `batch` **real** signals held as an
+    /// `[n][batch]` plane in `re` (`im` is pure scratch — its contents are
+    /// ignored and destroyed). On return the unique `n/2 + 1` half-spectrum
+    /// rows sit in `re[..(n/2 + 1)·batch]` / `im[..(n/2 + 1)·batch]`;
+    /// higher rows are garbage. The redundant mirror rows
+    /// (`X[n−r] = conj(X[r])`) are never computed or stored — the software
+    /// form of the paper's Fig. 10 observation that real inputs let half
+    /// the butterfly outcomes be skipped.
+    ///
+    /// Each lane packs its own even/odd samples into one half-length
+    /// complex lane (the [`RealFftPlan`](crate::RealFftPlan) trick), runs
+    /// the half-length complex plane FFT, and unpacks — lanes never mix, so
+    /// a lane's spectrum is bit-identical no matter which batch carries it
+    /// (the batch-composition invariance the serving stack relies on).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError`] if the planes are not `n·batch` long or the
+    /// batch is zero.
+    pub fn forward_planes_real(
+        &self,
+        re: &mut [T],
+        im: &mut [T],
+        batch: usize,
+    ) -> Result<(), FftError> {
+        self.validate(re, im, batch)?;
+        let n = self.n;
+        if n == 1 {
+            im[..batch].fill(T::ZERO);
+            return Ok(());
+        }
+        let h = n / 2;
+        // Pack lane-wise: half-signal row m is x[2m] + i·x[2m+1]. Ascending
+        // m only writes rows ≤ m while reading rows 2m and 2m+1 ≥ m.
+        for m in 0..h {
+            re.copy_within(2 * m * batch..(2 * m + 1) * batch, m * batch);
+            let src = (2 * m + 1) * batch;
+            im[m * batch..(m + 1) * batch].copy_from_slice(&re[src..src + batch]);
+        }
+        let half = self.half.as_ref().expect("n >= 2 always has a half plan");
+        half.forward_planes(&mut re[..h * batch], &mut im[..h * batch], batch)?;
+        // Unpack the interleaved spectrum Z into the real signal's bins:
+        // E[k] = (Z[k] + conj(Z[h−k]))/2, O[k] = (Z[k] − conj(Z[h−k]))/(2i),
+        // X[k] = E[k] + e^{−2πik/n}·O[k]. The mirror bin of the pair reuses
+        // the same E/O (conjugated), so each pair is loaded once. Lanes run
+        // in fixed-size register tiles (loads complete before the aliased
+        // rows are overwritten, and the stride-1 tile loops vectorize).
+        const L: usize = 16;
+        let mut zkr = [T::ZERO; L];
+        let mut zki = [T::ZERO; L];
+        let mut znr = [T::ZERO; L];
+        let mut zni = [T::ZERO; L];
+        let mut xr = [T::ZERO; L];
+        let mut xi = [T::ZERO; L];
+        let mut mr = [T::ZERO; L];
+        let mut mi = [T::ZERO; L];
+        for k in 0..=h / 2 {
+            let km = (h - k) % h;
+            let (twr, twi) = (self.rtw_re[k], self.rtw_im[k]);
+            let (twr2, twi2) = (self.rtw_re[h - k], self.rtw_im[h - k]);
+            let write_mirror = h - k != k;
+            let mut b0 = 0;
+            while b0 < batch {
+                let l = L.min(batch - b0);
+                zkr[..l].copy_from_slice(&re[k * batch + b0..][..l]);
+                zki[..l].copy_from_slice(&im[k * batch + b0..][..l]);
+                znr[..l].copy_from_slice(&re[km * batch + b0..][..l]);
+                zni[..l].copy_from_slice(&im[km * batch + b0..][..l]);
+                for t in 0..l {
+                    // conj(Z[h−k]) has imaginary −zni.
+                    let er = (zkr[t] + znr[t]) * T::HALF;
+                    let ei = (zki[t] - zni[t]) * T::HALF;
+                    let or_ = (zki[t] + zni[t]) * T::HALF;
+                    let oi = (znr[t] - zkr[t]) * T::HALF;
+                    xr[t] = er + twr * or_ - twi * oi;
+                    xi[t] = ei + twr * oi + twi * or_;
+                    // X[h−k] = conj(E) + e^{−2πi(h−k)/n}·conj(O).
+                    mr[t] = er + twr2 * or_ + twi2 * oi;
+                    mi[t] = twi2 * or_ - twr2 * oi - ei;
+                }
+                re[k * batch + b0..][..l].copy_from_slice(&xr[..l]);
+                im[k * batch + b0..][..l].copy_from_slice(&xi[..l]);
+                if write_mirror {
+                    re[(h - k) * batch + b0..][..l].copy_from_slice(&mr[..l]);
+                    im[(h - k) * batch + b0..][..l].copy_from_slice(&mi[..l]);
+                }
+                b0 += l;
+            }
+        }
+        Ok(())
+    }
+
+    /// Inverse of [`BatchFftPlan::forward_planes_real`]: the unique
+    /// `n/2 + 1` half-spectrum rows enter in `re[..(n/2 + 1)·batch]` /
+    /// `im[..(n/2 + 1)·batch]` (higher rows ignored; `im` is destroyed),
+    /// and the `batch` real time-domain signals (scaled by `1/n`) leave in
+    /// the full `[n][batch]` plane `re`. Lanes never mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError`] if the planes are not `n·batch` long or the
+    /// batch is zero.
+    pub fn inverse_planes_real(
+        &self,
+        re: &mut [T],
+        im: &mut [T],
+        batch: usize,
+    ) -> Result<(), FftError> {
+        self.validate(re, im, batch)?;
+        let n = self.n;
+        if n == 1 {
+            return Ok(()); // DC bin is the signal; 1/1 scaling.
+        }
+        let h = n / 2;
+        // Re-pack bins into the half-length interleaved spectrum:
+        // Z[k] = E[k] + i·O[k] with E[k] = (X[k] + conj(X[h−k]))/2 and
+        // O[k] = e^{+2πik/n}·(X[k] − conj(X[h−k]))/2; the pair's mirror row
+        // reuses the same intermediates.
+        const L: usize = 16;
+        let mut xkr = [T::ZERO; L];
+        let mut xki = [T::ZERO; L];
+        let mut xnr = [T::ZERO; L];
+        let mut xni = [T::ZERO; L];
+        let mut zr = [T::ZERO; L];
+        let mut zi = [T::ZERO; L];
+        let mut wr = [T::ZERO; L];
+        let mut wi = [T::ZERO; L];
+        for k in 0..=h / 2 {
+            let k2 = h - k;
+            let (twr, twi) = (self.rtw_re[k], self.rtw_im[k]);
+            let (twr2, twi2) = (self.rtw_re[k2], self.rtw_im[k2]);
+            let write_mirror = k2 != k && k2 < h;
+            let mut b0 = 0;
+            while b0 < batch {
+                let l = L.min(batch - b0);
+                xkr[..l].copy_from_slice(&re[k * batch + b0..][..l]);
+                xki[..l].copy_from_slice(&im[k * batch + b0..][..l]);
+                xnr[..l].copy_from_slice(&re[k2 * batch + b0..][..l]);
+                xni[..l].copy_from_slice(&im[k2 * batch + b0..][..l]);
+                for t in 0..l {
+                    // conj(X[h−k]) has imaginary −xni.
+                    let er = (xkr[t] + xnr[t]) * T::HALF;
+                    let ei = (xki[t] - xni[t]) * T::HALF;
+                    let dr = (xkr[t] - xnr[t]) * T::HALF;
+                    let di = (xki[t] + xni[t]) * T::HALF;
+                    // O[k] = conj(tw[k])·d  (tw stores e^{−2πik/n}).
+                    let or_ = twr * dr + twi * di;
+                    let oi = twr * di - twi * dr;
+                    zr[t] = er - oi;
+                    zi[t] = ei + or_;
+                    // E[h−k] = conj(E), d[h−k] = −conj(d).
+                    let or2 = twi2 * di - twr2 * dr;
+                    let oi2 = twr2 * di + twi2 * dr;
+                    wr[t] = er - oi2;
+                    wi[t] = or2 - ei;
+                }
+                re[k * batch + b0..][..l].copy_from_slice(&zr[..l]);
+                im[k * batch + b0..][..l].copy_from_slice(&zi[..l]);
+                if write_mirror {
+                    re[k2 * batch + b0..][..l].copy_from_slice(&wr[..l]);
+                    im[k2 * batch + b0..][..l].copy_from_slice(&wi[..l]);
+                }
+                b0 += l;
+            }
+        }
+        let half = self.half.as_ref().expect("n >= 2 always has a half plan");
+        half.inverse_planes(&mut re[..h * batch], &mut im[..h * batch], batch)?;
+        // Unpack lane-wise: x[2m] = Z[m].re, x[2m+1] = Z[m].im. Descending
+        // m only writes rows ≥ 2m while reading rows m ≤ 2m.
+        for m in (0..h).rev() {
+            let src = m * batch;
+            re.copy_within(src..src + batch, 2 * m * batch);
+            re[(2 * m + 1) * batch..(2 * m + 2) * batch].copy_from_slice(&im[src..src + batch]);
         }
         Ok(())
     }
@@ -279,6 +485,86 @@ mod tests {
             assert!((re[i] - orig[i]).abs() < 1e-10);
             assert!((im[i] - orig_im[i]).abs() < 1e-10);
         }
+    }
+
+    #[test]
+    fn real_planes_match_complex_planes_on_real_data() {
+        for log in 0..=8 {
+            let n = 1usize << log;
+            let batch = 3;
+            let plan = BatchFftPlan::<f64>::new(n).unwrap();
+            let x = seeded(n * batch, 11 + log as u64);
+            // Complex reference path on the same real data.
+            let mut cre = x.clone();
+            let mut cim = vec![0.0f64; n * batch];
+            plan.forward_planes(&mut cre, &mut cim, batch).unwrap();
+            // Real path; imaginary plane starts as garbage on purpose.
+            let mut rre = x.clone();
+            let mut rim = seeded(n * batch, 999);
+            plan.forward_planes_real(&mut rre, &mut rim, batch).unwrap();
+            let bins = n / 2 + 1;
+            for r in 0..bins {
+                for b in 0..batch {
+                    let i = r * batch + b;
+                    let d = (rre[i] - cre[i]).abs() + (rim[i] - cim[i]).abs();
+                    assert!(d < 1e-10 * n as f64, "n={n} bin {r} lane {b}: err {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn real_planes_round_trip_is_identity() {
+        for n in [1usize, 2, 4, 16, 128] {
+            let batch = 4;
+            let plan = BatchFftPlan::<f64>::new(n).unwrap();
+            let x = seeded(n * batch, n as u64);
+            let mut re = x.clone();
+            let mut im = vec![0.0f64; n * batch];
+            plan.forward_planes_real(&mut re, &mut im, batch).unwrap();
+            plan.inverse_planes_real(&mut re, &mut im, batch).unwrap();
+            for (i, (&a, &e)) in re.iter().zip(&x).enumerate() {
+                assert!((a - e).abs() < 1e-10, "n={n} idx {i}: {a} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn real_plane_lanes_are_batch_composition_invariant() {
+        // A lane's spectrum must be bit-identical whether it runs alone or
+        // inside a wider batch — lanes never mix in the real path.
+        let n = 32;
+        let plan = BatchFftPlan::<f32>::new(n).unwrap();
+        let batch = 5;
+        let signals: Vec<Vec<f32>> = (0..batch)
+            .map(|b| seeded(n, 40 + b as u64).iter().map(|&v| v as f32).collect())
+            .collect();
+        let mut re = vec![0.0f32; n * batch];
+        let mut im = vec![0.0f32; n * batch];
+        for (b, sig) in signals.iter().enumerate() {
+            for (t, &v) in sig.iter().enumerate() {
+                re[t * batch + b] = v;
+            }
+        }
+        plan.forward_planes_real(&mut re, &mut im, batch).unwrap();
+        for (b, sig) in signals.iter().enumerate() {
+            let mut sre = sig.clone();
+            let mut sim = vec![0.0f32; n];
+            plan.forward_planes_real(&mut sre, &mut sim, 1).unwrap();
+            for r in 0..n / 2 + 1 {
+                assert_eq!(re[r * batch + b], sre[r], "lane {b} bin {r} re");
+                assert_eq!(im[r * batch + b], sim[r], "lane {b} bin {r} im");
+            }
+        }
+    }
+
+    #[test]
+    fn real_planes_validate_sizes() {
+        let plan = BatchFftPlan::<f64>::new(8).unwrap();
+        let mut re = vec![0.0; 15];
+        let mut im = vec![0.0; 15];
+        assert!(plan.forward_planes_real(&mut re, &mut im, 2).is_err());
+        assert!(plan.inverse_planes_real(&mut re, &mut im, 0).is_err());
     }
 
     #[test]

@@ -173,3 +173,57 @@ proptest! {
         }
     }
 }
+
+/// Strategy: a power-of-two plane length in `[1, 128]`, a batch in
+/// `[1, 6]`, and `n·batch` lane values.
+fn real_planes() -> impl Strategy<Value = (usize, usize, Vec<f64>)> {
+    (0u32..=7, 1usize..=6).prop_flat_map(|(log, batch)| {
+        let n = 1usize << log;
+        prop::collection::vec(-50.0..50.0f64, n * batch..=n * batch)
+            .prop_map(move |v| (n, batch, v))
+    })
+}
+
+proptest! {
+    /// The real-input plane FFT must agree with the complex plane FFT run
+    /// on the same real data (zero imaginary plane) on every unique
+    /// half-spectrum bin — the Fig.-10 specialization changes the work,
+    /// not the transform.
+    #[test]
+    fn real_plane_fft_matches_complex_plane_fft((n, batch, data) in real_planes()) {
+        let plan = circnn_fft::BatchFftPlan::<f64>::new(n).unwrap();
+        let mut cre = data.clone();
+        let mut cim = vec![0.0f64; n * batch];
+        plan.forward_planes(&mut cre, &mut cim, batch).unwrap();
+        let mut rre = data.clone();
+        let mut rim = vec![123.0f64; n * batch]; // scratch: contents ignored
+        plan.forward_planes_real(&mut rre, &mut rim, batch).unwrap();
+        let scale = data.iter().fold(1.0f64, |a, &v| a.max(v.abs())) * n as f64;
+        for r in 0..n / 2 + 1 {
+            for b in 0..batch {
+                let i = r * batch + b;
+                prop_assert!(
+                    (rre[i] - cre[i]).abs() + (rim[i] - cim[i]).abs() < 1e-12 * scale,
+                    "n={n} batch={batch} bin {r} lane {b}: ({}, {}) vs ({}, {})",
+                    rre[i], rim[i], cre[i], cim[i]
+                );
+            }
+        }
+    }
+
+    /// Real-plane forward → inverse is the identity (to rounding), for
+    /// every lane independently.
+    #[test]
+    fn real_plane_round_trip_recovers_signal((n, batch, data) in real_planes()) {
+        let plan = circnn_fft::BatchFftPlan::<f64>::new(n).unwrap();
+        let mut re = data.clone();
+        let mut im = vec![0.0f64; n * batch];
+        plan.forward_planes_real(&mut re, &mut im, batch).unwrap();
+        plan.inverse_planes_real(&mut re, &mut im, batch).unwrap();
+        let scale = data.iter().fold(1.0f64, |a, &v| a.max(v.abs()));
+        for (i, (&a, &e)) in re.iter().zip(&data).enumerate() {
+            prop_assert!((a - e).abs() < 1e-12 * scale.max(1.0) * n as f64,
+                "n={n} idx {i}: {a} vs {e}");
+        }
+    }
+}

@@ -120,12 +120,11 @@ pub trait Layer {
     /// Stochastic training-only layers (dropout) behave as their
     /// inference-mode identity.
     ///
-    /// The default implementation panics: layers whose batched kernel has
-    /// not been made shareable yet (CONV/POOL) cannot be served through
-    /// this path. Every FC-path layer (`Linear`, activations, `Flatten`,
-    /// `Dropout`, `Sequential`, and `CirculantLinear` in `circnn-core`)
-    /// overrides it — always together with [`Layer::supports_infer`], which
-    /// is the panic-free way to ask first.
+    /// Every stock layer overrides this (dense and circulant, FC and
+    /// CONV/POOL alike) — always together with [`Layer::supports_infer`],
+    /// which is the panic-free way to ask first. The default implementation
+    /// panics, so a custom layer without a shareable batched kernel is
+    /// rejected by serving stacks up front rather than inside a worker.
     ///
     /// # Panics
     ///
@@ -146,6 +145,16 @@ pub trait Layer {
     /// return `true`.
     fn supports_infer(&self) -> bool {
         false
+    }
+
+    /// Whether the caches [`Layer::infer_batch`] serves from are fresh
+    /// (container layers: whether every child's are). Circulant layers
+    /// return `false` while an optimizer step has left their cached weight
+    /// spectra stale; [`Layer::set_training`]`(false)` re-syncs them.
+    /// Serving stacks check this **once at model registration** and reject
+    /// with a typed error, instead of every request asserting it.
+    fn infer_ready(&self) -> bool {
+        true
     }
 
     /// Switches between training and inference behaviour (dropout masks,

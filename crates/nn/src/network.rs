@@ -105,9 +105,12 @@ impl Sequential {
     /// [`InferScratch`]. Outputs are **batch-composition invariant**: a
     /// sample's row is bit-identical no matter which batch carries it.
     /// They also match [`Layer::forward_batch`] in inference mode, except
-    /// that circulant layers always use the batched engine — at batch
-    /// size 1, `forward_batch` takes a scalar-pipeline shortcut whose
-    /// rounding differs at the last ulp.
+    /// that circulant FC layers always use the batched engine — at batch
+    /// size 1, `CirculantLinear::forward_batch` takes a scalar-pipeline
+    /// shortcut whose rounding differs at the last ulp (the conv layer has
+    /// no such shortcut: its plane pipeline is the only path, so
+    /// `forward_batch` and `infer_batch` agree bitwise at every batch
+    /// size).
     ///
     /// Circulant layers serve from their cached weight spectra; call
     /// [`Layer::set_training`]`(false)` once after training (before sharing
@@ -118,6 +121,14 @@ impl Sequential {
     /// Panics if any layer does not support read-only inference (see
     /// [`Layer::infer_batch`]).
     pub fn infer(&self, input: &Tensor, scratch: &mut InferScratch) -> Tensor {
+        // Serving stacks (`SequentialModel`) verify this once at model
+        // registration; the root-level debug check catches direct callers
+        // who skipped `set_training(false)` after an optimizer step.
+        debug_assert!(
+            self.infer_ready(),
+            "a layer's serving caches are stale; call set_training(false) \
+             after the last optimizer step before calling infer"
+        );
         scratch.rewind();
         Layer::infer_batch(self, input, scratch)
     }
@@ -187,6 +198,10 @@ impl Layer for Sequential {
 
     fn supports_infer(&self) -> bool {
         self.layers.iter().all(|l| l.supports_infer())
+    }
+
+    fn infer_ready(&self) -> bool {
+        self.layers.iter().all(|l| l.infer_ready())
     }
 
     fn visit_params(&mut self, visitor: &mut dyn FnMut(&mut [f32], &mut [f32])) {

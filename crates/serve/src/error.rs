@@ -23,6 +23,11 @@ pub enum ServeError {
     DeadlineExceeded,
     /// The request named a tenant that is not (or no longer) registered.
     UnknownTenant,
+    /// A network rejected at **model registration**: a layer lacks the
+    /// read-only batched inference path, or its serving caches are stale
+    /// (`Layer::infer_ready` is false). Raised once when the model is
+    /// wrapped, never per request.
+    NotServable(String),
 }
 
 impl core::fmt::Display for ServeError {
@@ -37,6 +42,7 @@ impl core::fmt::Display for ServeError {
             Self::Canceled => write!(f, "request canceled without a result"),
             Self::DeadlineExceeded => write!(f, "request deadline passed before dispatch"),
             Self::UnknownTenant => write!(f, "no such tenant registered"),
+            Self::NotServable(why) => write!(f, "network is not servable: {why}"),
         }
     }
 }

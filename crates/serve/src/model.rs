@@ -11,6 +11,8 @@ use circnn_core::{BlockCirculantMatrix, Workspace};
 use circnn_nn::{InferScratch, Layer, Sequential};
 use circnn_tensor::Tensor;
 
+use crate::error::ServeError;
+
 /// A batched inference backend the server can share across workers.
 ///
 /// Implementations must be **batch-composition invariant**: each input
@@ -98,13 +100,16 @@ impl SequentialModel {
     ///
     /// Switches the network to inference mode (syncing circulant spectra
     /// caches), verifies every layer supports the read-only inference path
-    /// ([`Layer::supports_infer`]) — failing at construction, not inside a
+    /// ([`Layer::supports_infer`]) **and** that its serving caches are
+    /// fresh ([`Layer::infer_ready`]) — failing at registration with a
+    /// typed [`ServeError::NotServable`], not per request inside a
     /// worker — and runs one probe batch to discover the output length.
     ///
     /// # Errors
     ///
-    /// Returns `Err` naming the offending layer if any layer lacks
-    /// [`Layer::infer_batch`] support.
+    /// Returns [`ServeError::NotServable`] naming the offending layer if
+    /// any layer lacks [`Layer::infer_batch`] support or reports stale
+    /// inference caches.
     ///
     /// # Panics
     ///
@@ -112,7 +117,7 @@ impl SequentialModel {
     /// message) if `input_len` does not match the network's input
     /// geometry — the `Layer` contract has no shape query to validate
     /// against up front.
-    pub fn new(net: Sequential, input_len: usize) -> Result<Self, String> {
+    pub fn new(net: Sequential, input_len: usize) -> Result<Self, ServeError> {
         Self::with_input_shape(net, &[input_len])
     }
 
@@ -129,17 +134,32 @@ impl SequentialModel {
     ///
     /// As [`SequentialModel::new`], if `input_shape` does not match the
     /// network's input geometry.
-    pub fn with_input_shape(mut net: Sequential, input_shape: &[usize]) -> Result<Self, String> {
+    pub fn with_input_shape(
+        mut net: Sequential,
+        input_shape: &[usize],
+    ) -> Result<Self, ServeError> {
         let input_len: usize = input_shape.iter().product();
         if input_shape.is_empty() || input_len == 0 {
-            return Err("input shape must be non-empty with nonzero dims".to_string());
+            return Err(ServeError::NotServable(
+                "input shape must be non-empty with nonzero dims".to_string(),
+            ));
         }
         net.set_training(false);
         if let Some(layer) = net.iter().find(|l| !l.supports_infer()) {
-            return Err(format!(
-                "network is not servable: {} has no read-only batched inference path",
+            return Err(ServeError::NotServable(format!(
+                "{} has no read-only batched inference path",
                 layer.name()
-            ));
+            )));
+        }
+        // set_training(false) syncs every stock layer's spectra caches;
+        // this guards custom layers whose set_training does not, so a
+        // stale-cache model is rejected here — once, typed — instead of
+        // tripping a per-request assertion in a worker thread.
+        if let Some(layer) = net.iter().find(|l| !l.infer_ready()) {
+            return Err(ServeError::NotServable(format!(
+                "{} has stale inference caches (its set_training(false) did not sync them)",
+                layer.name()
+            )));
         }
         let mut probe_dims = vec![1];
         probe_dims.extend_from_slice(input_shape);
@@ -278,7 +298,40 @@ mod tests {
         }
         let net = Sequential::new().add(Opaque);
         let err = SequentialModel::new(net, 25).unwrap_err();
-        assert!(err.contains("not servable"), "{err}");
+        assert!(matches!(err, ServeError::NotServable(_)), "{err}");
+        assert!(err.to_string().contains("not servable"), "{err}");
+    }
+
+    #[test]
+    fn stale_inference_caches_are_rejected_at_registration() {
+        // A layer that claims infer support but whose set_training(false)
+        // does not sync its caches must be rejected with the typed error
+        // when the model is wrapped — not assert per request in a worker.
+        struct Stale;
+        impl Layer for Stale {
+            fn forward(&mut self, input: &Tensor) -> Tensor {
+                input.clone()
+            }
+            fn backward(&mut self, grad: &Tensor) -> Tensor {
+                grad.clone()
+            }
+            fn infer_batch(&self, input: &Tensor, _scratch: &mut InferScratch) -> Tensor {
+                input.clone()
+            }
+            fn supports_infer(&self) -> bool {
+                true
+            }
+            fn infer_ready(&self) -> bool {
+                false
+            }
+            fn name(&self) -> &'static str {
+                "Stale"
+            }
+        }
+        let net = Sequential::new().add(Stale);
+        let err = SequentialModel::new(net, 8).unwrap_err();
+        assert!(matches!(err, ServeError::NotServable(_)), "{err}");
+        assert!(err.to_string().contains("stale"), "{err}");
     }
 
     #[test]

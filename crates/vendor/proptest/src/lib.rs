@@ -205,6 +205,7 @@ impl_tuple_strategy! {
     (A, B, C, D, E);
     (A, B, C, D, E, F);
     (A, B, C, D, E, F, G);
+    (A, B, C, D, E, F, G, H);
 }
 
 /// Types with a canonical whole-domain strategy (the real crate's

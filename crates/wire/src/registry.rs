@@ -162,8 +162,12 @@ impl ModelRegistry {
         input_shape: &[usize],
         cfg: TenantConfig,
     ) -> Result<(), RegistryError> {
-        let model = SequentialModel::with_input_shape(net, input_shape)
-            .map_err(RegistryError::Unservable)?;
+        let model = SequentialModel::with_input_shape(net, input_shape).map_err(|e| match e {
+            // Unwrap the typed rejection so the registry's own
+            // "model is not servable:" prefix is not doubled.
+            circnn_serve::ServeError::NotServable(why) => RegistryError::Unservable(why),
+            other => RegistryError::Unservable(other.to_string()),
+        })?;
         self.add_model(name, model, cfg)
     }
 

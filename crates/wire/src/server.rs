@@ -133,7 +133,8 @@ fn error_reply(e: &ServeError) -> Reply {
         ServeError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
         ServeError::Canceled => ErrorCode::Canceled,
         ServeError::UnknownTenant => ErrorCode::UnknownModel,
-        ServeError::BadConfig(_) => ErrorCode::Internal,
+        // Registration-time conditions; a request should never see them.
+        ServeError::BadConfig(_) | ServeError::NotServable(_) => ErrorCode::Internal,
     };
     Reply::Error {
         code,
@@ -155,6 +156,23 @@ fn budget_of(deadline_micros: u64) -> Option<Duration> {
 /// Tracked connections: a stream clone (so shutdown can close the
 /// socket) plus the connection thread to join.
 type ConnTable = Vec<(TcpStream, JoinHandle<()>)>;
+
+/// Joins and removes every finished connection from the table, so a
+/// long-lived server's table tracks only live connections instead of
+/// growing by one entry per connect/disconnect cycle. A connection
+/// thread is finished once its reader saw EOF and its writer drained —
+/// joining it here also releases its reply queue.
+fn reap_finished(table: &mut ConnTable) {
+    let mut i = 0;
+    while i < table.len() {
+        if table[i].1.is_finished() {
+            let (_, handle) = table.swap_remove(i);
+            let _ = handle.join();
+        } else {
+            i += 1;
+        }
+    }
+}
 
 /// A running TCP serving front-end over a shared [`ModelRegistry`].
 ///
@@ -213,10 +231,12 @@ impl WireServer {
                             .name("circnn-wire-conn".into())
                             .spawn(move || serve_connection(stream, &registry, pipeline))
                             .expect("spawning a connection thread");
-                        conns
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .push((track, handle));
+                        let mut table = conns.lock().unwrap_or_else(|e| e.into_inner());
+                        // Each accept first reaps closed connections, so the
+                        // table stays proportional to *live* connections over
+                        // any number of connect/disconnect cycles.
+                        reap_finished(&mut table);
+                        table.push((track, handle));
                     }
                 })
                 .expect("spawning the accept thread")
@@ -232,6 +252,15 @@ impl WireServer {
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Number of live tracked connections. Reaps (joins and drops) every
+    /// finished connection first, so the count — and the table behind
+    /// it — reflects only connections that are still open.
+    pub fn connection_count(&self) -> usize {
+        let mut table = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        reap_finished(&mut table);
+        table.len()
     }
 
     /// Stops accepting, closes every connection and joins the threads.

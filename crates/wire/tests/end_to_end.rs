@@ -245,3 +245,48 @@ fn malformed_frames_get_a_typed_error_then_disconnect() {
     assert_eq!(wire.infer("mlp", &request(32, 2)).unwrap().len(), 10);
     server.shutdown();
 }
+
+/// Connection-table reaping: a long-lived server's table must not grow
+/// with connect/disconnect cycles — finished reader/writer threads are
+/// joined and their reply queues dropped, so only live connections stay
+/// tracked.
+#[test]
+fn connection_table_does_not_grow_across_connect_disconnect_cycles() {
+    let registry = Arc::new(ModelRegistry::new(1).unwrap());
+    registry
+        .add_network("mlp", mlp(9), &[32], TenantConfig::default())
+        .unwrap();
+    let server =
+        WireServer::bind("127.0.0.1:0", Arc::clone(&registry), WireConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    const CYCLES: usize = 20;
+    for cycle in 0..CYCLES {
+        let mut wire = WireClient::connect(addr).expect("connect");
+        assert_eq!(
+            wire.infer("mlp", &request(32, cycle as u64)).unwrap().len(),
+            10
+        );
+        drop(wire); // hang up; the connection threads wind down
+    }
+
+    // The socket close is observed asynchronously by the reader thread;
+    // poll until the reaped count settles. A held connection must still be
+    // counted, every closed one must eventually be reaped.
+    let _held = WireClient::connect(addr).expect("connect");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut live = usize::MAX;
+    while std::time::Instant::now() < deadline {
+        live = server.connection_count();
+        if live <= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        live <= 1,
+        "connection table still holds {live} entries after {CYCLES} \
+         connect/disconnect cycles (expected only the held connection)"
+    );
+    server.shutdown();
+}
