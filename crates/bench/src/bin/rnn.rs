@@ -1,0 +1,11 @@
+//! Runs the recurrent-engine trajectory and writes `BENCH_rnn.json`.
+fn main() {
+    let quick = circnn_bench::quick_mode();
+    println!("CirCNN reproduction — recurrent inference on the unified engine (quick = {quick})\n");
+    let (rnn, strided) = circnn_bench::rnn::run(quick);
+    circnn_bench::rnn::print(&rnn, &strided);
+    let json = circnn_bench::rnn::to_json(&rnn, &strided);
+    let path = "BENCH_rnn.json";
+    std::fs::write(path, json).expect("writing trajectory file");
+    println!("\nwrote {path}");
+}

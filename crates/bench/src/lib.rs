@@ -16,6 +16,7 @@
 //! | [`ablations`] / `ablations` | design-choice ablations |
 //! | [`batched`] / `batched` | batched-inference engine trajectory (`BENCH_batched.json`) |
 //! | [`conv`] / `conv` | batch-plane CONV pipeline trajectory (`BENCH_conv.json`) |
+//! | [`rnn`] / `rnn` | recurrent engine + strided fused-MAC trajectory (`BENCH_rnn.json`) |
 //! | [`serve`] / `serve` | serving-layer throughput trajectory (`BENCH_serve.json`) |
 //! | [`wire`] / `wire` | network-serving throughput trajectory (`BENCH_wire.json`) |
 //!
@@ -32,6 +33,7 @@ pub mod fig13;
 pub mod fig14;
 pub mod fig15;
 pub mod fig7;
+pub mod rnn;
 pub mod sec53;
 pub mod serve;
 pub mod table;

@@ -1,0 +1,498 @@
+//! Recurrent-inference trajectory: per-timestep scalar dispatch versus
+//! engine-resident sequence inference on the unified spectral-plane core,
+//! plus the strided-conv fused run-MAC versus the retired per-offset
+//! gather dataflow.
+//!
+//! The scalar baseline is the pre-unification recurrent step reconstructed
+//! from the public Algorithm-1 pieces: two allocating `matvec` calls per
+//! timestep per sequence (`W_ih·x`, `W_hh·h`) and a tanh sweep — one
+//! weight-spectrum sweep **per sequence** per step. The engine path runs
+//! the fused batched step ([`CirculantRnnCell::step_batch_into`]): both
+//! matmuls' products accumulate into one set of planes, bias and tanh ride
+//! the IFFT's unpack pass, and each weight spectrum is swept **once per
+//! step for the whole batch** — the weights stay resident, only the state
+//! streams, which is where Li et al.'s FPGA RNN work says block-circulant
+//! inference pays off most.
+//!
+//! The strided-conv table compares the fused run-MAC (one register-tiled
+//! sweep over all `r²` offsets, strided input lanes) against the retired
+//! per-offset gather dataflow, reconstructed from the public spectral
+//! pieces (`col_spectra` / `accumulate_forward` / `finish_forward`):
+//! channel spectra per input pixel, `r²` per-offset accumulations per
+//! output pixel, one shared IFFT per output block.
+//!
+//! The `rnn` binary wraps [`run`] and writes the points to
+//! `BENCH_rnn.json` so the trajectory can be tracked across commits.
+
+use std::time::Instant;
+
+use circnn_core::{
+    default_batch_threads, BlockCirculantMatrix, CirculantConv2d, CirculantRnnCell, ConvWorkspace,
+    RecurrentWorkspace,
+};
+use circnn_nn::Layer;
+use circnn_tensor::init::seeded_rng;
+
+/// One measured recurrent configuration.
+#[derive(Debug, Clone)]
+pub struct RnnPoint {
+    /// Input width per timestep.
+    pub in_dim: usize,
+    /// Hidden units.
+    pub hidden: usize,
+    /// Circulant block size.
+    pub k: usize,
+    /// Sequence length.
+    pub steps: usize,
+    /// Concurrent sequences.
+    pub batch: usize,
+    /// Worker threads used by the parallel engine path.
+    pub threads: usize,
+    /// Nanoseconds per (timestep · sequence), scalar per-timestep matvecs.
+    pub scalar_ns: f64,
+    /// Nanoseconds per (timestep · sequence), fused engine step, 1 thread.
+    pub engine_ns: f64,
+    /// Nanoseconds per (timestep · sequence), fused engine step, threaded.
+    pub parallel_ns: f64,
+}
+
+impl RnnPoint {
+    /// Throughput gain of the serial fused engine step over the scalar
+    /// per-timestep path.
+    pub fn engine_speedup(&self) -> f64 {
+        self.scalar_ns / self.engine_ns
+    }
+
+    /// Throughput gain of the threaded fused engine step.
+    pub fn parallel_speedup(&self) -> f64 {
+        self.scalar_ns / self.parallel_ns
+    }
+}
+
+/// One measured strided-conv configuration.
+#[derive(Debug, Clone)]
+pub struct StridedConvPoint {
+    /// Input channels.
+    pub c: usize,
+    /// Output channels.
+    pub p: usize,
+    /// Square input size.
+    pub hw: usize,
+    /// Kernel size `r`.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Circulant block size.
+    pub k: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// Nanoseconds per sample, per-offset gather reference.
+    pub gather_ns: f64,
+    /// Nanoseconds per sample, fused run-MAC pipeline (1 thread).
+    pub fused_ns: f64,
+}
+
+impl StridedConvPoint {
+    /// Throughput gain of the fused run-MAC over the gather reference.
+    pub fn speedup(&self) -> f64 {
+        self.gather_ns / self.fused_ns
+    }
+}
+
+/// Times `f` and returns median nanoseconds per call over `samples` runs.
+fn median_ns<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    f(); // warm-up also sizes workspaces
+    let mut times: Vec<f64> = (0..samples.max(3))
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_nanos() as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    times[times.len() / 2]
+}
+
+/// The retired scalar recurrent step: two allocating matvecs + tanh, per
+/// sequence, per timestep (zero bias — `CirculantRnnCell::new` starts
+/// with zero bias, so both paths compute the same function).
+fn scalar_step(cell: &CirculantRnnCell, x: &[f32], h: &[f32]) -> Vec<f32> {
+    let mut pre = cell.w_ih().matvec(x).expect("sized input");
+    let rec = cell.w_hh().matvec(h).expect("sized state");
+    for (p, r) in pre.iter_mut().zip(&rec) {
+        *p = (*p + r).tanh();
+    }
+    pre
+}
+
+/// Measures one recurrent configuration.
+pub fn measure_rnn(
+    in_dim: usize,
+    hidden: usize,
+    k: usize,
+    steps: usize,
+    batch: usize,
+    samples: usize,
+) -> RnnPoint {
+    let mut rng = seeded_rng((in_dim * 31 + hidden * 7 + k + steps + batch) as u64);
+    let cell = CirculantRnnCell::new(&mut rng, in_dim, hidden, k, 0.9).expect("valid cell shape");
+    let threads = default_batch_threads();
+    // Timestep slabs, row-major [batch, in_dim].
+    let slabs: Vec<Vec<f32>> = (0..steps)
+        .map(|_| {
+            circnn_tensor::init::uniform(&mut rng, &[batch * in_dim], -1.0, 1.0)
+                .data()
+                .to_vec()
+        })
+        .collect();
+    let work = (steps * batch) as f64;
+
+    // Scalar baseline: sequence-by-sequence, step-by-step.
+    let scalar_ns = median_ns(samples, || {
+        for b in 0..batch {
+            let mut h = vec![0.0f32; hidden];
+            for slab in &slabs {
+                h = scalar_step(&cell, &slab[b * in_dim..(b + 1) * in_dim], &h);
+            }
+            std::hint::black_box(&h);
+        }
+    }) / work;
+
+    // Fused engine step, whole batch per dispatch, resident weights.
+    let run_engine = |threads: usize| -> f64 {
+        let mut ws = RecurrentWorkspace::new();
+        let mut h = vec![0.0f32; batch * hidden];
+        let mut next = vec![0.0f32; batch * hidden];
+        median_ns(samples, || {
+            h.fill(0.0);
+            for slab in &slabs {
+                cell.step_batch_into_with_threads(slab, &h, batch, &mut ws, &mut next, threads)
+                    .expect("sized slabs");
+                core::mem::swap(&mut h, &mut next);
+            }
+            std::hint::black_box(&h);
+        }) / work
+    };
+    let engine_ns = run_engine(1);
+    let parallel_ns = run_engine(threads);
+
+    // Sanity: the engine path computes the scalar recurrence (to
+    // rounding — the factorizations differ).
+    {
+        let mut ws = RecurrentWorkspace::new();
+        let mut h = vec![0.0f32; batch * hidden];
+        let mut next = vec![0.0f32; batch * hidden];
+        for slab in &slabs {
+            cell.step_batch_into(slab, &h, batch, &mut ws, &mut next)
+                .expect("sized slabs");
+            core::mem::swap(&mut h, &mut next);
+        }
+        let mut href = vec![0.0f32; hidden];
+        for slab in &slabs {
+            href = scalar_step(&cell, &slab[..in_dim], &href);
+        }
+        for (i, (&a, &e)) in h[..hidden].iter().zip(&href).enumerate() {
+            assert!(
+                (a - e).abs() < 1e-3 * e.abs().max(1.0),
+                "engine step diverged from scalar recurrence at unit {i}: {a} vs {e}"
+            );
+        }
+    }
+
+    RnnPoint {
+        in_dim,
+        hidden,
+        k,
+        steps,
+        batch,
+        threads,
+        scalar_ns,
+        engine_ns,
+        parallel_ns,
+    }
+}
+
+/// The retired per-offset gather reference for one image (any stride):
+/// channel spectra once per input pixel, per-offset accumulation per
+/// output pixel, one shared IFFT per output pixel's block set.
+#[allow(clippy::too_many_arguments)]
+fn gather_reference(
+    engines: &[BlockCirculantMatrix],
+    bias: &[f32],
+    c: usize,
+    r: usize,
+    stride: usize,
+    padding: usize,
+    img: &[f32],
+    hw: usize,
+    out: &mut [f32],
+) {
+    let (h, w) = (hw, hw);
+    let e0 = &engines[0];
+    let oh = (h + 2 * padding - r) / stride + 1;
+    let ow = (w + 2 * padding - r) / stride + 1;
+    let mut pixel_spectra = Vec::with_capacity(h * w);
+    let mut chans = vec![0.0f32; c];
+    for iy in 0..h {
+        for ix in 0..w {
+            for (ci, slot) in chans.iter_mut().enumerate() {
+                *slot = img[(ci * h + iy) * w + ix];
+            }
+            pixel_spectra.push(e0.col_spectra(&chans).expect("sized channel vector"));
+        }
+    }
+    let mut acc = vec![circnn_fft::Complex::zero(); e0.block_rows() * e0.bins()];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            acc.fill(circnn_fft::Complex::zero());
+            for kh in 0..r {
+                let iy = (oy * stride + kh) as isize - padding as isize;
+                if iy < 0 || iy >= h as isize {
+                    continue;
+                }
+                for kw in 0..r {
+                    let ix = (ox * stride + kw) as isize - padding as isize;
+                    if ix < 0 || ix >= w as isize {
+                        continue;
+                    }
+                    let spec = &pixel_spectra[iy as usize * w + ix as usize];
+                    engines[kh * r + kw].accumulate_forward(spec, &mut acc);
+                }
+            }
+            let y = e0.finish_forward(&acc).expect("sized accumulator");
+            for (pch, &v) in y.iter().enumerate() {
+                out[(pch * oh + oy) * ow + ox] = v + bias[pch];
+            }
+        }
+    }
+}
+
+/// Measures one strided-conv configuration: fused run-MAC pipeline versus
+/// the per-offset gather reference.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_strided(
+    c: usize,
+    p: usize,
+    hw: usize,
+    r: usize,
+    stride: usize,
+    k: usize,
+    batch: usize,
+    samples: usize,
+) -> StridedConvPoint {
+    let padding = r / 2;
+    let mut rng = seeded_rng((c * 13 + p * 5 + hw * 3 + stride + k + batch) as u64);
+    let mut conv =
+        CirculantConv2d::new(&mut rng, c, p, r, stride, padding, k).expect("valid conv shape");
+    let mut groups: Vec<Vec<f32>> = Vec::new();
+    conv.visit_params(&mut |param, _| groups.push(param.to_vec()));
+    let per = (p.div_ceil(k)) * (c.div_ceil(k)) * k;
+    let engines: Vec<BlockCirculantMatrix> = (0..r * r)
+        .map(|o| {
+            BlockCirculantMatrix::from_weights(p, c, k, &groups[0][o * per..(o + 1) * per])
+                .expect("valid operator shape")
+        })
+        .collect();
+    conv.set_training(false);
+    let x = circnn_tensor::init::uniform(&mut rng, &[batch, c, hw, hw], -1.0, 1.0);
+    let oh = (hw + 2 * padding - r) / stride + 1;
+    let per_out = p * oh * oh;
+    let mut out = vec![0.0f32; batch * per_out];
+
+    let gather_ns = median_ns(samples, || {
+        for b in 0..batch {
+            let img = x.data()[b * c * hw * hw..(b + 1) * c * hw * hw].to_vec();
+            gather_reference(
+                &engines,
+                &groups[1],
+                c,
+                r,
+                stride,
+                padding,
+                &img,
+                hw,
+                &mut out[b * per_out..(b + 1) * per_out],
+            );
+        }
+        std::hint::black_box(&out);
+    }) / batch as f64;
+
+    let mut ws = ConvWorkspace::new();
+    let fused_ns = median_ns(samples, || {
+        conv.infer_batch_into(&x, &mut ws, &mut out, 1)
+            .expect("sized slab");
+        std::hint::black_box(&out);
+    }) / batch as f64;
+
+    // Sanity: fused and gather compute the same conv.
+    {
+        let mut reference = vec![0.0f32; per_out];
+        let img = x.data()[..c * hw * hw].to_vec();
+        gather_reference(
+            &engines,
+            &groups[1],
+            c,
+            r,
+            stride,
+            padding,
+            &img,
+            hw,
+            &mut reference,
+        );
+        let scale = reference.iter().fold(1.0f32, |a, &v| a.max(v.abs()));
+        for (i, (&a, &e)) in out[..per_out].iter().zip(&reference).enumerate() {
+            assert!(
+                (a - e).abs() < 5e-4 * scale,
+                "fused strided path diverged from gather reference at {i}: {a} vs {e}"
+            );
+        }
+    }
+
+    StridedConvPoint {
+        c,
+        p,
+        hw,
+        kernel: r,
+        stride,
+        k,
+        batch,
+        gather_ns,
+        fused_ns,
+    }
+}
+
+/// The recurrent trajectory grid (`in_dim, hidden, k, steps, batch`); the
+/// B ∈ {1, 8, 32} sweep is the acceptance-criteria table.
+pub fn rnn_grid(quick: bool) -> Vec<(usize, usize, usize, usize, usize)> {
+    if quick {
+        vec![(16, 128, 16, 8, 1), (16, 128, 16, 8, 32)]
+    } else {
+        vec![
+            (16, 128, 16, 24, 1),
+            (16, 128, 16, 24, 8),
+            (16, 128, 16, 24, 32),
+            (32, 256, 32, 24, 8),
+        ]
+    }
+}
+
+/// The strided-conv grid (`c, p, hw, r, stride, k, batch`).
+pub fn strided_grid(quick: bool) -> Vec<(usize, usize, usize, usize, usize, usize, usize)> {
+    if quick {
+        vec![(8, 16, 10, 3, 2, 8, 4)]
+    } else {
+        vec![
+            (8, 16, 10, 3, 2, 8, 8),
+            (16, 32, 12, 3, 2, 16, 8),
+            (8, 16, 13, 3, 3, 8, 8),
+        ]
+    }
+}
+
+/// Runs the whole trajectory.
+pub fn run(quick: bool) -> (Vec<RnnPoint>, Vec<StridedConvPoint>) {
+    let samples = if quick { 5 } else { 11 };
+    let rnn = rnn_grid(quick)
+        .into_iter()
+        .map(|(d, h, k, t, b)| measure_rnn(d, h, k, t, b, samples))
+        .collect();
+    let strided = strided_grid(quick)
+        .into_iter()
+        .map(|(c, p, hw, r, s, k, b)| measure_strided(c, p, hw, r, s, k, b, samples))
+        .collect();
+    (rnn, strided)
+}
+
+/// Renders the points as the `BENCH_rnn.json` trajectory document.
+pub fn to_json(rnn: &[RnnPoint], strided: &[StridedConvPoint]) -> String {
+    let mut out = String::from(
+        "{\n  \"bench\": \"recurrent_engine\",\n  \"unit\": \"ns_per_step_sequence\",\n  \
+         \"points\": [\n",
+    );
+    for (i, p) in rnn.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"in_dim\": {}, \"hidden\": {}, \"k\": {}, \"steps\": {}, \"batch\": {}, \
+             \"threads\": {}, \"scalar_ns\": {:.1}, \"engine_ns\": {:.1}, \"parallel_ns\": {:.1}, \
+             \"engine_speedup\": {:.2}, \"parallel_speedup\": {:.2}}}{}\n",
+            p.in_dim,
+            p.hidden,
+            p.k,
+            p.steps,
+            p.batch,
+            p.threads,
+            p.scalar_ns,
+            p.engine_ns,
+            p.parallel_ns,
+            p.engine_speedup(),
+            p.parallel_speedup(),
+            if i + 1 == rnn.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n  \"strided_conv\": [\n");
+    for (i, p) in strided.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"c\": {}, \"p\": {}, \"hw\": {}, \"kernel\": {}, \"stride\": {}, \"k\": {}, \
+             \"batch\": {}, \"gather_ns\": {:.1}, \"fused_ns\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            p.c,
+            p.p,
+            p.hw,
+            p.kernel,
+            p.stride,
+            p.k,
+            p.batch,
+            p.gather_ns,
+            p.fused_ns,
+            p.speedup(),
+            if i + 1 == strided.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Prints a human-readable table.
+pub fn print(rnn: &[RnnPoint], strided: &[StridedConvPoint]) {
+    println!(
+        "{:>4} {:>5} {:>4} {:>5} {:>4} | {:>12} {:>12} {:>12} | {:>8} {:>8}",
+        "D", "H", "k", "T", "B", "scalar", "engine", "parallel", "E-spdup", "P-spdup"
+    );
+    for p in rnn {
+        println!(
+            "{:>4} {:>5} {:>4} {:>5} {:>4} | {:>9.0} ns {:>9.0} ns {:>9.0} ns | {:>7.2}x {:>7.2}x",
+            p.in_dim,
+            p.hidden,
+            p.k,
+            p.steps,
+            p.batch,
+            p.scalar_ns,
+            p.engine_ns,
+            p.parallel_ns,
+            p.engine_speedup(),
+            p.parallel_speedup()
+        );
+    }
+    println!("\nstrided conv (fused run-MAC vs per-offset gather reference):");
+    for p in strided {
+        println!(
+            "  C={:>3} P={:>3} HW={:>3} r={} s={} k={:>3} B={:>3} | gather {:>9.0} ns  fused {:>9.0} ns | {:>5.2}x",
+            p.c, p.p, p.hw, p.kernel, p.stride, p.k, p.batch, p.gather_ns, p.fused_ns, p.speedup()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_serializes_small_points() {
+        let p = measure_rnn(4, 16, 4, 3, 2, 3);
+        assert!(p.scalar_ns > 0.0 && p.engine_ns > 0.0 && p.parallel_ns > 0.0);
+        let s = measure_strided(4, 8, 7, 3, 2, 4, 2, 3);
+        assert!(s.gather_ns > 0.0 && s.fused_ns > 0.0);
+        let json = to_json(std::slice::from_ref(&p), std::slice::from_ref(&s));
+        assert!(json.contains("\"hidden\": 16"));
+        assert!(json.contains("strided_conv"));
+        assert!(json.contains("engine_speedup"));
+    }
+}

@@ -10,38 +10,47 @@
 //! output pixel is computed with the same FFT pipeline as the FC layer.
 //!
 //! Implementation: one [`BlockCirculantMatrix`] of logical shape `P×C` per
-//! kernel offset (`r²` of them), and a [`ConvWorkspace`] that runs the
-//! whole `[B, C, H, W]` batch through SoA `[bin][block][batch·pixels]`
-//! spectra planes:
+//! kernel offset (`r²` of them), and a [`ConvWorkspace`] — a thin
+//! lane-mapping adapter (lanes = batch·pixels) over the shared
+//! spectral-plane core in `crate::engine` — that runs the whole
+//! `[B, C, H, W]` batch through SoA `[bin][block][batch·pixels]` spectra
+//! planes:
 //!
 //! 1. **Channel FFT** — one real-input batch-plane FFT per block *column*
 //!    for the entire batch (`B·H·W` lanes per dispatch); each input pixel's
-//!    channel spectra are computed once and reused by every patch/offset
+//!    channel spectra are computed once and reused by every kernel offset
 //!    that touches that pixel.
-//! 2. **Per-offset MAC** — for each of the `r²` kernel offsets, the input
-//!    spectra lanes are gathered into patch planes (zero-filled at the
-//!    borders) and fed to that offset's register-tiled frequency-domain
-//!    MAC, *accumulating* into shared output planes — the Eqn.-7 sum moves
-//!    inside the IFFT by linearity.
-//! 3. **Output IFFT** — one real-input batch-plane inverse per output
-//!    block row for the whole batch (the single shared IFFT per output
-//!    block the hardware's peripheral block performs).
+//! 2. **Fused run-MAC** — every stride: on the padded grid each kernel
+//!    offset is the same lane run at a constant plane shift (strided convs
+//!    advance the input lane by `stride` per output lane), so one
+//!    register-tiled sweep (`engine::run_mac`) accumulates all `r²·q`
+//!    frequency-domain terms per output element in registers — the Eqn.-7
+//!    sum moves inside the IFFT by linearity, the x-planes stream once,
+//!    and the accumulators are written exactly once. The former per-offset
+//!    gather path (patch-plane materialization + `r²` accumulator
+//!    read-modify-write sweeps for strided convs) is retired.
+//! 3. **Output IFFT with fused epilogue** — one real-input batch-plane
+//!    inverse per output block row for the whole batch (the single shared
+//!    IFFT per output block the hardware's peripheral block performs); the
+//!    per-channel bias is applied inside the IFFT's unpack pass, leaving
+//!    only a pure layout copy into the `[B, P, OH, OW]` slab.
 //!
 //! Only the `k/2 + 1` unique half-spectrum rows are ever stored or swept
 //! (Fig. 10: real inputs make the mirror half redundant). The backward
 //! pass rides the same planes: output-gradient spectra planes, per-offset
-//! gathered patches for the frequency-domain weight-gradient reduction,
-//! and a scatter-add of the transpose MAC for `∂L/∂x`. Serial and
-//! threaded runs are bit-identical (fixed per-element accumulation order),
-//! and the steady state performs zero heap allocations once the workspace
-//! is warm.
+//! gathered patches for the frequency-domain weight-gradient reduction
+//! (the reduction must pair each output-gradient lane with its patch lane,
+//! so the gather survives there), and a scatter-add of the transpose MAC
+//! for `∂L/∂x`. Serial and threaded runs are bit-identical (fixed
+//! per-element accumulation order), and the steady state performs zero
+//! heap allocations once the workspace is warm.
 
-use circnn_fft::BatchFftPlan;
 use circnn_nn::Layer;
 use circnn_tensor::im2col::ConvGeometry;
 use circnn_tensor::Tensor;
 use rand::Rng;
 
+use crate::engine::{self, Epilogue};
 use crate::error::CircError;
 use crate::matrix::{default_batch_threads, BlockCirculantMatrix};
 
@@ -107,253 +116,67 @@ fn scatter_add_row_padded(
     }
 }
 
-/// One batch-plane real-input forward FFT per block row of the input,
-/// staged onto the padded pixel grid: block `j0 + jl` covers channels
-/// `(j0+jl)·k ..` (rows past `channels` are zero), every padded
+/// Packs block `j`'s `[k][l_pad]` time-domain plane from a `[B, C, H, W]`
+/// input staged onto the **padded** pixel grid: row `t` covers channel
+/// `j·k + t` (rows past `channels` are zero), every padded
 /// `(sample, pixel)` pair is one lane and padding lanes are zero (their
 /// spectra are zero, which is exactly the zero-fill a boundary tap needs).
-/// Writes the `bins` half-spectrum rows block-major into the chunk.
-#[allow(clippy::too_many_arguments)]
-fn fft_input_blocks_padded(
-    plan: &BatchFftPlan<f32>,
+fn pack_padded_input_block(
     src: &[f32],
     g: &ConvGeometry,
     batch: usize,
     k: usize,
-    bins: usize,
-    l_pad: usize,
-    j0: usize,
-    jcount: usize,
-    out_re: &mut [f32],
-    out_im: &mut [f32],
-    pr: &mut [f32],
-    pi: &mut [f32],
+    j: usize,
+    plane: &mut [f32],
 ) {
     let (c_in, h, w, pad) = (g.channels, g.height, g.width, g.padding);
     let (hw, wp) = (h * w, w + 2 * pad);
     let hpwp = (h + 2 * pad) * wp;
-    for jl in 0..jcount {
-        let j = j0 + jl;
-        for t in 0..k {
-            let c = j * k + t;
-            let prow = &mut pr[t * l_pad..(t + 1) * l_pad];
-            if c >= c_in {
-                prow.fill(0.0);
-                continue;
-            }
-            if pad > 0 {
-                prow.fill(0.0);
-            }
-            for b in 0..batch {
-                for y in 0..h {
-                    let dst = b * hpwp + (y + pad) * wp + pad;
-                    prow[dst..dst + w].copy_from_slice(&src[(b * c_in + c) * hw + y * w..][..w]);
-                }
+    let l_pad = batch * hpwp;
+    for t in 0..k {
+        let c = j * k + t;
+        let prow = &mut plane[t * l_pad..(t + 1) * l_pad];
+        if c >= c_in {
+            prow.fill(0.0);
+            continue;
+        }
+        if pad > 0 {
+            prow.fill(0.0);
+        }
+        for b in 0..batch {
+            for y in 0..h {
+                let dst = b * hpwp + (y + pad) * wp + pad;
+                prow[dst..dst + w].copy_from_slice(&src[(b * c_in + c) * hw + y * w..][..w]);
             }
         }
-        plan.forward_planes_real(&mut pr[..k * l_pad], &mut pi[..k * l_pad], l_pad)
-            .expect("plane buffers are sized before dispatch");
-        let off = jl * bins * l_pad;
-        out_re[off..off + bins * l_pad].copy_from_slice(&pr[..bins * l_pad]);
-        out_im[off..off + bins * l_pad].copy_from_slice(&pi[..bins * l_pad]);
     }
 }
 
-/// One batch-plane real-input forward FFT per block row of a **compact**
-/// `[B, C', …]` feature map (used for the output-gradient spectra): rows
-/// past `channels` are zero. Writes block-major half-spectrum rows.
+/// Packs block `j`'s `[k][lanes]` plane from a **compact** `[B, C', …]`
+/// feature map (used for the output-gradient spectra): rows past
+/// `channels` are zero.
 #[allow(clippy::too_many_arguments)]
-fn fft_channel_blocks(
-    plan: &BatchFftPlan<f32>,
+fn pack_channel_block(
     src: &[f32],
     channels: usize,
     hw: usize,
     batch: usize,
     k: usize,
-    bins: usize,
-    lanes: usize,
-    j0: usize,
-    jcount: usize,
-    out_re: &mut [f32],
-    out_im: &mut [f32],
-    pr: &mut [f32],
-    pi: &mut [f32],
+    j: usize,
+    plane: &mut [f32],
 ) {
-    for jl in 0..jcount {
-        let j = j0 + jl;
-        for t in 0..k {
-            let c = j * k + t;
-            let prow = &mut pr[t * lanes..(t + 1) * lanes];
-            if c >= channels {
-                prow.fill(0.0);
-                continue;
-            }
-            for b in 0..batch {
-                prow[b * hw..(b + 1) * hw].copy_from_slice(&src[(b * channels + c) * hw..][..hw]);
-            }
+    let lanes = batch * hw;
+    for t in 0..k {
+        let c = j * k + t;
+        let prow = &mut plane[t * lanes..(t + 1) * lanes];
+        if c >= channels {
+            prow.fill(0.0);
+            continue;
         }
-        plan.forward_planes_real(&mut pr[..k * lanes], &mut pi[..k * lanes], lanes)
-            .expect("plane buffers are sized before dispatch");
-        let off = jl * bins * lanes;
-        out_re[off..off + bins * lanes].copy_from_slice(&pr[..bins * lanes]);
-        out_im[off..off + bins * lanes].copy_from_slice(&pi[..bins * lanes]);
-    }
-}
-
-/// The stride-1 fused MAC: one register-tiled sweep accumulating **all**
-/// `r²` kernel offsets' frequency-domain products per output element. On
-/// the padded grid each offset is the same per-sample lane run at a
-/// constant plane shift, so the x-planes are streamed once (not `r²`
-/// times) and the accumulator planes are written exactly once — no
-/// read-modify-write traffic at all. Term order is fixed (offset-major,
-/// then block column), so results are bit-stable across thread counts.
-#[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
-fn fused_mac_runs(
-    engines: &[BlockCirculantMatrix],
-    shifts: &[usize],
-    p: usize,
-    q: usize,
-    k: usize,
-    bins: usize,
-    i0: usize,
-    icount: usize,
-    xs_re: &[f32],
-    xs_im: &[f32],
-    l_pad: usize,
-    l_acc: usize,
-    runs: &[(usize, usize, usize)],
-    acc_re: &mut [f32],
-    acc_im: &mut [f32],
-) {
-    const LANES: usize = 16;
-    const TI: usize = 4;
-    for bin in 0..bins {
-        // Spectra of real signals are real at DC and (for k ≥ 2) the
-        // Nyquist bin, so those bins need one real multiply per term.
-        let real_bin = bin == 0 || (k >= 2 && bin == bins - 1);
-        let mut it = 0;
-        while it < icount {
-            let tl = TI.min(icount - it);
-            for &(out0, in_base, len) in runs {
-                let mut t0 = 0;
-                while t0 < len {
-                    let l = LANES.min(len - t0);
-                    let mut tr = [[0.0f32; LANES]; TI];
-                    let mut ti_ = [[0.0f32; LANES]; TI];
-                    for (eng, &shift) in engines.iter().zip(shifts) {
-                        let (wre, wim) = eng.forward_wplanes();
-                        for j in 0..q {
-                            // Block-major input planes: [q][bins][l_pad].
-                            let xo = (j * bins + bin) * l_pad + in_base + shift + t0;
-                            let xr = &xs_re[xo..xo + l];
-                            let xi = &xs_im[xo..xo + l];
-                            for u in 0..tl {
-                                let i = i0 + it + u;
-                                let widx = (bin * p + i) * q + j;
-                                let (wr, wi) = (wre[widx], wim[widx]);
-                                let (ar, ai) = (&mut tr[u], &mut ti_[u]);
-                                if real_bin {
-                                    for t in 0..l {
-                                        ar[t] += wr * xr[t];
-                                    }
-                                } else {
-                                    // conj(w)·x, the Algorithm-1 product.
-                                    for t in 0..l {
-                                        ar[t] += wr * xr[t] + wi * xi[t];
-                                        ai[t] += wr * xi[t] - wi * xr[t];
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    for u in 0..tl {
-                        let ao = ((it + u) * bins + bin) * l_acc + out0 + t0;
-                        acc_re[ao..ao + l].copy_from_slice(&tr[u][..l]);
-                        acc_im[ao..ao + l].copy_from_slice(&ti_[u][..l]);
-                    }
-                    t0 += l;
-                }
-            }
-            it += tl;
+        for b in 0..batch {
+            prow[b * hw..(b + 1) * hw].copy_from_slice(&src[(b * channels + c) * hw..][..hw]);
         }
     }
-}
-
-/// One batch-plane real-input inverse FFT per block of block-major
-/// accumulator planes, into `[block][k][lanes]` time-domain staging.
-#[allow(clippy::too_many_arguments)]
-fn ifft_blocks(
-    plan: &BatchFftPlan<f32>,
-    acc_re: &[f32],
-    acc_im: &[f32],
-    k: usize,
-    bins: usize,
-    lanes: usize,
-    i0: usize,
-    icount: usize,
-    stage: &mut [f32],
-    pi: &mut [f32],
-) {
-    for il in 0..icount {
-        let off = (i0 + il) * bins * lanes;
-        let sblock = &mut stage[il * k * lanes..(il + 1) * k * lanes];
-        sblock[..bins * lanes].copy_from_slice(&acc_re[off..off + bins * lanes]);
-        pi[..bins * lanes].copy_from_slice(&acc_im[off..off + bins * lanes]);
-        plan.inverse_planes_real(sblock, &mut pi[..k * lanes], lanes)
-            .expect("plane buffers are sized before dispatch");
-    }
-}
-
-/// Dispatches per-block plane work across up to `threads` scoped workers:
-/// `f(i0, icount, a_chunk, b_chunk, s1_chunk, s2_chunk)`, where `a`/`b`
-/// hold `chunk` elements per block (pass an empty slice for an unused
-/// plane) and `s1`/`s2` provide `scratch` elements of private per-worker
-/// scratch each (their backing buffers hold `threads` times that). Chunk
-/// boundaries depend only on `(threads, blocks)` and per-element work is
-/// chunk-independent, so serial and threaded runs stay bit-identical.
-#[allow(clippy::too_many_arguments)]
-fn par_planes<F>(
-    threads: usize,
-    blocks: usize,
-    chunk: usize,
-    a: &mut [f32],
-    b: &mut [f32],
-    scratch: usize,
-    s1: &mut [f32],
-    s2: &mut [f32],
-    f: F,
-) where
-    F: Fn(usize, usize, &mut [f32], &mut [f32], &mut [f32], &mut [f32]) + Sync,
-{
-    let t = threads.min(blocks).max(1);
-    if t <= 1 {
-        let (s1l, s2l) = (scratch.min(s1.len()), scratch.min(s2.len()));
-        f(0, blocks, a, b, &mut s1[..s1l], &mut s2[..s2l]);
-        return;
-    }
-    let cb = blocks.div_ceil(t);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let (mut a, mut b, mut s1, mut s2) = (a, b, s1, s2);
-        let mut i0 = 0;
-        while i0 < blocks {
-            let icount = cb.min(blocks - i0);
-            let na = if a.is_empty() { 0 } else { icount * chunk };
-            let (ac, ar) = std::mem::take(&mut a).split_at_mut(na);
-            a = ar;
-            let nb = if b.is_empty() { 0 } else { icount * chunk };
-            let (bc, br) = std::mem::take(&mut b).split_at_mut(nb);
-            b = br;
-            let ns1 = scratch.min(s1.len());
-            let (s1c, s1r) = std::mem::take(&mut s1).split_at_mut(ns1);
-            s1 = s1r;
-            let ns2 = scratch.min(s2.len());
-            let (s2c, s2r) = std::mem::take(&mut s2).split_at_mut(ns2);
-            s2 = s2r;
-            scope.spawn(move || f(i0, icount, ac, bc, s1c, s2c));
-            i0 += icount;
-        }
-    });
 }
 
 /// Reusable scratch arena for the batched CONV pipeline.
@@ -373,9 +196,10 @@ pub struct ConvWorkspace {
     xs_re: Vec<f32>,
     xs_im: Vec<f32>,
     /// Gathered patch spectra for the current kernel offset, bin-major
-    /// `[bin][q][B·OH·OW]` (strided-conv forward and the backward
-    /// weight-gradient reduction; also reused block-major as the
-    /// transpose-MAC output during the backward pass).
+    /// `[bin][q][B·OH·OW]` — backward-pass only (the weight-gradient
+    /// reduction pairs each output-gradient lane with its patch lane; also
+    /// reused block-major as the transpose-MAC output). The forward pass
+    /// has no gather: every stride rides the fused run-MAC.
     patch_re: Vec<f32>,
     patch_im: Vec<f32>,
     /// Output accumulator planes, block-major `[p][bins][acc lanes]`
@@ -449,27 +273,20 @@ impl ConvWorkspace {
         }
     }
 
-    fn prepare_forward(&mut self, d: &Dims, batch: usize, stride: usize, threads: usize) {
-        let grow = |v: &mut Vec<f32>, len: usize| {
-            if v.len() < len {
-                v.resize(len, 0.0);
-            }
-        };
-        grow(&mut self.xs_re, d.q * d.bins * d.l_pad);
-        grow(&mut self.xs_im, d.q * d.bins * d.l_pad);
-        if stride > 1 {
-            grow(&mut self.patch_re, d.q * d.bins * d.l_out);
-            grow(&mut self.patch_im, d.q * d.bins * d.l_out);
-        }
-        grow(&mut self.acc_re, d.p * d.bins * d.l_acc);
-        grow(&mut self.acc_im, d.p * d.bins * d.l_acc);
+    fn prepare_forward(&mut self, d: &Dims, run_count: usize, threads: usize) {
+        engine::grow(&mut self.xs_re, d.q * d.bins * d.l_pad);
+        engine::grow(&mut self.xs_im, d.q * d.bins * d.l_pad);
+        engine::grow(&mut self.acc_re, d.p * d.bins * d.l_acc);
+        engine::grow(&mut self.acc_im, d.p * d.bins * d.l_acc);
         // Forward-only footprint: inference workspaces (one per serving
-        // worker) never pay for the backward pass's larger staging.
-        grow(&mut self.stage, d.p * d.k * d.l_acc);
-        grow(&mut self.pr, threads * d.k * d.l_pad.max(d.l_acc));
-        grow(&mut self.pi, threads * d.k * d.l_pad.max(d.l_acc));
-        if self.runs.len() < batch {
-            self.runs.resize(batch, (0, 0, 0));
+        // worker) never pay for the backward pass's larger staging (every
+        // stride now rides the fused run-MAC, so the forward pass has no
+        // patch planes at all).
+        engine::grow(&mut self.stage, d.p * d.k * d.l_acc);
+        engine::grow(&mut self.pr, threads * d.k * d.l_pad.max(d.l_acc));
+        engine::grow(&mut self.pi, threads * d.k * d.l_pad.max(d.l_acc));
+        if self.runs.len() < run_count {
+            self.runs.resize(run_count, (0, 0, 0));
         }
     }
 
@@ -480,24 +297,19 @@ impl ConvWorkspace {
     }
 
     fn prepare_backward(&mut self, d: &Dims, batch: usize, threads: usize) {
-        self.prepare_forward(d, batch, 1, threads);
-        let grow = |v: &mut Vec<f32>, len: usize| {
-            if v.len() < len {
-                v.resize(len, 0.0);
-            }
-        };
+        self.prepare_forward(d, batch, threads);
         // The backward weight-gradient reduction gathers patches for every
         // stride.
-        grow(&mut self.patch_re, d.q * d.bins * d.l_out);
-        grow(&mut self.patch_im, d.q * d.bins * d.l_out);
-        grow(&mut self.stage, d.q * d.k * d.l_pad);
+        engine::grow(&mut self.patch_re, d.q * d.bins * d.l_out);
+        engine::grow(&mut self.patch_im, d.q * d.bins * d.l_out);
+        engine::grow(&mut self.stage, d.q * d.k * d.l_pad);
         let lanes = d.l_pad.max(d.l_acc).max(d.q);
-        grow(&mut self.pr, threads * d.k * lanes);
-        grow(&mut self.pi, threads * d.k * lanes);
-        grow(&mut self.gs_re, d.p * d.bins * d.l_out);
-        grow(&mut self.gs_im, d.p * d.bins * d.l_out);
-        grow(&mut self.gacc_re, d.q * d.bins * d.l_pad);
-        grow(&mut self.gacc_im, d.q * d.bins * d.l_pad);
+        engine::grow(&mut self.pr, threads * d.k * lanes);
+        engine::grow(&mut self.pi, threads * d.k * lanes);
+        engine::grow(&mut self.gs_re, d.p * d.bins * d.l_out);
+        engine::grow(&mut self.gs_im, d.p * d.bins * d.l_out);
+        engine::grow(&mut self.gacc_re, d.q * d.bins * d.l_pad);
+        engine::grow(&mut self.gacc_im, d.q * d.bins * d.l_pad);
     }
 
     /// The batched forward pass: `[B, C, H, W]` input slab to
@@ -519,18 +331,22 @@ impl ConvWorkspace {
         let e0 = &engines[0];
         let d = Self::dims(e0, g, batch);
         let threads = threads.max(1);
-        self.prepare_forward(&d, batch, g.stride, threads);
+        let (oh, ow) = (g.out_height(), g.out_width());
+        let s = g.stride;
+        // Stride 1: the whole per-sample padded row range is one contiguous
+        // run. Strided: one run per (sample, output row), input lanes
+        // advancing by `stride`.
+        let run_count = if s == 1 { batch } else { batch * oh };
+        self.prepare_forward(&d, run_count, threads);
         self.prepare_shifts(g.kernel * g.kernel);
         let (p, q, k, bins) = (d.p, d.q, d.k, d.bins);
-        let (l_pad, l_out, l_acc) = (d.l_pad, d.l_out, d.l_acc);
+        let (l_pad, l_acc) = (d.l_pad, d.l_acc);
         let plan = e0.plane_plan();
         let wp = g.width + 2 * g.padding;
         let hpwp = (g.height + 2 * g.padding) * wp;
         let Self {
             xs_re,
             xs_im,
-            patch_re,
-            patch_im,
             acc_re,
             acc_im,
             stage,
@@ -548,7 +364,7 @@ impl ConvWorkspace {
         // for every padded (sample, pixel) lane at once, parallel over
         // columns. Padding lanes carry zero spectra, which is what makes
         // every later kernel-offset tap branch-free.
-        par_planes(
+        engine::par_planes(
             threads,
             q,
             bins * l_pad,
@@ -558,29 +374,49 @@ impl ConvWorkspace {
             pr,
             pi,
             |j0, jcount, re_c, im_c, pr_c, pi_c| {
-                fft_input_blocks_padded(
-                    plan, input, g, batch, k, bins, l_pad, j0, jcount, re_c, im_c, pr_c, pi_c,
+                engine::fft_blocks(
+                    plan,
+                    k,
+                    bins,
+                    l_pad,
+                    j0,
+                    jcount,
+                    re_c,
+                    im_c,
+                    pr_c,
+                    pi_c,
+                    &|j, plane| pack_padded_input_block(input, g, batch, k, j, plane),
                 );
             },
         );
         let xs_re = &xs_re[..];
         let xs_im = &xs_im[..];
-        // Stage 2: the frequency-domain MAC. For stride 1 there is no
-        // gather and no per-offset pass at all: on the padded grid every
-        // kernel offset is one contiguous run per sample at a constant
-        // plane shift, so a single fused sweep accumulates all r²·q terms
-        // per output element in registers (offset-major, block ascending —
-        // a fixed order, so results stay bit-stable across thread counts).
+        // Stage 2: the fused frequency-domain MAC — every stride. On the
+        // padded grid each kernel offset is the same lane run at a constant
+        // plane shift (strided convs advance the input lane by `stride` per
+        // output lane), so one register-tiled sweep accumulates all r²·q
+        // terms per output element (offset-major, block ascending — a
+        // fixed order, so results stay bit-stable across thread counts),
+        // the x-planes stream once, and the accumulators are written
+        // exactly once. The per-offset gather path (patch-plane copies plus
+        // r² accumulator read-modify-write sweeps) is gone.
         let r = g.kernel;
-        if g.stride == 1 {
-            for (o, slot) in shifts[..r * r].iter_mut().enumerate() {
-                *slot = (o / r) * wp + (o % r);
-            }
-            for (b, slot) in runs[..batch].iter_mut().enumerate() {
+        for (o, slot) in shifts[..r * r].iter_mut().enumerate() {
+            *slot = (o / r) * wp + (o % r);
+        }
+        if s == 1 {
+            for (b, slot) in runs[..run_count].iter_mut().enumerate() {
                 *slot = (b * d.abatch, b * hpwp, d.abatch);
             }
-            let (shifts, runs) = (&shifts[..r * r], &runs[..batch]);
-            par_planes(
+        } else {
+            for (i, slot) in runs[..run_count].iter_mut().enumerate() {
+                let (b, oy) = (i / oh, i % oh);
+                *slot = (b * d.abatch + oy * d.arow, b * hpwp + oy * s * wp, ow);
+            }
+        }
+        {
+            let (shifts, runs) = (&shifts[..r * r], &runs[..run_count]);
+            engine::par_planes(
                 threads,
                 p,
                 bins * l_acc,
@@ -590,67 +426,38 @@ impl ConvWorkspace {
                 &mut [],
                 &mut [],
                 |i0, icount, re_c, im_c, _, _| {
-                    fused_mac_runs(
+                    engine::run_mac(
                         engines, shifts, p, q, k, bins, i0, icount, xs_re, xs_im, l_pad, l_acc,
-                        runs, re_c, im_c,
+                        runs, s, re_c, im_c,
                     );
                 },
             );
-        } else {
-            // Strided convs take the gather path: patch planes per offset,
-            // accumulated by the engine MAC in a fixed offset order.
-            for o in 0..r * r {
-                let (kh, kw) = (o / r, o % r);
-                let accumulate = o > 0;
-                let eng = &engines[o];
-                let patch_re = &mut patch_re[..q * bins * l_out];
-                let patch_im = &mut patch_im[..q * bins * l_out];
-                for j in 0..q {
-                    for bin in 0..bins {
-                        let src_r = &xs_re[(j * bins + bin) * l_pad..][..l_pad];
-                        let src_i = &xs_im[(j * bins + bin) * l_pad..][..l_pad];
-                        let dst_r = &mut patch_re[(bin * q + j) * l_out..][..l_out];
-                        let dst_i = &mut patch_im[(bin * q + j) * l_out..][..l_out];
-                        gather_row_padded(src_r, dst_r, g, batch, kh, kw);
-                        gather_row_padded(src_i, dst_i, g, batch, kh, kw);
-                    }
-                }
-                let (pre, pim): (&[f32], &[f32]) = (patch_re, patch_im);
-                par_planes(
-                    threads,
-                    p,
-                    bins * l_out,
-                    acc_re,
-                    acc_im,
-                    0,
-                    &mut [],
-                    &mut [],
-                    |i0, icount, re_c, im_c, _, _| {
-                        eng.mac_planes(true, accumulate, l_out, i0, icount, pre, pim, re_c, im_c);
-                    },
-                );
-            }
         }
-        // Stage 3: one real plane inverse per output block row, then the
-        // bias-fused scatter into the [B, P, OH, OW] slab.
+        // Stage 3: one real plane inverse per output block row with the
+        // fused epilogue — the per-channel bias rides the IFFT's unpack
+        // pass, so the scatter into the [B, P, OH, OW] slab below is a pure
+        // layout copy.
         let (acc_re, acc_im): (&[f32], &[f32]) = (acc_re, acc_im);
         let stage = &mut stage[..p * k * l_acc];
-        par_planes(
+        let epi = Epilogue {
+            bias: Some(bias),
+            act: engine::Activation::Identity,
+        };
+        engine::par_planes(
             threads,
             p,
             k * l_acc,
             stage,
             &mut [],
             k * l_acc,
+            pr,
             pi,
-            &mut [],
-            |i0, icount, stage_c, _, pi_c, _| {
-                ifft_blocks(
-                    plan, acc_re, acc_im, k, bins, l_acc, i0, icount, stage_c, pi_c,
+            |i0, icount, stage_c, _, pr_c, pi_c| {
+                engine::ifft_epilogue_blocks(
+                    plan, acc_re, acc_im, k, bins, l_acc, i0, icount, &epi, stage_c, pr_c, pi_c,
                 );
             },
         );
-        let (oh, ow) = (g.out_height(), g.out_width());
         let ohw = oh * ow;
         for i in 0..p {
             for t in 0..k {
@@ -658,15 +465,11 @@ impl ConvWorkspace {
                 if pch >= out_channels {
                     break;
                 }
-                let bval = bias[pch];
                 let srow = &stage[(i * k + t) * l_acc..][..l_acc];
                 for b in 0..batch {
                     for oy in 0..oh {
                         let dst = &mut out[(b * out_channels + pch) * ohw + oy * ow..][..ow];
-                        let src = &srow[b * d.abatch + oy * d.arow..][..ow];
-                        for (dv, &sv) in dst.iter_mut().zip(src) {
-                            *dv = sv + bval;
-                        }
+                        dst.copy_from_slice(&srow[b * d.abatch + oy * d.arow..][..ow]);
                     }
                 }
             }
@@ -736,7 +539,7 @@ impl ConvWorkspace {
         {
             let tmp_re = &mut acc_re[..p * bins * l_out];
             let tmp_im = &mut acc_im[..p * bins * l_out];
-            par_planes(
+            engine::par_planes(
                 threads,
                 p,
                 bins * l_out,
@@ -746,12 +549,8 @@ impl ConvWorkspace {
                 pr,
                 pi,
                 |i0, icount, re_c, im_c, pr_c, pi_c| {
-                    fft_channel_blocks(
+                    engine::fft_blocks(
                         plan,
-                        grad,
-                        out_channels,
-                        ohw,
-                        batch,
                         k,
                         bins,
                         l_out,
@@ -761,6 +560,7 @@ impl ConvWorkspace {
                         im_c,
                         pr_c,
                         pi_c,
+                        &|j, plane| pack_channel_block(grad, out_channels, ohw, batch, k, j, plane),
                     );
                 },
             );
@@ -798,7 +598,7 @@ impl ConvWorkspace {
                 let (pre, pim): (&[f32], &[f32]) = (patch_re, patch_im);
                 let accum = &mut wgrad[o * per..(o + 1) * per];
                 let eng = &engines[o];
-                par_planes(
+                engine::par_planes(
                     threads,
                     p,
                     q * k,
@@ -821,7 +621,7 @@ impl ConvWorkspace {
             // offset loop.
             {
                 let eng = &engines[o];
-                par_planes(
+                engine::par_planes(
                     threads,
                     q,
                     bins * l_out,
@@ -835,7 +635,7 @@ impl ConvWorkspace {
                     },
                 );
                 let (t_re, t_im): (&[f32], &[f32]) = (patch_re, patch_im);
-                par_planes(
+                engine::par_planes(
                     threads,
                     q,
                     bins * l_pad,
@@ -865,7 +665,7 @@ impl ConvWorkspace {
         // (padding lanes are dropped here).
         let (gacc_re, gacc_im): (&[f32], &[f32]) = (gacc_re, gacc_im);
         let stage = &mut stage[..q * k * l_pad];
-        par_planes(
+        engine::par_planes(
             threads,
             q,
             k * l_pad,
@@ -875,7 +675,7 @@ impl ConvWorkspace {
             pi,
             &mut [],
             |j0, jcount, stage_c, _, pi_c, _| {
-                ifft_blocks(
+                engine::ifft_blocks(
                     plan, gacc_re, gacc_im, k, bins, l_pad, j0, jcount, stage_c, pi_c,
                 );
             },

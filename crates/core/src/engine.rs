@@ -1,0 +1,448 @@
+//! The shared spectral-plane execution core.
+//!
+//! CirCNN's central observation (§3.2, Fig. 4) is that FC, CONV and
+//! recurrent layers are *the same* dataflow over block-circulant weights:
+//! FFT the inputs, element-wise multiply-accumulate against resident
+//! weight spectra, IFFT the accumulators. This module is that dataflow,
+//! once, as a toolkit of stages over **lane-indexed SoA planes**
+//! (`[bin][block][lanes]`, split re/im; the lane dimension is innermost so
+//! every hot loop is a stride-1 FMA chain):
+//!
+//! * [`par_planes`] — the scoped-thread dispatcher every stage runs under.
+//!   Chunk boundaries depend only on `(threads, blocks)` and per-element
+//!   work is chunk-independent, so serial and threaded runs of every stage
+//!   are **bit-identical**.
+//! * [`fft_blocks`] — real-input plane FFT of a run of blocks; the caller
+//!   supplies a `fill` closure that packs block `j`'s `[k][lanes]`
+//!   time-domain plane (FC: gather-transpose of a row-major slab; conv:
+//!   channels staged onto the padded pixel grid). Only the `k/2 + 1`
+//!   unique half-spectrum rows come back (Fig. 10).
+//! * [`forward_spectra_planes`] — the full stage-A pipeline: threaded
+//!   [`fft_blocks`] over a row-major `[lanes, logical]` slab plus the
+//!   block-major → bin-major re-layout the MAC wants. Shared by the FC
+//!   apply and both halves of the recurrent step.
+//! * [`run_mac`] — the register-tiled frequency-domain MAC, generic over
+//!   the lane→output mapping: each output element accumulates
+//!   `Σ_offsets Σ_blocks w∘x` over caller-described *runs*
+//!   (`(out_lane, in_lane, len)` at an input `step`). FC/RNN use one
+//!   unit-step run per call; conv describes every kernel offset as a
+//!   constant plane shift — including **strided** convs, whose input lanes
+//!   advance by `stride` per output lane (the per-offset gather path this
+//!   replaces materialized `r²` patch-plane copies and re-read the
+//!   accumulators per offset).
+//! * [`ifft_blocks`] / [`ifft_epilogue_blocks`] — the plane IFFT; the
+//!   epilogue variant fuses a per-row **bias add and activation into the
+//!   IFFT's unpack pass** ([`circnn_fft::BatchFftPlan::inverse_planes_real_epilogue`]),
+//!   so the separate post-IFFT bias sweep over the full output is gone
+//!   (the "stage 3 fusion" item). The finished rows land in `[block][k][lanes]`
+//!   staging; the only pass left after the IFFT is a pure layout copy.
+//!
+//! [`Workspace`](crate::Workspace) (FC/RNN applies, lanes = batch),
+//! [`ConvWorkspace`](crate::ConvWorkspace) (lanes = batch·pixels) and
+//! [`RecurrentWorkspace`](crate::rnn::RecurrentWorkspace) (lanes = batch,
+//! weight spectra resident across timesteps) are thin lane-mapping
+//! adapters over these stages.
+
+use circnn_fft::BatchFftPlan;
+
+use crate::matrix::BlockCirculantMatrix;
+
+/// Element-wise nonlinearity a fused IFFT epilogue can apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Activation {
+    /// No nonlinearity.
+    Identity,
+    /// `tanh` (the recurrent cell's nonlinearity).
+    Tanh,
+}
+
+/// What the fused IFFT epilogue applies to each unpacked time-domain row
+/// before it is staged: an optional per-output-row bias (indexed by the
+/// logical row `block·k + t`; rows past the slice are ragged padding and
+/// skipped) and an activation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Epilogue<'a> {
+    /// Per-logical-row bias, or `None` for the raw linear product.
+    pub bias: Option<&'a [f32]>,
+    /// Nonlinearity applied after the bias.
+    pub act: Activation,
+}
+
+impl Epilogue<'static> {
+    /// The identity epilogue: no bias, no activation.
+    pub const NONE: Epilogue<'static> = Epilogue {
+        bias: None,
+        act: Activation::Identity,
+    };
+}
+
+impl Epilogue<'_> {
+    /// Whether this epilogue changes any row (an identity epilogue lets
+    /// the IFFT transform in place in the staging planes instead of
+    /// paying the row-sink copy).
+    pub fn is_identity(&self) -> bool {
+        self.bias.is_none() && self.act == Activation::Identity
+    }
+}
+
+/// Grow-only buffer sizing shared by every workspace adapter: the first
+/// pass at a given size pays the resize, later passes at the same or
+/// smaller size re-slice the warm buffer allocation-free.
+#[inline]
+pub(crate) fn grow(v: &mut Vec<f32>, len: usize) {
+    if v.len() < len {
+        v.resize(len, 0.0);
+    }
+}
+
+/// Dispatches per-block plane work across up to `threads` scoped workers:
+/// `f(i0, icount, a_chunk, b_chunk, s1_chunk, s2_chunk)`, where `a`/`b`
+/// hold `chunk` elements per block (pass an empty slice for an unused
+/// plane) and `s1`/`s2` provide `scratch` elements of private per-worker
+/// scratch each (their backing buffers hold `threads` times that). Chunk
+/// boundaries depend only on `(threads, blocks)` and per-element work is
+/// chunk-independent, so serial and threaded runs stay bit-identical.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn par_planes<F>(
+    threads: usize,
+    blocks: usize,
+    chunk: usize,
+    a: &mut [f32],
+    b: &mut [f32],
+    scratch: usize,
+    s1: &mut [f32],
+    s2: &mut [f32],
+    f: F,
+) where
+    F: Fn(usize, usize, &mut [f32], &mut [f32], &mut [f32], &mut [f32]) + Sync,
+{
+    let t = threads.min(blocks).max(1);
+    if t <= 1 {
+        let (s1l, s2l) = (scratch.min(s1.len()), scratch.min(s2.len()));
+        f(0, blocks, a, b, &mut s1[..s1l], &mut s2[..s2l]);
+        return;
+    }
+    let cb = blocks.div_ceil(t);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let (mut a, mut b, mut s1, mut s2) = (a, b, s1, s2);
+        let mut i0 = 0;
+        while i0 < blocks {
+            let icount = cb.min(blocks - i0);
+            let na = if a.is_empty() { 0 } else { icount * chunk };
+            let (ac, ar) = std::mem::take(&mut a).split_at_mut(na);
+            a = ar;
+            let nb = if b.is_empty() { 0 } else { icount * chunk };
+            let (bc, br) = std::mem::take(&mut b).split_at_mut(nb);
+            b = br;
+            let ns1 = scratch.min(s1.len());
+            let (s1c, s1r) = std::mem::take(&mut s1).split_at_mut(ns1);
+            s1 = s1r;
+            let ns2 = scratch.min(s2.len());
+            let (s2c, s2r) = std::mem::take(&mut s2).split_at_mut(ns2);
+            s2 = s2r;
+            scope.spawn(move || f(i0, icount, ac, bc, s1c, s2c));
+            i0 += icount;
+        }
+    });
+}
+
+/// One real-input plane FFT per block in `j0..j0 + jcount`: `fill(j, plane)`
+/// packs block `j`'s `[k][lanes]` time-domain plane (lane-innermost; the
+/// closure owns zero-padding of ragged rows/lanes), the plan transforms
+/// every lane at once, and the `bins` unique half-spectrum rows land
+/// block-major in `out_re`/`out_im` (`jcount · bins · lanes` each).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fft_blocks<F>(
+    plan: &BatchFftPlan<f32>,
+    k: usize,
+    bins: usize,
+    lanes: usize,
+    j0: usize,
+    jcount: usize,
+    out_re: &mut [f32],
+    out_im: &mut [f32],
+    pr: &mut [f32],
+    pi: &mut [f32],
+    fill: &F,
+) where
+    F: Fn(usize, &mut [f32]),
+{
+    for jl in 0..jcount {
+        fill(j0 + jl, &mut pr[..k * lanes]);
+        plan.forward_planes_real(&mut pr[..k * lanes], &mut pi[..k * lanes], lanes)
+            .expect("plane buffers are sized before dispatch");
+        let off = jl * bins * lanes;
+        out_re[off..off + bins * lanes].copy_from_slice(&pr[..bins * lanes]);
+        out_im[off..off + bins * lanes].copy_from_slice(&pi[..bins * lanes]);
+    }
+}
+
+/// Packs block `j` of a row-major `[lanes, logical]` slab into a
+/// `[k][lanes]` time-domain plane (gather-transpose; ragged tail rows are
+/// zero). Lane-outer order keeps the source reads contiguous; the strided
+/// writes stay inside the L1-resident plane.
+pub(crate) fn pack_slab_block(
+    src: &[f32],
+    lanes: usize,
+    logical: usize,
+    k: usize,
+    j: usize,
+    plane: &mut [f32],
+) {
+    let start = j * k;
+    let len = k.min(logical.saturating_sub(start));
+    if len < k {
+        plane[len * lanes..k * lanes].fill(0.0);
+    }
+    for b in 0..lanes {
+        let srow = &src[b * logical + start..b * logical + start + len];
+        for (t, &v) in srow.iter().enumerate() {
+            plane[t * lanes + b] = v;
+        }
+    }
+}
+
+/// Stage A of every slab apply: threaded real-input plane FFT of a
+/// row-major `[lanes, logical]` slab (one dispatch per block, all lanes at
+/// once), then the block-major → bin-major re-layout so the MAC's
+/// innermost block sweep reads contiguously. `tmp_*` stage the block-major
+/// FFT output (`blocks · bins · lanes` each — callers lend accumulator
+/// planes that are free at this point); the bin-major spectra land in
+/// `out_*`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn forward_spectra_planes<'a>(
+    plan: &BatchFftPlan<f32>,
+    src: &[f32],
+    lanes: usize,
+    logical: usize,
+    blocks: usize,
+    k: usize,
+    bins: usize,
+    threads: usize,
+    tmp_re: &mut [f32],
+    tmp_im: &mut [f32],
+    out_re: &'a mut [f32],
+    out_im: &'a mut [f32],
+    pr: &mut [f32],
+    pi: &mut [f32],
+) {
+    par_planes(
+        threads,
+        blocks,
+        bins * lanes,
+        &mut tmp_re[..blocks * bins * lanes],
+        &mut tmp_im[..blocks * bins * lanes],
+        k * lanes,
+        pr,
+        pi,
+        |j0, jcount, re_c, im_c, pr_c, pi_c| {
+            fft_blocks(
+                plan,
+                k,
+                bins,
+                lanes,
+                j0,
+                jcount,
+                re_c,
+                im_c,
+                pr_c,
+                pi_c,
+                &|j, plane| {
+                    pack_slab_block(src, lanes, logical, k, j, plane);
+                },
+            );
+        },
+    );
+    for j in 0..blocks {
+        for bin in 0..bins {
+            let src_off = (j * bins + bin) * lanes;
+            let dst_off = (bin * blocks + j) * lanes;
+            out_re[dst_off..dst_off + lanes].copy_from_slice(&tmp_re[src_off..src_off + lanes]);
+            out_im[dst_off..dst_off + lanes].copy_from_slice(&tmp_im[src_off..src_off + lanes]);
+        }
+    }
+}
+
+/// One real-input plane inverse FFT per block of block-major accumulator
+/// planes, into `[block][k][lanes]` time-domain staging (no epilogue — the
+/// backward passes and weight-gradient reductions use this form).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ifft_blocks(
+    plan: &BatchFftPlan<f32>,
+    acc_re: &[f32],
+    acc_im: &[f32],
+    k: usize,
+    bins: usize,
+    lanes: usize,
+    i0: usize,
+    icount: usize,
+    stage: &mut [f32],
+    pi: &mut [f32],
+) {
+    for il in 0..icount {
+        let off = (i0 + il) * bins * lanes;
+        let sblock = &mut stage[il * k * lanes..(il + 1) * k * lanes];
+        sblock[..bins * lanes].copy_from_slice(&acc_re[off..off + bins * lanes]);
+        pi[..bins * lanes].copy_from_slice(&acc_im[off..off + bins * lanes]);
+        plan.inverse_planes_real(sblock, &mut pi[..k * lanes], lanes)
+            .expect("plane buffers are sized before dispatch");
+    }
+}
+
+/// The plane IFFT with the **fused epilogue**: per block, the accumulator
+/// rows ride one real-input inverse whose unpack pass hands each finished
+/// time-domain row out; the bias for logical row `i·k + t` and the
+/// activation are applied while the row is cache-hot, and the finished row
+/// is staged at `stage[il·k + t][lanes]`. The separate post-IFFT bias
+/// sweep over the whole output is gone; the only pass after this is a pure
+/// layout copy (which threads never race: `stage` is chunked per block by
+/// [`par_planes`]).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ifft_epilogue_blocks(
+    plan: &BatchFftPlan<f32>,
+    acc_re: &[f32],
+    acc_im: &[f32],
+    k: usize,
+    bins: usize,
+    lanes: usize,
+    i0: usize,
+    icount: usize,
+    epi: &Epilogue<'_>,
+    stage: &mut [f32],
+    pre: &mut [f32],
+    pim: &mut [f32],
+) {
+    for il in 0..icount {
+        let i = i0 + il;
+        let off = i * bins * lanes;
+        pre[..bins * lanes].copy_from_slice(&acc_re[off..off + bins * lanes]);
+        pim[..bins * lanes].copy_from_slice(&acc_im[off..off + bins * lanes]);
+        let sblock = &mut stage[il * k * lanes..(il + 1) * k * lanes];
+        plan.inverse_planes_real_epilogue(
+            &mut pre[..k * lanes],
+            &mut pim[..k * lanes],
+            lanes,
+            &mut |t, row| {
+                if let Some(bias) = epi.bias {
+                    if let Some(&b) = bias.get(i * k + t) {
+                        for v in row.iter_mut() {
+                            *v += b;
+                        }
+                    }
+                }
+                if epi.act == Activation::Tanh {
+                    for v in row.iter_mut() {
+                        *v = v.tanh();
+                    }
+                }
+                sblock[t * lanes..(t + 1) * lanes].copy_from_slice(row);
+            },
+        )
+        .expect("plane buffers are sized before dispatch");
+    }
+}
+
+/// The fused multi-offset register-tiled frequency-domain MAC, generic
+/// over the lane→output mapping. For each output element it accumulates
+/// **all** offsets' and block columns' frequency-domain products in
+/// registers (offset-major, block ascending — a fixed order, so results
+/// are bit-stable across thread counts) and writes the accumulator planes
+/// exactly once — no read-modify-write traffic.
+///
+/// The mapping: each `(out0, in_base, len)` run pairs output lanes
+/// `out0 + t` with input lanes `in_base + shift + t·step` for `t in
+/// 0..len`, where `shift` is the per-offset constant plane shift. The conv
+/// pipeline passes one run per sample (stride 1, whole padded rows) or one
+/// per output row (`step = stride` — strided convs ride the same fused
+/// sweep instead of materializing per-offset patch-plane gathers). The
+/// FC/RNN applies keep their bin-major planes and the operator's own
+/// [`BlockCirculantMatrix::mac_planes`] kernel, which also serves the
+/// transpose direction.
+///
+/// `xs_*` are **block-major** input planes `[q][bins][l_pad]`; `acc_*` are
+/// block-major output planes `[icount][bins][l_acc]`.
+#[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+pub(crate) fn run_mac(
+    engines: &[BlockCirculantMatrix],
+    shifts: &[usize],
+    p: usize,
+    q: usize,
+    k: usize,
+    bins: usize,
+    i0: usize,
+    icount: usize,
+    xs_re: &[f32],
+    xs_im: &[f32],
+    l_pad: usize,
+    l_acc: usize,
+    runs: &[(usize, usize, usize)],
+    step: usize,
+    acc_re: &mut [f32],
+    acc_im: &mut [f32],
+) {
+    const LANES: usize = 16;
+    const TI: usize = 4;
+    let mut sxr = [0.0f32; LANES];
+    let mut sxi = [0.0f32; LANES];
+    for bin in 0..bins {
+        // Spectra of real signals are real at DC and (for k ≥ 2) the
+        // Nyquist bin, so those bins need one real multiply per term.
+        let real_bin = bin == 0 || (k >= 2 && bin == bins - 1);
+        let mut it = 0;
+        while it < icount {
+            let tl = TI.min(icount - it);
+            for &(out0, in_base, len) in runs {
+                let mut t0 = 0;
+                while t0 < len {
+                    let l = LANES.min(len - t0);
+                    let mut tr = [[0.0f32; LANES]; TI];
+                    let mut ti_ = [[0.0f32; LANES]; TI];
+                    for (eng, &shift) in engines.iter().zip(shifts) {
+                        let (wre, wim) = eng.forward_wplanes();
+                        for j in 0..q {
+                            // Block-major input planes: [q][bins][l_pad].
+                            let xo = (j * bins + bin) * l_pad + in_base + shift + t0 * step;
+                            let (xr, xi): (&[f32], &[f32]) = if step == 1 {
+                                (&xs_re[xo..xo + l], &xs_im[xo..xo + l])
+                            } else {
+                                // Strided run: gather the tile once per
+                                // (offset, block) and stream it like the
+                                // unit-step case.
+                                for t in 0..l {
+                                    sxr[t] = xs_re[xo + t * step];
+                                    sxi[t] = xs_im[xo + t * step];
+                                }
+                                (&sxr[..l], &sxi[..l])
+                            };
+                            for u in 0..tl {
+                                let i = i0 + it + u;
+                                let widx = (bin * p + i) * q + j;
+                                let (wr, wi) = (wre[widx], wim[widx]);
+                                let (ar, ai) = (&mut tr[u], &mut ti_[u]);
+                                if real_bin {
+                                    for t in 0..l {
+                                        ar[t] += wr * xr[t];
+                                    }
+                                } else {
+                                    // conj(w)·x, the Algorithm-1 product.
+                                    for t in 0..l {
+                                        ar[t] += wr * xr[t] + wi * xi[t];
+                                        ai[t] += wr * xi[t] - wi * xr[t];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    for u in 0..tl {
+                        let ao = ((it + u) * bins + bin) * l_acc + out0 + t0;
+                        acc_re[ao..ao + l].copy_from_slice(&tr[u][..l]);
+                        acc_im[ao..ao + l].copy_from_slice(&ti_[u][..l]);
+                    }
+                    t0 += l;
+                }
+            }
+            it += tl;
+        }
+    }
+}

@@ -10,8 +10,9 @@ use circnn_nn::Layer;
 use circnn_tensor::Tensor;
 use rand::Rng;
 
+use crate::engine::{Activation, Epilogue};
 use crate::error::CircError;
-use crate::matrix::{BlockCirculantMatrix, BlockSpectra, Workspace};
+use crate::matrix::{default_batch_threads, BlockCirculantMatrix, BlockSpectra, Workspace};
 
 /// A block-circulant affine layer `y = W·x + b`.
 ///
@@ -162,18 +163,26 @@ impl CirculantLinear {
 
     /// The batched affine kernel `Y = W·X + b` shared by the training-side
     /// [`Layer::forward_batch`] and the read-only [`Layer::infer_batch`]:
-    /// one engine call, one bias loop, bit-identical outputs.
+    /// one fused engine call — the bias rides the plane IFFT's unpack pass
+    /// (the engine's fused epilogue) instead of a separate sweep over the
+    /// output — and bit-identical outputs on both paths.
     fn batched_affine(&self, input: &Tensor, batch: usize, ws: &mut Workspace) -> Tensor {
         let m = self.out_dim();
         let mut out = vec![0.0f32; batch * m];
+        let epi = Epilogue {
+            bias: Some(&self.bias),
+            act: Activation::Identity,
+        };
         self.engine
-            .forward_batch_into(input.data(), batch, ws, &mut out)
+            .forward_batch_fused(
+                input.data(),
+                batch,
+                ws,
+                &mut out,
+                &epi,
+                default_batch_threads(),
+            )
             .expect("circulant linear batch input length mismatch");
-        for row in out.chunks_mut(m) {
-            for (v, &b) in row.iter_mut().zip(&self.bias) {
-                *v += b;
-            }
-        }
         Tensor::from_vec(out, &[batch, m])
     }
 }
@@ -216,13 +225,10 @@ impl Layer for CirculantLinear {
     fn forward_batch(&mut self, input: &Tensor) -> Tensor {
         self.sync();
         let batch = input.dims()[0];
-        if batch == 1 {
-            // Degenerate batch (e.g. a trainer's remainder chunk): the
-            // scalar path's real-FFT pipeline is faster than plane setup.
-            let y = self.forward(&input.index_axis0(0));
-            self.batch = None;
-            return Tensor::from_vec(y.data().to_vec(), &[1, self.out_dim()]);
-        }
+        // Always the batched engine — even for B = 1 — so training-side and
+        // serving-side forwards are the same arithmetic at every batch size
+        // (the scalar-pipeline shortcut that rounded differently at B = 1
+        // is gone with the engine unification).
         // Take the arena out so the shared kernel can borrow `self` and
         // the workspace disjointly.
         let mut ws = std::mem::take(&mut self.ws);
@@ -234,13 +240,9 @@ impl Layer for CirculantLinear {
 
     fn backward_batch(&mut self, _input: &Tensor, grad_output: &Tensor) -> Tensor {
         self.sync();
-        if self.batch.is_none() {
-            // Matching degenerate-batch forward ran the scalar path.
-            assert_eq!(grad_output.dims()[0], 1, "batch size mismatch");
-            let gx = self.backward(&grad_output.index_axis0(0));
-            return Tensor::from_vec(gx.data().to_vec(), &[1, self.in_dim()]);
-        }
-        let batch = self.batch.expect("checked above");
+        let batch = self
+            .batch
+            .expect("backward_batch called before forward_batch");
         assert_eq!(grad_output.dims()[0], batch, "batch size mismatch");
         let g = grad_output.data();
         let mut gx = vec![0.0f32; batch * self.in_dim()];

@@ -49,6 +49,7 @@
 
 mod baseline54;
 mod circulant;
+mod engine;
 mod error;
 mod fc;
 mod matrix;
@@ -67,3 +68,6 @@ pub use error::CircError;
 pub use fc::CirculantLinear;
 pub use lecun::LeCunFftConv2d;
 pub use matrix::{default_batch_threads, BlockCirculantMatrix, BlockSpectra, Workspace};
+pub use rnn::{
+    CirculantRnn, CirculantRnnCell, RecurrentWorkspace, ReservoirClassifier, RnnReadout,
+};

@@ -44,10 +44,15 @@
 //!   batch costs `p·q` IFFTs total rather than `p·q` per sample.
 //!
 //! Internally the batch dimension is innermost (structure-of-arrays
-//! `[block][bin][batch]` planes, split re/im), which turns the hot
-//! complex-MAC loop into stride-1 FMA chains the compiler autovectorizes.
-//! With the `parallel` feature (default) the block-row/-column sweeps are
-//! split across `std::thread::scope` threads; every output element is
+//! **bin-major** `[bin][block][batch]` planes, split re/im), which turns
+//! the hot complex-MAC loop into stride-1 FMA chains the compiler
+//! autovectorizes. The staging itself — pack, real-input plane FFT,
+//! register-tiled MAC, plane IFFT with the fused bias/activation
+//! epilogue — lives in the shared spectral-plane core (`crate::engine`);
+//! [`Workspace`] is its FC-shaped lane-mapping adapter (lanes = batch),
+//! and the CONV and recurrent workspaces ride the same stages. With the
+//! `parallel` feature (default) the block-row/-column sweeps are split
+//! across `std::thread::scope` threads; every output element is
 //! accumulated in the same order regardless of thread count, so serial and
 //! parallel results are **bit-identical** and runs stay reproducible.
 
@@ -56,6 +61,7 @@ use circnn_nn::LinearOp;
 use circnn_tensor::Tensor;
 use rand::Rng;
 
+use crate::engine::{self, Epilogue};
 use crate::error::CircError;
 
 /// Per-block spectra of a padded vector (`count` blocks × `bins` bins).
@@ -896,7 +902,15 @@ impl BlockCirculantMatrix {
         ws: &mut Workspace,
         out: &mut [f32],
     ) -> Result<(), CircError> {
-        self.apply_batch(Dir::Forward, x, batch, ws, out, default_batch_threads())
+        self.apply_batch(
+            Dir::Forward,
+            x,
+            batch,
+            ws,
+            out,
+            default_batch_threads(),
+            &Epilogue::NONE,
+        )
     }
 
     /// [`BlockCirculantMatrix::forward_batch_into`] with an explicit worker
@@ -914,7 +928,7 @@ impl BlockCirculantMatrix {
         out: &mut [f32],
         threads: usize,
     ) -> Result<(), CircError> {
-        self.apply_batch(Dir::Forward, x, batch, ws, out, threads)
+        self.apply_batch(Dir::Forward, x, batch, ws, out, threads, &Epilogue::NONE)
     }
 
     /// `Wᵀ·G` for a row-major `[batch, m]` gradient, into a `[batch, n]`
@@ -932,7 +946,15 @@ impl BlockCirculantMatrix {
         ws: &mut Workspace,
         out: &mut [f32],
     ) -> Result<(), CircError> {
-        self.apply_batch(Dir::Backward, g, batch, ws, out, default_batch_threads())
+        self.apply_batch(
+            Dir::Backward,
+            g,
+            batch,
+            ws,
+            out,
+            default_batch_threads(),
+            &Epilogue::NONE,
+        )
     }
 
     /// [`BlockCirculantMatrix::backward_batch_into`] with an explicit worker
@@ -949,7 +971,7 @@ impl BlockCirculantMatrix {
         out: &mut [f32],
         threads: usize,
     ) -> Result<(), CircError> {
-        self.apply_batch(Dir::Backward, g, batch, ws, out, threads)
+        self.apply_batch(Dir::Backward, g, batch, ws, out, threads, &Epilogue::NONE)
     }
 
     /// Batched Algorithm-2 weight gradient,
@@ -1022,43 +1044,43 @@ impl BlockCirculantMatrix {
         let xs_im = &xs_im[..q * bins * batch];
         let gs_re = &gs_re[..self.p * bins * batch];
         let gs_im = &gs_im[..self.p * bins * batch];
-        let chunk_blocks = self.p.div_ceil(threads);
-        if threads == 1 {
-            self.weight_grad_chunk(
-                batch,
-                0,
-                self.p,
-                xs_re,
-                xs_im,
-                gs_re,
-                gs_im,
-                accum,
-                &mut pr[..k * q],
-                &mut pi[..k * q],
-            );
-        } else {
-            let cw = chunk_blocks * q * k;
-            std::thread::scope(|s| {
-                for (((ci, acc_chunk), pr_c), pi_c) in accum
-                    .chunks_mut(cw)
-                    .enumerate()
-                    .zip(pr.chunks_mut(k * q))
-                    .zip(pi.chunks_mut(k * q))
-                {
-                    let i0 = ci * chunk_blocks;
-                    let icount = acc_chunk.len() / (q * k);
-                    s.spawn(move || {
-                        self.weight_grad_chunk(
-                            batch, i0, icount, xs_re, xs_im, gs_re, gs_im, acc_chunk, pr_c, pi_c,
-                        );
-                    });
-                }
-            });
-        }
+        engine::par_planes(
+            threads,
+            self.p,
+            q * k,
+            accum,
+            &mut [],
+            k * q,
+            pr,
+            pi,
+            |i0, icount, acc_c, _, pr_c, pi_c| {
+                self.weight_grad_chunk(
+                    batch, i0, icount, xs_re, xs_im, gs_re, gs_im, acc_c, pr_c, pi_c,
+                );
+            },
+        );
         Ok(())
     }
 
+    /// Crate-internal fused apply: `Y = act(W·X + bias)` with the bias and
+    /// activation folded into the plane IFFT's unpack pass (the engine's
+    /// fused epilogue) — the layer adapters' serving path
+    /// (`CirculantLinear` bias, the recurrent cell's `tanh`).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn forward_batch_fused(
+        &self,
+        x: &[f32],
+        batch: usize,
+        ws: &mut Workspace,
+        out: &mut [f32],
+        epi: &Epilogue<'_>,
+        threads: usize,
+    ) -> Result<(), CircError> {
+        self.apply_batch(Dir::Forward, x, batch, ws, out, threads, epi)
+    }
+
     /// Shared driver for the batched forward/transpose apply.
+    #[allow(clippy::too_many_arguments)]
     fn apply_batch(
         &self,
         dir: Dir,
@@ -1067,6 +1089,7 @@ impl BlockCirculantMatrix {
         ws: &mut Workspace,
         out: &mut [f32],
         threads: usize,
+        epi: &Epilogue<'_>,
     ) -> Result<(), CircError> {
         let (in_logical, in_blocks, out_logical, out_blocks) = match dir {
             Dir::Forward => (self.n, self.q, self.m, self.p),
@@ -1119,63 +1142,27 @@ impl BlockCirculantMatrix {
             Dir::Forward => (&mut xs_re[..in_len], &mut xs_im[..in_len]),
             Dir::Backward => (&mut gs_re[..in_len], &mut gs_im[..in_len]),
         };
-        // Stage A: one batch-plane FFT per input block (all samples at
-        // once), parallel over input blocks.
-        let t_a = threads.min(in_blocks);
-        {
-            // Block-major FFT output lands in the accumulator planes (free
-            // at this point), bin-major re-layout follows below.
-            let tmp_re = &mut acc_re[..in_blocks * bins * batch];
-            let tmp_im = &mut acc_im[..in_blocks * bins * batch];
-            if t_a == 1 {
-                self.fft_columns_chunk(
-                    src,
-                    batch,
-                    in_logical,
-                    0,
-                    in_blocks,
-                    tmp_re,
-                    tmp_im,
-                    &mut pr[..k * batch],
-                    &mut pi[..k * batch],
-                );
-            } else {
-                let cb = in_blocks.div_ceil(t_a);
-                let cw = cb * bins * batch;
-                std::thread::scope(|s| {
-                    for ((((ci, re_c), im_c), pr_c), pi_c) in tmp_re
-                        .chunks_mut(cw)
-                        .enumerate()
-                        .zip(tmp_im.chunks_mut(cw))
-                        .zip(pr.chunks_mut(k * batch))
-                        .zip(pi.chunks_mut(k * batch))
-                    {
-                        let j0 = ci * cb;
-                        let jcount = re_c.len() / (bins * batch);
-                        s.spawn(move || {
-                            self.fft_columns_chunk(
-                                src, batch, in_logical, j0, jcount, re_c, im_c, pr_c, pi_c,
-                            );
-                        });
-                    }
-                });
-            }
-        }
-        // Re-layout the spectra bin-major (`[bin][block][batch]`) so the
-        // MAC's innermost block sweep reads contiguously.
-        let a_tmp_len = in_blocks * bins * batch;
-        {
-            let tmp_re = &acc_re[..a_tmp_len];
-            let tmp_im = &acc_im[..a_tmp_len];
-            for j in 0..in_blocks {
-                for bin in 0..bins {
-                    let src = (j * bins + bin) * batch;
-                    let dst = (bin * in_blocks + j) * batch;
-                    in_re[dst..dst + batch].copy_from_slice(&tmp_re[src..src + batch]);
-                    in_im[dst..dst + batch].copy_from_slice(&tmp_im[src..src + batch]);
-                }
-            }
-        }
+        // Stage A: one real-input batch-plane FFT per input block (all
+        // samples at once, parallel over blocks — the Fig.-10 saving,
+        // batched), then the bin-major re-layout the MAC wants. The
+        // block-major FFT staging borrows the accumulator planes, free at
+        // this point.
+        engine::forward_spectra_planes(
+            &self.bplan,
+            src,
+            batch,
+            in_logical,
+            in_blocks,
+            k,
+            bins,
+            threads,
+            acc_re,
+            acc_im,
+            in_re,
+            in_im,
+            pr,
+            pi,
+        );
         let in_re = &in_re[..];
         let in_im = &in_im[..];
         // Stage B: the frequency-domain MAC — one sweep over the cached
@@ -1183,60 +1170,86 @@ impl BlockCirculantMatrix {
         let acc_len = out_blocks * bins * batch;
         let acc_re = &mut acc_re[..acc_len];
         let acc_im = &mut acc_im[..acc_len];
-        let t_b = threads.min(out_blocks);
-        if t_b == 1 {
-            self.mac_chunk(dir, batch, 0, out_blocks, in_re, in_im, acc_re, acc_im);
-        } else {
-            let cb = out_blocks.div_ceil(t_b);
-            let cw = cb * bins * batch;
-            std::thread::scope(|s| {
-                for ((ci, re_c), im_c) in
-                    acc_re.chunks_mut(cw).enumerate().zip(acc_im.chunks_mut(cw))
-                {
-                    let i0 = ci * cb;
-                    let icount = re_c.len() / (bins * batch);
-                    s.spawn(move || {
-                        self.mac_chunk(dir, batch, i0, icount, in_re, in_im, re_c, im_c);
-                    });
-                }
-            });
-        }
+        engine::par_planes(
+            threads,
+            out_blocks,
+            bins * batch,
+            acc_re,
+            acc_im,
+            0,
+            &mut [],
+            &mut [],
+            |i0, icount, re_c, im_c, _, _| {
+                self.mac_chunk(dir, batch, i0, icount, in_re, in_im, re_c, im_c);
+            },
+        );
         let acc_re = &acc_re[..];
         let acc_im = &acc_im[..];
-        // Stage C: one inverse FFT per (output block, sample), parallel over
-        // output blocks, into the time-domain staging planes.
+        // Stage C: one plane inverse per output block with the fused
+        // epilogue — bias and activation ride the IFFT's unpack pass while
+        // each row is cache-hot, and the biased rows land in the
+        // `[block][k][batch]` staging planes. Parallel over output blocks.
+        // An identity epilogue (the raw applies, incl. the whole backward
+        // path) transforms in place in the staging planes instead, saving
+        // the row-sink copy.
         let stage_len = out_blocks * k * batch;
         let stage = &mut stage[..stage_len];
-        let t_c = threads.min(out_blocks);
-        if t_c == 1 {
-            self.ifft_chunk(
-                batch,
-                0,
+        if epi.is_identity() {
+            engine::par_planes(
+                threads,
                 out_blocks,
-                acc_re,
-                acc_im,
+                k * batch,
                 stage,
-                &mut pi[..k * batch],
+                &mut [],
+                k * batch,
+                pi,
+                &mut [],
+                |i0, icount, stage_c, _, pi_c, _| {
+                    engine::ifft_blocks(
+                        &self.bplan,
+                        acc_re,
+                        acc_im,
+                        k,
+                        bins,
+                        batch,
+                        i0,
+                        icount,
+                        stage_c,
+                        pi_c,
+                    );
+                },
             );
         } else {
-            let cb = out_blocks.div_ceil(t_c);
-            let cw = cb * k * batch;
-            std::thread::scope(|s| {
-                for ((ci, stage_c), pi_c) in stage
-                    .chunks_mut(cw)
-                    .enumerate()
-                    .zip(pi.chunks_mut(k * batch))
-                {
-                    let i0 = ci * cb;
-                    let icount = stage_c.len() / (k * batch);
-                    s.spawn(move || {
-                        self.ifft_chunk(batch, i0, icount, acc_re, acc_im, stage_c, pi_c);
-                    });
-                }
-            });
+            engine::par_planes(
+                threads,
+                out_blocks,
+                k * batch,
+                stage,
+                &mut [],
+                k * batch,
+                pr,
+                pi,
+                |i0, icount, stage_c, _, pr_c, pi_c| {
+                    engine::ifft_epilogue_blocks(
+                        &self.bplan,
+                        acc_re,
+                        acc_im,
+                        k,
+                        bins,
+                        batch,
+                        i0,
+                        icount,
+                        epi,
+                        stage_c,
+                        pr_c,
+                        pi_c,
+                    );
+                },
+            );
         }
-        // Stage D: transpose the `[block][k][batch]` staging planes into the
-        // row-major `[batch, out_logical]` output, dropping ragged padding.
+        // Stage D: pure layout copy — transpose the staging planes into the
+        // row-major `[batch, out_logical]` output, dropping ragged padding
+        // (bias/activation were already applied inside the IFFT epilogue).
         // Sample-outer order keeps the writes contiguous (one output row per
         // sample); the strided reads prefetch well.
         for (b, orow) in out.chunks_exact_mut(out_logical).enumerate() {
@@ -1249,51 +1262,6 @@ impl BlockCirculantMatrix {
             }
         }
         Ok(())
-    }
-
-    /// Stage-A worker: one batch-plane FFT per block column — every
-    /// sample's length-`k` block transforms in the same pass, then the
-    /// unique `bins` spectrum rows land in the SoA planes.
-    #[allow(clippy::too_many_arguments)]
-    fn fft_columns_chunk(
-        &self,
-        src: &[f32],
-        batch: usize,
-        logical: usize,
-        j0: usize,
-        jcount: usize,
-        re: &mut [f32],
-        im: &mut [f32],
-        pr: &mut [f32],
-        pi: &mut [f32],
-    ) {
-        let (k, bins) = (self.k, self.bins);
-        for jl in 0..jcount {
-            let start = (j0 + jl) * k;
-            let len = k.min(logical.saturating_sub(start));
-            // Gather-transpose the block into [k][batch] planes (zero-padded
-            // ragged tail), imaginary plane zero. Sample-outer order keeps
-            // the source reads contiguous; the strided writes stay inside
-            // the L1-resident planes.
-            if len < k {
-                pr[len * batch..k * batch].fill(0.0);
-            }
-            for b in 0..batch {
-                let srow = &src[b * logical + start..b * logical + start + len];
-                for (t, &v) in srow.iter().enumerate() {
-                    pr[t * batch + b] = v;
-                }
-            }
-            // Real-input plane FFT: the imaginary plane is scratch (never
-            // zeroed) and only the unique `bins` half-spectrum rows come
-            // back — the Fig.-10 saving, batched.
-            self.bplan
-                .forward_planes_real(&mut pr[..k * batch], &mut pi[..k * batch], batch)
-                .expect("plane buffers are sized before dispatch");
-            let off = jl * bins * batch;
-            re[off..off + bins * batch].copy_from_slice(&pr[..bins * batch]);
-            im[off..off + bins * batch].copy_from_slice(&pi[..bins * batch]);
-        }
     }
 
     /// Stage-B worker: the batched frequency-domain MAC for `icount` output
@@ -1464,35 +1432,6 @@ impl BlockCirculantMatrix {
                 }
                 it += tl;
             }
-        }
-    }
-
-    /// Stage-C worker: one batch-plane inverse FFT per output block. Only
-    /// the unique `bins` half-spectrum rows are loaded; the real-input
-    /// inverse consumes them directly (the mirror rows
-    /// `X[k−r] = conj(X[r])` are implicit), leaving the time-domain result
-    /// in the staging block.
-    #[allow(clippy::too_many_arguments)]
-    fn ifft_chunk(
-        &self,
-        batch: usize,
-        i0: usize,
-        icount: usize,
-        acc_re: &[f32],
-        acc_im: &[f32],
-        stage: &mut [f32],
-        pi: &mut [f32],
-    ) {
-        let (k, bins) = (self.k, self.bins);
-        for il in 0..icount {
-            let i = i0 + il;
-            let off = i * bins * batch;
-            let sblock = &mut stage[il * k * batch..(il + 1) * k * batch];
-            sblock[..bins * batch].copy_from_slice(&acc_re[off..off + bins * batch]);
-            pi[..bins * batch].copy_from_slice(&acc_im[off..off + bins * batch]);
-            self.bplan
-                .inverse_planes_real(sblock, &mut pi[..k * batch], batch)
-                .expect("plane buffers are sized before dispatch");
         }
     }
 

@@ -1,4 +1,5 @@
-//! Recurrent networks over block-circulant weights.
+//! Recurrent networks over block-circulant weights, on the unified
+//! spectral-plane engine.
 //!
 //! §4.4 claims the architecture serves "different network models like DBN
 //! or RNN" — the recurrence is just more matvecs against resident weights,
@@ -7,22 +8,98 @@
 //!
 //! * [`CirculantRnnCell`] — an Elman-style cell
 //!   `h' = tanh(W_ih·x + W_hh·h + b)` with both weight matrices
-//!   block-circulant; the recurrent matrix is square, the natural circulant
-//!   case.
+//!   block-circulant. The batched step is **fused end to end on the
+//!   engine**: both matmuls' frequency-domain products accumulate into
+//!   *one* set of accumulator planes (the sum moves inside the IFFT by
+//!   linearity), and the bias add plus `tanh` ride the plane IFFT's unpack
+//!   pass — one IFFT per output block per step instead of two, no
+//!   post-IFFT sweep at all. The cached weight spectra stay resident in
+//!   the operators across timesteps, so a sequence costs one weight-plane
+//!   sweep per step for the whole batch.
+//! * [`RecurrentWorkspace`] — the recurrent lane-mapping adapter over the
+//!   engine (lanes = batch): grow-only plane arena plus the sequence-loop
+//!   state slabs. After the first step at a given `(cell, batch)` every
+//!   later step performs **zero heap allocations**.
+//! * [`CirculantRnn`] — a sequence [`Layer`]: `[B, T, D]` in, final state
+//!   or reservoir features out, with the read-only
+//!   [`Layer::infer_batch`] path — so recurrent networks register in
+//!   `SequentialModel` and serve over `circnn-wire` like FC nets and
+//!   convnets.
 //! * [`ReservoirClassifier`] — reservoir computing on top of the cell:
 //!   the circulant recurrent weights stay **fixed** (scaled for echo-state
-//!   stability) and only a dense linear readout is trained. This gives an
-//!   honest end-to-end sequence-learning demonstration without bolting a
-//!   full BPTT engine onto the workspace, and it measures the thing the
-//!   paper cares about: the recurrent compute/storage is all circulant.
+//!   stability) and only a dense linear readout is trained;
+//!   [`ReservoirClassifier::into_network`] assembles the servable
+//!   `Sequential` (reservoir layer + readout).
 
 use circnn_nn::trainer::{train_classifier, TrainConfig};
 use circnn_nn::{Adam, Layer, Linear, Sequential};
 use circnn_tensor::Tensor;
 use rand::Rng;
 
+use crate::engine::{self, Activation, Epilogue};
 use crate::error::CircError;
-use crate::matrix::{BlockCirculantMatrix, Workspace};
+use crate::matrix::{default_batch_threads, BlockCirculantMatrix, Workspace};
+
+/// Reusable scratch arena for the fused recurrent step — the recurrent
+/// lane-mapping adapter over the spectral-plane engine (lanes = batch).
+///
+/// All buffers are grow-only: the first step at a given `(cell, batch)`
+/// sizes them and every later step performs **zero heap allocations**, so
+/// a serving worker keeps one `RecurrentWorkspace` (via its `InferScratch`
+/// slot) and streams sequences through it. The weight spectra live in the
+/// cell's operators (resident across timesteps); this arena only holds the
+/// per-step input/hidden spectra planes, the shared accumulator planes
+/// both matmuls sum into, and the sequence-loop state slabs.
+#[derive(Debug, Clone, Default)]
+pub struct RecurrentWorkspace {
+    /// Input-side spectra planes, bin-major `[bin][q_ih][batch]`.
+    xs_re: Vec<f32>,
+    xs_im: Vec<f32>,
+    /// Hidden-side spectra planes, bin-major `[bin][q_hh][batch]`.
+    hs_re: Vec<f32>,
+    hs_im: Vec<f32>,
+    /// Shared frequency-domain accumulators `[p][bins][batch]` (both
+    /// matmuls sum here before the single IFFT); also lent to the FFT
+    /// stages as block-major staging while free.
+    acc_re: Vec<f32>,
+    acc_im: Vec<f32>,
+    /// Time-domain staging `[p][k][batch]` (rows arrive biased and
+    /// activated from the fused IFFT epilogue).
+    stage: Vec<f32>,
+    /// Per-thread plane scratch `[k][batch]`.
+    pr: Vec<f32>,
+    pi: Vec<f32>,
+    /// Sequence-loop state slabs (`[batch, hidden]` double buffer, the
+    /// `[batch, in_dim]` timestep gather, and the feature accumulator) —
+    /// taken out during a sequence run so the step can borrow the arena.
+    h: Vec<f32>,
+    next: Vec<f32>,
+    xslab: Vec<f32>,
+    feats: Vec<f32>,
+}
+
+impl RecurrentWorkspace {
+    /// An empty arena; buffers are sized lazily by the first step.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, cell: &CirculantRnnCell, batch: usize, threads: usize) {
+        let (p, q_ih, q_hh, k, bins) = cell.plane_dims();
+        engine::grow(&mut self.xs_re, q_ih * bins * batch);
+        engine::grow(&mut self.xs_im, q_ih * bins * batch);
+        engine::grow(&mut self.hs_re, q_hh * bins * batch);
+        engine::grow(&mut self.hs_im, q_hh * bins * batch);
+        // The accumulator planes double as block-major FFT staging for
+        // both input sides while free, so they must cover the widest.
+        let blocks = p.max(q_ih).max(q_hh);
+        engine::grow(&mut self.acc_re, blocks * bins * batch);
+        engine::grow(&mut self.acc_im, blocks * bins * batch);
+        engine::grow(&mut self.stage, p * k * batch);
+        engine::grow(&mut self.pr, threads * k * batch);
+        engine::grow(&mut self.pi, threads * k * batch);
+    }
+}
 
 /// An Elman recurrent cell with block-circulant input and recurrent
 /// weights.
@@ -70,17 +147,22 @@ impl CirculantRnnCell {
         let w_ih = BlockCirculantMatrix::random(rng, hidden, in_dim, k)?;
         let mut w_hh = BlockCirculantMatrix::random(rng, hidden, hidden, k)?;
         // Estimate the operator norm via a few power iterations on W·Wᵀ and
-        // rescale the defining vectors to the requested radius.
+        // rescale the defining vectors to the requested radius. The
+        // iterations ride the batched engine (batch 1) with one warm
+        // workspace and caller buffers — no per-iteration heap allocation.
+        let mut ws = Workspace::new();
         let mut v = vec![1.0f32; hidden];
+        let mut u = vec![0.0f32; hidden];
+        let mut w = vec![0.0f32; hidden];
         for _ in 0..12 {
-            let u = w_hh.matvec(&v)?;
-            let w = w_hh.matvec_t(&u)?;
+            w_hh.forward_batch_into(&v, 1, &mut ws, &mut u)?;
+            w_hh.backward_batch_into(&u, 1, &mut ws, &mut w)?;
             let norm = w.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-12);
             for (slot, x) in v.iter_mut().zip(&w) {
                 *slot = x / norm;
             }
         }
-        let u = w_hh.matvec(&v)?;
+        w_hh.forward_batch_into(&v, 1, &mut ws, &mut u)?;
         let sigma = u.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
         let scale = spectral_radius / sigma;
         let weights: Vec<f32> = w_hh.weights().iter().map(|&w| w * scale).collect();
@@ -112,62 +194,276 @@ impl CirculantRnnCell {
         self.w_ih.dense_parameters() + self.w_hh.dense_parameters() + self.bias.len()
     }
 
+    /// The input-to-hidden operator (inspection / hand-off to the
+    /// hardware simulator; spectra are always fresh).
+    pub fn w_ih(&self) -> &BlockCirculantMatrix {
+        &self.w_ih
+    }
+
+    /// The hidden-to-hidden (recurrent) operator.
+    pub fn w_hh(&self) -> &BlockCirculantMatrix {
+        &self.w_hh
+    }
+
+    /// `(p, q_ih, q_hh, k, bins)` of the shared plane geometry.
+    fn plane_dims(&self) -> (usize, usize, usize, usize, usize) {
+        (
+            self.w_hh.block_rows(),
+            self.w_ih.block_cols(),
+            self.w_hh.block_cols(),
+            self.w_hh.block_size(),
+            self.w_hh.bins(),
+        )
+    }
+
     /// One recurrence step: `h' = tanh(W_ih·x + W_hh·h + b)`.
+    ///
+    /// Convenience wrapper over the fused batched step (batch 1, fresh
+    /// workspace). Timestep loops should hold a [`RecurrentWorkspace`]
+    /// and call [`CirculantRnnCell::step_batch_into`] — or use
+    /// [`CirculantRnnCell::run`] / [`CirculantRnnCell::run_features`],
+    /// which do exactly that and allocate nothing per step.
     ///
     /// # Errors
     ///
     /// Returns [`CircError::DimensionMismatch`] on wrong input/state sizes.
     pub fn step(&self, x: &[f32], h: &[f32]) -> Result<Vec<f32>, CircError> {
-        let mut pre = self.w_ih.matvec(x)?;
-        let rec = self.w_hh.matvec(h)?;
-        for ((p, r), b) in pre.iter_mut().zip(&rec).zip(&self.bias) {
-            *p = (*p + r + b).tanh();
-        }
-        Ok(pre)
+        let mut ws = RecurrentWorkspace::new();
+        let mut next = vec![0.0f32; self.hidden()];
+        self.step_batch_into(x, h, 1, &mut ws, &mut next)?;
+        Ok(next)
     }
 
-    /// One recurrence step for a whole batch of sequences: row-major
+    /// One fused recurrence step for a whole batch of sequences: row-major
     /// `[batch, in_dim]` inputs and `[batch, hidden]` states in,
-    /// `[batch, hidden]` next states out. Both matmuls ride the batched
-    /// engine, sweeping each weight-spectrum cache once per step instead of
-    /// once per sequence — the serving-path win for recurrent workloads.
+    /// `[batch, hidden]` next states out.
+    ///
+    /// The engine dataflow: both input sides are FFT'd into spectra planes
+    /// (one real-input plane dispatch per block, all lanes at once), the
+    /// `W_ih` MAC overwrites the shared accumulator planes and the `W_hh`
+    /// MAC **accumulates** into them (the sum `W_ih·x + W_hh·h` moves
+    /// inside the IFFT by linearity), and a single plane IFFT per output
+    /// block applies bias and `tanh` in its unpack pass — the cell's
+    /// entire nonlinear update without one post-IFFT sweep. Each weight
+    /// spectrum is swept once per step for the whole batch, and a warm
+    /// `ws` makes the step allocation-free.
     ///
     /// # Errors
     ///
     /// Returns [`CircError::DimensionMismatch`] on wrong buffer sizes.
-    /// `rec` is caller-provided `[batch, hidden]` scratch for the recurrent
-    /// matmul, so a serving loop that reuses it (and `ws`) performs zero
-    /// heap allocations per step.
-    pub fn step_batch(
+    pub fn step_batch_into(
         &self,
         x: &[f32],
         h: &[f32],
         batch: usize,
-        ws: &mut Workspace,
-        rec: &mut [f32],
+        ws: &mut RecurrentWorkspace,
         next: &mut [f32],
     ) -> Result<(), CircError> {
-        let hidden = self.hidden();
-        if next.len() != batch * hidden || rec.len() != batch * hidden {
+        self.step_batch_into_with_threads(x, h, batch, ws, next, default_batch_threads())
+    }
+
+    /// [`CirculantRnnCell::step_batch_into`] with an explicit worker
+    /// thread count (results are bit-identical for every `threads` value).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`CirculantRnnCell::step_batch_into`].
+    pub fn step_batch_into_with_threads(
+        &self,
+        x: &[f32],
+        h: &[f32],
+        batch: usize,
+        ws: &mut RecurrentWorkspace,
+        next: &mut [f32],
+        threads: usize,
+    ) -> Result<(), CircError> {
+        let (hidden, in_dim) = (self.hidden(), self.in_dim());
+        if batch == 0 {
             return Err(CircError::DimensionMismatch {
-                expected: batch * hidden,
-                got: next.len().min(rec.len()),
+                expected: 1,
+                got: 0,
             });
         }
-        self.w_ih.forward_batch_into(x, batch, ws, next)?;
-        self.w_hh.forward_batch_into(h, batch, ws, rec)?;
-        for (row, rrow) in next.chunks_mut(hidden).zip(rec.chunks(hidden)) {
-            for ((slot, &r), &b) in row.iter_mut().zip(rrow).zip(&self.bias) {
-                *slot = (*slot + r + b).tanh();
+        if x.len() != batch * in_dim {
+            return Err(CircError::DimensionMismatch {
+                expected: batch * in_dim,
+                got: x.len(),
+            });
+        }
+        if h.len() != batch * hidden || next.len() != batch * hidden {
+            return Err(CircError::DimensionMismatch {
+                expected: batch * hidden,
+                got: h.len().min(next.len()),
+            });
+        }
+        let threads = threads.max(1);
+        ws.prepare(self, batch, threads);
+        let (p, q_ih, q_hh, k, bins) = self.plane_dims();
+        let plan = self.w_hh.plane_plan();
+        let RecurrentWorkspace {
+            xs_re,
+            xs_im,
+            hs_re,
+            hs_im,
+            acc_re,
+            acc_im,
+            stage,
+            pr,
+            pi,
+            ..
+        } = ws;
+        // Stage A, both sides: input and hidden spectra planes (the
+        // accumulator planes are free until the MACs, so they stage the
+        // block-major FFT output).
+        engine::forward_spectra_planes(
+            plan,
+            x,
+            batch,
+            in_dim,
+            q_ih,
+            k,
+            bins,
+            threads,
+            acc_re,
+            acc_im,
+            &mut xs_re[..q_ih * bins * batch],
+            &mut xs_im[..q_ih * bins * batch],
+            pr,
+            pi,
+        );
+        engine::forward_spectra_planes(
+            plan,
+            h,
+            batch,
+            hidden,
+            q_hh,
+            k,
+            bins,
+            threads,
+            acc_re,
+            acc_im,
+            &mut hs_re[..q_hh * bins * batch],
+            &mut hs_im[..q_hh * bins * batch],
+            pr,
+            pi,
+        );
+        // Stage B: both MACs into one accumulator set — W_ih overwrites,
+        // W_hh accumulates; per-element term order is fixed (input blocks,
+        // then hidden blocks), so results are bit-stable across thread
+        // counts and batch compositions.
+        let acc_re = &mut acc_re[..p * bins * batch];
+        let acc_im = &mut acc_im[..p * bins * batch];
+        let (xs_re, xs_im): (&[f32], &[f32]) = (xs_re, xs_im);
+        let (hs_re, hs_im): (&[f32], &[f32]) = (hs_re, hs_im);
+        engine::par_planes(
+            threads,
+            p,
+            bins * batch,
+            acc_re,
+            acc_im,
+            0,
+            &mut [],
+            &mut [],
+            |i0, icount, re_c, im_c, _, _| {
+                self.w_ih
+                    .mac_planes(true, false, batch, i0, icount, xs_re, xs_im, re_c, im_c);
+                self.w_hh
+                    .mac_planes(true, true, batch, i0, icount, hs_re, hs_im, re_c, im_c);
+            },
+        );
+        // Stage C: one plane IFFT per output block with the fused epilogue
+        // — bias and tanh ride the unpack pass.
+        let (acc_re, acc_im): (&[f32], &[f32]) = (acc_re, acc_im);
+        let stage = &mut stage[..p * k * batch];
+        let epi = Epilogue {
+            bias: Some(&self.bias),
+            act: Activation::Tanh,
+        };
+        engine::par_planes(
+            threads,
+            p,
+            k * batch,
+            stage,
+            &mut [],
+            k * batch,
+            pr,
+            pi,
+            |i0, icount, stage_c, _, pr_c, pi_c| {
+                engine::ifft_epilogue_blocks(
+                    plan, acc_re, acc_im, k, bins, batch, i0, icount, &epi, stage_c, pr_c, pi_c,
+                );
+            },
+        );
+        // Stage D: pure layout copy into the row-major [batch, hidden]
+        // next-state slab, dropping ragged padding rows.
+        for (b, orow) in next.chunks_exact_mut(hidden).enumerate() {
+            for i in 0..p {
+                let rows = k.min(hidden - i * k);
+                let base = i * k * batch + b;
+                for t in 0..rows {
+                    orow[i * k + t] = stage[base + t * batch];
+                }
             }
         }
         Ok(())
     }
 
+    /// Runs a sequence from a zero state, returning the final hidden state.
+    /// One warm workspace carries the whole sequence: zero heap
+    /// allocations per timestep.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] on wrong input sizes.
+    pub fn run(&self, inputs: &[Vec<f32>]) -> Result<Vec<f32>, CircError> {
+        let mut ws = RecurrentWorkspace::new();
+        let mut h = vec![0.0f32; self.hidden()];
+        let mut next = vec![0.0f32; self.hidden()];
+        for x in inputs {
+            self.step_batch_into(x, &h, 1, &mut ws, &mut next)?;
+            core::mem::swap(&mut h, &mut next);
+        }
+        Ok(h)
+    }
+
+    /// Runs a sequence and returns reservoir *features*: the time-averaged
+    /// hidden state concatenated with the per-unit mean energy
+    /// (`[mean(h), mean(h²)]`, length `2·hidden`). The final state alone is
+    /// dominated by the last inputs under the fading-memory property, and
+    /// plain means cancel for sign-symmetric signals; the energy half
+    /// captures each unit's frequency response. Zero heap allocations per
+    /// timestep (one warm workspace carries the sequence).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] on wrong input sizes.
+    pub fn run_features(&self, inputs: &[Vec<f32>]) -> Result<Vec<f32>, CircError> {
+        let hidden = self.hidden();
+        let mut ws = RecurrentWorkspace::new();
+        let mut h = vec![0.0f32; hidden];
+        let mut next = vec![0.0f32; hidden];
+        let mut feats = vec![0.0f32; 2 * hidden];
+        for x in inputs {
+            self.step_batch_into(x, &h, 1, &mut ws, &mut next)?;
+            core::mem::swap(&mut h, &mut next);
+            for (i, &v) in h.iter().enumerate() {
+                feats[i] += v;
+                feats[hidden + i] += v * v;
+            }
+        }
+        let n = inputs.len().max(1) as f32;
+        for f in &mut feats {
+            *f /= n;
+        }
+        Ok(feats)
+    }
+
     /// Batched [`CirculantRnnCell::run_features`]: encodes `batch`
     /// equal-length sequences at once (`inputs[t]` is the row-major
     /// `[batch, in_dim]` slab for timestep `t`), returning `[batch,
-    /// 2·hidden]` features.
+    /// 2·hidden]` features. Each weight spectrum is swept once per
+    /// timestep for the whole batch, and every lane's trajectory is
+    /// bit-identical to running that sequence alone.
     ///
     /// # Errors
     ///
@@ -176,15 +472,14 @@ impl CirculantRnnCell {
         &self,
         inputs: &[Vec<f32>],
         batch: usize,
-        ws: &mut Workspace,
+        ws: &mut RecurrentWorkspace,
     ) -> Result<Vec<f32>, CircError> {
         let hidden = self.hidden();
         let mut h = vec![0.0f32; batch * hidden];
         let mut next = vec![0.0f32; batch * hidden];
-        let mut rec = vec![0.0f32; batch * hidden];
         let mut feats = vec![0.0f32; batch * 2 * hidden];
         for x in inputs {
-            self.step_batch(x, &h, batch, ws, &mut rec, &mut next)?;
+            self.step_batch_into(x, &h, batch, ws, &mut next)?;
             core::mem::swap(&mut h, &mut next);
             for (b, row) in h.chunks(hidden).enumerate() {
                 let f = &mut feats[b * 2 * hidden..(b + 1) * 2 * hidden];
@@ -200,52 +495,256 @@ impl CirculantRnnCell {
         }
         Ok(feats)
     }
+}
 
-    /// Runs a sequence from a zero state, returning the final hidden state.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CircError::DimensionMismatch`] on wrong input sizes.
-    pub fn run(&self, inputs: &[Vec<f32>]) -> Result<Vec<f32>, CircError> {
-        let mut h = vec![0.0f32; self.hidden()];
-        for x in inputs {
-            h = self.step(x, &h)?;
+/// What a [`CirculantRnn`] layer emits per sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RnnReadout {
+    /// The final hidden state, `[batch, hidden]`.
+    FinalState,
+    /// Reservoir features `[mean(h), mean(h²)]`, `[batch, 2·hidden]` —
+    /// what [`ReservoirClassifier`] trains its readout on.
+    Features,
+}
+
+/// A sequence layer over a fixed [`CirculantRnnCell`]: `[B, T, D]` in,
+/// `[B, hidden]` (final state) or `[B, 2·hidden]` (reservoir features)
+/// out, running the fused engine step per timestep with the weight spectra
+/// resident across the whole sequence.
+///
+/// The recurrence is a **fixed feature extractor** (reservoir semantics):
+/// the cell exposes no trainable parameters and [`Layer::backward`]
+/// propagates a zero gradient — train a readout *after* this layer (see
+/// [`ReservoirClassifier`]), then serve the assembled network through the
+/// read-only [`Layer::infer_batch`] path.
+#[derive(Debug, Clone)]
+pub struct CirculantRnn {
+    cell: CirculantRnnCell,
+    readout: RnnReadout,
+    /// Training-path workspace (the `&mut self` forward entries).
+    ws: RecurrentWorkspace,
+    /// Sequence length of the last training-path forward, so the zero
+    /// gradient [`Layer::backward`] returns has the input's `[T, in_dim]`
+    /// shape.
+    last_steps: Option<usize>,
+}
+
+impl CirculantRnn {
+    /// Wraps a cell as a sequence layer.
+    pub fn new(cell: CirculantRnnCell, readout: RnnReadout) -> Self {
+        Self {
+            cell,
+            readout,
+            ws: RecurrentWorkspace::new(),
+            last_steps: None,
         }
-        Ok(h)
     }
 
-    /// Runs a sequence and returns reservoir *features*: the time-averaged
-    /// hidden state concatenated with the per-unit mean energy
-    /// (`[mean(h), mean(h²)]`, length `2·hidden`). The final state alone is
-    /// dominated by the last inputs under the fading-memory property, and
-    /// plain means cancel for sign-symmetric signals; the energy half
-    /// captures each unit's frequency response.
+    /// The wrapped cell.
+    pub fn cell(&self) -> &CirculantRnnCell {
+        &self.cell
+    }
+
+    /// Output width per sequence.
+    pub fn out_dim(&self) -> usize {
+        match self.readout {
+            RnnReadout::FinalState => self.cell.hidden(),
+            RnnReadout::Features => 2 * self.cell.hidden(),
+        }
+    }
+
+    /// Read-only batched sequence inference into a caller-provided
+    /// `[B, out_dim]` buffer with an explicit worker thread count — the
+    /// zero-allocation serving core ([`Layer::infer_batch`] wraps it with
+    /// a fresh output and [`crate::default_batch_threads`]). Results are
+    /// bit-identical for every `threads` value and batch composition.
     ///
     /// # Errors
     ///
-    /// Returns [`CircError::DimensionMismatch`] on wrong input sizes.
-    pub fn run_features(&self, inputs: &[Vec<f32>]) -> Result<Vec<f32>, CircError> {
-        let hidden = self.hidden();
-        let mut h = vec![0.0f32; hidden];
-        let mut feats = vec![0.0f32; 2 * hidden];
-        for x in inputs {
-            h = self.step(x, &h)?;
-            for (i, &v) in h.iter().enumerate() {
-                feats[i] += v;
-                feats[hidden + i] += v * v;
+    /// Returns [`CircError::DimensionMismatch`] if `input` is not a
+    /// non-empty `[B, T, in_dim]` tensor or `out` is not `B·out_dim` long.
+    pub fn infer_batch_into(
+        &self,
+        input: &Tensor,
+        ws: &mut RecurrentWorkspace,
+        out: &mut [f32],
+        threads: usize,
+    ) -> Result<(), CircError> {
+        if input.shape().rank() != 3 {
+            return Err(CircError::DimensionMismatch {
+                expected: 3,
+                got: input.shape().rank(),
+            });
+        }
+        let (batch, steps, d) = (input.dims()[0], input.dims()[1], input.dims()[2]);
+        if batch == 0 || steps == 0 {
+            return Err(CircError::DimensionMismatch {
+                expected: 1,
+                got: 0,
+            });
+        }
+        if d != self.cell.in_dim() {
+            return Err(CircError::DimensionMismatch {
+                expected: self.cell.in_dim(),
+                got: d,
+            });
+        }
+        let hidden = self.cell.hidden();
+        if out.len() != batch * self.out_dim() {
+            return Err(CircError::DimensionMismatch {
+                expected: batch * self.out_dim(),
+                got: out.len(),
+            });
+        }
+        // Take the state slabs out of the arena so the step can borrow it.
+        engine::grow(&mut ws.h, batch * hidden);
+        engine::grow(&mut ws.next, batch * hidden);
+        engine::grow(&mut ws.xslab, batch * d);
+        let mut h = std::mem::take(&mut ws.h);
+        let mut next = std::mem::take(&mut ws.next);
+        let mut xslab = std::mem::take(&mut ws.xslab);
+        h[..batch * hidden].fill(0.0);
+        let feats = match self.readout {
+            RnnReadout::Features => {
+                engine::grow(&mut ws.feats, batch * 2 * hidden);
+                let mut feats = std::mem::take(&mut ws.feats);
+                feats[..batch * 2 * hidden].fill(0.0);
+                Some(feats)
+            }
+            RnnReadout::FinalState => None,
+        };
+        let mut feats = feats;
+        let src = input.data();
+        let mut result = Ok(());
+        for t in 0..steps {
+            // Gather timestep t's [batch, in_dim] slab from the [B, T, D]
+            // layout.
+            for b in 0..batch {
+                xslab[b * d..(b + 1) * d]
+                    .copy_from_slice(&src[(b * steps + t) * d..(b * steps + t + 1) * d]);
+            }
+            result = self.cell.step_batch_into_with_threads(
+                &xslab[..batch * d],
+                &h[..batch * hidden],
+                batch,
+                ws,
+                &mut next[..batch * hidden],
+                threads,
+            );
+            if result.is_err() {
+                break;
+            }
+            core::mem::swap(&mut h, &mut next);
+            if let Some(feats) = feats.as_mut() {
+                for b in 0..batch {
+                    let row = &h[b * hidden..(b + 1) * hidden];
+                    let f = &mut feats[b * 2 * hidden..(b + 1) * 2 * hidden];
+                    for (i, &v) in row.iter().enumerate() {
+                        f[i] += v;
+                        f[hidden + i] += v * v;
+                    }
+                }
             }
         }
-        let n = inputs.len().max(1) as f32;
-        for f in &mut feats {
-            *f /= n;
+        if result.is_ok() {
+            match (&self.readout, feats.as_ref()) {
+                (RnnReadout::FinalState, _) => out.copy_from_slice(&h[..batch * hidden]),
+                (RnnReadout::Features, Some(feats)) => {
+                    let n = steps as f32;
+                    for (slot, &f) in out.iter_mut().zip(&feats[..batch * 2 * hidden]) {
+                        *slot = f / n;
+                    }
+                }
+                (RnnReadout::Features, None) => unreachable!("feats exist in Features mode"),
+            }
         }
-        Ok(feats)
+        // Return the slabs to the arena (allocation-free either way).
+        ws.h = h;
+        ws.next = next;
+        ws.xslab = xslab;
+        if let Some(feats) = feats {
+            ws.feats = feats;
+        }
+        result
+    }
+
+    /// Shared `&mut self` forward core for the training-path entries.
+    fn forward_impl(&mut self, input: &Tensor) -> Tensor {
+        let batch = input.dims()[0];
+        let mut out = vec![0.0f32; batch * self.out_dim()];
+        let mut ws = std::mem::take(&mut self.ws);
+        self.infer_batch_into(input, &mut ws, &mut out, default_batch_threads())
+            .expect("recurrent layer input shape mismatch");
+        self.ws = ws;
+        Tensor::from_vec(out, &[batch, self.out_dim()])
+    }
+}
+
+impl Layer for CirculantRnn {
+    fn forward(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(input.shape().rank(), 2, "rnn input must be [T, in_dim]");
+        let dims = [1, input.dims()[0], input.dims()[1]];
+        self.last_steps = Some(input.dims()[0]);
+        let out = self.forward_impl(&input.clone().reshape(&dims));
+        Tensor::from_vec(out.data().to_vec(), &[self.out_dim()])
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        // Reservoir semantics: the recurrence is fixed, gradients stop
+        // here — but the zero gradient must carry the input's [T, in_dim]
+        // shape for any layer below the sequence.
+        let _ = grad_output;
+        let steps = self.last_steps.expect("backward called before forward");
+        Tensor::zeros(&[steps, self.cell.in_dim()])
+    }
+
+    fn forward_batch(&mut self, input: &Tensor) -> Tensor {
+        assert_eq!(
+            input.shape().rank(),
+            3,
+            "rnn batch input must be [B, T, in_dim]"
+        );
+        self.last_steps = Some(input.dims()[1]);
+        self.forward_impl(input)
+    }
+
+    fn backward_batch(&mut self, input: &Tensor, grad_output: &Tensor) -> Tensor {
+        // Reservoir semantics: zero gradient of the input's shape.
+        let _ = grad_output;
+        Tensor::zeros(input.dims())
+    }
+
+    fn infer_batch(&self, input: &Tensor, scratch: &mut circnn_nn::InferScratch) -> Tensor {
+        let batch = input.dims()[0];
+        let mut out = vec![0.0f32; batch * self.out_dim()];
+        let ws: &mut RecurrentWorkspace = scratch.slot();
+        self.infer_batch_into(input, ws, &mut out, default_batch_threads())
+            .expect("recurrent layer input shape mismatch");
+        Tensor::from_vec(out, &[batch, self.out_dim()])
+    }
+
+    fn supports_infer(&self) -> bool {
+        true
+    }
+
+    fn infer_ready(&self) -> bool {
+        // The cell's weight spectra are refreshed on every weight set;
+        // there is no optimizer path that can leave them stale.
+        true
+    }
+
+    fn param_count(&self) -> usize {
+        0 // the reservoir is fixed; only downstream readouts train
+    }
+
+    fn name(&self) -> &'static str {
+        "CirculantRnn"
     }
 }
 
 /// Reservoir-computing classifier: a fixed circulant RNN encodes each
-/// sequence into its final hidden state; a small dense readout is trained
-/// on those states.
+/// sequence into reservoir features; a small dense readout is trained
+/// on those features.
 #[derive(Debug)]
 pub struct ReservoirClassifier {
     cell: CirculantRnnCell,
@@ -298,7 +797,7 @@ impl ReservoirClassifier {
         if uniform && !sequences[0].is_empty() {
             let steps = sequences[0].len();
             let in_dim = self.cell.in_dim();
-            let mut ws = Workspace::new();
+            let mut ws = RecurrentWorkspace::new();
             let mut slabs = Vec::with_capacity(steps);
             for t in 0..steps {
                 let mut slab = vec![0.0f32; batch * in_dim];
@@ -360,6 +859,19 @@ impl ReservoirClassifier {
             .forward(&Tensor::from_vec(f, &[2 * self.cell.hidden()]))
             .argmax())
     }
+
+    /// Assembles the servable network: a [`CirculantRnn`] feature layer
+    /// (reservoir-features readout, matching what [`ReservoirClassifier::fit`]
+    /// trained on) followed by the trained dense readout. Register it with
+    /// `SequentialModel::with_input_shape(net, &[T, in_dim])` and requests
+    /// of `T·in_dim` flat values classify whole sequences over the wire —
+    /// the recurrent engine path serves end to end.
+    pub fn into_network(self) -> Sequential {
+        let mut net = Sequential::new().add(CirculantRnn::new(self.cell, RnnReadout::Features));
+        net.push(Box::new(self.readout));
+        net.set_training(false);
+        net
+    }
 }
 
 #[cfg(test)]
@@ -385,6 +897,60 @@ mod tests {
     }
 
     #[test]
+    fn fused_step_is_batch_composition_invariant_bitwise() {
+        // A sequence lane's next state must be bit-identical whether it
+        // steps alone or inside any wider batch — the property that lets a
+        // server coalesce recurrent requests freely.
+        let mut rng = seeded_rng(7);
+        let cell = CirculantRnnCell::new(&mut rng, 5, 12, 4, 0.9).unwrap();
+        let batch = 4;
+        let x: Vec<f32> = (0..batch * 5).map(|i| (i as f32 * 0.31).sin()).collect();
+        let h: Vec<f32> = (0..batch * 12)
+            .map(|i| (i as f32 * 0.17).cos() * 0.4)
+            .collect();
+        let mut ws = RecurrentWorkspace::new();
+        let mut coalesced = vec![0.0f32; batch * 12];
+        cell.step_batch_into(&x, &h, batch, &mut ws, &mut coalesced)
+            .unwrap();
+        for b in 0..batch {
+            let mut alone = vec![0.0f32; 12];
+            cell.step_batch_into(
+                &x[b * 5..(b + 1) * 5],
+                &h[b * 12..(b + 1) * 12],
+                1,
+                &mut ws,
+                &mut alone,
+            )
+            .unwrap();
+            assert_eq!(
+                &coalesced[b * 12..(b + 1) * 12],
+                &alone[..],
+                "lane {b} diverged across batch compositions"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_step_is_bit_identical_across_thread_counts() {
+        let mut rng = seeded_rng(8);
+        let cell = CirculantRnnCell::new(&mut rng, 6, 24, 8, 0.9).unwrap();
+        let batch = 3;
+        let x: Vec<f32> = (0..batch * 6).map(|i| (i as f32 * 0.23).sin()).collect();
+        let h: Vec<f32> = (0..batch * 24)
+            .map(|i| (i as f32 * 0.11).cos() * 0.2)
+            .collect();
+        let mut ws1 = RecurrentWorkspace::new();
+        let mut ws4 = RecurrentWorkspace::new();
+        let mut n1 = vec![0.0f32; batch * 24];
+        let mut n4 = vec![0.0f32; batch * 24];
+        cell.step_batch_into_with_threads(&x, &h, batch, &mut ws1, &mut n1, 1)
+            .unwrap();
+        cell.step_batch_into_with_threads(&x, &h, batch, &mut ws4, &mut n4, 4)
+            .unwrap();
+        assert_eq!(n1, n4, "threaded step must be bit-identical to serial");
+    }
+
+    #[test]
     fn echo_state_property_forgets_initial_state() {
         // With spectral radius < 1, two runs from different initial states
         // converge given the same long input sequence.
@@ -393,11 +959,15 @@ mod tests {
         let seq: Vec<Vec<f32>> = (0..60)
             .map(|t| (0..4).map(|i| ((t * 4 + i) as f32 * 0.17).sin()).collect())
             .collect();
+        let mut ws = RecurrentWorkspace::new();
         let mut ha = vec![0.5f32; 32];
         let mut hb = vec![-0.5f32; 32];
+        let mut next = vec![0.0f32; 32];
         for x in &seq {
-            ha = cell.step(x, &ha).unwrap();
-            hb = cell.step(x, &hb).unwrap();
+            cell.step_batch_into(x, &ha, 1, &mut ws, &mut next).unwrap();
+            ha.copy_from_slice(&next);
+            cell.step_batch_into(x, &hb, 1, &mut ws, &mut next).unwrap();
+            hb.copy_from_slice(&next);
         }
         let dist: f32 = ha
             .iter()
@@ -425,6 +995,69 @@ mod tests {
         let u = cell.w_hh.matvec(&v).unwrap();
         let sigma = u.iter().map(|x| x * x).sum::<f32>().sqrt();
         assert!((sigma - 0.7).abs() < 0.05, "sigma = {sigma}");
+    }
+
+    #[test]
+    fn rnn_layer_matches_cell_features_and_is_servable() {
+        let mut rng = seeded_rng(9);
+        let cell = CirculantRnnCell::new(&mut rng, 3, 16, 4, 0.9).unwrap();
+        let layer = CirculantRnn::new(cell.clone(), RnnReadout::Features);
+        assert!(layer.supports_infer() && layer.infer_ready());
+        let (batch, steps, d) = (3usize, 7usize, 3usize);
+        let flat: Vec<f32> = (0..batch * steps * d)
+            .map(|i| (i as f32 * 0.19).sin())
+            .collect();
+        let input = Tensor::from_vec(flat.clone(), &[batch, steps, d]);
+        let mut scratch = circnn_nn::InferScratch::new();
+        let served = layer.infer_batch(&input, &mut scratch);
+        assert_eq!(served.dims(), &[batch, 2 * 16]);
+        // Per-sequence reference through the cell's own feature path
+        // (batch 1 lanes are bit-identical by composition invariance).
+        for b in 0..batch {
+            let seq: Vec<Vec<f32>> = (0..steps)
+                .map(|t| flat[(b * steps + t) * d..(b * steps + t + 1) * d].to_vec())
+                .collect();
+            let expect = cell.run_features(&seq).unwrap();
+            assert_eq!(
+                &served.data()[b * 32..(b + 1) * 32],
+                &expect[..],
+                "sequence {b} diverged from the cell reference"
+            );
+        }
+        // Final-state mode agrees with run().
+        let fs = CirculantRnn::new(cell.clone(), RnnReadout::FinalState);
+        let served_fs = fs.infer_batch(&input, &mut scratch);
+        for b in 0..batch {
+            let seq: Vec<Vec<f32>> = (0..steps)
+                .map(|t| flat[(b * steps + t) * d..(b * steps + t + 1) * d].to_vec())
+                .collect();
+            let expect = cell.run(&seq).unwrap();
+            assert_eq!(&served_fs.data()[b * 16..(b + 1) * 16], &expect[..]);
+        }
+    }
+
+    #[test]
+    fn rnn_layer_validates_shapes() {
+        let mut rng = seeded_rng(10);
+        let cell = CirculantRnnCell::new(&mut rng, 3, 8, 4, 0.9).unwrap();
+        let layer = CirculantRnn::new(cell, RnnReadout::FinalState);
+        let mut ws = RecurrentWorkspace::new();
+        let mut out = vec![0.0f32; 8];
+        let bad_rank = Tensor::zeros(&[4, 3]);
+        assert!(layer
+            .infer_batch_into(&bad_rank, &mut ws, &mut out, 1)
+            .is_err());
+        let bad_dim = Tensor::zeros(&[1, 2, 5]);
+        assert!(layer
+            .infer_batch_into(&bad_dim, &mut ws, &mut out, 1)
+            .is_err());
+        let ok_input = Tensor::zeros(&[1, 2, 3]);
+        assert!(layer
+            .infer_batch_into(&ok_input, &mut ws, &mut out[..5], 1)
+            .is_err());
+        assert!(layer
+            .infer_batch_into(&ok_input, &mut ws, &mut out, 1)
+            .is_ok());
     }
 
     #[test]
@@ -463,6 +1096,40 @@ mod tests {
     }
 
     #[test]
+    fn assembled_network_serves_what_the_classifier_predicts() {
+        let make_seq = |freq: f32, phase: f32| -> Vec<Vec<f32>> {
+            (0..16)
+                .map(|t| vec![(freq * t as f32 + phase).sin()])
+                .collect()
+        };
+        let mut sequences = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..16 {
+            let phase = i as f32 * 0.5;
+            sequences.push(make_seq(0.3, phase));
+            labels.push(0);
+            sequences.push(make_seq(1.2, phase));
+            labels.push(1);
+        }
+        let mut rng = seeded_rng(5);
+        let mut clf = ReservoirClassifier::new(&mut rng, 1, 32, 8, 2).unwrap();
+        clf.fit(&sequences, &labels, 40).unwrap();
+        let probe = make_seq(0.3, 50.0);
+        let direct = clf.predict(&probe).unwrap();
+        let net = clf.into_network();
+        let flat: Vec<f32> = probe.iter().flatten().copied().collect();
+        let mut scratch = circnn_nn::InferScratch::new();
+        let served = net.infer(&Tensor::from_vec(flat, &[1, probe.len(), 1]), &mut scratch);
+        assert_eq!(served.dims()[0], 1);
+        let served_class = if served.data()[0] >= served.data()[1] {
+            0
+        } else {
+            1
+        };
+        assert_eq!(served_class, direct, "served argmax diverged from predict");
+    }
+
+    #[test]
     fn compression_carries_over_to_the_recurrent_weights() {
         let mut rng = seeded_rng(5);
         let cell = CirculantRnnCell::new(&mut rng, 64, 256, 64, 0.9).unwrap();
@@ -475,5 +1142,13 @@ mod tests {
         let cell = CirculantRnnCell::new(&mut rng, 4, 8, 4, 0.9).unwrap();
         assert!(cell.step(&[0.0; 3], &[0.0; 8]).is_err());
         assert!(cell.step(&[0.0; 4], &[0.0; 7]).is_err());
+        let mut ws = RecurrentWorkspace::new();
+        let mut next = vec![0.0f32; 8];
+        assert!(cell
+            .step_batch_into(&[0.0; 4], &[0.0; 8], 0, &mut ws, &mut next)
+            .is_err());
+        assert!(cell
+            .step_batch_into(&[0.0; 4], &[0.0; 8], 1, &mut ws, &mut next[..7])
+            .is_err());
     }
 }

@@ -13,7 +13,10 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use circnn_core::{BlockCirculantMatrix, CirculantConv2d, ConvWorkspace, Workspace};
+use circnn_core::{
+    BlockCirculantMatrix, CirculantConv2d, CirculantRnn, CirculantRnnCell, ConvWorkspace,
+    RecurrentWorkspace, RnnReadout, Workspace,
+};
 use circnn_nn::Layer as _;
 
 struct CountingAllocator;
@@ -96,6 +99,23 @@ fn batched_round_trip_is_allocation_free_after_warmup() {
     let mut cws = ConvWorkspace::new();
     let mut cout = vec![0.0f32; conv_batch * 10 * 5 * 5];
 
+    // Steady-state recurrent inference rides the proof too: one warm
+    // RecurrentWorkspace, a whole sequence of fused engine steps at a
+    // fixed (cell, batch) into a caller buffer — the "no per-timestep
+    // heap allocation survives" guarantee serving relies on.
+    let rnn = {
+        let mut rng = circnn_tensor::init::seeded_rng(21);
+        let cell = CirculantRnnCell::new(&mut rng, 6, 16, 4, 0.9).unwrap();
+        CirculantRnn::new(cell, RnnReadout::Features)
+    };
+    let (rnn_batch, rnn_steps) = (4usize, 5usize);
+    let rx = circnn_tensor::Tensor::from_vec(
+        seeded(rnn_batch * rnn_steps * 6, 22),
+        &[rnn_batch, rnn_steps, 6],
+    );
+    let mut rws = RecurrentWorkspace::new();
+    let mut rout = vec![0.0f32; rnn_batch * 2 * 16];
+
     // Warm-up sizes every workspace buffer (the serial path: the parallel
     // path's only allocations are the spawned threads' stacks).
     w.forward_batch_into_with_threads(&x, batch, &mut ws, &mut y, 1)
@@ -105,6 +125,7 @@ fn batched_round_trip_is_allocation_free_after_warmup() {
     w.weight_gradient_batch_with_threads(&mut ws, &mut wgrad, 1)
         .unwrap();
     conv.infer_batch_into(&cx, &mut cws, &mut cout, 1).unwrap();
+    rnn.infer_batch_into(&rx, &mut rws, &mut rout, 1).unwrap();
 
     ALLOCATIONS.store(0, Ordering::SeqCst);
     COUNTING.with(|c| c.set(true));
@@ -124,6 +145,11 @@ fn batched_round_trip_is_allocation_free_after_warmup() {
     // steady state is what is measured.
     conv.infer_batch_into(&cx, &mut cws, &mut cout, 1).unwrap();
     conv.infer_batch_into(&cx, &mut cws, &mut cout, 1).unwrap();
+    // Steady-state recurrent serving: every timestep of both sequences
+    // runs the fused step (two FFT sides, accumulate MAC, one IFFT with
+    // the tanh epilogue) out of the warm arena.
+    rnn.infer_batch_into(&rx, &mut rws, &mut rout, 1).unwrap();
+    rnn.infer_batch_into(&rx, &mut rws, &mut rout, 1).unwrap();
     COUNTING.with(|c| c.set(false));
     let during = ALLOCATIONS.load(Ordering::SeqCst);
 

@@ -1,0 +1,151 @@
+//! Golden bitwise regression vectors for the unified spectral-plane core.
+//!
+//! The vectors were captured at the seed of the engine-unification refactor
+//! (PR 5) by running the *pre-refactor* `Workspace` / `ConvWorkspace`
+//! pipelines on fixed inputs and recording every output's IEEE-754 bit
+//! pattern. The unified engine re-stages the same arithmetic (pack → plane
+//! FFT → register-tiled MAC → plane IFFT with fused epilogue), so its
+//! outputs must be **bit-identical** — any divergence means the refactor
+//! changed the math, not just the plumbing.
+//!
+//! Scope: the FC forward/transpose applies and the stride-1 conv pipeline,
+//! whose per-element accumulation orders are preserved exactly. Strided
+//! convs moved from the per-offset gather path onto the fused run-MAC
+//! (a different — equally valid — accumulation association), so they are
+//! covered by the tolerance-based reference proptests instead.
+
+use circnn_core::{BlockCirculantMatrix, CirculantConv2d, ConvWorkspace, Workspace};
+use circnn_nn::Layer as _;
+
+const GOLDEN_FC_24X40X8_B3: [u32; 72] = [
+    0x403E3514, 0x40395630, 0x40482454, 0x403A3E52, 0x403BAC92, 0x4049A4B0, 0x405A53B6, 0x4050ABEE,
+    0x4024EB12, 0x402E278E, 0x401653B0, 0x401F13AA, 0x402C0C70, 0x402F6130, 0x40258ADE, 0x402D56D0,
+    0x402F7A2C, 0x40181B22, 0x4022E05C, 0x40266EDB, 0x401BB954, 0x4024AD5A, 0x4015B984, 0x4028EC19,
+    0x401BB94B, 0x40189F0E, 0x40090E45, 0x402FAC82, 0x401A04AD, 0x40221348, 0x400C5A1F, 0x4029CDEC,
+    0x400AA62A, 0x3FFC60D3, 0x400B1BC1, 0x3FFAA94A, 0x3FF3E6DC, 0x4003A9B6, 0x4004736F, 0x3FEDA7E8,
+    0x3FF90E82, 0x40044F89, 0x3FF75B64, 0x3FFDA73D, 0x40024E61, 0x40041C9F, 0x3FFE2C9C, 0x3FE01381,
+    0x40207BCC, 0x400D7A6E, 0x401D615F, 0x4011B2EA, 0x401DD2B0, 0x4013E948, 0x401E6431, 0x40152C34,
+    0x4005F014, 0x3FF9C98B, 0x40039DC9, 0x3FF6C175, 0x4000A772, 0x3FF89A61, 0x40011B2D, 0x40112EE4,
+    0x4003A2E5, 0x3FE67022, 0x4003F7BE, 0x3FF793EF, 0x3FFB38E7, 0x3FE899F0, 0x3FFF787C, 0x3FE487B7,
+];
+
+const GOLDEN_FC_24X40X8_B3_BWD: [u32; 120] = [
+    0x3FA6032C, 0x3F97A1C1, 0x3FA83677, 0x3F9EC3AC, 0x3F8FEB00, 0x3F9C64D3, 0x3FA6B34D, 0x3FA12E58,
+    0x3FBEE138, 0x3FBE40FA, 0x3FC4EC9A, 0x3FBB4357, 0x3FAB1B2A, 0x3FBA1B3E, 0x3FD5B598, 0x3FBCA48D,
+    0x3FCCECC3, 0x3FBE2516, 0x3FCBF6DC, 0x3FD5275C, 0x3FC878BB, 0x3FB4F49A, 0x3FC61576, 0x3FCC9D8C,
+    0x3FBA678B, 0x3FB10625, 0x3FC1D846, 0x3FC3947E, 0x3FB2B1BD, 0x3FAB2845, 0x3FB9DF72, 0x3FD96818,
+    0x3FC61BFC, 0x3FB6B17A, 0x3F9A9034, 0x3F8D96E0, 0x3FC05D98, 0x3FBA7ED4, 0x3FA14F64, 0x3FB07C2E,
+    0x3FC0777E, 0x3FC45944, 0x3FBEE21F, 0x3FA9C660, 0x3FE09F4C, 0x3FC87CC6, 0x3FD97D9B, 0x3FCC1872,
+    0x3FF0CABB, 0x3FE29C34, 0x3FE1231B, 0x3FD77794, 0x3FE2CF67, 0x3FF11498, 0x4002633A, 0x3FF60038,
+    0x3FF17A1F, 0x3FFC7C51, 0x3FFB2B1F, 0x3FED9AF7, 0x40022FD3, 0x3FEF94FB, 0x4001EC5B, 0x3FFEAB15,
+    0x3FE43ABF, 0x3FE3470D, 0x3FE8F5B4, 0x3FE1D14A, 0x3FE240B9, 0x3FEB6937, 0x3FF77AB0, 0x3FF7DB36,
+    0x3FE3D4FB, 0x3FD2C17D, 0x3FE8705E, 0x3FD68A08, 0x3FDF56A1, 0x3FE55CB9, 0x3FD85DCE, 0x3FD6AB4A,
+    0x3FB02C78, 0x3FB33330, 0x3FC6787F, 0x3FB94B6B, 0x3FCA6034, 0x3FC074E0, 0x3FD0BC31, 0x3FB33699,
+    0x3FD595DC, 0x3FC6C344, 0x3FDE4EA8, 0x3FD39DFE, 0x3FEA6784, 0x3FF34478, 0x3FEAFA04, 0x3FD6143A,
+    0x3FF4C15E, 0x3FEDD612, 0x3FE5A07A, 0x3FEE5C60, 0x3FDC1566, 0x3FE54780, 0x3FFD7C1A, 0x3FEF5CE6,
+    0x3FD7F3D8, 0x3FD003ED, 0x3FDB3B0F, 0x3FD8659A, 0x3FE61D64, 0x3FDA7365, 0x3FF4CCF5, 0x3FD87C54,
+    0x3FC99ADF, 0x3FC3E0AF, 0x3FC5645E, 0x3FE12995, 0x3FEFFD55, 0x3FC41083, 0x3FD33C4E, 0x3FD995B1,
+];
+
+const GOLDEN_FC_10X7X4_B2: [u32; 20] = [
+    0x3E903AAE, 0x3ED0FA52, 0x3E975A06, 0x3E67A1E5, 0x3EDFEA0C, 0x3EF1153E, 0x3F1B4948, 0x3EBEA7E8,
+    0x3F29FF76, 0x3F12E7BA, 0x3E299C3D, 0x3E6736AB, 0x3E806078, 0x3E011EA5, 0x3E560B88, 0x3EB4EA35,
+    0x3E967EC6, 0x3EA65A1D, 0x3E85E008, 0x3ECEEDFB,
+];
+
+const GOLDEN_FC_10X7X4_B2_BWD: [u32; 14] = [
+    0x3F112379, 0x3EFE4C95, 0x3ED78E65, 0x3EF7530D, 0x3EFA52C8, 0x3EE357F2, 0x3F1EFFF8, 0x3EB27257,
+    0x3EB6AF5C, 0x3E9AC0D1, 0x3E1C4408, 0x3EA7BF9E, 0x3E9B5E68, 0x3EB27D48,
+];
+
+const GOLDEN_CONV_S1: [u32; 96] = [
+    0x3E0E8CF5, 0xBD350BF1, 0xBD9461C7, 0xBDD8E088, 0x3E00AAE3, 0x3E8C4785, 0xBF06FCCE, 0x3E5FCF3D,
+    0x3D57BA9C, 0x3D483A64, 0xBE3D0B77, 0xBCDABE80, 0x3BA6B1C4, 0x3D90DE8E, 0x3E37A9BE, 0x3E5775A7,
+    0x3C8D6B98, 0xBCB42F3E, 0xBE6F5278, 0x3DAD09AE, 0x3E2FC2D5, 0x3E18A78E, 0xBD1C0E98, 0x3EC0C3A6,
+    0x3E1071EC, 0x3E8CF832, 0xBE13363D, 0xBE73CFC8, 0xBD8A2CC7, 0x3EC05D64, 0x3D848B3A, 0x3E7C41C5,
+    0x3D09DF74, 0xBD3E6633, 0xBD664D54, 0xBDE0CD2A, 0x3E845A0C, 0xBE16524A, 0x3EDCEDD9, 0xBEB10794,
+    0x3E4F1DDB, 0x3E3C3C66, 0x3D80CCA8, 0xBE34B4C6, 0x3E417929, 0x3E333006, 0x3DC0B110, 0xBC8BC3C4,
+    0x3E6BED2B, 0xBD855911, 0xBDEE767B, 0x3D3476B9, 0x3DB892CC, 0x3DE1F87C, 0xBDA83FDC, 0x3E3A1974,
+    0xBB247BC0, 0x3D5E771E, 0x3E212F17, 0x3CD2E240, 0x3EC24EDA, 0x3E826A49, 0xBEB093BE, 0x3EDD368A,
+    0x3BCC48A0, 0xBDF4AD07, 0xBE4B1162, 0xBCAACBEA, 0x3ED8E09D, 0xBDA3FF0E, 0xBEFC2111, 0x3E342F20,
+    0x3EF1ADC2, 0xBE6CFB64, 0xBE56419D, 0x3E5DE52C, 0x3DD930CE, 0xBDAA3267, 0x3E7E38B9, 0x3F2D4A93,
+    0x3C35C0F2, 0x3D24E6F0, 0xBCBCE17E, 0xBE8828D2, 0x3E3F8E93, 0xBE747D39, 0x3E9AC622, 0xBEB84EB1,
+    0x3E8648A5, 0xBD0AF7D8, 0x3E1EC6F8, 0xBE2EB09F, 0x3C750230, 0x3E5AFC2E, 0x3EE30029, 0xBDE37780,
+];
+
+/// The deterministic input generator the capture run used.
+fn seeded(n: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0) * 0.5
+        })
+        .collect()
+}
+
+fn assert_bits(tag: &str, got: &[f32], want: &[u32]) {
+    assert_eq!(got.len(), want.len(), "{tag}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            *w,
+            "{tag}[{i}]: got {g} (0x{:08X}), golden 0x{w:08X}",
+            g.to_bits()
+        );
+    }
+}
+
+fn fc_case(m: usize, n: usize, k: usize, batch: usize, seed: u64, fwd: &[u32], bwd: &[u32]) {
+    let p = m.div_ceil(k);
+    let q = n.div_ceil(k);
+    let w = BlockCirculantMatrix::from_weights(m, n, k, &seeded(p * q * k, seed)).unwrap();
+    let x = seeded(batch * n, seed ^ 0xA5A5);
+    let mut ws = Workspace::new();
+    let mut y = vec![0.0f32; batch * m];
+    w.forward_batch_into_with_threads(&x, batch, &mut ws, &mut y, 1)
+        .unwrap();
+    assert_bits("forward", &y, fwd);
+    let g = seeded(batch * m, seed ^ 0x5A5A);
+    let mut gx = vec![0.0f32; batch * n];
+    w.backward_batch_into_with_threads(&g, batch, &mut ws, &mut gx, 1)
+        .unwrap();
+    assert_bits("backward", &gx, bwd);
+}
+
+#[test]
+fn fc_apply_is_bit_identical_to_pre_refactor_engine() {
+    fc_case(
+        24,
+        40,
+        8,
+        3,
+        11,
+        &GOLDEN_FC_24X40X8_B3,
+        &GOLDEN_FC_24X40X8_B3_BWD,
+    );
+    // Ragged dims: m, n not multiples of k.
+    fc_case(
+        10,
+        7,
+        4,
+        2,
+        22,
+        &GOLDEN_FC_10X7X4_B2,
+        &GOLDEN_FC_10X7X4_B2_BWD,
+    );
+}
+
+#[test]
+fn conv_stride1_is_bit_identical_to_pre_refactor_engine() {
+    let mut rng = circnn_tensor::init::seeded_rng(33);
+    let mut conv = CirculantConv2d::new(&mut rng, 2, 3, 3, 1, 1, 2).unwrap();
+    conv.set_training(false);
+    let x = circnn_tensor::Tensor::from_vec(seeded(2 * 2 * 4 * 4, 44), &[2, 2, 4, 4]);
+    let mut cws = ConvWorkspace::new();
+    let mut out = vec![0.0f32; 2 * 3 * 4 * 4];
+    conv.infer_batch_into(&x, &mut cws, &mut out, 1).unwrap();
+    assert_bits("conv_s1", &out, &GOLDEN_CONV_S1);
+}

@@ -294,7 +294,70 @@ impl<T: Float> BatchFftPlan<T> {
         if n == 1 {
             return Ok(()); // DC bin is the signal; 1/1 scaling.
         }
+        self.inverse_planes_real_core(re, im, batch)?;
         let h = n / 2;
+        // Unpack lane-wise: x[2m] = Z[m].re, x[2m+1] = Z[m].im. Descending
+        // m only writes rows ≥ 2m while reading rows m ≤ 2m.
+        for m in (0..h).rev() {
+            let src = m * batch;
+            re.copy_within(src..src + batch, 2 * m * batch);
+            re[(2 * m + 1) * batch..(2 * m + 2) * batch].copy_from_slice(&im[src..src + batch]);
+        }
+        Ok(())
+    }
+
+    /// [`BatchFftPlan::inverse_planes_real`] with a **fused epilogue**: the
+    /// final lane-unpack pass hands each finished time-domain row to `sink`
+    /// (`sink(row, lanes)` for `row in 0..n`, ascending) instead of writing
+    /// it back into the plane, so a caller can apply a bias/activation and
+    /// scatter the row to its destination while it is still in cache — no
+    /// separate post-IFFT pass over the full plane. The rows handed out are
+    /// mutable views into the scratch planes; `sink` may edit them in
+    /// place. Arithmetic is identical to
+    /// [`BatchFftPlan::inverse_planes_real`], so results are bitwise equal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError`] if the planes are not `n·batch` long or the
+    /// batch is zero.
+    pub fn inverse_planes_real_epilogue(
+        &self,
+        re: &mut [T],
+        im: &mut [T],
+        batch: usize,
+        sink: &mut dyn FnMut(usize, &mut [T]),
+    ) -> Result<(), FftError> {
+        self.validate(re, im, batch)?;
+        let n = self.n;
+        if n == 1 {
+            sink(0, &mut re[..batch]);
+            return Ok(());
+        }
+        self.inverse_planes_real_core(re, im, batch)?;
+        // Unpack lane-wise through the sink: x[2m] = Z[m].re,
+        // x[2m+1] = Z[m].im. Nothing is written back into the planes, so
+        // ascending order is safe and rows stream out cache-warm.
+        let h = n / 2;
+        for m in 0..h {
+            let src = m * batch;
+            sink(2 * m, &mut re[src..src + batch]);
+            sink(2 * m + 1, &mut im[src..src + batch]);
+        }
+        Ok(())
+    }
+
+    /// Shared body of the real-input inverse transforms: re-packs the
+    /// unique half-spectrum rows into the half-length interleaved spectrum
+    /// and runs the half-length complex inverse. Callers (`n ≥ 2`,
+    /// pre-validated) unpack rows `0..n/2` of `re`/`im` as
+    /// `x[2m] = Z[m].re`, `x[2m+1] = Z[m].im`.
+    fn inverse_planes_real_core(
+        &self,
+        re: &mut [T],
+        im: &mut [T],
+        batch: usize,
+    ) -> Result<(), FftError> {
+        let h = self.n / 2;
         // Re-pack bins into the half-length interleaved spectrum:
         // Z[k] = E[k] + i·O[k] with E[k] = (X[k] + conj(X[h−k]))/2 and
         // O[k] = e^{+2πik/n}·(X[k] − conj(X[h−k]))/2; the pair's mirror row
@@ -347,15 +410,7 @@ impl<T: Float> BatchFftPlan<T> {
             }
         }
         let half = self.half.as_ref().expect("n >= 2 always has a half plan");
-        half.inverse_planes(&mut re[..h * batch], &mut im[..h * batch], batch)?;
-        // Unpack lane-wise: x[2m] = Z[m].re, x[2m+1] = Z[m].im. Descending
-        // m only writes rows ≥ 2m while reading rows m ≤ 2m.
-        for m in (0..h).rev() {
-            let src = m * batch;
-            re.copy_within(src..src + batch, 2 * m * batch);
-            re[(2 * m + 1) * batch..(2 * m + 2) * batch].copy_from_slice(&im[src..src + batch]);
-        }
-        Ok(())
+        half.inverse_planes(&mut re[..h * batch], &mut im[..h * batch], batch)
     }
 
     /// Applies the bit-reversal row permutation.
@@ -555,6 +610,62 @@ mod tests {
                 assert_eq!(re[r * batch + b], sre[r], "lane {b} bin {r} re");
                 assert_eq!(im[r * batch + b], sim[r], "lane {b} bin {r} im");
             }
+        }
+    }
+
+    #[test]
+    fn epilogue_inverse_matches_in_place_inverse_bitwise() {
+        // The fused-epilogue inverse must hand out exactly the rows the
+        // in-place inverse would have written — same arithmetic, same bits.
+        for n in [1usize, 2, 4, 16, 64] {
+            let batch = 3;
+            let plan = BatchFftPlan::<f32>::new(n).unwrap();
+            let bins = n / 2 + 1;
+            let mut re = vec![0.0f32; n * batch];
+            let mut im = vec![0.0f32; n * batch];
+            for (i, v) in seeded(bins * batch, 5 + n as u64).iter().enumerate() {
+                re[i] = *v as f32;
+            }
+            for (i, v) in seeded(bins * batch, 6 + n as u64).iter().enumerate() {
+                im[i] = *v as f32;
+            }
+            let mut re2 = re.clone();
+            let mut im2 = im.clone();
+            plan.inverse_planes_real(&mut re, &mut im, batch).unwrap();
+            let mut got = vec![f32::NAN; n * batch];
+            plan.inverse_planes_real_epilogue(&mut re2, &mut im2, batch, &mut |row, lanes| {
+                got[row * batch..(row + 1) * batch].copy_from_slice(lanes);
+            })
+            .unwrap();
+            assert_eq!(&got, &re[..n * batch], "n={n}");
+        }
+    }
+
+    #[test]
+    fn epilogue_rows_arrive_once_each_and_are_mutable() {
+        let n = 8;
+        let batch = 2;
+        let plan = BatchFftPlan::<f64>::new(n).unwrap();
+        let x = seeded(n * batch, 77);
+        let mut re = x.clone();
+        let mut im = vec![0.0f64; n * batch];
+        plan.forward_planes_real(&mut re, &mut im, batch).unwrap();
+        let mut seen = vec![0u32; n];
+        let mut out = vec![0.0f64; n * batch];
+        plan.inverse_planes_real_epilogue(&mut re, &mut im, batch, &mut |row, lanes| {
+            seen[row] += 1;
+            for v in lanes.iter_mut() {
+                *v += 1.0; // epilogue may edit the row in place
+            }
+            out[row * batch..(row + 1) * batch].copy_from_slice(lanes);
+        })
+        .unwrap();
+        assert!(
+            seen.iter().all(|&c| c == 1),
+            "rows must arrive exactly once"
+        );
+        for (i, (&a, &e)) in out.iter().zip(&x).enumerate() {
+            assert!((a - (e + 1.0)).abs() < 1e-10, "idx {i}: {a} vs {e}+1");
         }
     }
 

@@ -104,13 +104,11 @@ impl Sequential {
     /// shared by any number of worker threads, each holding its own
     /// [`InferScratch`]. Outputs are **batch-composition invariant**: a
     /// sample's row is bit-identical no matter which batch carries it.
-    /// They also match [`Layer::forward_batch`] in inference mode, except
-    /// that circulant FC layers always use the batched engine — at batch
-    /// size 1, `CirculantLinear::forward_batch` takes a scalar-pipeline
-    /// shortcut whose rounding differs at the last ulp (the conv layer has
-    /// no such shortcut: its plane pipeline is the only path, so
-    /// `forward_batch` and `infer_batch` agree bitwise at every batch
-    /// size).
+    /// They also match [`Layer::forward_batch`] in inference mode bitwise
+    /// at every batch size: FC, CONV and recurrent circulant layers all
+    /// run the one unified spectral-plane engine on both paths (the former
+    /// batch-size-1 scalar-pipeline shortcut in the circulant FC layer is
+    /// gone).
     ///
     /// Circulant layers serve from their cached weight spectra; call
     /// [`Layer::set_training`]`(false)` once after training (before sharing

@@ -370,6 +370,20 @@ fn dispatch(req: Request, registry: &ModelRegistry, queue: &ReplyQueue) -> bool 
             let Some(tenant) = registry.get(&model) else {
                 return queue.push(PendingReply::Ready(unknown_model(&model)));
             };
+            // A payload inconsistent with the registered model's input
+            // shape is rejected here, at the wire layer, with a typed
+            // reply — it never enters the tenant queue, so no worker can
+            // trip a batch-shape assertion on it.
+            let n = tenant.input_len();
+            if input.len() != n {
+                return queue.push(PendingReply::Ready(Reply::Error {
+                    code: ErrorCode::BadInput,
+                    message: format!(
+                        "model {model:?} expects {n} values per request, got {}",
+                        input.len()
+                    ),
+                }));
+            }
             // Blocking submit: tenant backpressure stalls this connection.
             match tenant.submit_with_deadline(input, budget_of(deadline_micros)) {
                 Ok(handle) => queue.push(PendingReply::Single(handle)),

@@ -8,7 +8,7 @@ use std::net::TcpStream;
 use std::sync::Arc;
 use std::time::Duration;
 
-use circnn_core::{CirculantConv2d, CirculantLinear};
+use circnn_core::{CirculantConv2d, CirculantLinear, CirculantRnn, CirculantRnnCell, RnnReadout};
 use circnn_nn::{Flatten, InferScratch, Layer, Linear, MaxPool2d, Relu, Sequential};
 use circnn_serve::{ServeModel, TenantConfig};
 use circnn_tensor::init::seeded_rng;
@@ -122,6 +122,64 @@ fn eight_connections_two_tenants_bitwise_identical() {
         assert_eq!(&batched[i * 10..(i + 1) * 10], &direct[..], "batch row {i}");
     }
 
+    server.shutdown();
+}
+
+/// Recurrent tenant over `[T=6, D=2]` sequences: circulant reservoir
+/// features → dense readout.
+fn rnn_net(seed: u64) -> Sequential {
+    let mut rng = seeded_rng(seed);
+    let cell = CirculantRnnCell::new(&mut rng, 2, 16, 4, 0.9).unwrap();
+    Sequential::new()
+        .add(CirculantRnn::new(cell, RnnReadout::Features))
+        .add(Linear::new(&mut rng, 32, 4))
+}
+
+/// The engine-unification acceptance scenario for the recurrent workload:
+/// an RNN registers in the registry like any FC net or convnet, serves
+/// over the socket under concurrent connections, and every wire reply is
+/// **bit-identical** to direct `Sequential::infer` on the same sequence.
+#[test]
+fn recurrent_network_serves_bit_identical_over_the_wire() {
+    let registry = Arc::new(ModelRegistry::new(2).unwrap());
+    registry
+        .add_network("rnn", rnn_net(123), &[6, 2], TenantConfig::default())
+        .unwrap();
+    let server =
+        WireServer::bind("127.0.0.1:0", Arc::clone(&registry), WireConfig::default()).unwrap();
+    let addr = server.local_addr();
+    const CLIENTS: usize = 4;
+    const REQUESTS: usize = 8;
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let mut ref_net = rnn_net(123);
+            ref_net.set_training(false);
+            s.spawn(move || {
+                let mut wire = WireClient::connect(addr).expect("connect");
+                let mut scratch = InferScratch::new();
+                for r in 0..REQUESTS {
+                    let x = request(6 * 2, (client * 777 + r) as u64);
+                    let served = wire.infer("rnn", &x).expect("served");
+                    let direct = ref_net
+                        .infer(&Tensor::from_vec(x, &[1, 6, 2]), &mut scratch)
+                        .data()
+                        .to_vec();
+                    assert_eq!(
+                        served, direct,
+                        "client {client} sequence {r} diverged from direct infer"
+                    );
+                }
+            });
+        }
+    });
+    // Sequence payloads of the wrong length never reach a worker: the
+    // wire layer rejects them with the typed BadInput reply.
+    let mut wire = WireClient::connect(addr).unwrap();
+    match wire.infer("rnn", &[0.0; 11]) {
+        Err(WireError::Remote { code, .. }) => assert_eq!(code, ErrorCode::BadInput),
+        other => panic!("expected BadInput, got {other:?}"),
+    }
+    assert_eq!(wire.infer("rnn", &request(12, 5)).unwrap().len(), 4);
     server.shutdown();
 }
 

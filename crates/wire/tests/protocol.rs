@@ -305,3 +305,64 @@ fn overlong_strings_encode_to_valid_truncated_frames() {
         other => panic!("expected Error, got {other:?}"),
     }
 }
+
+/// One shared live server for the payload-length property below: a
+/// recurrent model whose registered input shape is `[T=5, D=3]` (15 flat
+/// values per request). Built once; the server is leaked so it outlives
+/// every proptest case in the process.
+fn shape_server_addr() -> std::net::SocketAddr {
+    use std::sync::OnceLock;
+    static ADDR: OnceLock<std::net::SocketAddr> = OnceLock::new();
+    *ADDR.get_or_init(|| {
+        use circnn_core::{CirculantRnn, CirculantRnnCell, RnnReadout};
+        let mut rng = circnn_tensor::init::seeded_rng(31);
+        let cell = CirculantRnnCell::new(&mut rng, 3, 8, 4, 0.9).unwrap();
+        let net = circnn_nn::Sequential::new().add(CirculantRnn::new(cell, RnnReadout::FinalState));
+        let registry = std::sync::Arc::new(circnn_wire::ModelRegistry::new(1).unwrap());
+        registry
+            .add_network("seq", net, &[5, 3], circnn_serve::TenantConfig::default())
+            .unwrap();
+        let server = circnn_wire::WireServer::bind(
+            "127.0.0.1:0",
+            std::sync::Arc::clone(&registry),
+            circnn_wire::WireConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        // Keep the accept loop (and the registry the server holds) alive
+        // for the rest of the test process.
+        std::mem::forget(server);
+        std::mem::forget(registry);
+        addr
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `Infer` frames whose payload length is inconsistent with the
+    /// registered model's input shape are rejected with the typed
+    /// `BadInput` error **at the wire layer** — never a worker-side panic,
+    /// never a dropped connection — and the connection stays usable for a
+    /// correctly-sized request afterwards.
+    #[test]
+    fn inconsistent_infer_payload_is_a_typed_wire_error(len in 0usize..64, seed in any::<u64>()) {
+        let addr = shape_server_addr();
+        let mut wire = circnn_wire::WireClient::connect(addr).expect("connect");
+        let payload: Vec<f32> = (0..len).map(|i| ((i as u64 ^ seed) % 97) as f32 * 0.01).collect();
+        match wire.infer("seq", &payload) {
+            Ok(out) => {
+                prop_assert_eq!(len, 15, "only exact-shape payloads may succeed");
+                prop_assert_eq!(out.len(), 8);
+            }
+            Err(WireError::Remote { code, .. }) => {
+                prop_assert!(len != 15, "exact-shape payloads must not error");
+                prop_assert_eq!(code, ErrorCode::BadInput);
+            }
+            Err(other) => prop_assert!(false, "unexpected error: {:?}", other),
+        }
+        // The same connection still serves a well-formed sequence.
+        let ok = wire.infer("seq", &[0.25; 15]).expect("connection survived");
+        prop_assert_eq!(ok.len(), 8);
+    }
+}
