@@ -1,0 +1,11 @@
+//! Runs the overload-policy trajectory and writes `BENCH_fault.json`.
+fn main() {
+    let quick = circnn_bench::quick_mode();
+    println!("CirCNN reproduction — overload policies under offered load (quick = {quick})\n");
+    let points = circnn_bench::fault::run(quick);
+    circnn_bench::fault::print(&points);
+    let json = circnn_bench::fault::to_json(&points);
+    let path = "BENCH_fault.json";
+    std::fs::write(path, json).expect("writing trajectory file");
+    println!("\nwrote {path}");
+}

@@ -1,0 +1,279 @@
+//! Overload-behavior trajectory: client-observed latency and shed rate
+//! under 1×/2×/4× offered load for each [`OverloadPolicy`].
+//!
+//! The server is a single worker running a fixed-cost model (a calibrated
+//! sleep per dispatch), so its capacity is known exactly. An **open-loop**
+//! submitter offers requests on a fixed schedule — like real ingress
+//! traffic, it does not slow down because the server is behind — and every
+//! request's latency is measured from its *scheduled* arrival time, so
+//! time a blocked submitter spends parked counts against the policy that
+//! parked it.
+//!
+//! The trajectory this reproduces is the PR's acceptance criterion:
+//!
+//! * `Block` — admission waits for queue space. At 4× overload the
+//!   backlog (and with it p99 latency) grows without bound for as long as
+//!   the run lasts; nothing is shed.
+//! * `Reject` — admission fails fast once the queue is full. Completed
+//!   requests keep a bounded p99 (≤ queue depth × service time); the
+//!   excess load surfaces as a ~75 % shed rate at 4×.
+//! * `ShedOldest` — admission evicts the stalest queued request. Same
+//!   bounded p99, same shed rate, but the *newest* requests survive —
+//!   the right trade when stale answers are worthless.
+//!
+//! The `fault` binary wraps [`run`] and writes `BENCH_fault.json`.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use circnn_serve::{OverloadPolicy, ServeConfig, ServeError, ServeModel, Server};
+
+/// Fixed-cost model: sleeps `delay` per dispatch, then echoes. With
+/// `max_batch = 1` the server's capacity is exactly `1 / delay`.
+struct FixedCost {
+    len: usize,
+    delay: Duration,
+}
+
+impl ServeModel for FixedCost {
+    type Scratch = ();
+    fn make_scratch(&self) {}
+    fn input_len(&self) -> usize {
+        self.len
+    }
+    fn output_len(&self) -> usize {
+        self.len
+    }
+    fn infer_batch(&self, x: &[f32], _batch: usize, _scratch: &mut (), out: &mut [f32]) {
+        std::thread::sleep(self.delay);
+        out.copy_from_slice(x);
+    }
+}
+
+/// One measured (policy, overload) point.
+#[derive(Debug, Clone)]
+pub struct FaultPoint {
+    /// Overload policy under test.
+    pub policy: OverloadPolicy,
+    /// Offered load as a multiple of server capacity (1, 2, 4).
+    pub overload: u32,
+    /// Offered request rate, requests/second.
+    pub offered_rps: f64,
+    /// Requests that completed with a result.
+    pub completed: u64,
+    /// Requests shed from the queue (`ShedOldest`).
+    pub shed: u64,
+    /// Requests refused at admission (`Reject`).
+    pub rejected: u64,
+    /// Median completed-request latency from *scheduled* arrival, µs.
+    pub p50_us: f64,
+    /// 99th-percentile completed-request latency, µs.
+    pub p99_us: f64,
+}
+
+impl FaultPoint {
+    /// Fraction of offered requests that were shed or rejected.
+    pub fn shed_rate(&self) -> f64 {
+        let total = self.completed + self.shed + self.rejected;
+        if total == 0 {
+            0.0
+        } else {
+            (self.shed + self.rejected) as f64 / total as f64
+        }
+    }
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * p).round() as usize;
+    sorted_us[idx]
+}
+
+fn policy_name(p: OverloadPolicy) -> &'static str {
+    match p {
+        OverloadPolicy::Block => "block",
+        OverloadPolicy::Reject => "reject",
+        OverloadPolicy::ShedOldest => "shed_oldest",
+    }
+}
+
+/// Offers `requests` requests at `overload ×` the server's capacity under
+/// `policy` and measures the outcome mix and completed-request latency.
+pub fn measure(
+    policy: OverloadPolicy,
+    overload: u32,
+    requests: u64,
+    service_time: Duration,
+) -> FaultPoint {
+    const LEN: usize = 8;
+    let server = Server::start(
+        FixedCost {
+            len: LEN,
+            delay: service_time,
+        },
+        ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_capacity: 32,
+            workers: 1,
+            overload: policy,
+        },
+    )
+    .expect("valid config");
+
+    let interval = service_time / overload;
+    let offered_rps = 1.0 / interval.as_secs_f64();
+    let (tx, rx) = mpsc::channel::<(Instant, circnn_serve::ResponseHandle)>();
+    let mut rejected = 0u64;
+
+    // Collector: waits out every admitted request and tallies outcomes.
+    // Completions arrive in admission order (single FIFO worker), so a
+    // serial drain observes each fulfillment promptly.
+    let collector = std::thread::spawn(move || {
+        let (mut completed, mut shed, mut latencies) = (0u64, 0u64, Vec::new());
+        for (scheduled, handle) in rx {
+            match handle.wait() {
+                Ok(_) => {
+                    completed += 1;
+                    latencies.push(scheduled.elapsed().as_secs_f64() * 1e6);
+                }
+                Err(ServeError::Overloaded) => shed += 1,
+                Err(e) => panic!("unexpected serve error: {e}"),
+            }
+        }
+        (completed, shed, latencies)
+    });
+
+    // Open-loop submitter: request i is *due* at `t0 + i × interval`
+    // regardless of server progress; lateness caused by a blocking
+    // admission is charged to the request's latency.
+    let t0 = Instant::now();
+    for i in 0..requests {
+        let due = t0 + interval * i as u32;
+        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+            std::thread::sleep(wait);
+        }
+        match server.submit(vec![0.25; LEN]) {
+            Ok(handle) => tx.send((due, handle)).expect("collector alive"),
+            Err(ServeError::Overloaded) => rejected += 1,
+            Err(e) => panic!("unexpected submit error: {e}"),
+        }
+    }
+    drop(tx);
+    let (completed, shed, mut latencies) = collector.join().expect("collector");
+    let stats = server.shutdown();
+    debug_assert_eq!(stats.shed, shed, "server-side shed count agrees");
+    debug_assert_eq!(stats.rejected, rejected, "server-side reject count");
+
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    FaultPoint {
+        policy,
+        overload,
+        offered_rps,
+        completed,
+        shed,
+        rejected,
+        p50_us: percentile(&latencies, 0.50),
+        p99_us: percentile(&latencies, 0.99),
+    }
+}
+
+/// Runs the full policy × overload grid.
+pub fn run(quick: bool) -> Vec<FaultPoint> {
+    let (requests, service_time) = if quick {
+        (240, Duration::from_millis(1))
+    } else {
+        (1500, Duration::from_millis(2))
+    };
+    let mut points = Vec::new();
+    for policy in [
+        OverloadPolicy::Block,
+        OverloadPolicy::Reject,
+        OverloadPolicy::ShedOldest,
+    ] {
+        for overload in [1u32, 2, 4] {
+            points.push(measure(policy, overload, requests, service_time));
+        }
+    }
+    points
+}
+
+/// Renders the points as the `BENCH_fault.json` trajectory document.
+pub fn to_json(points: &[FaultPoint]) -> String {
+    let mut out = String::from(
+        "{\n  \"bench\": \"fault_overload\",\n  \"unit\": \"microseconds\",\n  \"points\": [\n",
+    );
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"policy\": \"{}\", \"overload\": {}, \"offered_rps\": {:.0}, \
+             \"completed\": {}, \"shed\": {}, \"rejected\": {}, \
+             \"shed_rate\": {:.3}, \"p50_us\": {:.0}, \"p99_us\": {:.0}}}{}\n",
+            policy_name(p.policy),
+            p.overload,
+            p.offered_rps,
+            p.completed,
+            p.shed,
+            p.rejected,
+            p.shed_rate(),
+            p.p50_us,
+            p.p99_us,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Prints a human-readable table.
+pub fn print(points: &[FaultPoint]) {
+    println!(
+        "{:>11} {:>4} | {:>9} {:>9} {:>5} {:>5} {:>6} | {:>10} {:>10}",
+        "policy", "load", "offered", "done", "shed", "rej", "rate", "p50", "p99"
+    );
+    for p in points {
+        println!(
+            "{:>11} {:>3}x | {:>5.0} r/s {:>9} {:>5} {:>5} {:>5.0}% | {:>7.1} ms {:>7.1} ms",
+            policy_name(p.policy),
+            p.overload,
+            p.offered_rps,
+            p.completed,
+            p.shed,
+            p.rejected,
+            p.shed_rate() * 100.0,
+            p.p50_us / 1e3,
+            p.p99_us / 1e3,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small point per policy: every offered request is accounted for,
+    /// and the JSON carries the acceptance-relevant fields.
+    #[test]
+    fn measures_and_serializes_small_points() {
+        let points: Vec<_> = [
+            OverloadPolicy::Block,
+            OverloadPolicy::Reject,
+            OverloadPolicy::ShedOldest,
+        ]
+        .into_iter()
+        .map(|p| measure(p, 4, 60, Duration::from_millis(1)))
+        .collect();
+        for p in &points {
+            assert_eq!(p.completed + p.shed + p.rejected, 60, "{p:?}");
+        }
+        // Block never sheds; the bounded policies must under 4× load.
+        assert_eq!(points[0].shed + points[0].rejected, 0);
+        assert!(points[1].rejected > 0, "{:?}", points[1]);
+        assert!(points[2].shed > 0, "{:?}", points[2]);
+        let json = to_json(&points);
+        assert!(json.contains("\"policy\": \"block\""));
+        assert!(json.contains("\"p99_us\""));
+        assert!(json.contains("\"shed_rate\""));
+    }
+}

@@ -19,6 +19,7 @@
 //! | [`rnn`] / `rnn` | recurrent engine + strided fused-MAC trajectory (`BENCH_rnn.json`) |
 //! | [`serve`] / `serve` | serving-layer throughput trajectory (`BENCH_serve.json`) |
 //! | [`wire`] / `wire` | network-serving throughput trajectory (`BENCH_wire.json`) |
+//! | [`fault`] / `fault` | overload-policy latency/shed trajectory (`BENCH_fault.json`) |
 //!
 //! Experiments honor the `CIRCNN_QUICK=1` environment variable to shrink
 //! training workloads (used by the integration tests); the binaries default
@@ -29,6 +30,7 @@
 pub mod ablations;
 pub mod batched;
 pub mod conv;
+pub mod fault;
 pub mod fig13;
 pub mod fig14;
 pub mod fig15;

@@ -108,12 +108,14 @@ pub fn measure(
         max_wait: Duration::from_micros(300),
         queue_capacity: 256,
         workers,
+        ..Default::default()
     };
     let unbatched_cfg = ServeConfig {
         max_batch: 1,
         max_wait: Duration::ZERO,
         queue_capacity: 256,
         workers,
+        ..Default::default()
     };
 
     // The stats are cumulative and the warm-up flood is untimed, so the

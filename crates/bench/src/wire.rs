@@ -116,6 +116,7 @@ fn run_mode(
             Duration::ZERO
         },
         queue_capacity: 256,
+        ..Default::default()
     };
     for t in 0..tenants {
         let w = BlockCirculantMatrix::random(&mut seeded_rng(41 + t as u64), 512, 512, 16)

@@ -2,6 +2,36 @@
 
 use std::time::Duration;
 
+/// What a **blocking** submission does when the bounded queue is at
+/// capacity — the explicit failure model for overload.
+///
+/// Non-blocking submissions (`try_submit*`) always fail fast with
+/// [`ServeError::QueueFull`](crate::ServeError::QueueFull); this policy
+/// governs the blocking paths ([`Server::submit`](crate::Server::submit),
+/// [`TenantHandle::submit`](crate::TenantHandle::submit), …) that a wire
+/// connection drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Backpressure: park the submitter until a worker frees queue space.
+    /// Latency under sustained overload grows without bound, but no
+    /// request is ever refused. The historical behavior, and the default.
+    #[default]
+    Block,
+    /// Fail fast: refuse the new submission with
+    /// [`ServeError::Overloaded`](crate::ServeError::Overloaded) (counted
+    /// in [`ServeStats::rejected`](crate::ServeStats::rejected)). Keeps
+    /// queued latency bounded by `queue_capacity`.
+    Reject,
+    /// Shed to make room: cancel the queued request that is worst off
+    /// against its staleness deadline — the one whose effective deadline
+    /// is earliest, i.e. the most likely to be answered uselessly late —
+    /// with [`ServeError::Overloaded`](crate::ServeError::Overloaded)
+    /// (counted in [`ServeStats::shed`](crate::ServeStats::shed)), then
+    /// accept the fresh submission. Keeps latency bounded while always
+    /// admitting new work.
+    ShedOldest,
+}
+
 /// Tunable policy of the dynamic batcher and worker pool.
 ///
 /// The two policy knobs trade latency for occupancy exactly like the
@@ -23,17 +53,20 @@ pub struct ServeConfig {
     /// Worker threads, each owning one model scratch (e.g. a pre-warmed
     /// `Workspace`).
     pub workers: usize,
+    /// What a blocking submission does when the queue is at capacity.
+    pub overload: OverloadPolicy,
 }
 
 impl Default for ServeConfig {
     /// A small-footprint default: 32-wide slabs, 2 ms slack, two workers,
-    /// queue bounded at four slabs.
+    /// queue bounded at four slabs, blocking backpressure on overload.
     fn default() -> Self {
         Self {
             max_batch: 32,
             max_wait: Duration::from_millis(2),
             queue_capacity: 128,
             workers: 2,
+            overload: OverloadPolicy::Block,
         }
     }
 }
@@ -72,16 +105,20 @@ pub struct TenantConfig {
     /// [`TenantHandle::submit`](crate::TenantHandle::submit) and fails
     /// [`TenantHandle::try_submit_with_deadline`](crate::TenantHandle::try_submit_with_deadline).
     pub queue_capacity: usize,
+    /// What a blocking submission does when this tenant's queue is at
+    /// capacity.
+    pub overload: OverloadPolicy,
 }
 
 impl Default for TenantConfig {
     /// Mirrors [`ServeConfig::default`]: 32-wide slabs, 2 ms slack, queue
-    /// bounded at four slabs.
+    /// bounded at four slabs, blocking backpressure on overload.
     fn default() -> Self {
         Self {
             max_batch: 32,
             max_wait: Duration::from_millis(2),
             queue_capacity: 128,
+            overload: OverloadPolicy::Block,
         }
     }
 }

@@ -14,6 +14,12 @@ pub enum ServeError {
     },
     /// `try_submit` found the bounded queue at capacity.
     QueueFull,
+    /// The queue was at capacity under an overload policy that degrades
+    /// instead of blocking: either the submission was refused
+    /// ([`OverloadPolicy::Reject`](crate::OverloadPolicy::Reject)) or this
+    /// request was shed from the queue to make room for fresher work
+    /// ([`OverloadPolicy::ShedOldest`](crate::OverloadPolicy::ShedOldest)).
+    Overloaded,
     /// The server is shutting down and no longer accepts requests.
     ShuttingDown,
     /// The request was dropped without a result (worker died mid-batch).
@@ -38,6 +44,7 @@ impl core::fmt::Display for ServeError {
                 write!(f, "bad request length: expected {expected}, got {got}")
             }
             Self::QueueFull => write!(f, "submission queue is full"),
+            Self::Overloaded => write!(f, "server is overloaded (request refused or shed)"),
             Self::ShuttingDown => write!(f, "server is shutting down"),
             Self::Canceled => write!(f, "request canceled without a result"),
             Self::DeadlineExceeded => write!(f, "request deadline passed before dispatch"),

@@ -94,7 +94,7 @@ mod sched;
 mod server;
 mod stats;
 
-pub use config::{ServeConfig, TenantConfig};
+pub use config::{OverloadPolicy, ServeConfig, TenantConfig};
 pub use error::ServeError;
 pub use model::{SequentialModel, ServeModel};
 pub use sched::{MultiServer, TenantHandle};

@@ -30,7 +30,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crate::config::TenantConfig;
+use crate::config::{OverloadPolicy, TenantConfig};
 use crate::error::ServeError;
 use crate::model::{ErasedModel, ServeModel};
 use crate::server::{completion_pair, lock, CompletionCell, ResponseHandle};
@@ -391,30 +391,56 @@ impl TenantHandle {
                 return Err(ServeError::UnknownTenant);
             };
             let t = &mut st.tenants[pos];
-            if t.queue.len() < t.cfg.queue_capacity {
-                let (done, handle) = completion_pair();
-                t.queue.push_back(Pending {
-                    input,
-                    enqueued: Instant::now(),
-                    deadline,
-                    done,
-                });
-                drop(st);
-                // notify_all, not notify_one: a single wakeup could land on
-                // a worker mid-collection for a *different* tenant, which
-                // absorbs it without re-notifying — leaving an idle worker
-                // parked while this request ages toward its deadline.
-                self.shared.wake_workers.notify_all();
-                return Ok(handle);
+            if t.queue.len() >= t.cfg.queue_capacity {
+                // The queue is at capacity: the overload policy decides.
+                // Non-blocking submitters asked for fail-fast regardless.
+                if !block {
+                    return Err(ServeError::QueueFull);
+                }
+                match t.cfg.overload {
+                    OverloadPolicy::Block => {
+                        st = self
+                            .shared
+                            .space
+                            .wait(st)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                        continue;
+                    }
+                    OverloadPolicy::Reject => {
+                        t.stats.record_rejected();
+                        return Err(ServeError::Overloaded);
+                    }
+                    OverloadPolicy::ShedOldest => {
+                        // Cancel the queued request that is worst off
+                        // against its staleness deadline (the earliest
+                        // effective deadline — it would be answered
+                        // uselessly late anyway), then fall through and
+                        // admit the fresh one.
+                        let max_wait = t.cfg.max_wait;
+                        if let Some(worst) = (0..t.queue.len())
+                            .min_by_key(|&i| t.queue[i].effective_deadline(max_wait))
+                        {
+                            let r = t.queue.remove(worst).expect("index in bounds");
+                            r.done.fulfill(Err(ServeError::Overloaded));
+                            t.stats.record_shed();
+                        }
+                    }
+                }
             }
-            if !block {
-                return Err(ServeError::QueueFull);
-            }
-            st = self
-                .shared
-                .space
-                .wait(st)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let (done, handle) = completion_pair();
+            t.queue.push_back(Pending {
+                input,
+                enqueued: Instant::now(),
+                deadline,
+                done,
+            });
+            drop(st);
+            // notify_all, not notify_one: a single wakeup could land on
+            // a worker mid-collection for a *different* tenant, which
+            // absorbs it without re-notifying — leaving an idle worker
+            // parked while this request ages toward its deadline.
+            self.shared.wake_workers.notify_all();
+            return Ok(handle);
         }
     }
 
@@ -581,10 +607,51 @@ fn worker_loop(shared: &Shared) {
         }));
         let infer = t0.elapsed();
         if ran.is_err() {
-            for r in batch.drain(..) {
-                r.done.fulfill(Err(ServeError::Canceled));
-            }
+            // The batch is poisoned: some member crashed the model. Discard
+            // the possibly inconsistent scratch, then quarantine — retry
+            // each member alone with a fresh scratch so one poison request
+            // cannot take its healthy co-batched neighbors down with it.
             scratches.remove(&tid);
+            if let Some(t) = lock(&shared.state).tenant_mut(tid) {
+                t.stats.record_panic();
+            }
+            if b == 1 {
+                // The lone member *is* the poison; retrying it alone would
+                // only panic again.
+                for r in batch.drain(..) {
+                    r.done.fulfill(Err(ServeError::Canceled));
+                }
+                continue;
+            }
+            let mut succeeded = 0u64;
+            let mut repanics = 0u64;
+            for (i, r) in batch.drain(..).enumerate() {
+                let mut scratch = model.make_scratch_box();
+                let one = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    model.infer_batch_erased(
+                        &slab[i * n..(i + 1) * n],
+                        1,
+                        scratch.as_mut(),
+                        &mut out[..m],
+                    );
+                }));
+                match one {
+                    Ok(()) => {
+                        succeeded += 1;
+                        r.done.fulfill(Ok(out[..m].to_vec()));
+                    }
+                    Err(_) => {
+                        repanics += 1;
+                        r.done.fulfill(Err(ServeError::Canceled));
+                    }
+                }
+            }
+            if let Some(t) = lock(&shared.state).tenant_mut(tid) {
+                t.stats.record_retries(b as u64, succeeded);
+                for _ in 0..repanics {
+                    t.stats.record_panic();
+                }
+            }
             continue;
         }
         let completed = Instant::now();

@@ -5,7 +5,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use crate::config::ServeConfig;
+use crate::config::{OverloadPolicy, ServeConfig};
 use crate::error::ServeError;
 use crate::model::ServeModel;
 use crate::stats::{FlushReason, ServeStats, StatsAccum};
@@ -232,11 +232,30 @@ impl<M: ServeModel> Server<M> {
             if !block {
                 return Err(ServeError::QueueFull);
             }
-            q = self
-                .shared
-                .space
-                .wait(q)
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // The queue is at capacity: the overload policy decides what a
+            // blocking submission does next.
+            match self.shared.cfg.overload {
+                OverloadPolicy::Block => {
+                    q = self
+                        .shared
+                        .space
+                        .wait(q)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                }
+                OverloadPolicy::Reject => {
+                    lock(&self.shared.stats).record_rejected();
+                    return Err(ServeError::Overloaded);
+                }
+                OverloadPolicy::ShedOldest => {
+                    // The FIFO front is the stalest request — cancel it to
+                    // make room for the fresh submission.
+                    if let Some(r) = q.pending.pop_front() {
+                        r.done.fulfill(Err(ServeError::Overloaded));
+                        lock(&self.shared.stats).record_shed();
+                    }
+                    break;
+                }
+            }
         }
         let (done, handle) = completion_pair();
         q.pending.push_back(PendingRequest {
@@ -372,12 +391,48 @@ fn worker_loop<M: ServeModel>(shared: &Shared<M>, mut scratch: M::Scratch) {
         }));
         let infer = t0.elapsed();
         if ran.is_err() {
-            for req in batch.drain(..) {
-                req.done.fulfill(Err(ServeError::Canceled));
-            }
+            // The batch is poisoned: some member crashed the model. Discard
+            // the possibly inconsistent scratch, then quarantine — retry
+            // each member alone with a fresh scratch so one poison request
+            // cannot take its healthy co-batched neighbors down with it.
             scratch = shared.model.make_scratch();
-            // Canceled batches stay out of the stats: `requests` counts
-            // completed results.
+            lock(&shared.stats).record_panic();
+            if b == 1 {
+                // The lone member *is* the poison; retrying it alone would
+                // only panic again.
+                for req in batch.drain(..) {
+                    req.done.fulfill(Err(ServeError::Canceled));
+                }
+                continue;
+            }
+            let mut succeeded = 0u64;
+            let mut repanics = 0u64;
+            for (i, req) in batch.drain(..).enumerate() {
+                let mut quarantine_scratch = shared.model.make_scratch();
+                let one = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    shared.model.infer_batch(
+                        &slab[i * n..(i + 1) * n],
+                        1,
+                        &mut quarantine_scratch,
+                        &mut out[..m],
+                    );
+                }));
+                match one {
+                    Ok(()) => {
+                        succeeded += 1;
+                        req.done.fulfill(Ok(out[..m].to_vec()));
+                    }
+                    Err(_) => {
+                        repanics += 1;
+                        req.done.fulfill(Err(ServeError::Canceled));
+                    }
+                }
+            }
+            let mut stats = lock(&shared.stats);
+            stats.record_retries(b as u64, succeeded);
+            for _ in 0..repanics {
+                stats.record_panic();
+            }
             continue;
         }
 

@@ -23,6 +23,10 @@ pub(crate) struct StatsAccum {
     pub timeout_flushes: u64,
     pub drain_flushes: u64,
     pub expired: u64,
+    pub shed: u64,
+    pub rejected: u64,
+    pub panics: u64,
+    pub retries: u64,
     pub max_occupancy: usize,
     pub infer_ns: u128,
     pub latency_ns: u128,
@@ -57,6 +61,32 @@ impl StatsAccum {
         self.expired += 1;
     }
 
+    /// Counts a queued request canceled by
+    /// [`OverloadPolicy::ShedOldest`](crate::OverloadPolicy::ShedOldest)
+    /// to make room for a fresher submission.
+    pub fn record_shed(&mut self) {
+        self.shed += 1;
+    }
+
+    /// Counts a submission refused outright by
+    /// [`OverloadPolicy::Reject`](crate::OverloadPolicy::Reject).
+    pub fn record_rejected(&mut self) {
+        self.rejected += 1;
+    }
+
+    /// Counts one batch dispatch that panicked inside the model.
+    pub fn record_panic(&mut self) {
+        self.panics += 1;
+    }
+
+    /// Counts the quarantine pass after a batch panic: `retried` requests
+    /// were re-dispatched individually and `succeeded` of them completed
+    /// with a result (those also count as completed requests).
+    pub fn record_retries(&mut self, retried: u64, succeeded: u64) {
+        self.retries += retried;
+        self.requests += succeeded;
+    }
+
     pub fn snapshot(&self) -> ServeStats {
         let batches = self.batches.max(1) as f64;
         let requests = self.requests.max(1) as f64;
@@ -67,6 +97,10 @@ impl StatsAccum {
             timeout_flushes: self.timeout_flushes,
             drain_flushes: self.drain_flushes,
             expired: self.expired,
+            shed: self.shed,
+            rejected: self.rejected,
+            panics: self.panics,
+            retries: self.retries,
             max_occupancy: self.max_occupancy,
             mean_occupancy: self.requests as f64 / batches,
             mean_infer_us: self.infer_ns as f64 / batches / 1_000.0,
@@ -96,6 +130,21 @@ pub struct ServeStats {
     /// [`ServeError::DeadlineExceeded`](crate::ServeError::DeadlineExceeded)
     /// because their deadline passed before dispatch.
     pub expired: u64,
+    /// Queued requests canceled with
+    /// [`ServeError::Overloaded`](crate::ServeError::Overloaded) by the
+    /// [`OverloadPolicy::ShedOldest`](crate::OverloadPolicy::ShedOldest)
+    /// policy to make room for fresher submissions.
+    pub shed: u64,
+    /// Submissions refused outright with
+    /// [`ServeError::Overloaded`](crate::ServeError::Overloaded) by the
+    /// [`OverloadPolicy::Reject`](crate::OverloadPolicy::Reject) policy.
+    pub rejected: u64,
+    /// Batch dispatches that panicked inside the model (the worker
+    /// survives; the batch is quarantined and retried request by request).
+    pub panics: u64,
+    /// Requests re-dispatched individually by the post-panic quarantine
+    /// pass (successes also count in [`ServeStats::requests`]).
+    pub retries: u64,
     /// Largest batch dispatched.
     pub max_occupancy: usize,
     /// Mean requests per batch (the occupancy the policy achieved).
@@ -114,6 +163,7 @@ impl core::fmt::Display for ServeStats {
             f,
             "{} requests in {} batches (occupancy mean {:.1}, max {}; \
              flushes {} full / {} timeout / {} drain; {} expired; \
+             {} shed / {} rejected; {} panics / {} retries; \
              latency mean {:.0} µs, max {:.0} µs)",
             self.requests,
             self.batches,
@@ -123,6 +173,10 @@ impl core::fmt::Display for ServeStats {
             self.timeout_flushes,
             self.drain_flushes,
             self.expired,
+            self.shed,
+            self.rejected,
+            self.panics,
+            self.retries,
             self.mean_latency_us,
             self.max_latency_us,
         )

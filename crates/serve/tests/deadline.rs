@@ -39,6 +39,7 @@ fn one_shot(len: usize) -> TenantConfig {
         max_batch: 1, // every request is its own batch: dispatch order IS schedule order
         max_wait: Duration::from_millis(200),
         queue_capacity: len,
+        ..Default::default()
     }
 }
 
@@ -144,6 +145,7 @@ fn tenants_keep_bitwise_answers_and_private_stats() {
         max_batch: 8,
         max_wait: Duration::from_micros(500),
         queue_capacity: 64,
+        ..Default::default()
     };
     let ha = pool
         .add_tenant_shared(Arc::clone(&wa), cfg.clone())
@@ -210,6 +212,7 @@ fn backpressure_is_per_tenant() {
                 max_batch: 1,
                 max_wait: Duration::ZERO,
                 queue_capacity: 2,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -225,6 +228,7 @@ fn backpressure_is_per_tenant() {
                 max_batch: 1,
                 max_wait: Duration::ZERO,
                 queue_capacity: 64,
+                ..Default::default()
             },
         )
         .unwrap();

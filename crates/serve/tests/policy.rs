@@ -7,7 +7,7 @@ use std::time::Duration;
 
 use circnn_core::{BlockCirculantMatrix, Workspace};
 use circnn_nn::{Layer, Linear, Relu, Sequential};
-use circnn_serve::{SequentialModel, ServeConfig, ServeError, ServeModel, Server};
+use circnn_serve::{OverloadPolicy, SequentialModel, ServeConfig, ServeError, ServeModel, Server};
 use circnn_tensor::init::seeded_rng;
 
 fn operator(m: usize, n: usize, k: usize, seed: u64) -> BlockCirculantMatrix {
@@ -32,6 +32,7 @@ fn partial_batch_flushes_on_max_wait() {
             max_wait: Duration::from_millis(20),
             queue_capacity: 64,
             workers: 1,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -62,6 +63,7 @@ fn oversize_load_splits_into_max_batch_slabs() {
             max_wait: Duration::from_millis(200),
             queue_capacity: 64,
             workers: 1,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -95,6 +97,7 @@ fn shutdown_drains_in_flight_requests() {
             max_wait: Duration::from_secs(3600), // would park ~forever
             queue_capacity: 64,
             workers: 2,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -127,6 +130,7 @@ fn concurrent_results_are_bit_identical_to_direct_matmat() {
             max_wait: Duration::from_micros(500),
             queue_capacity: 64,
             workers: 2,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -179,6 +183,7 @@ fn sequential_model_served_equals_direct_infer() {
             max_wait: Duration::from_millis(5),
             queue_capacity: 32,
             workers: 2,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -227,6 +232,7 @@ fn bounded_queue_exerts_backpressure() {
             max_wait: Duration::ZERO,
             queue_capacity: 2,
             workers: 1,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -282,6 +288,7 @@ fn worker_survives_a_panicking_batch() {
             max_wait: Duration::ZERO,
             queue_capacity: 8,
             workers: 1,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -291,6 +298,151 @@ fn worker_survives_a_panicking_batch() {
     assert_eq!(healthy.wait().unwrap(), vec![2.0; 4]);
     let stats = server.shutdown();
     assert_eq!(stats.requests, 1, "only the completed request counts");
+}
+
+/// Fragile AND slow: panics on poison rows, and holds the worker long
+/// enough to make co-batching deterministic.
+struct SlowFragile {
+    len: usize,
+    delay: Duration,
+}
+
+impl ServeModel for SlowFragile {
+    type Scratch = ();
+    fn make_scratch(&self) {}
+    fn input_len(&self) -> usize {
+        self.len
+    }
+    fn output_len(&self) -> usize {
+        self.len
+    }
+    fn infer_batch(&self, x: &[f32], _batch: usize, _scratch: &mut (), out: &mut [f32]) {
+        std::thread::sleep(self.delay);
+        for row in x.chunks(self.len) {
+            assert!(row[0] >= 0.0, "poison request");
+        }
+        out.copy_from_slice(x);
+    }
+}
+
+/// Panic quarantine: when a poison request panics a MULTI-request batch,
+/// the healthy co-batched members are retried individually and complete
+/// with correct bytes — only the poison member is canceled — and the
+/// panic/retry counters record exactly what happened.
+#[test]
+fn panicking_batch_never_takes_healthy_cobatched_requests_down() {
+    let server = Server::start(
+        SlowFragile {
+            len: 4,
+            delay: Duration::from_millis(60),
+        },
+        ServeConfig {
+            max_batch: 4,
+            max_wait: Duration::ZERO,
+            queue_capacity: 8,
+            workers: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Occupy the single worker so the next three requests coalesce into
+    // one slab behind it.
+    let blocker = server.submit(vec![1.0; 4]).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    let poison = server.submit(vec![-1.0, 0.0, 0.0, 0.0]).unwrap();
+    let healthy_a = server.submit(vec![2.0; 4]).unwrap();
+    let healthy_b = server.submit(vec![3.0; 4]).unwrap();
+
+    assert_eq!(blocker.wait().unwrap(), vec![1.0; 4]);
+    // The poison member is canceled; its co-batched neighbours survive
+    // with bitwise-correct results.
+    assert_eq!(poison.wait(), Err(ServeError::Canceled));
+    assert_eq!(healthy_a.wait().unwrap(), vec![2.0; 4]);
+    assert_eq!(healthy_b.wait().unwrap(), vec![3.0; 4]);
+
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.requests, 3,
+        "blocker + two rescued members count; the poison does not: {stats}"
+    );
+    assert_eq!(
+        stats.panics, 2,
+        "one batch panic + one re-panic in quarantine: {stats}"
+    );
+    assert_eq!(stats.retries, 3, "all three members were retried: {stats}");
+}
+
+/// `OverloadPolicy::Reject`: a blocking submit against a full queue fails
+/// fast with the typed Overloaded error instead of parking, the rejection
+/// is counted, and already-admitted requests still complete.
+#[test]
+fn reject_policy_fails_fast_when_the_queue_is_full() {
+    let server = Server::start(
+        SlowEcho {
+            len: 4,
+            delay: Duration::from_millis(150),
+        },
+        ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_capacity: 2,
+            workers: 1,
+            overload: OverloadPolicy::Reject,
+        },
+    )
+    .unwrap();
+    let blocker = server.submit(vec![0.0; 4]).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    let queued_a = server.submit(vec![1.0; 4]).unwrap();
+    let queued_b = server.submit(vec![2.0; 4]).unwrap();
+    // Queue is at capacity: Block would park here; Reject must not.
+    match server.submit(vec![3.0; 4]) {
+        Err(ServeError::Overloaded) => {}
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert_eq!(blocker.wait().unwrap(), vec![0.0; 4]);
+    assert_eq!(queued_a.wait().unwrap(), vec![1.0; 4]);
+    assert_eq!(queued_b.wait().unwrap(), vec![2.0; 4]);
+    let stats = server.shutdown();
+    assert_eq!(stats.rejected, 1, "{stats}");
+    assert_eq!(stats.shed, 0, "{stats}");
+}
+
+/// `OverloadPolicy::ShedOldest`: a blocking submit against a full queue
+/// evicts the oldest queued request (which resolves with the typed
+/// Overloaded error), admits the new one, and counts the shed.
+#[test]
+fn shed_oldest_policy_evicts_the_stalest_queued_request() {
+    let server = Server::start(
+        SlowEcho {
+            len: 4,
+            delay: Duration::from_millis(150),
+        },
+        ServeConfig {
+            max_batch: 1,
+            max_wait: Duration::ZERO,
+            queue_capacity: 2,
+            workers: 1,
+            overload: OverloadPolicy::ShedOldest,
+        },
+    )
+    .unwrap();
+    let blocker = server.submit(vec![0.0; 4]).unwrap();
+    std::thread::sleep(Duration::from_millis(20));
+    let oldest = server.submit(vec![1.0; 4]).unwrap();
+    let middle = server.submit(vec![2.0; 4]).unwrap();
+    // Queue full: the NEW request is admitted and the oldest queued one
+    // is shed with a typed error.
+    let newest = server.submit(vec![3.0; 4]).unwrap();
+    assert_eq!(oldest.wait(), Err(ServeError::Overloaded));
+    assert_eq!(blocker.wait().unwrap(), vec![0.0; 4]);
+    assert_eq!(middle.wait().unwrap(), vec![2.0; 4]);
+    assert_eq!(newest.wait().unwrap(), vec![3.0; 4]);
+    let stats = server.shutdown();
+    assert_eq!(stats.shed, 1, "{stats}");
+    assert_eq!(stats.rejected, 0, "{stats}");
+    // Non-blocking submission keeps its fail-fast QueueFull contract
+    // regardless of policy (the caller opted out of waiting).
 }
 
 /// Mis-sized requests are rejected at the door, not inside a worker.

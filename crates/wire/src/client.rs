@@ -1,13 +1,96 @@
 //! Blocking wire client: one TCP connection, synchronous calls plus
 //! explicit pipelining primitives for throughput-oriented callers.
+//!
+//! ## Failure model
+//!
+//! The client is built for an impolite network. Every socket operation is
+//! bounded by a [`ClientConfig`] timeout, and the **idempotent**
+//! synchronous calls ([`WireClient::ping`], [`WireClient::list_models`],
+//! [`WireClient::stats`], [`WireClient::health`], [`WireClient::infer`])
+//! are retried over a fresh connection with capped exponential backoff —
+//! but only while it is provably safe: a call is retried **only if no
+//! byte of its reply has arrived and no pipelined request is
+//! outstanding**. Once reply bytes exist, the server may have executed
+//! the request and the stream position is unknown, so the connection is
+//! hard-closed instead and the error is returned. Pipelined
+//! [`WireClient::send_infer`] traffic is **never** retried — replaying a
+//! stream with unknown server progress could pair replies with the wrong
+//! requests.
+//!
+//! Any framing or decode error likewise hard-closes the connection: a
+//! desynchronized stream can never return a wrong-request reply, it can
+//! only fail typed.
 
-use std::net::{TcpStream, ToSocketAddrs};
+use std::io::{self, Read};
+use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use circnn_serve::ServeStats;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::error::WireError;
-use crate::frame::{self, ModelInfo, Reply, Request, MAX_PAYLOAD};
+use crate::frame::{self, HealthInfo, ModelInfo, Reply, Request, MAX_PAYLOAD};
+
+/// Timeout and retry policy of a [`WireClient`].
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Bound on establishing the TCP connection (per resolved address);
+    /// `None` blocks indefinitely.
+    pub connect_timeout: Option<Duration>,
+    /// Bound on waiting for reply bytes; `None` blocks indefinitely.
+    pub read_timeout: Option<Duration>,
+    /// Bound on writing request bytes (a peer that stops reading cannot
+    /// wedge the caller); `None` blocks indefinitely.
+    pub write_timeout: Option<Duration>,
+    /// Retry budget for idempotent synchronous calls: how many times a
+    /// safely-retryable failure is retried over a fresh connection before
+    /// surfacing as [`WireError::RetriesExhausted`]. `0` disables retries.
+    pub retries: u32,
+    /// First backoff delay; each retry doubles it (capped at
+    /// [`ClientConfig::backoff_cap`]) and applies jitter in `[0.5, 1.5)`.
+    pub backoff_base: Duration,
+    /// Upper bound on a single backoff delay.
+    pub backoff_cap: Duration,
+    /// Seed of the deterministic jitter stream (two clients with the same
+    /// seed back off identically — tests stay reproducible).
+    pub retry_seed: u64,
+}
+
+impl Default for ClientConfig {
+    /// 10 s connect, 30 s read/write, 2 retries backing off from 10 ms
+    /// (capped at 1 s).
+    fn default() -> Self {
+        Self {
+            connect_timeout: Some(Duration::from_secs(10)),
+            read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(30)),
+            retries: 2,
+            backoff_base: Duration::from_millis(10),
+            backoff_cap: Duration::from_secs(1),
+            retry_seed: 0x5eed_c1bc,
+        }
+    }
+}
+
+/// Counts the bytes pulled through a reader, so the retry logic can
+/// distinguish "the reply never started" (safe to retry an idempotent
+/// call) from "the reply was cut off mid-frame" (the server may have
+/// executed the request; never retry).
+struct TrackedReader<'a> {
+    inner: &'a mut TcpStream,
+    progressed: &'a mut bool,
+}
+
+impl Read for TrackedReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        if n > 0 {
+            *self.progressed = true;
+        }
+        Ok(n)
+    }
+}
 
 /// A blocking client over one connection.
 ///
@@ -17,35 +100,180 @@ use crate::frame::{self, ModelInfo, Reply, Request, MAX_PAYLOAD};
 /// pipeline: issue several [`WireClient::send_infer`]s, then collect the
 /// matching [`WireClient::recv_infer`]s in the same order — that is what
 /// keeps the server's batcher fed from a single socket.
+///
+/// See [`ClientConfig`] for the timeout/retry failure model; configure
+/// it with [`WireClient::connect_with`].
 pub struct WireClient {
     stream: TcpStream,
     /// Reused frame buffer (encode and decode share it).
     buf: Vec<u8>,
+    cfg: ClientConfig,
+    /// Resolved peer addresses, kept for reconnection.
+    addrs: Vec<SocketAddr>,
+    /// Set once the stream can no longer be trusted (I/O failure, torn or
+    /// malformed frame). A broken stream is never read again; the next
+    /// idempotent call reconnects.
+    broken: bool,
+    /// Pipelined requests sent but not yet received. While nonzero, no
+    /// call is retried (a replay could re-pair replies with requests).
+    in_flight: usize,
+    /// Deterministic backoff jitter.
+    rng: StdRng,
+    /// Whether the last receive attempt saw any reply bytes.
+    reply_started: bool,
 }
 
 impl core::fmt::Debug for WireClient {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("WireClient")
             .field("peer", &self.stream.peer_addr().ok())
+            .field("broken", &self.broken)
+            .field("in_flight", &self.in_flight)
             .finish()
     }
 }
 
 impl WireClient {
-    /// Connects to a [`WireServer`](crate::WireServer).
+    /// Connects to a [`WireServer`](crate::WireServer) with the default
+    /// [`ClientConfig`] — bounded connect/read/write and a small retry
+    /// budget, so a black-holed address fails in seconds instead of
+    /// hanging forever.
     ///
     /// # Errors
     ///
     /// Propagates socket errors.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, WireError> {
-        let stream = TcpStream::connect(addr)?;
-        // Frames are single contiguous writes; coalescing them behind
-        // Nagle only adds latency.
-        let _ = stream.set_nodelay(true);
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with an explicit timeout/retry policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors; fails with [`WireError::Malformed`] if
+    /// `addr` resolves to no addresses.
+    pub fn connect_with(addr: impl ToSocketAddrs, cfg: ClientConfig) -> Result<Self, WireError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = Self::open_stream(&addrs, &cfg)?;
+        let rng = StdRng::seed_from_u64(cfg.retry_seed);
         Ok(Self {
             stream,
             buf: Vec::new(),
+            cfg,
+            addrs,
+            broken: false,
+            in_flight: 0,
+            rng,
+            reply_started: false,
         })
+    }
+
+    /// Opens and configures one TCP stream, trying every resolved address.
+    fn open_stream(addrs: &[SocketAddr], cfg: &ClientConfig) -> Result<TcpStream, WireError> {
+        let mut last: Option<io::Error> = None;
+        for addr in addrs {
+            let attempt = match cfg.connect_timeout {
+                Some(t) => TcpStream::connect_timeout(addr, t),
+                None => TcpStream::connect(addr),
+            };
+            match attempt {
+                Ok(stream) => {
+                    // Frames are single contiguous writes; coalescing them
+                    // behind Nagle only adds latency.
+                    let _ = stream.set_nodelay(true);
+                    let _ = stream.set_read_timeout(cfg.read_timeout);
+                    let _ = stream.set_write_timeout(cfg.write_timeout);
+                    return Ok(stream);
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(match last {
+            Some(e) => WireError::Io(e),
+            None => WireError::Malformed("address resolved to no socket addresses"),
+        })
+    }
+
+    /// Marks the stream untrustworthy and closes it. After a framing or
+    /// decode failure the stream position is unknown — reading on could
+    /// pair a stale reply with the wrong request, so the connection dies
+    /// instead.
+    fn hard_close(&mut self) {
+        self.broken = true;
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    /// Replaces a broken stream with a freshly connected one. Any
+    /// pipelined requests outstanding on the old stream are lost (their
+    /// [`WireClient::recv_infer`]s fail typed).
+    fn reconnect(&mut self) -> Result<(), WireError> {
+        let stream = Self::open_stream(&self.addrs, &self.cfg)?;
+        self.stream = stream;
+        self.broken = false;
+        self.in_flight = 0;
+        Ok(())
+    }
+
+    /// Whether `e` is safe to retry: the failure must be at the transport
+    /// level, before any reply byte arrived, with no pipelined request
+    /// outstanding. Anything else either already has an answer (a typed
+    /// remote error) or has unknown server-side progress.
+    fn retryable(&self, e: &WireError) -> bool {
+        self.in_flight == 0 && !self.reply_started && matches!(e, WireError::Io(_))
+    }
+
+    /// Sleeps the capped exponential backoff delay for retry `attempt`
+    /// (1-based), with deterministic jitter in `[0.5, 1.5)`.
+    fn backoff(&mut self, attempt: u32) {
+        let base = self.cfg.backoff_base.as_secs_f64();
+        let cap = self.cfg.backoff_cap.as_secs_f64();
+        let exp = base * f64::powi(2.0, attempt.saturating_sub(1).min(31) as i32);
+        let jitter = 0.5 + self.rng.gen::<f64>();
+        let delay = (exp * jitter).min(cap);
+        if delay > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(delay));
+        }
+    }
+
+    /// One request/reply round trip with no retry.
+    fn attempt(&mut self, req: &Request) -> Result<Reply, WireError> {
+        if self.broken {
+            self.reconnect()?;
+        }
+        self.send(req)?;
+        self.recv()
+    }
+
+    /// Round-trips an **idempotent** request, retrying safely-retryable
+    /// failures over fresh connections within the configured budget.
+    fn call_idempotent(&mut self, req: &Request) -> Result<Reply, WireError> {
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            match self.attempt(req) {
+                Ok(reply) => return Ok(reply),
+                Err(e) => {
+                    if !self.retryable(&e) || self.cfg.retries == 0 {
+                        return Err(e);
+                    }
+                    if attempts > self.cfg.retries {
+                        return Err(WireError::RetriesExhausted {
+                            attempts,
+                            last: Box::new(e),
+                        });
+                    }
+                    self.backoff(attempts);
+                }
+            }
+        }
+    }
+
+    /// The reply was structurally valid but of the wrong kind — the stream
+    /// is answering some other request, i.e. desynchronized. Hard-close so
+    /// it can never mis-pair another reply.
+    fn desync(&mut self, why: &'static str) -> WireError {
+        self.hard_close();
+        WireError::Malformed(why)
     }
 
     fn send(&mut self, req: &Request) -> Result<(), WireError> {
@@ -75,60 +303,106 @@ impl WireClient {
             }
         }
         frame::encode_request(req, &mut self.buf);
-        frame::write_frame(&mut self.stream, &self.buf)
+        // The new round trip has not seen reply bytes yet.
+        self.reply_started = false;
+        if let Err(e) = frame::write_frame(&mut self.stream, &self.buf) {
+            // Part of a frame may be on the wire; the stream cannot carry
+            // another request.
+            self.broken = true;
+            return Err(e);
+        }
+        Ok(())
     }
 
     fn recv(&mut self) -> Result<Reply, WireError> {
-        frame::read_frame(&mut self.stream, &mut self.buf)?;
-        let reply = frame::decode_reply(&self.buf)?;
-        if let Reply::Error { code, message } = reply {
-            return Err(WireError::Remote { code, message });
+        let mut progressed = false;
+        let read = {
+            let mut tracked = TrackedReader {
+                inner: &mut self.stream,
+                progressed: &mut progressed,
+            };
+            frame::read_frame(&mut tracked, &mut self.buf)
+        };
+        self.reply_started = progressed;
+        if let Err(e) = read {
+            // EOF, timeout or a malformed header: either way the stream
+            // cannot be re-synchronized.
+            self.hard_close();
+            return Err(e);
         }
-        Ok(reply)
+        match frame::decode_reply(&self.buf) {
+            Ok(Reply::Error { code, message }) => Err(WireError::Remote { code, message }),
+            Ok(reply) => Ok(reply),
+            Err(e) => {
+                // A structurally invalid reply payload: close rather than
+                // guess where the next frame starts.
+                self.hard_close();
+                Err(e)
+            }
+        }
     }
 
-    /// Liveness round trip.
+    /// Liveness round trip (idempotent: retried per [`ClientConfig`]).
     ///
     /// # Errors
     ///
     /// Socket/protocol errors, or the server's typed error.
     pub fn ping(&mut self) -> Result<(), WireError> {
-        self.send(&Request::Ping)?;
-        match self.recv()? {
+        match self.call_idempotent(&Request::Ping)? {
             Reply::Pong => Ok(()),
-            _ => Err(WireError::Malformed("expected Pong")),
+            _ => Err(self.desync("expected Pong")),
         }
     }
 
     /// Enumerates the registered models (name, geometry, queue depth).
+    /// Idempotent: retried per [`ClientConfig`].
     ///
     /// # Errors
     ///
     /// Socket/protocol errors, or the server's typed error.
     pub fn list_models(&mut self) -> Result<Vec<ModelInfo>, WireError> {
-        self.send(&Request::ListModels)?;
-        match self.recv()? {
+        match self.call_idempotent(&Request::ListModels)? {
             Reply::ModelList(models) => Ok(models),
-            _ => Err(WireError::Malformed("expected ModelList")),
+            _ => Err(self.desync("expected ModelList")),
         }
     }
 
-    /// Fetches one model's per-tenant serving statistics.
+    /// Fetches the server health snapshot: registry size plus per-tenant
+    /// queue depths and shed/rejected/expired/panic counters. Idempotent:
+    /// retried per [`ClientConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors, or the server's typed error.
+    pub fn health(&mut self) -> Result<HealthInfo, WireError> {
+        match self.call_idempotent(&Request::Health)? {
+            Reply::Health(health) => Ok(health),
+            _ => Err(self.desync("expected Health")),
+        }
+    }
+
+    /// Fetches one model's per-tenant serving statistics. Idempotent:
+    /// retried per [`ClientConfig`].
     ///
     /// # Errors
     ///
     /// Socket/protocol errors, or `Remote { code: UnknownModel, .. }`.
     pub fn stats(&mut self, model: &str) -> Result<ServeStats, WireError> {
-        self.send(&Request::Stats {
+        let req = Request::Stats {
             model: model.to_string(),
-        })?;
-        match self.recv()? {
+        };
+        match self.call_idempotent(&req)? {
             Reply::Stats { stats, .. } => Ok(stats),
-            _ => Err(WireError::Malformed("expected Stats")),
+            _ => Err(self.desync("expected Stats")),
         }
     }
 
     /// One synchronous inference round trip without a deadline.
+    ///
+    /// Retried per [`ClientConfig`] **only while provably safe**: no
+    /// reply byte arrived and no pipelined request is outstanding (the
+    /// server executes a request at most once per delivery; a retry after
+    /// reply bytes could double-execute, so it hard-closes instead).
     ///
     /// # Errors
     ///
@@ -155,12 +429,20 @@ impl WireClient {
         input: &[f32],
         budget: Option<Duration>,
     ) -> Result<Vec<f32>, WireError> {
-        self.send_infer(model, input, budget)?;
-        self.recv_infer()
+        let req = Request::Infer {
+            model: model.to_string(),
+            deadline_micros: budget.map_or(0, |b| (b.as_micros() as u64).max(1)),
+            input: input.to_vec(),
+        };
+        match self.call_idempotent(&req)? {
+            Reply::Infer { output } => Ok(output),
+            _ => Err(self.desync("expected Infer")),
+        }
     }
 
     /// A synchronous client-side batch: `input` is row-major
-    /// `[batch, n]`; the reply is row-major `[batch, m]`.
+    /// `[batch, n]`; the reply is row-major `[batch, m]`. Not retried
+    /// (one call fans out to `batch` scheduler submissions).
     ///
     /// # Errors
     ///
@@ -172,21 +454,26 @@ impl WireClient {
         input: &[f32],
         budget: Option<Duration>,
     ) -> Result<Vec<f32>, WireError> {
-        self.send(&Request::InferBatch {
+        let req = Request::InferBatch {
             model: model.to_string(),
             deadline_micros: budget.map_or(0, |b| (b.as_micros() as u64).max(1)),
             batch: batch as u32,
             input: input.to_vec(),
-        })?;
-        match self.recv()? {
+        };
+        match self.attempt(&req)? {
             Reply::InferBatch { output, .. } => Ok(output),
-            _ => Err(WireError::Malformed("expected InferBatch")),
+            _ => Err(self.desync("expected InferBatch")),
         }
     }
 
     /// Pipelining: sends one inference request without waiting for the
     /// reply. Collect replies with [`WireClient::recv_infer`] **in send
     /// order** (the per-connection ordering guarantee).
+    ///
+    /// Pipelined requests are **never retried**: after a connection
+    /// failure the outstanding tail is lost and each pending
+    /// [`WireClient::recv_infer`] fails typed. (Replaying a pipeline
+    /// would re-pair replies with the wrong requests.)
     ///
     /// # Errors
     ///
@@ -197,11 +484,22 @@ impl WireClient {
         input: &[f32],
         budget: Option<Duration>,
     ) -> Result<(), WireError> {
+        if self.broken && self.in_flight == 0 {
+            // Safe to transparently reconnect: nothing is outstanding.
+            self.reconnect()?;
+        }
+        if self.broken {
+            return Err(WireError::Malformed(
+                "connection broken with pipelined requests outstanding",
+            ));
+        }
         self.send(&Request::Infer {
             model: model.to_string(),
             deadline_micros: budget.map_or(0, |b| (b.as_micros() as u64).max(1)),
             input: input.to_vec(),
-        })
+        })?;
+        self.in_flight += 1;
+        Ok(())
     }
 
     /// Pipelining: receives the next inference reply (matching the oldest
@@ -209,11 +507,35 @@ impl WireClient {
     ///
     /// # Errors
     ///
-    /// As [`WireClient::infer`].
+    /// As [`WireClient::infer`]; additionally fails typed (instead of
+    /// blocking) when no pipelined request is outstanding — including
+    /// after a reconnect dropped the outstanding tail.
     pub fn recv_infer(&mut self) -> Result<Vec<f32>, WireError> {
-        match self.recv()? {
-            Reply::Infer { output } => Ok(output),
-            _ => Err(WireError::Malformed("expected Infer")),
+        if self.in_flight == 0 {
+            return Err(WireError::Malformed("no pipelined request is outstanding"));
         }
+        let reply = match self.recv() {
+            Ok(reply) => {
+                self.in_flight -= 1;
+                reply
+            }
+            // A typed remote error still consumed one outstanding slot.
+            Err(e @ WireError::Remote { .. }) => {
+                self.in_flight -= 1;
+                return Err(e);
+            }
+            // Transport failure: the stream is closed; the rest of the
+            // pipeline is lost with it.
+            Err(e) => return Err(e),
+        };
+        match reply {
+            Reply::Infer { output } => Ok(output),
+            _ => Err(self.desync("expected Infer")),
+        }
+    }
+
+    /// Pipelined requests sent but not yet received.
+    pub fn pipelined(&self) -> usize {
+        self.in_flight
     }
 }

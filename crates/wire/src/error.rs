@@ -24,6 +24,9 @@ pub enum ErrorCode {
     Malformed = 7,
     /// Any other server-side failure.
     Internal = 8,
+    /// The tenant's queue was at capacity under a degrading overload
+    /// policy: the request was refused (`Reject`) or shed (`ShedOldest`).
+    Overloaded = 9,
 }
 
 impl ErrorCode {
@@ -39,6 +42,7 @@ impl ErrorCode {
             5 => Self::DeadlineExceeded,
             6 => Self::Canceled,
             7 => Self::Malformed,
+            9 => Self::Overloaded,
             _ => Self::Internal,
         }
     }
@@ -55,6 +59,7 @@ impl core::fmt::Display for ErrorCode {
             Self::Canceled => "canceled",
             Self::Malformed => "malformed frame",
             Self::Internal => "internal error",
+            Self::Overloaded => "overloaded",
         };
         write!(f, "{name}")
     }
@@ -94,6 +99,14 @@ pub enum WireError {
         /// Human-readable server message.
         message: String,
     },
+    /// A retryable idempotent call failed on every attempt the
+    /// [`ClientConfig`](crate::ClientConfig) retry budget allowed.
+    RetriesExhausted {
+        /// Total attempts made (the initial try plus every retry).
+        attempts: u32,
+        /// The error the final attempt failed with.
+        last: Box<WireError>,
+    },
 }
 
 impl core::fmt::Display for WireError {
@@ -113,6 +126,9 @@ impl core::fmt::Display for WireError {
             Self::UnknownOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
             Self::Malformed(why) => write!(f, "malformed frame: {why}"),
             Self::Remote { code, message } => write!(f, "server error ({code}): {message}"),
+            Self::RetriesExhausted { attempts, last } => {
+                write!(f, "call failed after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -121,6 +137,7 @@ impl std::error::Error for WireError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Io(e) => Some(e),
+            Self::RetriesExhausted { last, .. } => Some(last),
             _ => None,
         }
     }

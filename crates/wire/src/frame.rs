@@ -44,11 +44,13 @@ mod opcode {
     pub const STATS: u8 = 0x03;
     pub const INFER: u8 = 0x04;
     pub const INFER_BATCH: u8 = 0x05;
+    pub const HEALTH: u8 = 0x06;
     pub const PONG: u8 = 0x81;
     pub const MODEL_LIST: u8 = 0x82;
     pub const STATS_REPLY: u8 = 0x83;
     pub const INFER_REPLY: u8 = 0x84;
     pub const INFER_BATCH_REPLY: u8 = 0x85;
+    pub const HEALTH_REPLY: u8 = 0x86;
     pub const ERROR: u8 = 0xFF;
 }
 
@@ -65,6 +67,34 @@ pub struct ModelInfo {
     pub pending: u32,
 }
 
+/// One tenant's degradation counters as reported by `Health`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantHealth {
+    /// Registry name.
+    pub name: String,
+    /// Requests parked in the tenant queue at snapshot time.
+    pub pending: u32,
+    /// Queued requests canceled by the `ShedOldest` overload policy.
+    pub shed: u64,
+    /// Submissions refused outright by the `Reject` overload policy.
+    pub rejected: u64,
+    /// Requests failed fast because their deadline passed before dispatch.
+    pub expired: u64,
+    /// Batch dispatches that panicked inside the model.
+    pub panics: u64,
+}
+
+/// Server health snapshot as reported by `Health`: registry size plus the
+/// per-tenant queue depths and degradation counters an operator (or a load
+/// balancer) needs to decide whether this server is keeping up.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HealthInfo {
+    /// Number of registered models.
+    pub models: u32,
+    /// Per-tenant queue depth and degradation counters, sorted by name.
+    pub tenants: Vec<TenantHealth>,
+}
+
 /// Client → server frames.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -72,6 +102,9 @@ pub enum Request {
     Ping,
     /// Enumerate registered models.
     ListModels,
+    /// Server health: registry size + per-tenant queue depths and
+    /// shed/rejected/expired/panic counters.
+    Health,
     /// Per-tenant serving statistics for one model.
     Stats {
         /// Registry name.
@@ -127,6 +160,8 @@ pub enum Reply {
         /// Row-major `[batch, m]` output.
         output: Vec<f32>,
     },
+    /// Answer to [`Request::Health`].
+    Health(HealthInfo),
     /// Typed failure for the corresponding request.
     Error {
         /// Machine-matchable code.
@@ -195,6 +230,7 @@ pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
     match req {
         Request::Ping => start_frame(buf, opcode::PING),
         Request::ListModels => start_frame(buf, opcode::LIST_MODELS),
+        Request::Health => start_frame(buf, opcode::HEALTH),
         Request::Stats { model } => {
             start_frame(buf, opcode::STATS);
             put_str(buf, model);
@@ -250,6 +286,10 @@ pub fn encode_reply(reply: &Reply, buf: &mut Vec<u8>) {
             put_u64(buf, stats.timeout_flushes);
             put_u64(buf, stats.drain_flushes);
             put_u64(buf, stats.expired);
+            put_u64(buf, stats.shed);
+            put_u64(buf, stats.rejected);
+            put_u64(buf, stats.panics);
+            put_u64(buf, stats.retries);
             put_u64(buf, stats.max_occupancy as u64);
             put_f64(buf, stats.mean_occupancy);
             put_f64(buf, stats.mean_infer_us);
@@ -266,6 +306,19 @@ pub fn encode_reply(reply: &Reply, buf: &mut Vec<u8>) {
             put_u32(buf, *batch);
             put_u32(buf, output.len() as u32);
             put_f32s(buf, output);
+        }
+        Reply::Health(health) => {
+            start_frame(buf, opcode::HEALTH_REPLY);
+            put_u32(buf, health.models);
+            put_u32(buf, health.tenants.len() as u32);
+            for t in &health.tenants {
+                put_str(buf, &t.name);
+                put_u32(buf, t.pending);
+                put_u64(buf, t.shed);
+                put_u64(buf, t.rejected);
+                put_u64(buf, t.expired);
+                put_u64(buf, t.panics);
+            }
         }
         Reply::Error { code, message } => {
             start_frame(buf, opcode::ERROR);
@@ -402,6 +455,7 @@ pub fn decode_request(frame: &[u8]) -> Result<Request, WireError> {
     let req = match op {
         opcode::PING => Request::Ping,
         opcode::LIST_MODELS => Request::ListModels,
+        opcode::HEALTH => Request::Health,
         opcode::STATS => Request::Stats { model: c.str16()? },
         opcode::INFER => Request::Infer {
             model: c.str16()?,
@@ -466,6 +520,10 @@ pub fn decode_reply(frame: &[u8]) -> Result<Reply, WireError> {
                 timeout_flushes: c.u64()?,
                 drain_flushes: c.u64()?,
                 expired: c.u64()?,
+                shed: c.u64()?,
+                rejected: c.u64()?,
+                panics: c.u64()?,
+                retries: c.u64()?,
                 max_occupancy: c.u64()? as usize,
                 mean_occupancy: c.f64()?,
                 mean_infer_us: c.f64()?,
@@ -478,6 +536,27 @@ pub fn decode_reply(frame: &[u8]) -> Result<Reply, WireError> {
             let batch = c.u32()?;
             let output = c.f32s()?;
             Reply::InferBatch { batch, output }
+        }
+        opcode::HEALTH_REPLY => {
+            let models = c.u32()?;
+            let count = c.u32()? as usize;
+            // Each entry is ≥ 38 bytes; bound the preallocation by what
+            // the payload could actually hold.
+            if count > payload.len() / 38 {
+                return Err(WireError::Malformed("tenant count exceeds the payload"));
+            }
+            let mut tenants = Vec::with_capacity(count);
+            for _ in 0..count {
+                tenants.push(TenantHealth {
+                    name: c.str16()?,
+                    pending: c.u32()?,
+                    shed: c.u64()?,
+                    rejected: c.u64()?,
+                    expired: c.u64()?,
+                    panics: c.u64()?,
+                });
+            }
+            Reply::Health(HealthInfo { models, tenants })
         }
         opcode::ERROR => {
             let code = ErrorCode::from_wire(c.u16()?);

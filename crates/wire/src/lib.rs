@@ -61,14 +61,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "chaos")]
+pub mod chaos;
 mod client;
 mod error;
 pub mod frame;
 mod registry;
 mod server;
 
-pub use client::WireClient;
+pub use client::{ClientConfig, WireClient};
 pub use error::{ErrorCode, WireError};
-pub use frame::{ModelInfo, Reply, Request};
+pub use frame::{HealthInfo, ModelInfo, Reply, Request, TenantHealth};
 pub use registry::{ModelRegistry, RegistryError, MAX_NAME_LEN};
 pub use server::{WireConfig, WireServer};

@@ -17,7 +17,7 @@ use circnn_serve::{
     MultiServer, SequentialModel, ServeError, ServeModel, ServeStats, TenantConfig, TenantHandle,
 };
 
-use crate::frame::ModelInfo;
+use crate::frame::{HealthInfo, ModelInfo, TenantHealth};
 
 /// Longest accepted model name (fits comfortably in the wire's `u16`
 /// length prefix and keeps hostile registrations bounded).
@@ -234,6 +234,35 @@ impl ModelRegistry {
     /// Per-tenant statistics snapshot for `name`.
     pub fn stats(&self, name: &str) -> Option<ServeStats> {
         self.get(name).and_then(|h| h.stats().ok())
+    }
+
+    /// Server health snapshot: registry size plus every tenant's queue
+    /// depth and degradation counters (shed, rejected, expired, panics),
+    /// sorted by name — what an operator or load balancer polls to decide
+    /// whether this server is keeping up.
+    pub fn health(&self) -> HealthInfo {
+        let map = self.tenants.read().unwrap_or_else(|e| e.into_inner());
+        let mut tenants: Vec<TenantHealth> = map
+            .iter()
+            .map(|(name, h)| {
+                // A tenant removed between iteration and the stats read
+                // reports zeroed counters rather than failing the snapshot.
+                let stats = h.stats().unwrap_or_default();
+                TenantHealth {
+                    name: name.clone(),
+                    pending: h.pending() as u32,
+                    shed: stats.shed,
+                    rejected: stats.rejected,
+                    expired: stats.expired,
+                    panics: stats.panics,
+                }
+            })
+            .collect();
+        tenants.sort_by(|a, b| a.name.cmp(&b.name));
+        HealthInfo {
+            models: map.len() as u32,
+            tenants,
+        }
     }
 
     /// Graceful shutdown: drains every tenant queue and joins the pool

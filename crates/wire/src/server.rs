@@ -36,13 +36,35 @@ use crate::registry::ModelRegistry;
 pub struct WireConfig {
     /// Bound of the per-connection ordered reply queue — how many replies
     /// a client may have in flight (pipelined) before its reader stalls.
+    /// This is the max-in-flight cap: a client flooding requests without
+    /// reading replies stalls its own socket instead of growing server
+    /// memory.
     pub max_pipeline: usize,
+    /// Per-connection idle read timeout: a connection that sends no bytes
+    /// for this long is closed (slow-loris protection — a peer trickling
+    /// a frame one byte per minute cannot hold a reader thread forever).
+    /// `None` disables the timeout.
+    pub idle_timeout: Option<Duration>,
+    /// Per-connection write timeout: a peer that stops draining replies
+    /// blocks the writer at most this long before the connection is
+    /// closed. `None` disables the timeout.
+    pub write_timeout: Option<Duration>,
+    /// Hard cap on concurrent connections; connections beyond it are
+    /// closed immediately after accept (each connection costs two threads,
+    /// so an unbounded accept loop is a thread-exhaustion vector).
+    pub max_connections: usize,
 }
 
 impl Default for WireConfig {
-    /// 256 in-flight replies per connection.
+    /// 256 in-flight replies per connection, 120 s idle timeout, 30 s
+    /// write timeout, 1024 connections.
     fn default() -> Self {
-        Self { max_pipeline: 256 }
+        Self {
+            max_pipeline: 256,
+            idle_timeout: Some(Duration::from_secs(120)),
+            write_timeout: Some(Duration::from_secs(30)),
+            max_connections: 1024,
+        }
     }
 }
 
@@ -133,6 +155,7 @@ fn error_reply(e: &ServeError) -> Reply {
         ServeError::DeadlineExceeded => ErrorCode::DeadlineExceeded,
         ServeError::Canceled => ErrorCode::Canceled,
         ServeError::UnknownTenant => ErrorCode::UnknownModel,
+        ServeError::Overloaded => ErrorCode::Overloaded,
         // Registration-time conditions; a request should never see them.
         ServeError::BadConfig(_) | ServeError::NotServable(_) => ErrorCode::Internal,
     };
@@ -223,20 +246,34 @@ impl WireServer {
                         }
                         let Ok(stream) = stream else { continue };
                         let registry = Arc::clone(&registry);
-                        let pipeline = cfg.max_pipeline;
+                        let conn_cfg = cfg.clone();
                         let Ok(track) = stream.try_clone() else {
                             continue;
                         };
-                        let handle = std::thread::Builder::new()
-                            .name("circnn-wire-conn".into())
-                            .spawn(move || serve_connection(stream, &registry, pipeline))
-                            .expect("spawning a connection thread");
                         let mut table = conns.lock().unwrap_or_else(|e| e.into_inner());
                         // Each accept first reaps closed connections, so the
                         // table stays proportional to *live* connections over
                         // any number of connect/disconnect cycles.
                         reap_finished(&mut table);
-                        table.push((track, handle));
+                        if table.len() >= cfg.max_connections {
+                            // At capacity: hang up instead of spawning two
+                            // more threads. The peer sees an immediate EOF.
+                            let _ = stream.shutdown(Shutdown::Both);
+                            continue;
+                        }
+                        // Thread exhaustion is an overload condition, not
+                        // a reason to kill the accept loop: shed this
+                        // connection (peer sees EOF) and keep serving the
+                        // ones already up.
+                        match std::thread::Builder::new()
+                            .name("circnn-wire-conn".into())
+                            .spawn(move || serve_connection(stream, &registry, &conn_cfg))
+                        {
+                            Ok(handle) => table.push((track, handle)),
+                            Err(_) => {
+                                let _ = track.shutdown(Shutdown::Both);
+                            }
+                        }
                     }
                 })
                 .expect("spawning the accept thread")
@@ -278,6 +315,11 @@ impl WireServer {
         }
         let conns = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
         for (stream, _) in &conns {
+            // Timeouts apply to the underlying socket, shared with the
+            // connection's own stream clones: a writer mid-`write_all` to
+            // a dead peer unblocks within this bound even on platforms
+            // where `shutdown` does not interrupt an in-flight write.
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
             let _ = stream.shutdown(Shutdown::Both);
         }
         for (_, handle) in conns {
@@ -296,17 +338,32 @@ impl Drop for WireServer {
 /// Reader half of one connection (runs on the connection thread): parse →
 /// dispatch → park the completion in arrival order. Spawns and joins its
 /// writer half.
-fn serve_connection(mut stream: TcpStream, registry: &ModelRegistry, pipeline: usize) {
-    let queue = Arc::new(ReplyQueue::new(pipeline));
+fn serve_connection(mut stream: TcpStream, registry: &ModelRegistry, cfg: &WireConfig) {
+    // The idle timeout turns a silent peer into a read error on the
+    // reader thread, which closes the connection — a slow-loris peer
+    // trickling bytes can hold the connection at most one timeout per
+    // byte, never a thread forever. The write timeout bounds how long a
+    // peer that stops draining replies can park the writer. Timeouts are
+    // socket-level (shared by the reader/writer clones), so setting them
+    // once here covers both.
+    let _ = stream.set_read_timeout(cfg.idle_timeout);
+    let _ = stream.set_write_timeout(cfg.write_timeout);
+    let queue = Arc::new(ReplyQueue::new(cfg.max_pipeline));
     let writer = {
         let Ok(wstream) = stream.try_clone() else {
             return;
         };
         let queue = Arc::clone(&queue);
-        std::thread::Builder::new()
+        // Under thread exhaustion, drop the connection rather than panic
+        // the reader thread.
+        let Ok(writer) = std::thread::Builder::new()
             .name("circnn-wire-write".into())
             .spawn(move || writer_loop(wstream, &queue))
-            .expect("spawning a connection writer")
+        else {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        };
+        writer
     };
     let mut buf = Vec::new();
     loop {
@@ -355,6 +412,7 @@ fn dispatch(req: Request, registry: &ModelRegistry, queue: &ReplyQueue) -> bool 
     match req {
         Request::Ping => queue.push(PendingReply::Ready(Reply::Pong)),
         Request::ListModels => queue.push(PendingReply::Ready(Reply::ModelList(registry.list()))),
+        Request::Health => queue.push(PendingReply::Ready(Reply::Health(registry.health()))),
         Request::Stats { model } => {
             let reply = match registry.stats(&model) {
                 Some(stats) => Reply::Stats { model, stats },

@@ -247,6 +247,7 @@ fn deadline_errors_cross_the_wire() {
                 max_batch: 1,
                 max_wait: Duration::ZERO,
                 queue_capacity: 16,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -301,6 +302,73 @@ fn malformed_frames_get_a_typed_error_then_disconnect() {
     // A well-formed connection still works afterwards.
     let mut wire = WireClient::connect(addr).unwrap();
     assert_eq!(wire.infer("mlp", &request(32, 2)).unwrap().len(), 10);
+    server.shutdown();
+}
+
+/// A client that writes half an Infer frame and then resets must not
+/// wedge the server: its reader thread exits cleanly, the connection is
+/// reaped from the table, and other connections' in-flight requests
+/// complete bitwise-correct throughout.
+#[test]
+fn half_written_frame_then_reset_leaves_other_connections_intact() {
+    let registry = Arc::new(ModelRegistry::new(1).unwrap());
+    registry
+        .add_network("mlp", mlp(21), &[32], TenantConfig::default())
+        .unwrap();
+    let server =
+        WireServer::bind("127.0.0.1:0", Arc::clone(&registry), WireConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut ref_net = mlp(21);
+    ref_net.set_training(false);
+    let mut scratch = InferScratch::new();
+
+    // A healthy connection with a request already pipelined (in flight
+    // while the hostile peer resets).
+    let mut healthy = WireClient::connect(addr).unwrap();
+    let x0 = request(32, 900);
+    healthy.send_infer("mlp", &x0, None).unwrap();
+
+    // The hostile peer: a valid Infer frame cut off mid-payload, then an
+    // abrupt close.
+    let mut frame = Vec::new();
+    circnn_wire::frame::encode_request(
+        &circnn_wire::Request::Infer {
+            model: "mlp".to_string(),
+            deadline_micros: 0,
+            input: request(32, 901),
+        },
+        &mut frame,
+    );
+    let half = TcpStream::connect(addr).unwrap();
+    (&half).write_all(&frame[..frame.len() / 2]).unwrap();
+    drop(half);
+
+    // The healthy connection's in-flight reply arrives bitwise-correct,
+    // and the connection keeps serving.
+    let direct = ref_net
+        .infer(&Tensor::from_vec(x0.clone(), &[1, 32]), &mut scratch)
+        .data()
+        .to_vec();
+    assert_eq!(healthy.recv_infer().unwrap(), direct);
+    let x1 = request(32, 902);
+    let direct = ref_net
+        .infer(&Tensor::from_vec(x1.clone(), &[1, 32]), &mut scratch)
+        .data()
+        .to_vec();
+    assert_eq!(healthy.infer("mlp", &x1).unwrap(), direct);
+
+    // The half-writer's connection is reaped; only the healthy one stays.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let mut live = usize::MAX;
+    while std::time::Instant::now() < deadline {
+        live = server.connection_count();
+        if live <= 1 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert_eq!(live, 1, "the reset connection must be reaped");
     server.shutdown();
 }
 

@@ -6,7 +6,7 @@ use circnn_wire::frame::{
     self, decode_reply, decode_request, encode_reply, encode_request, HEADER_LEN, MAGIC,
     MAX_PAYLOAD, VERSION,
 };
-use circnn_wire::{ErrorCode, ModelInfo, Reply, Request, WireError};
+use circnn_wire::{ErrorCode, HealthInfo, ModelInfo, Reply, Request, TenantHealth, WireError};
 use proptest::prelude::*;
 
 fn name_strategy() -> impl Strategy<Value = String> {
@@ -29,7 +29,7 @@ fn values_strategy() -> impl Strategy<Value = Vec<f32>> {
 
 fn request_strategy() -> impl Strategy<Value = Request> {
     (
-        0usize..5,
+        0usize..6,
         name_strategy(),
         any::<u64>(),
         values_strategy(),
@@ -39,7 +39,8 @@ fn request_strategy() -> impl Strategy<Value = Request> {
             0 => Request::Ping,
             1 => Request::ListModels,
             2 => Request::Stats { model },
-            3 => Request::Infer {
+            3 => Request::Health,
+            4 => Request::Infer {
                 model,
                 deadline_micros: deadline,
                 input,
@@ -57,12 +58,14 @@ fn stats_strategy() -> impl Strategy<Value = ServeStats> {
     (
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), 0usize..1_000_000),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (0.0f64..1e9, 0.0f64..1e9, 0.0f64..1e9, 0.0f64..1e9),
     )
         .prop_map(
             |(
                 (requests, batches, full_flushes, timeout_flushes),
                 (drain_flushes, expired, max_occupancy),
+                (shed, rejected, panics, retries),
                 (mean_occupancy, mean_infer_us, mean_latency_us, max_latency_us),
             )| ServeStats {
                 requests,
@@ -71,6 +74,10 @@ fn stats_strategy() -> impl Strategy<Value = ServeStats> {
                 timeout_flushes,
                 drain_flushes,
                 expired,
+                shed,
+                rejected,
+                panics,
+                retries,
                 max_occupancy,
                 mean_occupancy,
                 mean_infer_us,
@@ -80,34 +87,65 @@ fn stats_strategy() -> impl Strategy<Value = ServeStats> {
         )
 }
 
+fn health_strategy() -> impl Strategy<Value = HealthInfo> {
+    prop::collection::vec(
+        (
+            name_strategy(),
+            any::<u32>(),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        ),
+        0..5,
+    )
+    .prop_map(|tenants| HealthInfo {
+        models: tenants.len() as u32,
+        tenants: tenants
+            .into_iter()
+            .map(
+                |(name, pending, (shed, rejected, expired, panics))| TenantHealth {
+                    name,
+                    pending,
+                    shed,
+                    rejected,
+                    expired,
+                    panics,
+                },
+            )
+            .collect(),
+    })
+}
+
 fn reply_strategy() -> impl Strategy<Value = Reply> {
     (
-        0usize..6,
+        0usize..7,
         name_strategy(),
         values_strategy(),
         stats_strategy(),
+        health_strategy(),
         (1u32..9, 0u16..12),
     )
-        .prop_map(|(tag, model, output, stats, (batch, code))| match tag {
-            0 => Reply::Pong,
-            1 => Reply::ModelList(
-                (0..(batch % 4))
-                    .map(|i| ModelInfo {
-                        name: format!("{model}{i}"),
-                        input_len: 64 + i,
-                        output_len: 32 + i,
-                        pending: i,
-                    })
-                    .collect(),
-            ),
-            2 => Reply::Stats { model, stats },
-            3 => Reply::Infer { output },
-            4 => Reply::InferBatch { batch, output },
-            _ => Reply::Error {
-                code: ErrorCode::from_wire(code),
-                message: model,
+        .prop_map(
+            |(tag, model, output, stats, health, (batch, code))| match tag {
+                0 => Reply::Pong,
+                1 => Reply::ModelList(
+                    (0..(batch % 4))
+                        .map(|i| ModelInfo {
+                            name: format!("{model}{i}"),
+                            input_len: 64 + i,
+                            output_len: 32 + i,
+                            pending: i,
+                        })
+                        .collect(),
+                ),
+                2 => Reply::Stats { model, stats },
+                3 => Reply::Health(health),
+                4 => Reply::Infer { output },
+                5 => Reply::InferBatch { batch, output },
+                _ => Reply::Error {
+                    code: ErrorCode::from_wire(code),
+                    message: model,
+                },
             },
-        })
+        )
 }
 
 proptest! {
@@ -198,7 +236,7 @@ fn oversized_length_prefix_is_rejected_before_allocation() {
 
 #[test]
 fn unknown_opcodes_are_rejected() {
-    for op in [0x00u8, 0x06, 0x42, 0x80, 0x90, 0xFE] {
+    for op in [0x00u8, 0x07, 0x42, 0x80, 0x90, 0xFE] {
         let mut buf = valid_frame(&Request::Ping);
         buf[2] = op;
         assert!(
@@ -257,6 +295,70 @@ fn inconsistent_f32_count_is_rejected() {
     let count_at = HEADER_LEN + 3 + 8;
     buf[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
     assert!(matches!(decode_request(&buf), Err(WireError::Malformed(_))));
+}
+
+#[test]
+fn string_length_prefix_exceeding_payload_is_rejected() {
+    // Strings ride a u16 length prefix; a prefix promising more bytes
+    // than the payload holds (a frame cut mid-string, or a hostile
+    // client) must be a typed Malformed error, never a panic or an
+    // out-of-bounds read.
+    let mut buf = valid_frame(&Request::Stats {
+        model: "model".to_string(),
+    });
+    // The name length prefix is the first payload field.
+    buf[HEADER_LEN..HEADER_LEN + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+    assert!(matches!(decode_request(&buf), Err(WireError::Malformed(_))));
+
+    // Same for replies: a Health frame whose tenant name is cut short.
+    let mut buf = Vec::new();
+    encode_reply(
+        &Reply::Health(HealthInfo {
+            models: 1,
+            tenants: vec![TenantHealth {
+                name: "tenant".to_string(),
+                pending: 3,
+                shed: 1,
+                rejected: 2,
+                expired: 4,
+                panics: 5,
+            }],
+        }),
+        &mut buf,
+    );
+    // models(4) + count(4) in the payload, then the name length prefix.
+    let name_len_at = HEADER_LEN + 8;
+    buf[name_len_at..name_len_at + 2].copy_from_slice(&u16::MAX.to_le_bytes());
+    assert!(matches!(decode_reply(&buf), Err(WireError::Malformed(_))));
+}
+
+#[test]
+fn health_tenant_count_exceeding_payload_is_rejected() {
+    // A Health reply claiming more tenants than its payload can hold is
+    // rejected before any per-tenant allocation.
+    let mut buf = Vec::new();
+    encode_reply(&Reply::Health(HealthInfo::default()), &mut buf);
+    let count_at = HEADER_LEN + 4;
+    buf[count_at..count_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+    assert!(matches!(decode_reply(&buf), Err(WireError::Malformed(_))));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Truncating a reply frame at any byte boundary — including inside a
+    /// string field — yields a typed error, never a panic.
+    #[test]
+    fn truncated_replies_are_rejected(reply in reply_strategy(), frac in 0.0f64..1.0) {
+        let mut buf = Vec::new();
+        encode_reply(&reply, &mut buf);
+        let cut = ((buf.len() as f64 * frac) as usize).min(buf.len().saturating_sub(1));
+        prop_assert!(
+            decode_reply(&buf[..cut]).is_err(),
+            "decoding a {cut}-byte prefix of a {}-byte reply must fail",
+            buf.len()
+        );
+    }
 }
 
 #[test]

@@ -36,6 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_wait: Duration::from_micros(300),
             queue_capacity: 256,
             workers: 2,
+            ..Default::default()
         },
     )?;
 
@@ -101,6 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             max_wait: Duration::from_micros(300),
             queue_capacity: 128,
             workers: 2,
+            ..Default::default()
         },
     )?;
     let handles: Vec<_> = inputs
