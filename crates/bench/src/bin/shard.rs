@@ -1,0 +1,14 @@
+//! Runs the sharded-tier trajectory and writes `BENCH_shard.json`.
+
+fn main() {
+    let quick = circnn_bench::quick_mode();
+    println!("CirCNN reproduction — sharded serving tier (quick = {quick})\n");
+    let (points, failover) = circnn_bench::shard::run(quick);
+    circnn_bench::shard::print(&points, &failover);
+    std::fs::write(
+        "BENCH_shard.json",
+        circnn_bench::shard::to_json(&points, &failover),
+    )
+    .expect("writing trajectory file");
+    println!("\nwrote BENCH_shard.json");
+}

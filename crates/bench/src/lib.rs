@@ -20,6 +20,7 @@
 //! | [`serve`] / `serve` | serving-layer throughput trajectory (`BENCH_serve.json`) |
 //! | [`wire`] / `wire` | network-serving throughput trajectory (`BENCH_wire.json`) |
 //! | [`fault`] / `fault` | overload-policy latency/shed trajectory (`BENCH_fault.json`) |
+//! | [`shard`] / `shard` | sharded-tier scaling + failover trajectory (`BENCH_shard.json`) |
 //!
 //! Experiments honor the `CIRCNN_QUICK=1` environment variable to shrink
 //! training workloads (used by the integration tests); the binaries default
@@ -38,6 +39,7 @@ pub mod fig7;
 pub mod rnn;
 pub mod sec53;
 pub mod serve;
+pub mod shard;
 pub mod table;
 pub mod train_speedup;
 pub mod wire;

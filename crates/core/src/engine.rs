@@ -195,6 +195,13 @@ pub(crate) fn pack_slab_block(
     if len < k {
         plane[len * lanes..k * lanes].fill(0.0);
     }
+    if lanes == 1 {
+        // Single-lane slabs (B = 1 serving) degenerate to a straight copy:
+        // the gather-transpose below would write the same bytes one
+        // element at a time through the strided index arithmetic.
+        plane[..len].copy_from_slice(&src[start..start + len]);
+        return;
+    }
     for b in 0..lanes {
         let srow = &src[b * logical + start..b * logical + start + len];
         for (t, &v) in srow.iter().enumerate() {

@@ -67,7 +67,7 @@ pub use conv::{CirculantConv2d, ConvWorkspace};
 pub use error::CircError;
 pub use fc::CirculantLinear;
 pub use lecun::LeCunFftConv2d;
-pub use matrix::{default_batch_threads, BlockCirculantMatrix, BlockSpectra, Workspace};
+pub use matrix::{default_batch_threads, BlockCirculantMatrix, BlockSpectra, RowSlice, Workspace};
 pub use rnn::{
     CirculantRnn, CirculantRnnCell, RecurrentWorkspace, ReservoirClassifier, RnnReadout,
 };

@@ -176,6 +176,35 @@ impl Clone for BlockCirculantMatrix {
     }
 }
 
+/// A contiguous row-slice of a block-circulant operator, carrying the
+/// placement metadata needed to stitch its output segment back into the
+/// parent's `[m]` output.
+///
+/// The slice is itself a fully valid operator (`rows() × cols()` with the
+/// parent's block size), because a block row's output segment depends on
+/// every input block spectrum but on no other row's accumulators — the
+/// row-parallel structure the paper exploits across PEs, lifted to
+/// process scale. Computing the slice on the same input is **bitwise
+/// identical** to rows `row_start .. row_start + rows()` of the parent's
+/// output (same FFT plans, same ascending-`j` accumulation order).
+#[derive(Debug, Clone)]
+pub struct RowSlice {
+    /// The slice as a standalone `m' × n` operator.
+    pub operator: BlockCirculantMatrix,
+    /// First logical output row of the parent this slice produces.
+    pub row_start: usize,
+    /// Logical row count `m` of the parent operator.
+    pub full_rows: usize,
+}
+
+impl RowSlice {
+    /// Exclusive end of the logical output-row range this slice produces.
+    #[inline]
+    pub fn row_end(&self) -> usize {
+        self.row_start + self.operator.rows()
+    }
+}
+
 impl BlockCirculantMatrix {
     fn validated(m: usize, n: usize, k: usize) -> Result<(usize, usize, usize), CircError> {
         if k == 0 || !k.is_power_of_two() {
@@ -284,6 +313,42 @@ impl BlockCirculantMatrix {
         }
         out.set_weights(&weights)?;
         Ok(out)
+    }
+
+    /// Extracts the contiguous **block-row** range `block_rows` as a
+    /// standalone operator plus its placement metadata — the unit a shard
+    /// server loads so a router can scatter one input across row-slices
+    /// and stitch the per-slice output segments back bit-identically.
+    ///
+    /// The slice covers logical rows `block_rows.start · k ..
+    /// min(block_rows.end · k, m)` (the last block row may be ragged), has
+    /// the same `n` and `k`, and stores exactly the defining vectors of
+    /// blocks `(i, j)` with `i ∈ block_rows` — no weights are shared or
+    /// recomputed, so the slice's cached spectra are bitwise equal to the
+    /// parent's for those rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] for an empty range or one
+    /// extending past `block_rows()`.
+    pub fn row_slice(&self, block_rows: core::ops::Range<usize>) -> Result<RowSlice, CircError> {
+        if block_rows.start >= block_rows.end || block_rows.end > self.p {
+            return Err(CircError::DimensionMismatch {
+                expected: self.p,
+                got: block_rows.end,
+            });
+        }
+        let row_start = block_rows.start * self.k;
+        let rows = (block_rows.end * self.k).min(self.m) - row_start;
+        // Block (i, j) lives at weights[(i·q + j)·k ..][..k]; a block-row
+        // range is one contiguous span of that layout.
+        let span =
+            &self.weights[block_rows.start * self.q * self.k..block_rows.end * self.q * self.k];
+        Ok(RowSlice {
+            operator: Self::from_weights(rows, self.n, self.k, span)?,
+            row_start,
+            full_rows: self.m,
+        })
     }
 
     /// Logical row count `m`.
@@ -1929,5 +1994,59 @@ mod tests {
         for (a, b) in fast.iter().zip(&dense) {
             assert!((a - b).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn row_slices_stitch_bitwise_to_the_full_output() {
+        // Ragged last block row on purpose (m = 21, k = 8 → p = 3, last
+        // block covers 5 rows) — the stitched segments must still cover
+        // exactly [0, m) and match the full batched forward bitwise.
+        for (m, n, k, batch) in [(24, 16, 8, 1), (21, 16, 8, 3), (32, 40, 8, 4)] {
+            let w = random_bcm(m, n, k, (m * 13 + n + k) as u64);
+            let x = seeded(batch * n, 91);
+            let mut ws = Workspace::new();
+            let full = w.matmat(&x, batch, &mut ws).unwrap();
+            let splits = [0..1, 1..w.block_rows()];
+            let mut stitched = vec![f32::NAN; batch * m];
+            let mut covered = 0usize;
+            for range in splits {
+                let slice = w.row_slice(range).unwrap();
+                assert_eq!(slice.full_rows, m);
+                assert_eq!(slice.row_start, covered);
+                let ms = slice.operator.rows();
+                let seg = slice.operator.matmat(&x, batch, &mut ws).unwrap();
+                for b in 0..batch {
+                    stitched[b * m + slice.row_start..b * m + slice.row_end()]
+                        .copy_from_slice(&seg[b * ms..(b + 1) * ms]);
+                }
+                covered = slice.row_end();
+            }
+            assert_eq!(covered, m);
+            assert_eq!(stitched, full, "m={m} n={n} k={k} batch={batch}");
+        }
+    }
+
+    #[test]
+    // A reversed range is one of the rejections under test.
+    #[allow(clippy::reversed_empty_ranges)]
+    fn row_slice_rejects_bad_ranges() {
+        let w = random_bcm(24, 16, 8, 7);
+        assert!(matches!(
+            w.row_slice(1..1),
+            Err(CircError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            w.row_slice(2..1),
+            Err(CircError::DimensionMismatch { .. })
+        ));
+        assert!(matches!(
+            w.row_slice(0..4),
+            Err(CircError::DimensionMismatch { .. })
+        ));
+        // A whole-range slice is the operator itself.
+        let all = w.row_slice(0..w.block_rows()).unwrap();
+        assert_eq!(all.row_start, 0);
+        assert_eq!(all.row_end(), 24);
+        assert_eq!(all.operator.weights(), w.weights());
     }
 }

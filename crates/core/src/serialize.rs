@@ -11,21 +11,31 @@
 //!
 //! ```text
 //! magic  "CIRC"            4 bytes
-//! version u16              currently 1
+//! version u16              1 = whole operator, 2 = row slice
 //! flags   u16              bit 0: weights are 16-bit quantized
+//!                          bit 1: row slice (version 2 only)
 //! m, n, k u64 × 3
+//! [row_start, full_rows]   u64 × 2, present iff row slice
 //! [f32 scale]              present iff quantized
 //! weights p·q·k × (f32 | i16)
 //! ```
+//!
+//! Version 2 extends version 1 with the [`RowSlice`] placement fields —
+//! what a shard server hot-loads so a router can scatter one request
+//! across row-slices and stitch the segments bitwise. [`load`] keeps
+//! accepting exactly the version-1 whole-operator form; [`load_slice`]
+//! accepts both (a whole operator loads as the trivial full-range slice).
 
 use std::io::{self, Read, Write};
 
 use crate::error::CircError;
-use crate::matrix::BlockCirculantMatrix;
+use crate::matrix::{BlockCirculantMatrix, RowSlice};
 
 const MAGIC: &[u8; 4] = b"CIRC";
 const VERSION: u16 = 1;
+const SLICE_VERSION: u16 = 2;
 const FLAG_QUANTIZED: u16 = 1;
+const FLAG_SLICE: u16 = 2;
 
 /// Errors from the codec.
 #[derive(Debug)]
@@ -131,13 +141,29 @@ pub fn save_quantized<W: Write>(
     Ok(())
 }
 
-/// Reads an operator written by [`save`] or [`save_quantized`].
+/// Writes a [`RowSlice`] — the slice operator plus its placement fields —
+/// in full f32 precision (the version-2 form of the format).
 ///
 /// # Errors
 ///
-/// Returns [`SerializeError`] on malformed streams, bad versions, or
-/// invalid dimensions.
-pub fn load<R: Read>(mut input: R) -> Result<BlockCirculantMatrix, SerializeError> {
+/// Propagates I/O failures.
+pub fn save_slice<W: Write>(slice: &RowSlice, mut out: W) -> Result<(), SerializeError> {
+    out.write_all(MAGIC)?;
+    out.write_all(&SLICE_VERSION.to_le_bytes())?;
+    out.write_all(&FLAG_SLICE.to_le_bytes())?;
+    write_u64(&mut out, slice.operator.rows() as u64)?;
+    write_u64(&mut out, slice.operator.cols() as u64)?;
+    write_u64(&mut out, slice.operator.block_size() as u64)?;
+    write_u64(&mut out, slice.row_start as u64)?;
+    write_u64(&mut out, slice.full_rows as u64)?;
+    for &w in slice.operator.weights() {
+        out.write_all(&w.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+/// Reads `magic version flags m n k` and validates magic/version.
+fn read_header<R: Read>(input: &mut R) -> Result<(u16, u16, usize, usize, usize), SerializeError> {
     let mut magic = [0u8; 4];
     input.read_exact(&mut magic)?;
     if &magic != MAGIC {
@@ -146,33 +172,100 @@ pub fn load<R: Read>(mut input: R) -> Result<BlockCirculantMatrix, SerializeErro
     let mut half = [0u8; 2];
     input.read_exact(&mut half)?;
     let version = u16::from_le_bytes(half);
-    if version != VERSION {
+    if version != VERSION && version != SLICE_VERSION {
         return Err(SerializeError::UnsupportedVersion(version));
     }
     input.read_exact(&mut half)?;
     let flags = u16::from_le_bytes(half);
-    let m = read_u64(&mut input)? as usize;
-    let n = read_u64(&mut input)? as usize;
-    let k = read_u64(&mut input)? as usize;
+    let m = read_u64(input)? as usize;
+    let n = read_u64(input)? as usize;
+    let k = read_u64(input)? as usize;
+    Ok((version, flags, m, n, k))
+}
+
+/// Reads the weight payload (`p·q·k` values, f32 or quantized per `flags`).
+fn read_weights<R: Read>(
+    input: &mut R,
+    flags: u16,
+    m: usize,
+    n: usize,
+    k: usize,
+) -> Result<Vec<f32>, SerializeError> {
     let count = m.div_ceil(k.max(1)) * n.div_ceil(k.max(1)) * k;
-    let weights = if flags & FLAG_QUANTIZED != 0 {
+    if flags & FLAG_QUANTIZED != 0 {
         let mut sbuf = [0u8; 4];
         input.read_exact(&mut sbuf)?;
         let scale = f32::from_le_bytes(sbuf);
         let mut codes = vec![0u8; count * 2];
         input.read_exact(&mut codes)?;
-        codes
+        Ok(codes
             .chunks_exact(2)
             .map(|c| f32::from(i16::from_le_bytes([c[0], c[1]])) * scale)
-            .collect::<Vec<f32>>()
+            .collect())
     } else {
         let mut raw = vec![0u8; count * 4];
         input.read_exact(&mut raw)?;
-        raw.chunks_exact(4)
+        Ok(raw
+            .chunks_exact(4)
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect::<Vec<f32>>()
-    };
+            .collect())
+    }
+}
+
+/// Reads an operator written by [`save`] or [`save_quantized`].
+///
+/// A version-2 row-slice stream is rejected with
+/// [`SerializeError::Invalid`]: its output segment is meaningless without
+/// the placement fields — use [`load_slice`] for those.
+///
+/// # Errors
+///
+/// Returns [`SerializeError`] on malformed streams, bad versions, or
+/// invalid dimensions.
+pub fn load<R: Read>(mut input: R) -> Result<BlockCirculantMatrix, SerializeError> {
+    let (version, flags, m, n, k) = read_header(&mut input)?;
+    if version != VERSION || flags & FLAG_SLICE != 0 {
+        return Err(SerializeError::UnsupportedVersion(version));
+    }
+    let weights = read_weights(&mut input, flags, m, n, k)?;
     Ok(BlockCirculantMatrix::from_weights(m, n, k, &weights)?)
+}
+
+/// Reads a [`RowSlice`] written by [`save_slice`] — or a whole operator
+/// written by [`save`]/[`save_quantized`], which loads as the trivial
+/// full-range slice (`row_start = 0`, `full_rows = m`), so a shard server
+/// can hot-load either form through one path.
+///
+/// # Errors
+///
+/// Returns [`SerializeError`] on malformed streams, bad versions,
+/// inconsistent placement fields (`row_start + m > full_rows`), or
+/// invalid dimensions.
+pub fn load_slice<R: Read>(mut input: R) -> Result<RowSlice, SerializeError> {
+    let (version, flags, m, n, k) = read_header(&mut input)?;
+    let (row_start, full_rows) = if version == SLICE_VERSION {
+        if flags & FLAG_SLICE == 0 {
+            return Err(SerializeError::UnsupportedVersion(version));
+        }
+        (
+            read_u64(&mut input)? as usize,
+            read_u64(&mut input)? as usize,
+        )
+    } else {
+        (0, m)
+    };
+    if row_start.checked_add(m).map_or(true, |end| end > full_rows) {
+        return Err(SerializeError::Invalid(CircError::DimensionMismatch {
+            expected: full_rows,
+            got: row_start.saturating_add(m),
+        }));
+    }
+    let weights = read_weights(&mut input, flags, m, n, k)?;
+    Ok(RowSlice {
+        operator: BlockCirculantMatrix::from_weights(m, n, k, &weights)?,
+        row_start,
+        full_rows,
+    })
 }
 
 #[cfg(test)]
@@ -245,6 +338,78 @@ mod tests {
         save(&sample(), &mut short).unwrap();
         short.truncate(short.len() / 2);
         assert!(matches!(load(&short[..]), Err(SerializeError::Io(_))));
+    }
+
+    #[test]
+    fn row_slice_round_trip_is_exact() {
+        let m = sample();
+        let slice = m.row_slice(1..3).unwrap();
+        let mut buf = Vec::new();
+        save_slice(&slice, &mut buf).unwrap();
+        let back = load_slice(&buf[..]).unwrap();
+        assert_eq!(back.row_start, slice.row_start);
+        assert_eq!(back.full_rows, 24);
+        assert_eq!(back.operator.rows(), slice.operator.rows());
+        assert_eq!(back.operator.cols(), 40);
+        assert_eq!(back.operator.weights(), slice.operator.weights());
+        // And the reloaded slice computes bitwise-identically.
+        let x: Vec<f32> = (0..40).map(|i| (i as f32 * 0.17).cos()).collect();
+        assert_eq!(
+            slice.operator.matvec(&x).unwrap(),
+            back.operator.matvec(&x).unwrap()
+        );
+    }
+
+    #[test]
+    fn whole_operator_streams_load_as_full_range_slices() {
+        let m = sample();
+        let mut buf = Vec::new();
+        save(&m, &mut buf).unwrap();
+        let slice = load_slice(&buf[..]).unwrap();
+        assert_eq!(slice.row_start, 0);
+        assert_eq!(slice.full_rows, 24);
+        assert_eq!(slice.operator.weights(), m.weights());
+        // Quantized whole-operator streams load through the same path.
+        let mut qbuf = Vec::new();
+        save_quantized(&m, &mut qbuf).unwrap();
+        assert_eq!(load_slice(&qbuf[..]).unwrap().row_start, 0);
+    }
+
+    #[test]
+    fn slice_streams_fail_typed_on_version_and_truncation() {
+        let slice = sample().row_slice(0..2).unwrap();
+        let mut buf = Vec::new();
+        save_slice(&slice, &mut buf).unwrap();
+        // Version mismatch: a future version is a typed rejection.
+        let mut wrong = buf.clone();
+        wrong[4] = 9;
+        assert!(matches!(
+            load_slice(&wrong[..]),
+            Err(SerializeError::UnsupportedVersion(9))
+        ));
+        // `load` must not silently strip the placement fields.
+        assert!(matches!(
+            load(&buf[..]),
+            Err(SerializeError::UnsupportedVersion(SLICE_VERSION))
+        ));
+        // Truncation anywhere — inside the header, the placement fields,
+        // or the weight payload — is a typed I/O error, never a panic.
+        for cut in [3, 9, 20, 30, 44, buf.len() - 3] {
+            assert!(
+                matches!(
+                    load_slice(&buf[..cut]),
+                    Err(SerializeError::Io(_)) | Err(SerializeError::BadMagic)
+                ),
+                "cut at {cut}"
+            );
+        }
+        // Inconsistent placement fields (row_start + m > full_rows).
+        let mut bad = buf.clone();
+        bad[32..40].copy_from_slice(&u64::MAX.to_le_bytes()); // row_start
+        assert!(matches!(
+            load_slice(&bad[..]),
+            Err(SerializeError::Invalid(_))
+        ));
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Per-replica connection pooling and readiness state.
+//!
+//! Every replica gets a small pool of idle [`WireClient`] connections: a
+//! scatter leg checks one out, runs its call, and returns it on success.
+//! A connection that saw *any* failure is dropped, never pooled — a
+//! half-dead stream must not infect the next request. Alongside the pool
+//! sits the replica's `healthy` flag, maintained by the router's health
+//! poller and by call outcomes; routing prefers healthy replicas but
+//! still tries unhealthy ones last (a stale poll must not turn a
+//! recovered replica into a permanent outage).
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use circnn_wire::{ClientConfig, WireClient, WireError};
+
+/// One replica endpoint: address, idle-connection pool, readiness flag.
+pub(crate) struct Replica {
+    addr: SocketAddr,
+    idle: Mutex<Vec<WireClient>>,
+    healthy: AtomicBool,
+}
+
+impl core::fmt::Debug for Replica {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Replica")
+            .field("addr", &self.addr)
+            .field("healthy", &self.healthy.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Replica {
+    /// A new replica starts healthy: it gets routed to until a call or a
+    /// probe proves otherwise (optimistic start keeps a fresh cluster
+    /// routable before the first poll).
+    pub(crate) fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            idle: Mutex::new(Vec::new()),
+            healthy: AtomicBool::new(true),
+        }
+    }
+
+    /// Takes an idle pooled connection, or dials a fresh one.
+    pub(crate) fn checkout(&self, cfg: &ClientConfig) -> Result<WireClient, WireError> {
+        if let Some(client) = self.idle.lock().unwrap_or_else(|e| e.into_inner()).pop() {
+            return Ok(client);
+        }
+        WireClient::connect_with(self.addr, cfg.clone())
+    }
+
+    /// Returns a connection to the pool after a **successful** call.
+    /// Connections with pipelined requests outstanding are dropped (their
+    /// stream position belongs to an abandoned exchange), and the pool is
+    /// bounded so a burst does not pin sockets forever.
+    pub(crate) fn checkin(&self, client: WireClient, max_idle: usize) {
+        if client.pipelined() != 0 {
+            return;
+        }
+        let mut idle = self.idle.lock().unwrap_or_else(|e| e.into_inner());
+        if idle.len() < max_idle {
+            idle.push(client);
+        }
+    }
+
+    /// Updates the readiness flag (poller or call-outcome driven).
+    pub(crate) fn mark(&self, healthy: bool) {
+        self.healthy.store(healthy, Ordering::Relaxed);
+    }
+
+    /// Whether the last probe/call found this replica routable.
+    pub(crate) fn is_healthy(&self) -> bool {
+        self.healthy.load(Ordering::Relaxed)
+    }
+
+    /// Drops every idle connection (shutdown hygiene).
+    pub(crate) fn drain(&self) {
+        self.idle.lock().unwrap_or_else(|e| e.into_inner()).clear();
+    }
+}

@@ -1,0 +1,266 @@
+//! The router's TCP front-end: ordinary wire-protocol clients connect
+//! here and see one big server; behind it the [`ShardRouter`] scatters,
+//! gathers and fails over.
+//!
+//! Thread model: one accept thread, one thread per connection running a
+//! sequential read → route → write loop. Replies therefore go out in
+//! arrival order per connection trivially, so pipelining clients work
+//! unchanged (their pipelined requests queue in the socket while the
+//! router is on the previous one — the scatter itself is already
+//! parallel across shards). [`circnn_wire::WireConfig::max_pipeline`] is
+//! accordingly unused here.
+
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use circnn_wire::frame::{self, Reply, Request};
+use circnn_wire::{ErrorCode, WireConfig, WireError};
+
+use crate::router::ShardRouter;
+
+/// Tracked connections: a stream clone (so shutdown can close the
+/// socket) plus the connection thread to join.
+type ConnTable = Vec<(TcpStream, JoinHandle<()>)>;
+
+/// Joins and removes every finished connection (same hygiene as the
+/// shard servers: the table tracks live connections only).
+fn reap_finished(table: &mut ConnTable) {
+    let mut i = 0;
+    while i < table.len() {
+        if table[i].1.is_finished() {
+            let (_, handle) = table.swap_remove(i);
+            let _ = handle.join();
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Maps a router failure onto a typed wire error reply. Remote typed
+/// rejections pass through unchanged (the shard already said precisely
+/// what is wrong); transport-level failures — every replica of some
+/// shard unreachable — surface as `Internal` with the underlying cause.
+fn to_error_reply(e: WireError) -> Reply {
+    match e {
+        WireError::Remote { code, message } => Reply::Error { code, message },
+        other => Reply::Error {
+            code: ErrorCode::Internal,
+            message: format!("shard call failed: {other}"),
+        },
+    }
+}
+
+fn budget_of(deadline_micros: u64) -> Option<Duration> {
+    (deadline_micros > 0).then(|| Duration::from_micros(deadline_micros))
+}
+
+/// A running wire-protocol front-end over a [`ShardRouter`].
+///
+/// Bind with [`RouterServer::bind`]; clients connect with an ordinary
+/// [`circnn_wire::WireClient`] — the sharding is invisible on the wire.
+/// [`RouterServer::shutdown`] closes the listener and every connection;
+/// the router (and its pools) stays up, owned by the caller.
+pub struct RouterServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<ConnTable>>,
+}
+
+impl core::fmt::Debug for RouterServer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("RouterServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl RouterServer {
+    /// Binds a listener and starts accepting connections (port 0 for an
+    /// ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from bind.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        router: Arc<ShardRouter>,
+        cfg: WireConfig,
+    ) -> Result<Self, WireError> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let conns: Arc<Mutex<ConnTable>> = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = {
+            let (stop, conns) = (Arc::clone(&stop), Arc::clone(&conns));
+            std::thread::Builder::new()
+                .name("circnn-shard-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let Ok(track) = stream.try_clone() else {
+                            continue;
+                        };
+                        let router = Arc::clone(&router);
+                        let conn_cfg = cfg.clone();
+                        let mut table = conns.lock().unwrap_or_else(|e| e.into_inner());
+                        reap_finished(&mut table);
+                        if table.len() >= cfg.max_connections {
+                            let _ = stream.shutdown(Shutdown::Both);
+                            continue;
+                        }
+                        match std::thread::Builder::new()
+                            .name("circnn-shard-conn".into())
+                            .spawn(move || serve_connection(stream, &router, &conn_cfg))
+                        {
+                            Ok(handle) => table.push((track, handle)),
+                            Err(_) => {
+                                let _ = track.shutdown(Shutdown::Both);
+                            }
+                        }
+                    }
+                })
+                .expect("spawning the router accept thread")
+        };
+        Ok(Self {
+            addr,
+            stop,
+            accept_thread: Some(accept_thread),
+            conns,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of live tracked connections (finished ones are reaped
+    /// first, as on [`circnn_wire::WireServer`]).
+    pub fn connection_count(&self) -> usize {
+        let mut table = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+        reap_finished(&mut table);
+        table.len()
+    }
+
+    /// Stops accepting, closes every connection and joins the threads.
+    /// The router stays alive (it belongs to the caller).
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        {
+            let mut table = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+            reap_finished(&mut table);
+        }
+        let conns = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
+        for (stream, _) in &conns {
+            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        for (_, handle) in conns {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RouterServer {
+    /// Dropping without [`RouterServer::shutdown`] still closes
+    /// everything.
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// One connection's sequential serve loop: read a frame, route it,
+/// write the reply. Protocol-level failures answer typed and hang up
+/// (same strictness as the shard servers).
+fn serve_connection(mut stream: TcpStream, router: &ShardRouter, cfg: &WireConfig) {
+    let _ = stream.set_read_timeout(cfg.idle_timeout);
+    let _ = stream.set_write_timeout(cfg.write_timeout);
+    let _ = stream.set_nodelay(true);
+    let mut rbuf = Vec::new();
+    let mut wbuf = Vec::new();
+    loop {
+        let reply = match frame::read_frame(&mut stream, &mut rbuf) {
+            Ok(()) => match frame::decode_request(&rbuf) {
+                Ok(req) => process(req, router),
+                Err(e) => {
+                    let reply = Reply::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    };
+                    frame::encode_reply(&reply, &mut wbuf);
+                    let _ = frame::write_frame(&mut stream, &wbuf);
+                    break;
+                }
+            },
+            Err(WireError::Io(_)) => break, // peer hung up (or EOF mid-frame)
+            Err(e) => {
+                let reply = Reply::Error {
+                    code: ErrorCode::Malformed,
+                    message: e.to_string(),
+                };
+                frame::encode_reply(&reply, &mut wbuf);
+                let _ = frame::write_frame(&mut stream, &wbuf);
+                break;
+            }
+        };
+        frame::encode_reply(&reply, &mut wbuf);
+        if frame::write_frame(&mut stream, &wbuf).is_err() {
+            break;
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Routes one decoded request.
+fn process(req: Request, router: &ShardRouter) -> Reply {
+    match req {
+        Request::Ping => Reply::Pong,
+        Request::ListModels => Reply::ModelList(router.list()),
+        Request::Health => Reply::Health(router.cluster_health()),
+        Request::Stats { model } => match router.stats(&model) {
+            Ok(stats) => Reply::Stats { model, stats },
+            Err(e) => to_error_reply(e),
+        },
+        Request::Infer {
+            model,
+            deadline_micros,
+            input,
+        } => match router.infer_deadline(&model, &input, budget_of(deadline_micros)) {
+            Ok(output) => Reply::Infer { output },
+            Err(e) => to_error_reply(e),
+        },
+        Request::InferBatch {
+            model,
+            deadline_micros,
+            batch,
+            input,
+        } => match router.infer_batch(&model, batch as usize, &input, budget_of(deadline_micros)) {
+            Ok(output) => Reply::InferBatch { batch, output },
+            Err(e) => to_error_reply(e),
+        },
+        // The router is the gathering side of the segment protocol; it
+        // never serves segments itself.
+        Request::InferSegment { model, .. } => Reply::Error {
+            code: ErrorCode::BadInput,
+            message: format!(
+                "the router serves whole models; segment requests for {model:?} \
+                 belong on a shard server"
+            ),
+        },
+    }
+}

@@ -1,0 +1,249 @@
+//! Cluster topology: how a circulant operator's block rows map onto
+//! shards, and how whole requests map onto replicas.
+//!
+//! Two placement mechanisms live here:
+//!
+//! * [`split_rows`] / [`split_operator`] — the **sharded** path. A
+//!   block-circulant operator is row-parallel: block row `i`'s outputs
+//!   need every input block spectrum but no other row's accumulators, so
+//!   a contiguous block-row range is a standalone operator
+//!   ([`circnn_core::BlockCirculantMatrix::row_slice`]) whose output rows
+//!   are bitwise the corresponding rows of the full product. Splitting
+//!   `p` block rows into near-equal contiguous ranges is the whole
+//!   placement story.
+//! * [`HashRing`] — the **forwarded** path. Small stateless tenants
+//!   (whole networks) are registered in full on every replica; the
+//!   router picks a home replica by consistent hashing over the tenant
+//!   name, and walks the ring on failure. Consistent hashing keeps the
+//!   per-tenant cache (spectra, scratch) warm on a stable replica while
+//!   replicas come and go.
+
+use std::net::SocketAddr;
+use std::ops::Range;
+
+use circnn_core::{BlockCirculantMatrix, CircError, RowSlice};
+
+/// One shard: the replicas that all hold the same row-slice (and the
+/// same forwarded tenants). The first replica is the primary; the rest
+/// are failover targets.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Replica addresses, primary first.
+    pub replicas: Vec<SocketAddr>,
+}
+
+/// The whole cluster: one [`ShardSpec`] per row range, in row order
+/// (shard `i` serves the `i`-th range of [`split_rows`]).
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Shards in row order.
+    pub shards: Vec<ShardSpec>,
+}
+
+impl ClusterSpec {
+    /// A cluster of single-replica shards (the common bench/demo shape).
+    pub fn single_replica(addrs: &[SocketAddr]) -> Self {
+        Self {
+            shards: addrs
+                .iter()
+                .map(|&addr| ShardSpec {
+                    replicas: vec![addr],
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Splits `block_rows` block rows into at most `shards` contiguous,
+/// non-empty, near-equal ranges (the first `block_rows % shards` ranges
+/// get one extra row). Fewer ranges come back when there are fewer block
+/// rows than shards — an empty shard would serve nothing.
+pub fn split_rows(block_rows: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.clamp(1, block_rows.max(1));
+    if block_rows == 0 {
+        return Vec::new();
+    }
+    let base = block_rows / shards;
+    let extra = block_rows % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Splits an operator into at most `shards` row-slices covering all of
+/// it, in row order — one slice per shard, ready to ship
+/// ([`circnn_core::serialize::save_slice`]) or register directly
+/// ([`circnn_wire::ModelRegistry::add_segment`]).
+///
+/// # Errors
+///
+/// Propagates [`CircError`] from slicing (cannot happen for the ranges
+/// produced here, but the slice constructor's contract is typed).
+pub fn split_operator(w: &BlockCirculantMatrix, shards: usize) -> Result<Vec<RowSlice>, CircError> {
+    split_rows(w.block_rows(), shards)
+        .into_iter()
+        .map(|r| w.row_slice(r))
+        .collect()
+}
+
+/// The `(row_start, row_end)` table of a slice set, in order — the shape
+/// [`crate::ShardRouter::add_sharded_model`] takes.
+pub fn segment_ranges(slices: &[RowSlice]) -> Vec<(usize, usize)> {
+    slices.iter().map(|s| (s.row_start, s.row_end())).collect()
+}
+
+/// 64-bit FNV-1a — small, dependency-free, and plenty uniform for vnode
+/// placement (this is a placement hash, not a security boundary).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    // FNV's high bits mix poorly on short, similar strings (exactly what
+    // vnode tags are); a splitmix64 finalizer avalanches them so ring
+    // points spread uniformly.
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Vnodes per replica: enough that removing one replica redistributes
+/// its keys roughly evenly over the survivors.
+const VNODES: usize = 32;
+
+/// A consistent-hash ring over every replica in the cluster, used to
+/// place **forwarded** (whole-request) tenants.
+///
+/// Each replica owns [`VNODES`] points on a `u64` ring; a key is served
+/// by the first point at or after its hash. [`HashRing::walk`] yields
+/// the distinct replicas in ring order from that point — the failover
+/// sequence.
+#[derive(Debug)]
+pub struct HashRing {
+    /// Sorted `(point, (shard, replica))`.
+    points: Vec<(u64, (usize, usize))>,
+    replicas: usize,
+}
+
+impl HashRing {
+    /// Builds the ring from a cluster's replica set. Deterministic: the
+    /// same topology always yields the same ring, so independent routers
+    /// agree on placement.
+    pub fn new(cluster: &ClusterSpec) -> Self {
+        let mut points = Vec::new();
+        let mut replicas = 0;
+        for (s, shard) in cluster.shards.iter().enumerate() {
+            for (r, addr) in shard.replicas.iter().enumerate() {
+                replicas += 1;
+                for v in 0..VNODES {
+                    // Hash the *position and address*, not just the address:
+                    // the same host:port appearing in two shards still gets
+                    // distinct points.
+                    let tag = format!("{s}/{r}/{addr}/{v}");
+                    points.push((fnv1a(tag.as_bytes()), (s, r)));
+                }
+            }
+        }
+        points.sort_unstable();
+        Self { points, replicas }
+    }
+
+    /// The distinct replicas `(shard, replica)` in ring order starting at
+    /// `key`'s point: element 0 is the key's home; the rest are the
+    /// failover order. Length equals the cluster's replica count.
+    pub fn walk(&self, key: &str) -> Vec<(usize, usize)> {
+        let mut order = Vec::with_capacity(self.replicas);
+        if self.points.is_empty() {
+            return order;
+        }
+        let h = fnv1a(key.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        for i in 0..self.points.len() {
+            let (_, replica) = self.points[(start + i) % self.points.len()];
+            if !order.contains(&replica) {
+                order.push(replica);
+                if order.len() == self.replicas {
+                    break;
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_rows_is_contiguous_balanced_and_complete() {
+        for block_rows in 1..40 {
+            for shards in 1..10 {
+                let ranges = split_rows(block_rows, shards);
+                assert!(!ranges.is_empty());
+                assert!(ranges.len() <= shards);
+                assert_eq!(ranges[0].start, 0);
+                assert_eq!(ranges.last().unwrap().end, block_rows);
+                let mut sizes = Vec::new();
+                for pair in ranges.windows(2) {
+                    assert_eq!(pair[0].end, pair[1].start, "ranges must be contiguous");
+                }
+                for r in &ranges {
+                    assert!(!r.is_empty(), "no shard may be empty");
+                    sizes.push(r.len());
+                }
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "split must be near-equal, got {sizes:?}");
+            }
+        }
+    }
+
+    fn cluster(shards: usize, replicas: usize) -> ClusterSpec {
+        ClusterSpec {
+            shards: (0..shards)
+                .map(|s| ShardSpec {
+                    replicas: (0..replicas)
+                        .map(|r| format!("127.0.0.1:{}", 9000 + s * 10 + r).parse().unwrap())
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn ring_walk_is_deterministic_and_covers_every_replica() {
+        let spec = cluster(3, 2);
+        let ring_a = HashRing::new(&spec);
+        let ring_b = HashRing::new(&spec);
+        for key in ["mlp", "convnet", "fc6", ""] {
+            let walk = ring_a.walk(key);
+            assert_eq!(walk, ring_b.walk(key), "placement must be deterministic");
+            assert_eq!(walk.len(), 6, "walk must reach every replica");
+            let mut seen = walk.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            assert_eq!(seen.len(), 6, "walk must not repeat a replica");
+        }
+    }
+
+    #[test]
+    fn ring_spreads_keys_across_replicas() {
+        let ring = HashRing::new(&cluster(2, 2));
+        let mut homes = std::collections::HashSet::new();
+        for i in 0..64 {
+            homes.insert(ring.walk(&format!("tenant-{i}"))[0]);
+        }
+        assert!(
+            homes.len() >= 3,
+            "64 keys should land on at least 3 of 4 replicas, got {homes:?}"
+        );
+    }
+}

@@ -285,15 +285,18 @@ impl WireClient {
         let model_len = match req {
             Request::Stats { model }
             | Request::Infer { model, .. }
-            | Request::InferBatch { model, .. } => model.len(),
+            | Request::InferBatch { model, .. }
+            | Request::InferSegment { model, .. } => model.len(),
             _ => 0,
         };
         if model_len > crate::MAX_NAME_LEN {
             return Err(WireError::Malformed("model name exceeds MAX_NAME_LEN"));
         }
-        if let Request::Infer { model, input, .. } | Request::InferBatch { model, input, .. } = req
+        if let Request::Infer { model, input, .. }
+        | Request::InferBatch { model, input, .. }
+        | Request::InferSegment { model, input, .. } = req
         {
-            // 32 bytes cover every fixed field of these two frames.
+            // 32 bytes cover every fixed field of these frames.
             let payload = input.len() * 4 + model.len() + 32;
             if payload > MAX_PAYLOAD {
                 return Err(WireError::Oversized {
@@ -381,6 +384,35 @@ impl WireClient {
         }
     }
 
+    /// A cheap readiness probe: one `Health` round trip bounded by
+    /// `timeout`, **no retry budget consumed** — a single attempt that
+    /// either answers within the bound or fails. This is what a router's
+    /// health poller calls to decide whether a replica is routable: a
+    /// down or wedged replica must cost one bounded probe, not a retry
+    /// loop's worth of backoff.
+    ///
+    /// The configured [`ClientConfig::read_timeout`] is restored after
+    /// the probe, so regular calls on the same connection are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors (including the probe timeout, surfaced as
+    /// [`WireError::Io`]), or the server's typed error.
+    pub fn probe_health(&mut self, timeout: Duration) -> Result<HealthInfo, WireError> {
+        if self.broken {
+            self.reconnect()?;
+        }
+        let _ = self.stream.set_read_timeout(Some(timeout));
+        let result = self.send(&Request::Health).and_then(|()| self.recv());
+        // Restore the configured timeout (harmless on a hard-closed
+        // stream; the next reconnect re-applies the config anyway).
+        let _ = self.stream.set_read_timeout(self.cfg.read_timeout);
+        match result? {
+            Reply::Health(health) => Ok(health),
+            _ => Err(self.desync("expected Health")),
+        }
+    }
+
     /// Fetches one model's per-tenant serving statistics. Idempotent:
     /// retried per [`ClientConfig`].
     ///
@@ -463,6 +495,57 @@ impl WireClient {
         match self.attempt(&req)? {
             Reply::InferBatch { output, .. } => Ok(output),
             _ => Err(self.desync("expected InferBatch")),
+        }
+    }
+
+    /// One scatter leg of a sharded request: asks the server's registered
+    /// row-segment for logical output rows `row_start .. row_end` of the
+    /// shared `[batch, n]` input. The reply's echoed range and length are
+    /// verified here, so a stitching router can never attribute a segment
+    /// to the wrong rows — a mismatch hard-closes the connection and
+    /// fails typed.
+    ///
+    /// Idempotent (the segment computation is pure), so it is retried per
+    /// [`ClientConfig`] under the same provably-safe conditions as
+    /// [`WireClient::infer`].
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors, or the server's typed error (unknown
+    /// model, range mismatch, bad input length, queue full, …).
+    pub fn infer_segment(
+        &mut self,
+        model: &str,
+        row_start: usize,
+        row_end: usize,
+        batch: usize,
+        input: &[f32],
+        budget: Option<Duration>,
+    ) -> Result<Vec<f32>, WireError> {
+        let req = Request::InferSegment {
+            model: model.to_string(),
+            deadline_micros: budget.map_or(0, |b| (b.as_micros() as u64).max(1)),
+            row_start: row_start as u32,
+            row_end: row_end as u32,
+            batch: batch as u32,
+            input: input.to_vec(),
+        };
+        match self.call_idempotent(&req)? {
+            Reply::InferSegment {
+                row_start: rs,
+                row_end: re,
+                batch: b,
+                output,
+            } => {
+                let rows = row_end.saturating_sub(row_start);
+                if (rs as usize, re as usize, b as usize) != (row_start, row_end, batch)
+                    || output.len() != batch * rows
+                {
+                    return Err(self.desync("segment reply does not match the request"));
+                }
+                Ok(output)
+            }
+            _ => Err(self.desync("expected InferSegment")),
         }
     }
 

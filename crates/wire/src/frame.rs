@@ -5,7 +5,7 @@
 //! ```text
 //! offset  size  field
 //! 0       1     magic     0xC7 (rejects non-protocol peers instantly)
-//! 1       1     version   currently 1
+//! 1       1     version   currently 2
 //! 2       1     opcode    frame type (request 0x0*, reply 0x8*)
 //! 3       1     reserved  must be 0
 //! 4       4     len       payload byte length, ≤ MAX_PAYLOAD
@@ -29,8 +29,11 @@ use crate::error::{ErrorCode, WireError};
 
 /// First byte of every frame.
 pub const MAGIC: u8 = 0xC7;
-/// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Protocol version this build speaks. Version 2 added the
+/// `InferSegment` opcode pair (row-sliced scatter/gather for the sharded
+/// serving tier); both peers of a deployment upgrade together, so the
+/// version is a hard equality check rather than a negotiation.
+pub const VERSION: u8 = 2;
 /// Frame header length in bytes.
 pub const HEADER_LEN: usize = 8;
 /// Hard cap on a frame payload (64 MiB) — the length prefix is validated
@@ -45,12 +48,14 @@ mod opcode {
     pub const INFER: u8 = 0x04;
     pub const INFER_BATCH: u8 = 0x05;
     pub const HEALTH: u8 = 0x06;
+    pub const INFER_SEGMENT: u8 = 0x07;
     pub const PONG: u8 = 0x81;
     pub const MODEL_LIST: u8 = 0x82;
     pub const STATS_REPLY: u8 = 0x83;
     pub const INFER_REPLY: u8 = 0x84;
     pub const INFER_BATCH_REPLY: u8 = 0x85;
     pub const HEALTH_REPLY: u8 = 0x86;
+    pub const INFER_SEGMENT_REPLY: u8 = 0x87;
     pub const ERROR: u8 = 0xFF;
 }
 
@@ -132,6 +137,25 @@ pub enum Request {
         /// Row-major `[batch, n]` input.
         input: Vec<f32>,
     },
+    /// One scatter leg of a sharded request: the **shared** input (every
+    /// row-slice needs all input block spectra) plus the logical output-row
+    /// range this shard is responsible for. The server validates the range
+    /// against the registered segment before computing, so a misrouted leg
+    /// fails typed instead of returning another slice's rows.
+    InferSegment {
+        /// Registry name (the segment registered under it).
+        model: String,
+        /// Deadline budget in microseconds (`0` = none), shared by rows.
+        deadline_micros: u64,
+        /// First logical output row of the requested segment.
+        row_start: u32,
+        /// One past the last logical output row of the requested segment.
+        row_end: u32,
+        /// Row count of the shared input slab.
+        batch: u32,
+        /// Row-major `[batch, n]` shared input.
+        input: Vec<f32>,
+    },
 }
 
 /// Server → client frames.
@@ -162,6 +186,19 @@ pub enum Reply {
     },
     /// Answer to [`Request::Health`].
     Health(HealthInfo),
+    /// Answer to [`Request::InferSegment`]. The row range is echoed back
+    /// so the gathering router can verify the segment's placement before
+    /// stitching — a reply can never be attributed to the wrong rows.
+    InferSegment {
+        /// First logical output row, echoed from the request.
+        row_start: u32,
+        /// One past the last logical output row, echoed from the request.
+        row_end: u32,
+        /// Row count, echoed from the request.
+        batch: u32,
+        /// Row-major `[batch, row_end − row_start]` output segment.
+        output: Vec<f32>,
+    },
     /// Typed failure for the corresponding request.
     Error {
         /// Machine-matchable code.
@@ -259,6 +296,23 @@ pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
             put_u32(buf, input.len() as u32);
             put_f32s(buf, input);
         }
+        Request::InferSegment {
+            model,
+            deadline_micros,
+            row_start,
+            row_end,
+            batch,
+            input,
+        } => {
+            start_frame(buf, opcode::INFER_SEGMENT);
+            put_str(buf, model);
+            put_u64(buf, *deadline_micros);
+            put_u32(buf, *row_start);
+            put_u32(buf, *row_end);
+            put_u32(buf, *batch);
+            put_u32(buf, input.len() as u32);
+            put_f32s(buf, input);
+        }
     }
     finish_frame(buf);
 }
@@ -319,6 +373,19 @@ pub fn encode_reply(reply: &Reply, buf: &mut Vec<u8>) {
                 put_u64(buf, t.expired);
                 put_u64(buf, t.panics);
             }
+        }
+        Reply::InferSegment {
+            row_start,
+            row_end,
+            batch,
+            output,
+        } => {
+            start_frame(buf, opcode::INFER_SEGMENT_REPLY);
+            put_u32(buf, *row_start);
+            put_u32(buf, *row_end);
+            put_u32(buf, *batch);
+            put_u32(buf, output.len() as u32);
+            put_f32s(buf, output);
         }
         Reply::Error { code, message } => {
             start_frame(buf, opcode::ERROR);
@@ -474,6 +541,22 @@ pub fn decode_request(frame: &[u8]) -> Result<Request, WireError> {
                 input,
             }
         }
+        opcode::INFER_SEGMENT => {
+            let model = c.str16()?;
+            let deadline_micros = c.u64()?;
+            let row_start = c.u32()?;
+            let row_end = c.u32()?;
+            let batch = c.u32()?;
+            let input = c.f32s()?;
+            Request::InferSegment {
+                model,
+                deadline_micros,
+                row_start,
+                row_end,
+                batch,
+                input,
+            }
+        }
         other => return Err(WireError::UnknownOpcode(other)),
     };
     c.finish()?;
@@ -557,6 +640,18 @@ pub fn decode_reply(frame: &[u8]) -> Result<Reply, WireError> {
                 });
             }
             Reply::Health(HealthInfo { models, tenants })
+        }
+        opcode::INFER_SEGMENT_REPLY => {
+            let row_start = c.u32()?;
+            let row_end = c.u32()?;
+            let batch = c.u32()?;
+            let output = c.f32s()?;
+            Reply::InferSegment {
+                row_start,
+                row_end,
+                batch,
+                output,
+            }
         }
         opcode::ERROR => {
             let code = ErrorCode::from_wire(c.u16()?);

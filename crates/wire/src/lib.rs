@@ -72,5 +72,5 @@ mod server;
 pub use client::{ClientConfig, WireClient};
 pub use error::{ErrorCode, WireError};
 pub use frame::{HealthInfo, ModelInfo, Reply, Request, TenantHealth};
-pub use registry::{ModelRegistry, RegistryError, MAX_NAME_LEN};
+pub use registry::{ModelRegistry, RegistryError, SegmentInfo, MAX_NAME_LEN};
 pub use server::{WireConfig, WireServer};

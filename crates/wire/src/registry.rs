@@ -12,6 +12,7 @@ use std::io;
 use std::sync::RwLock;
 
 use circnn_core::serialize::{self, SerializeError};
+use circnn_core::RowSlice;
 use circnn_nn::Sequential;
 use circnn_serve::{
     MultiServer, SequentialModel, ServeError, ServeModel, ServeStats, TenantConfig, TenantHandle,
@@ -68,6 +69,20 @@ impl From<SerializeError> for RegistryError {
     }
 }
 
+/// Placement of a registered row-slice tenant: which logical output rows
+/// of the parent operator it produces. An `InferSegment` request must
+/// name exactly this range — the check is what keeps a misrouted scatter
+/// leg from being stitched into the wrong rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// First logical output row this tenant produces.
+    pub row_start: usize,
+    /// One past the last logical output row this tenant produces.
+    pub row_end: usize,
+    /// Logical row count `m` of the parent operator.
+    pub full_rows: usize,
+}
+
 /// Named, hot-swappable models over one shared worker pool.
 ///
 /// # Examples
@@ -92,6 +107,9 @@ impl From<SerializeError> for RegistryError {
 pub struct ModelRegistry {
     pool: MultiServer,
     tenants: RwLock<HashMap<String, TenantHandle>>,
+    /// Row-range placement for tenants registered as segments
+    /// ([`ModelRegistry::add_segment`]); keyed by the same names.
+    segments: RwLock<HashMap<String, SegmentInfo>>,
 }
 
 impl core::fmt::Debug for ModelRegistry {
@@ -112,6 +130,7 @@ impl ModelRegistry {
         Ok(Self {
             pool: MultiServer::start(workers)?,
             tenants: RwLock::new(HashMap::new()),
+            segments: RwLock::new(HashMap::new()),
         })
     }
 
@@ -190,6 +209,62 @@ impl ModelRegistry {
         self.add_model(name, operator, cfg)
     }
 
+    /// Registers a row-slice of a block-circulant operator under `name`:
+    /// the slice serves like any operator tenant (`input_len = n`,
+    /// `output_len = row_end − row_start`), and its placement is recorded
+    /// so `InferSegment` requests can be validated against it.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRegistry::add_model`].
+    pub fn add_segment(
+        &self,
+        name: &str,
+        slice: RowSlice,
+        cfg: TenantConfig,
+    ) -> Result<(), RegistryError> {
+        let info = SegmentInfo {
+            row_start: slice.row_start,
+            row_end: slice.row_end(),
+            full_rows: slice.full_rows,
+        };
+        self.add_model(name, slice.operator, cfg)?;
+        self.segments
+            .write()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(name.to_string(), info);
+        Ok(())
+    }
+
+    /// Loads a serialized row-slice ([`circnn_core::serialize::save_slice`]
+    /// format, or a whole-operator stream as the trivial full-range slice)
+    /// and registers it under `name` — the shard-deployment path: ship a
+    /// shard its slice of the defining vectors, serve its output segment.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRegistry::add_segment`], plus [`RegistryError::Load`] for
+    /// a malformed stream.
+    pub fn load_segment(
+        &self,
+        name: &str,
+        reader: impl io::Read,
+        cfg: TenantConfig,
+    ) -> Result<(), RegistryError> {
+        let slice = serialize::load_slice(reader)?;
+        self.add_segment(name, slice, cfg)
+    }
+
+    /// The recorded placement of a segment tenant (`None` for tenants not
+    /// registered through [`ModelRegistry::add_segment`]).
+    pub fn segment(&self, name: &str) -> Option<SegmentInfo> {
+        self.segments
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(name)
+            .copied()
+    }
+
     /// Unregisters `name` (hot removal): its parked requests fail with
     /// [`ServeError::ShuttingDown`], in-flight batches complete. Returns
     /// `false` if no such model existed.
@@ -198,6 +273,10 @@ impl ModelRegistry {
         match map.remove(name) {
             Some(handle) => {
                 drop(map);
+                self.segments
+                    .write()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(name);
                 self.pool.remove_tenant(&handle)
             }
             None => false,

@@ -80,6 +80,15 @@ enum PendingReply {
         handles: Vec<ResponseHandle>,
         batch: u32,
     },
+    /// One scatter leg of a sharded request: like `Batch`, but the reply
+    /// echoes the validated row range so the gathering router can verify
+    /// placement before stitching.
+    Segment {
+        handles: Vec<ResponseHandle>,
+        batch: u32,
+        row_start: u32,
+        row_end: u32,
+    },
 }
 
 /// Bounded FIFO between a connection's reader and writer.
@@ -313,6 +322,16 @@ impl WireServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        // Reap finished connections first (accept only reaps when a new
+        // connection arrives, so a server shutting down after its last
+        // client hung up may still track dead entries): the force-close
+        // below then touches only sockets that are really live, and a
+        // caller observing `connection_count()` around teardown sees it
+        // reach zero deterministically.
+        {
+            let mut table = self.conns.lock().unwrap_or_else(|e| e.into_inner());
+            reap_finished(&mut table);
+        }
         let conns = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
         for (stream, _) in &conns {
             // Timeouts apply to the underlying socket, shared with the
@@ -491,6 +510,72 @@ fn dispatch(req: Request, registry: &ModelRegistry, queue: &ReplyQueue) -> bool 
                 None => queue.push(PendingReply::Batch { handles, batch }),
             }
         }
+        Request::InferSegment {
+            model,
+            deadline_micros,
+            row_start,
+            row_end,
+            batch,
+            input,
+        } => {
+            let Some(tenant) = registry.get(&model) else {
+                return queue.push(PendingReply::Ready(unknown_model(&model)));
+            };
+            // The tenant must be registered *as a segment* and the
+            // requested range must match its recorded placement exactly —
+            // a misrouted leg (stale topology, wrong shard) fails typed
+            // here instead of returning rows the router would stitch into
+            // the wrong place.
+            let Some(seg) = registry.segment(&model) else {
+                return queue.push(PendingReply::Ready(Reply::Error {
+                    code: ErrorCode::BadInput,
+                    message: format!("model {model:?} is not registered as a row segment"),
+                }));
+            };
+            if (row_start as usize, row_end as usize) != (seg.row_start, seg.row_end) {
+                return queue.push(PendingReply::Ready(Reply::Error {
+                    code: ErrorCode::BadInput,
+                    message: format!(
+                        "segment {model:?} covers rows {}..{}, request asked for \
+                         {row_start}..{row_end}",
+                        seg.row_start, seg.row_end
+                    ),
+                }));
+            }
+            let n = tenant.input_len();
+            let rows = batch as usize;
+            if rows == 0 || input.len() != rows * n {
+                return queue.push(PendingReply::Ready(Reply::Error {
+                    code: ErrorCode::BadInput,
+                    message: format!(
+                        "segment batch of {rows} rows needs {} values, got {}",
+                        rows * n,
+                        input.len()
+                    ),
+                }));
+            }
+            let budget = budget_of(deadline_micros);
+            let mut handles = Vec::with_capacity(rows);
+            let mut failed = None;
+            for row in input.chunks_exact(n) {
+                match tenant.submit_with_deadline(row.to_vec(), budget) {
+                    Ok(h) => handles.push(h),
+                    Err(e) => {
+                        failed = Some(e);
+                        break;
+                    }
+                }
+            }
+            match failed {
+                Some(e) => queue.push(PendingReply::Ready(error_reply(&e))),
+                None => queue.push(PendingReply::Segment {
+                    handles,
+                    batch,
+                    row_start,
+                    row_end,
+                }),
+            }
+        }
     }
 }
 
@@ -521,6 +606,36 @@ fn writer_loop(mut stream: TcpStream, queue: &ReplyQueue) {
                 match failed {
                     Some(e) => error_reply(&e),
                     None => Reply::InferBatch { batch, output },
+                }
+            }
+            PendingReply::Segment {
+                handles,
+                batch,
+                row_start,
+                row_end,
+            } => {
+                let mut output = Vec::new();
+                let mut failed = None;
+                for h in handles {
+                    match h.wait() {
+                        Ok(row) => output.extend_from_slice(&row),
+                        Err(e) => {
+                            failed = Some(e);
+                            break;
+                        }
+                    }
+                }
+                match failed {
+                    // All-or-nothing: a segment reply never carries a
+                    // partial row set — the router either stitches a
+                    // complete segment or sees a typed error.
+                    Some(e) => error_reply(&e),
+                    None => Reply::InferSegment {
+                        row_start,
+                        row_end,
+                        batch,
+                        output,
+                    },
                 }
             }
         };

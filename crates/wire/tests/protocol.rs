@@ -29,29 +29,39 @@ fn values_strategy() -> impl Strategy<Value = Vec<f32>> {
 
 fn request_strategy() -> impl Strategy<Value = Request> {
     (
-        0usize..6,
+        0usize..7,
         name_strategy(),
         any::<u64>(),
         values_strategy(),
-        1u32..9,
+        (1u32..9, any::<u32>(), any::<u32>()),
     )
-        .prop_map(|(tag, model, deadline, input, batch)| match tag {
-            0 => Request::Ping,
-            1 => Request::ListModels,
-            2 => Request::Stats { model },
-            3 => Request::Health,
-            4 => Request::Infer {
-                model,
-                deadline_micros: deadline,
-                input,
+        .prop_map(
+            |(tag, model, deadline, input, (batch, row_start, row_end))| match tag {
+                0 => Request::Ping,
+                1 => Request::ListModels,
+                2 => Request::Stats { model },
+                3 => Request::Health,
+                4 => Request::Infer {
+                    model,
+                    deadline_micros: deadline,
+                    input,
+                },
+                5 => Request::InferBatch {
+                    model,
+                    deadline_micros: deadline,
+                    batch,
+                    input,
+                },
+                _ => Request::InferSegment {
+                    model,
+                    deadline_micros: deadline,
+                    row_start,
+                    row_end,
+                    batch,
+                    input,
+                },
             },
-            _ => Request::InferBatch {
-                model,
-                deadline_micros: deadline,
-                batch,
-                input,
-            },
-        })
+        )
 }
 
 fn stats_strategy() -> impl Strategy<Value = ServeStats> {
@@ -116,15 +126,15 @@ fn health_strategy() -> impl Strategy<Value = HealthInfo> {
 
 fn reply_strategy() -> impl Strategy<Value = Reply> {
     (
-        0usize..7,
+        0usize..8,
         name_strategy(),
         values_strategy(),
         stats_strategy(),
         health_strategy(),
-        (1u32..9, 0u16..12),
+        (1u32..9, 0u16..12, any::<u32>(), any::<u32>()),
     )
         .prop_map(
-            |(tag, model, output, stats, health, (batch, code))| match tag {
+            |(tag, model, output, stats, health, (batch, code, row_start, row_end))| match tag {
                 0 => Reply::Pong,
                 1 => Reply::ModelList(
                     (0..(batch % 4))
@@ -140,6 +150,12 @@ fn reply_strategy() -> impl Strategy<Value = Reply> {
                 3 => Reply::Health(health),
                 4 => Reply::Infer { output },
                 5 => Reply::InferBatch { batch, output },
+                6 => Reply::InferSegment {
+                    row_start,
+                    row_end,
+                    batch,
+                    output,
+                },
                 _ => Reply::Error {
                     code: ErrorCode::from_wire(code),
                     message: model,
@@ -205,6 +221,49 @@ proptest! {
         let _ = decode_request(&bytes);
         let _ = decode_reply(&bytes);
     }
+
+    /// `Stats` and `Health` are two wire views of the same tenant
+    /// counters. The degradation counters both carry — `expired` in
+    /// particular, plus `shed`/`rejected`/`panics` — must survive both
+    /// frames' round trips with identical values, or an operator reading
+    /// `Stats` and a load balancer polling `Health` would disagree about
+    /// the same server.
+    #[test]
+    fn stats_and_health_carry_the_same_degradation_counters(
+        name in name_strategy(),
+        stats in stats_strategy(),
+        pending in any::<u32>(),
+    ) {
+        let mut sbuf = Vec::new();
+        encode_reply(&Reply::Stats { model: name.clone(), stats: stats.clone() }, &mut sbuf);
+        let mut hbuf = Vec::new();
+        encode_reply(
+            &Reply::Health(HealthInfo {
+                models: 1,
+                tenants: vec![TenantHealth {
+                    name,
+                    pending,
+                    shed: stats.shed,
+                    rejected: stats.rejected,
+                    expired: stats.expired,
+                    panics: stats.panics,
+                }],
+            }),
+            &mut hbuf,
+        );
+        let s = match decode_reply(&sbuf).expect("stats frame decodes") {
+            Reply::Stats { stats, .. } => stats,
+            other => return Err(TestCaseError::Fail(format!("expected Stats, got {other:?}"))),
+        };
+        let h = match decode_reply(&hbuf).expect("health frame decodes") {
+            Reply::Health(mut info) => info.tenants.pop().expect("one tenant"),
+            other => return Err(TestCaseError::Fail(format!("expected Health, got {other:?}"))),
+        };
+        prop_assert_eq!(
+            (s.expired, s.shed, s.rejected, s.panics),
+            (h.expired, h.shed, h.rejected, h.panics)
+        );
+    }
 }
 
 fn valid_frame(req: &Request) -> Vec<u8> {
@@ -236,7 +295,7 @@ fn oversized_length_prefix_is_rejected_before_allocation() {
 
 #[test]
 fn unknown_opcodes_are_rejected() {
-    for op in [0x00u8, 0x07, 0x42, 0x80, 0x90, 0xFE] {
+    for op in [0x00u8, 0x08, 0x42, 0x80, 0x90, 0xFE] {
         let mut buf = valid_frame(&Request::Ping);
         buf[2] = op;
         assert!(

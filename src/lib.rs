@@ -19,6 +19,9 @@
 //!   multi-tenant deadline-aware scheduler.
 //! * [`wire`] — TCP wire protocol, model registry and network serving
 //!   front-end over [`serve`].
+//! * [`shard`] — sharded serving tier: row-slices an operator across
+//!   shard processes, scatter-gathers bit-identical outputs, forwards
+//!   small tenants by consistent hashing with replica failover.
 //!
 //! ## Quickstart
 //!
@@ -46,5 +49,6 @@ pub use circnn_models as models;
 pub use circnn_nn as nn;
 pub use circnn_quant as quant;
 pub use circnn_serve as serve;
+pub use circnn_shard as shard;
 pub use circnn_tensor as tensor;
 pub use circnn_wire as wire;
