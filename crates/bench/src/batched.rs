@@ -20,7 +20,10 @@
 
 use std::time::Instant;
 
-use circnn_core::{default_batch_threads, BlockCirculantMatrix, Workspace};
+use circnn_core::{
+    default_batch_threads, BlockCirculantMatrix, QuantConfig, QuantWorkspace, QuantizedOperator,
+    Workspace,
+};
 use circnn_tensor::init::seeded_rng;
 
 /// One measured `(shape, batch)` point of the trajectory.
@@ -42,6 +45,9 @@ pub struct BatchedPoint {
     pub batched_ns: f64,
     /// Nanoseconds per sample for the multi-thread batched kernel.
     pub parallel_ns: f64,
+    /// Nanoseconds per sample for the one-thread 16-bit fixed-point
+    /// kernel (i16 resident spectra, integer MAC, dequant in epilogue).
+    pub quantized_ns: f64,
 }
 
 impl BatchedPoint {
@@ -53,6 +59,12 @@ impl BatchedPoint {
     /// Throughput gain of the parallel batched kernel over single-sample.
     pub fn parallel_speedup(&self) -> f64 {
         self.single_ns / self.parallel_ns
+    }
+
+    /// Throughput gain of the one-thread quantized kernel over the
+    /// one-thread f32 batched kernel (like for like: same threading).
+    pub fn quantized_speedup(&self) -> f64 {
+        self.batched_ns / self.quantized_ns
     }
 }
 
@@ -101,6 +113,14 @@ pub fn measure(m: usize, n: usize, k: usize, batch: usize, samples: usize) -> Ba
         std::hint::black_box(&out);
     }) / batch as f64;
 
+    let qop = QuantizedOperator::from_operator(&w, QuantConfig::default()).expect("narrow formats");
+    let mut qws = QuantWorkspace::new();
+    let quantized_ns = median_ns(samples, || {
+        qop.infer_batch_into(x, batch, &mut qws, &mut out, 1)
+            .expect("sized input");
+        std::hint::black_box(&out);
+    }) / batch as f64;
+
     BatchedPoint {
         m,
         n,
@@ -110,6 +130,7 @@ pub fn measure(m: usize, n: usize, k: usize, batch: usize, samples: usize) -> Ba
         single_ns,
         batched_ns,
         parallel_ns,
+        quantized_ns,
     }
 }
 
@@ -150,7 +171,8 @@ pub fn to_json(points: &[BatchedPoint]) -> String {
         out.push_str(&format!(
             "    {{\"m\": {}, \"n\": {}, \"k\": {}, \"batch\": {}, \"threads\": {}, \
              \"single_ns\": {:.1}, \"batched_ns\": {:.1}, \"parallel_ns\": {:.1}, \
-             \"batched_speedup\": {:.2}, \"parallel_speedup\": {:.2}}}{}\n",
+             \"quantized_ns\": {:.1}, \"batched_speedup\": {:.2}, \
+             \"parallel_speedup\": {:.2}, \"quantized_speedup\": {:.2}}}{}\n",
             p.m,
             p.n,
             p.k,
@@ -159,8 +181,10 @@ pub fn to_json(points: &[BatchedPoint]) -> String {
             p.single_ns,
             p.batched_ns,
             p.parallel_ns,
+            p.quantized_ns,
             p.batched_speedup(),
             p.parallel_speedup(),
+            p.quantized_speedup(),
             if i + 1 == points.len() { "" } else { "," }
         ));
     }
@@ -171,12 +195,13 @@ pub fn to_json(points: &[BatchedPoint]) -> String {
 /// Prints a human-readable table.
 pub fn print(points: &[BatchedPoint]) {
     println!(
-        "{:>5} {:>5} {:>4} {:>5} | {:>12} {:>12} {:>12} | {:>8} {:>8}",
-        "m", "n", "k", "B", "single", "batched", "parallel", "B-spdup", "P-spdup"
+        "{:>5} {:>5} {:>4} {:>5} | {:>12} {:>12} {:>12} {:>12} | {:>8} {:>8} {:>8}",
+        "m", "n", "k", "B", "single", "batched", "parallel", "i16", "B-spdup", "P-spdup", "Q-spdup"
     );
     for p in points {
         println!(
-            "{:>5} {:>5} {:>4} {:>5} | {:>9.0} ns {:>9.0} ns {:>9.0} ns | {:>7.2}x {:>7.2}x",
+            "{:>5} {:>5} {:>4} {:>5} | {:>9.0} ns {:>9.0} ns {:>9.0} ns {:>9.0} ns | \
+             {:>7.2}x {:>7.2}x {:>7.2}x",
             p.m,
             p.n,
             p.k,
@@ -184,8 +209,10 @@ pub fn print(points: &[BatchedPoint]) {
             p.single_ns,
             p.batched_ns,
             p.parallel_ns,
+            p.quantized_ns,
             p.batched_speedup(),
-            p.parallel_speedup()
+            p.parallel_speedup(),
+            p.quantized_speedup()
         );
     }
 }
@@ -198,8 +225,11 @@ mod tests {
     fn measures_and_serializes_a_small_point() {
         let p = measure(64, 64, 8, 4, 3);
         assert!(p.single_ns > 0.0 && p.batched_ns > 0.0 && p.parallel_ns > 0.0);
+        assert!(p.quantized_ns > 0.0);
         let json = to_json(std::slice::from_ref(&p));
         assert!(json.contains("\"batch\": 4"));
         assert!(json.contains("batched_speedup"));
+        assert!(json.contains("quantized_ns"));
+        assert!(json.contains("quantized_speedup"));
     }
 }

@@ -44,6 +44,9 @@ pub struct ConvPoint {
     pub batched_ns: f64,
     /// Nanoseconds per sample for the multi-thread plane pipeline.
     pub parallel_ns: f64,
+    /// Nanoseconds per sample for the one-thread 16-bit fixed-point
+    /// pipeline (i16 resident spectra, integer MAC, dequant in epilogue).
+    pub quantized_ns: f64,
 }
 
 impl ConvPoint {
@@ -55,6 +58,12 @@ impl ConvPoint {
     /// Throughput gain of the parallel plane pipeline over per-image.
     pub fn parallel_speedup(&self) -> f64 {
         self.per_image_ns / self.parallel_ns
+    }
+
+    /// Throughput gain of the one-thread quantized pipeline over the
+    /// one-thread f32 pipeline (like for like: same threading).
+    pub fn quantized_speedup(&self) -> f64 {
+        self.batched_ns / self.quantized_ns
     }
 }
 
@@ -217,6 +226,17 @@ pub fn measure(
         }
     }
 
+    let qconv = conv
+        .quantize(circnn_core::QuantConfig::default())
+        .expect("narrow formats");
+    let mut qws = circnn_core::QuantWorkspace::new();
+    let quantized_ns = median_ns(samples, || {
+        qconv
+            .infer_batch_into(&x, &mut qws, &mut out, 1)
+            .expect("sized slab");
+        std::hint::black_box(&out);
+    }) / batch as f64;
+
     ConvPoint {
         c,
         p,
@@ -228,6 +248,7 @@ pub fn measure(
         per_image_ns,
         batched_ns,
         parallel_ns,
+        quantized_ns,
     }
 }
 
@@ -309,7 +330,8 @@ pub fn to_json(conv: &[ConvPoint], fft: &[PlaneFftPoint]) -> String {
         out.push_str(&format!(
             "    {{\"c\": {}, \"p\": {}, \"hw\": {}, \"kernel\": {}, \"k\": {}, \
              \"batch\": {}, \"threads\": {}, \"per_image_ns\": {:.1}, \"batched_ns\": {:.1}, \
-             \"parallel_ns\": {:.1}, \"batched_speedup\": {:.2}, \"parallel_speedup\": {:.2}}}{}\n",
+             \"parallel_ns\": {:.1}, \"quantized_ns\": {:.1}, \"batched_speedup\": {:.2}, \
+             \"parallel_speedup\": {:.2}, \"quantized_speedup\": {:.2}}}{}\n",
             p.c,
             p.p,
             p.hw,
@@ -320,8 +342,10 @@ pub fn to_json(conv: &[ConvPoint], fft: &[PlaneFftPoint]) -> String {
             p.per_image_ns,
             p.batched_ns,
             p.parallel_ns,
+            p.quantized_ns,
             p.batched_speedup(),
             p.parallel_speedup(),
+            p.quantized_speedup(),
             if i + 1 == conv.len() { "" } else { "," }
         ));
     }
@@ -345,12 +369,25 @@ pub fn to_json(conv: &[ConvPoint], fft: &[PlaneFftPoint]) -> String {
 /// Prints a human-readable table.
 pub fn print(conv: &[ConvPoint], fft: &[PlaneFftPoint]) {
     println!(
-        "{:>4} {:>4} {:>4} {:>3} {:>4} {:>4} | {:>12} {:>12} {:>12} | {:>8} {:>8}",
-        "C", "P", "HW", "r", "k", "B", "per-image", "batched", "parallel", "B-spdup", "P-spdup"
+        "{:>4} {:>4} {:>4} {:>3} {:>4} {:>4} | {:>12} {:>12} {:>12} {:>12} | {:>8} {:>8} {:>8}",
+        "C",
+        "P",
+        "HW",
+        "r",
+        "k",
+        "B",
+        "per-image",
+        "batched",
+        "parallel",
+        "i16",
+        "B-spdup",
+        "P-spdup",
+        "Q-spdup"
     );
     for p in conv {
         println!(
-            "{:>4} {:>4} {:>4} {:>3} {:>4} {:>4} | {:>9.0} ns {:>9.0} ns {:>9.0} ns | {:>7.2}x {:>7.2}x",
+            "{:>4} {:>4} {:>4} {:>3} {:>4} {:>4} | {:>9.0} ns {:>9.0} ns {:>9.0} ns {:>9.0} ns | \
+             {:>7.2}x {:>7.2}x {:>7.2}x",
             p.c,
             p.p,
             p.hw,
@@ -360,8 +397,10 @@ pub fn print(conv: &[ConvPoint], fft: &[PlaneFftPoint]) {
             p.per_image_ns,
             p.batched_ns,
             p.parallel_ns,
+            p.quantized_ns,
             p.batched_speedup(),
-            p.parallel_speedup()
+            p.parallel_speedup(),
+            p.quantized_speedup()
         );
     }
     println!("\nplane FFT (forward, real vs complex):");
@@ -385,11 +424,13 @@ mod tests {
     fn measures_and_serializes_a_small_point() {
         let p = measure(4, 8, 5, 3, 4, 2, 3);
         assert!(p.per_image_ns > 0.0 && p.batched_ns > 0.0 && p.parallel_ns > 0.0);
+        assert!(p.quantized_ns > 0.0);
         let f = measure_plane_fft(8, 64, 3);
         assert!(f.complex_ns > 0.0 && f.real_ns > 0.0);
         let json = to_json(std::slice::from_ref(&p), std::slice::from_ref(&f));
         assert!(json.contains("\"batch\": 2"));
         assert!(json.contains("batched_speedup"));
+        assert!(json.contains("quantized_speedup"));
         assert!(json.contains("plane_fft"));
     }
 }

@@ -53,6 +53,7 @@ use rand::Rng;
 use crate::engine::{self, Epilogue};
 use crate::error::CircError;
 use crate::matrix::{default_batch_threads, BlockCirculantMatrix};
+use crate::quantized::{QuantConfig, QuantizedConv2d};
 
 /// Copies one spectra row from the **padded** input-pixel lanes into the
 /// compact patch lanes `(b, oy, ox)` of kernel offset `(kh, kw)`. Taps are
@@ -121,7 +122,7 @@ fn scatter_add_row_padded(
 /// `j·k + t` (rows past `channels` are zero), every padded
 /// `(sample, pixel)` pair is one lane and padding lanes are zero (their
 /// spectra are zero, which is exactly the zero-fill a boundary tap needs).
-fn pack_padded_input_block(
+pub(crate) fn pack_padded_input_block(
     src: &[f32],
     g: &ConvGeometry,
     batch: usize,
@@ -425,7 +426,7 @@ impl ConvWorkspace {
                 0,
                 &mut [],
                 &mut [],
-                |i0, icount, re_c, im_c, _, _| {
+                |i0, icount, re_c, im_c, _: &mut [f32], _: &mut [f32]| {
                     engine::run_mac(
                         engines, shifts, p, q, k, bins, i0, icount, xs_re, xs_im, l_pad, l_acc,
                         runs, s, re_c, im_c,
@@ -630,7 +631,7 @@ impl ConvWorkspace {
                     0,
                     &mut [],
                     &mut [],
-                    |j0, jcount, re_c, im_c, _, _| {
+                    |j0, jcount, re_c, im_c, _: &mut [f32], _: &mut [f32]| {
                         eng.mac_planes(false, false, l_out, j0, jcount, gs_re, gs_im, re_c, im_c);
                     },
                 );
@@ -644,7 +645,7 @@ impl ConvWorkspace {
                     0,
                     &mut [],
                     &mut [],
-                    |j0, jcount, ga_re, ga_im, _, _| {
+                    |j0, jcount, ga_re, ga_im, _: &mut [f32], _: &mut [f32]| {
                         for jl in 0..jcount {
                             let j = j0 + jl;
                             for bin in 0..bins {
@@ -853,6 +854,30 @@ impl CirculantConv2d {
             }
             self.dirty = false;
         }
+    }
+
+    /// Quantizes the layer for 16-bit fixed-point serving: all `r²` kernel
+    /// offsets' weight spectra as i16 codes sharing per-block-row scales
+    /// (every offset accumulates into the same output row), the bias fused
+    /// into the dequantizing IFFT epilogue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::QuantOverflow`] if `cfg` cannot guarantee
+    /// overflow-free i32 accumulation over this layer's `q·r²` fused
+    /// terms.
+    pub fn quantize(&mut self, cfg: QuantConfig) -> Result<QuantizedConv2d, CircError> {
+        self.sync();
+        QuantizedConv2d::from_engines(
+            &self.engines,
+            &self.bias,
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.stride,
+            self.padding,
+            cfg,
+        )
     }
 
     fn geometry_for(&self, dims: &[usize]) -> ConvGeometry {

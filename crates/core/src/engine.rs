@@ -95,6 +95,14 @@ pub(crate) fn grow(v: &mut Vec<f32>, len: usize) {
     }
 }
 
+/// [`grow`] for the quantized planes (`i16` codes, `i32` accumulators).
+#[inline]
+pub(crate) fn grow_with<T: Clone + Default>(v: &mut Vec<T>, len: usize) {
+    if v.len() < len {
+        v.resize(len, T::default());
+    }
+}
+
 /// Dispatches per-block plane work across up to `threads` scoped workers:
 /// `f(i0, icount, a_chunk, b_chunk, s1_chunk, s2_chunk)`, where `a`/`b`
 /// hold `chunk` elements per block (pass an empty slice for an unused
@@ -102,19 +110,23 @@ pub(crate) fn grow(v: &mut Vec<f32>, len: usize) {
 /// scratch each (their backing buffers hold `threads` times that). Chunk
 /// boundaries depend only on `(threads, blocks)` and per-element work is
 /// chunk-independent, so serial and threaded runs stay bit-identical.
+///
+/// Generic over the plane element (`f32` spectra, `i16` codes or `i32`
+/// accumulators on the quantized path) and the scratch element separately,
+/// since the quantized stage A writes `i16` planes with `f32` FFT scratch.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn par_planes<F>(
+pub(crate) fn par_planes<A: Send, S: Send, F>(
     threads: usize,
     blocks: usize,
     chunk: usize,
-    a: &mut [f32],
-    b: &mut [f32],
+    a: &mut [A],
+    b: &mut [A],
     scratch: usize,
-    s1: &mut [f32],
-    s2: &mut [f32],
+    s1: &mut [S],
+    s2: &mut [S],
     f: F,
 ) where
-    F: Fn(usize, usize, &mut [f32], &mut [f32], &mut [f32], &mut [f32]) + Sync,
+    F: Fn(usize, usize, &mut [A], &mut [A], &mut [S], &mut [S]) + Sync,
 {
     let t = threads.min(blocks).max(1);
     if t <= 1 {
@@ -326,28 +338,67 @@ pub(crate) fn ifft_epilogue_blocks(
         pre[..bins * lanes].copy_from_slice(&acc_re[off..off + bins * lanes]);
         pim[..bins * lanes].copy_from_slice(&acc_im[off..off + bins * lanes]);
         let sblock = &mut stage[il * k * lanes..(il + 1) * k * lanes];
-        plan.inverse_planes_real_epilogue(
-            &mut pre[..k * lanes],
-            &mut pim[..k * lanes],
-            lanes,
-            &mut |t, row| {
-                if let Some(bias) = epi.bias {
-                    if let Some(&b) = bias.get(i * k + t) {
-                        for v in row.iter_mut() {
-                            *v += b;
-                        }
-                    }
-                }
-                if epi.act == Activation::Tanh {
-                    for v in row.iter_mut() {
-                        *v = v.tanh();
-                    }
-                }
-                sblock[t * lanes..(t + 1) * lanes].copy_from_slice(row);
-            },
-        )
-        .expect("plane buffers are sized before dispatch");
+        inverse_epilogue_block(plan, k, lanes, i, epi, sblock, pre, pim);
     }
+}
+
+/// One block's inverse + fused epilogue, `pre`/`pim` pre-filled with the
+/// block's spectrum rows (the fill is the caller's — it is where the
+/// quantized path fuses its dequant multiply). The `lanes == 1` mirror of
+/// the pack-side fast path: a single-lane block is one contiguous length-`k`
+/// row, so the plain in-place inverse (bitwise-identical to the epilogue
+/// unpack — the fft crate tests this) plus one sweep over the row replaces
+/// `k` per-row sink closure calls.
+#[allow(clippy::too_many_arguments)]
+fn inverse_epilogue_block(
+    plan: &BatchFftPlan<f32>,
+    k: usize,
+    lanes: usize,
+    i: usize,
+    epi: &Epilogue<'_>,
+    sblock: &mut [f32],
+    pre: &mut [f32],
+    pim: &mut [f32],
+) {
+    if lanes == 1 {
+        plan.inverse_planes_real(&mut pre[..k], &mut pim[..k], 1)
+            .expect("plane buffers are sized before dispatch");
+        if let Some(bias) = epi.bias {
+            for (t, v) in pre[..k].iter_mut().enumerate() {
+                if let Some(&b) = bias.get(i * k + t) {
+                    *v += b;
+                }
+            }
+        }
+        if epi.act == Activation::Tanh {
+            for v in pre[..k].iter_mut() {
+                *v = v.tanh();
+            }
+        }
+        sblock[..k].copy_from_slice(&pre[..k]);
+        return;
+    }
+    plan.inverse_planes_real_epilogue(
+        &mut pre[..k * lanes],
+        &mut pim[..k * lanes],
+        lanes,
+        &mut |t, row| {
+            if let Some(bias) = epi.bias {
+                if let Some(&b) = bias.get(i * k + t) {
+                    for v in row.iter_mut() {
+                        *v += b;
+                    }
+                }
+            }
+            if epi.act == Activation::Tanh {
+                for v in row.iter_mut() {
+                    *v = v.tanh();
+                }
+            }
+            sblock[t * lanes..(t + 1) * lanes].copy_from_slice(row);
+        },
+    )
+    .expect("plane buffers are sized before dispatch");
 }
 
 /// The fused multi-offset register-tiled frequency-domain MAC, generic
@@ -390,6 +441,7 @@ pub(crate) fn run_mac(
 ) {
     const LANES: usize = 16;
     const TI: usize = 4;
+    let isa = crate::simd::isa();
     let mut sxr = [0.0f32; LANES];
     let mut sxi = [0.0f32; LANES];
     for bin in 0..bins {
@@ -426,17 +478,19 @@ pub(crate) fn run_mac(
                                 let i = i0 + it + u;
                                 let widx = (bin * p + i) * q + j;
                                 let (wr, wi) = (wre[widx], wim[widx]);
-                                let (ar, ai) = (&mut tr[u], &mut ti_[u]);
                                 if real_bin {
-                                    for t in 0..l {
-                                        ar[t] += wr * xr[t];
-                                    }
+                                    crate::simd::rmac(isa, wr, xr, &mut tr[u][..l]);
                                 } else {
                                     // conj(w)·x, the Algorithm-1 product.
-                                    for t in 0..l {
-                                        ar[t] += wr * xr[t] + wi * xi[t];
-                                        ai[t] += wr * xi[t] - wi * xr[t];
-                                    }
+                                    crate::simd::cmac(
+                                        isa,
+                                        wr,
+                                        wi,
+                                        xr,
+                                        xi,
+                                        &mut tr[u][..l],
+                                        &mut ti_[u][..l],
+                                    );
                                 }
                             }
                         }
@@ -451,5 +505,259 @@ pub(crate) fn run_mac(
             }
             it += tl;
         }
+    }
+}
+
+/// Rounds `v / step` to the nearest symmetric fixed-point code in
+/// `[-max_code, max_code]` (saturating — out-of-range spectra clamp rather
+/// than wrap). Ties round to even via the exponent-shift trick (adding
+/// `1.5·2²³` forces the sum's ulp to 1, so the addition itself performs
+/// the rounding): exact for `|v·inv_step| < 2²²`, and larger magnitudes
+/// clamp to the same `±max_code` on every path — which makes this bitwise
+/// identical to the `cvtps` conversion the vector [`crate::simd::qpack`]
+/// lanes use, and any round-to-nearest tie rule stays within the
+/// half-step error bound the operator advertises.
+#[inline(always)]
+pub(crate) fn quantize_code(v: f32, inv_step: f32, max_code: i32) -> i16 {
+    const SHIFT: f32 = 12_582_912.0; // 1.5·2²³
+    let r = (v * inv_step + SHIFT) - SHIFT;
+    (r as i32).clamp(-max_code, max_code) as i16
+}
+
+/// Stage A of the quantized apply: the same per-block real-input plane FFT
+/// as [`fft_blocks`], with the symmetric quantizer **fused into the
+/// spectrum copy-out** — the half-spectrum rows leave the per-worker FFT
+/// scratch directly as interleaved `(re, im)` i16 code pairs, block-major
+/// `[j][bins][lanes][2]`. There is no separate f32 spectra store and no
+/// bin-major re-layout pass: the quantize *is* the copy. Imaginary codes at
+/// DC and (k ≥ 2) Nyquist are forced to zero — those bins are real for
+/// real inputs, and zeroed codes let the MAC run one uniform pairwise
+/// kernel with no real-bin branch.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fft_quantize_blocks<F>(
+    plan: &BatchFftPlan<f32>,
+    k: usize,
+    bins: usize,
+    lanes: usize,
+    j0: usize,
+    jcount: usize,
+    inv_step: f32,
+    max_code: i32,
+    out: &mut [i16],
+    pr: &mut [f32],
+    pi: &mut [f32],
+    fill: &F,
+) where
+    F: Fn(usize, &mut [f32]),
+{
+    let isa = crate::simd::isa();
+    for jl in 0..jcount {
+        fill(j0 + jl, &mut pr[..k * lanes]);
+        plan.forward_planes_real(&mut pr[..k * lanes], &mut pi[..k * lanes], lanes)
+            .expect("plane buffers are sized before dispatch");
+        for bin in 0..bins {
+            let real_bin = bin == 0 || (k >= 2 && bin == bins - 1);
+            let src = bin * lanes;
+            let dst = (jl * bins + bin) * lanes * 2;
+            crate::simd::qpack(
+                isa,
+                &pr[src..src + lanes],
+                if real_bin {
+                    None
+                } else {
+                    Some(&pi[src..src + lanes])
+                },
+                inv_step,
+                max_code,
+                &mut out[dst..dst + 2 * lanes],
+            );
+        }
+    }
+}
+
+/// The i16 instantiation of [`run_mac`]: identical tiling, run/shift
+/// mapping and fixed accumulation order, over interleaved `(re, im)` code
+/// pairs with i32 accumulators. No real-bin branch — DC/Nyquist imaginary
+/// codes are zero by construction on both the weight and input sides, so
+/// the uniform pairwise kernel computes the right (zero) imaginary terms
+/// there. `wq` holds one `(re, im)` code-plane pair per kernel offset in
+/// the same `[bin][p][q]` layout as the f32 weight planes; `xq` is the
+/// block-major `[q][bins][l_pad][2]` code plane from
+/// [`fft_quantize_blocks`]; accumulators are block-major
+/// `[icount][bins][l_acc]` and written exactly once (overwrite — callers
+/// needing a second accumulation, like the recurrent cell, use a second
+/// accumulator set and combine in the dequant epilogue).
+#[allow(clippy::needless_range_loop, clippy::too_many_arguments)]
+pub(crate) fn run_mac_i16(
+    wq: &[(&[i16], &[i16])],
+    shifts: &[usize],
+    p: usize,
+    q: usize,
+    bins: usize,
+    i0: usize,
+    icount: usize,
+    xq: &[i16],
+    l_pad: usize,
+    l_acc: usize,
+    runs: &[(usize, usize, usize)],
+    step: usize,
+    acc_re: &mut [i32],
+    acc_im: &mut [i32],
+) {
+    const LANES: usize = 16;
+    const TI: usize = 4;
+    let isa = crate::simd::isa();
+    let ne = wq.len();
+    let mut sx = [0i16; 2 * LANES];
+    let mut aos = [0usize; TI];
+    let mut xbases = vec![0usize; ne];
+    // Pairwise madd constants for the current row tile, `[e][u][j]`:
+    // `wa = pack(wr, wi)` produces the real-part term, `wb = pack(−wi, wr)`
+    // the imaginary one. Built once per (bin, tile) and reused across every
+    // run and lane chunk.
+    let mut wa = vec![0i32; ne * TI * q];
+    let mut wb = vec![0i32; ne * TI * q];
+    for bin in 0..bins {
+        let mut it = 0;
+        while it < icount {
+            let tl = TI.min(icount - it);
+            for (e, &(wre, wim)) in wq.iter().enumerate() {
+                for u in 0..tl {
+                    let wrow = (bin * p + i0 + it + u) * q;
+                    for j in 0..q {
+                        let (r, im) = (wre[wrow + j], wim[wrow + j]);
+                        wa[(e * TI + u) * q + j] = crate::simd::madd_pair(r, im);
+                        wb[(e * TI + u) * q + j] = crate::simd::madd_pair(im.wrapping_neg(), r);
+                    }
+                }
+            }
+            if step == 1 {
+                // Unit-stride lanes: the register-resident row kernel sweeps
+                // every engine's q columns per row with the running sums in
+                // registers, writing straight into the accumulator planes.
+                for &(out0, in_base, len) in runs {
+                    for (u, slot) in aos[..tl].iter_mut().enumerate() {
+                        *slot = ((it + u) * bins + bin) * l_acc + out0;
+                    }
+                    for (e, &shift) in shifts.iter().enumerate() {
+                        xbases[e] = 2 * (bin * l_pad + in_base + shift);
+                    }
+                    crate::simd::qmac_rows(
+                        isa,
+                        &wa,
+                        &wb,
+                        tl,
+                        TI * q,
+                        q,
+                        xq,
+                        &xbases,
+                        2 * bins * l_pad,
+                        len,
+                        acc_re,
+                        acc_im,
+                        &aos[..tl],
+                    );
+                }
+            } else {
+                // Strided lanes (conv stride > 1): gather each column's
+                // lanes into a contiguous staging tile, then run the per-
+                // column kernel over register tiles. Integer accumulation
+                // is exact, so this ordering and the row kernel's agree
+                // bitwise.
+                for &(out0, in_base, len) in runs {
+                    let mut t0 = 0;
+                    while t0 < len {
+                        let l = LANES.min(len - t0);
+                        let mut tr = [[0i32; LANES]; TI];
+                        let mut ti_ = [[0i32; LANES]; TI];
+                        for (&(wre, wim), &shift) in wq.iter().zip(shifts) {
+                            for j in 0..q {
+                                // Block-major code planes: [q][bins][l_pad][2].
+                                let xo = (j * bins + bin) * l_pad + in_base + shift + t0 * step;
+                                for t in 0..l {
+                                    sx[2 * t] = xq[2 * (xo + t * step)];
+                                    sx[2 * t + 1] = xq[2 * (xo + t * step) + 1];
+                                }
+                                let x = &sx[..2 * l];
+                                for u in 0..tl {
+                                    let i = i0 + it + u;
+                                    let widx = (bin * p + i) * q + j;
+                                    crate::simd::qmac(
+                                        isa,
+                                        wre[widx],
+                                        wim[widx],
+                                        x,
+                                        &mut tr[u][..l],
+                                        &mut ti_[u][..l],
+                                    );
+                                }
+                            }
+                        }
+                        for u in 0..tl {
+                            let ao = ((it + u) * bins + bin) * l_acc + out0 + t0;
+                            acc_re[ao..ao + l].copy_from_slice(&tr[u][..l]);
+                            acc_im[ao..ao + l].copy_from_slice(&ti_[u][..l]);
+                        }
+                        t0 += l;
+                    }
+                }
+            }
+            it += tl;
+        }
+    }
+}
+
+/// One quantized accumulator set plus its per-block-row dequant scales
+/// (`dq[i] = w_step[i] · x_step` — multiplying a code product by it
+/// recovers the spectral-domain f32 value).
+pub(crate) struct QAcc<'a> {
+    /// Real i32 accumulator planes, block-major `[p][bins][lanes]`.
+    pub re: &'a [i32],
+    /// Imaginary i32 accumulator planes, same layout.
+    pub im: &'a [i32],
+    /// Per-block-row dequant scale (`p` entries).
+    pub dq: &'a [f32],
+}
+
+/// The dequantizing variant of [`ifft_epilogue_blocks`]: the spectrum fill
+/// that feeds each block's inverse converts the i32 code accumulators to
+/// f32 **during the copy** into the FFT scratch — one multiply per element
+/// fused into a pass the f32 path already pays, so dequant costs no extra
+/// sweep. An optional second accumulator set rides the same fill (the
+/// recurrent cell's input-side and hidden-side MACs, each with its own
+/// scale), then bias/activation fuse into the unpack exactly as in the f32
+/// path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn ifft_epilogue_blocks_dq(
+    plan: &BatchFftPlan<f32>,
+    acc: &QAcc<'_>,
+    acc2: Option<&QAcc<'_>>,
+    k: usize,
+    bins: usize,
+    lanes: usize,
+    i0: usize,
+    icount: usize,
+    epi: &Epilogue<'_>,
+    stage: &mut [f32],
+    pre: &mut [f32],
+    pim: &mut [f32],
+) {
+    for il in 0..icount {
+        let i = i0 + il;
+        let off = i * bins * lanes;
+        let dq = acc.dq[i];
+        for t in 0..bins * lanes {
+            pre[t] = acc.re[off + t] as f32 * dq;
+            pim[t] = acc.im[off + t] as f32 * dq;
+        }
+        if let Some(a2) = acc2 {
+            let dq2 = a2.dq[i];
+            for t in 0..bins * lanes {
+                pre[t] += a2.re[off + t] as f32 * dq2;
+                pim[t] += a2.im[off + t] as f32 * dq2;
+            }
+        }
+        let sblock = &mut stage[il * k * lanes..(il + 1) * k * lanes];
+        inverse_epilogue_block(plan, k, lanes, i, epi, sblock, pre, pim);
     }
 }

@@ -27,6 +27,18 @@ pub enum CircError {
     /// A workspace holds no (or another operator's) forward/backward
     /// spectra pair for the requested batched weight gradient.
     StaleBatchSpectra,
+    /// A quantized operator's formats cannot guarantee overflow-free i32
+    /// accumulation: the worst-case sum of `terms` pairwise i16 code
+    /// products exceeds `i32::MAX`. Shrink the weight/input bit widths, the
+    /// declared input range, or the operator's block-column count.
+    QuantOverflow {
+        /// Worst-case accumulated pairwise products per output element.
+        terms: usize,
+        /// Weight code bit width.
+        weight_bits: u32,
+        /// Input code bit width.
+        input_bits: u32,
+    },
     /// Underlying FFT failure (propagated).
     Fft(FftError),
 }
@@ -55,6 +67,18 @@ impl fmt::Display for CircError {
                     "workspace does not hold this operator's forward/backward batch \
                      spectra pair (run forward_batch_into and backward_batch_into with \
                      the same operator, workspace and batch first)"
+                )
+            }
+            CircError::QuantOverflow {
+                terms,
+                weight_bits,
+                input_bits,
+            } => {
+                write!(
+                    f,
+                    "quantized accumulation can overflow i32: {terms} worst-case \
+                     {weight_bits}-bit × {input_bits}-bit code products per output \
+                     element (reduce bit widths, input range or block columns)"
                 )
             }
             CircError::Fft(e) => write!(f, "fft error: {e}"),
@@ -94,6 +118,11 @@ mod tests {
                 got: 32,
             },
             CircError::StaleBatchSpectra,
+            CircError::QuantOverflow {
+                terms: 4096,
+                weight_bits: 16,
+                input_bits: 16,
+            },
             CircError::Fft(FftError::ZeroLength),
         ];
         for e in errs {

@@ -13,6 +13,7 @@ use rand::Rng;
 use crate::engine::{Activation, Epilogue};
 use crate::error::CircError;
 use crate::matrix::{default_batch_threads, BlockCirculantMatrix, BlockSpectra, Workspace};
+use crate::quantized::{QuantConfig, QuantizedLinear, QuantizedOperator};
 
 /// A block-circulant affine layer `y = W·x + b`.
 ///
@@ -150,6 +151,21 @@ impl CirculantLinear {
     pub fn to_dense(&mut self) -> Tensor {
         self.sync();
         self.engine.to_dense()
+    }
+
+    /// Quantizes the layer for 16-bit fixed-point serving: i16 resident
+    /// weight spectra with per-block-row scales calibrated from the
+    /// current (synced) weights, bias carried in f32 and fused into the
+    /// dequantizing IFFT epilogue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::QuantOverflow`] if `cfg` cannot guarantee
+    /// overflow-free i32 accumulation for this layer's block-column count.
+    pub fn quantize(&mut self, cfg: QuantConfig) -> Result<QuantizedLinear, CircError> {
+        self.sync();
+        let op = QuantizedOperator::from_operator(&self.engine, cfg)?;
+        QuantizedLinear::new(op, self.bias.clone())
     }
 
     fn sync(&mut self) {

@@ -44,7 +44,9 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the SIMD module can locally re-allow it for the
+// `core::arch` intrinsic kernels; everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod baseline54;
@@ -53,11 +55,13 @@ mod engine;
 mod error;
 mod fc;
 mod matrix;
+mod simd;
 
 pub mod approx;
 pub mod compression;
 pub mod conv;
 pub mod lecun;
+pub mod quantized;
 pub mod rnn;
 pub mod serialize;
 
@@ -68,6 +72,10 @@ pub use error::CircError;
 pub use fc::CirculantLinear;
 pub use lecun::LeCunFftConv2d;
 pub use matrix::{default_batch_threads, BlockCirculantMatrix, BlockSpectra, RowSlice, Workspace};
+pub use quantized::{
+    QuantConfig, QuantWorkspace, QuantizedConv2d, QuantizedLinear, QuantizedOperator,
+    QuantizedRnnCell,
+};
 pub use rnn::{
     CirculantRnn, CirculantRnnCell, RecurrentWorkspace, ReservoirClassifier, RnnReadout,
 };

@@ -1244,7 +1244,7 @@ impl BlockCirculantMatrix {
             0,
             &mut [],
             &mut [],
-            |i0, icount, re_c, im_c, _, _| {
+            |i0, icount, re_c, im_c, _: &mut [f32], _: &mut [f32]| {
                 self.mac_chunk(dir, batch, i0, icount, in_re, in_im, re_c, im_c);
             },
         );
@@ -1428,6 +1428,7 @@ impl BlockCirculantMatrix {
     ) {
         const LANES: usize = 16;
         const TI: usize = 4;
+        let isa = crate::simd::isa();
         let bins = self.bins;
         let (sum_blocks, out_blocks_total) = if FWD {
             (self.q, self.p)
@@ -1461,23 +1462,18 @@ impl BlockCirculantMatrix {
                             let i = i0 + it + u;
                             let widx = (bin * out_blocks_total + i) * sum_blocks + j;
                             let (wr, wi) = (wre[widx], wim[widx]);
-                            let (ar, ai) = (&mut tr[u], &mut ti_[u]);
+                            let (ar, ai) = (&mut tr[u][..l], &mut ti_[u][..l]);
                             if real_bin {
-                                for t in 0..l {
-                                    ar[t] += wr * xr[t];
-                                }
+                                crate::simd::rmac(isa, wr, xr, ar);
                             } else if FWD {
                                 // conj(w)·x, the Algorithm-1 product.
-                                for t in 0..l {
-                                    ar[t] += wr * xr[t] + wi * xi[t];
-                                    ai[t] += wr * xi[t] - wi * xr[t];
-                                }
+                                crate::simd::cmac(isa, wr, wi, xr, xi, ar, ai);
                             } else {
-                                // w·g, the transpose-apply product.
-                                for t in 0..l {
-                                    ar[t] += wr * xr[t] - wi * xi[t];
-                                    ai[t] += wr * xi[t] + wi * xr[t];
-                                }
+                                // w·g, the transpose-apply product: cmac
+                                // with the weight conjugated (IEEE negation
+                                // is exact, so this stays bitwise equal to
+                                // the explicit sub/add form).
+                                crate::simd::cmac(isa, wr, -wi, xr, xi, ar, ai);
                             }
                         }
                     }

@@ -1,0 +1,1221 @@
+//! 16-bit fixed-point spectral inference (paper §4.2, Fig. 12).
+//!
+//! CirCNN's hardware claim is that 12–16-bit fixed-point FFT arithmetic
+//! loses almost nothing while halving the datapath: this module is that
+//! claim as a serving path. A [`QuantizedOperator`] holds **i16 resident
+//! weight spectra** with per-block-row scales (calibrated through
+//! [`circnn_quant::fake_quantize`], so the scale is exactly the
+//! `QuantStats` scale the calibration sweeps report), and its apply runs
+//! the same four-stage dataflow as the f32 engine with the conversions
+//! fused into passes the f32 path already pays:
+//!
+//! 1. **FFT + quantize** (`engine::fft_quantize_blocks`) — the f32 plane
+//!    FFT's copy-out writes interleaved `(re, im)` i16 code pairs
+//!    block-major; there is no f32 spectra store and no re-layout pass.
+//!    Imaginary codes at the DC/Nyquist real bins are forced to zero.
+//! 2. **i16 MAC** (`engine::run_mac_i16`) — the register-tiled
+//!    `i16×i16 → i32` instantiation of the run-generic MAC, streaming half
+//!    the bytes per weight plane and dispatching to `_mm_madd_epi16`-style
+//!    SIMD kernels at runtime. Integer accumulation in a fixed order makes
+//!    the path bitwise stable across thread counts, batch compositions
+//!    *and* instruction sets.
+//! 3. **Dequant + IFFT + epilogue** (`engine::ifft_epilogue_blocks_dq`)
+//!    — the per-block-row scale multiplies each i32 accumulator during the
+//!    copy into the inverse transform's scratch; bias and activation fuse
+//!    into the unpack pass exactly as in the f32 path.
+//! 4. A pure layout copy into the caller's slab.
+//!
+//! Accumulation safety is a **registration-time contract**, not a runtime
+//! check: [`QuantConfig`] declares the code widths and the input range,
+//! and construction fails with [`CircError::QuantOverflow`] if the
+//! worst-case sum of pairwise code products could exceed `i32`. The
+//! defaults (12-bit weights, 11-bit inputs) keep the headline geometries
+//! comfortably inside i32 while staying above the paper's 12-bit accuracy
+//! knee; [`QuantizedOperator::error_bound`] turns the formats into a
+//! max-abs-error tolerance against the f32 engine.
+
+use circnn_fft::fixed::QFormat;
+use circnn_fft::BatchFftPlan;
+use circnn_tensor::im2col::ConvGeometry;
+use circnn_tensor::Tensor;
+
+use crate::engine::{self, Activation, Epilogue, QAcc};
+use crate::error::CircError;
+use crate::matrix::BlockCirculantMatrix;
+
+/// Fixed-point formats and the declared input range of a quantized
+/// operator.
+///
+/// `weight_format`/`input_format` give the symmetric code widths (only
+/// `bits` matters for the dynamic ranges — scales are calibrated, not
+/// `2^-frac`); `input_range` is the tenant's declared max-abs input value,
+/// from which the input spectrum scale `k·range / max_code` follows
+/// (`|X[bin]| ≤ k·range` for an unnormalized length-`k` DFT of bounded
+/// inputs). Out-of-range inputs saturate instead of wrapping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantConfig {
+    /// Weight-spectrum code format (default 12 bits — the paper's
+    /// accuracy knee is at 12–16).
+    pub weight_format: QFormat,
+    /// Input-spectrum code format (default 11 bits).
+    pub input_format: QFormat,
+    /// Declared max-abs input value the scales are derived for.
+    pub input_range: f32,
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        Self {
+            weight_format: QFormat::new(12, 11),
+            input_format: QFormat::new(11, 10),
+            input_range: 1.0,
+        }
+    }
+}
+
+impl QuantConfig {
+    /// The i32-overflow admission check: `terms` block products, each
+    /// contributing two worst-case code products per accumulator
+    /// component, must fit `i32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::QuantOverflow`] if the worst case exceeds
+    /// `i32::MAX`.
+    pub fn check_accumulation(&self, terms: usize) -> Result<(), CircError> {
+        let cw = self.weight_format.max_code() as i128;
+        let cx = self.input_format.max_code() as i128;
+        let worst = 2 * cw * cx * terms as i128;
+        if worst > i128::from(i32::MAX) {
+            return Err(CircError::QuantOverflow {
+                terms,
+                weight_bits: self.weight_format.bits(),
+                input_bits: self.input_format.bits(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Input spectrum quantization step for block size `k`.
+    fn x_step(&self, k: usize) -> f32 {
+        k as f32 * self.input_range / self.input_format.max_code() as f32
+    }
+}
+
+/// Calibrates one shared per-block-row scale over every plane in `planes`
+/// (the conv case: all `r²` kernel offsets accumulate into row `i`'s
+/// accumulator, so they must share its scale) and emits the i16 code
+/// planes. Row scales come from [`circnn_quant::fake_quantize`] on the
+/// row's gathered spectra — its `QuantStats::scale` is exactly
+/// `max_abs / max_code`. Imaginary codes at DC/Nyquist are forced to zero
+/// so the MAC needs no real-bin branch.
+#[allow(clippy::type_complexity)]
+fn quantize_weight_planes(
+    planes: &[(&[f32], &[f32])],
+    p: usize,
+    q: usize,
+    bins: usize,
+    k: usize,
+    format: QFormat,
+) -> (Vec<f32>, Vec<(Vec<i16>, Vec<i16>)>) {
+    let max_code = format.max_code() as i32;
+    let mut w_step = vec![1.0f32; p];
+    let mut codes: Vec<(Vec<i16>, Vec<i16>)> = planes
+        .iter()
+        .map(|_| (vec![0i16; bins * p * q], vec![0i16; bins * p * q]))
+        .collect();
+    let mut row = Vec::with_capacity(planes.len() * 2 * bins * q);
+    for i in 0..p {
+        row.clear();
+        for &(wre, wim) in planes {
+            for bin in 0..bins {
+                for j in 0..q {
+                    let widx = (bin * p + i) * q + j;
+                    row.push(wre[widx]);
+                    row.push(wim[widx]);
+                }
+            }
+        }
+        let stats = circnn_quant::fake_quantize(&mut row, format.bits());
+        w_step[i] = stats.scale;
+        let inv = 1.0 / stats.scale;
+        for (o, &(wre, wim)) in planes.iter().enumerate() {
+            let (cr, ci) = &mut codes[o];
+            for bin in 0..bins {
+                let real_bin = bin == 0 || (k >= 2 && bin == bins - 1);
+                for j in 0..q {
+                    let widx = (bin * p + i) * q + j;
+                    cr[widx] = engine::quantize_code(wre[widx], inv, max_code);
+                    ci[widx] = if real_bin {
+                        0
+                    } else {
+                        engine::quantize_code(wim[widx], inv, max_code)
+                    };
+                }
+            }
+        }
+    }
+    (w_step, codes)
+}
+
+/// Reusable scratch arena for the quantized pipeline: i16 code planes,
+/// i32 accumulators, and the f32 FFT staging. Grow-only, like every other
+/// workspace — a serving worker keeps one and streams batches through it
+/// allocation-free once warm.
+#[derive(Debug, Clone, Default)]
+pub struct QuantWorkspace {
+    /// Input code planes, block-major `[q][bins][lanes][2]` interleaved.
+    xq: Vec<i16>,
+    /// Hidden-state code planes (recurrent cells only).
+    hq: Vec<i16>,
+    /// i32 accumulator planes, block-major `[p][bins][lanes]`.
+    acc_re: Vec<i32>,
+    acc_im: Vec<i32>,
+    /// Second accumulator set (the recurrent hidden-side MAC).
+    acc2_re: Vec<i32>,
+    acc2_im: Vec<i32>,
+    /// Time-domain staging `[block][k][lanes]`.
+    stage: Vec<f32>,
+    /// Per-thread plane scratch `[k][lanes]`.
+    pr: Vec<f32>,
+    pi: Vec<f32>,
+    /// Per-sample MAC runs and per-offset shifts (conv only).
+    runs: Vec<(usize, usize, usize)>,
+    shifts: Vec<usize>,
+}
+
+impl QuantWorkspace {
+    /// An empty arena; buffers are sized lazily by the first pass.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn prepare(
+        &mut self,
+        p: usize,
+        q: usize,
+        bins: usize,
+        k: usize,
+        l_pad: usize,
+        l_acc: usize,
+        threads: usize,
+    ) {
+        engine::grow_with(&mut self.xq, q * bins * l_pad * 2);
+        engine::grow_with(&mut self.acc_re, p * bins * l_acc);
+        engine::grow_with(&mut self.acc_im, p * bins * l_acc);
+        engine::grow(&mut self.stage, p * k * l_acc);
+        engine::grow(&mut self.pr, threads * k * l_pad.max(l_acc));
+        engine::grow(&mut self.pi, threads * k * l_pad.max(l_acc));
+    }
+}
+
+/// A block-circulant operator resident as i16 weight-spectrum codes with
+/// per-block-row scales — the quantized counterpart of
+/// [`BlockCirculantMatrix`] for the read-only serving path.
+#[derive(Debug, Clone)]
+pub struct QuantizedOperator {
+    m: usize,
+    n: usize,
+    k: usize,
+    p: usize,
+    q: usize,
+    bins: usize,
+    /// Weight code planes, `[bin][p][q]` (the f32 plane layout).
+    wq_re: Vec<i16>,
+    wq_im: Vec<i16>,
+    /// Per-block-row weight scale (`p` entries).
+    w_step: Vec<f32>,
+    /// Input spectrum scale.
+    x_step: f32,
+    /// Fused per-block-row dequant scale `w_step[i] · x_step`.
+    dq: Vec<f32>,
+    cfg: QuantConfig,
+    plan: BatchFftPlan<f32>,
+}
+
+impl QuantizedOperator {
+    /// Quantizes a (spectra-fresh) f32 operator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::QuantOverflow`] if `cfg` cannot guarantee
+    /// overflow-free i32 accumulation over the operator's `q` block
+    /// columns, or an FFT plan error for a bad block size.
+    pub fn from_operator(op: &BlockCirculantMatrix, cfg: QuantConfig) -> Result<Self, CircError> {
+        let (p, q, k, bins) = (op.block_rows(), op.block_cols(), op.block_size(), op.bins());
+        cfg.check_accumulation(q)?;
+        let (w_step, mut codes) =
+            quantize_weight_planes(&[op.forward_wplanes()], p, q, bins, k, cfg.weight_format);
+        let (wq_re, wq_im) = codes.pop().expect("one plane in, one plane out");
+        Self::assemble(op.rows(), op.cols(), k, cfg, w_step, wq_re, wq_im)
+    }
+
+    /// Rebuilds an operator from serialized parts, re-running the shape
+    /// and overflow validation (deserialization funnels through here so a
+    /// stream whose formats would overflow fails **typed** at load).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::QuantOverflow`] for overflow-capable formats,
+    /// [`CircError::BadWeightLength`] / [`CircError::DimensionMismatch`]
+    /// for mis-sized code or scale buffers, and FFT errors for a bad
+    /// block size.
+    pub fn from_raw_parts(
+        m: usize,
+        n: usize,
+        k: usize,
+        cfg: QuantConfig,
+        w_step: Vec<f32>,
+        wq_re: Vec<i16>,
+        wq_im: Vec<i16>,
+    ) -> Result<Self, CircError> {
+        if k == 0 || !k.is_power_of_two() {
+            return Err(CircError::BadBlockSize(k));
+        }
+        if m == 0 || n == 0 {
+            return Err(CircError::DimensionMismatch {
+                expected: 1,
+                got: 0,
+            });
+        }
+        let (p, q) = (m.div_ceil(k), n.div_ceil(k));
+        let bins = k / 2 + 1;
+        cfg.check_accumulation(q)?;
+        let want = bins * p * q;
+        if wq_re.len() != want || wq_im.len() != want {
+            return Err(CircError::BadWeightLength {
+                expected: want,
+                got: if wq_re.len() != want {
+                    wq_re.len()
+                } else {
+                    wq_im.len()
+                },
+            });
+        }
+        if w_step.len() != p {
+            return Err(CircError::DimensionMismatch {
+                expected: p,
+                got: w_step.len(),
+            });
+        }
+        Self::assemble(m, n, k, cfg, w_step, wq_re, wq_im)
+    }
+
+    fn assemble(
+        m: usize,
+        n: usize,
+        k: usize,
+        cfg: QuantConfig,
+        w_step: Vec<f32>,
+        wq_re: Vec<i16>,
+        wq_im: Vec<i16>,
+    ) -> Result<Self, CircError> {
+        let (p, q) = (m.div_ceil(k), n.div_ceil(k));
+        let x_step = cfg.x_step(k);
+        let dq = w_step.iter().map(|&s| s * x_step).collect();
+        Ok(Self {
+            m,
+            n,
+            k,
+            p,
+            q,
+            bins: k / 2 + 1,
+            wq_re,
+            wq_im,
+            w_step,
+            x_step,
+            dq,
+            cfg,
+            plan: BatchFftPlan::new(k)?,
+        })
+    }
+
+    /// Output dimension `m`.
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Input dimension `n`.
+    pub fn cols(&self) -> usize {
+        self.n
+    }
+
+    /// Circulant block size `k`.
+    pub fn block_size(&self) -> usize {
+        self.k
+    }
+
+    /// The quantization configuration this operator was built with.
+    pub fn config(&self) -> &QuantConfig {
+        &self.cfg
+    }
+
+    /// Per-block-row weight scales (`⌈m/k⌉` entries).
+    pub fn weight_steps(&self) -> &[f32] {
+        &self.w_step
+    }
+
+    /// Serialized views of the code planes (`[bin][p][q]`, split re/im).
+    pub(crate) fn code_planes(&self) -> (&[i16], &[i16]) {
+        (&self.wq_re, &self.wq_im)
+    }
+
+    /// Conservative max-abs-error bound versus the f32 engine for inputs
+    /// within the declared range: per-term quantization error
+    /// `w_step·x_step·(C_w + C_x + ½)` per spectral component, summed
+    /// over the `q` block products and carried through the normalized
+    /// inverse transform (whose coefficient mass is 1), with a 2× margin
+    /// for the f32 FFT round-off and the i32→f32 dequant rounding.
+    pub fn error_bound(&self) -> f32 {
+        let cw = self.cfg.weight_format.max_code() as f32;
+        let cx = self.cfg.input_format.max_code() as f32;
+        let w_max = self.w_step.iter().cloned().fold(0.0f32, f32::max);
+        2.0 * self.q as f32 * w_max * self.x_step * (cw + cx + 1.0)
+    }
+
+    /// Read-only batched apply into a caller-provided `[batch, m]` slab.
+    /// Bit-identical across thread counts, batch compositions and (integer
+    /// arithmetic end to end between the FFTs) instruction sets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] on wrong slab sizes or a
+    /// zero batch.
+    pub fn infer_batch_into(
+        &self,
+        src: &[f32],
+        batch: usize,
+        ws: &mut QuantWorkspace,
+        out: &mut [f32],
+        threads: usize,
+    ) -> Result<(), CircError> {
+        if batch == 0 {
+            return Err(CircError::DimensionMismatch {
+                expected: 1,
+                got: 0,
+            });
+        }
+        if src.len() != batch * self.n {
+            return Err(CircError::DimensionMismatch {
+                expected: batch * self.n,
+                got: src.len(),
+            });
+        }
+        if out.len() != batch * self.m {
+            return Err(CircError::DimensionMismatch {
+                expected: batch * self.m,
+                got: out.len(),
+            });
+        }
+        self.apply(src, batch, ws, out, threads, &Epilogue::NONE);
+        Ok(())
+    }
+
+    /// The four-stage quantized apply (validated entry points wrap this).
+    pub(crate) fn apply(
+        &self,
+        src: &[f32],
+        batch: usize,
+        ws: &mut QuantWorkspace,
+        out: &mut [f32],
+        threads: usize,
+        epi: &Epilogue<'_>,
+    ) {
+        let (p, q, k, bins) = (self.p, self.q, self.k, self.bins);
+        let threads = threads.max(1);
+        ws.prepare(p, q, bins, k, batch, batch, threads);
+        let plan = &self.plan;
+        let QuantWorkspace {
+            xq,
+            acc_re,
+            acc_im,
+            stage,
+            pr,
+            pi,
+            ..
+        } = ws;
+        let xq = &mut xq[..q * bins * batch * 2];
+        let acc_re = &mut acc_re[..p * bins * batch];
+        let acc_im = &mut acc_im[..p * bins * batch];
+        // Stage A: plane FFT with the quantizer fused into the copy-out.
+        let inv_x = 1.0 / self.x_step;
+        let cx = self.cfg.input_format.max_code() as i32;
+        let n = self.n;
+        engine::par_planes(
+            threads,
+            q,
+            bins * batch * 2,
+            xq,
+            &mut [],
+            k * batch,
+            pr,
+            pi,
+            |j0, jcount, xq_c, _: &mut [i16], pr_c, pi_c| {
+                engine::fft_quantize_blocks(
+                    plan,
+                    k,
+                    bins,
+                    batch,
+                    j0,
+                    jcount,
+                    inv_x,
+                    cx,
+                    xq_c,
+                    pr_c,
+                    pi_c,
+                    &|j, plane| engine::pack_slab_block(src, batch, n, k, j, plane),
+                );
+            },
+        );
+        // Stage B: the i16 register-tiled MAC (one unit-step run).
+        let xq = &xq[..];
+        let wq = [(self.wq_re.as_slice(), self.wq_im.as_slice())];
+        let runs = [(0usize, 0usize, batch)];
+        engine::par_planes(
+            threads,
+            p,
+            bins * batch,
+            acc_re,
+            acc_im,
+            0,
+            &mut [],
+            &mut [],
+            |i0, icount, re_c, im_c, _: &mut [i32], _: &mut [i32]| {
+                engine::run_mac_i16(
+                    &wq,
+                    &[0],
+                    p,
+                    q,
+                    bins,
+                    i0,
+                    icount,
+                    xq,
+                    batch,
+                    batch,
+                    &runs,
+                    1,
+                    re_c,
+                    im_c,
+                );
+            },
+        );
+        // Stage C: dequant fused into the spectrum fill, bias/activation
+        // fused into the unpack — one plane inverse per output block.
+        let qacc = QAcc {
+            re: acc_re,
+            im: acc_im,
+            dq: &self.dq,
+        };
+        let stage = &mut stage[..p * k * batch];
+        engine::par_planes(
+            threads,
+            p,
+            k * batch,
+            stage,
+            &mut [],
+            k * batch,
+            pr,
+            pi,
+            |i0, icount, stage_c, _: &mut [f32], pr_c, pi_c| {
+                engine::ifft_epilogue_blocks_dq(
+                    plan, &qacc, None, k, bins, batch, i0, icount, epi, stage_c, pr_c, pi_c,
+                );
+            },
+        );
+        // Stage D: pure layout copy, dropping ragged padding rows.
+        for (b, orow) in out.chunks_exact_mut(self.m).enumerate() {
+            for i in 0..p {
+                let rows = k.min(self.m - i * k);
+                let base = i * k * batch + b;
+                for t in 0..rows {
+                    orow[i * k + t] = stage[base + t * batch];
+                }
+            }
+        }
+    }
+}
+
+/// A quantized FC layer: a [`QuantizedOperator`] plus an f32 bias fused
+/// into the dequantizing IFFT epilogue.
+#[derive(Debug, Clone)]
+pub struct QuantizedLinear {
+    op: QuantizedOperator,
+    bias: Vec<f32>,
+}
+
+impl QuantizedLinear {
+    /// Wraps an operator and its bias ([`crate::CirculantLinear::quantize`]
+    /// is the calibrated entry point).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] if the bias length is not
+    /// the operator's output dimension.
+    pub fn new(op: QuantizedOperator, bias: Vec<f32>) -> Result<Self, CircError> {
+        if bias.len() != op.rows() {
+            return Err(CircError::DimensionMismatch {
+                expected: op.rows(),
+                got: bias.len(),
+            });
+        }
+        Ok(Self { op, bias })
+    }
+
+    /// The underlying quantized operator.
+    pub fn operator(&self) -> &QuantizedOperator {
+        &self.op
+    }
+
+    /// The bias vector.
+    pub fn bias(&self) -> &[f32] {
+        &self.bias
+    }
+
+    /// Read-only batched inference into a `[batch, out_dim]` slab.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] on wrong slab sizes.
+    pub fn infer_batch_into(
+        &self,
+        input: &[f32],
+        batch: usize,
+        ws: &mut QuantWorkspace,
+        out: &mut [f32],
+        threads: usize,
+    ) -> Result<(), CircError> {
+        if batch == 0 || input.len() != batch * self.op.cols() {
+            return Err(CircError::DimensionMismatch {
+                expected: batch.max(1) * self.op.cols(),
+                got: input.len(),
+            });
+        }
+        if out.len() != batch * self.op.rows() {
+            return Err(CircError::DimensionMismatch {
+                expected: batch * self.op.rows(),
+                got: out.len(),
+            });
+        }
+        let epi = Epilogue {
+            bias: Some(&self.bias),
+            act: Activation::Identity,
+        };
+        self.op.apply(input, batch, ws, out, threads, &epi);
+        Ok(())
+    }
+}
+
+/// A quantized CONV layer: `r²` i16 code planes sharing one per-block-row
+/// scale (every kernel offset accumulates into the same output row, so
+/// the dequant multiply must be common), riding the same padded-grid
+/// run-MAC as the f32 conv.
+#[derive(Debug, Clone)]
+pub struct QuantizedConv2d {
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    k: usize,
+    p: usize,
+    q: usize,
+    bins: usize,
+    /// One `(re, im)` code-plane pair per kernel offset, offset-major.
+    wq: Vec<(Vec<i16>, Vec<i16>)>,
+    w_step: Vec<f32>,
+    x_step: f32,
+    dq: Vec<f32>,
+    cfg: QuantConfig,
+    bias: Vec<f32>,
+    plan: BatchFftPlan<f32>,
+}
+
+impl QuantizedConv2d {
+    /// Builds from the conv layer's spectra-fresh engines
+    /// ([`crate::CirculantConv2d::quantize`] is the public entry point).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_engines(
+        engines: &[BlockCirculantMatrix],
+        bias: &[f32],
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        cfg: QuantConfig,
+    ) -> Result<Self, CircError> {
+        let e0 = &engines[0];
+        let (p, q, k, bins) = (e0.block_rows(), e0.block_cols(), e0.block_size(), e0.bins());
+        // Every kernel offset's q block products land in one accumulator.
+        cfg.check_accumulation(q * engines.len())?;
+        let planes: Vec<(&[f32], &[f32])> = engines.iter().map(|e| e.forward_wplanes()).collect();
+        let (w_step, wq) = quantize_weight_planes(&planes, p, q, bins, k, cfg.weight_format);
+        let x_step = cfg.x_step(k);
+        let dq = w_step.iter().map(|&s| s * x_step).collect();
+        Ok(Self {
+            in_channels,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            k,
+            p,
+            q,
+            bins,
+            wq,
+            w_step,
+            x_step,
+            dq,
+            cfg,
+            bias: bias.to_vec(),
+            plan: BatchFftPlan::new(k)?,
+        })
+    }
+
+    /// Input channel count `C`.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Output channel count `P`.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// The quantization configuration.
+    pub fn config(&self) -> &QuantConfig {
+        &self.cfg
+    }
+
+    /// Conservative max-abs-error bound versus the f32 conv (the conv's
+    /// accumulated term count is `q·r²`).
+    pub fn error_bound(&self) -> f32 {
+        let cw = self.cfg.weight_format.max_code() as f32;
+        let cx = self.cfg.input_format.max_code() as f32;
+        let w_max = self.w_step.iter().cloned().fold(0.0f32, f32::max);
+        let terms = (self.q * self.kernel * self.kernel) as f32;
+        2.0 * terms * w_max * self.x_step * (cw + cx + 1.0)
+    }
+
+    /// Read-only batched inference: `[B, C, H, W]` tensor to a
+    /// `[B, P, OH, OW]` slab, mirroring
+    /// [`crate::CirculantConv2d::infer_batch_into`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] on wrong input rank,
+    /// channel count or output length.
+    pub fn infer_batch_into(
+        &self,
+        input: &Tensor,
+        ws: &mut QuantWorkspace,
+        out: &mut [f32],
+        threads: usize,
+    ) -> Result<(), CircError> {
+        if input.shape().rank() != 4 {
+            return Err(CircError::DimensionMismatch {
+                expected: 4,
+                got: input.shape().rank(),
+            });
+        }
+        let batch = input.dims()[0];
+        if batch == 0 {
+            return Err(CircError::DimensionMismatch {
+                expected: 1,
+                got: 0,
+            });
+        }
+        if input.dims()[1] != self.in_channels {
+            return Err(CircError::DimensionMismatch {
+                expected: self.in_channels,
+                got: input.dims()[1],
+            });
+        }
+        let dims = input.dims();
+        let g = ConvGeometry::new(
+            self.in_channels,
+            dims[2],
+            dims[3],
+            self.kernel,
+            self.stride,
+            self.padding,
+        );
+        let want = batch * self.out_channels * g.num_patches();
+        if out.len() != want {
+            return Err(CircError::DimensionMismatch {
+                expected: want,
+                got: out.len(),
+            });
+        }
+        self.forward(&g, batch, input.data(), out, ws, threads);
+        Ok(())
+    }
+
+    /// The quantized conv pipeline — geometry, runs and shifts identical
+    /// to the f32 [`crate::ConvWorkspace`] forward, stages swapped for
+    /// their quantized counterparts.
+    fn forward(
+        &self,
+        g: &ConvGeometry,
+        batch: usize,
+        input: &[f32],
+        out: &mut [f32],
+        ws: &mut QuantWorkspace,
+        threads: usize,
+    ) {
+        let (p, q, k, bins) = (self.p, self.q, self.k, self.bins);
+        let threads = threads.max(1);
+        let (oh, ow) = (g.out_height(), g.out_width());
+        let s = g.stride;
+        let wp = g.width + 2 * g.padding;
+        let hpwp = (g.height + 2 * g.padding) * wp;
+        let (arow, abatch) = if s == 1 {
+            (wp, (oh - 1) * wp + ow)
+        } else {
+            (ow, oh * ow)
+        };
+        let (l_pad, l_acc) = (batch * hpwp, batch * abatch);
+        let run_count = if s == 1 { batch } else { batch * oh };
+        ws.prepare(p, q, bins, k, l_pad, l_acc, threads);
+        let r = self.kernel;
+        if ws.shifts.len() < r * r {
+            ws.shifts.resize(r * r, 0);
+        }
+        if ws.runs.len() < run_count {
+            ws.runs.resize(run_count, (0, 0, 0));
+        }
+        let plan = &self.plan;
+        let QuantWorkspace {
+            xq,
+            acc_re,
+            acc_im,
+            stage,
+            pr,
+            pi,
+            runs,
+            shifts,
+            ..
+        } = ws;
+        let xq = &mut xq[..q * bins * l_pad * 2];
+        let acc_re = &mut acc_re[..p * bins * l_acc];
+        let acc_im = &mut acc_im[..p * bins * l_acc];
+        // Stage 1: channel FFT + fused quantize on the padded pixel grid.
+        let inv_x = 1.0 / self.x_step;
+        let cx = self.cfg.input_format.max_code() as i32;
+        engine::par_planes(
+            threads,
+            q,
+            bins * l_pad * 2,
+            xq,
+            &mut [],
+            k * l_pad,
+            pr,
+            pi,
+            |j0, jcount, xq_c, _: &mut [i16], pr_c, pi_c| {
+                engine::fft_quantize_blocks(
+                    plan,
+                    k,
+                    bins,
+                    l_pad,
+                    j0,
+                    jcount,
+                    inv_x,
+                    cx,
+                    xq_c,
+                    pr_c,
+                    pi_c,
+                    &|j, plane| crate::conv::pack_padded_input_block(input, g, batch, k, j, plane),
+                );
+            },
+        );
+        // Stage 2: the fused all-offsets i16 MAC — same shifts and runs as
+        // the f32 path.
+        for (o, slot) in shifts[..r * r].iter_mut().enumerate() {
+            *slot = (o / r) * wp + (o % r);
+        }
+        if s == 1 {
+            for (b, slot) in runs[..run_count].iter_mut().enumerate() {
+                *slot = (b * abatch, b * hpwp, abatch);
+            }
+        } else {
+            for (i, slot) in runs[..run_count].iter_mut().enumerate() {
+                let (b, oy) = (i / oh, i % oh);
+                *slot = (b * abatch + oy * arow, b * hpwp + oy * s * wp, ow);
+            }
+        }
+        let xq = &xq[..];
+        let wq: Vec<(&[i16], &[i16])> = self
+            .wq
+            .iter()
+            .map(|(re, im)| (re.as_slice(), im.as_slice()))
+            .collect();
+        {
+            let (shifts, runs) = (&shifts[..r * r], &runs[..run_count]);
+            engine::par_planes(
+                threads,
+                p,
+                bins * l_acc,
+                acc_re,
+                acc_im,
+                0,
+                &mut [],
+                &mut [],
+                |i0, icount, re_c, im_c, _: &mut [i32], _: &mut [i32]| {
+                    engine::run_mac_i16(
+                        &wq, shifts, p, q, bins, i0, icount, xq, l_pad, l_acc, runs, s, re_c, im_c,
+                    );
+                },
+            );
+        }
+        // Stage 3: dequant + inverse + fused per-channel bias.
+        let qacc = QAcc {
+            re: acc_re,
+            im: acc_im,
+            dq: &self.dq,
+        };
+        let stage = &mut stage[..p * k * l_acc];
+        let epi = Epilogue {
+            bias: Some(&self.bias),
+            act: Activation::Identity,
+        };
+        engine::par_planes(
+            threads,
+            p,
+            k * l_acc,
+            stage,
+            &mut [],
+            k * l_acc,
+            pr,
+            pi,
+            |i0, icount, stage_c, _: &mut [f32], pr_c, pi_c| {
+                engine::ifft_epilogue_blocks_dq(
+                    plan, &qacc, None, k, bins, l_acc, i0, icount, &epi, stage_c, pr_c, pi_c,
+                );
+            },
+        );
+        // Stage 4: pure layout copy into the [B, P, OH, OW] slab.
+        let ohw = oh * ow;
+        for i in 0..p {
+            for t in 0..k {
+                let pch = i * k + t;
+                if pch >= self.out_channels {
+                    break;
+                }
+                let srow = &stage[(i * k + t) * l_acc..][..l_acc];
+                for b in 0..batch {
+                    for oy in 0..oh {
+                        let dst = &mut out[(b * self.out_channels + pch) * ohw + oy * ow..][..ow];
+                        dst.copy_from_slice(&srow[b * abatch + oy * arow..][..ow]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A quantized recurrent cell: both weight operators resident as i16
+/// codes, two i32 accumulator sets (the input-side and hidden-side MACs
+/// carry different scales), combined in the dequantizing epilogue where
+/// bias and `tanh` also fuse.
+#[derive(Debug, Clone)]
+pub struct QuantizedRnnCell {
+    hidden: usize,
+    in_dim: usize,
+    k: usize,
+    p: usize,
+    q_ih: usize,
+    q_hh: usize,
+    bins: usize,
+    wq_ih: (Vec<i16>, Vec<i16>),
+    wq_hh: (Vec<i16>, Vec<i16>),
+    dq_ih: Vec<f32>,
+    dq_hh: Vec<f32>,
+    x_step: f32,
+    /// Hidden-state spectrum scale: `tanh` bounds the state by 1, so the
+    /// range is exact, not declared.
+    h_step: f32,
+    cfg: QuantConfig,
+    bias: Vec<f32>,
+    plan: BatchFftPlan<f32>,
+}
+
+impl QuantizedRnnCell {
+    /// Builds from a cell's operators and bias
+    /// ([`crate::CirculantRnnCell::quantize`] is the public entry point).
+    pub(crate) fn from_parts(
+        w_ih: &BlockCirculantMatrix,
+        w_hh: &BlockCirculantMatrix,
+        bias: &[f32],
+        cfg: QuantConfig,
+    ) -> Result<Self, CircError> {
+        let (p, k, bins) = (w_hh.block_rows(), w_hh.block_size(), w_hh.bins());
+        let (q_ih, q_hh) = (w_ih.block_cols(), w_hh.block_cols());
+        // The two MACs accumulate separately, so each checks alone.
+        cfg.check_accumulation(q_ih)?;
+        cfg.check_accumulation(q_hh)?;
+        let (w_step_ih, mut c_ih) = quantize_weight_planes(
+            &[w_ih.forward_wplanes()],
+            p,
+            q_ih,
+            bins,
+            k,
+            cfg.weight_format,
+        );
+        let (w_step_hh, mut c_hh) = quantize_weight_planes(
+            &[w_hh.forward_wplanes()],
+            p,
+            q_hh,
+            bins,
+            k,
+            cfg.weight_format,
+        );
+        let x_step = cfg.x_step(k);
+        let h_step = k as f32 / cfg.input_format.max_code() as f32;
+        Ok(Self {
+            hidden: w_hh.rows(),
+            in_dim: w_ih.cols(),
+            k,
+            p,
+            q_ih,
+            q_hh,
+            bins,
+            wq_ih: c_ih.pop().expect("one plane in, one plane out"),
+            wq_hh: c_hh.pop().expect("one plane in, one plane out"),
+            dq_ih: w_step_ih.iter().map(|&s| s * x_step).collect(),
+            dq_hh: w_step_hh.iter().map(|&s| s * h_step).collect(),
+            x_step,
+            h_step,
+            cfg,
+            bias: bias.to_vec(),
+            plan: BatchFftPlan::new(k)?,
+        })
+    }
+
+    /// Hidden dimension.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// The quantization configuration.
+    pub fn config(&self) -> &QuantConfig {
+        &self.cfg
+    }
+
+    /// Conservative per-step pre-activation max-abs-error bound versus the
+    /// f32 cell (the two MACs' bounds add; `tanh` is 1-Lipschitz so the
+    /// bound survives the activation).
+    pub fn error_bound(&self) -> f32 {
+        let cw = self.cfg.weight_format.max_code() as f32;
+        let cx = self.cfg.input_format.max_code() as f32;
+        let ih = self.dq_ih.iter().cloned().fold(0.0f32, f32::max) * self.q_ih as f32;
+        let hh = self.dq_hh.iter().cloned().fold(0.0f32, f32::max) * self.q_hh as f32;
+        2.0 * (ih + hh) * (cw + cx + 1.0)
+    }
+
+    /// One quantized recurrent step: `next = tanh(W_ih·x + W_hh·h + b)`
+    /// over row-major `[batch, dim]` slabs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] on wrong slab sizes.
+    pub fn step_batch_into(
+        &self,
+        x: &[f32],
+        h: &[f32],
+        batch: usize,
+        ws: &mut QuantWorkspace,
+        next: &mut [f32],
+        threads: usize,
+    ) -> Result<(), CircError> {
+        let (hidden, in_dim) = (self.hidden, self.in_dim);
+        if batch == 0 || x.len() != batch * in_dim {
+            return Err(CircError::DimensionMismatch {
+                expected: batch.max(1) * in_dim,
+                got: x.len(),
+            });
+        }
+        if h.len() != batch * hidden {
+            return Err(CircError::DimensionMismatch {
+                expected: batch * hidden,
+                got: h.len(),
+            });
+        }
+        if next.len() != batch * hidden {
+            return Err(CircError::DimensionMismatch {
+                expected: batch * hidden,
+                got: next.len(),
+            });
+        }
+        let (p, k, bins) = (self.p, self.k, self.bins);
+        let (q_ih, q_hh) = (self.q_ih, self.q_hh);
+        let threads = threads.max(1);
+        ws.prepare(p, q_ih.max(q_hh), bins, k, batch, batch, threads);
+        engine::grow_with(&mut ws.hq, q_hh * bins * batch * 2);
+        engine::grow_with(&mut ws.acc2_re, p * bins * batch);
+        engine::grow_with(&mut ws.acc2_im, p * bins * batch);
+        let plan = &self.plan;
+        let QuantWorkspace {
+            xq,
+            hq,
+            acc_re,
+            acc_im,
+            acc2_re,
+            acc2_im,
+            stage,
+            pr,
+            pi,
+            ..
+        } = ws;
+        let xq = &mut xq[..q_ih * bins * batch * 2];
+        let hq = &mut hq[..q_hh * bins * batch * 2];
+        // Stage A, both sides: FFT + fused quantize, each with its scale.
+        let cx = self.cfg.input_format.max_code() as i32;
+        for (codes, blocks, logical, src, step) in [
+            (&mut *xq, q_ih, in_dim, x, self.x_step),
+            (&mut *hq, q_hh, hidden, h, self.h_step),
+        ] {
+            let inv = 1.0 / step;
+            engine::par_planes(
+                threads,
+                blocks,
+                bins * batch * 2,
+                codes,
+                &mut [],
+                k * batch,
+                pr,
+                pi,
+                |j0, jcount, c_c, _: &mut [i16], pr_c, pi_c| {
+                    engine::fft_quantize_blocks(
+                        plan,
+                        k,
+                        bins,
+                        batch,
+                        j0,
+                        jcount,
+                        inv,
+                        cx,
+                        c_c,
+                        pr_c,
+                        pi_c,
+                        &|j, plane| engine::pack_slab_block(src, batch, logical, k, j, plane),
+                    );
+                },
+            );
+        }
+        // Stage B: two overwrite MACs into separate i32 accumulator sets
+        // (the scales differ, so they cannot share a sum pre-dequant).
+        let (xq, hq): (&[i16], &[i16]) = (xq, hq);
+        let runs = [(0usize, 0usize, batch)];
+        for (codes, q, src, acc_r, acc_i) in [
+            (&self.wq_ih, q_ih, xq, &mut *acc_re, &mut *acc_im),
+            (&self.wq_hh, q_hh, hq, &mut *acc2_re, &mut *acc2_im),
+        ] {
+            let wq = [(codes.0.as_slice(), codes.1.as_slice())];
+            engine::par_planes(
+                threads,
+                p,
+                bins * batch,
+                &mut acc_r[..p * bins * batch],
+                &mut acc_i[..p * bins * batch],
+                0,
+                &mut [],
+                &mut [],
+                |i0, icount, re_c, im_c, _: &mut [i32], _: &mut [i32]| {
+                    engine::run_mac_i16(
+                        &wq,
+                        &[0],
+                        p,
+                        q,
+                        bins,
+                        i0,
+                        icount,
+                        src,
+                        batch,
+                        batch,
+                        &runs,
+                        1,
+                        re_c,
+                        im_c,
+                    );
+                },
+            );
+        }
+        // Stage C: both accumulator sets dequantize and sum in the
+        // spectrum fill; bias + tanh fuse into the unpack.
+        let q1 = QAcc {
+            re: &acc_re[..p * bins * batch],
+            im: &acc_im[..p * bins * batch],
+            dq: &self.dq_ih,
+        };
+        let q2 = QAcc {
+            re: &acc2_re[..p * bins * batch],
+            im: &acc2_im[..p * bins * batch],
+            dq: &self.dq_hh,
+        };
+        let stage = &mut stage[..p * k * batch];
+        let epi = Epilogue {
+            bias: Some(&self.bias),
+            act: Activation::Tanh,
+        };
+        engine::par_planes(
+            threads,
+            p,
+            k * batch,
+            stage,
+            &mut [],
+            k * batch,
+            pr,
+            pi,
+            |i0, icount, stage_c, _: &mut [f32], pr_c, pi_c| {
+                engine::ifft_epilogue_blocks_dq(
+                    plan,
+                    &q1,
+                    Some(&q2),
+                    k,
+                    bins,
+                    batch,
+                    i0,
+                    icount,
+                    &epi,
+                    stage_c,
+                    pr_c,
+                    pi_c,
+                );
+            },
+        );
+        // Stage D: layout copy into the [batch, hidden] next-state slab.
+        for (b, orow) in next.chunks_exact_mut(hidden).enumerate() {
+            for i in 0..p {
+                let rows = k.min(hidden - i * k);
+                let base = i * k * batch + b;
+                for t in 0..rows {
+                    orow[i * k + t] = stage[base + t * batch];
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs a sequence from a zero state, returning the final hidden
+    /// state — the quantized mirror of [`crate::CirculantRnnCell::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::DimensionMismatch`] on wrong input sizes.
+    pub fn run(&self, inputs: &[Vec<f32>]) -> Result<Vec<f32>, CircError> {
+        let mut ws = QuantWorkspace::new();
+        let mut h = vec![0.0f32; self.hidden];
+        let mut next = vec![0.0f32; self.hidden];
+        for x in inputs {
+            self.step_batch_into(x, &h, 1, &mut ws, &mut next, 1)?;
+            core::mem::swap(&mut h, &mut next);
+        }
+        Ok(h)
+    }
+}

@@ -39,6 +39,7 @@ use rand::Rng;
 use crate::engine::{self, Activation, Epilogue};
 use crate::error::CircError;
 use crate::matrix::{default_batch_threads, BlockCirculantMatrix, Workspace};
+use crate::quantized::{QuantConfig, QuantizedRnnCell};
 
 /// Reusable scratch arena for the fused recurrent step — the recurrent
 /// lane-mapping adapter over the spectral-plane engine (lanes = batch).
@@ -205,6 +206,20 @@ impl CirculantRnnCell {
         &self.w_hh
     }
 
+    /// Quantizes the cell for 16-bit fixed-point serving: both operators'
+    /// spectra as i16 codes with their own per-block-row scales, two i32
+    /// accumulator sets combined in the dequantizing epilogue where bias
+    /// and `tanh` also fuse. The hidden-state scale derives from `tanh`'s
+    /// exact unit range; the input scale from `cfg.input_range`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircError::QuantOverflow`] if `cfg` cannot guarantee
+    /// overflow-free i32 accumulation for either operator.
+    pub fn quantize(&self, cfg: QuantConfig) -> Result<QuantizedRnnCell, CircError> {
+        QuantizedRnnCell::from_parts(&self.w_ih, &self.w_hh, &self.bias, cfg)
+    }
+
     /// `(p, q_ih, q_hh, k, bins)` of the shared plane geometry.
     fn plane_dims(&self) -> (usize, usize, usize, usize, usize) {
         (
@@ -364,7 +379,7 @@ impl CirculantRnnCell {
             0,
             &mut [],
             &mut [],
-            |i0, icount, re_c, im_c, _, _| {
+            |i0, icount, re_c, im_c, _: &mut [f32], _: &mut [f32]| {
                 self.w_ih
                     .mac_planes(true, false, batch, i0, icount, xs_re, xs_im, re_c, im_c);
                 self.w_hh

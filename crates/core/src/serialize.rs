@@ -25,17 +25,41 @@
 //! across row-slices and stitch the segments bitwise. [`load`] keeps
 //! accepting exactly the version-1 whole-operator form; [`load_slice`]
 //! accepts both (a whole operator loads as the trivial full-range slice).
+//!
+//! Version 3 (flag bit 2) carries a [`QuantizedOperator`]'s *resident i16
+//! weight spectra* rather than time-domain defining vectors:
+//!
+//! ```text
+//! magic "CIRC", version 3, flags 4
+//! m, n, k                  u64 × 3
+//! weight bits, frac        u32 × 2
+//! input  bits, frac        u32 × 2
+//! input_range              f32
+//! w_step                   f32 × p        (per-block-row scales)
+//! wq_re, wq_im             i16 × bins·p·q each ([bin][p][q] planes)
+//! ```
+//!
+//! Loading funnels through [`QuantizedOperator::from_raw_parts`], so a
+//! stream whose formats could overflow i32 accumulation is rejected with
+//! the same typed [`CircError::QuantOverflow`] as construction.
+//! [`load`]/[`load_slice`] reject version 3 — the spectra are not
+//! defining vectors and cannot rebuild an f32 operator.
 
 use std::io::{self, Read, Write};
 
+use circnn_fft::fixed::QFormat;
+
 use crate::error::CircError;
 use crate::matrix::{BlockCirculantMatrix, RowSlice};
+use crate::quantized::{QuantConfig, QuantizedOperator};
 
 const MAGIC: &[u8; 4] = b"CIRC";
 const VERSION: u16 = 1;
 const SLICE_VERSION: u16 = 2;
+const SPECTRA_VERSION: u16 = 3;
 const FLAG_QUANTIZED: u16 = 1;
 const FLAG_SLICE: u16 = 2;
+const FLAG_SPECTRA: u16 = 4;
 
 /// Errors from the codec.
 #[derive(Debug)]
@@ -91,6 +115,33 @@ fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut buf = [0u8; 8];
     r.read_exact(&mut buf)?;
     Ok(u64::from_le_bytes(buf))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_f32<R: Read>(r: &mut R) -> io::Result<f32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(f32::from_le_bytes(buf))
+}
+
+/// Reads a `bits, frac` pair and validates it against [`QFormat`]'s
+/// domain (i16 codes cap usable widths at 16) so a corrupt stream is a
+/// typed error, never a constructor panic.
+fn read_format<R: Read>(r: &mut R) -> Result<QFormat, SerializeError> {
+    let bits = read_u32(r)?;
+    let frac = read_u32(r)?;
+    if !(1..=16).contains(&bits) || frac >= bits {
+        return Err(SerializeError::Io(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("invalid quantized code format Q{bits}.{frac}"),
+        )));
+    }
+    Ok(QFormat::new(bits, frac))
 }
 
 /// Writes an operator in full f32 precision.
@@ -162,6 +213,87 @@ pub fn save_slice<W: Write>(slice: &RowSlice, mut out: W) -> Result<(), Serializ
     Ok(())
 }
 
+/// Writes a [`QuantizedOperator`]'s resident i16 weight spectra and
+/// per-block-row scales — the version-3 serving deployment form. Half the
+/// payload bytes of the f32 spectra, and loadable straight into the
+/// fixed-point inference path with no re-FFT and no re-calibration.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save_quantized_spectra<W: Write>(
+    op: &QuantizedOperator,
+    mut out: W,
+) -> Result<(), SerializeError> {
+    out.write_all(MAGIC)?;
+    out.write_all(&SPECTRA_VERSION.to_le_bytes())?;
+    out.write_all(&FLAG_SPECTRA.to_le_bytes())?;
+    write_u64(&mut out, op.rows() as u64)?;
+    write_u64(&mut out, op.cols() as u64)?;
+    write_u64(&mut out, op.block_size() as u64)?;
+    let cfg = op.config();
+    for fmt in [cfg.weight_format, cfg.input_format] {
+        out.write_all(&fmt.bits().to_le_bytes())?;
+        out.write_all(&fmt.frac().to_le_bytes())?;
+    }
+    out.write_all(&cfg.input_range.to_le_bytes())?;
+    for &s in op.weight_steps() {
+        out.write_all(&s.to_le_bytes())?;
+    }
+    let (wq_re, wq_im) = op.code_planes();
+    for plane in [wq_re, wq_im] {
+        for &c in plane {
+            out.write_all(&c.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a quantized-spectra stream written by [`save_quantized_spectra`].
+///
+/// The decoded parts funnel through [`QuantizedOperator::from_raw_parts`],
+/// so dimension errors and overflow-capable formats surface as
+/// [`SerializeError::Invalid`] with the construction-time [`CircError`].
+///
+/// # Errors
+///
+/// Returns [`SerializeError`] on malformed streams, non-version-3
+/// streams, invalid code formats, or contents `from_raw_parts` rejects.
+pub fn load_quantized_spectra<R: Read>(mut input: R) -> Result<QuantizedOperator, SerializeError> {
+    let (version, flags, m, n, k) = read_header(&mut input)?;
+    if version != SPECTRA_VERSION || flags & FLAG_SPECTRA == 0 {
+        return Err(SerializeError::UnsupportedVersion(version));
+    }
+    let weight_format = read_format(&mut input)?;
+    let input_format = read_format(&mut input)?;
+    let input_range = read_f32(&mut input)?;
+    let cfg = QuantConfig {
+        weight_format,
+        input_format,
+        input_range,
+    };
+    let (p, q) = (m.div_ceil(k.max(1)), n.div_ceil(k.max(1)));
+    let bins = k / 2 + 1;
+    let mut w_step = Vec::with_capacity(p);
+    for _ in 0..p {
+        w_step.push(read_f32(&mut input)?);
+    }
+    let count = bins * p * q;
+    let read_codes = |input: &mut R| -> Result<Vec<i16>, SerializeError> {
+        let mut raw = vec![0u8; count * 2];
+        input.read_exact(&mut raw)?;
+        Ok(raw
+            .chunks_exact(2)
+            .map(|c| i16::from_le_bytes([c[0], c[1]]))
+            .collect())
+    };
+    let wq_re = read_codes(&mut input)?;
+    let wq_im = read_codes(&mut input)?;
+    Ok(QuantizedOperator::from_raw_parts(
+        m, n, k, cfg, w_step, wq_re, wq_im,
+    )?)
+}
+
 /// Reads `magic version flags m n k` and validates magic/version.
 fn read_header<R: Read>(input: &mut R) -> Result<(u16, u16, usize, usize, usize), SerializeError> {
     let mut magic = [0u8; 4];
@@ -172,7 +304,7 @@ fn read_header<R: Read>(input: &mut R) -> Result<(u16, u16, usize, usize, usize)
     let mut half = [0u8; 2];
     input.read_exact(&mut half)?;
     let version = u16::from_le_bytes(half);
-    if version != VERSION && version != SLICE_VERSION {
+    if version != VERSION && version != SLICE_VERSION && version != SPECTRA_VERSION {
         return Err(SerializeError::UnsupportedVersion(version));
     }
     input.read_exact(&mut half)?;
@@ -243,6 +375,11 @@ pub fn load<R: Read>(mut input: R) -> Result<BlockCirculantMatrix, SerializeErro
 /// invalid dimensions.
 pub fn load_slice<R: Read>(mut input: R) -> Result<RowSlice, SerializeError> {
     let (version, flags, m, n, k) = read_header(&mut input)?;
+    if version == SPECTRA_VERSION || flags & FLAG_SPECTRA != 0 {
+        // Spectra streams hold i16 frequency-domain codes, not defining
+        // vectors — only `load_quantized_spectra` understands them.
+        return Err(SerializeError::UnsupportedVersion(version));
+    }
     let (row_start, full_rows) = if version == SLICE_VERSION {
         if flags & FLAG_SLICE == 0 {
             return Err(SerializeError::UnsupportedVersion(version));
@@ -409,6 +546,96 @@ mod tests {
         assert!(matches!(
             load_slice(&bad[..]),
             Err(SerializeError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn quantized_spectra_round_trip_is_bit_identical() {
+        use crate::quantized::{QuantConfig, QuantWorkspace};
+        let m = sample();
+        let qop = QuantizedOperator::from_operator(&m, QuantConfig::default()).unwrap();
+        let mut buf = Vec::new();
+        save_quantized_spectra(&qop, &mut buf).unwrap();
+        let back = load_quantized_spectra(&buf[..]).unwrap();
+        assert_eq!(back.rows(), qop.rows());
+        assert_eq!(back.cols(), qop.cols());
+        assert_eq!(back.block_size(), qop.block_size());
+        assert_eq!(back.config(), qop.config());
+        assert_eq!(back.weight_steps(), qop.weight_steps());
+        assert_eq!(back.code_planes(), qop.code_planes());
+        // Identical codes + scales ⇒ bitwise-identical inference.
+        let x: Vec<f32> = (0..40).map(|i| (i as f32 * 0.13).sin()).collect();
+        let (mut wa, mut wb) = (QuantWorkspace::new(), QuantWorkspace::new());
+        let (mut ya, mut yb) = (vec![0.0f32; 24], vec![0.0f32; 24]);
+        qop.infer_batch_into(&x, 1, &mut wa, &mut ya, 1).unwrap();
+        back.infer_batch_into(&x, 1, &mut wb, &mut yb, 1).unwrap();
+        assert_eq!(
+            ya.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            yb.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        // Half the weight-payload bytes of the f32 stream for same m/n/k
+        // would not hold (spectra store bins·p·q complex pairs vs p·q·k
+        // reals), but truncation anywhere must stay a typed error.
+        for cut in [3, 5, 20, 40, buf.len() / 2, buf.len() - 1] {
+            assert!(
+                matches!(
+                    load_quantized_spectra(&buf[..cut]),
+                    Err(SerializeError::Io(_)) | Err(SerializeError::BadMagic)
+                ),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn spectra_streams_are_rejected_by_vector_loaders_and_vice_versa() {
+        use crate::quantized::QuantConfig;
+        let m = sample();
+        let qop = QuantizedOperator::from_operator(&m, QuantConfig::default()).unwrap();
+        let mut sbuf = Vec::new();
+        save_quantized_spectra(&qop, &mut sbuf).unwrap();
+        assert!(matches!(
+            load(&sbuf[..]),
+            Err(SerializeError::UnsupportedVersion(SPECTRA_VERSION))
+        ));
+        assert!(matches!(
+            load_slice(&sbuf[..]),
+            Err(SerializeError::UnsupportedVersion(SPECTRA_VERSION))
+        ));
+        let mut vbuf = Vec::new();
+        save(&m, &mut vbuf).unwrap();
+        assert!(matches!(
+            load_quantized_spectra(&vbuf[..]),
+            Err(SerializeError::UnsupportedVersion(VERSION))
+        ));
+    }
+
+    #[test]
+    fn spectra_streams_fail_typed_on_overflow_and_bad_formats() {
+        use crate::error::CircError;
+        use crate::quantized::QuantConfig;
+        let m = sample();
+        let qop = QuantizedOperator::from_operator(&m, QuantConfig::default()).unwrap();
+        let mut buf = Vec::new();
+        save_quantized_spectra(&qop, &mut buf).unwrap();
+        // Widen both formats to 16 bits in-place: 2·(2¹⁵)²·q overflows
+        // i32, so the load must fail with the construction-time error.
+        let fmt_off = 4 + 2 + 2 + 24;
+        buf[fmt_off..fmt_off + 4].copy_from_slice(&16u32.to_le_bytes());
+        buf[fmt_off + 8..fmt_off + 12].copy_from_slice(&16u32.to_le_bytes());
+        assert!(matches!(
+            load_quantized_spectra(&buf[..]),
+            Err(SerializeError::Invalid(CircError::QuantOverflow {
+                weight_bits: 16,
+                input_bits: 16,
+                ..
+            }))
+        ));
+        // A format outside the i16 domain is invalid data, not a panic.
+        buf[fmt_off..fmt_off + 4].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            load_quantized_spectra(&buf[..]),
+            Err(SerializeError::Io(e)) if e.kind() == io::ErrorKind::InvalidData
         ));
     }
 

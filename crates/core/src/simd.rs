@@ -1,0 +1,926 @@
+//! Runtime-dispatched SIMD MAC kernels for the spectral-plane engine.
+//!
+//! Three kernels cover every inner loop the engine runs per `(bin, block)`
+//! weight scalar:
+//!
+//! * [`cmac`] — complex f32 multiply-accumulate over a lane tile
+//!   (`ar += wr·xr + wi·xi`, `ai += wr·xi − wi·xr`); the transpose apply is
+//!   the same kernel with `wi` negated.
+//! * [`rmac`] — real-bin f32 multiply-accumulate (`ar += wr·xr`).
+//! * [`qmac`] — i16×i16→i32 complex multiply-accumulate over interleaved
+//!   `(re, im)` code pairs, the `_mm_madd_epi16` shape: one pairwise
+//!   multiply-add yields `wr·xr + wi·xi` (or `wr·xi − wi·xr`) per 32-bit
+//!   accumulator lane.
+//!
+//! Dispatch is by runtime CPUID check (`is_x86_feature_detected!`), cached
+//! in a `OnceLock`, resolved **once per MAC chunk** and threaded into the
+//! kernels as a value — the hot loops never touch the atomic. The f32
+//! vector lanes use the same mul/mul/add(sub) association as the scalar
+//! loop and no FMA, so scalar and SIMD results are bitwise identical lane
+//! for lane; the i16 kernel is pure integer arithmetic and therefore
+//! unconditionally bitwise stable. With the `simd` feature off (or off
+//! x86-64) every wrapper collapses to the scalar body.
+
+// The only unsafe in the crate: `core::arch` intrinsic calls, each gated
+// behind the matching runtime feature check in `detect()`.
+#![allow(unsafe_code)]
+
+/// Instruction set selected at runtime for the MAC kernels.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum Isa {
+    /// AVX2: 8-wide f32, 8×i32 pairwise i16 multiply-add.
+    #[cfg_attr(not(all(feature = "simd", target_arch = "x86_64")), allow(dead_code))]
+    Avx2,
+    /// SSE2: 4-wide f32, 4×i32 pairwise i16 multiply-add.
+    #[cfg_attr(not(all(feature = "simd", target_arch = "x86_64")), allow(dead_code))]
+    Sse2,
+    /// Portable scalar loops (also the `--no-default-features` build).
+    Scalar,
+}
+
+/// Returns the best kernel ISA the host supports, probing CPUID once.
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+pub(crate) fn isa() -> Isa {
+    static ISA: std::sync::OnceLock<Isa> = std::sync::OnceLock::new();
+    *ISA.get_or_init(|| {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            Isa::Avx2
+        } else if std::arch::is_x86_feature_detected!("sse2") {
+            Isa::Sse2
+        } else {
+            Isa::Scalar
+        }
+    })
+}
+
+/// Scalar-only build: the dispatcher is a constant.
+#[cfg(not(all(feature = "simd", target_arch = "x86_64")))]
+pub(crate) fn isa() -> Isa {
+    Isa::Scalar
+}
+
+// ---------------------------------------------------------------------------
+// f32 complex MAC
+// ---------------------------------------------------------------------------
+
+/// `ar[t] += wr·xr[t] + wi·xi[t]; ai[t] += wr·xi[t] − wi·xr[t]` over a tile.
+///
+/// The forward frequency-domain product with a conjugated weight spectrum.
+/// The transpose (backward) apply is `cmac(isa, wr, -wi, ...)` — IEEE
+/// negation commutes exactly through the products and `a − b ≡ a + (−b)`,
+/// so one kernel serves both directions bitwise.
+#[inline(always)]
+pub(crate) fn cmac(
+    isa: Isa,
+    wr: f32,
+    wi: f32,
+    xr: &[f32],
+    xi: &[f32],
+    ar: &mut [f32],
+    ai: &mut [f32],
+) {
+    match isa {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        Isa::Avx2 => unsafe { cmac_avx2(wr, wi, xr, xi, ar, ai) },
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        Isa::Sse2 => unsafe { cmac_sse2(wr, wi, xr, xi, ar, ai) },
+        _ => cmac_scalar(wr, wi, xr, xi, ar, ai),
+    }
+}
+
+#[inline(always)]
+fn cmac_scalar(wr: f32, wi: f32, xr: &[f32], xi: &[f32], ar: &mut [f32], ai: &mut [f32]) {
+    let l = ar.len();
+    for t in 0..l {
+        ar[t] += wr * xr[t] + wi * xi[t];
+        ai[t] += wr * xi[t] - wi * xr[t];
+    }
+}
+
+/// `ar[t] += wr·xr[t]` over a tile (DC/Nyquist real bins; imaginary parts
+/// are identically zero there).
+#[inline(always)]
+pub(crate) fn rmac(isa: Isa, wr: f32, xr: &[f32], ar: &mut [f32]) {
+    match isa {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        Isa::Avx2 => unsafe { rmac_avx2(wr, xr, ar) },
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        Isa::Sse2 => unsafe { rmac_sse2(wr, xr, ar) },
+        _ => rmac_scalar(wr, xr, ar),
+    }
+}
+
+#[inline(always)]
+fn rmac_scalar(wr: f32, xr: &[f32], ar: &mut [f32]) {
+    let l = ar.len();
+    for t in 0..l {
+        ar[t] += wr * xr[t];
+    }
+}
+
+// ---------------------------------------------------------------------------
+// i16 complex MAC (interleaved (re, im) pairs → i32 accumulators)
+// ---------------------------------------------------------------------------
+
+/// Quantized complex MAC: `x` holds `l` interleaved `(re, im)` i16 code
+/// pairs (`x.len() == 2·l`); for each lane `t`,
+/// `ar[t] += wr·xr − (−wi)·xi = wr·xr + wi·xi` and
+/// `ai[t] += wr·xi − wi·xr`, all in i32.
+///
+/// The symmetric quantizer clamps codes to `[−C, C]` with
+/// `C ≤ 2¹⁵ − 1`, so each pairwise product sum fits i32 by construction
+/// (the registration-time overflow check guarantees the running total
+/// does too), and `wi.wrapping_neg()` below can never hit `i16::MIN`.
+#[inline(always)]
+pub(crate) fn qmac(isa: Isa, wr: i16, wi: i16, x: &[i16], ar: &mut [i32], ai: &mut [i32]) {
+    match isa {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        Isa::Avx2 => unsafe { qmac_avx2(wr, wi, x, ar, ai) },
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        Isa::Sse2 => unsafe { qmac_sse2(wr, wi, x, ar, ai) },
+        _ => qmac_scalar(wr, wi, x, ar, ai),
+    }
+}
+
+#[inline(always)]
+fn qmac_scalar(wr: i16, wi: i16, x: &[i16], ar: &mut [i32], ai: &mut [i32]) {
+    let (wr, wi) = (i32::from(wr), i32::from(wi));
+    let l = ar.len();
+    for t in 0..l {
+        let xr = i32::from(x[2 * t]);
+        let xi = i32::from(x[2 * t + 1]);
+        ar[t] += wr * xr + wi * xi;
+        ai[t] += wr * xi - wi * xr;
+    }
+}
+
+/// Packs two i16 words into the i32 madd constant `(hi << 16) | lo` so a
+/// pairwise i16 multiply-add against an `(re, im)` pair (re in the low
+/// element) computes `lo·re + hi·im`.
+#[inline(always)]
+pub(crate) fn madd_pair(lo: i16, hi: i16) -> i32 {
+    ((hi as u16 as i32) << 16) | (lo as u16 as i32)
+}
+
+/// Register-resident quantized MAC over a tile of `tl ≤ 4` block rows:
+/// for each row `u`, **overwrites** `acc_re/acc_im[aos[u]..]` with
+/// `Σ_e Σ_j w[e][u][j] ∘ x[e][j]` over every engine (fused operator —
+/// e.g. the r² kernel offsets of a convolution) and block column, for
+/// `len` lanes. The running sums stay in SIMD registers across the entire
+/// `e × j` sweep — the per-`j` [`qmac`] formulation pays accumulator loads
+/// and stores on every weight element; this one pays the stores once per
+/// tile, which is what makes small-`q` shapes (convolution with
+/// `in_c == k`, so `q == 1`) profitable.
+///
+/// `wa[e·es + u·q + j]` / `wb[...]` are [`madd_pair`] constants
+/// (`pack(wr, wi)` and `pack(−wi, wr)`); `xq` holds interleaved `(re, im)`
+/// pairs with lane `t` of engine `e`'s column `j` at
+/// `xbases[e] + j·xstride + 2t`. Integer accumulation is exact, so every
+/// ISA — and the per-`j` [`qmac`] ordering — produces bitwise identical
+/// results.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) fn qmac_rows(
+    isa: Isa,
+    wa: &[i32],
+    wb: &[i32],
+    tl: usize,
+    es: usize,
+    q: usize,
+    xq: &[i16],
+    xbases: &[usize],
+    xstride: usize,
+    len: usize,
+    acc_re: &mut [i32],
+    acc_im: &mut [i32],
+    aos: &[usize],
+) {
+    debug_assert!((1..=4).contains(&tl));
+    debug_assert!(tl * q <= es);
+    debug_assert!(wa.len() >= (xbases.len() - 1) * es + tl * q);
+    debug_assert_eq!(aos.len(), tl);
+    match isa {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        Isa::Avx2 => unsafe {
+            match tl {
+                1 => qmac_rows_avx2::<1>(
+                    wa, wb, es, q, xq, xbases, xstride, len, acc_re, acc_im, aos,
+                ),
+                2 => qmac_rows_avx2::<2>(
+                    wa, wb, es, q, xq, xbases, xstride, len, acc_re, acc_im, aos,
+                ),
+                3 => qmac_rows_avx2::<3>(
+                    wa, wb, es, q, xq, xbases, xstride, len, acc_re, acc_im, aos,
+                ),
+                _ => qmac_rows_avx2::<4>(
+                    wa, wb, es, q, xq, xbases, xstride, len, acc_re, acc_im, aos,
+                ),
+            }
+        },
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        Isa::Sse2 => unsafe {
+            match tl {
+                1 => qmac_rows_sse2::<1>(
+                    wa, wb, es, q, xq, xbases, xstride, len, acc_re, acc_im, aos,
+                ),
+                2 => qmac_rows_sse2::<2>(
+                    wa, wb, es, q, xq, xbases, xstride, len, acc_re, acc_im, aos,
+                ),
+                3 => qmac_rows_sse2::<3>(
+                    wa, wb, es, q, xq, xbases, xstride, len, acc_re, acc_im, aos,
+                ),
+                _ => qmac_rows_sse2::<4>(
+                    wa, wb, es, q, xq, xbases, xstride, len, acc_re, acc_im, aos,
+                ),
+            }
+        },
+        _ => qmac_rows_lanes(
+            wa, tl, es, q, xq, xbases, xstride, 0, len, acc_re, acc_im, aos,
+        ),
+    }
+}
+
+/// Scalar row MAC over lanes `t0..len` — the portable body and the vector
+/// kernels' shared tail. Unpacks `wr`/`wi` back out of the `wa` constants
+/// so one constant table serves every ISA.
+#[allow(clippy::too_many_arguments)]
+fn qmac_rows_lanes(
+    wa: &[i32],
+    tl: usize,
+    es: usize,
+    q: usize,
+    xq: &[i16],
+    xbases: &[usize],
+    xstride: usize,
+    t0: usize,
+    len: usize,
+    acc_re: &mut [i32],
+    acc_im: &mut [i32],
+    aos: &[usize],
+) {
+    for u in 0..tl {
+        let ao = aos[u];
+        acc_re[ao + t0..ao + len].fill(0);
+        acc_im[ao + t0..ao + len].fill(0);
+        for (e, &xb) in xbases.iter().enumerate() {
+            for j in 0..q {
+                let w = wa[e * es + u * q + j];
+                let wr = w as i16 as i32;
+                let wi = w >> 16;
+                let xo = xb + j * xstride;
+                for t in t0..len {
+                    let xr = i32::from(xq[xo + 2 * t]);
+                    let xi = i32::from(xq[xo + 2 * t + 1]);
+                    acc_re[ao + t] += wr * xr + wi * xi;
+                    acc_im[ao + t] += wr * xi - wi * xr;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fused quantize-and-interleave (f32 spectrum rows → i16 code pairs)
+// ---------------------------------------------------------------------------
+
+/// Quantizes one bin row of `pr.len()` spectrum lanes into interleaved
+/// `(re, im)` i16 code pairs: `out[2t] = round(pr[t]·inv_step)` clamped to
+/// `[−max_code, max_code]`, `out[2t+1]` likewise from `pi` — or zero when
+/// `pi` is `None` (DC/Nyquist bins, real for real inputs).
+///
+/// Rounding is ties-to-even on every path: the scalar body rounds via the
+/// exponent-shift trick in [`crate::engine::quantize_code`] and the vector
+/// lanes via `cvtps` under the default MXCSR mode, which is the same rule
+/// — so codes are bitwise identical across ISAs. Caller contract: spectra are finite with
+/// `|v·inv_step| < 2³¹` (the engine's input-range clamp guarantees far
+/// tighter), so the float→int conversion never saturates differently
+/// between the scalar `as` cast and the vector conversion.
+pub(crate) fn qpack(
+    isa: Isa,
+    pr: &[f32],
+    pi: Option<&[f32]>,
+    inv_step: f32,
+    max_code: i32,
+    out: &mut [i16],
+) {
+    debug_assert_eq!(out.len(), 2 * pr.len());
+    debug_assert!(match pi {
+        Some(pi) => pi.len() == pr.len(),
+        None => true,
+    });
+    match isa {
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        Isa::Avx2 => unsafe { qpack_avx2(pr, pi, inv_step, max_code, out) },
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        Isa::Sse2 => unsafe { qpack_sse2(pr, pi, inv_step, max_code, out) },
+        _ => qpack_scalar(pr, pi, inv_step, max_code, out),
+    }
+}
+
+#[inline(always)]
+fn qpack_scalar(pr: &[f32], pi: Option<&[f32]>, inv_step: f32, max_code: i32, out: &mut [i16]) {
+    match pi {
+        Some(pi) => {
+            for ((o, &vr), &vi) in out.chunks_exact_mut(2).zip(pr).zip(pi) {
+                o[0] = crate::engine::quantize_code(vr, inv_step, max_code);
+                o[1] = crate::engine::quantize_code(vi, inv_step, max_code);
+            }
+        }
+        None => {
+            for (o, &vr) in out.chunks_exact_mut(2).zip(pr) {
+                o[0] = crate::engine::quantize_code(vr, inv_step, max_code);
+                o[1] = 0;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// x86-64 lanes
+// ---------------------------------------------------------------------------
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    use super::{madd_pair, qmac_rows_lanes, qpack_scalar};
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn cmac_sse2(
+        wr: f32,
+        wi: f32,
+        xr: &[f32],
+        xi: &[f32],
+        ar: &mut [f32],
+        ai: &mut [f32],
+    ) {
+        let l = ar.len();
+        let wrv = _mm_set1_ps(wr);
+        let wiv = _mm_set1_ps(wi);
+        let mut t = 0;
+        while t + 4 <= l {
+            let xrv = _mm_loadu_ps(xr.as_ptr().add(t));
+            let xiv = _mm_loadu_ps(xi.as_ptr().add(t));
+            let arv = _mm_loadu_ps(ar.as_ptr().add(t));
+            let aiv = _mm_loadu_ps(ai.as_ptr().add(t));
+            // Same association as the scalar loop: (wr·xr + wi·xi), then +=.
+            let re = _mm_add_ps(_mm_mul_ps(wrv, xrv), _mm_mul_ps(wiv, xiv));
+            let im = _mm_sub_ps(_mm_mul_ps(wrv, xiv), _mm_mul_ps(wiv, xrv));
+            _mm_storeu_ps(ar.as_mut_ptr().add(t), _mm_add_ps(arv, re));
+            _mm_storeu_ps(ai.as_mut_ptr().add(t), _mm_add_ps(aiv, im));
+            t += 4;
+        }
+        while t < l {
+            ar[t] += wr * xr[t] + wi * xi[t];
+            ai[t] += wr * xi[t] - wi * xr[t];
+            t += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn cmac_avx2(
+        wr: f32,
+        wi: f32,
+        xr: &[f32],
+        xi: &[f32],
+        ar: &mut [f32],
+        ai: &mut [f32],
+    ) {
+        let l = ar.len();
+        let wrv = _mm256_set1_ps(wr);
+        let wiv = _mm256_set1_ps(wi);
+        let mut t = 0;
+        while t + 8 <= l {
+            let xrv = _mm256_loadu_ps(xr.as_ptr().add(t));
+            let xiv = _mm256_loadu_ps(xi.as_ptr().add(t));
+            let arv = _mm256_loadu_ps(ar.as_ptr().add(t));
+            let aiv = _mm256_loadu_ps(ai.as_ptr().add(t));
+            let re = _mm256_add_ps(_mm256_mul_ps(wrv, xrv), _mm256_mul_ps(wiv, xiv));
+            let im = _mm256_sub_ps(_mm256_mul_ps(wrv, xiv), _mm256_mul_ps(wiv, xrv));
+            _mm256_storeu_ps(ar.as_mut_ptr().add(t), _mm256_add_ps(arv, re));
+            _mm256_storeu_ps(ai.as_mut_ptr().add(t), _mm256_add_ps(aiv, im));
+            t += 8;
+        }
+        while t < l {
+            ar[t] += wr * xr[t] + wi * xi[t];
+            ai[t] += wr * xi[t] - wi * xr[t];
+            t += 1;
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn rmac_sse2(wr: f32, xr: &[f32], ar: &mut [f32]) {
+        let l = ar.len();
+        let wrv = _mm_set1_ps(wr);
+        let mut t = 0;
+        while t + 4 <= l {
+            let xrv = _mm_loadu_ps(xr.as_ptr().add(t));
+            let arv = _mm_loadu_ps(ar.as_ptr().add(t));
+            _mm_storeu_ps(
+                ar.as_mut_ptr().add(t),
+                _mm_add_ps(arv, _mm_mul_ps(wrv, xrv)),
+            );
+            t += 4;
+        }
+        while t < l {
+            ar[t] += wr * xr[t];
+            t += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn rmac_avx2(wr: f32, xr: &[f32], ar: &mut [f32]) {
+        let l = ar.len();
+        let wrv = _mm256_set1_ps(wr);
+        let mut t = 0;
+        while t + 8 <= l {
+            let xrv = _mm256_loadu_ps(xr.as_ptr().add(t));
+            let arv = _mm256_loadu_ps(ar.as_ptr().add(t));
+            _mm256_storeu_ps(
+                ar.as_mut_ptr().add(t),
+                _mm256_add_ps(arv, _mm256_mul_ps(wrv, xrv)),
+            );
+            t += 8;
+        }
+        while t < l {
+            ar[t] += wr * xr[t];
+            t += 1;
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn qmac_sse2(wr: i16, wi: i16, x: &[i16], ar: &mut [i32], ai: &mut [i32]) {
+        let l = ar.len();
+        // madd over (re, im) pairs: wa yields wr·re + wi·im (the ar term),
+        // wb yields (−wi)·re + wr·im = wr·im − wi·re (the ai term).
+        let wa = _mm_set1_epi32(madd_pair(wr, wi));
+        let wb = _mm_set1_epi32(madd_pair(wi.wrapping_neg(), wr));
+        let mut t = 0;
+        while t + 4 <= l {
+            let xv = _mm_loadu_si128(x.as_ptr().add(2 * t).cast());
+            let arv = _mm_loadu_si128(ar.as_ptr().add(t).cast());
+            let aiv = _mm_loadu_si128(ai.as_ptr().add(t).cast());
+            let re = _mm_madd_epi16(xv, wa);
+            let im = _mm_madd_epi16(xv, wb);
+            _mm_storeu_si128(ar.as_mut_ptr().add(t).cast(), _mm_add_epi32(arv, re));
+            _mm_storeu_si128(ai.as_mut_ptr().add(t).cast(), _mm_add_epi32(aiv, im));
+            t += 4;
+        }
+        let (wr, wi) = (i32::from(wr), i32::from(wi));
+        while t < l {
+            let xr = i32::from(x[2 * t]);
+            let xi = i32::from(x[2 * t + 1]);
+            ar[t] += wr * xr + wi * xi;
+            ai[t] += wr * xi - wi * xr;
+            t += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn qmac_avx2(wr: i16, wi: i16, x: &[i16], ar: &mut [i32], ai: &mut [i32]) {
+        let l = ar.len();
+        let wa = _mm256_set1_epi32(madd_pair(wr, wi));
+        let wb = _mm256_set1_epi32(madd_pair(wi.wrapping_neg(), wr));
+        let mut t = 0;
+        while t + 8 <= l {
+            let xv = _mm256_loadu_si256(x.as_ptr().add(2 * t).cast());
+            let arv = _mm256_loadu_si256(ar.as_ptr().add(t).cast());
+            let aiv = _mm256_loadu_si256(ai.as_ptr().add(t).cast());
+            let re = _mm256_madd_epi16(xv, wa);
+            let im = _mm256_madd_epi16(xv, wb);
+            _mm256_storeu_si256(ar.as_mut_ptr().add(t).cast(), _mm256_add_epi32(arv, re));
+            _mm256_storeu_si256(ai.as_mut_ptr().add(t).cast(), _mm256_add_epi32(aiv, im));
+            t += 8;
+        }
+        let (wr, wi) = (i32::from(wr), i32::from(wi));
+        while t < l {
+            let xr = i32::from(x[2 * t]);
+            let xi = i32::from(x[2 * t + 1]);
+            ar[t] += wr * xr + wi * xi;
+            ai[t] += wr * xi - wi * xr;
+            t += 1;
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn qmac_rows_sse2<const TL: usize>(
+        wa: &[i32],
+        wb: &[i32],
+        es: usize,
+        q: usize,
+        xq: &[i16],
+        xbases: &[usize],
+        xstride: usize,
+        len: usize,
+        acc_re: &mut [i32],
+        acc_im: &mut [i32],
+        aos: &[usize],
+    ) {
+        let mut t0 = 0;
+        while t0 + 4 <= len {
+            let mut ar = [_mm_setzero_si128(); TL];
+            let mut ai = [_mm_setzero_si128(); TL];
+            for (e, &xb) in xbases.iter().enumerate() {
+                for j in 0..q {
+                    let xv = _mm_loadu_si128(xq.as_ptr().add(xb + j * xstride + 2 * t0).cast());
+                    for u in 0..TL {
+                        let wav = _mm_set1_epi32(*wa.get_unchecked(e * es + u * q + j));
+                        let wbv = _mm_set1_epi32(*wb.get_unchecked(e * es + u * q + j));
+                        ar[u] = _mm_add_epi32(ar[u], _mm_madd_epi16(xv, wav));
+                        ai[u] = _mm_add_epi32(ai[u], _mm_madd_epi16(xv, wbv));
+                    }
+                }
+            }
+            for u in 0..TL {
+                _mm_storeu_si128(acc_re.as_mut_ptr().add(aos[u] + t0).cast(), ar[u]);
+                _mm_storeu_si128(acc_im.as_mut_ptr().add(aos[u] + t0).cast(), ai[u]);
+            }
+            t0 += 4;
+        }
+        if t0 < len {
+            qmac_rows_lanes(
+                wa, TL, es, q, xq, xbases, xstride, t0, len, acc_re, acc_im, aos,
+            );
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn qmac_rows_avx2<const TL: usize>(
+        wa: &[i32],
+        wb: &[i32],
+        es: usize,
+        q: usize,
+        xq: &[i16],
+        xbases: &[usize],
+        xstride: usize,
+        len: usize,
+        acc_re: &mut [i32],
+        acc_im: &mut [i32],
+        aos: &[usize],
+    ) {
+        let mut t0 = 0;
+        while t0 + 8 <= len {
+            let mut ar = [_mm256_setzero_si256(); TL];
+            let mut ai = [_mm256_setzero_si256(); TL];
+            for (e, &xb) in xbases.iter().enumerate() {
+                for j in 0..q {
+                    let xv = _mm256_loadu_si256(xq.as_ptr().add(xb + j * xstride + 2 * t0).cast());
+                    for u in 0..TL {
+                        let wav = _mm256_set1_epi32(*wa.get_unchecked(e * es + u * q + j));
+                        let wbv = _mm256_set1_epi32(*wb.get_unchecked(e * es + u * q + j));
+                        ar[u] = _mm256_add_epi32(ar[u], _mm256_madd_epi16(xv, wav));
+                        ai[u] = _mm256_add_epi32(ai[u], _mm256_madd_epi16(xv, wbv));
+                    }
+                }
+            }
+            for u in 0..TL {
+                _mm256_storeu_si256(acc_re.as_mut_ptr().add(aos[u] + t0).cast(), ar[u]);
+                _mm256_storeu_si256(acc_im.as_mut_ptr().add(aos[u] + t0).cast(), ai[u]);
+            }
+            t0 += 8;
+        }
+        if t0 < len {
+            // Masked tail: each i32 lane is one `(re, im)` i16 pair, so a
+            // maskload/maskstore pair runs the remainder at full vector
+            // width — masked-off x lanes read as zero and contribute
+            // nothing. Short conv runs (padded plane length per sample)
+            // would otherwise pay a scalar sweep over all e·q columns per
+            // leftover lane.
+            let rem = (len - t0) as i32;
+            let mv = _mm256_cmpgt_epi32(
+                _mm256_set1_epi32(rem),
+                _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7),
+            );
+            let mut ar = [_mm256_setzero_si256(); TL];
+            let mut ai = [_mm256_setzero_si256(); TL];
+            for (e, &xb) in xbases.iter().enumerate() {
+                for j in 0..q {
+                    let xv = _mm256_maskload_epi32(
+                        xq.as_ptr().add(xb + j * xstride + 2 * t0).cast(),
+                        mv,
+                    );
+                    for u in 0..TL {
+                        let wav = _mm256_set1_epi32(*wa.get_unchecked(e * es + u * q + j));
+                        let wbv = _mm256_set1_epi32(*wb.get_unchecked(e * es + u * q + j));
+                        ar[u] = _mm256_add_epi32(ar[u], _mm256_madd_epi16(xv, wav));
+                        ai[u] = _mm256_add_epi32(ai[u], _mm256_madd_epi16(xv, wbv));
+                    }
+                }
+            }
+            for u in 0..TL {
+                _mm256_maskstore_epi32(acc_re.as_mut_ptr().add(aos[u] + t0).cast(), mv, ar[u]);
+                _mm256_maskstore_epi32(acc_im.as_mut_ptr().add(aos[u] + t0).cast(), mv, ai[u]);
+            }
+        }
+    }
+
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn qpack_sse2(
+        pr: &[f32],
+        pi: Option<&[f32]>,
+        inv_step: f32,
+        max_code: i32,
+        out: &mut [i16],
+    ) {
+        // SSE2 has no min/max_epi32: clamp by signed-compare select.
+        #[inline(always)]
+        unsafe fn clamp_epi32(v: __m128i, lo: __m128i, hi: __m128i) -> __m128i {
+            let m = _mm_cmplt_epi32(v, hi);
+            let v = _mm_or_si128(_mm_and_si128(m, v), _mm_andnot_si128(m, hi));
+            let m = _mm_cmplt_epi32(v, lo);
+            _mm_or_si128(_mm_and_si128(m, lo), _mm_andnot_si128(m, v))
+        }
+        let step = _mm_set1_ps(inv_step);
+        let hi = _mm_set1_epi32(max_code);
+        let lo = _mm_set1_epi32(-max_code);
+        let mask = _mm_set1_epi32(0xFFFF);
+        let n = pr.len();
+        let mut t = 0;
+        while t + 4 <= n {
+            let re = _mm_cvtps_epi32(_mm_mul_ps(_mm_loadu_ps(pr.as_ptr().add(t)), step));
+            let re = clamp_epi32(re, lo, hi);
+            let im = match pi {
+                Some(pi) => {
+                    let im = _mm_cvtps_epi32(_mm_mul_ps(_mm_loadu_ps(pi.as_ptr().add(t)), step));
+                    clamp_epi32(im, lo, hi)
+                }
+                None => _mm_setzero_si128(),
+            };
+            // (im << 16) | (re & 0xFFFF) per i32 lane is, little-endian,
+            // exactly the interleaved `[re:i16][im:i16]` pair in memory.
+            let w = _mm_or_si128(_mm_and_si128(re, mask), _mm_slli_epi32::<16>(im));
+            _mm_storeu_si128(out.as_mut_ptr().add(2 * t).cast(), w);
+            t += 4;
+        }
+        if t < n {
+            qpack_scalar(
+                &pr[t..],
+                pi.map(|pi| &pi[t..]),
+                inv_step,
+                max_code,
+                &mut out[2 * t..],
+            );
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn qpack_avx2(
+        pr: &[f32],
+        pi: Option<&[f32]>,
+        inv_step: f32,
+        max_code: i32,
+        out: &mut [i16],
+    ) {
+        let step = _mm256_set1_ps(inv_step);
+        let hi = _mm256_set1_epi32(max_code);
+        let lo = _mm256_set1_epi32(-max_code);
+        let mask = _mm256_set1_epi32(0xFFFF);
+        let n = pr.len();
+        let mut t = 0;
+        while t + 8 <= n {
+            let re = _mm256_cvtps_epi32(_mm256_mul_ps(_mm256_loadu_ps(pr.as_ptr().add(t)), step));
+            let re = _mm256_max_epi32(lo, _mm256_min_epi32(hi, re));
+            let im = match pi {
+                Some(pi) => {
+                    let im = _mm256_cvtps_epi32(_mm256_mul_ps(
+                        _mm256_loadu_ps(pi.as_ptr().add(t)),
+                        step,
+                    ));
+                    _mm256_max_epi32(lo, _mm256_min_epi32(hi, im))
+                }
+                None => _mm256_setzero_si256(),
+            };
+            let w = _mm256_or_si256(_mm256_and_si256(re, mask), _mm256_slli_epi32::<16>(im));
+            _mm256_storeu_si256(out.as_mut_ptr().add(2 * t).cast(), w);
+            t += 8;
+        }
+        if t < n {
+            qpack_scalar(
+                &pr[t..],
+                pi.map(|pi| &pi[t..]),
+                inv_step,
+                max_code,
+                &mut out[2 * t..],
+            );
+        }
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+use x86::{
+    cmac_avx2, cmac_sse2, qmac_avx2, qmac_rows_avx2, qmac_rows_sse2, qmac_sse2, qpack_avx2,
+    qpack_sse2, rmac_avx2, rmac_sse2,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// ISAs the host can actually run (always includes Scalar).
+    fn host_isas() -> Vec<Isa> {
+        let mut v = vec![Isa::Scalar];
+        #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+        {
+            if std::arch::is_x86_feature_detected!("sse2") {
+                v.push(Isa::Sse2);
+            }
+            if std::arch::is_x86_feature_detected!("avx2") {
+                v.push(Isa::Avx2);
+            }
+        }
+        v
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// f32 complex MAC: every host ISA matches scalar bitwise (same
+        /// association, no FMA), for both weight signs (fwd/bwd apply).
+        #[test]
+        fn cmac_matches_scalar_bitwise(
+            len in 1usize..40,
+            wr in -2.0f32..2.0,
+            wi in -2.0f32..2.0,
+            seed in any::<u64>(),
+        ) {
+            let fill = |s: u64| -> Vec<f32> {
+                (0..len)
+                    .map(|t| {
+                        let h = s
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            .wrapping_add((t as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+                        ((h >> 32) as i32 as f32) / (1u32 << 30) as f32
+                    })
+                    .collect()
+            };
+            let xr = fill(seed);
+            let xi = fill(seed ^ 0xabcd);
+            let a0r = fill(seed ^ 0x1111);
+            let a0i = fill(seed ^ 0x2222);
+            for &w in &[(wr, wi), (wr, -wi)] {
+                let (mut gr, mut gi) = (a0r.clone(), a0i.clone());
+                cmac_scalar(w.0, w.1, &xr, &xi, &mut gr, &mut gi);
+                for &isa in &host_isas() {
+                    let (mut tr, mut ti) = (a0r.clone(), a0i.clone());
+                    cmac(isa, w.0, w.1, &xr, &xi, &mut tr, &mut ti);
+                    prop_assert_eq!(
+                        tr.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        gr.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                    );
+                    prop_assert_eq!(
+                        ti.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                        gi.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                    );
+                }
+            }
+        }
+
+        /// f32 real-bin MAC: bitwise across host ISAs.
+        #[test]
+        fn rmac_matches_scalar_bitwise(
+            len in 1usize..40,
+            wr in -2.0f32..2.0,
+            seed in any::<u64>(),
+        ) {
+            let fill = |s: u64| -> Vec<f32> {
+                (0..len)
+                    .map(|t| {
+                        let h = s
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            .wrapping_add((t as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+                        ((h >> 32) as i32 as f32) / (1u32 << 30) as f32
+                    })
+                    .collect()
+            };
+            let xr = fill(seed);
+            let a0 = fill(seed ^ 0x7777);
+            let mut golden = a0.clone();
+            rmac_scalar(wr, &xr, &mut golden);
+            for &isa in &host_isas() {
+                let mut got = a0.clone();
+                rmac(isa, wr, &xr, &mut got);
+                prop_assert_eq!(
+                    got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    golden.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+                );
+            }
+        }
+
+        /// i16 MAC: integer arithmetic, unconditionally bitwise across ISAs.
+        /// Codes span the symmetric 12-bit clamp range the quantizer emits.
+        #[test]
+        fn qmac_matches_scalar_bitwise(
+            len in 1usize..40,
+            wr in -2047i16..=2047,
+            wi in -2047i16..=2047,
+            seed in any::<u64>(),
+        ) {
+            let x: Vec<i16> = (0..2 * len)
+                .map(|t| {
+                    let h = seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add((t as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+                    ((h >> 48) as i16) % 1024
+                })
+                .collect();
+            let a0: Vec<i32> = (0..len).map(|t| (t as i32 - 7) * 1023).collect();
+            let (mut gr, mut gi) = (a0.clone(), a0.clone());
+            qmac_scalar(wr, wi, &x, &mut gr, &mut gi);
+            for &isa in &host_isas() {
+                let (mut tr, mut ti) = (a0.clone(), a0.clone());
+                qmac(isa, wr, wi, &x, &mut tr, &mut ti);
+                prop_assert_eq!(&tr, &gr);
+                prop_assert_eq!(&ti, &gi);
+            }
+        }
+
+        /// Register-tiled i16 row MAC: bitwise across ISAs for every tile
+        /// height, engine count, column count, lane length, and stride.
+        #[test]
+        fn qmac_rows_matches_scalar_bitwise(
+            tl in 1usize..=4,
+            ne in 1usize..=4,
+            q in 1usize..6,
+            len in 1usize..40,
+            xstride_pad in 0usize..5,
+            seed in any::<u64>(),
+        ) {
+            let xstride = 2 * len + 2 * xstride_pad;
+            let xq: Vec<i16> = (0..(ne + 1) * 2 * xstride_pad + q * xstride + 2 * len)
+                .map(|t| {
+                    let h = seed
+                        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                        .wrapping_add((t as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+                    ((h >> 48) as i16) % 1024
+                })
+                .collect();
+            // Per-engine bases shifted like the conv kernel-offset shifts.
+            let xbases: Vec<usize> = (0..ne).map(|e| 2 * xstride_pad * (e + 1)).collect();
+            let es = 4 * q; // TI·q, with TI = 4 as in the engine
+            let (wa, wb): (Vec<i32>, Vec<i32>) = (0..ne * es)
+                .map(|t| {
+                    let h = seed
+                        .wrapping_mul(0x2545_f491_4f6c_dd1d)
+                        .wrapping_add((t as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+                    let wr = ((h >> 40) as i16) % 2048;
+                    let wi = ((h >> 24) as i16) % 2048;
+                    (madd_pair(wr, wi), madd_pair(wi.wrapping_neg(), wr))
+                })
+                .unzip();
+            // Accumulator rows laid out back-to-back with a guard gap, and
+            // pre-filled with garbage the kernel must overwrite.
+            let aos: Vec<usize> = (0..tl).map(|u| u * (len + 3)).collect();
+            let a0: Vec<i32> = (0..tl * (len + 3)).map(|t| (t as i32 - 9) * 515).collect();
+            let (mut gr, mut gi) = (a0.clone(), a0.clone());
+            qmac_rows_lanes(&wa, tl, es, q, &xq, &xbases, xstride, 0, len, &mut gr, &mut gi, &aos);
+            for &isa in &host_isas() {
+                let (mut tr, mut ti) = (a0.clone(), a0.clone());
+                qmac_rows(isa, &wa, &wb, tl, es, q, &xq, &xbases, xstride, len, &mut tr, &mut ti, &aos);
+                prop_assert_eq!(&tr, &gr);
+                prop_assert_eq!(&ti, &gi);
+            }
+        }
+
+        /// Fused quantize-and-interleave: ties-to-even rounding, clamping,
+        /// and pair packing agree bitwise across ISAs, including values far
+        /// outside the clamp range and exact .5 ties.
+        #[test]
+        fn qpack_matches_scalar_bitwise(
+            len in 1usize..40,
+            inv_step in 0.05f32..200.0,
+            max_code in 1i32..4096,
+            real_bin in any::<bool>(),
+            seed in any::<u64>(),
+        ) {
+            let fill = |s: u64| -> Vec<f32> {
+                (0..len)
+                    .map(|t| {
+                        let h = s
+                            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            .wrapping_add((t as u64).wrapping_mul(0x2545_f491_4f6c_dd1d));
+                        // Mix magnitudes around the clamp edge with exact
+                        // half-integer ties.
+                        if t % 5 == 0 {
+                            ((h >> 40) as i32 as f32 + 0.5) / inv_step
+                        } else {
+                            ((h >> 32) as i32 as f32) / (1u32 << 16) as f32
+                        }
+                    })
+                    .collect()
+            };
+            let pr = fill(seed);
+            let pi = fill(seed ^ 0xabcd);
+            let pi_ref = if real_bin { None } else { Some(&pi[..]) };
+            let mut golden = vec![0i16; 2 * len];
+            qpack_scalar(&pr, pi_ref, inv_step, max_code, &mut golden);
+            for &isa in &host_isas() {
+                let mut got = vec![0i16; 2 * len];
+                qpack(isa, &pr, pi_ref, inv_step, max_code, &mut got);
+                prop_assert_eq!(&got, &golden);
+            }
+        }
+    }
+}

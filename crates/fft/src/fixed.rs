@@ -9,8 +9,15 @@
 //! the data (the standard hardware guard against overflow), so a forward
 //! transform returns `DFT(x)/n`.
 //!
-//! The quantization crate (`circnn-quant`) uses this to sweep accuracy vs.
-//! bit width, reproducing the qualitative 16-bit-fine / 4-bit-broken result.
+//! Two consumers build on this model. `circnn-quant` sweeps accuracy vs.
+//! bit width with the simulated fixed-point transform, reproducing the
+//! qualitative 16-bit-fine / 4-bit-broken result. `circnn-core` uses only
+//! [`QFormat`] from here — its serving-time quantized path
+//! (`QuantizedOperator`) keeps the FFT itself in f32 and applies the
+//! format's step size to hold **spectra** as i16 codes, because the
+//! spectral-plane engine's cost is streaming weight planes through the
+//! MAC, not the transform. The bit-accurate butterflies below stay the
+//! reference for what a hardware datapath would additionally lose.
 
 use crate::complex::Complex;
 use crate::error::FftError;

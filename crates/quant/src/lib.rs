@@ -22,6 +22,20 @@
 //!   bit-accurate fixed-point FFT from `circnn-fft::fixed`, modelling the
 //!   hardware datapath end to end.
 //!
+//! ## Calibration vs. fake-quantize vs. the serving path
+//!
+//! [`fake_quantize`] *measures* a precision (round through the grid, keep
+//! f32, report [`QuantStats`]) — it answers "what would b bits cost in
+//! accuracy". The serving path in `circnn-core` (`QuantizedOperator` and
+//! friends) *commits* to one: it calls this crate's symmetric-grid
+//! rounding once at build time to calibrate per-block-row scales, then
+//! stores the weight **spectra** as resident i16 codes and runs the
+//! frequency-domain MAC in i16×i16→i32 with the dequant multiply fused
+//! into the inverse-FFT epilogue. Registration rejects (typed
+//! `QuantOverflow`) any format whose worst-case accumulation could wrap
+//! i32, so the sweep-side verdict ("12–16 bits is safe") and the
+//! serving-side guarantee stay consistent.
+//!
 //! ## Example
 //!
 //! ```

@@ -7,7 +7,10 @@
 //! arenas) lives in the associated `Scratch` type — one per worker thread,
 //! created by the model so it can pre-warm buffers.
 
-use circnn_core::{BlockCirculantMatrix, Workspace};
+use circnn_core::{
+    default_batch_threads, BlockCirculantMatrix, QuantWorkspace, QuantizedLinear,
+    QuantizedOperator, Workspace,
+};
 use circnn_nn::{InferScratch, Layer, Sequential};
 use circnn_tensor::Tensor;
 
@@ -56,6 +59,48 @@ impl ServeModel for BlockCirculantMatrix {
 
     fn infer_batch(&self, x: &[f32], batch: usize, scratch: &mut Workspace, out: &mut [f32]) {
         self.forward_batch_into(x, batch, scratch, out)
+            .expect("server validated slab dimensions");
+    }
+}
+
+impl ServeModel for QuantizedOperator {
+    type Scratch = QuantWorkspace;
+
+    fn make_scratch(&self) -> QuantWorkspace {
+        QuantWorkspace::new()
+    }
+
+    fn input_len(&self) -> usize {
+        self.cols()
+    }
+
+    fn output_len(&self) -> usize {
+        self.rows()
+    }
+
+    fn infer_batch(&self, x: &[f32], batch: usize, scratch: &mut QuantWorkspace, out: &mut [f32]) {
+        self.infer_batch_into(x, batch, scratch, out, default_batch_threads())
+            .expect("server validated slab dimensions");
+    }
+}
+
+impl ServeModel for QuantizedLinear {
+    type Scratch = QuantWorkspace;
+
+    fn make_scratch(&self) -> QuantWorkspace {
+        QuantWorkspace::new()
+    }
+
+    fn input_len(&self) -> usize {
+        self.operator().cols()
+    }
+
+    fn output_len(&self) -> usize {
+        self.operator().rows()
+    }
+
+    fn infer_batch(&self, x: &[f32], batch: usize, scratch: &mut QuantWorkspace, out: &mut [f32]) {
+        self.infer_batch_into(x, batch, scratch, out, default_batch_threads())
             .expect("server validated slab dimensions");
     }
 }
@@ -267,6 +312,53 @@ mod tests {
     use super::*;
     use circnn_nn::Relu;
     use circnn_tensor::init::seeded_rng;
+
+    #[test]
+    fn quantized_operator_serves_within_its_error_bound() {
+        use circnn_core::QuantConfig;
+        let mut rng = seeded_rng(9);
+        let m = BlockCirculantMatrix::random(&mut rng, 24, 32, 8).unwrap();
+        let qop =
+            circnn_core::QuantizedOperator::from_operator(&m, QuantConfig::default()).unwrap();
+        assert_eq!(ServeModel::input_len(&qop), 32);
+        assert_eq!(ServeModel::output_len(&qop), 24);
+        let x: Vec<f32> = (0..2 * 32).map(|i| (i as f32 * 0.11).sin() * 0.9).collect();
+        let mut scratch = ServeModel::make_scratch(&qop);
+        let mut out = vec![0.0f32; 2 * 24];
+        qop.infer_batch(&x, 2, &mut scratch, &mut out);
+        let mut ws = Workspace::new();
+        let mut golden = vec![0.0f32; 2 * 24];
+        m.forward_batch_into(&x, 2, &mut ws, &mut golden).unwrap();
+        let bound = qop.error_bound();
+        for (a, b) in out.iter().zip(&golden) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
+        }
+    }
+
+    #[test]
+    fn quantized_linear_serves_with_bias() {
+        use circnn_core::{CirculantLinear, QuantConfig};
+        let mut rng = seeded_rng(11);
+        let weights = circnn_tensor::init::uniform(&mut rng, &[(24 / 8) * (16 / 8) * 8], -0.4, 0.4);
+        let weights = weights.data();
+        let bias: Vec<f32> = (0..24).map(|i| 0.05 * i as f32 - 0.6).collect();
+        let mut fc = CirculantLinear::from_weights(16, 24, 8, weights, bias).unwrap();
+        let ql = fc.quantize(QuantConfig::default()).unwrap();
+        assert_eq!(ServeModel::input_len(&ql), 16);
+        assert_eq!(ServeModel::output_len(&ql), 24);
+        let x: Vec<f32> = (0..16).map(|i| (i as f32 * 0.21).cos() * 0.8).collect();
+        let mut scratch = ServeModel::make_scratch(&ql);
+        let mut out = vec![0.0f32; 24];
+        ql.infer_batch(&x, 1, &mut scratch, &mut out);
+        // The bias must actually land: zeroed-bias output differs.
+        let ql0 = circnn_core::QuantizedLinear::new(ql.operator().clone(), vec![0.0; 24]).unwrap();
+        let mut out0 = vec![0.0f32; 24];
+        let mut s0 = ServeModel::make_scratch(&ql0);
+        ql0.infer_batch(&x, 1, &mut s0, &mut out0);
+        for ((a, b), bias) in out.iter().zip(&out0).zip(ql.bias()) {
+            assert!((a - (b + bias)).abs() < 1e-5);
+        }
+    }
 
     #[test]
     fn probe_discovers_output_len() {

@@ -122,7 +122,7 @@ const VNODES: usize = 32;
 /// A consistent-hash ring over every replica in the cluster, used to
 /// place **forwarded** (whole-request) tenants.
 ///
-/// Each replica owns [`VNODES`] points on a `u64` ring; a key is served
+/// Each replica owns `VNODES` (32) points on a `u64` ring; a key is served
 /// by the first point at or after its hash. [`HashRing::walk`] yields
 /// the distinct replicas in ring order from that point — the failover
 /// sequence.

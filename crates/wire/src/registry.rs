@@ -209,6 +209,28 @@ impl ModelRegistry {
         self.add_model(name, operator, cfg)
     }
 
+    /// Loads a quantized-spectra stream
+    /// ([`circnn_core::serialize::save_quantized_spectra`] format) and
+    /// registers the fixed-point operator under `name` — the low-precision
+    /// deployment path: ship i16 weight spectra plus per-block-row scales,
+    /// serve `y = W·x` through the integer MAC kernels.
+    ///
+    /// # Errors
+    ///
+    /// As [`ModelRegistry::add_model`], plus [`RegistryError::Load`] for a
+    /// malformed stream — including the typed
+    /// [`circnn_core::CircError::QuantOverflow`] rejection when the
+    /// stream's code formats could overflow i32 accumulation.
+    pub fn load_quantized_operator(
+        &self,
+        name: &str,
+        reader: impl io::Read,
+        cfg: TenantConfig,
+    ) -> Result<(), RegistryError> {
+        let operator = serialize::load_quantized_spectra(reader)?;
+        self.add_model(name, operator, cfg)
+    }
+
     /// Registers a row-slice of a block-circulant operator under `name`:
     /// the slice serves like any operator tenant (`input_len = n`,
     /// `output_len = row_end − row_start`), and its placement is recorded
@@ -404,6 +426,48 @@ mod tests {
         assert!(matches!(
             r.load_operator("bad", &b"NOPE"[..], TenantConfig::default()),
             Err(RegistryError::Load(_))
+        ));
+    }
+
+    #[test]
+    fn quantized_spectra_stream_serves_through_the_registry() {
+        use circnn_core::{CircError, QuantConfig, QuantizedOperator};
+        let w = operator(8);
+        let qop = QuantizedOperator::from_operator(&w, QuantConfig::default()).unwrap();
+        let bound = qop.error_bound();
+        let mut bytes = Vec::new();
+        serialize::save_quantized_spectra(&qop, &mut bytes).unwrap();
+        let r = ModelRegistry::new(1).unwrap();
+        r.load_quantized_operator("fc-q", &bytes[..], TenantConfig::default())
+            .unwrap();
+        let x: Vec<f32> = (0..24).map(|i| (i as f32 * 0.3).sin()).collect();
+        let served = r
+            .get("fc-q")
+            .unwrap()
+            .submit(x.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let golden = w.matmat(&x, 1, &mut circnn_core::Workspace::new()).unwrap();
+        for (a, b) in served.iter().zip(&golden) {
+            assert!((a - b).abs() <= bound, "{a} vs {b} (bound {bound})");
+        }
+        // An overflow-capable stream must fail typed, not register.
+        let fmt_off = 4 + 2 + 2 + 24;
+        bytes[fmt_off..fmt_off + 4].copy_from_slice(&16u32.to_le_bytes());
+        bytes[fmt_off + 8..fmt_off + 12].copy_from_slice(&16u32.to_le_bytes());
+        assert!(matches!(
+            r.load_quantized_operator("fc-q2", &bytes[..], TenantConfig::default()),
+            Err(RegistryError::Load(SerializeError::Invalid(
+                CircError::QuantOverflow { .. }
+            )))
+        ));
+        // The f32 loader must not accept spectra streams.
+        let mut good = Vec::new();
+        serialize::save_quantized_spectra(&qop, &mut good).unwrap();
+        assert!(matches!(
+            r.load_operator("fc-q3", &good[..], TenantConfig::default()),
+            Err(RegistryError::Load(SerializeError::UnsupportedVersion(3)))
         ));
     }
 
