@@ -1,10 +1,17 @@
-//! Wire-serving trajectory binary: writes `BENCH_wire.json`.
+//! Wire-serving trajectory binary: batching grid plus the front-end
+//! connection sweep; writes `BENCH_wire.json`.
 
 fn main() {
     let quick = circnn_bench::quick_mode();
     let points = circnn_bench::wire::run(quick);
     circnn_bench::wire::print(&points);
-    let json = circnn_bench::wire::to_json(&points);
+    let sweep = circnn_bench::wire::run_sweep(quick);
+    circnn_bench::wire::print_sweep(&sweep);
+    let json = circnn_bench::wire::to_json(&points, &sweep);
     std::fs::write("BENCH_wire.json", json).expect("writing BENCH_wire.json");
-    println!("\nwrote BENCH_wire.json ({} points)", points.len());
+    println!(
+        "\nwrote BENCH_wire.json ({} points, {} sweep points)",
+        points.len(),
+        sweep.len()
+    );
 }

@@ -15,7 +15,16 @@
 //!   `max_batch = 1`: every request is dispatched alone, isolating the
 //!   batching win from the wire overhead itself.
 //!
-//! The `wire` binary wraps [`run`] and writes `BENCH_wire.json`.
+//! A second axis measures the **front end** itself: the connection sweep
+//! ([`run_sweep`]) serves an identical tenant (same batching config, same
+//! worker pool) behind the thread-per-connection [`WireServer`] and the
+//! readiness-loop [`circnn_wire::EventServer`], from 16 up to 4096
+//! concurrent connections, reporting throughput and client-observed p99
+//! latency for each. The measured window deliberately includes
+//! connection setup — at 10k-connection scale, accepting is serving.
+//!
+//! The `wire` binary wraps [`run`] + [`run_sweep`] and writes
+//! `BENCH_wire.json`.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -23,7 +32,9 @@ use std::time::{Duration, Instant};
 use circnn_core::BlockCirculantMatrix;
 use circnn_serve::{ServeStats, TenantConfig};
 use circnn_tensor::init::seeded_rng;
-use circnn_wire::{ModelRegistry, WireClient, WireConfig, WireServer};
+use circnn_wire::{
+    ClientConfig, EventConfig, EventServer, ModelRegistry, WireClient, WireConfig, WireServer,
+};
 
 /// Pipelined requests kept in flight per connection (the wire replies in
 /// arrival order per connection, so no request ids are needed).
@@ -204,8 +215,208 @@ pub fn run(quick: bool) -> Vec<WirePoint> {
         .collect()
 }
 
-/// Renders the points as the `BENCH_wire.json` trajectory document.
-pub fn to_json(points: &[WirePoint]) -> String {
+/// One measured connection-sweep point: the same tenant and batching
+/// config behind both front ends.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Concurrent TCP connections held open for the whole window.
+    pub conns: usize,
+    /// Closed-loop requests issued per connection.
+    pub requests_per_conn: usize,
+    /// Requests/second through the readiness-loop front end.
+    pub event_rps: f64,
+    /// Requests/second through the thread-per-connection front end.
+    pub threaded_rps: f64,
+    /// Client-observed p99 request latency on the event server, µs.
+    pub event_p99_us: f64,
+    /// Client-observed p99 request latency on the threaded server, µs.
+    pub threaded_p99_us: f64,
+}
+
+impl SweepPoint {
+    /// Throughput of the event front end relative to thread-per-conn.
+    pub fn event_gain(&self) -> f64 {
+        self.event_rps / self.threaded_rps
+    }
+}
+
+/// Which front end a sweep run binds over the shared registry.
+enum FrontEnd {
+    Threaded(WireServer),
+    Event(EventServer),
+}
+
+impl FrontEnd {
+    fn addr(&self) -> std::net::SocketAddr {
+        match self {
+            FrontEnd::Threaded(s) => s.local_addr(),
+            FrontEnd::Event(s) => s.local_addr(),
+        }
+    }
+    fn shutdown(self) {
+        match self {
+            FrontEnd::Threaded(s) => s.shutdown(),
+            FrontEnd::Event(s) => s.shutdown(),
+        }
+    }
+}
+
+/// The sweep tenant: a small 64×64 operator, so the measurement weighs
+/// the front end (sockets, threads, readiness) rather than the matvec.
+fn sweep_registry() -> Arc<ModelRegistry> {
+    let registry = Arc::new(ModelRegistry::new(1).expect("valid worker count"));
+    let w = BlockCirculantMatrix::random(&mut seeded_rng(97), 64, 64, 16).expect("valid shape");
+    registry
+        .add_model(
+            "m0",
+            w,
+            TenantConfig {
+                max_batch: 32,
+                max_wait: Duration::from_micros(300),
+                queue_capacity: 256,
+                ..Default::default()
+            },
+        )
+        .expect("fresh name");
+    registry
+}
+
+fn sweep_client_config() -> ClientConfig {
+    ClientConfig {
+        // At 4096 concurrent connects the accept side may lag (that lag
+        // is part of what the sweep measures) — be patient, don't flake.
+        connect_timeout: Some(Duration::from_secs(30)),
+        read_timeout: Some(Duration::from_secs(60)),
+        write_timeout: Some(Duration::from_secs(60)),
+        retries: 0,
+        ..Default::default()
+    }
+}
+
+/// Drives `conns` closed-loop connections (one request in flight each)
+/// from a fixed pool of client threads and returns `(secs, p99_us)`.
+/// The window opens before the first connect: connection setup cost is
+/// front-end work and is charged to the front end.
+fn sweep_flood(addr: std::net::SocketAddr, conns: usize, requests_per_conn: usize) -> (f64, f64) {
+    const CLIENT_THREADS: usize = 8;
+    let per_thread = conns.div_ceil(CLIENT_THREADS);
+    let t0 = Instant::now();
+    let mut latencies_us: Vec<f64> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENT_THREADS)
+            .map(|ct| {
+                s.spawn(move || {
+                    let own = per_thread.min(conns.saturating_sub(ct * per_thread));
+                    let mut clients: Vec<WireClient> = (0..own)
+                        .map(|_| {
+                            WireClient::connect_with(addr, sweep_client_config())
+                                .expect("sweep connect")
+                        })
+                        .collect();
+                    let mut rng = seeded_rng(0xFEED + ct as u64);
+                    let mut lats = Vec::with_capacity(own * requests_per_conn);
+                    let mut stamps = vec![t0; own];
+                    for _ in 0..requests_per_conn {
+                        for (i, wire) in clients.iter_mut().enumerate() {
+                            let x = circnn_tensor::init::uniform(&mut rng, &[64], -1.0, 1.0);
+                            stamps[i] = Instant::now();
+                            wire.send_infer("m0", x.data(), None).expect("sweep send");
+                        }
+                        for (i, wire) in clients.iter_mut().enumerate() {
+                            wire.recv_infer().expect("sweep recv");
+                            lats.push(stamps[i].elapsed().as_secs_f64() * 1e6);
+                        }
+                    }
+                    lats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("sweep client thread"))
+            .collect()
+    });
+    let secs = t0.elapsed().as_secs_f64();
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let p99 =
+        latencies_us[((latencies_us.len() as f64 * 0.99) as usize).min(latencies_us.len() - 1)];
+    (secs, p99)
+}
+
+/// Measures one connection count through one front end.
+fn sweep_mode(event: bool, conns: usize, requests_per_conn: usize) -> (f64, f64) {
+    let registry = sweep_registry();
+    let front = if event {
+        FrontEnd::Event(
+            EventServer::bind(
+                "127.0.0.1:0",
+                Arc::clone(&registry),
+                EventConfig {
+                    max_connections: conns + 16,
+                    ..Default::default()
+                },
+            )
+            .expect("bind event server"),
+        )
+    } else {
+        FrontEnd::Threaded(
+            WireServer::bind(
+                "127.0.0.1:0",
+                Arc::clone(&registry),
+                WireConfig {
+                    max_connections: conns + 16,
+                    ..Default::default()
+                },
+            )
+            .expect("bind threaded server"),
+        )
+    };
+    let addr = front.addr();
+    // Warm-up outside the window: worker scratch, client buffers, pools.
+    sweep_flood(addr, 8.min(conns), 16);
+    let (secs, p99) = sweep_flood(addr, conns, requests_per_conn);
+    front.shutdown();
+    let rps = (conns * requests_per_conn) as f64 / secs;
+    (rps, p99)
+}
+
+/// Measures both front ends at one connection count.
+pub fn measure_sweep(conns: usize, requests_per_conn: usize) -> SweepPoint {
+    let (event_rps, event_p99_us) = sweep_mode(true, conns, requests_per_conn);
+    let (threaded_rps, threaded_p99_us) = sweep_mode(false, conns, requests_per_conn);
+    SweepPoint {
+        conns,
+        requests_per_conn,
+        event_rps,
+        threaded_rps,
+        event_p99_us,
+        threaded_p99_us,
+    }
+}
+
+/// The sweep grid: connection counts doubling past where thread-per-conn
+/// degrades. The request total stays roughly constant so every point
+/// finishes in comparable wall time.
+pub fn sweep_grid(quick: bool) -> Vec<(usize, usize)> {
+    let conns: &[usize] = if quick {
+        &[16, 256]
+    } else {
+        &[16, 256, 1024, 4096]
+    };
+    let budget = if quick { 2048 } else { 8192 };
+    conns.iter().map(|&c| (c, (budget / c).max(2))).collect()
+}
+
+/// Runs the connection sweep.
+pub fn run_sweep(quick: bool) -> Vec<SweepPoint> {
+    sweep_grid(quick)
+        .into_iter()
+        .map(|(c, r)| measure_sweep(c, r))
+        .collect()
+}
+
+/// Renders the batching points plus the connection sweep as the
+/// `BENCH_wire.json` trajectory document.
+pub fn to_json(points: &[WirePoint], sweep: &[SweepPoint]) -> String {
     let mut out = String::from(
         "{\n  \"bench\": \"wire_throughput\",\n  \"unit\": \"requests_per_second\",\n  \"points\": [\n",
     );
@@ -227,8 +438,45 @@ pub fn to_json(points: &[WirePoint]) -> String {
             if i + 1 == points.len() { "" } else { "," }
         ));
     }
+    out.push_str("  ],\n  \"sweep\": [\n");
+    for (i, p) in sweep.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"conns\": {}, \"requests_per_conn\": {}, \
+             \"event_rps\": {:.0}, \"threaded_rps\": {:.0}, \
+             \"event_vs_threaded\": {:.2}, \
+             \"event_p99_us\": {:.0}, \"threaded_p99_us\": {:.0}}}{}\n",
+            p.conns,
+            p.requests_per_conn,
+            p.event_rps,
+            p.threaded_rps,
+            p.event_gain(),
+            p.event_p99_us,
+            p.threaded_p99_us,
+            if i + 1 == sweep.len() { "" } else { "," }
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
+}
+
+/// Prints the connection sweep as a human-readable table.
+pub fn print_sweep(sweep: &[SweepPoint]) {
+    println!(
+        "\n{:>7} {:>8} | {:>12} {:>12} {:>7} | {:>12} {:>12}",
+        "conns", "reqs", "event", "threaded", "gain", "p99(event)", "p99(thread)"
+    );
+    for p in sweep {
+        println!(
+            "{:>7} {:>8} | {:>8.0} r/s {:>8.0} r/s {:>6.2}x | {:>9.0} µs {:>9.0} µs",
+            p.conns,
+            p.conns * p.requests_per_conn,
+            p.event_rps,
+            p.threaded_rps,
+            p.event_gain(),
+            p.event_p99_us,
+            p.threaded_p99_us,
+        );
+    }
 }
 
 /// Prints a human-readable table.
@@ -269,8 +517,13 @@ mod tests {
     fn measures_and_serializes_a_small_point() {
         let p = measure(2, 4, 12, 1);
         assert!(p.batched_rps > 0.0 && p.unbatched_rps > 0.0);
-        let json = to_json(std::slice::from_ref(&p));
+        let s = measure_sweep(8, 4);
+        assert!(s.event_rps > 0.0 && s.threaded_rps > 0.0);
+        assert!(s.event_p99_us > 0.0 && s.threaded_p99_us > 0.0);
+        let json = to_json(std::slice::from_ref(&p), std::slice::from_ref(&s));
         assert!(json.contains("\"tenants\": 2"));
         assert!(json.contains("speedup"));
+        assert!(json.contains("\"sweep\""));
+        assert!(json.contains("event_vs_threaded"));
     }
 }

@@ -295,6 +295,19 @@ impl Drop for MultiServer {
     }
 }
 
+/// What a submission does when the tenant queue is at capacity.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SubmitMode {
+    /// Apply the overload policy; park on the space condvar under
+    /// [`OverloadPolicy::Block`].
+    Block,
+    /// `QueueFull` immediately, before the policy gets a say.
+    FailFast,
+    /// Apply the overload policy, but never park: `Block` maps to
+    /// `QueueFull` (the caller backpressures its own source).
+    Policy,
+}
+
 /// A tenant's submission interface, returned by
 /// [`MultiServer::add_tenant`]. Cloneable — a serving front-end hands one
 /// clone to every connection.
@@ -335,8 +348,8 @@ impl TenantHandle {
     /// [`ServeError::BadInput`] on a mis-sized vector,
     /// [`ServeError::UnknownTenant`] after removal, or
     /// [`ServeError::ShuttingDown`] after pool shutdown began.
-    pub fn submit(&self, input: Vec<f32>) -> Result<ResponseHandle, ServeError> {
-        self.enqueue(input, None, true)
+    pub fn submit(&self, mut input: Vec<f32>) -> Result<ResponseHandle, ServeError> {
+        self.enqueue(&mut input, None, SubmitMode::Block)
     }
 
     /// Submits with an optional deadline **budget**: the request must be
@@ -350,10 +363,14 @@ impl TenantHandle {
     /// the returned handle's `wait`.
     pub fn submit_with_deadline(
         &self,
-        input: Vec<f32>,
+        mut input: Vec<f32>,
         budget: Option<Duration>,
     ) -> Result<ResponseHandle, ServeError> {
-        self.enqueue(input, budget.map(|b| Instant::now() + b), true)
+        self.enqueue(
+            &mut input,
+            budget.map(|b| Instant::now() + b),
+            SubmitMode::Block,
+        )
     }
 
     /// Non-blocking [`TenantHandle::submit_with_deadline`].
@@ -364,17 +381,48 @@ impl TenantHandle {
     /// [`ServeError::QueueFull`] instead of blocking.
     pub fn try_submit_with_deadline(
         &self,
-        input: Vec<f32>,
+        mut input: Vec<f32>,
         budget: Option<Duration>,
     ) -> Result<ResponseHandle, ServeError> {
-        self.enqueue(input, budget.map(|b| Instant::now() + b), false)
+        self.enqueue(
+            &mut input,
+            budget.map(|b| Instant::now() + b),
+            SubmitMode::FailFast,
+        )
+    }
+
+    /// Policy-aware non-blocking submit: at capacity, `Reject` and
+    /// `ShedOldest` behave exactly as a blocking submission would
+    /// (recorded rejection / shed-then-admit), while the `Block` policy —
+    /// which cannot block here — surfaces [`ServeError::QueueFull`] so
+    /// the caller applies its own backpressure (an event loop stops
+    /// reading the connection and re-offers when the queue drains).
+    ///
+    /// `input` is passed by mutable reference so the caller keeps the
+    /// vector on rejection (and can park it for a later re-offer without
+    /// a copy); on success it is taken and left empty.
+    ///
+    /// # Errors
+    ///
+    /// As [`TenantHandle::submit_with_deadline`], plus
+    /// [`ServeError::QueueFull`] under the `Block` policy at capacity.
+    pub fn offer_with_deadline(
+        &self,
+        input: &mut Vec<f32>,
+        budget: Option<Duration>,
+    ) -> Result<ResponseHandle, ServeError> {
+        self.enqueue(
+            input,
+            budget.map(|b| Instant::now() + b),
+            SubmitMode::Policy,
+        )
     }
 
     fn enqueue(
         &self,
-        input: Vec<f32>,
+        input: &mut Vec<f32>,
         deadline: Option<Instant>,
-        block: bool,
+        mode: SubmitMode,
     ) -> Result<ResponseHandle, ServeError> {
         if input.len() != self.input_len {
             return Err(ServeError::BadInput {
@@ -393,12 +441,18 @@ impl TenantHandle {
             let t = &mut st.tenants[pos];
             if t.queue.len() >= t.cfg.queue_capacity {
                 // The queue is at capacity: the overload policy decides.
-                // Non-blocking submitters asked for fail-fast regardless.
-                if !block {
+                // Fail-fast submitters asked for `QueueFull` regardless.
+                if mode == SubmitMode::FailFast {
                     return Err(ServeError::QueueFull);
                 }
                 match t.cfg.overload {
                     OverloadPolicy::Block => {
+                        // A policy-aware non-blocking submitter cannot
+                        // park here; `QueueFull` tells it to backpressure
+                        // its own source instead.
+                        if mode == SubmitMode::Policy {
+                            return Err(ServeError::QueueFull);
+                        }
                         st = self
                             .shared
                             .space
@@ -429,7 +483,7 @@ impl TenantHandle {
             }
             let (done, handle) = completion_pair();
             t.queue.push_back(Pending {
-                input,
+                input: std::mem::take(input),
                 enqueued: Instant::now(),
                 deadline,
                 done,

@@ -24,9 +24,23 @@ struct PendingRequest {
     done: CompletionCell,
 }
 
+/// A completion callback registered via [`ResponseHandle::on_ready`]: it
+/// receives the result directly (the slot is bypassed) on whatever thread
+/// fulfills the request.
+type Waker = Box<dyn FnOnce(Result<Vec<f32>, ServeError>) + Send>;
+
+/// The slot and (optional) waker behind one in-flight request.
+struct CompletionState {
+    result: Option<Result<Vec<f32>, ServeError>>,
+    waker: Option<Waker>,
+    /// Set the moment a result exists — even if it was handed straight to
+    /// a waker and never stored.
+    fulfilled: bool,
+}
+
 /// Result slot shared between a worker and a [`ResponseHandle`].
 pub(crate) struct Completion {
-    result: Mutex<Option<Result<Vec<f32>, ServeError>>>,
+    state: Mutex<CompletionState>,
     ready: Condvar,
 }
 
@@ -38,9 +52,28 @@ pub(crate) struct CompletionCell(Arc<Completion>);
 
 impl CompletionCell {
     pub(crate) fn fulfill(&self, result: Result<Vec<f32>, ServeError>) {
-        *lock(&self.0.result) = Some(result);
-        self.0.ready.notify_all();
-        // The Drop guard below sees the slot filled and leaves it alone.
+        let fire = {
+            let mut st = lock(&self.0.state);
+            if st.fulfilled {
+                return; // already answered (e.g. fulfill then drop guard)
+            }
+            st.fulfilled = true;
+            match st.waker.take() {
+                Some(waker) => Some((waker, result)),
+                None => {
+                    st.result = Some(result);
+                    self.0.ready.notify_all();
+                    None
+                }
+            }
+        };
+        // The waker runs OUTSIDE the completion lock so it may take its
+        // own locks (an event loop's completion queue, say). Note it can
+        // still run under a scheduler lock if the fulfilling site holds
+        // one — wakers must never call back into the pool.
+        if let Some((waker, result)) = fire {
+            waker(result);
+        }
     }
 }
 
@@ -49,7 +82,11 @@ impl CompletionCell {
 /// scheduler in [`crate::MultiServer`].
 pub(crate) fn completion_pair() -> (CompletionCell, ResponseHandle) {
     let cell = Arc::new(Completion {
-        result: Mutex::new(None),
+        state: Mutex::new(CompletionState {
+            result: None,
+            waker: None,
+            fulfilled: false,
+        }),
         ready: Condvar::new(),
     });
     (CompletionCell(Arc::clone(&cell)), ResponseHandle { cell })
@@ -57,11 +94,9 @@ pub(crate) fn completion_pair() -> (CompletionCell, ResponseHandle) {
 
 impl Drop for CompletionCell {
     fn drop(&mut self) {
-        let mut slot = lock(&self.0.result);
-        if slot.is_none() {
-            *slot = Some(Err(ServeError::Canceled));
-            self.0.ready.notify_all();
-        }
+        // No-op if already fulfilled; otherwise the waiter (or waker)
+        // learns the worker died.
+        self.fulfill(Err(ServeError::Canceled));
     }
 }
 
@@ -92,22 +127,45 @@ impl ResponseHandle {
     /// Returns [`ServeError::Canceled`] if the serving worker died before
     /// producing a result.
     pub fn wait(self) -> Result<Vec<f32>, ServeError> {
-        let mut slot = lock(&self.cell.result);
+        let mut st = lock(&self.cell.state);
         loop {
-            if let Some(result) = slot.take() {
+            if let Some(result) = st.result.take() {
                 return result;
             }
-            slot = self
+            st = self
                 .cell
                 .ready
-                .wait(slot)
+                .wait(st)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     /// Non-blocking readiness probe.
     pub fn is_ready(&self) -> bool {
-        lock(&self.cell.result).is_some()
+        lock(&self.cell.state).fulfilled
+    }
+
+    /// Registers `f` to run with the result the moment it exists — on the
+    /// fulfilling worker's thread, or **immediately on this thread** if
+    /// the request already completed. Consumes the handle: a request is
+    /// redeemed either by [`ResponseHandle::wait`] or by a callback,
+    /// never both.
+    ///
+    /// This is the event-driven alternative to parking a thread in
+    /// `wait`: a nonblocking front end registers a callback that pushes
+    /// the finished request onto its readiness loop's completion queue.
+    ///
+    /// `f` must be cheap and must not call back into the serving pool —
+    /// it can run while scheduler locks are held (deadline expiry and
+    /// overload shedding fulfill requests from inside the scheduler).
+    pub fn on_ready(self, f: impl FnOnce(Result<Vec<f32>, ServeError>) + Send + 'static) {
+        let mut st = lock(&self.cell.state);
+        if let Some(result) = st.result.take() {
+            drop(st);
+            f(result);
+            return;
+        }
+        st.waker = Some(Box::new(f));
     }
 }
 

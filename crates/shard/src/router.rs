@@ -512,10 +512,18 @@ impl ShardRouter {
         }
     }
 
-    /// Fans the shared input out to every shard's segment concurrently
-    /// and stitches the gathered segments into `[batch, m]`. All or
-    /// nothing: any leg's failure fails the request with that leg's
-    /// typed error.
+    /// Fans the shared input out to every shard's segment and stitches
+    /// the gathered segments into `[batch, m]`. All or nothing: any
+    /// leg's failure fails the request with that leg's typed error.
+    ///
+    /// Threadless: every leg is **pipelined** — phase one sends one
+    /// `InferSegment` per shard over a pooled connection (the shards
+    /// compute concurrently), phase two collects the replies in leg
+    /// order. No scatter threads are spawned; a router fronted by the
+    /// event loop fans out to any number of shards from one I/O thread.
+    /// A leg whose pipelined attempt fails falls back to the synchronous
+    /// routed path (healthy replicas first, the failed one — now marked
+    /// unhealthy — last).
     fn scatter_gather(
         &self,
         model: &str,
@@ -525,36 +533,64 @@ impl ShardRouter {
         segments: &[(usize, usize)],
         deadline: &Deadline,
     ) -> Result<Vec<f32>, WireError> {
-        let legs: Vec<Result<Vec<f32>, WireError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = segments
-                .iter()
-                .enumerate()
-                .map(|(s, &(row_start, row_end))| {
-                    scope.spawn(move || {
-                        let replicas: Vec<&Replica> = self.shards[s].iter().collect();
-                        self.route(&replicas, deadline, |client, budget| {
-                            client.infer_segment(model, row_start, row_end, batch, input, budget)
-                        })
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join().unwrap_or_else(|_| {
-                        Err(typed(
-                            ErrorCode::Internal,
-                            "a scatter leg panicked".to_string(),
-                        ))
-                    })
-                })
-                .collect()
-        });
+        // Phase 1: scatter. One in-flight segment call per shard.
+        let budget = deadline.remaining()?;
+        let mut sent: Vec<Option<(usize, WireClient)>> = Vec::with_capacity(segments.len());
+        for (s, &(row_start, row_end)) in segments.iter().enumerate() {
+            let replicas = &self.shards[s];
+            let mut order: Vec<usize> = Vec::with_capacity(replicas.len());
+            order.extend((0..replicas.len()).filter(|&r| replicas[r].is_healthy()));
+            order.extend((0..replicas.len()).filter(|&r| !replicas[r].is_healthy()));
+            let mut leg = None;
+            for r in order {
+                let replica = &replicas[r];
+                let Ok(mut client) = replica.checkout(&self.cfg.client) else {
+                    replica.mark(false);
+                    continue;
+                };
+                match client.send_infer_segment(model, row_start, row_end, batch, input, budget) {
+                    Ok(()) => {
+                        leg = Some((r, client));
+                        break;
+                    }
+                    // The send never reached a reply; the connection is
+                    // dropped and phase 2 retries this leg elsewhere.
+                    Err(_) => replica.mark(false),
+                }
+            }
+            sent.push(leg);
+        }
+        // Phase 2: gather in leg order, stitching rows into place. The
+        // client verified each echoed range and length, so the stitch
+        // cannot misattribute rows.
         let mut out = vec![0.0f32; batch * m];
-        for (leg, &(row_start, row_end)) in legs.into_iter().zip(segments) {
-            // The client already verified the echoed range and length, so
-            // this stitch cannot misattribute rows.
-            let seg = leg?;
+        for (s, &(row_start, row_end)) in segments.iter().enumerate() {
+            let seg = match sent[s].take() {
+                Some((r, mut client)) => {
+                    let replica = &self.shards[s][r];
+                    match client.recv_infer_segment() {
+                        Ok(seg) => {
+                            replica.mark(true);
+                            replica.checkin(client, self.cfg.max_idle_per_replica);
+                            Ok(seg)
+                        }
+                        Err(e) => {
+                            // Only transport failures impugn the replica.
+                            if !matches!(e, WireError::Remote { .. }) {
+                                replica.mark(false);
+                            }
+                            if failover_worthy(&e) {
+                                self.retry_segment(
+                                    s, model, row_start, row_end, batch, input, deadline,
+                                )
+                            } else {
+                                Err(e)
+                            }
+                        }
+                    }
+                }
+                None => self.retry_segment(s, model, row_start, row_end, batch, input, deadline),
+            }?;
             let rows = row_end - row_start;
             for b in 0..batch {
                 out[b * m + row_start..b * m + row_end]
@@ -562,6 +598,25 @@ impl ShardRouter {
             }
         }
         Ok(out)
+    }
+
+    /// Synchronous fallback for one failed scatter leg: a full routed
+    /// round trip over the shard's replicas under the remaining budget.
+    #[allow(clippy::too_many_arguments)]
+    fn retry_segment(
+        &self,
+        s: usize,
+        model: &str,
+        row_start: usize,
+        row_end: usize,
+        batch: usize,
+        input: &[f32],
+        deadline: &Deadline,
+    ) -> Result<Vec<f32>, WireError> {
+        let replicas: Vec<&Replica> = self.shards[s].iter().collect();
+        self.route(&replicas, deadline, |client, budget| {
+            client.infer_segment(model, row_start, row_end, batch, input, budget)
+        })
     }
 
     /// One replica's serving statistics for `model` (the ring-chosen

@@ -2,42 +2,43 @@
 //! here and see one big server; behind it the [`ShardRouter`] scatters,
 //! gathers and fails over.
 //!
-//! Thread model: one accept thread, one thread per connection running a
-//! sequential read → route → write loop. Replies therefore go out in
-//! arrival order per connection trivially, so pipelining clients work
-//! unchanged (their pipelined requests queue in the socket while the
-//! router is on the previous one — the scatter itself is already
-//! parallel across shards). [`circnn_wire::WireConfig::max_pipeline`] is
-//! accordingly unused here.
+//! Thread model: the socket side is the event-driven front end
+//! ([`circnn_wire::EventServer`]) — a fixed pool of readiness loops
+//! multiplexing every connection, so ten thousand idle clients cost no
+//! threads. Routing itself blocks on network calls to the shards, so it
+//! cannot run on a loop thread; decoded requests are handed to a small
+//! bounded worker pool instead. When every worker is busy and the queue
+//! is full, the dispatcher reports [`circnn_wire::Dispatched::Busy`] and
+//! the event loop parks the connection (reading pauses — natural TCP
+//! backpressure) until a slot frees up.
+//!
+//! Replies go out in arrival order for v2 clients and by request id for
+//! v3 clients, exactly as on the model-serving [`circnn_wire::EventServer`].
 
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::collections::VecDeque;
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use circnn_wire::frame::{self, Reply, Request};
-use circnn_wire::{ErrorCode, WireConfig, WireError};
+use circnn_wire::frame::{Reply, Request};
+use circnn_wire::{
+    Dispatched, ErrorCode, EventConfig, EventDispatch, EventServer, ReplyTicket, WireConfig,
+    WireError,
+};
 
 use crate::router::ShardRouter;
 
-/// Tracked connections: a stream clone (so shutdown can close the
-/// socket) plus the connection thread to join.
-type ConnTable = Vec<(TcpStream, JoinHandle<()>)>;
+/// Worker threads executing routed calls. Each call blocks on shard
+/// round trips, so this bounds the router's concurrent fan-outs, not
+/// its connection count (connections are multiplexed on the event
+/// loops and cost nothing while idle).
+const ROUTER_WORKERS: usize = 8;
 
-/// Joins and removes every finished connection (same hygiene as the
-/// shard servers: the table tracks live connections only).
-fn reap_finished(table: &mut ConnTable) {
-    let mut i = 0;
-    while i < table.len() {
-        if table[i].1.is_finished() {
-            let (_, handle) = table.swap_remove(i);
-            let _ = handle.join();
-        } else {
-            i += 1;
-        }
-    }
-}
+/// Queued-but-unclaimed requests allowed beyond the workers themselves.
+/// Past this the dispatcher reports `Busy` and connections park.
+const ROUTER_QUEUE_DEPTH: usize = ROUTER_WORKERS * 4;
 
 /// Maps a router failure onto a typed wire error reply. Remote typed
 /// rejections pass through unchanged (the shard already said precisely
@@ -57,6 +58,67 @@ fn budget_of(deadline_micros: u64) -> Option<Duration> {
     (deadline_micros > 0).then(|| Duration::from_micros(deadline_micros))
 }
 
+/// The request sink bridging the event loops to the routing workers: a
+/// bounded queue plus a condvar the workers sleep on.
+struct RouterDispatch {
+    router: Arc<ShardRouter>,
+    queue: Mutex<VecDeque<(Request, ReplyTicket)>>,
+    available: Condvar,
+    stop: AtomicBool,
+}
+
+impl RouterDispatch {
+    /// Worker loop: claim a queued request, route it (blocking on shard
+    /// round trips), answer the ticket. Runs until shutdown drains the
+    /// queue and flips `stop`.
+    fn work(&self) {
+        loop {
+            let claimed = {
+                let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if let Some(job) = queue.pop_front() {
+                        break Some(job);
+                    }
+                    if self.stop.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    queue = self
+                        .available
+                        .wait(queue)
+                        .unwrap_or_else(|e| e.into_inner());
+                }
+            };
+            let Some((req, ticket)) = claimed else { return };
+            ticket.complete(process(req, &self.router));
+        }
+    }
+}
+
+impl EventDispatch for RouterDispatch {
+    fn dispatch(&self, req: Request, ticket: ReplyTicket) -> Dispatched {
+        // Cheap introspection never waits behind blocking fan-outs.
+        match &req {
+            Request::Ping => {
+                ticket.complete(Reply::Pong);
+                return Dispatched::Accepted;
+            }
+            Request::ListModels => {
+                ticket.complete(Reply::ModelList(self.router.list()));
+                return Dispatched::Accepted;
+            }
+            _ => {}
+        }
+        let mut queue = self.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if queue.len() >= ROUTER_QUEUE_DEPTH {
+            return Dispatched::Busy(req, ticket);
+        }
+        queue.push_back((req, ticket));
+        drop(queue);
+        self.available.notify_one();
+        Dispatched::Accepted
+    }
+}
+
 /// A running wire-protocol front-end over a [`ShardRouter`].
 ///
 /// Bind with [`RouterServer::bind`]; clients connect with an ordinary
@@ -64,23 +126,25 @@ fn budget_of(deadline_micros: u64) -> Option<Duration> {
 /// [`RouterServer::shutdown`] closes the listener and every connection;
 /// the router (and its pools) stays up, owned by the caller.
 pub struct RouterServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<ConnTable>>,
+    inner: Option<EventServer>,
+    dispatch: Arc<RouterDispatch>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl core::fmt::Debug for RouterServer {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.debug_struct("RouterServer")
-            .field("addr", &self.addr)
+            .field("addr", &self.local_addr())
             .finish()
     }
 }
 
 impl RouterServer {
-    /// Binds a listener and starts accepting connections (port 0 for an
-    /// ephemeral port).
+    /// Binds a listener and starts the event loops plus the routing
+    /// workers (port 0 for an ephemeral port). `cfg.max_pipeline`,
+    /// `cfg.idle_timeout` and `cfg.max_connections` carry over to the
+    /// event front end; `cfg.write_timeout` is obsolete there (writes
+    /// are nonblocking and flushed by readiness) and ignored.
     ///
     /// # Errors
     ///
@@ -90,89 +154,76 @@ impl RouterServer {
         router: Arc<ShardRouter>,
         cfg: WireConfig,
     ) -> Result<Self, WireError> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let conns: Arc<Mutex<ConnTable>> = Arc::new(Mutex::new(Vec::new()));
-        let accept_thread = {
-            let (stop, conns) = (Arc::clone(&stop), Arc::clone(&conns));
-            std::thread::Builder::new()
-                .name("circnn-shard-accept".into())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if stop.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let Ok(stream) = stream else { continue };
-                        let Ok(track) = stream.try_clone() else {
-                            continue;
-                        };
-                        let router = Arc::clone(&router);
-                        let conn_cfg = cfg.clone();
-                        let mut table = conns.lock().unwrap_or_else(|e| e.into_inner());
-                        reap_finished(&mut table);
-                        if table.len() >= cfg.max_connections {
-                            let _ = stream.shutdown(Shutdown::Both);
-                            continue;
-                        }
-                        match std::thread::Builder::new()
-                            .name("circnn-shard-conn".into())
-                            .spawn(move || serve_connection(stream, &router, &conn_cfg))
-                        {
-                            Ok(handle) => table.push((track, handle)),
-                            Err(_) => {
-                                let _ = track.shutdown(Shutdown::Both);
-                            }
-                        }
-                    }
-                })
-                .expect("spawning the router accept thread")
+        let dispatch = Arc::new(RouterDispatch {
+            router,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            stop: AtomicBool::new(false),
+        });
+        let event_cfg = EventConfig {
+            max_pipeline: cfg.max_pipeline,
+            idle_timeout: cfg.idle_timeout,
+            max_connections: cfg.max_connections,
+            ..EventConfig::default()
         };
-        Ok(Self {
+        let inner = EventServer::bind_with_dispatcher(
             addr,
-            stop,
-            accept_thread: Some(accept_thread),
-            conns,
+            Arc::clone(&dispatch) as Arc<dyn EventDispatch>,
+            event_cfg,
+        )?;
+        let workers = (0..ROUTER_WORKERS)
+            .map(|i| {
+                let dispatch = Arc::clone(&dispatch);
+                std::thread::Builder::new()
+                    .name(format!("circnn-route{i}"))
+                    .spawn(move || dispatch.work())
+                    .expect("spawning a router worker thread")
+            })
+            .collect();
+        Ok(Self {
+            inner: Some(inner),
+            dispatch,
+            workers,
         })
     }
 
     /// The bound address (resolves port 0).
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
+        self.inner
+            .as_ref()
+            .map(EventServer::local_addr)
+            .expect("the event front end lives as long as the server")
     }
 
-    /// Number of live tracked connections (finished ones are reaped
-    /// first, as on [`circnn_wire::WireServer`]).
+    /// Connections currently multiplexed on the event loops.
     pub fn connection_count(&self) -> usize {
-        let mut table = self.conns.lock().unwrap_or_else(|e| e.into_inner());
-        reap_finished(&mut table);
-        table.len()
+        self.inner.as_ref().map_or(0, EventServer::connection_count)
     }
 
-    /// Stops accepting, closes every connection and joins the threads.
-    /// The router stays alive (it belongs to the caller).
+    /// Stops accepting, closes every connection and joins the loops and
+    /// workers. The router stays alive (it belongs to the caller).
     pub fn shutdown(mut self) {
         self.stop_threads();
     }
 
     fn stop_threads(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        let _ = TcpStream::connect(self.addr);
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        // The event loops go first so no new work arrives, then the
+        // workers drain what they already claimed. Queued-but-unclaimed
+        // tickets drop harmlessly — their connections are already gone.
+        if let Some(inner) = self.inner.take() {
+            inner.shutdown();
         }
-        {
-            let mut table = self.conns.lock().unwrap_or_else(|e| e.into_inner());
-            reap_finished(&mut table);
-        }
-        let conns = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
-        for (stream, _) in &conns {
-            let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-            let _ = stream.shutdown(Shutdown::Both);
-        }
-        for (_, handle) in conns {
+        self.dispatch.stop.store(true, Ordering::SeqCst);
+        self.dispatch.available.notify_all();
+        for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
+        let mut queue = self
+            .dispatch
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        queue.clear();
     }
 }
 
@@ -182,48 +233,6 @@ impl Drop for RouterServer {
     fn drop(&mut self) {
         self.stop_threads();
     }
-}
-
-/// One connection's sequential serve loop: read a frame, route it,
-/// write the reply. Protocol-level failures answer typed and hang up
-/// (same strictness as the shard servers).
-fn serve_connection(mut stream: TcpStream, router: &ShardRouter, cfg: &WireConfig) {
-    let _ = stream.set_read_timeout(cfg.idle_timeout);
-    let _ = stream.set_write_timeout(cfg.write_timeout);
-    let _ = stream.set_nodelay(true);
-    let mut rbuf = Vec::new();
-    let mut wbuf = Vec::new();
-    loop {
-        let reply = match frame::read_frame(&mut stream, &mut rbuf) {
-            Ok(()) => match frame::decode_request(&rbuf) {
-                Ok(req) => process(req, router),
-                Err(e) => {
-                    let reply = Reply::Error {
-                        code: ErrorCode::Malformed,
-                        message: e.to_string(),
-                    };
-                    frame::encode_reply(&reply, &mut wbuf);
-                    let _ = frame::write_frame(&mut stream, &wbuf);
-                    break;
-                }
-            },
-            Err(WireError::Io(_)) => break, // peer hung up (or EOF mid-frame)
-            Err(e) => {
-                let reply = Reply::Error {
-                    code: ErrorCode::Malformed,
-                    message: e.to_string(),
-                };
-                frame::encode_reply(&reply, &mut wbuf);
-                let _ = frame::write_frame(&mut stream, &wbuf);
-                break;
-            }
-        };
-        frame::encode_reply(&reply, &mut wbuf);
-        if frame::write_frame(&mut stream, &wbuf).is_err() {
-            break;
-        }
-    }
-    let _ = stream.shutdown(Shutdown::Both);
 }
 
 /// Routes one decoded request.

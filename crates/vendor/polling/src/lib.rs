@@ -1,0 +1,559 @@
+//! Offline stand-in for a readiness-notification crate (`mio` / `polling`).
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the small subset the event-driven wire front end needs:
+//! level-triggered readiness for nonblocking sockets — [`Poller::register`],
+//! [`Poller::reregister`], [`Poller::deregister`], [`Poller::wait`] — plus a
+//! self-pipe [`Waker`] for cross-thread wakeups. On Linux the backend is
+//! epoll; on other Unix it falls back to `poll(2)` with a user-space
+//! registration table. Semantics are identical either way: level-triggered,
+//! one `usize` token per registered descriptor, hangup/error always
+//! reported regardless of requested interest.
+//!
+//! This is the only crate in the workspace containing `unsafe` code: the
+//! raw syscall declarations against the libc the standard library already
+//! links. Everything above the syscall boundary is safe Rust, and the
+//! public API is entirely safe.
+
+#![warn(missing_docs)]
+
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Which readiness events a registration asks for. Hangup and error are
+/// always reported, even for an empty interest set — a parked connection
+/// with no interest still learns promptly that the peer went away.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Interest {
+    /// Wake when the descriptor has bytes to read (or EOF).
+    pub readable: bool,
+    /// Wake when the descriptor can accept writes.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READABLE: Self = Self {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITABLE: Self = Self {
+        readable: false,
+        writable: true,
+    };
+    /// Readable and writable.
+    pub const BOTH: Self = Self {
+        readable: true,
+        writable: true,
+    };
+    /// Neither — hangup/error notification only.
+    pub const NONE: Self = Self {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// The token the descriptor was registered with.
+    pub token: usize,
+    /// Reading will make progress (data, EOF, or a pending error).
+    pub readable: bool,
+    /// Writing will make progress (or fail fast with the pending error).
+    pub writable: bool,
+    /// The peer closed or the descriptor errored.
+    pub hangup: bool,
+}
+
+pub use backend::Poller;
+
+/// Builds a connected [`Waker`]/[`WakeReader`] pair (a nonblocking
+/// socketpair self-pipe). Register the reader's descriptor with the
+/// poller; [`Waker::wake`] from any thread makes the next (or current)
+/// [`Poller::wait`] return with the reader's token readable.
+///
+/// # Errors
+///
+/// Propagates socketpair creation failure.
+pub fn waker() -> io::Result<(Waker, WakeReader)> {
+    let (tx, rx) = UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((Waker { tx }, WakeReader { rx }))
+}
+
+/// The writing half of a self-pipe: cheap, thread-safe wakeups.
+#[derive(Debug)]
+pub struct Waker {
+    tx: UnixStream,
+}
+
+impl Waker {
+    /// Wakes the poller the paired [`WakeReader`] is registered with.
+    /// A full pipe means a wakeup is already pending — that is success.
+    pub fn wake(&self) {
+        let _ = (&self.tx).write(&[1u8]);
+    }
+}
+
+/// The reading half of a self-pipe: register its descriptor, drain it on
+/// wake.
+#[derive(Debug)]
+pub struct WakeReader {
+    rx: UnixStream,
+}
+
+impl WakeReader {
+    /// The descriptor to register with the poller.
+    pub fn raw_fd(&self) -> RawFd {
+        self.rx.as_raw_fd()
+    }
+
+    /// Consumes every pending wakeup byte (level-triggered pollers would
+    /// otherwise report the pipe readable forever).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 64];
+        while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+/// Rounds a timeout up to whole milliseconds for the syscall (rounding
+/// down could turn a short timeout into a hot spin), clamped to `c_int`.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            let ms = if ms == 0 && !d.is_zero() { 1 } else { ms };
+            ms.min(i32::MAX as u128) as i32
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod backend {
+    use super::{timeout_ms, Event, Interest};
+    use std::io;
+    use std::os::raw::c_int;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// `struct epoll_event`; packed on x86-64 (the kernel ABI quirk),
+    /// naturally aligned elsewhere.
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut EpollEvent,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    fn interest_bits(interest: Interest) -> u32 {
+        let mut bits = EPOLLRDHUP; // hangup is always interesting
+        if interest.readable {
+            bits |= EPOLLIN;
+        }
+        if interest.writable {
+            bits |= EPOLLOUT;
+        }
+        bits
+    }
+
+    /// Level-triggered epoll instance.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: c_int,
+    }
+
+    // The epoll fd is just an integer handle; every syscall on it is
+    // thread-safe.
+    unsafe impl Send for Poller {}
+    unsafe impl Sync for Poller {}
+
+    impl Poller {
+        /// Creates a new poller.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_create1` failure.
+        pub fn new() -> io::Result<Self> {
+            // SAFETY: plain syscall, no pointers involved.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Self { epfd })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: interest_bits(interest),
+                data: token as u64,
+            };
+            // SAFETY: `ev` outlives the call; the kernel copies it.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Starts watching `fd` under `token`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_ctl` failure (e.g. the fd is already
+        /// registered).
+        pub fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, interest)
+        }
+
+        /// Changes the interest set (and token) of a registered `fd`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_ctl` failure.
+        pub fn reregister(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, interest)
+        }
+
+        /// Stops watching `fd`.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_ctl` failure.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            // SAFETY: pre-2.6.9 kernels demanded a non-null event for DEL;
+            // passing one is always valid.
+            let rc = unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Blocks until readiness or timeout; fills `events` (cleared
+        /// first) and returns the count. A signal interruption returns
+        /// `Ok(0)` — indistinguishable from a timeout, which a readiness
+        /// loop handles anyway.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `epoll_wait` failure.
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let mut raw = [EpollEvent { events: 0, data: 0 }; 256];
+            // SAFETY: `raw` is a valid buffer of 256 entries for the
+            // duration of the call.
+            let rc = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    raw.as_mut_ptr(),
+                    raw.len() as c_int,
+                    timeout_ms(timeout),
+                )
+            };
+            if rc < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(e);
+            }
+            for r in raw.iter().take(rc as usize) {
+                let bits = r.events;
+                let hup = bits & (EPOLLHUP | EPOLLERR | EPOLLRDHUP) != 0;
+                events.push(Event {
+                    token: r.data as usize,
+                    // Error/hangup count as readable *and* writable so the
+                    // state machine's next read/write observes the failure
+                    // instead of sleeping on it.
+                    readable: bits & EPOLLIN != 0 || hup,
+                    writable: bits & EPOLLOUT != 0 || bits & (EPOLLHUP | EPOLLERR) != 0,
+                    hangup: hup,
+                });
+            }
+            Ok(rc as usize)
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            // SAFETY: closing an owned fd exactly once.
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod backend {
+    use super::{timeout_ms, Event, Interest};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::raw::{c_int, c_short, c_uint};
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const POLLIN: c_short = 0x001;
+    const POLLOUT: c_short = 0x004;
+    const POLLERR: c_short = 0x008;
+    const POLLHUP: c_short = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: c_int,
+        events: c_short,
+        revents: c_short,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: c_uint, timeout: c_int) -> c_int;
+    }
+
+    /// `poll(2)`-backed poller: the registration table lives in user
+    /// space and is rebuilt into a `pollfd` array per wait.
+    #[derive(Debug)]
+    pub struct Poller {
+        registered: Mutex<HashMap<RawFd, (usize, Interest)>>,
+    }
+
+    impl Poller {
+        /// Creates a new poller.
+        ///
+        /// # Errors
+        ///
+        /// Infallible on this backend (signature matches epoll).
+        pub fn new() -> io::Result<Self> {
+            Ok(Self {
+                registered: Mutex::new(HashMap::new()),
+            })
+        }
+
+        /// Starts watching `fd` under `token`.
+        ///
+        /// # Errors
+        ///
+        /// `AlreadyExists` if the fd is registered.
+        pub fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut map = self.registered.lock().unwrap_or_else(|e| e.into_inner());
+            if map.contains_key(&fd) {
+                return Err(io::Error::from(io::ErrorKind::AlreadyExists));
+            }
+            map.insert(fd, (token, interest));
+            Ok(())
+        }
+
+        /// Changes the interest set (and token) of a registered `fd`.
+        ///
+        /// # Errors
+        ///
+        /// `NotFound` if the fd is not registered.
+        pub fn reregister(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            let mut map = self.registered.lock().unwrap_or_else(|e| e.into_inner());
+            match map.get_mut(&fd) {
+                Some(slot) => {
+                    *slot = (token, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::from(io::ErrorKind::NotFound)),
+            }
+        }
+
+        /// Stops watching `fd`.
+        ///
+        /// # Errors
+        ///
+        /// `NotFound` if the fd is not registered.
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            let mut map = self.registered.lock().unwrap_or_else(|e| e.into_inner());
+            match map.remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::from(io::ErrorKind::NotFound)),
+            }
+        }
+
+        /// Blocks until readiness or timeout; fills `events` (cleared
+        /// first) and returns the count.
+        ///
+        /// # Errors
+        ///
+        /// Propagates `poll(2)` failure.
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let (mut fds, tokens): (Vec<PollFd>, Vec<usize>) = {
+                let map = self.registered.lock().unwrap_or_else(|e| e.into_inner());
+                map.iter()
+                    .map(|(&fd, &(token, interest))| {
+                        let mut ev = 0;
+                        if interest.readable {
+                            ev |= POLLIN;
+                        }
+                        if interest.writable {
+                            ev |= POLLOUT;
+                        }
+                        (
+                            PollFd {
+                                fd,
+                                events: ev,
+                                revents: 0,
+                            },
+                            token,
+                        )
+                    })
+                    .unzip()
+            };
+            // SAFETY: `fds` is a valid array of `fds.len()` entries for
+            // the duration of the call.
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_uint, timeout_ms(timeout)) };
+            if rc < 0 {
+                let e = io::Error::last_os_error();
+                if e.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(e);
+            }
+            for (pfd, &token) in fds.iter().zip(&tokens) {
+                let bits = pfd.revents;
+                if bits == 0 {
+                    continue;
+                }
+                let hup = bits & (POLLHUP | POLLERR) != 0;
+                events.push(Event {
+                    token,
+                    readable: bits & POLLIN != 0 || hup,
+                    writable: bits & POLLOUT != 0 || hup,
+                    hangup: hup,
+                });
+            }
+            Ok(events.len())
+        }
+    }
+}
+
+#[cfg(not(unix))]
+compile_error!("the vendored polling shim supports Unix platforms only");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::time::Instant;
+
+    #[test]
+    fn waker_wakes_and_drains() {
+        let poller = Poller::new().unwrap();
+        let (waker, reader) = waker().unwrap();
+        poller
+            .register(reader.raw_fd(), 7, Interest::READABLE)
+            .unwrap();
+        let mut events = Vec::new();
+        // Nothing pending: times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+        waker.wake();
+        waker.wake(); // coalesces
+        let n = poller.wait(&mut events, None).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+        reader.drain();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0, "drained pipe must not stay readable");
+    }
+
+    #[test]
+    fn socketpair_readiness_is_level_triggered() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller
+            .register(b.as_raw_fd(), 1, Interest::READABLE)
+            .unwrap();
+        (&a).write_all(&[1, 2, 3]).unwrap();
+        let mut events = Vec::new();
+        // Level-triggered: unread bytes keep reporting readable.
+        for _ in 0..2 {
+            poller.wait(&mut events, None).unwrap();
+            assert!(events.iter().any(|e| e.token == 1 && e.readable));
+        }
+        // Interest off: no more events despite pending bytes.
+        poller.reregister(b.as_raw_fd(), 1, Interest::NONE).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(!events
+            .iter()
+            .any(|e| e.token == 1 && e.readable && !e.hangup));
+        poller.deregister(b.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn hangup_is_reported_without_read_interest() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        poller.register(b.as_raw_fd(), 3, Interest::NONE).unwrap();
+        drop(a);
+        let mut events = Vec::new();
+        let start = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.hangup));
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn sub_millisecond_timeouts_do_not_spin_hot() {
+        let poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        let start = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_micros(200)))
+            .unwrap();
+        // Rounded up to 1ms, not truncated to a 0ms busy-return.
+        assert!(start.elapsed() >= Duration::from_micros(200));
+    }
+}

@@ -21,6 +21,8 @@
 //! desynchronized stream can never return a wrong-request reply, it can
 //! only fail typed.
 
+use std::collections::HashMap;
+use std::collections::VecDeque;
 use std::io::{self, Read};
 use std::net::{Shutdown, SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -30,7 +32,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::error::WireError;
-use crate::frame::{self, HealthInfo, ModelInfo, Reply, Request, MAX_PAYLOAD};
+use crate::frame::{self, HealthInfo, ModelInfo, Reply, Request, Tag, MAX_PAYLOAD};
 
 /// Timeout and retry policy of a [`WireClient`].
 #[derive(Debug, Clone)]
@@ -55,6 +57,11 @@ pub struct ClientConfig {
     /// Seed of the deterministic jitter stream (two clients with the same
     /// seed back off identically — tests stay reproducible).
     pub retry_seed: u64,
+    /// Protocol version to speak: `3` (request-id framing — replies may
+    /// complete out of order, the id pairs them) or `2` (legacy: no ids,
+    /// replies strictly in request order). Both the threaded and the
+    /// event server answer either on the same port.
+    pub protocol: u8,
 }
 
 impl Default for ClientConfig {
@@ -69,8 +76,27 @@ impl Default for ClientConfig {
             backoff_base: Duration::from_millis(10),
             backoff_cap: Duration::from_secs(1),
             retry_seed: 0x5eed_c1bc,
+            protocol: frame::VERSION,
         }
     }
+}
+
+/// What kind of pipelined request one outstanding slot holds — receives
+/// must redeem slots in send order and with the matching `recv_*` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PendingKind {
+    Infer,
+    Segment {
+        row_start: u32,
+        row_end: u32,
+        batch: u32,
+    },
+}
+
+/// One pipelined request awaiting its reply.
+struct PendingReq {
+    tag: Tag,
+    kind: PendingKind,
 }
 
 /// Counts the bytes pulled through a reader, so the retry logic can
@@ -114,9 +140,16 @@ pub struct WireClient {
     /// malformed frame). A broken stream is never read again; the next
     /// idempotent call reconnects.
     broken: bool,
-    /// Pipelined requests sent but not yet received. While nonzero, no
-    /// call is retried (a replay could re-pair replies with requests).
-    in_flight: usize,
+    /// Pipelined requests sent but not yet received, in send order.
+    /// While nonempty, no call is retried (a replay could re-pair
+    /// replies with requests).
+    pending: VecDeque<PendingReq>,
+    /// Replies that arrived out of order (v3 only), parked until their
+    /// `recv_*` call claims them by id.
+    ready: HashMap<u64, Reply>,
+    /// Next request id (v3). Monotonic per connection; ids of in-flight
+    /// requests are unique, which is all the pairing needs.
+    next_id: u64,
     /// Deterministic backoff jitter.
     rng: StdRng,
     /// Whether the last receive attempt saw any reply bytes.
@@ -128,7 +161,7 @@ impl core::fmt::Debug for WireClient {
         f.debug_struct("WireClient")
             .field("peer", &self.stream.peer_addr().ok())
             .field("broken", &self.broken)
-            .field("in_flight", &self.in_flight)
+            .field("in_flight", &self.pending.len())
             .finish()
     }
 }
@@ -153,6 +186,9 @@ impl WireClient {
     /// Propagates socket errors; fails with [`WireError::Malformed`] if
     /// `addr` resolves to no addresses.
     pub fn connect_with(addr: impl ToSocketAddrs, cfg: ClientConfig) -> Result<Self, WireError> {
+        if !(frame::MIN_VERSION..=frame::VERSION).contains(&cfg.protocol) {
+            return Err(WireError::Malformed("unsupported protocol version"));
+        }
         let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
         let stream = Self::open_stream(&addrs, &cfg)?;
         let rng = StdRng::seed_from_u64(cfg.retry_seed);
@@ -162,7 +198,9 @@ impl WireClient {
             cfg,
             addrs,
             broken: false,
-            in_flight: 0,
+            pending: VecDeque::new(),
+            ready: HashMap::new(),
+            next_id: 1,
             rng,
             reply_started: false,
         })
@@ -210,7 +248,8 @@ impl WireClient {
         let stream = Self::open_stream(&self.addrs, &self.cfg)?;
         self.stream = stream;
         self.broken = false;
-        self.in_flight = 0;
+        self.pending.clear();
+        self.ready.clear();
         Ok(())
     }
 
@@ -219,7 +258,7 @@ impl WireClient {
     /// outstanding. Anything else either already has an answer (a typed
     /// remote error) or has unknown server-side progress.
     fn retryable(&self, e: &WireError) -> bool {
-        self.in_flight == 0 && !self.reply_started && matches!(e, WireError::Io(_))
+        self.pending.is_empty() && !self.reply_started && matches!(e, WireError::Io(_))
     }
 
     /// Sleeps the capped exponential backoff delay for retry `attempt`
@@ -240,8 +279,8 @@ impl WireClient {
         if self.broken {
             self.reconnect()?;
         }
-        self.send(req)?;
-        self.recv()
+        let tag = self.send(req)?;
+        self.recv(tag)
     }
 
     /// Round-trips an **idempotent** request, retrying safely-retryable
@@ -276,7 +315,19 @@ impl WireClient {
         WireError::Malformed(why)
     }
 
-    fn send(&mut self, req: &Request) -> Result<(), WireError> {
+    /// Fresh id envelope for one outgoing request: a unique id under
+    /// protocol v3, nothing under v2.
+    fn fresh_tag(&mut self) -> Tag {
+        (self.cfg.protocol >= 3).then(|| {
+            let id = self.next_id;
+            self.next_id += 1;
+            id
+        })
+    }
+
+    /// Encodes and writes one request, returning the id envelope it was
+    /// sent under (the reply must echo it).
+    fn send(&mut self, req: &Request) -> Result<Tag, WireError> {
         // Oversized requests would be rejected by the peer anyway; fail
         // before writing a frame that desynchronizes the stream. The name
         // bound also keeps the encoder's u16 string prefix exact (the
@@ -305,7 +356,8 @@ impl WireClient {
                 });
             }
         }
-        frame::encode_request(req, &mut self.buf);
+        let tag = self.fresh_tag();
+        frame::encode_request_tagged(tag, req, &mut self.buf);
         // The new round trip has not seen reply bytes yet.
         self.reply_started = false;
         if let Err(e) = frame::write_frame(&mut self.stream, &self.buf) {
@@ -314,33 +366,67 @@ impl WireClient {
             self.broken = true;
             return Err(e);
         }
-        Ok(())
+        Ok(tag)
     }
 
-    fn recv(&mut self) -> Result<Reply, WireError> {
-        let mut progressed = false;
-        let read = {
-            let mut tracked = TrackedReader {
-                inner: &mut self.stream,
-                progressed: &mut progressed,
+    /// Receives the reply for `expected`. Under v3, replies for *other*
+    /// outstanding pipelined requests may arrive first (out-of-order
+    /// completion); they are parked in the ready stash by id. A reply
+    /// whose id matches nothing outstanding means the stream is
+    /// answering some other conversation — hard-close.
+    fn recv(&mut self, expected: Tag) -> Result<Reply, WireError> {
+        loop {
+            let mut progressed = false;
+            let read = {
+                let mut tracked = TrackedReader {
+                    inner: &mut self.stream,
+                    progressed: &mut progressed,
+                };
+                frame::read_frame(&mut tracked, &mut self.buf)
             };
-            frame::read_frame(&mut tracked, &mut self.buf)
-        };
-        self.reply_started = progressed;
-        if let Err(e) = read {
-            // EOF, timeout or a malformed header: either way the stream
-            // cannot be re-synchronized.
-            self.hard_close();
-            return Err(e);
-        }
-        match frame::decode_reply(&self.buf) {
-            Ok(Reply::Error { code, message }) => Err(WireError::Remote { code, message }),
-            Ok(reply) => Ok(reply),
-            Err(e) => {
-                // A structurally invalid reply payload: close rather than
-                // guess where the next frame starts.
+            self.reply_started |= progressed;
+            if let Err(e) = read {
+                // EOF, timeout or a malformed header: either way the
+                // stream cannot be re-synchronized.
                 self.hard_close();
-                Err(e)
+                return Err(e);
+            }
+            let (tag, reply) = match frame::decode_reply_tagged(&self.buf) {
+                Ok(ok) => ok,
+                Err(e) => {
+                    // A structurally invalid reply payload: close rather
+                    // than guess where the next frame starts.
+                    self.hard_close();
+                    return Err(e);
+                }
+            };
+            if tag == expected {
+                return match reply {
+                    Reply::Error { code, message } => Err(WireError::Remote { code, message }),
+                    reply => Ok(reply),
+                };
+            }
+            match tag {
+                // An id belonging to another outstanding request: park
+                // its reply (typed errors included — the owning `recv_*`
+                // surfaces them) and keep reading for ours.
+                Some(id)
+                    if self.pending.iter().any(|p| p.tag == Some(id))
+                        && !self.ready.contains_key(&id) =>
+                {
+                    self.ready.insert(id, reply);
+                }
+                // An untagged error while expecting an id: the server
+                // could not attribute the failure to a request (e.g. a
+                // malformed frame verdict) and is about to hang up.
+                None if expected.is_some() => {
+                    if let Reply::Error { code, message } = reply {
+                        self.hard_close();
+                        return Err(WireError::Remote { code, message });
+                    }
+                    return Err(self.desync("reply missing its request id"));
+                }
+                _ => return Err(self.desync("reply carries an unexpected request id")),
             }
         }
     }
@@ -403,7 +489,7 @@ impl WireClient {
             self.reconnect()?;
         }
         let _ = self.stream.set_read_timeout(Some(timeout));
-        let result = self.send(&Request::Health).and_then(|()| self.recv());
+        let result = self.send(&Request::Health).and_then(|tag| self.recv(tag));
         // Restore the configured timeout (harmless on a hard-closed
         // stream; the next reconnect re-applies the config anyway).
         let _ = self.stream.set_read_timeout(self.cfg.read_timeout);
@@ -567,7 +653,54 @@ impl WireClient {
         input: &[f32],
         budget: Option<Duration>,
     ) -> Result<(), WireError> {
-        if self.broken && self.in_flight == 0 {
+        self.send_pipelined(
+            &Request::Infer {
+                model: model.to_string(),
+                deadline_micros: budget.map_or(0, |b| (b.as_micros() as u64).max(1)),
+                input: input.to_vec(),
+            },
+            PendingKind::Infer,
+        )
+    }
+
+    /// Pipelining: sends one segment request without waiting for the
+    /// reply — how a router scatters one request across shards from a
+    /// single thread. Collect with [`WireClient::recv_infer_segment`] in
+    /// send order. Never retried, like [`WireClient::send_infer`].
+    ///
+    /// # Errors
+    ///
+    /// Socket/protocol errors.
+    pub fn send_infer_segment(
+        &mut self,
+        model: &str,
+        row_start: usize,
+        row_end: usize,
+        batch: usize,
+        input: &[f32],
+        budget: Option<Duration>,
+    ) -> Result<(), WireError> {
+        self.send_pipelined(
+            &Request::InferSegment {
+                model: model.to_string(),
+                deadline_micros: budget.map_or(0, |b| (b.as_micros() as u64).max(1)),
+                row_start: row_start as u32,
+                row_end: row_end as u32,
+                batch: batch as u32,
+                input: input.to_vec(),
+            },
+            PendingKind::Segment {
+                row_start: row_start as u32,
+                row_end: row_end as u32,
+                batch: batch as u32,
+            },
+        )
+    }
+
+    /// Shared pipelined-send path: reconnects when safe, refuses when a
+    /// pipeline is stranded on a broken stream.
+    fn send_pipelined(&mut self, req: &Request, kind: PendingKind) -> Result<(), WireError> {
+        if self.broken && self.pending.is_empty() {
             // Safe to transparently reconnect: nothing is outstanding.
             self.reconnect()?;
         }
@@ -576,12 +709,8 @@ impl WireClient {
                 "connection broken with pipelined requests outstanding",
             ));
         }
-        self.send(&Request::Infer {
-            model: model.to_string(),
-            deadline_micros: budget.map_or(0, |b| (b.as_micros() as u64).max(1)),
-            input: input.to_vec(),
-        })?;
-        self.in_flight += 1;
+        let tag = self.send(req)?;
+        self.pending.push_back(PendingReq { tag, kind });
         Ok(())
     }
 
@@ -594,31 +723,83 @@ impl WireClient {
     /// blocking) when no pipelined request is outstanding — including
     /// after a reconnect dropped the outstanding tail.
     pub fn recv_infer(&mut self) -> Result<Vec<f32>, WireError> {
-        if self.in_flight == 0 {
-            return Err(WireError::Malformed("no pipelined request is outstanding"));
-        }
-        let reply = match self.recv() {
-            Ok(reply) => {
-                self.in_flight -= 1;
-                reply
-            }
-            // A typed remote error still consumed one outstanding slot.
-            Err(e @ WireError::Remote { .. }) => {
-                self.in_flight -= 1;
-                return Err(e);
-            }
-            // Transport failure: the stream is closed; the rest of the
-            // pipeline is lost with it.
-            Err(e) => return Err(e),
-        };
-        match reply {
-            Reply::Infer { output } => Ok(output),
+        match self.recv_pipelined(PendingKind::Infer)? {
+            (_, Reply::Infer { output }) => Ok(output),
             _ => Err(self.desync("expected Infer")),
         }
     }
 
+    /// Pipelining: receives the next segment reply (matching the oldest
+    /// outstanding [`WireClient::send_infer_segment`]). The echoed row
+    /// range and length are verified exactly as in
+    /// [`WireClient::infer_segment`].
+    ///
+    /// # Errors
+    ///
+    /// As [`WireClient::infer_segment`]; additionally fails typed when no
+    /// pipelined segment request is outstanding.
+    pub fn recv_infer_segment(&mut self) -> Result<Vec<f32>, WireError> {
+        let want = PendingKind::Segment {
+            row_start: 0,
+            row_end: 0,
+            batch: 0,
+        };
+        let (kind, reply) = self.recv_pipelined(want)?;
+        let PendingKind::Segment {
+            row_start,
+            row_end,
+            batch,
+        } = kind
+        else {
+            unreachable!("recv_pipelined matched the slot kind");
+        };
+        match reply {
+            Reply::InferSegment {
+                row_start: rs,
+                row_end: re,
+                batch: b,
+                output,
+            } => {
+                let rows = (row_end as usize).saturating_sub(row_start as usize);
+                if (rs, re, b) != (row_start, row_end, batch)
+                    || output.len() != batch as usize * rows
+                {
+                    return Err(self.desync("segment reply does not match the request"));
+                }
+                Ok(output)
+            }
+            _ => Err(self.desync("expected InferSegment")),
+        }
+    }
+
+    /// Shared pipelined-receive path: pops the oldest outstanding slot
+    /// (which must match `kind`'s variant), then claims its reply from
+    /// the ready stash or the socket. Returns the slot's recorded kind
+    /// alongside the reply (the segment receive verifies the echo
+    /// against it).
+    fn recv_pipelined(&mut self, kind: PendingKind) -> Result<(PendingKind, Reply), WireError> {
+        let Some(front) = self.pending.front() else {
+            return Err(WireError::Malformed("no pipelined request is outstanding"));
+        };
+        if core::mem::discriminant(&front.kind) != core::mem::discriminant(&kind) {
+            return Err(WireError::Malformed(
+                "pipelined replies must be received in send order and kind",
+            ));
+        }
+        let PendingReq { tag, kind } = self.pending.pop_front().expect("front exists");
+        if let Some(id) = tag {
+            if let Some(reply) = self.ready.remove(&id) {
+                return match reply {
+                    Reply::Error { code, message } => Err(WireError::Remote { code, message }),
+                    reply => Ok((kind, reply)),
+                };
+            }
+        }
+        self.recv(tag).map(|reply| (kind, reply))
+    }
+
     /// Pipelined requests sent but not yet received.
     pub fn pipelined(&self) -> usize {
-        self.in_flight
+        self.pending.len()
     }
 }

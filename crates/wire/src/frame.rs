@@ -5,12 +5,19 @@
 //! ```text
 //! offset  size  field
 //! 0       1     magic     0xC7 (rejects non-protocol peers instantly)
-//! 1       1     version   currently 2
+//! 1       1     version   2 or 3 (v3 = request-id framing)
 //! 2       1     opcode    frame type (request 0x0*, reply 0x8*)
 //! 3       1     reserved  must be 0
 //! 4       4     len       payload byte length, ≤ MAX_PAYLOAD
 //! 8       len   payload   opcode-specific fields, little-endian
 //! ```
+//!
+//! A **version 3** frame carries a `u64` request id as the first eight
+//! payload bytes of *every* frame — requests choose it, replies (including
+//! `Error`) echo it — so replies may complete out of arrival order and a
+//! pipelining client matches them by id instead of position. Version 2
+//! frames have no id; a v3 server still serves them through an ordering
+//! shim (replies in arrival order per connection).
 //!
 //! Strings are `u16` length + UTF-8 bytes; `f32`/`f64` are IEEE-754 LE
 //! bit patterns. Decoding is **strict**: truncated fields, trailing bytes,
@@ -29,11 +36,15 @@ use crate::error::{ErrorCode, WireError};
 
 /// First byte of every frame.
 pub const MAGIC: u8 = 0xC7;
-/// Protocol version this build speaks. Version 2 added the
+/// Protocol version this build speaks by default. Version 2 added the
 /// `InferSegment` opcode pair (row-sliced scatter/gather for the sharded
-/// serving tier); both peers of a deployment upgrade together, so the
-/// version is a hard equality check rather than a negotiation.
-pub const VERSION: u8 = 2;
+/// serving tier); version 3 added the per-frame `u64` request id so
+/// replies no longer need arrival order. Decoders accept
+/// [`MIN_VERSION`]..=[`VERSION`]; anything else is a hard
+/// [`WireError::BadVersion`].
+pub const VERSION: u8 = 3;
+/// Oldest protocol version still decoded (v2 clients stay servable).
+pub const MIN_VERSION: u8 = 2;
 /// Frame header length in bytes.
 pub const HEADER_LEN: usize = 8;
 /// Hard cap on a frame payload (64 MiB) — the length prefix is validated
@@ -249,12 +260,22 @@ fn put_f32s(buf: &mut Vec<u8>, xs: &[f32]) {
     }
 }
 
-/// Starts a frame in `buf` (cleared first) and returns after writing the
-/// header with a zero length; [`finish_frame`] patches the real length.
-fn start_frame(buf: &mut Vec<u8>, op: u8) {
+/// The request-id envelope of a frame: `None` encodes/decodes protocol
+/// v2 (no id field), `Some(id)` protocol v3 (the id rides as the first
+/// eight payload bytes).
+pub type Tag = Option<u64>;
+
+/// Starts a frame in `buf` (cleared first): header for the version `tag`
+/// implies, zero length ([`finish_frame`] patches it), and the id field
+/// when the tag carries one.
+fn start_frame(buf: &mut Vec<u8>, tag: Tag, op: u8) {
     buf.clear();
-    buf.extend_from_slice(&[MAGIC, VERSION, op, 0]);
+    let version = if tag.is_some() { VERSION } else { MIN_VERSION };
+    buf.extend_from_slice(&[MAGIC, version, op, 0]);
     put_u32(buf, 0);
+    if let Some(id) = tag {
+        put_u64(buf, id);
+    }
 }
 
 fn finish_frame(buf: &mut [u8]) {
@@ -262,14 +283,25 @@ fn finish_frame(buf: &mut [u8]) {
     buf[4..8].copy_from_slice(&len.to_le_bytes());
 }
 
-/// Encodes `req` as one complete frame into `buf` (cleared first).
+/// Encodes `req` as one complete **v2** frame into `buf` (cleared first).
 pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
+    encode_request_tagged(None, req, buf);
+}
+
+/// Encodes `req` as one complete **v3** frame carrying `id` into `buf`
+/// (cleared first). The server echoes the id in the matching reply.
+pub fn encode_request_v3(id: u64, req: &Request, buf: &mut Vec<u8>) {
+    encode_request_tagged(Some(id), req, buf);
+}
+
+/// Encodes `req` under the given id envelope (`None` = v2, `Some` = v3).
+pub fn encode_request_tagged(tag: Tag, req: &Request, buf: &mut Vec<u8>) {
     match req {
-        Request::Ping => start_frame(buf, opcode::PING),
-        Request::ListModels => start_frame(buf, opcode::LIST_MODELS),
-        Request::Health => start_frame(buf, opcode::HEALTH),
+        Request::Ping => start_frame(buf, tag, opcode::PING),
+        Request::ListModels => start_frame(buf, tag, opcode::LIST_MODELS),
+        Request::Health => start_frame(buf, tag, opcode::HEALTH),
         Request::Stats { model } => {
-            start_frame(buf, opcode::STATS);
+            start_frame(buf, tag, opcode::STATS);
             put_str(buf, model);
         }
         Request::Infer {
@@ -277,7 +309,7 @@ pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
             deadline_micros,
             input,
         } => {
-            start_frame(buf, opcode::INFER);
+            start_frame(buf, tag, opcode::INFER);
             put_str(buf, model);
             put_u64(buf, *deadline_micros);
             put_u32(buf, input.len() as u32);
@@ -289,7 +321,7 @@ pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
             batch,
             input,
         } => {
-            start_frame(buf, opcode::INFER_BATCH);
+            start_frame(buf, tag, opcode::INFER_BATCH);
             put_str(buf, model);
             put_u64(buf, *deadline_micros);
             put_u32(buf, *batch);
@@ -304,7 +336,7 @@ pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
             batch,
             input,
         } => {
-            start_frame(buf, opcode::INFER_SEGMENT);
+            start_frame(buf, tag, opcode::INFER_SEGMENT);
             put_str(buf, model);
             put_u64(buf, *deadline_micros);
             put_u32(buf, *row_start);
@@ -317,12 +349,26 @@ pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
     finish_frame(buf);
 }
 
-/// Encodes `reply` as one complete frame into `buf` (cleared first).
+/// Encodes `reply` as one complete **v2** frame into `buf` (cleared
+/// first).
 pub fn encode_reply(reply: &Reply, buf: &mut Vec<u8>) {
+    encode_reply_tagged(None, reply, buf);
+}
+
+/// Encodes `reply` as one complete **v3** frame echoing the request's
+/// `id` into `buf` (cleared first).
+pub fn encode_reply_v3(id: u64, reply: &Reply, buf: &mut Vec<u8>) {
+    encode_reply_tagged(Some(id), reply, buf);
+}
+
+/// Encodes `reply` under the given id envelope (`None` = v2, `Some` =
+/// v3) — what a dual-version server calls with the envelope the request
+/// arrived under.
+pub fn encode_reply_tagged(tag: Tag, reply: &Reply, buf: &mut Vec<u8>) {
     match reply {
-        Reply::Pong => start_frame(buf, opcode::PONG),
+        Reply::Pong => start_frame(buf, tag, opcode::PONG),
         Reply::ModelList(models) => {
-            start_frame(buf, opcode::MODEL_LIST);
+            start_frame(buf, tag, opcode::MODEL_LIST);
             put_u32(buf, models.len() as u32);
             for m in models {
                 put_str(buf, &m.name);
@@ -332,7 +378,7 @@ pub fn encode_reply(reply: &Reply, buf: &mut Vec<u8>) {
             }
         }
         Reply::Stats { model, stats } => {
-            start_frame(buf, opcode::STATS_REPLY);
+            start_frame(buf, tag, opcode::STATS_REPLY);
             put_str(buf, model);
             put_u64(buf, stats.requests);
             put_u64(buf, stats.batches);
@@ -351,18 +397,18 @@ pub fn encode_reply(reply: &Reply, buf: &mut Vec<u8>) {
             put_f64(buf, stats.max_latency_us);
         }
         Reply::Infer { output } => {
-            start_frame(buf, opcode::INFER_REPLY);
+            start_frame(buf, tag, opcode::INFER_REPLY);
             put_u32(buf, output.len() as u32);
             put_f32s(buf, output);
         }
         Reply::InferBatch { batch, output } => {
-            start_frame(buf, opcode::INFER_BATCH_REPLY);
+            start_frame(buf, tag, opcode::INFER_BATCH_REPLY);
             put_u32(buf, *batch);
             put_u32(buf, output.len() as u32);
             put_f32s(buf, output);
         }
         Reply::Health(health) => {
-            start_frame(buf, opcode::HEALTH_REPLY);
+            start_frame(buf, tag, opcode::HEALTH_REPLY);
             put_u32(buf, health.models);
             put_u32(buf, health.tenants.len() as u32);
             for t in &health.tenants {
@@ -380,7 +426,7 @@ pub fn encode_reply(reply: &Reply, buf: &mut Vec<u8>) {
             batch,
             output,
         } => {
-            start_frame(buf, opcode::INFER_SEGMENT_REPLY);
+            start_frame(buf, tag, opcode::INFER_SEGMENT_REPLY);
             put_u32(buf, *row_start);
             put_u32(buf, *row_end);
             put_u32(buf, *batch);
@@ -388,7 +434,7 @@ pub fn encode_reply(reply: &Reply, buf: &mut Vec<u8>) {
             put_f32s(buf, output);
         }
         Reply::Error { code, message } => {
-            start_frame(buf, opcode::ERROR);
+            start_frame(buf, tag, opcode::ERROR);
             put_u16(buf, *code as u16);
             put_str(buf, message);
         }
@@ -469,16 +515,28 @@ impl<'a> Cur<'a> {
 ///
 /// # Errors
 ///
-/// Typed [`WireError`]s for a short header, bad magic, version mismatch,
-/// nonzero reserved byte, or an oversized length prefix.
+/// Typed [`WireError`]s for a short header, bad magic, a version outside
+/// [`MIN_VERSION`]..=[`VERSION`], a nonzero reserved byte, or an
+/// oversized length prefix.
 pub fn decode_header(header: &[u8]) -> Result<(u8, usize), WireError> {
+    let (_, op, len) = decode_header_versioned(header)?;
+    Ok((op, len))
+}
+
+/// As [`decode_header`], also returning the frame's protocol version —
+/// what a dual-version server needs to pick the reply envelope.
+///
+/// # Errors
+///
+/// As [`decode_header`].
+pub fn decode_header_versioned(header: &[u8]) -> Result<(u8, u8, usize), WireError> {
     if header.len() < HEADER_LEN {
         return Err(WireError::Malformed("frame shorter than its header"));
     }
     if header[0] != MAGIC {
         return Err(WireError::BadMagic(header[0]));
     }
-    if header[1] != VERSION {
+    if !(MIN_VERSION..=VERSION).contains(&header[1]) {
         return Err(WireError::BadVersion {
             got: header[1],
             want: VERSION,
@@ -494,27 +552,48 @@ pub fn decode_header(header: &[u8]) -> Result<(u8, usize), WireError> {
             max: MAX_PAYLOAD,
         });
     }
-    Ok((header[2], len))
+    Ok((header[1], header[2], len))
 }
 
-fn frame_payload(frame: &[u8]) -> Result<(u8, &[u8]), WireError> {
-    let (op, len) = decode_header(frame)?;
+fn frame_payload(frame: &[u8]) -> Result<(Tag, u8, &[u8]), WireError> {
+    let (version, op, len) = decode_header_versioned(frame)?;
     let payload = &frame[HEADER_LEN..];
     if payload.len() != len {
         return Err(WireError::Malformed(
             "length prefix disagrees with the bytes present",
         ));
     }
-    Ok((op, payload))
+    if version >= 3 {
+        // The v3 id envelope: first eight payload bytes on every frame.
+        if payload.len() < 8 {
+            return Err(WireError::Malformed("v3 frame too short for its id"));
+        }
+        let id = u64::from_le_bytes(payload[..8].try_into().expect("checked length"));
+        Ok((Some(id), op, &payload[8..]))
+    } else {
+        Ok((None, op, payload))
+    }
 }
 
-/// Decodes one complete request frame (header + payload, exactly).
+/// Decodes one complete request frame (header + payload, exactly),
+/// discarding the id envelope. Servers use [`decode_request_tagged`] so
+/// the reply can echo the id.
 ///
 /// # Errors
 ///
 /// Typed [`WireError`]s on any structural problem; never panics.
 pub fn decode_request(frame: &[u8]) -> Result<Request, WireError> {
-    let (op, payload) = frame_payload(frame)?;
+    decode_request_tagged(frame).map(|(_, req)| req)
+}
+
+/// Decodes one complete request frame along with its id envelope
+/// (`None` = a v2 frame, `Some(id)` = v3).
+///
+/// # Errors
+///
+/// Typed [`WireError`]s on any structural problem; never panics.
+pub fn decode_request_tagged(frame: &[u8]) -> Result<(Tag, Request), WireError> {
+    let (tag, op, payload) = frame_payload(frame)?;
     let mut c = Cur {
         buf: payload,
         pos: 0,
@@ -560,16 +639,28 @@ pub fn decode_request(frame: &[u8]) -> Result<Request, WireError> {
         other => return Err(WireError::UnknownOpcode(other)),
     };
     c.finish()?;
-    Ok(req)
+    Ok((tag, req))
 }
 
-/// Decodes one complete reply frame (header + payload, exactly).
+/// Decodes one complete reply frame (header + payload, exactly),
+/// discarding the id envelope. Pipelining clients use
+/// [`decode_reply_tagged`] to match replies by id.
 ///
 /// # Errors
 ///
 /// Typed [`WireError`]s on any structural problem; never panics.
 pub fn decode_reply(frame: &[u8]) -> Result<Reply, WireError> {
-    let (op, payload) = frame_payload(frame)?;
+    decode_reply_tagged(frame).map(|(_, reply)| reply)
+}
+
+/// Decodes one complete reply frame along with its id envelope
+/// (`None` = a v2 frame, `Some(id)` = v3).
+///
+/// # Errors
+///
+/// Typed [`WireError`]s on any structural problem; never panics.
+pub fn decode_reply_tagged(frame: &[u8]) -> Result<(Tag, Reply), WireError> {
+    let (tag, op, payload) = frame_payload(frame)?;
     let mut c = Cur {
         buf: payload,
         pos: 0,
@@ -661,7 +752,7 @@ pub fn decode_reply(frame: &[u8]) -> Result<Reply, WireError> {
         other => return Err(WireError::UnknownOpcode(other)),
     };
     c.finish()?;
-    Ok(reply)
+    Ok((tag, reply))
 }
 
 // ---------------------------------------------------------------------
@@ -697,4 +788,71 @@ pub fn read_frame(r: &mut impl std::io::Read, buf: &mut Vec<u8>) -> Result<(), W
 pub fn write_frame(w: &mut impl std::io::Write, frame: &[u8]) -> Result<(), WireError> {
     w.write_all(frame)?;
     Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Incremental assembly (nonblocking sockets)
+// ---------------------------------------------------------------------
+
+/// Incremental frame assembly for nonblocking sockets: bytes arrive at
+/// arbitrary boundaries ([`FrameAssembler::push`]), complete frames come
+/// out one at a time ([`FrameAssembler::next_frame`]).
+///
+/// The header is validated as soon as eight bytes are present, so a
+/// hostile length prefix is rejected before its payload is bought, and a
+/// garbage stream fails at the first byte that cannot begin a frame.
+/// Consumed frames are compacted out of the buffer on the next call;
+/// steady state holds at most one partial frame plus whatever the last
+/// read appended.
+#[derive(Debug, Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Bytes of `buf` consumed by already-yielded frames (compacted away
+    /// on the next [`FrameAssembler::next_frame`] call).
+    consumed: usize,
+}
+
+impl FrameAssembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends bytes read off the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered and not yet yielded as a complete frame (a nonzero
+    /// value after a read means a partial frame is in flight).
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.consumed
+    }
+
+    /// Yields the next complete frame (header + payload), or `Ok(None)`
+    /// when more bytes are needed. The returned slice is valid until the
+    /// next call on the assembler.
+    ///
+    /// # Errors
+    ///
+    /// Every header validation error of [`decode_header`], as soon as the
+    /// offending header is complete. After an error the stream is
+    /// unrecoverable (framing is lost); the connection should answer
+    /// typed and close.
+    pub fn next_frame(&mut self) -> Result<Option<&[u8]>, WireError> {
+        if self.consumed > 0 {
+            self.buf.drain(..self.consumed);
+            self.consumed = 0;
+        }
+        if self.buf.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let (_, len) = decode_header(&self.buf[..HEADER_LEN])?;
+        let total = HEADER_LEN + len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        self.consumed = total;
+        Ok(Some(&self.buf[..total]))
+    }
 }

@@ -65,12 +65,14 @@
 pub mod chaos;
 mod client;
 mod error;
+mod event;
 pub mod frame;
 mod registry;
 mod server;
 
 pub use client::{ClientConfig, WireClient};
 pub use error::{ErrorCode, WireError};
+pub use event::{Dispatched, EventConfig, EventDispatch, EventServer, ReplyTicket};
 pub use frame::{HealthInfo, ModelInfo, Reply, Request, TenantHealth};
 pub use registry::{ModelRegistry, RegistryError, SegmentInfo, MAX_NAME_LEN};
 pub use server::{WireConfig, WireServer};

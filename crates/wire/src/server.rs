@@ -28,7 +28,7 @@ use std::time::Duration;
 use circnn_serve::{ResponseHandle, ServeError};
 
 use crate::error::{ErrorCode, WireError};
-use crate::frame::{self, Reply, Request};
+use crate::frame::{self, Reply, Request, Tag};
 use crate::registry::ModelRegistry;
 
 /// Wire front-end knobs.
@@ -91,9 +91,12 @@ enum PendingReply {
     },
 }
 
-/// Bounded FIFO between a connection's reader and writer.
+/// Bounded FIFO between a connection's reader and writer. Each entry
+/// carries the id envelope its request arrived under, echoed in the
+/// reply (v3 clients pair by id; v2 entries have none and rely on the
+/// arrival order this queue preserves).
 struct ReplyQueue {
-    state: Mutex<(std::collections::VecDeque<PendingReply>, bool)>,
+    state: Mutex<(std::collections::VecDeque<(Tag, PendingReply)>, bool)>,
     not_empty: Condvar,
     not_full: Condvar,
     cap: usize,
@@ -112,7 +115,7 @@ impl ReplyQueue {
     /// Parks one reply, blocking while the pipeline bound is reached.
     /// Returns `false` once the queue is closed (the writer is gone) —
     /// the entry is dropped and the caller should stop producing.
-    fn push(&self, entry: PendingReply) -> bool {
+    fn push(&self, entry: (Tag, PendingReply)) -> bool {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if st.1 {
@@ -131,7 +134,7 @@ impl ReplyQueue {
 
     /// Pops the next reply in arrival order; `None` once closed and
     /// drained.
-    fn pop(&self) -> Option<PendingReply> {
+    fn pop(&self) -> Option<(Tag, PendingReply)> {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(entry) = st.0.pop_front() {
@@ -156,7 +159,7 @@ impl ReplyQueue {
 }
 
 /// Maps a scheduler error onto its wire error code.
-fn error_reply(e: &ServeError) -> Reply {
+pub(crate) fn error_reply(e: &ServeError) -> Reply {
     let code = match e {
         ServeError::BadInput { .. } => ErrorCode::BadInput,
         ServeError::QueueFull => ErrorCode::QueueFull,
@@ -174,14 +177,14 @@ fn error_reply(e: &ServeError) -> Reply {
     }
 }
 
-fn unknown_model(name: &str) -> Reply {
+pub(crate) fn unknown_model(name: &str) -> Reply {
     Reply::Error {
         code: ErrorCode::UnknownModel,
         message: format!("no model named {name:?} is registered"),
     }
 }
 
-fn budget_of(deadline_micros: u64) -> Option<Duration> {
+pub(crate) fn budget_of(deadline_micros: u64) -> Option<Duration> {
     (deadline_micros > 0).then(|| Duration::from_micros(deadline_micros))
 }
 
@@ -387,31 +390,38 @@ fn serve_connection(mut stream: TcpStream, registry: &ModelRegistry, cfg: &WireC
     let mut buf = Vec::new();
     loop {
         match frame::read_frame(&mut stream, &mut buf) {
-            Ok(()) => match frame::decode_request(&buf) {
+            Ok(()) => match frame::decode_request_tagged(&buf) {
                 // A false return means the writer died (dead socket) —
                 // stop reading; there is nobody left to answer.
-                Ok(req) => {
-                    if !dispatch(req, registry, &queue) {
+                Ok((tag, req)) => {
+                    if !dispatch(tag, req, registry, &queue) {
                         break;
                     }
                 }
                 Err(e) => {
                     // Strict rejection: answer with the typed error, then
                     // hang up — a peer that framed one request wrong has
-                    // desynchronized the stream.
-                    queue.push(PendingReply::Ready(Reply::Error {
-                        code: ErrorCode::Malformed,
-                        message: e.to_string(),
-                    }));
+                    // desynchronized the stream. (No id envelope: the
+                    // frame was too broken to trust one.)
+                    queue.push((
+                        None,
+                        PendingReply::Ready(Reply::Error {
+                            code: ErrorCode::Malformed,
+                            message: e.to_string(),
+                        }),
+                    ));
                     break;
                 }
             },
             Err(WireError::Io(_)) => break, // peer hung up (or EOF mid-frame)
             Err(e) => {
-                queue.push(PendingReply::Ready(Reply::Error {
-                    code: ErrorCode::Malformed,
-                    message: e.to_string(),
-                }));
+                queue.push((
+                    None,
+                    PendingReply::Ready(Reply::Error {
+                        code: ErrorCode::Malformed,
+                        message: e.to_string(),
+                    }),
+                ));
                 break;
             }
         }
@@ -426,18 +436,20 @@ fn serve_connection(mut stream: TcpStream, registry: &ModelRegistry, cfg: &WireC
 }
 
 /// Handles one decoded request on the reader thread. Returns `false` when
-/// the reply queue is closed (writer gone) and reading should stop.
-fn dispatch(req: Request, registry: &ModelRegistry, queue: &ReplyQueue) -> bool {
+/// the reply queue is closed (writer gone) and reading should stop. The
+/// request's id envelope rides along to be echoed in the reply.
+fn dispatch(tag: Tag, req: Request, registry: &ModelRegistry, queue: &ReplyQueue) -> bool {
+    let push = |entry: PendingReply| queue.push((tag, entry));
     match req {
-        Request::Ping => queue.push(PendingReply::Ready(Reply::Pong)),
-        Request::ListModels => queue.push(PendingReply::Ready(Reply::ModelList(registry.list()))),
-        Request::Health => queue.push(PendingReply::Ready(Reply::Health(registry.health()))),
+        Request::Ping => push(PendingReply::Ready(Reply::Pong)),
+        Request::ListModels => push(PendingReply::Ready(Reply::ModelList(registry.list()))),
+        Request::Health => push(PendingReply::Ready(Reply::Health(registry.health()))),
         Request::Stats { model } => {
             let reply = match registry.stats(&model) {
                 Some(stats) => Reply::Stats { model, stats },
                 None => unknown_model(&model),
             };
-            queue.push(PendingReply::Ready(reply))
+            push(PendingReply::Ready(reply))
         }
         Request::Infer {
             model,
@@ -445,7 +457,7 @@ fn dispatch(req: Request, registry: &ModelRegistry, queue: &ReplyQueue) -> bool 
             input,
         } => {
             let Some(tenant) = registry.get(&model) else {
-                return queue.push(PendingReply::Ready(unknown_model(&model)));
+                return push(PendingReply::Ready(unknown_model(&model)));
             };
             // A payload inconsistent with the registered model's input
             // shape is rejected here, at the wire layer, with a typed
@@ -453,7 +465,7 @@ fn dispatch(req: Request, registry: &ModelRegistry, queue: &ReplyQueue) -> bool 
             // trip a batch-shape assertion on it.
             let n = tenant.input_len();
             if input.len() != n {
-                return queue.push(PendingReply::Ready(Reply::Error {
+                return push(PendingReply::Ready(Reply::Error {
                     code: ErrorCode::BadInput,
                     message: format!(
                         "model {model:?} expects {n} values per request, got {}",
@@ -463,8 +475,8 @@ fn dispatch(req: Request, registry: &ModelRegistry, queue: &ReplyQueue) -> bool 
             }
             // Blocking submit: tenant backpressure stalls this connection.
             match tenant.submit_with_deadline(input, budget_of(deadline_micros)) {
-                Ok(handle) => queue.push(PendingReply::Single(handle)),
-                Err(e) => queue.push(PendingReply::Ready(error_reply(&e))),
+                Ok(handle) => push(PendingReply::Single(handle)),
+                Err(e) => push(PendingReply::Ready(error_reply(&e))),
             }
         }
         Request::InferBatch {
@@ -474,12 +486,12 @@ fn dispatch(req: Request, registry: &ModelRegistry, queue: &ReplyQueue) -> bool 
             input,
         } => {
             let Some(tenant) = registry.get(&model) else {
-                return queue.push(PendingReply::Ready(unknown_model(&model)));
+                return push(PendingReply::Ready(unknown_model(&model)));
             };
             let n = tenant.input_len();
             let rows = batch as usize;
             if rows == 0 || input.len() != rows * n {
-                return queue.push(PendingReply::Ready(Reply::Error {
+                return push(PendingReply::Ready(Reply::Error {
                     code: ErrorCode::BadInput,
                     message: format!(
                         "batch of {rows} rows needs {} values, got {}",
@@ -506,8 +518,8 @@ fn dispatch(req: Request, registry: &ModelRegistry, queue: &ReplyQueue) -> bool 
             match failed {
                 // Already-submitted rows still run; their handles drop
                 // harmlessly.
-                Some(e) => queue.push(PendingReply::Ready(error_reply(&e))),
-                None => queue.push(PendingReply::Batch { handles, batch }),
+                Some(e) => push(PendingReply::Ready(error_reply(&e))),
+                None => push(PendingReply::Batch { handles, batch }),
             }
         }
         Request::InferSegment {
@@ -519,7 +531,7 @@ fn dispatch(req: Request, registry: &ModelRegistry, queue: &ReplyQueue) -> bool 
             input,
         } => {
             let Some(tenant) = registry.get(&model) else {
-                return queue.push(PendingReply::Ready(unknown_model(&model)));
+                return push(PendingReply::Ready(unknown_model(&model)));
             };
             // The tenant must be registered *as a segment* and the
             // requested range must match its recorded placement exactly —
@@ -527,13 +539,13 @@ fn dispatch(req: Request, registry: &ModelRegistry, queue: &ReplyQueue) -> bool 
             // here instead of returning rows the router would stitch into
             // the wrong place.
             let Some(seg) = registry.segment(&model) else {
-                return queue.push(PendingReply::Ready(Reply::Error {
+                return push(PendingReply::Ready(Reply::Error {
                     code: ErrorCode::BadInput,
                     message: format!("model {model:?} is not registered as a row segment"),
                 }));
             };
             if (row_start as usize, row_end as usize) != (seg.row_start, seg.row_end) {
-                return queue.push(PendingReply::Ready(Reply::Error {
+                return push(PendingReply::Ready(Reply::Error {
                     code: ErrorCode::BadInput,
                     message: format!(
                         "segment {model:?} covers rows {}..{}, request asked for \
@@ -545,7 +557,7 @@ fn dispatch(req: Request, registry: &ModelRegistry, queue: &ReplyQueue) -> bool 
             let n = tenant.input_len();
             let rows = batch as usize;
             if rows == 0 || input.len() != rows * n {
-                return queue.push(PendingReply::Ready(Reply::Error {
+                return push(PendingReply::Ready(Reply::Error {
                     code: ErrorCode::BadInput,
                     message: format!(
                         "segment batch of {rows} rows needs {} values, got {}",
@@ -567,8 +579,8 @@ fn dispatch(req: Request, registry: &ModelRegistry, queue: &ReplyQueue) -> bool 
                 }
             }
             match failed {
-                Some(e) => queue.push(PendingReply::Ready(error_reply(&e))),
-                None => queue.push(PendingReply::Segment {
+                Some(e) => push(PendingReply::Ready(error_reply(&e))),
+                None => push(PendingReply::Segment {
                     handles,
                     batch,
                     row_start,
@@ -584,7 +596,7 @@ fn dispatch(req: Request, registry: &ModelRegistry, queue: &ReplyQueue) -> bool 
 /// queue and it is drained.
 fn writer_loop(mut stream: TcpStream, queue: &ReplyQueue) {
     let mut buf = Vec::new();
-    while let Some(entry) = queue.pop() {
+    while let Some((tag, entry)) = queue.pop() {
         let reply = match entry {
             PendingReply::Ready(reply) => reply,
             PendingReply::Single(handle) => match handle.wait() {
@@ -639,7 +651,9 @@ fn writer_loop(mut stream: TcpStream, queue: &ReplyQueue) {
                 }
             }
         };
-        frame::encode_reply(&reply, &mut buf);
+        // Echo the id envelope the request arrived under (v2 requests
+        // have none and get v2 replies — byte-identical to before).
+        frame::encode_reply_tagged(tag, &reply, &mut buf);
         if frame::write_frame(&mut stream, &buf).is_err() {
             break; // connection is gone; drop remaining completions
         }

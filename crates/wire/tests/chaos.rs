@@ -11,7 +11,10 @@ use std::time::Duration;
 
 use circnn_serve::{ServeModel, TenantConfig};
 use circnn_wire::chaos::{ChaosProxy, Fault, FaultyModel};
-use circnn_wire::{ClientConfig, ModelRegistry, WireClient, WireConfig, WireError, WireServer};
+use circnn_wire::{
+    ClientConfig, EventConfig, EventServer, ModelRegistry, WireClient, WireConfig, WireError,
+    WireServer,
+};
 
 /// A pure, trivially-verifiable model: `y[i] = 2 x[i] + 1`.
 struct Doubler;
@@ -174,6 +177,110 @@ fn chaos_soak_every_request_resolves_correct_or_typed_error() {
     assert!(
         flaky.panics >= 1,
         "the scheduled poison dispatch must be recorded: {flaky:?}"
+    );
+    for t in &health.tenants {
+        assert_eq!(t.pending, 0, "no request may remain queued: {t:?}");
+    }
+
+    proxy.shutdown();
+    server.shutdown();
+}
+
+/// The same storm against the event-driven front end: torn frames land
+/// mid-read in the incremental decoder, truncated replies cut pipelined
+/// v3 streams, and the injected panics and stragglers exercise the
+/// completion path — every request still resolves as bitwise-correct
+/// output or a typed error, and the readiness loops stay healthy.
+#[test]
+fn chaos_soak_event_server_every_request_resolves() {
+    let registry = Arc::new(ModelRegistry::new(2).unwrap());
+    registry
+        .add_model("clean", Doubler, TenantConfig::default())
+        .unwrap();
+    registry
+        .add_model(
+            "flaky",
+            FaultyModel::new(Doubler)
+                .panic_at([0, 7])
+                .slow_at([3, 11], Duration::from_millis(40)),
+            TenantConfig::default(),
+        )
+        .unwrap();
+    let server = EventServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        EventConfig {
+            idle_timeout: Some(Duration::from_secs(10)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    let proxy = ChaosProxy::start(
+        server.local_addr(),
+        vec![
+            Fault::None,
+            Fault::Delay {
+                delay: Duration::from_micros(200),
+                chunk: 7,
+            },
+            Fault::None,
+            Fault::TruncateToServer { after: 13 },
+            Fault::None,
+            Fault::TruncateToClient { after: 20 },
+        ],
+    )
+    .unwrap();
+    let proxied = proxy.local_addr();
+
+    const CLIENTS: u64 = 6;
+    const REQUESTS: u64 = 20;
+    let mut totals = (0u64, 0u64);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                s.spawn(move || {
+                    let model = if c % 2 == 0 { "clean" } else { "flaky" };
+                    soak(proxied, c, REQUESTS, model)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (ok, err) = h.join().expect("no client panics under chaos");
+            totals.0 += ok;
+            totals.1 += err;
+        }
+    });
+    assert_eq!(
+        totals.0 + totals.1,
+        CLIENTS * REQUESTS,
+        "every request resolved"
+    );
+    assert!(
+        totals.0 > 0,
+        "some requests must survive chaos (got {} ok / {} err)",
+        totals.0,
+        totals.1
+    );
+
+    // The loops are healthy after the storm: a clean connection serves
+    // bitwise-correct replies and a sane health frame, and no request
+    // lingers in any tenant queue (dropped dispatch tickets answered).
+    let mut direct = WireClient::connect(server.local_addr()).unwrap();
+    direct.ping().unwrap();
+    let x = input(171_717);
+    assert_eq!(direct.infer("clean", &x).unwrap(), expected(&x));
+    let health = direct.health().unwrap();
+    assert_eq!(health.models, 2);
+    assert!(
+        health
+            .tenants
+            .iter()
+            .find(|t| t.name == "flaky")
+            .expect("flaky tenant listed")
+            .panics
+            >= 1,
+        "the scheduled poison dispatch must be recorded"
     );
     for t in &health.tenants {
         assert_eq!(t.pending, 0, "no request may remain queued: {t:?}");

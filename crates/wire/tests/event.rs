@@ -1,0 +1,489 @@
+//! The event-driven front end, end to end: readiness-loop serving is
+//! bitwise-identical to the threaded server, protocol v3 request ids
+//! complete out of order, v2 clients keep arrival-order replies, stalled
+//! half-frame connections are reaped without a dedicated thread, the
+//! connection cap holds, and teardown is prompt and complete.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use circnn_core::{BlockCirculantMatrix, CirculantConv2d, CirculantLinear, Workspace};
+use circnn_nn::{Flatten, InferScratch, Layer, Linear, MaxPool2d, Relu, Sequential};
+use circnn_serve::{ServeModel, TenantConfig};
+use circnn_tensor::init::seeded_rng;
+use circnn_tensor::Tensor;
+use circnn_wire::frame::{self, Reply, Request};
+use circnn_wire::{
+    ClientConfig, ErrorCode, EventConfig, EventServer, ModelRegistry, WireClient, WireError,
+};
+
+/// MLP tenant: 32 → 48 → 10 with a circulant hidden layer.
+fn mlp(seed: u64) -> Sequential {
+    let mut rng = seeded_rng(seed);
+    Sequential::new()
+        .add(CirculantLinear::new(&mut rng, 32, 48, 16).unwrap())
+        .add(Relu::new())
+        .add(Linear::new(&mut rng, 48, 10))
+}
+
+/// Convnet tenant over `[2, 8, 8]` images: circulant conv → pool → fc.
+fn convnet(seed: u64) -> Sequential {
+    let mut rng = seeded_rng(seed);
+    Sequential::new()
+        .add(CirculantConv2d::new(&mut rng, 2, 4, 3, 1, 1, 2).unwrap())
+        .add(Relu::new())
+        .add(MaxPool2d::new(2, 2))
+        .add(Flatten::new())
+        .add(Linear::new(&mut rng, 4 * 4 * 4, 6))
+}
+
+fn request(len: usize, seed: u64) -> Vec<f32> {
+    circnn_tensor::init::uniform(&mut seeded_rng(seed), &[len], -1.0, 1.0)
+        .data()
+        .to_vec()
+}
+
+/// A model that stalls its single pool worker: echoes after a sleep.
+struct SlowEcho(Duration);
+
+impl ServeModel for SlowEcho {
+    type Scratch = ();
+    fn make_scratch(&self) {}
+    fn input_len(&self) -> usize {
+        4
+    }
+    fn output_len(&self) -> usize {
+        4
+    }
+    fn infer_batch(&self, x: &[f32], _batch: usize, _scratch: &mut (), out: &mut [f32]) {
+        std::thread::sleep(self.0);
+        out.copy_from_slice(x);
+    }
+}
+
+/// `y[i] = 2 x[i] + 1`, instantly.
+struct Doubler;
+
+impl ServeModel for Doubler {
+    type Scratch = ();
+    fn make_scratch(&self) {}
+    fn input_len(&self) -> usize {
+        8
+    }
+    fn output_len(&self) -> usize {
+        8
+    }
+    fn infer_batch(&self, x: &[f32], _batch: usize, _scratch: &mut (), out: &mut [f32]) {
+        for (o, v) in out.iter_mut().zip(x) {
+            *o = 2.0 * v + 1.0;
+        }
+    }
+}
+
+/// A slow tenant and a fast tenant sharing a two-worker pool, so the
+/// fast reply genuinely completes while the slow one is in flight.
+fn slow_fast_registry(stall: Duration) -> Arc<ModelRegistry> {
+    let registry = Arc::new(ModelRegistry::new(2).unwrap());
+    let snappy = TenantConfig {
+        max_batch: 1,
+        max_wait: Duration::ZERO,
+        ..Default::default()
+    };
+    registry
+        .add_model("slow", SlowEcho(stall), snappy.clone())
+        .unwrap();
+    registry.add_model("fast", Doubler, snappy).unwrap();
+    registry
+}
+
+/// Polls `count()` until it reaches `want` (or a generous deadline).
+fn drop_poll(count: impl Fn() -> usize, want: usize) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut live = usize::MAX;
+    while Instant::now() < deadline {
+        live = count();
+        if live == want {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("connection count stuck at {live}, wanted {want}");
+}
+
+/// The tentpole identity scenario: two tenants (MLP + convnet) plus a
+/// segment tenant on the event server, eight concurrent pipelining
+/// connections, every reply bitwise-identical to the direct inference
+/// path; control frames, batches and segments included.
+#[test]
+fn event_server_serves_bitwise_identical_replies() {
+    let registry = Arc::new(ModelRegistry::new(2).unwrap());
+    registry
+        .add_network("mlp", mlp(77), &[32], TenantConfig::default())
+        .unwrap();
+    registry
+        .add_network("convnet", convnet(88), &[2, 8, 8], TenantConfig::default())
+        .unwrap();
+    let w = BlockCirculantMatrix::random(&mut seeded_rng(42), 48, 32, 8).unwrap();
+    registry
+        .add_segment("seg", w.row_slice(0..3).unwrap(), TenantConfig::default())
+        .unwrap();
+    let server =
+        EventServer::bind("127.0.0.1:0", Arc::clone(&registry), EventConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 8;
+    const REQUESTS: usize = 10;
+    const DEPTH: usize = 5; // pipelined requests in flight per client
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let (mut ref_net, model, input_len, input_dims) = if client % 2 == 0 {
+                (mlp(77), "mlp", 32usize, vec![1usize, 32])
+            } else {
+                (convnet(88), "convnet", 2 * 8 * 8, vec![1, 2, 8, 8])
+            };
+            ref_net.set_training(false);
+            s.spawn(move || {
+                let mut wire = WireClient::connect(addr).expect("connect");
+                let mut scratch = InferScratch::new();
+                for window in 0..REQUESTS / DEPTH {
+                    let xs: Vec<Vec<f32>> = (0..DEPTH)
+                        .map(|i| request(input_len, (client * 1000 + window * DEPTH + i) as u64))
+                        .collect();
+                    for x in &xs {
+                        wire.send_infer(model, x, None).expect("pipelined send");
+                    }
+                    for (i, x) in xs.iter().enumerate() {
+                        let served = wire.recv_infer().expect("pipelined recv");
+                        let direct = ref_net
+                            .infer(&Tensor::from_vec(x.clone(), &input_dims), &mut scratch)
+                            .data()
+                            .to_vec();
+                        assert_eq!(served, direct, "client {client} reply {i} diverged");
+                    }
+                }
+            });
+        }
+    });
+
+    // Control frames agree with the registry.
+    let mut wire = WireClient::connect(addr).unwrap();
+    wire.ping().unwrap();
+    let models = wire.list_models().unwrap();
+    assert_eq!(
+        models.iter().map(|m| m.name.as_str()).collect::<Vec<_>>(),
+        vec!["convnet", "mlp", "seg"],
+        "sorted model list"
+    );
+    let stats = wire.stats("mlp").unwrap();
+    assert_eq!(
+        stats.requests,
+        (CLIENTS as u64 / 2) * REQUESTS as u64,
+        "per-tenant stats count only this tenant's traffic: {stats}"
+    );
+
+    // A client-side batch equals row-by-row direct inference.
+    let mut ref_mlp = mlp(77);
+    ref_mlp.set_training(false);
+    let mut scratch = InferScratch::new();
+    let flat: Vec<f32> = (0..3).flat_map(|i| request(32, 5000 + i)).collect();
+    let batched = wire.infer_batch("mlp", 3, &flat, None).unwrap();
+    for (i, rows) in flat.chunks(32).enumerate() {
+        let direct = ref_mlp
+            .infer(&Tensor::from_vec(rows.to_vec(), &[1, 32]), &mut scratch)
+            .data()
+            .to_vec();
+        assert_eq!(&batched[i * 10..(i + 1) * 10], &direct[..], "batch row {i}");
+    }
+
+    // A segment request equals the parent operator's row range.
+    let x = request(32, 7_000);
+    let seg = wire.infer_segment("seg", 0, 24, 1, &x, None).unwrap();
+    let mut ws = Workspace::new();
+    let full = w.matmat(&x, 1, &mut ws).unwrap();
+    assert_eq!(seg, full[..24], "segment diverged from parent rows");
+
+    // Typed errors cross the event loop too, and the connection survives.
+    match wire.infer("nope", &[0.0; 32]) {
+        Err(WireError::Remote { code, .. }) => assert_eq!(code, ErrorCode::UnknownModel),
+        other => panic!("expected UnknownModel, got {other:?}"),
+    }
+    match wire.infer("mlp", &[0.0; 31]) {
+        Err(WireError::Remote { code, .. }) => assert_eq!(code, ErrorCode::BadInput),
+        other => panic!("expected BadInput, got {other:?}"),
+    }
+    assert_eq!(wire.infer("mlp", &request(32, 8_000)).unwrap().len(), 10);
+
+    drop(wire);
+    drop_poll(|| server.connection_count(), 0);
+    server.shutdown();
+}
+
+/// Protocol v3 on the raw socket: two tagged requests pipelined to a
+/// slow and a fast tenant; the fast reply overtakes the slow one and
+/// each reply echoes its request's id.
+#[test]
+fn v3_replies_complete_out_of_order_by_request_id() {
+    let registry = slow_fast_registry(Duration::from_millis(150));
+    let server =
+        EventServer::bind("127.0.0.1:0", Arc::clone(&registry), EventConfig::default()).unwrap();
+
+    let mut raw = TcpStream::connect(server.local_addr()).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    let mut buf = Vec::new();
+    frame::encode_request_v3(
+        7,
+        &Request::Infer {
+            model: "slow".to_string(),
+            deadline_micros: 0,
+            input: vec![1.0; 4],
+        },
+        &mut buf,
+    );
+    frame::write_frame(&mut raw, &buf).unwrap();
+    frame::encode_request_v3(
+        8,
+        &Request::Infer {
+            model: "fast".to_string(),
+            deadline_micros: 0,
+            input: vec![0.5; 8],
+        },
+        &mut buf,
+    );
+    frame::write_frame(&mut raw, &buf).unwrap();
+
+    // The fast tenant's reply arrives first, carrying ITS id — the slow
+    // request (sent first, still in flight) did not hold it back.
+    let mut rbuf = Vec::new();
+    frame::read_frame(&mut raw, &mut rbuf).unwrap();
+    let (tag, reply) = frame::decode_reply_tagged(&rbuf).unwrap();
+    assert_eq!(tag, Some(8), "the fast reply must overtake the slow one");
+    assert_eq!(
+        reply,
+        Reply::Infer {
+            output: vec![2.0; 8]
+        }
+    );
+    frame::read_frame(&mut raw, &mut rbuf).unwrap();
+    let (tag, reply) = frame::decode_reply_tagged(&rbuf).unwrap();
+    assert_eq!(tag, Some(7));
+    assert_eq!(
+        reply,
+        Reply::Infer {
+            output: vec![1.0; 4]
+        }
+    );
+    server.shutdown();
+}
+
+/// The v3 pipelining client matches replies by id: with the fast reply
+/// arriving first on the socket, `recv_infer` still hands back replies
+/// in send order, each bitwise its own.
+#[test]
+fn v3_client_matches_out_of_order_replies_by_id() {
+    let registry = slow_fast_registry(Duration::from_millis(120));
+    let server =
+        EventServer::bind("127.0.0.1:0", Arc::clone(&registry), EventConfig::default()).unwrap();
+
+    let mut wire = WireClient::connect(server.local_addr()).unwrap();
+    wire.send_infer("slow", &[3.0; 4], None).unwrap();
+    wire.send_infer("fast", &[1.0; 8], None).unwrap();
+    assert_eq!(wire.pipelined(), 2);
+    // Send order, not completion order: the slow echo comes back first
+    // from recv_infer even though the fast reply hit the socket first.
+    assert_eq!(wire.recv_infer().unwrap(), vec![3.0; 4]);
+    assert_eq!(wire.recv_infer().unwrap(), vec![3.0; 8]);
+    assert_eq!(wire.pipelined(), 0);
+    server.shutdown();
+}
+
+/// A v2 client against the v3 event server: replies stay in arrival
+/// order — the fast reply must NOT overtake the slow one, because an
+/// id-less client attributes replies by position.
+#[test]
+fn v2_client_keeps_arrival_order_on_the_event_server() {
+    let registry = slow_fast_registry(Duration::from_millis(120));
+    let server =
+        EventServer::bind("127.0.0.1:0", Arc::clone(&registry), EventConfig::default()).unwrap();
+
+    let mut wire = WireClient::connect_with(
+        server.local_addr(),
+        ClientConfig {
+            protocol: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    wire.ping().unwrap();
+    wire.send_infer("slow", &[5.0; 4], None).unwrap();
+    wire.send_infer("fast", &[2.0; 8], None).unwrap();
+    assert_eq!(
+        wire.recv_infer().unwrap(),
+        vec![5.0; 4],
+        "v2 replies must keep arrival order"
+    );
+    assert_eq!(wire.recv_infer().unwrap(), vec![5.0; 8]);
+    server.shutdown();
+}
+
+/// Slow-loris: a connection that writes half a frame header and stalls
+/// is reaped by the idle deadline — no thread waits on it, the socket
+/// closes, and the server keeps serving fresh connections.
+#[test]
+fn stalled_half_frame_connection_is_reaped_by_idle_timeout() {
+    let registry = slow_fast_registry(Duration::ZERO);
+    let server = EventServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        EventConfig {
+            idle_timeout: Some(Duration::from_millis(200)),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Four header bytes of a valid frame, then silence.
+    loris
+        .write_all(&[frame::MAGIC, frame::VERSION, 0x04, 0x00])
+        .unwrap();
+    drop_poll(|| server.connection_count(), 1);
+    // The readiness loop reaps it on the idle deadline — the stalled
+    // socket reads EOF and the count returns to zero.
+    drop_poll(|| server.connection_count(), 0);
+    let mut sink = Vec::new();
+    assert_eq!(
+        loris.read_to_end(&mut sink).unwrap_or(0),
+        0,
+        "the reaped connection must be closed, not answered"
+    );
+
+    // Fresh connections serve normally afterwards (their own deadline).
+    let mut wire = WireClient::connect(addr).unwrap();
+    assert_eq!(wire.infer("fast", &[0.0; 8]).unwrap(), vec![1.0; 8]);
+    drop(wire);
+    server.shutdown();
+}
+
+/// The connection cap: accepts beyond `max_connections` are closed
+/// immediately, and a freed slot is usable again.
+#[test]
+fn connection_cap_refuses_excess_accepts() {
+    let registry = slow_fast_registry(Duration::ZERO);
+    let server = EventServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        EventConfig {
+            max_connections: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let mut a = WireClient::connect(addr).unwrap();
+    let mut b = WireClient::connect(addr).unwrap();
+    a.ping().unwrap();
+    b.ping().unwrap();
+    assert_eq!(server.connection_count(), 2);
+
+    // The third accept is shut immediately: EOF without a reply frame.
+    let mut over = TcpStream::connect(addr).unwrap();
+    over.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut sink = Vec::new();
+    assert_eq!(over.read_to_end(&mut sink).unwrap_or(0), 0);
+
+    // Freeing a slot re-opens the door.
+    drop(a);
+    drop_poll(|| server.connection_count(), 1);
+    let mut c = WireClient::connect(addr).unwrap();
+    c.ping().unwrap();
+    server.shutdown();
+}
+
+/// Teardown is prompt and deterministic: live idle connections do not
+/// stall shutdown behind write timeouts, every socket closes, and the
+/// loop threads are joined before `shutdown` returns.
+#[test]
+fn shutdown_is_prompt_with_live_connections() {
+    let registry = slow_fast_registry(Duration::ZERO);
+    let server =
+        EventServer::bind("127.0.0.1:0", Arc::clone(&registry), EventConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut held: Vec<WireClient> = (0..4).map(|_| WireClient::connect(addr).unwrap()).collect();
+    for wire in &mut held {
+        wire.ping().unwrap();
+    }
+    assert_eq!(server.connection_count(), 4);
+
+    // Disconnect cycles reap without dedicated threads.
+    for cycle in 0..8 {
+        let mut wire = WireClient::connect(addr).unwrap();
+        assert_eq!(
+            wire.infer("fast", &request(8, cycle as u64)).unwrap().len(),
+            8
+        );
+    }
+    drop_poll(|| server.connection_count(), 4);
+
+    let started = Instant::now();
+    server.shutdown(); // joins the loops; waker-driven, no 1 s timeouts
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(2),
+        "shutdown with idle connections took {elapsed:?}"
+    );
+    // Every held connection observed the close.
+    for wire in &mut held {
+        assert!(wire.ping().is_err(), "connections must be closed");
+    }
+}
+
+/// Garbage on the event socket gets one typed Malformed error frame
+/// back, then the server hangs up — and stays healthy for other peers.
+#[test]
+fn malformed_frames_get_a_typed_error_then_disconnect() {
+    let registry = slow_fast_registry(Duration::ZERO);
+    let server =
+        EventServer::bind("127.0.0.1:0", Arc::clone(&registry), EventConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    raw.write_all(b"GET / HTTP/1.1\r\n\r\n").unwrap();
+    let mut reply = Vec::new();
+    raw.read_to_end(&mut reply).unwrap(); // server replies, then closes
+    match frame::decode_reply(&reply).unwrap() {
+        Reply::Error { code, .. } => assert_eq!(code, ErrorCode::Malformed),
+        other => panic!("expected a Malformed error frame, got {other:?}"),
+    }
+
+    // A half-written frame followed by reset leaves other peers intact.
+    let mut frame_buf = Vec::new();
+    frame::encode_request(
+        &Request::Infer {
+            model: "fast".to_string(),
+            deadline_micros: 0,
+            input: vec![0.0; 8],
+        },
+        &mut frame_buf,
+    );
+    let half = TcpStream::connect(addr).unwrap();
+    (&half)
+        .write_all(&frame_buf[..frame_buf.len() / 2])
+        .unwrap();
+    drop(half);
+
+    let mut wire = WireClient::connect(addr).unwrap();
+    assert_eq!(wire.infer("fast", &[1.0; 8]).unwrap(), vec![3.0; 8]);
+    drop(wire);
+    drop_poll(|| server.connection_count(), 0);
+    server.shutdown();
+}

@@ -420,6 +420,127 @@ proptest! {
     }
 }
 
+fn tag_strategy() -> impl Strategy<Value = Option<u64>> {
+    (any::<bool>(), any::<u64>()).prop_map(|(v3, id)| v3.then_some(id))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Protocol v3: any request id survives encode → decode exactly, on
+    /// requests and replies alike, and the id-less envelope (`None`)
+    /// still round-trips as v2.
+    #[test]
+    fn request_ids_round_trip(req in request_strategy(), tag in tag_strategy()) {
+        let mut buf = Vec::new();
+        frame::encode_request_tagged(tag, &req, &mut buf);
+        let expected_version = if tag.is_some() { VERSION } else { frame::MIN_VERSION };
+        prop_assert_eq!(buf[1], expected_version, "the tag decides the envelope version");
+        let (back_tag, back) = frame::decode_request_tagged(&buf).expect("own encoding decodes");
+        prop_assert_eq!(back_tag, tag);
+        prop_assert_eq!(back, req);
+    }
+
+    /// Reply frames echo any id bit-exactly.
+    #[test]
+    fn reply_ids_round_trip(reply in reply_strategy(), tag in tag_strategy()) {
+        let mut buf = Vec::new();
+        frame::encode_reply_tagged(tag, &reply, &mut buf);
+        let (back_tag, back) = frame::decode_reply_tagged(&buf).expect("own encoding decodes");
+        prop_assert_eq!(back_tag, tag);
+        prop_assert_eq!(back, reply);
+    }
+
+    /// Incremental decode: a frame split at EVERY byte boundary — one
+    /// byte at a time through the assembler — yields exactly the original
+    /// frame, and never a partial one early.
+    #[test]
+    fn assembler_decodes_split_at_every_byte(req in request_strategy(), tag in tag_strategy()) {
+        let mut buf = Vec::new();
+        frame::encode_request_tagged(tag, &req, &mut buf);
+        let mut asm = frame::FrameAssembler::new();
+        for (i, &byte) in buf.iter().enumerate() {
+            asm.push(&[byte]);
+            let done = asm.next_frame().expect("a valid frame prefix never errors");
+            if i + 1 < buf.len() {
+                prop_assert!(done.is_none(), "no frame may surface at byte {i} of {}", buf.len());
+            } else {
+                let whole = done.expect("the last byte completes the frame");
+                prop_assert_eq!(whole, &buf[..]);
+            }
+        }
+        prop_assert_eq!(asm.pending(), 0);
+    }
+
+    /// Incremental decode across arbitrary chunk boundaries: several
+    /// frames concatenated and re-chunked randomly come out whole, in
+    /// order, regardless of where the cuts land.
+    #[test]
+    fn assembler_reassembles_random_chunking(
+        reqs in prop::collection::vec((request_strategy(), any::<u64>()), 1..5),
+        cuts in prop::collection::vec(1usize..64, 1..64),
+    ) {
+        let mut stream = Vec::new();
+        let mut frames = Vec::new();
+        for (req, id) in &reqs {
+            let mut buf = Vec::new();
+            frame::encode_request_v3(*id, req, &mut buf);
+            stream.extend_from_slice(&buf);
+            frames.push(buf);
+        }
+        let mut asm = frame::FrameAssembler::new();
+        let mut decoded = Vec::new();
+        let mut offset = 0;
+        let mut cut = cuts.iter().cycle();
+        while offset < stream.len() {
+            let take = (*cut.next().unwrap()).min(stream.len() - offset);
+            asm.push(&stream[offset..offset + take]);
+            offset += take;
+            while let Some(whole) = asm.next_frame().expect("valid stream") {
+                decoded.push(frame::decode_request_tagged(whole).expect("decodes"));
+            }
+        }
+        prop_assert_eq!(asm.pending(), 0, "nothing may linger after the last frame");
+        let expected: Vec<_> = reqs.iter().map(|(req, id)| (Some(*id), req.clone())).collect();
+        prop_assert_eq!(decoded, expected);
+    }
+
+    /// Random garbage through the assembler: a typed error or patient
+    /// buffering, never a panic — the event loop feeds it exactly this.
+    #[test]
+    fn assembler_never_panics_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut asm = frame::FrameAssembler::new();
+        asm.push(&bytes);
+        // Pump until the assembler errors or runs dry; a hostile stream
+        // may also yield decodable headers whose payloads then fail — the
+        // frame decoder must absorb those too without panicking.
+        loop {
+            match asm.next_frame() {
+                Ok(Some(whole)) => {
+                    let _ = frame::decode_request_tagged(whole);
+                }
+                Ok(None) => break,
+                Err(_) => break,
+            }
+        }
+    }
+}
+
+#[test]
+fn v3_frames_reject_payloads_shorter_than_the_id() {
+    // A v3 envelope promises eight id bytes; a shorter payload is
+    // malformed, not a partial id.
+    for short in 0..8usize {
+        let mut buf = vec![MAGIC, VERSION, 0x01 /* PING */, 0];
+        buf.extend_from_slice(&(short as u32).to_le_bytes());
+        buf.extend_from_slice(&vec![0u8; short]);
+        assert!(
+            frame::decode_request_tagged(&buf).is_err(),
+            "a {short}-byte v3 payload cannot carry the id"
+        );
+    }
+}
+
 #[test]
 fn truncated_stream_reads_surface_as_io_errors() {
     let buf = valid_frame(&Request::Infer {
